@@ -1,0 +1,84 @@
+//! Criterion benches for the DHB scheduler itself — the "cost of scheduling
+//! segments on the fly" the paper weighs against a fixed mapping (Sec. 3).
+//!
+//! Two regimes matter: an isolated request pays the full `O(n·T̄)` window
+//! scan, while at high rates "most of the segment instances required by a
+//! particular request would have been already scheduled", so the per-request
+//! cost collapses to mostly sharing checks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dhb_core::DhbScheduler;
+use vod_types::Slot;
+
+fn bench_isolated_request(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_request/idle");
+    for &n in &[25usize, 99, 137, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || DhbScheduler::fixed_rate(n),
+                |mut s| black_box(s.schedule_request(Slot::new(0))),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_saturated_request(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_request/saturated");
+    for &n in &[99usize, 137] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    // Warm the schedule with one request per slot for 3n
+                    // slots so nearly everything is shareable.
+                    let mut s = DhbScheduler::fixed_rate(n);
+                    for slot in 0..(3 * n as u64) {
+                        while s.next_slot().index() < slot {
+                            let _ = s.pop_slot();
+                        }
+                        let _ = s.schedule_request(Slot::new(slot));
+                    }
+                    s
+                },
+                |mut s| {
+                    let at = s.next_slot();
+                    black_box(s.schedule_request(at))
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_slot_cycle(c: &mut Criterion) {
+    // One slot of protocol work at ~20 requests/slot (the 1000 req/h point
+    // of Figure 7).
+    c.bench_function("slot_cycle/99seg_20req", |b| {
+        b.iter_batched(
+            || DhbScheduler::fixed_rate(99),
+            |mut s| {
+                for slot in 0..50u64 {
+                    while s.next_slot().index() < slot {
+                        let _ = s.pop_slot();
+                    }
+                    for _ in 0..20 {
+                        let _ = s.schedule_request(Slot::new(slot));
+                    }
+                }
+                black_box(s.new_instances())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_isolated_request, bench_saturated_request, bench_full_slot_cycle
+}
+criterion_main!(benches);

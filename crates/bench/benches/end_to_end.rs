@@ -1,0 +1,52 @@
+//! Criterion benches for whole simulation runs — the cost of regenerating
+//! one point of each figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dhb_core::Dhb;
+use vod_protocols::UniversalDistribution;
+use vod_sim::{PoissonProcess, SlottedRun};
+use vod_types::{ArrivalRate, VideoSpec};
+
+fn bench_fig7_points(c: &mut Criterion) {
+    let video = VideoSpec::paper_two_hour();
+    let mut group = c.benchmark_group("fig7_point_1000slots");
+    group.sample_size(10);
+    for &rate in &[10.0, 1000.0] {
+        group.bench_with_input(BenchmarkId::new("dhb", rate as u64), &rate, |b, &rate| {
+            b.iter(|| {
+                let report = SlottedRun::new(video)
+                    .warmup_slots(50)
+                    .measured_slots(1_000)
+                    .seed(1)
+                    .run(
+                        &mut Dhb::fixed_rate(99),
+                        PoissonProcess::new(ArrivalRate::per_hour(rate)),
+                    );
+                black_box(report.avg_bandwidth)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("ud", rate as u64), &rate, |b, &rate| {
+            b.iter(|| {
+                let report = SlottedRun::new(video)
+                    .warmup_slots(50)
+                    .measured_slots(1_000)
+                    .seed(1)
+                    .run(
+                        &mut UniversalDistribution::new(99),
+                        PoissonProcess::new(ArrivalRate::per_hour(rate)),
+                    );
+                black_box(report.avg_bandwidth)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig7_points
+}
+criterion_main!(benches);

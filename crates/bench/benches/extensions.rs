@@ -1,0 +1,68 @@
+//! Criterion benches for the extension features: client-limited and
+//! peak-capped DHB scheduling, and multi-video joint simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dhb_core::DhbScheduler;
+use vod_server::{Catalog, Policy, Server};
+use vod_types::{ArrivalRate, Slot, VideoSpec};
+
+fn bench_limited_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_request/limited");
+    for (label, build) in [("unlimited", None), ("client_limit_2", Some(2u32))] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &build, |b, build| {
+            b.iter_batched(
+                || {
+                    let mut s = DhbScheduler::fixed_rate(99);
+                    if let Some(limit) = build {
+                        s = s.with_client_limit(*limit);
+                    }
+                    // A warm, busy schedule.
+                    for slot in 0..200u64 {
+                        while s.next_slot().index() < slot {
+                            let _ = s.pop_slot();
+                        }
+                        let _ = s.schedule_request(Slot::new(slot));
+                    }
+                    s
+                },
+                |mut s| {
+                    let at = s.next_slot();
+                    black_box(s.schedule_request(at))
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_joint_server(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_joint_10videos_300slots");
+    group.sample_size(10);
+    let catalog = Catalog::zipf(
+        10,
+        ArrivalRate::per_hour(300.0),
+        1.0,
+        VideoSpec::paper_two_hour(),
+    );
+    let server = Server::new(catalog)
+        .warmup_slots(30)
+        .measured_slots(300)
+        .seed(3);
+    group.bench_function("dhb", |b| {
+        b.iter(|| black_box(server.simulate_joint(&Policy::DhbEverywhere)));
+    });
+    group.bench_function("ud", |b| {
+        b.iter(|| black_box(server.simulate_joint(&Policy::UdEverywhere)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_limited_scheduling, bench_joint_server
+}
+criterion_main!(benches);

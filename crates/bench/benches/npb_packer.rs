@@ -1,0 +1,39 @@
+//! Criterion benches for the NPB frequency-splitting packer and the static
+//! mapping machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vod_protocols::fb::fb_mapping_for;
+use vod_protocols::npb::{npb_mapping, npb_mapping_for};
+use vod_protocols::sb::sb_mapping_for;
+
+fn bench_packers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("npb_pack_to_capacity");
+    for &k in &[3usize, 4, 5, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(npb_mapping(k)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("mapping_for_99_segments");
+    group.bench_function("npb", |b| b.iter(|| black_box(npb_mapping_for(99))));
+    group.bench_function("fb", |b| b.iter(|| black_box(fb_mapping_for(99))));
+    group.bench_function("sb", |b| b.iter(|| black_box(sb_mapping_for(99, None))));
+    group.finish();
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let npb = npb_mapping_for(99);
+    c.bench_function("verify_timeliness/npb_99", |b| {
+        b.iter(|| black_box(npb.verify_timeliness()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_packers, bench_verification
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benches for the reactive protocols and the continuous engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vod_protocols::{Patching, StreamTapping, TappingPolicy};
+use vod_sim::{ContinuousProtocol, ContinuousRun, PoissonProcess};
+use vod_types::{ArrivalRate, Seconds};
+
+fn bench_on_request(c: &mut Criterion) {
+    let video = Seconds::from_hours(2.0);
+    let mut group = c.benchmark_group("tapping_on_request");
+    for policy in [TappingPolicy::Simple, TappingPolicy::Extra] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter_batched(
+                    || {
+                        // A busy state: 50 staggered clients.
+                        let mut p = StreamTapping::new(video, policy);
+                        for i in 0..50 {
+                            let _ = p.on_request(Seconds::new(i as f64 * 60.0));
+                        }
+                        p
+                    },
+                    |mut p| black_box(p.on_request(Seconds::new(3_001.0))),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_continuous_runs(c: &mut Criterion) {
+    let video = Seconds::from_hours(2.0);
+    let rate = ArrivalRate::per_hour(100.0);
+    let horizon = Seconds::from_hours(20.0);
+    let mut group = c.benchmark_group("continuous_run_20h_100rph");
+    group.sample_size(10);
+    group.bench_function("tapping_extra", |b| {
+        b.iter(|| {
+            let report = ContinuousRun::new(horizon).seed(1).run(
+                &mut StreamTapping::new(video, TappingPolicy::Extra),
+                PoissonProcess::new(rate),
+            );
+            black_box(report.avg_bandwidth)
+        });
+    });
+    group.bench_function("patching", |b| {
+        b.iter(|| {
+            let report = ContinuousRun::new(horizon)
+                .seed(1)
+                .run(&mut Patching::new(video, rate), PoissonProcess::new(rate));
+            black_box(report.avg_bandwidth)
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_on_request, bench_continuous_runs
+}
+criterion_main!(benches);

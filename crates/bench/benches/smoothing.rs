@@ -1,0 +1,76 @@
+//! Criterion benches for the VBR substrate: trace generation, calibration,
+//! work-ahead smoothing and period derivation (the Section-4 pipeline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vod_trace::matrix::matrix_like;
+use vod_trace::periods::max_periods;
+use vod_trace::plan::{BroadcastPlan, DhbVariant};
+use vod_trace::smoothing::{min_constant_rate, smooth};
+use vod_trace::synth::SyntheticVbr;
+use vod_types::{DataSize, Seconds};
+
+fn bench_generation(c: &mut Criterion) {
+    c.bench_function("synth_generate/600s", |b| {
+        let gen = SyntheticVbr::new(Seconds::new(600.0));
+        b.iter(|| black_box(gen.generate(7)));
+    });
+    let mut group = c.benchmark_group("matrix_like_full_pipeline");
+    group.sample_size(10);
+    group.bench_function("8170s_calibrated", |b| {
+        b.iter(|| black_box(matrix_like(7)));
+    });
+    group.finish();
+}
+
+fn bench_smoothing(c: &mut Criterion) {
+    let trace = matrix_like(7);
+    let slot = Seconds::new(8170.0 / 137.0);
+    c.bench_function("min_constant_rate/matrix", |b| {
+        b.iter(|| black_box(min_constant_rate(&trace, slot)));
+    });
+    let mut group = c.benchmark_group("taut_string_smoothing");
+    group.sample_size(20);
+    group.bench_function("unbounded", |b| {
+        b.iter(|| black_box(smooth(&trace, slot, None)));
+    });
+    group.bench_function("buffered_50MB", |b| {
+        b.iter(|| {
+            black_box(smooth(
+                &trace,
+                slot,
+                Some(DataSize::from_kilobytes(50_000.0)),
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_periods_and_plans(c: &mut Criterion) {
+    let trace = matrix_like(7);
+    let slot = Seconds::new(8170.0 / 137.0);
+    let rate = min_constant_rate(&trace, slot);
+    c.bench_function("max_periods/130seg", |b| {
+        b.iter(|| black_box(max_periods(&trace, rate, slot, 130)));
+    });
+    let mut group = c.benchmark_group("broadcast_plan");
+    group.sample_size(20);
+    group.bench_function("dhb_d", |b| {
+        b.iter(|| {
+            black_box(BroadcastPlan::for_variant(
+                &trace,
+                DhbVariant::D,
+                Seconds::new(60.0),
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_generation, bench_smoothing, bench_periods_and_plans
+}
+criterion_main!(benches);

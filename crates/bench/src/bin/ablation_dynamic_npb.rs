@@ -1,0 +1,72 @@
+//! ABL-DNPB — the design alternative Section 3 explored and rejected:
+//! a dynamic (on-demand) version of NPB. The paper reports it "bested the
+//! UD protocol at moderate to high access rates ... Unfortunately, its
+//! performance lagged behind that of both UD and stream tapping whenever
+//! there were less than 40 to 60 requests per hour", which motivated the
+//! free-form DHB heuristic instead.
+
+use dhb_core::Dhb;
+use vod_bench::{figure_table, paper_video, Quality, PAPER_RATES};
+use vod_protocols::{DynamicNpb, StreamTapping, TappingPolicy, UniversalDistribution};
+use vod_sim::SweepPoint;
+
+fn main() {
+    let quality = Quality::from_args();
+    let video = paper_video();
+    let n = video.n_segments();
+    let sweep = quality.sweep(video);
+
+    eprintln!("running dynamic NPB…");
+    let dnpb = sweep.run_slotted(|| DynamicNpb::new(n));
+    eprintln!("running UD…");
+    let ud = sweep.run_slotted(|| UniversalDistribution::new(n));
+    eprintln!("running stream tapping…");
+    let tapping =
+        sweep.run_continuous(|| StreamTapping::new(video.duration(), TappingPolicy::Extra));
+    eprintln!("running DHB…");
+    let dhb = sweep.run_slotted(|| Dhb::fixed_rate(n));
+
+    let series = [tapping, ud, dnpb, dhb];
+    let table = figure_table("req/h", &series, |p: &SweepPoint| p.avg_streams);
+    vod_bench::emit(
+        "ablation_dynamic_npb",
+        "Ablation: dynamic NPB vs UD, stream tapping and DHB (avg streams)",
+        &table,
+    );
+
+    // Structural expectations. The paper reports dynamic NPB lagging UD and
+    // tapping below 40–60 req/h; in our reconstruction it lags only stream
+    // tapping at the very low end and edges DHB out by ~2% at saturation
+    // (both sit just above the harmonic floor H_99 ≈ 5.18). The robust
+    // claims — the ones that motivated DHB — still hold and are asserted:
+    let tapping = &series[0];
+    let ud = &series[1];
+    let dnpb = &series[2];
+    let dhb = &series[3];
+    let last = PAPER_RATES.len() - 1;
+    assert!(
+        dnpb.points[last].avg_streams < ud.points[last].avg_streams,
+        "dynamic NPB must beat UD at saturation (6 vs 7 streams)"
+    );
+    assert!(
+        dnpb.points[0].avg_streams > tapping.points[0].avg_streams,
+        "dynamic NPB must lag stream tapping at 1 req/h"
+    );
+    for (i, rate) in PAPER_RATES.iter().enumerate() {
+        if *rate <= 50.0 {
+            assert!(
+                dhb.points[i].avg_streams < dnpb.points[i].avg_streams,
+                "DHB must beat dynamic NPB at low-to-moderate rates ({rate}/h)"
+            );
+        } else {
+            assert!(
+                (dhb.points[i].avg_streams - dnpb.points[i].avg_streams).abs()
+                    < 0.05 * dnpb.points[i].avg_streams,
+                "DHB and dynamic NPB must stay within 5% at saturation ({rate}/h)"
+            );
+        }
+    }
+    println!(
+        "[checks passed: dyn-NPB < UD at saturation; DHB wins ≤ 50/h and ties within 5% above]"
+    );
+}

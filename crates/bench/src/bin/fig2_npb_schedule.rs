@@ -1,0 +1,29 @@
+//! FIG2 — Figure 2 of the paper: the first three streams of New Pagoda
+//! Broadcasting (9 segments in 3 streams, vs FB's 7).
+
+use vod_protocols::fb::fb_capacity;
+use vod_protocols::npb::{npb_capacity, npb_mapping};
+use vod_sim::Table;
+
+fn main() {
+    let mapping = npb_mapping(3);
+    println!("{}", mapping.render_schedule(6));
+    mapping
+        .verify_timeliness()
+        .expect("NPB mapping must be timely");
+    assert_eq!(mapping.n_segments(), 9, "the paper's 9-in-3 packing");
+
+    let mut table = Table::new(vec!["streams k", "NPB capacity", "FB capacity"]);
+    for k in 1..=7 {
+        table.push_row(vec![
+            k.to_string(),
+            npb_capacity(k).to_string(),
+            fb_capacity(k).to_string(),
+        ]);
+    }
+    vod_bench::emit(
+        "fig2",
+        "Figure 2: NPB mapping (k = 3) and packing capacities vs FB",
+        &table,
+    );
+}

@@ -1,0 +1,138 @@
+//! FW — the paper's Section-5 future-work directions, measured:
+//!
+//! 1. *"investigate dynamic heuristic broadcasting protocols that limit the
+//!    client bandwidth to two or three data streams"* — DHB with a
+//!    per-client receive limit of 1, 2, 3 streams vs unlimited;
+//! 2. *"investigate how we could reduce or eliminate bandwidth peaks
+//!    without increasing the average video bandwidth"* — DHB with a soft
+//!    per-slot load cap.
+
+use dhb_core::Dhb;
+use vod_bench::{paper_video, Quality, FIGURE_SEED};
+use vod_sim::{PoissonProcess, SlottedRun, Table};
+use vod_types::ArrivalRate;
+
+fn main() {
+    let quality = Quality::from_args();
+    let video = paper_video();
+    let n = video.n_segments();
+
+    // --- 1. client receive limits ----------------------------------------
+    let mut table = Table::new(vec![
+        "client limit",
+        "avg @20/h",
+        "avg @200/h",
+        "avg @1000/h",
+        "duplicates @200/h",
+    ]);
+    let run = |mut dhb: Dhb, rate: f64| {
+        let report = SlottedRun::new(video)
+            .warmup_slots(quality.warmup_slots)
+            .measured_slots(quality.measured_slots)
+            .seed(FIGURE_SEED)
+            .run(&mut dhb, PoissonProcess::new(ArrivalRate::per_hour(rate)));
+        (report, dhb)
+    };
+    let mut unlimited_sat = 0.0;
+    let mut limited_rows = Vec::new();
+    for limit in [Some(1u32), Some(2), Some(3), None] {
+        let make = || match limit {
+            Some(l) => Dhb::with_client_limit(n, l),
+            None => Dhb::fixed_rate(n),
+        };
+        let (r20, _) = run(make(), 20.0);
+        let (r200, dhb200) = run(make(), 200.0);
+        let (r1000, _) = run(make(), 1000.0);
+        match limit {
+            None => unlimited_sat = r1000.avg_bandwidth.get(),
+            Some(l) => limited_rows.push((l, r1000.avg_bandwidth.get())),
+        }
+        table.push_row(vec![
+            limit.map_or("unlimited".to_owned(), |l| format!("{l} streams")),
+            format!("{:.3}", r20.avg_bandwidth.get()),
+            format!("{:.3}", r200.avg_bandwidth.get()),
+            format!("{:.3}", r1000.avg_bandwidth.get()),
+            format!("{}", dhb200.stats().duplicate_instances),
+        ]);
+    }
+    vod_bench::emit(
+        "future_work_client_limit",
+        "Future work 1: DHB with limited client receive bandwidth (avg streams)",
+        &table,
+    );
+    for (limit, sat) in &limited_rows {
+        assert!(
+            *sat >= unlimited_sat - 1e-9,
+            "a receive limit of {limit} cannot beat unlimited sharing"
+        );
+    }
+    // Two to three streams should already be close to unlimited.
+    let three = limited_rows
+        .iter()
+        .find(|(l, _)| *l == 3)
+        .map(|(_, s)| *s)
+        .expect("limit-3 row");
+    assert!(
+        three <= unlimited_sat * 1.25,
+        "a 3-stream receiver should cost ≤ 25% extra, got {three} vs {unlimited_sat}"
+    );
+
+    // --- 2. peak reduction via a soft load cap ----------------------------
+    let mut table = Table::new(vec![
+        "load cap",
+        "avg @1000/h",
+        "max @1000/h",
+        "cap overflows",
+    ]);
+    let mut baseline = (0.0, 0.0);
+    let mut capped_results = Vec::new();
+    for cap in [Some(6u32), Some(7), Some(8), None] {
+        let mut dhb = match cap {
+            Some(c) => Dhb::with_load_cap(n, c),
+            None => Dhb::fixed_rate(n),
+        };
+        let report = SlottedRun::new(video)
+            .warmup_slots(quality.warmup_slots)
+            .measured_slots(quality.measured_slots)
+            .seed(FIGURE_SEED)
+            .run(&mut dhb, PoissonProcess::new(ArrivalRate::per_hour(1000.0)));
+        match cap {
+            None => baseline = (report.avg_bandwidth.get(), report.max_bandwidth.get()),
+            Some(c) => {
+                capped_results.push((c, report.avg_bandwidth.get(), report.max_bandwidth.get()))
+            }
+        }
+        table.push_row(vec![
+            cap.map_or("none".to_owned(), |c| c.to_string()),
+            format!("{:.3}", report.avg_bandwidth.get()),
+            format!("{:.1}", report.max_bandwidth.get()),
+            format!("{}", dhb.stats().cap_overflows),
+        ]);
+    }
+    vod_bench::emit(
+        "future_work_load_cap",
+        "Future work 2: DHB with a soft per-slot load cap at 1000 req/h",
+        &table,
+    );
+    // The measured answer to the paper's open question is *negative*: the
+    // residual peak at saturation is window-forced (S1's window is a single
+    // slot, S2's two), so even an aggressive soft cap only records
+    // overflows instead of trimming the maximum — and it never hurts the
+    // average. Eliminating the peak would require relaxing deadlines, not
+    // smarter placement, which is presumably why the paper left it open.
+    let (_, avg7, max7) = capped_results
+        .iter()
+        .find(|(c, _, _)| *c == 7)
+        .copied()
+        .expect("cap-7 row");
+    assert!(max7 <= baseline.1, "the cap must never raise the peak");
+    assert!(
+        avg7 <= baseline.0 * 1.02,
+        "the cap must cost ≤ 2% average: {avg7} vs {}",
+        baseline.0
+    );
+    println!(
+        "[checks passed: 3-stream clients ≤ 25% overhead; the soft cap never hurts, and the \
+         residual peak is window-forced — see EXPERIMENTS.md]"
+    );
+}

@@ -1,0 +1,170 @@
+//! Shared harness for the figure-regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §6 for the full experiment index). They share:
+//!
+//! * the paper's workload constants ([`paper_video`], [`PAPER_RATES`]);
+//! * a quality switch (`--quick` for CI-speed runs, default for
+//!   paper-quality horizons);
+//! * uniform output: an aligned ASCII table on stdout plus a JSON record
+//!   under `bench-results/` for EXPERIMENTS.md bookkeeping.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+use vod_sim::{render_table, RateSweep, SweepSeries, Table};
+use vod_types::VideoSpec;
+
+/// The paper's Figure 7/8 arrival-rate grid (requests per hour).
+pub const PAPER_RATES: [f64; 10] = [1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0];
+
+/// Deterministic seed used by all figure binaries (recorded in
+/// EXPERIMENTS.md).
+pub const FIGURE_SEED: u64 = 42;
+
+/// The two-hour, 99-segment video of Figures 7 and 8.
+#[must_use]
+pub fn paper_video() -> VideoSpec {
+    VideoSpec::paper_two_hour()
+}
+
+/// Run-quality parameters shared by the sweep figures.
+#[derive(Debug, Clone, Copy)]
+pub struct Quality {
+    /// Slots discarded as warm-up.
+    pub warmup_slots: u64,
+    /// Slots measured.
+    pub measured_slots: u64,
+}
+
+impl Quality {
+    /// Paper-quality horizons (~87 simulated hours per rate).
+    pub const FULL: Quality = Quality {
+        warmup_slots: 300,
+        measured_slots: 4_000,
+    };
+    /// CI-speed horizons.
+    pub const QUICK: Quality = Quality {
+        warmup_slots: 100,
+        measured_slots: 600,
+    };
+
+    /// Picks the quality from the process arguments (`--quick` selects
+    /// [`Quality::QUICK`]).
+    #[must_use]
+    pub fn from_args() -> Quality {
+        if std::env::args().any(|a| a == "--quick") {
+            Quality::QUICK
+        } else {
+            Quality::FULL
+        }
+    }
+
+    /// A pre-configured sweep over the paper's rates for `video`.
+    #[must_use]
+    pub fn sweep(self, video: VideoSpec) -> RateSweep {
+        RateSweep::new(video)
+            .rates_per_hour(&PAPER_RATES)
+            .warmup_slots(self.warmup_slots)
+            .measured_slots(self.measured_slots)
+            .seed(FIGURE_SEED)
+    }
+}
+
+/// One figure's machine-readable record.
+#[derive(Debug, Serialize)]
+pub struct FigureRecord<'a> {
+    /// Experiment id (e.g. `"fig7"`).
+    pub id: &'a str,
+    /// Human description.
+    pub title: &'a str,
+    /// Seed used.
+    pub seed: u64,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// Prints the table and writes the JSON record to
+/// `bench-results/<id>.json`.
+///
+/// # Panics
+///
+/// Panics if the results directory cannot be created or written — a figure
+/// run without a record is not a figure run.
+pub fn emit(id: &str, title: &str, table: &Table) {
+    println!("== {title} ==");
+    println!("{}", render_table(table));
+    let record = FigureRecord {
+        id,
+        title,
+        seed: FIGURE_SEED,
+        headers: table.headers.clone(),
+        rows: table.rows.clone(),
+    };
+    let dir = results_dir();
+    fs::create_dir_all(&dir).expect("create bench-results directory");
+    let path = dir.join(format!("{id}.json"));
+    fs::write(
+        &path,
+        serde_json::to_string_pretty(&record).expect("serialise record"),
+    )
+    .expect("write figure record");
+    println!("[record written to {}]", path.display());
+}
+
+/// The directory figure records are written to (workspace-root
+/// `bench-results/`, falling back to the current directory).
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench → workspace root is two levels up.
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => PathBuf::from(dir)
+            .ancestors()
+            .nth(2)
+            .map(|p| p.to_path_buf())
+            .unwrap_or_else(|| PathBuf::from(".")),
+        Err(_) => PathBuf::from("."),
+    }
+    .join("bench-results")
+}
+
+/// Builds the standard one-column-per-protocol figure table.
+#[must_use]
+pub fn figure_table(
+    rate_header: &str,
+    series: &[SweepSeries],
+    select: fn(&vod_sim::SweepPoint) -> f64,
+) -> Table {
+    Table::from_series(rate_header, series, select)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn qualities_are_ordered() {
+        assert!(Quality::QUICK.measured_slots < Quality::FULL.measured_slots);
+        assert!(Quality::QUICK.warmup_slots < Quality::FULL.warmup_slots);
+    }
+
+    #[test]
+    fn sweep_uses_paper_grid() {
+        let sweep = Quality::QUICK.sweep(paper_video());
+        assert_eq!(sweep.rates().len(), PAPER_RATES.len());
+        assert_eq!(sweep.rates()[0].as_per_hour(), 1.0);
+    }
+
+    #[test]
+    fn results_dir_is_workspace_level() {
+        let dir = results_dir();
+        assert!(dir.ends_with("bench-results"));
+    }
+}

@@ -1,0 +1,399 @@
+//! End-to-end timeliness auditing.
+//!
+//! The DHB scheduler is *supposed* to guarantee that a customer arriving in
+//! slot `i` can watch the whole video with no stall: every `S_j` on the air
+//! somewhere in `[i+1, i+T[j]]`. [`TimelinessAuditor`] wraps any slotted
+//! protocol, records every request and every transmitted segment, and checks
+//! that guarantee after the fact — including DHB's subtlety that the
+//! heuristic may transmit a segment *early*, which is fine exactly because
+//! `k_max ≤ i + T[j]` and never later.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use vod_sim::SlottedProtocol;
+use vod_types::{SegmentId, Slot};
+
+/// A recorded deadline miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditError {
+    /// The arrival slot of the starved request.
+    pub arrival: Slot,
+    /// The segment that never aired inside the request's window.
+    pub segment: SegmentId,
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "request arriving in {} never saw {} inside its window",
+            self.arrival, self.segment
+        )
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// Wraps a slotted protocol and records its transmissions for verification.
+///
+/// Uses the protocol-agnostic observation model: a request can use any
+/// transmission of `S_j` during `[arrival+1, arrival+T[j]]` (set-top boxes
+/// listen to all streams). For protocols that transmit but whose clients
+/// cannot listen to everything, the audit is necessary but not sufficient —
+/// for DHB it is exact, because DHB's clients listen to all `k` streams.
+///
+/// The auditor cannot see *counts* through [`SlottedProtocol`] alone (the
+/// trait reports how many instances air, not which); protocols expose their
+/// per-slot segments differently, so the auditor takes a probe closure.
+pub struct TimelinessAuditor<P, F> {
+    inner: P,
+    probe: F,
+    periods: Vec<u64>,
+    arrivals: Vec<Slot>,
+    /// segment → sorted slots in which it aired.
+    airings: HashMap<SegmentId, Vec<Slot>>,
+}
+
+impl<P: fmt::Debug, F> fmt::Debug for TimelinessAuditor<P, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TimelinessAuditor")
+            .field("inner", &self.inner)
+            .field("requests", &self.arrivals.len())
+            .finish()
+    }
+}
+
+impl<P, F> TimelinessAuditor<P, F>
+where
+    P: SlottedProtocol,
+    F: FnMut(&P, Slot) -> Vec<SegmentId>,
+{
+    /// Wraps `inner`. `periods[j-1]` is `T[j]`; `probe(protocol, slot)` must
+    /// return the segments the protocol is about to transmit during `slot`
+    /// (called immediately before the transmission is popped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `periods` is empty.
+    #[must_use]
+    pub fn new(inner: P, periods: Vec<u64>, probe: F) -> Self {
+        assert!(!periods.is_empty(), "need at least one segment");
+        TimelinessAuditor {
+            inner,
+            probe,
+            periods,
+            arrivals: Vec::new(),
+            airings: HashMap::new(),
+        }
+    }
+
+    /// The wrapped protocol.
+    #[must_use]
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Verifies every recorded request. Call after the simulation; requests
+    /// whose windows extend past the last simulated slot are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns every deadline miss found.
+    pub fn verify(&self, last_slot: Slot) -> Result<(), Vec<AuditError>> {
+        let mut errors = Vec::new();
+        for &arrival in &self.arrivals {
+            for (idx, &t) in self.periods.iter().enumerate() {
+                let seg = SegmentId::from_array_index(idx);
+                let lo = arrival.index() + 1;
+                let hi = arrival.index() + t;
+                if hi > last_slot.index() {
+                    continue; // window truncated by the simulation horizon
+                }
+                let aired = self
+                    .airings
+                    .get(&seg)
+                    .is_some_and(|slots| slots.iter().any(|s| s.index() >= lo && s.index() <= hi));
+                if !aired {
+                    errors.push(AuditError {
+                        arrival,
+                        segment: seg,
+                    });
+                }
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Number of requests recorded.
+    #[must_use]
+    pub fn requests(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Client-side demands across every fully-simulated request, under the
+    /// eager reception model (a client records the *first* airing of each
+    /// segment inside its window — which is the airing DHB scheduled for
+    /// it, since instances are created on demand).
+    ///
+    /// Returns `None` if no request's window fits inside the horizon.
+    #[must_use]
+    pub fn client_demands(&self, last_slot: Slot) -> Option<ClientDemands> {
+        let n = self.periods.len();
+        let mut worst_concurrent = 0u32;
+        let mut worst_buffer = 0usize;
+        let mut complete_requests = 0usize;
+        for &arrival in &self.arrivals {
+            let horizon_needed = arrival.index() + self.periods.iter().max().copied()?;
+            if horizon_needed > last_slot.index() {
+                continue;
+            }
+            complete_requests += 1;
+            // download_slots[j-1] = slot the client records S_j in.
+            let mut download_slots = Vec::with_capacity(n);
+            for (idx, &t) in self.periods.iter().enumerate() {
+                let seg = SegmentId::from_array_index(idx);
+                let lo = arrival.index() + 1;
+                let hi = arrival.index() + t;
+                let slot = self.airings.get(&seg).and_then(|slots| {
+                    slots
+                        .iter()
+                        .map(|s| s.index())
+                        .filter(|&s| s >= lo && s <= hi)
+                        .min()
+                });
+                download_slots.push(slot?);
+            }
+            // Consumption of S_j happens during slot arrival + j (fixed-rate
+            // plans) — with general periods, by its window end.
+            for s in (arrival.index() + 1)..=(arrival.index() + n as u64) {
+                let concurrent = download_slots.iter().filter(|&&d| d == s).count() as u32;
+                worst_concurrent = worst_concurrent.max(concurrent);
+                let buffered = download_slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(idx, &d)| d <= s && arrival.index() + self.periods[*idx] > s)
+                    .count();
+                worst_buffer = worst_buffer.max(buffered);
+            }
+        }
+        (complete_requests > 0).then_some(ClientDemands {
+            complete_requests,
+            max_concurrent_streams: worst_concurrent,
+            max_buffered_segments: worst_buffer,
+        })
+    }
+}
+
+/// Worst-case client-side demands measured over a simulation (see
+/// [`TimelinessAuditor::client_demands`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientDemands {
+    /// Requests whose whole window fit inside the horizon.
+    pub complete_requests: usize,
+    /// Peak number of streams any client received during one slot.
+    pub max_concurrent_streams: u32,
+    /// Peak number of segments any client held buffered at a slot boundary.
+    pub max_buffered_segments: usize,
+}
+
+impl<P, F> SlottedProtocol for TimelinessAuditor<P, F>
+where
+    P: SlottedProtocol,
+    F: FnMut(&P, Slot) -> Vec<SegmentId>,
+{
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn on_request(&mut self, slot: Slot) {
+        self.arrivals.push(slot);
+        self.inner.on_request(slot);
+    }
+
+    fn transmissions_in(&mut self, slot: Slot) -> u32 {
+        let segments = (self.probe)(&self.inner, slot);
+        for seg in &segments {
+            self.airings.entry(*seg).or_default().push(slot);
+        }
+        let n = self.inner.transmissions_in(slot);
+        debug_assert_eq!(
+            n as usize,
+            segments.len(),
+            "probe and transmission count disagree in {slot}"
+        );
+        n
+    }
+}
+
+/// Convenience: wraps a [`crate::Dhb`] with the scheduler's own plan as the
+/// probe.
+#[must_use]
+pub fn audit_dhb(
+    dhb: crate::Dhb,
+) -> TimelinessAuditor<crate::Dhb, impl FnMut(&crate::Dhb, Slot) -> Vec<SegmentId>> {
+    let periods = dhb.scheduler().periods().to_vec();
+    TimelinessAuditor::new(dhb, periods, |p, slot| p.scheduler().planned_segments(slot))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dhb, SlotHeuristic};
+    use vod_sim::{DeterministicArrivals, PoissonProcess, SlottedRun};
+    use vod_types::{ArrivalRate, Seconds, VideoSpec};
+
+    #[test]
+    fn dhb_meets_every_deadline_under_poisson_load() {
+        let video = VideoSpec::new(Seconds::new(1200.0), 12).unwrap();
+        let mut audited = audit_dhb(Dhb::fixed_rate(12));
+        let measured = 400;
+        let _ = SlottedRun::new(video)
+            .warmup_slots(0)
+            .measured_slots(measured)
+            .seed(9)
+            .run(
+                &mut audited,
+                PoissonProcess::new(ArrivalRate::per_hour(120.0)),
+            );
+        assert!(audited.requests() > 10);
+        audited.verify(Slot::new(measured - 1)).expect("no misses");
+    }
+
+    #[test]
+    fn every_heuristic_is_deadline_safe() {
+        // The heuristic only moves instances *within* the window, so all of
+        // them must pass the audit — they differ in bandwidth, not safety.
+        let video = VideoSpec::new(Seconds::new(1000.0), 10).unwrap();
+        for h in SlotHeuristic::ALL {
+            let mut audited = audit_dhb(Dhb::with_heuristic(10, h));
+            let _ = SlottedRun::new(video)
+                .warmup_slots(0)
+                .measured_slots(300)
+                .seed(11)
+                .run(
+                    &mut audited,
+                    PoissonProcess::new(ArrivalRate::per_hour(200.0)),
+                );
+            audited.verify(Slot::new(299)).unwrap_or_else(|e| {
+                panic!("{h}: {} misses, first: {}", e.len(), e[0]);
+            });
+        }
+    }
+
+    #[test]
+    fn audit_catches_a_broken_protocol() {
+        /// Accepts requests but never transmits anything.
+        #[derive(Debug)]
+        struct Mute;
+        impl SlottedProtocol for Mute {
+            fn name(&self) -> &str {
+                "mute"
+            }
+            fn on_request(&mut self, _: Slot) {}
+            fn transmissions_in(&mut self, _: Slot) -> u32 {
+                0
+            }
+        }
+        let mut audited = TimelinessAuditor::new(Mute, vec![1, 2, 3], |_, _| Vec::new());
+        let video = VideoSpec::new(Seconds::new(300.0), 3).unwrap();
+        let _ = SlottedRun::new(video)
+            .warmup_slots(0)
+            .measured_slots(20)
+            .run(
+                &mut audited,
+                DeterministicArrivals::new(vec![Seconds::new(10.0)]),
+            );
+        let errors = audited.verify(Slot::new(19)).unwrap_err();
+        assert_eq!(errors.len(), 3);
+        assert!(errors[0].to_string().contains("never saw"));
+    }
+
+    #[test]
+    fn client_demands_are_measured_and_bounded() {
+        let video = VideoSpec::new(Seconds::new(2000.0), 20).unwrap();
+        let mut audited = audit_dhb(Dhb::fixed_rate(20));
+        let measured = 400;
+        let _ = SlottedRun::new(video)
+            .warmup_slots(0)
+            .measured_slots(measured)
+            .seed(31)
+            .run(
+                &mut audited,
+                PoissonProcess::new(ArrivalRate::per_hour(150.0)),
+            );
+        let demands = audited
+            .client_demands(Slot::new(measured - 1))
+            .expect("some complete requests");
+        assert!(demands.complete_requests > 5);
+        // An isolated DHB client downloads exactly one instance per slot
+        // (Fig. 4); sharing lets several deadlines coincide, but never more
+        // than the number of segments.
+        assert!(demands.max_concurrent_streams >= 1);
+        assert!(demands.max_concurrent_streams <= 20);
+        // The buffer holds at most n−1 segments.
+        assert!(demands.max_buffered_segments < 20);
+    }
+
+    #[test]
+    fn an_isolated_client_needs_one_stream_and_little_buffer() {
+        let video = VideoSpec::new(Seconds::new(600.0), 6).unwrap();
+        let mut audited = audit_dhb(Dhb::fixed_rate(6));
+        let _ = SlottedRun::new(video)
+            .warmup_slots(0)
+            .measured_slots(20)
+            .run(
+                &mut audited,
+                DeterministicArrivals::new(vec![Seconds::new(10.0)]),
+            );
+        let demands = audited.client_demands(Slot::new(19)).expect("one request");
+        assert_eq!(demands.complete_requests, 1);
+        // Fig. 4: S_i arrives in slot i+1 and plays in slot i+1 — pure
+        // streaming, one stream, nothing buffered across boundaries.
+        assert_eq!(demands.max_concurrent_streams, 1);
+        assert_eq!(demands.max_buffered_segments, 0);
+    }
+
+    #[test]
+    fn windows_past_the_horizon_are_skipped() {
+        let mut audited = audit_dhb(Dhb::fixed_rate(50));
+        let video = VideoSpec::new(Seconds::new(5000.0), 50).unwrap();
+        // One request near the end of a short run: most windows extend past
+        // the horizon and must not be reported as misses.
+        let _ = SlottedRun::new(video)
+            .warmup_slots(0)
+            .measured_slots(10)
+            .run(
+                &mut audited,
+                DeterministicArrivals::new(vec![Seconds::new(850.0)]),
+            );
+        audited
+            .verify(Slot::new(9))
+            .expect("truncated windows skipped");
+    }
+
+    #[test]
+    fn vbr_plan_periods_are_audited_with_plan_windows() {
+        use vod_trace::matrix::matrix_like;
+        use vod_trace::{BroadcastPlan, DhbVariant};
+        let trace = matrix_like(2);
+        let plan = BroadcastPlan::for_variant(&trace, DhbVariant::D, Seconds::new(60.0));
+        let n = plan.n_segments;
+        let video = VideoSpec::new(plan.slot_duration * (n as f64), n).unwrap();
+        let mut audited = audit_dhb(Dhb::from_plan(&plan));
+        let measured = 500;
+        let _ = SlottedRun::new(video)
+            .warmup_slots(0)
+            .measured_slots(measured)
+            .seed(13)
+            .run(
+                &mut audited,
+                PoissonProcess::new(ArrivalRate::per_hour(60.0)),
+            );
+        audited.verify(Slot::new(measured - 1)).expect("DHB-d safe");
+    }
+}

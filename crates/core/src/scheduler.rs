@@ -1,0 +1,749 @@
+//! The DHB slot ring: future transmission schedule and window search.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use vod_types::{SegmentId, Slot};
+
+use crate::heuristic::SlotHeuristic;
+
+/// One future slot's transmission plan.
+#[derive(Debug, Clone)]
+struct SlotPlan {
+    /// `scheduled[j-1]`: is `S_j` scheduled in this slot?
+    scheduled: Vec<bool>,
+    load: u32,
+}
+
+impl SlotPlan {
+    fn empty(n: usize) -> Self {
+        SlotPlan {
+            scheduled: vec![false; n],
+            load: 0,
+        }
+    }
+
+    fn segments(&self) -> Vec<SegmentId> {
+        self.scheduled
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(idx, _)| SegmentId::from_array_index(idx))
+            .collect()
+    }
+}
+
+/// One segment's disposition in a request's transmission schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledSegment {
+    /// The segment.
+    pub segment: SegmentId,
+    /// The slot it will be transmitted in.
+    pub slot: Slot,
+    /// False if an already-scheduled instance was shared, true if this
+    /// request caused a new transmission.
+    pub newly_scheduled: bool,
+}
+
+/// The core DHB scheduling data structure (the paper's Figure 6 algorithm).
+///
+/// The scheduler maintains a ring of future slots; slot `base` is the next
+/// slot to be transmitted. [`schedule_request`](DhbScheduler::schedule_request)
+/// implements the algorithm verbatim: for each segment, search the window
+/// for an existing instance, otherwise place a new one per the heuristic.
+/// [`pop_slot`](DhbScheduler::pop_slot) advances time and yields the slot's
+/// transmissions.
+///
+/// # Example
+///
+/// The paper's Figure 4 — a request arriving into an idle system during
+/// slot 1 schedules `S_i` in slot `i + 1`:
+///
+/// ```
+/// use dhb_core::DhbScheduler;
+/// use vod_types::Slot;
+///
+/// let mut s = DhbScheduler::fixed_rate(6);
+/// s.pop_slot(); // slot 0 passes
+/// s.pop_slot(); // entering slot 1's processing: base is now slot 2
+/// let schedule = s.schedule_request(Slot::new(1));
+/// for (i, entry) in schedule.iter().enumerate() {
+///     assert_eq!(entry.slot, Slot::new(i as u64 + 2));
+///     assert!(entry.newly_scheduled);
+/// }
+/// ```
+#[derive(Clone)]
+pub struct DhbScheduler {
+    n: usize,
+    /// `periods[j-1]` = `T[j]`, the window length of `S_j` in slots.
+    periods: Vec<u64>,
+    max_period: u64,
+    heuristic: SlotHeuristic,
+    /// Ring of future slots; `ring[k]` plans slot `base + k`.
+    ring: VecDeque<SlotPlan>,
+    /// Index of the next slot to transmit.
+    base: u64,
+    /// Cheap xorshift state for the random heuristic.
+    entropy: u64,
+    /// Optional per-client receive limit: a request may download at most
+    /// this many streams during any one slot (the paper's Section-5 future
+    /// work: "protocols that limit the client bandwidth to two or three
+    /// data streams").
+    client_limit: Option<u32>,
+    /// Optional soft cap on per-slot server load: new instances avoid slots
+    /// at or above the cap whenever the window allows (Section-5 future
+    /// work: "reduce or eliminate bandwidth peaks without increasing the
+    /// average video bandwidth").
+    load_cap: Option<u32>,
+    // Cumulative statistics.
+    new_instances: u64,
+    shared_instances: u64,
+    requests: u64,
+    /// Instances duplicated because a shareable one was client-infeasible.
+    duplicate_instances: u64,
+    /// New instances forced into slots at or above the load cap.
+    cap_overflows: u64,
+}
+
+impl fmt::Debug for DhbScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DhbScheduler")
+            .field("n", &self.n)
+            .field("heuristic", &self.heuristic)
+            .field("base", &self.base)
+            .field("new_instances", &self.new_instances)
+            .field("shared_instances", &self.shared_instances)
+            .finish()
+    }
+}
+
+impl DhbScheduler {
+    /// A scheduler with custom per-segment maximum periods `T[1..=n]`
+    /// (`periods[j-1] = T[j]`) and the given heuristic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `periods` is empty or contains a zero (every segment must
+    /// be schedulable in at least the next slot).
+    #[must_use]
+    pub fn new(periods: Vec<u64>, heuristic: SlotHeuristic) -> Self {
+        assert!(!periods.is_empty(), "need at least one segment");
+        assert!(
+            periods.iter().all(|&t| t >= 1),
+            "every maximum period must be at least one slot"
+        );
+        let n = periods.len();
+        let max_period = *periods.iter().max().expect("non-empty");
+        DhbScheduler {
+            n,
+            periods,
+            max_period,
+            heuristic,
+            ring: VecDeque::new(),
+            base: 0,
+            entropy: 0x9E37_79B9_7F4A_7C15,
+            client_limit: None,
+            load_cap: None,
+            new_instances: 0,
+            shared_instances: 0,
+            requests: 0,
+            duplicate_instances: 0,
+            cap_overflows: 0,
+        }
+    }
+
+    /// Restricts every client to receiving at most `limit` streams during
+    /// any single slot (the paper's Section-5 future-work direction, after
+    /// \[6\]'s two-stream receivers).
+    ///
+    /// A shareable instance is only shared when the client still has
+    /// receive capacity in that slot; otherwise a duplicate instance is
+    /// scheduled in a slot the client can listen to (counted in
+    /// [`duplicate_instances`](Self::duplicate_instances)). Feasibility is
+    /// guaranteed for any `limit ≥ 1`: segment `S_j`'s window has `T[j] ≥ 1`
+    /// slots and the client has placed at most `j − 1` earlier segments, so
+    /// with non-decreasing periods a free slot always exists — the
+    /// scheduler panics on the (constructed-to-be-impossible) alternative
+    /// rather than silently starving a customer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    #[must_use]
+    pub fn with_client_limit(mut self, limit: u32) -> Self {
+        assert!(limit >= 1, "client limit must allow at least one stream");
+        self.client_limit = Some(limit);
+        self
+    }
+
+    /// Makes new instances avoid slots already loaded to `cap`, whenever
+    /// the window offers an alternative. The cap is *soft*: windows whose
+    /// slots are all at the cap still receive the instance (counted in
+    /// [`cap_overflows`](Self::cap_overflows)), so timeliness is never
+    /// sacrificed for the peak.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    #[must_use]
+    pub fn with_load_cap(mut self, cap: u32) -> Self {
+        assert!(cap >= 1, "load cap must allow at least one stream");
+        self.load_cap = Some(cap);
+        self
+    }
+
+    /// The paper's fixed-rate configuration: `T[j] = j` with the
+    /// min-load/latest heuristic.
+    #[must_use]
+    pub fn fixed_rate(n: usize) -> Self {
+        DhbScheduler::new((1..=n as u64).collect(), SlotHeuristic::MinLoadLatest)
+    }
+
+    /// Number of segments.
+    #[must_use]
+    pub fn n_segments(&self) -> usize {
+        self.n
+    }
+
+    /// The per-segment maximum periods.
+    #[must_use]
+    pub fn periods(&self) -> &[u64] {
+        &self.periods
+    }
+
+    /// The heuristic in use.
+    #[must_use]
+    pub fn heuristic(&self) -> SlotHeuristic {
+        self.heuristic
+    }
+
+    /// Requests scheduled so far.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Segment instances newly scheduled so far.
+    #[must_use]
+    pub fn new_instances(&self) -> u64 {
+        self.new_instances
+    }
+
+    /// Segment needs satisfied by sharing an existing instance.
+    #[must_use]
+    pub fn shared_instances(&self) -> u64 {
+        self.shared_instances
+    }
+
+    /// Instances scheduled although a shareable one existed in the window
+    /// but exceeded the requesting client's receive limit. Always 0 without
+    /// a client limit.
+    #[must_use]
+    pub fn duplicate_instances(&self) -> u64 {
+        self.duplicate_instances
+    }
+
+    /// New instances that had to land in a slot at or above the load cap
+    /// because the whole window was already there. Always 0 without a cap.
+    #[must_use]
+    pub fn cap_overflows(&self) -> u64 {
+        self.cap_overflows
+    }
+
+    /// The configured per-client receive limit, if any.
+    #[must_use]
+    pub fn client_limit(&self) -> Option<u32> {
+        self.client_limit
+    }
+
+    /// The configured soft load cap, if any.
+    #[must_use]
+    pub fn load_cap(&self) -> Option<u32> {
+        self.load_cap
+    }
+
+    /// The next slot to be transmitted.
+    #[must_use]
+    pub fn next_slot(&self) -> Slot {
+        Slot::new(self.base)
+    }
+
+    fn ensure_ring(&mut self, len: usize) {
+        while self.ring.len() < len {
+            self.ring.push_back(SlotPlan::empty(self.n));
+        }
+    }
+
+    fn next_entropy(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.entropy;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.entropy = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Runs the Figure-6 algorithm for a request arriving during `arrival`,
+    /// returning each segment's disposition (in segment order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrival` precedes the last transmitted slot — requests
+    /// cannot be scheduled into the past.
+    pub fn schedule_request(&mut self, arrival: Slot) -> Vec<ScheduledSegment> {
+        assert!(
+            arrival.index() + 1 >= self.base,
+            "request in {arrival} arrived after its first window slot was transmitted \
+             (next transmission is {})",
+            Slot::new(self.base)
+        );
+        self.requests += 1;
+        // Window of S_j starts at ring offset (arrival + 1 − base).
+        let start_off = (arrival.index() + 1 - self.base) as usize;
+        self.ensure_ring(start_off + self.max_period as usize);
+
+        // This request's receive load per ring offset (client-limit mode).
+        let mut client_load = vec![0u32; start_off + self.max_period as usize];
+
+        let mut out = Vec::with_capacity(self.n);
+        for j in 1..=self.n {
+            let seg = SegmentId::new(j).expect("j >= 1");
+            let t = self.periods[j - 1] as usize;
+            let window = start_off..start_off + t;
+
+            let client_ok = |off: usize, client_load: &[u32]| match self.client_limit {
+                Some(limit) => client_load[off] < limit,
+                None => true,
+            };
+
+            // Paper: "search slots i+1 to i+T[j] for an already scheduled
+            // instance of S_j". With a client receive limit, only instances
+            // in slots the client can still listen to are shareable; prefer
+            // the latest such instance.
+            let mut existing_any = false;
+            let mut shareable: Option<usize> = None;
+            for (rel, plan) in self.ring.range(window.clone()).enumerate() {
+                if plan.scheduled[j - 1] {
+                    existing_any = true;
+                    let off = start_off + rel;
+                    if client_ok(off, &client_load) {
+                        shareable = Some(off);
+                    }
+                }
+            }
+            if let Some(off) = shareable {
+                self.shared_instances += 1;
+                client_load[off] += 1;
+                out.push(ScheduledSegment {
+                    segment: seg,
+                    slot: Slot::new(self.base + off as u64),
+                    newly_scheduled: false,
+                });
+                continue;
+            }
+
+            // "let m_min := min {m_k}; let k_max := max {k | m_k = m_min};
+            // schedule one instance of S_j in slot k_max" — generalised to
+            // the pluggable heuristic, restricted to slots the client can
+            // listen to, and steered away from slots at the load cap when
+            // the window offers an alternative.
+            let candidates: Vec<(usize, u32)> = self
+                .ring
+                .range(window.clone())
+                .enumerate()
+                .map(|(rel, plan)| (start_off + rel, plan.load))
+                .filter(|&(off, _)| client_ok(off, &client_load))
+                .collect();
+            assert!(
+                !candidates.is_empty(),
+                "no client-feasible slot for {seg} in window of {t}: \
+                 the client limit admits at most one segment per slot and \
+                 periods must be non-decreasing for feasibility"
+            );
+            let pool: Vec<(usize, u32)> = match self.load_cap {
+                Some(cap) => {
+                    let under: Vec<(usize, u32)> = candidates
+                        .iter()
+                        .copied()
+                        .filter(|&(_, load)| load < cap)
+                        .collect();
+                    if under.is_empty() {
+                        self.cap_overflows += 1;
+                        candidates
+                    } else {
+                        under
+                    }
+                }
+                None => candidates,
+            };
+            let loads: Vec<u32> = pool.iter().map(|&(_, load)| load).collect();
+            let entropy = self.next_entropy();
+            let chosen = self.heuristic.pick(&loads, entropy);
+            let ring_idx = pool[chosen].0;
+            if existing_any {
+                self.duplicate_instances += 1;
+            }
+            self.place_new(seg, ring_idx, &mut client_load, &mut out);
+        }
+        out
+    }
+
+    /// Places a new instance of `seg` in ring slot `ring_idx`.
+    fn place_new(
+        &mut self,
+        seg: SegmentId,
+        ring_idx: usize,
+        client_load: &mut [u32],
+        out: &mut Vec<ScheduledSegment>,
+    ) {
+        let plan = &mut self.ring[ring_idx];
+        plan.scheduled[seg.array_index()] = true;
+        plan.load += 1;
+        self.new_instances += 1;
+        client_load[ring_idx] += 1;
+        out.push(ScheduledSegment {
+            segment: seg,
+            slot: Slot::new(self.base + ring_idx as u64),
+            newly_scheduled: true,
+        });
+    }
+
+    /// Transmits the next slot: returns its segments and advances time.
+    pub fn pop_slot(&mut self) -> (Slot, Vec<SegmentId>) {
+        let slot = Slot::new(self.base);
+        self.base += 1;
+        match self.ring.pop_front() {
+            Some(plan) => (slot, plan.segments()),
+            None => (slot, Vec::new()),
+        }
+    }
+
+    /// The segments currently planned for `slot` (for rendering the paper's
+    /// Figures 4 and 5). Empty for past or unplanned slots.
+    #[must_use]
+    pub fn planned_segments(&self, slot: Slot) -> Vec<SegmentId> {
+        if slot.index() < self.base {
+            return Vec::new();
+        }
+        let off = (slot.index() - self.base) as usize;
+        match self.ring.get(off) {
+            Some(plan) => plan.segments(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The current load (scheduled instances) of `slot`.
+    #[must_use]
+    pub fn planned_load(&self, slot: Slot) -> u32 {
+        if slot.index() < self.base {
+            return 0;
+        }
+        match self.ring.get((slot.index() - self.base) as usize) {
+            Some(plan) => plan.load,
+            None => 0,
+        }
+    }
+
+    /// Renders the planned schedule for slots `from ..= to` in the style of
+    /// the paper's Figures 4/5: one line per "stream" (stacked instances).
+    #[must_use]
+    pub fn render_schedule(&self, from: Slot, to: Slot) -> String {
+        use std::fmt::Write as _;
+        let slots: Vec<Vec<SegmentId>> = (from.index()..=to.index())
+            .map(|s| self.planned_segments(Slot::new(s)))
+            .collect();
+        let height = slots.iter().map(Vec::len).max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        let _ = writeln!(out, "slots {}..={}:", from.index(), to.index());
+        for row in 0..height {
+            let _ = write!(out, "stream {}:", row + 1);
+            for col in &slots {
+                match col.get(row) {
+                    Some(seg) => {
+                        let _ = write!(out, " {:>4}", seg.to_string());
+                    }
+                    None => out.push_str("   --"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(i: usize) -> SegmentId {
+        SegmentId::new(i).unwrap()
+    }
+
+    /// Advances the scheduler so that `base` becomes `slot`.
+    fn advance_to(s: &mut DhbScheduler, slot: u64) -> Vec<(u64, Vec<SegmentId>)> {
+        let mut out = Vec::new();
+        while s.next_slot().index() < slot {
+            let (sl, segs) = s.pop_slot();
+            out.push((sl.index(), segs));
+        }
+        out
+    }
+
+    #[test]
+    fn figure_4_idle_system_schedule() {
+        // Paper Fig. 4: request during slot 1, idle system, n = 6:
+        // S_i scheduled in slot i+1, one instance per slot (one stream).
+        let mut s = DhbScheduler::fixed_rate(6);
+        let schedule = s.schedule_request(Slot::new(1));
+        for (idx, entry) in schedule.iter().enumerate() {
+            let i = idx + 1;
+            assert_eq!(entry.segment, seg(i));
+            assert_eq!(entry.slot, Slot::new(1 + i as u64), "S{i}");
+            assert!(entry.newly_scheduled);
+        }
+        // Every slot 2..=7 carries exactly one segment.
+        for slot in 2..=7u64 {
+            assert_eq!(s.planned_load(Slot::new(slot)), 1, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn figure_5_second_overlapping_request() {
+        // Paper Fig. 5: second request during slot 3 shares S3..S6 and adds
+        // only S1 in slot 4 and S2 in slot 5.
+        let mut s = DhbScheduler::fixed_rate(6);
+        let _ = s.schedule_request(Slot::new(1));
+        advance_to(&mut s, 3);
+        let second = s.schedule_request(Slot::new(3));
+
+        assert_eq!(second[0].segment, seg(1));
+        assert_eq!(second[0].slot, Slot::new(4));
+        assert!(second[0].newly_scheduled);
+
+        assert_eq!(second[1].segment, seg(2));
+        assert_eq!(second[1].slot, Slot::new(5));
+        assert!(second[1].newly_scheduled);
+
+        for (idx, entry) in second.iter().enumerate().skip(2) {
+            assert!(!entry.newly_scheduled, "S{} should be shared", idx + 1);
+            assert_eq!(entry.slot, Slot::new(idx as u64 + 2));
+        }
+        assert_eq!(s.shared_instances(), 4);
+        assert_eq!(s.new_instances(), 8);
+    }
+
+    #[test]
+    fn why_slot_4_and_5_for_the_second_request() {
+        // The paper's Fig. 5 shows S1 in slot 4 (the only window slot) and
+        // S2 in slot 5 (both 4 and 5 have load 1; latest wins).
+        let mut s = DhbScheduler::fixed_rate(6);
+        let _ = s.schedule_request(Slot::new(1));
+        advance_to(&mut s, 3);
+        assert_eq!(s.planned_load(Slot::new(4)), 1); // S3 from request 1
+        assert_eq!(s.planned_load(Slot::new(5)), 1); // S4 from request 1
+        let second = s.schedule_request(Slot::new(3));
+        assert_eq!(second[1].slot, Slot::new(5));
+    }
+
+    #[test]
+    fn pop_slot_yields_planned_segments_in_order() {
+        let mut s = DhbScheduler::fixed_rate(3);
+        let _ = s.schedule_request(Slot::new(0));
+        let (s0, segs0) = s.pop_slot();
+        assert_eq!(s0, Slot::new(0));
+        assert!(segs0.is_empty());
+        let (s1, segs1) = s.pop_slot();
+        assert_eq!(s1, Slot::new(1));
+        assert_eq!(segs1, vec![seg(1)]);
+        let (_, segs2) = s.pop_slot();
+        assert_eq!(segs2, vec![seg(2)]);
+        let (_, segs3) = s.pop_slot();
+        assert_eq!(segs3, vec![seg(3)]);
+        // Idle after the request is served.
+        let (_, segs4) = s.pop_slot();
+        assert!(segs4.is_empty());
+    }
+
+    #[test]
+    fn sharing_never_schedules_twice_in_one_window() {
+        // Paper: "the protocol will never schedule more than one instance of
+        // segment S_i once every i slots" for overlapping requests: any
+        // request whose window contains an instance shares it.
+        let mut s = DhbScheduler::fixed_rate(10);
+        let _ = s.schedule_request(Slot::new(0));
+        // A second request in the same slot shares everything.
+        let second = s.schedule_request(Slot::new(0));
+        assert!(second.iter().all(|e| !e.newly_scheduled));
+        assert_eq!(s.new_instances(), 10);
+        assert_eq!(s.shared_instances(), 10);
+    }
+
+    #[test]
+    fn request_after_transmission_start_panics() {
+        let mut s = DhbScheduler::fixed_rate(3);
+        let _ = s.pop_slot();
+        let _ = s.pop_slot();
+        let _ = s.pop_slot(); // base = 3
+                              // Arrival in slot 1 would need slot 2, already transmitted.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.schedule_request(Slot::new(1))
+        }));
+        assert!(result.is_err());
+        // Arrival during slot 2 is fine: its window starts at slot 3.
+        let mut s2 = DhbScheduler::fixed_rate(3);
+        let _ = s2.pop_slot();
+        let _ = s2.pop_slot();
+        let _ = s2.pop_slot();
+        let schedule = s2.schedule_request(Slot::new(2));
+        assert_eq!(schedule[0].slot, Slot::new(3));
+    }
+
+    #[test]
+    fn custom_periods_widen_windows() {
+        // T = [1, 3, 3]: S2 may ride as late as slot a+3.
+        let mut s = DhbScheduler::new(vec![1, 3, 3], SlotHeuristic::MinLoadLatest);
+        let schedule = s.schedule_request(Slot::new(0));
+        assert_eq!(schedule[0].slot, Slot::new(1)); // T[1]=1: forced
+                                                    // S2's window {1,2,3}: slot 1 has load 1, so min-load/latest picks 3.
+        assert_eq!(schedule[1].slot, Slot::new(3));
+        // S3's window {1,2,3}: loads now 1,0,1 → slot 2.
+        assert_eq!(schedule[2].slot, Slot::new(2));
+    }
+
+    #[test]
+    fn heuristic_variants_change_placement() {
+        let mut latest = DhbScheduler::new(vec![1, 2, 3], SlotHeuristic::LatestPossible);
+        let sched = latest.schedule_request(Slot::new(0));
+        assert_eq!(sched[1].slot, Slot::new(2));
+        assert_eq!(sched[2].slot, Slot::new(3));
+
+        let mut earliest = DhbScheduler::new(vec![1, 2, 3], SlotHeuristic::EarliestPossible);
+        let sched = earliest.schedule_request(Slot::new(0));
+        assert_eq!(sched[1].slot, Slot::new(1));
+        assert_eq!(sched[2].slot, Slot::new(1));
+    }
+
+    #[test]
+    fn render_matches_figure_4_shape() {
+        let mut s = DhbScheduler::fixed_rate(6);
+        let _ = s.schedule_request(Slot::new(1));
+        let text = s.render_schedule(Slot::new(2), Slot::new(7));
+        assert!(
+            text.contains("stream 1:   S1   S2   S3   S4   S5   S6"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = DhbScheduler::fixed_rate(4);
+        let _ = s.schedule_request(Slot::new(0));
+        let _ = s.schedule_request(Slot::new(0));
+        assert_eq!(s.requests(), 2);
+        assert_eq!(s.new_instances(), 4);
+        assert_eq!(s.shared_instances(), 4);
+        assert_eq!(s.duplicate_instances(), 0);
+        assert_eq!(s.cap_overflows(), 0);
+        assert_eq!(s.n_segments(), 4);
+        assert_eq!(s.periods(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn client_limit_one_forces_one_segment_per_slot() {
+        // With a single-stream receiver nothing can be shared unless it
+        // happens to line up one-per-slot: an isolated request degenerates
+        // to S_j at slot i+j exactly (the Fig. 4 schedule).
+        let mut s = DhbScheduler::fixed_rate(6).with_client_limit(1);
+        assert_eq!(s.client_limit(), Some(1));
+        let schedule = s.schedule_request(Slot::new(0));
+        let slots: Vec<u64> = schedule.iter().map(|e| e.slot.index()).collect();
+        assert_eq!(slots, vec![1, 2, 3, 4, 5, 6]);
+        // A second, same-slot request shares everything (one instance per
+        // slot fits a one-stream client).
+        let second = s.schedule_request(Slot::new(0));
+        assert!(second.iter().all(|e| !e.newly_scheduled));
+    }
+
+    #[test]
+    fn client_limit_forces_duplicates_for_offset_requests() {
+        // Request A (slot 0) fills slots 1..=6 one instance each. Request B
+        // (slot 2) with limit 1 must take exactly one segment per slot
+        // 3..=8; instances of S3..S6 from A sit in slots 4..=6 of B's
+        // windows but B can only grab one per slot, so some are duplicated.
+        let mut unlimited = DhbScheduler::fixed_rate(6);
+        let _ = unlimited.schedule_request(Slot::new(0));
+        while unlimited.next_slot().index() < 2 {
+            let _ = unlimited.pop_slot();
+        }
+        let shared_free = unlimited
+            .schedule_request(Slot::new(2))
+            .iter()
+            .filter(|e| !e.newly_scheduled)
+            .count();
+
+        let mut limited = DhbScheduler::fixed_rate(6).with_client_limit(1);
+        let _ = limited.schedule_request(Slot::new(0));
+        while limited.next_slot().index() < 2 {
+            let _ = limited.pop_slot();
+        }
+        let schedule = limited.schedule_request(Slot::new(2));
+        // One segment per slot for the limited client.
+        let mut per_slot = std::collections::HashMap::new();
+        for e in &schedule {
+            *per_slot.entry(e.slot).or_insert(0u32) += 1;
+        }
+        assert!(per_slot.values().all(|&c| c <= 1));
+        let shared_limited = schedule.iter().filter(|e| !e.newly_scheduled).count();
+        assert!(
+            shared_limited <= shared_free,
+            "limit cannot increase sharing"
+        );
+        assert!(limited.duplicate_instances() > 0 || shared_limited == shared_free);
+    }
+
+    #[test]
+    fn client_limit_two_still_shares_plenty() {
+        let mut s = DhbScheduler::fixed_rate(10).with_client_limit(2);
+        let _ = s.schedule_request(Slot::new(0));
+        let second = s.schedule_request(Slot::new(0));
+        // Same-slot requests share everything even at limit 2 (one instance
+        // per slot ≤ 2).
+        assert!(second.iter().all(|e| !e.newly_scheduled));
+    }
+
+    #[test]
+    fn load_cap_steers_and_counts_overflow() {
+        // Cap 1: the idle-system request spreads one instance per slot (no
+        // overflow). A same-window burst of offset requests then has to
+        // overflow S1's one-slot window.
+        let mut s = DhbScheduler::fixed_rate(6).with_load_cap(1);
+        assert_eq!(s.load_cap(), Some(1));
+        let first = s.schedule_request(Slot::new(0));
+        assert!(first.iter().all(|e| e.newly_scheduled));
+        assert_eq!(s.cap_overflows(), 0);
+
+        while s.next_slot().index() < 1 {
+            let _ = s.pop_slot();
+        }
+        // Request in slot 1: S1's window is {2}, which already holds A's S2
+        // (load 1) — the cap must be overflowed to stay timely.
+        let second = s.schedule_request(Slot::new(1));
+        assert_eq!(second[0].slot, Slot::new(2));
+        assert!(s.cap_overflows() > 0);
+    }
+
+    #[test]
+    fn load_cap_never_delays_beyond_window() {
+        let mut s = DhbScheduler::fixed_rate(8).with_load_cap(2);
+        for arrival in 0..20u64 {
+            while s.next_slot().index() < arrival {
+                let _ = s.pop_slot();
+            }
+            for e in s.schedule_request(Slot::new(arrival)) {
+                assert!(e.slot.index() > arrival);
+                assert!(e.slot.index() <= arrival + e.segment.get() as u64);
+            }
+        }
+    }
+}

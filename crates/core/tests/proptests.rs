@@ -1,0 +1,179 @@
+//! Property-based tests for the DHB scheduler.
+
+use dhb_core::{audit::audit_dhb, Dhb, DhbScheduler, SlotHeuristic};
+use proptest::prelude::*;
+use vod_sim::{DeterministicArrivals, SlottedProtocol, SlottedRun};
+use vod_types::{Seconds, Slot, VideoSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every heuristic keeps every deadline, under arbitrary request
+    /// scripts — the safety property of the protocol.
+    #[test]
+    fn dhb_never_misses_a_deadline(
+        n in 2usize..40,
+        arrivals in prop::collection::vec(0.0f64..3_000.0, 0..60),
+        heuristic_idx in 0usize..SlotHeuristic::ALL.len(),
+    ) {
+        let mut sorted = arrivals;
+        sorted.sort_by(f64::total_cmp);
+        let video = VideoSpec::new(Seconds::new(4_000.0), n).unwrap();
+        let horizon = 3 * n as u64 + 40;
+        let mut audited = audit_dhb(Dhb::with_heuristic(n, SlotHeuristic::ALL[heuristic_idx]));
+        let _ = SlottedRun::new(video)
+            .warmup_slots(0)
+            .measured_slots(horizon)
+            .run(
+                &mut audited,
+                DeterministicArrivals::new(sorted.iter().map(|&t| Seconds::new(t)).collect()),
+            );
+        if let Err(errors) = audited.verify(Slot::new(horizon - 1)) {
+            prop_assert!(false, "{} deadline misses, first: {}", errors.len(), errors[0]);
+        }
+    }
+
+    /// Sharing invariant: scheduling the same arrival slot twice in a row
+    /// never creates new instances the second time.
+    #[test]
+    fn same_slot_requests_share_everything(n in 1usize..60, arrival in 0u64..100) {
+        let mut s = DhbScheduler::fixed_rate(n);
+        let first = s.schedule_request(Slot::new(arrival));
+        let second = s.schedule_request(Slot::new(arrival));
+        prop_assert!(first.iter().all(|e| e.newly_scheduled));
+        prop_assert!(second.iter().all(|e| !e.newly_scheduled));
+        for (a, b) in first.iter().zip(&second) {
+            prop_assert_eq!(a.slot, b.slot);
+        }
+    }
+
+    /// Window invariant: every scheduled instance lands inside the paper's
+    /// window [i+1, i+T[j]], for arbitrary period vectors.
+    #[test]
+    fn instances_stay_inside_their_windows(
+        periods in prop::collection::vec(1u64..30, 1..50),
+        arrivals in prop::collection::vec(0u64..60, 1..30),
+    ) {
+        let mut sorted = arrivals;
+        sorted.sort_unstable();
+        let mut s = DhbScheduler::new(periods.clone(), SlotHeuristic::MinLoadLatest);
+        for &a in &sorted {
+            while s.next_slot().index() < a {
+                let _ = s.pop_slot();
+            }
+            let schedule = s.schedule_request(Slot::new(a));
+            for (idx, entry) in schedule.iter().enumerate() {
+                let t = periods[idx];
+                prop_assert!(entry.slot.index() > a, "too early: {entry:?}");
+                prop_assert!(
+                    entry.slot.index() <= a + t,
+                    "S{} at {} outside [{}, {}]",
+                    idx + 1,
+                    entry.slot.index(),
+                    a + 1,
+                    a + t
+                );
+            }
+        }
+    }
+
+    /// The total transmissions equal the scheduler's new-instance counter:
+    /// nothing is ever silently dropped or duplicated by the ring.
+    #[test]
+    fn popped_transmissions_match_new_instances(
+        n in 1usize..40,
+        arrivals in prop::collection::vec(0u64..80, 0..40),
+    ) {
+        let mut sorted = arrivals;
+        sorted.sort_unstable();
+        let mut dhb = Dhb::fixed_rate(n);
+        let mut popped_total = 0u64;
+        let horizon = 80 + n as u64 + 2;
+        let mut iter = sorted.iter().peekable();
+        for slot in 0..horizon {
+            while iter.peek() == Some(&&slot) {
+                dhb.on_request(Slot::new(slot));
+                iter.next();
+            }
+            popped_total += u64::from(dhb.transmissions_in(Slot::new(slot)));
+        }
+        prop_assert_eq!(popped_total, dhb.stats().new_instances);
+    }
+
+    /// Client-limited DHB never asks a client to receive more than its
+    /// limit in any slot, never misses a deadline, and shares no more than
+    /// unlimited DHB.
+    #[test]
+    fn client_limit_is_respected_and_safe(
+        n in 2usize..30,
+        limit in 1u32..4,
+        arrivals in prop::collection::vec(0u64..60, 1..25),
+    ) {
+        let mut sorted = arrivals;
+        sorted.sort_unstable();
+        let mut s = DhbScheduler::fixed_rate(n).with_client_limit(limit);
+        for &a in &sorted {
+            while s.next_slot().index() < a {
+                let _ = s.pop_slot();
+            }
+            let schedule = s.schedule_request(Slot::new(a));
+            // Receive-limit invariant: at most `limit` segments per slot.
+            let mut per_slot = std::collections::HashMap::new();
+            for e in &schedule {
+                *per_slot.entry(e.slot).or_insert(0u32) += 1;
+                // Window invariant still holds.
+                prop_assert!(e.slot.index() > a);
+                prop_assert!(e.slot.index() <= a + e.segment.get() as u64);
+            }
+            prop_assert!(
+                per_slot.values().all(|&c| c <= limit),
+                "client over its {limit}-stream limit"
+            );
+        }
+    }
+
+    /// A load cap never pushes an instance outside its window, and with a
+    /// cap at or above the unlimited peak it changes nothing.
+    #[test]
+    fn load_cap_preserves_windows(
+        n in 2usize..30,
+        cap in 1u32..6,
+        arrivals in prop::collection::vec(0u64..60, 1..25),
+    ) {
+        let mut sorted = arrivals;
+        sorted.sort_unstable();
+        let mut s = DhbScheduler::fixed_rate(n).with_load_cap(cap);
+        for &a in &sorted {
+            while s.next_slot().index() < a {
+                let _ = s.pop_slot();
+            }
+            for e in s.schedule_request(Slot::new(a)) {
+                prop_assert!(e.slot.index() > a);
+                prop_assert!(e.slot.index() <= a + e.segment.get() as u64);
+            }
+        }
+    }
+
+    /// The paper's min-load heuristic never produces a higher *maximum*
+    /// per-slot load than the latest-possible strawman under a shared
+    /// saturated script.
+    #[test]
+    fn min_load_peak_never_exceeds_latest_possible(n in 4usize..40) {
+        let horizon = 6 * n as u64;
+        let run = |heuristic| {
+            let mut dhb = Dhb::with_heuristic(n, heuristic);
+            let mut max_load = 0u32;
+            for slot in 0..horizon {
+                dhb.on_request(Slot::new(slot)); // one request per slot
+                max_load = max_load.max(dhb.transmissions_in(Slot::new(slot)));
+            }
+            max_load
+        };
+        let paper = run(SlotHeuristic::MinLoadLatest);
+        let strawman = run(SlotHeuristic::LatestPossible);
+        prop_assert!(
+            paper <= strawman,
+            "min-load peak {paper} above latest-possible {strawman}"
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! Request batching (Dan, Sitaram & Shahabuddin \[3\]\[4\]) — the earliest
+//! bandwidth-reduction technique the paper's related work cites.
+//!
+//! The server collects the requests that arrive during a batching window
+//! and serves the whole batch with a single complete multicast stream.
+//! Bandwidth per batch is one full video; the expected cost under Poisson
+//! arrivals is `L / (W + 1/λ)` streams — linear in the arrival rate for
+//! small `λW`, saturating at `L/W` streams, with a maximum customer wait of
+//! `W`.
+
+use vod_sim::{ContinuousProtocol, StreamInterval};
+use vod_types::{Seconds, Streams};
+
+/// The batching protocol for one video.
+///
+/// # Example
+///
+/// ```
+/// use vod_protocols::batching::Batching;
+/// use vod_sim::ContinuousProtocol;
+/// use vod_types::Seconds;
+///
+/// let mut b = Batching::new(Seconds::from_hours(2.0), Seconds::new(300.0));
+/// // The first request opens a batch departing 5 minutes later…
+/// let first = b.on_request(Seconds::new(0.0));
+/// assert_eq!(first[0].start, Seconds::new(300.0));
+/// // …and a request 2 minutes later rides along for free.
+/// assert!(b.on_request(Seconds::new(120.0)).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Batching {
+    video_len: Seconds,
+    window: Seconds,
+    /// Departure time of the currently open batch, if any.
+    open_batch: Option<Seconds>,
+    batches_started: u64,
+    requests: u64,
+}
+
+impl Batching {
+    /// Creates a batching server with the given batching window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the video length or the window is not positive.
+    #[must_use]
+    pub fn new(video_len: Seconds, window: Seconds) -> Self {
+        assert!(
+            video_len.as_secs_f64() > 0.0,
+            "video length must be positive"
+        );
+        assert!(
+            window.as_secs_f64() > 0.0,
+            "batching window must be positive"
+        );
+        Batching {
+            video_len,
+            window,
+            open_batch: None,
+            batches_started: 0,
+            requests: 0,
+        }
+    }
+
+    /// The maximum customer waiting time (the window itself).
+    #[must_use]
+    pub fn max_wait(&self) -> Seconds {
+        self.window
+    }
+
+    /// Complete streams started so far.
+    #[must_use]
+    pub fn batches_started(&self) -> u64 {
+        self.batches_started
+    }
+
+    /// Requests served so far.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// The analytic average bandwidth under Poisson arrivals at `rate`
+    /// requests per second: `L / (W + 1/λ)` streams (a renewal argument:
+    /// each batch serves one window plus the idle wait for its first
+    /// request).
+    #[must_use]
+    pub fn analytic_avg_bandwidth(&self, rate_per_sec: f64) -> Streams {
+        if rate_per_sec <= 0.0 {
+            return Streams::ZERO;
+        }
+        let cycle = self.window.as_secs_f64() + 1.0 / rate_per_sec;
+        Streams::new(self.video_len.as_secs_f64() / cycle)
+    }
+}
+
+impl ContinuousProtocol for Batching {
+    fn name(&self) -> &str {
+        "batching"
+    }
+
+    fn on_request(&mut self, t: Seconds) -> Vec<StreamInterval> {
+        self.requests += 1;
+        if let Some(departure) = self.open_batch {
+            if t <= departure {
+                return Vec::new(); // joins the open batch
+            }
+        }
+        let departure = t + self.window;
+        self.open_batch = Some(departure);
+        self.batches_started += 1;
+        vec![StreamInterval::starting_at(departure, self.video_len)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_sim::{ContinuousRun, DeterministicArrivals, PoissonProcess};
+    use vod_types::ArrivalRate;
+
+    #[test]
+    fn requests_inside_the_window_share_one_stream() {
+        let mut b = Batching::new(Seconds::new(7200.0), Seconds::new(300.0));
+        assert_eq!(b.on_request(Seconds::new(0.0)).len(), 1);
+        assert!(b.on_request(Seconds::new(100.0)).is_empty());
+        assert!(b.on_request(Seconds::new(300.0)).is_empty());
+        // Past the departure: a new batch.
+        assert_eq!(b.on_request(Seconds::new(301.0)).len(), 1);
+        assert_eq!(b.batches_started(), 2);
+        assert_eq!(b.requests(), 4);
+    }
+
+    #[test]
+    fn everyone_waits_at_most_the_window() {
+        let mut b = Batching::new(Seconds::new(7200.0), Seconds::new(300.0));
+        let first = b.on_request(Seconds::new(17.0));
+        // The batch departs exactly one window after its opener.
+        assert_eq!(first[0].start, Seconds::new(317.0));
+        assert_eq!(b.max_wait(), Seconds::new(300.0));
+    }
+
+    #[test]
+    fn measured_bandwidth_matches_the_renewal_formula() {
+        let video = Seconds::from_hours(2.0);
+        let window = Seconds::new(600.0);
+        let rate = ArrivalRate::per_hour(30.0);
+        let report = ContinuousRun::new(Seconds::from_hours(300.0))
+            .warmup(Seconds::from_hours(5.0))
+            .seed(2)
+            .run(&mut Batching::new(video, window), PoissonProcess::new(rate));
+        let analytic = Batching::new(video, window)
+            .analytic_avg_bandwidth(rate.per_second())
+            .get();
+        let measured = report.avg_bandwidth.get();
+        assert!(
+            (measured - analytic).abs() / analytic < 0.1,
+            "measured {measured} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn saturates_at_video_over_window() {
+        // At very high rates a batch departs every window: L/W streams.
+        let video = Seconds::from_hours(2.0);
+        let window = Seconds::new(720.0); // L/W = 10
+        let report = ContinuousRun::new(Seconds::from_hours(100.0))
+            .warmup(Seconds::from_hours(4.0))
+            .seed(3)
+            .run(
+                &mut Batching::new(video, window),
+                PoissonProcess::new(ArrivalRate::per_hour(2000.0)),
+            );
+        assert!(
+            (report.avg_bandwidth.get() - 10.0).abs() < 0.5,
+            "avg {}",
+            report.avg_bandwidth
+        );
+    }
+
+    #[test]
+    fn deterministic_batch_boundaries() {
+        let mut b = Batching::new(Seconds::new(100.0), Seconds::new(10.0));
+        let mut arrivals = DeterministicArrivals::new(vec![]);
+        let _ = &mut arrivals; // engine not needed for this unit check
+        let s1 = b.on_request(Seconds::new(0.0));
+        assert_eq!(s1[0].end, Seconds::new(110.0));
+        assert!(b.on_request(Seconds::new(10.0)).is_empty());
+        let s2 = b.on_request(Seconds::new(10.1));
+        assert_eq!(s2[0].start, Seconds::new(20.1));
+    }
+}

@@ -1,0 +1,263 @@
+//! Set-top-box download models for fixed broadcasting schedules.
+//!
+//! The broadcasting literature differentiates protocols not just by server
+//! bandwidth but by what they demand of the client: FB and NPB assume the
+//! set-top box can listen to *all* streams at once and buffer roughly half
+//! the video, while SB was designed around a two-stream receiver. The
+//! [`simulate_client`] model measures those demands for any
+//! [`StaticMapping`]:
+//!
+//! * [`DownloadPolicy::Eager`] — grab every segment at its *first*
+//!   occurrence after arrival (the classic FB client of the paper's
+//!   Section 2: "their STB starts downloading data from all other
+//!   streams");
+//! * [`DownloadPolicy::Lazy`] — grab every segment at the *last* occurrence
+//!   that still meets its deadline, minimising buffer and receiver load
+//!   (possible because the schedule is known in advance).
+
+use vod_types::{SegmentId, Slot};
+
+use crate::mapping::StaticMapping;
+
+/// When a client downloads each segment relative to its occurrence windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DownloadPolicy {
+    /// First occurrence in the feasible window (maximal buffering).
+    Eager,
+    /// Last deadline-meeting occurrence (minimal buffering).
+    Lazy,
+}
+
+/// Measured client-side demands of one playback session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientReport {
+    /// Peak number of streams received during a single slot.
+    pub max_concurrent_streams: u32,
+    /// Peak number of whole segments buffered at a slot boundary.
+    pub max_buffered_segments: usize,
+    /// Whether every segment was downloadable by its playback deadline
+    /// (false only for broken mappings).
+    pub deadlines_met: bool,
+}
+
+/// Simulates one client of a fixed broadcasting schedule.
+///
+/// The client arrives during `arrival`, may receive from slot `arrival + 1`
+/// onward, and consumes segment `S_i` during slot `arrival + i` (a segment
+/// downloaded during its own consumption slot streams straight through, per
+/// the FB model).
+///
+/// # Example
+///
+/// ```
+/// use vod_protocols::{fb::fb_mapping, simulate_client, DownloadPolicy};
+/// use vod_types::Slot;
+///
+/// let report = simulate_client(&fb_mapping(4), Slot::new(0), DownloadPolicy::Eager);
+/// // The eager FB client listens to all four streams at once...
+/// assert_eq!(report.max_concurrent_streams, 4);
+/// let lazy = simulate_client(&fb_mapping(4), Slot::new(0), DownloadPolicy::Lazy);
+/// // ...while a schedule-aware lazy client gets by with far less.
+/// assert!(lazy.max_concurrent_streams <= 2);
+/// ```
+#[must_use]
+pub fn simulate_client(
+    mapping: &StaticMapping,
+    arrival: Slot,
+    policy: DownloadPolicy,
+) -> ClientReport {
+    let n = mapping.n_segments();
+    let a = arrival.index();
+    // download_slot[i-1] = slot chosen for S_i.
+    let mut download_slots: Vec<Option<u64>> = Vec::with_capacity(n);
+    for i in 1..=n {
+        let seg = SegmentId::new(i).expect("i >= 1");
+        let lo = a + 1;
+        let hi = a + i as u64;
+        let chosen = mapping
+            .classes_of(seg)
+            .iter()
+            .filter_map(|class| match policy {
+                DownloadPolicy::Eager => first_occurrence(class.offset, class.period, lo, hi),
+                DownloadPolicy::Lazy => last_occurrence(class.offset, class.period, lo, hi),
+            })
+            .reduce(|x, y| match policy {
+                DownloadPolicy::Eager => x.min(y),
+                DownloadPolicy::Lazy => x.max(y),
+            });
+        download_slots.push(chosen);
+    }
+
+    let deadlines_met = download_slots.iter().all(Option::is_some);
+
+    // Per-slot concurrency and buffer occupancy over the session.
+    let mut max_concurrent = 0u32;
+    let mut max_buffered = 0usize;
+    for s in (a + 1)..=(a + n as u64) {
+        let concurrent = download_slots.iter().filter(|&&d| d == Some(s)).count() as u32;
+        max_concurrent = max_concurrent.max(concurrent);
+        // At the end of slot s: downloaded in slots ≤ s, consumed in slots
+        // > s (segment i is consumed during a + i).
+        let buffered = download_slots
+            .iter()
+            .enumerate()
+            .filter(|(idx, &d)| match d {
+                Some(d) => d <= s && a + (*idx as u64 + 1) > s,
+                None => false,
+            })
+            .count();
+        max_buffered = max_buffered.max(buffered);
+    }
+
+    ClientReport {
+        max_concurrent_streams: max_concurrent,
+        max_buffered_segments: max_buffered,
+        deadlines_met,
+    }
+}
+
+/// First slot `≥ lo` and `≤ hi` congruent to `offset (mod period)`.
+fn first_occurrence(offset: u64, period: u64, lo: u64, hi: u64) -> Option<u64> {
+    let rem = (offset + period - lo % period) % period;
+    let slot = lo + rem;
+    (slot <= hi).then_some(slot)
+}
+
+/// Last slot `≤ hi` and `≥ lo` congruent to `offset (mod period)`.
+fn last_occurrence(offset: u64, period: u64, lo: u64, hi: u64) -> Option<u64> {
+    let rem = (hi + period - offset % period) % period;
+    let slot = hi - rem;
+    (slot >= lo && slot <= hi).then_some(slot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fb::fb_mapping;
+    use crate::npb::npb_mapping;
+    use crate::sb::sb_mapping;
+
+    #[test]
+    fn occurrence_helpers() {
+        // Progression 1, 4, 7, ... (offset 1, period 3).
+        assert_eq!(first_occurrence(1, 3, 2, 10), Some(4));
+        assert_eq!(first_occurrence(1, 3, 4, 10), Some(4));
+        assert_eq!(first_occurrence(1, 3, 8, 9), None);
+        assert_eq!(last_occurrence(1, 3, 2, 10), Some(10));
+        assert_eq!(last_occurrence(1, 3, 2, 9), Some(7));
+        assert_eq!(last_occurrence(1, 3, 5, 6), None);
+    }
+
+    #[test]
+    fn eager_fb_client_listens_to_every_stream() {
+        // The paper's Sec. 2 description of FB: the client downloads from
+        // all other streams immediately.
+        for k in 2..=6 {
+            let report = simulate_client(&fb_mapping(k), Slot::new(0), DownloadPolicy::Eager);
+            assert!(report.deadlines_met);
+            assert_eq!(report.max_concurrent_streams, k as u32, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn eager_fb_buffers_about_half_the_video() {
+        // Known FB property: the eager client buffer peaks near half the
+        // video.
+        let n = 63;
+        let report = simulate_client(&fb_mapping(6), Slot::new(0), DownloadPolicy::Eager);
+        assert!(
+            report.max_buffered_segments > n / 3 && report.max_buffered_segments < 2 * n / 3,
+            "buffered {} of {n}",
+            report.max_buffered_segments
+        );
+    }
+
+    #[test]
+    fn lazy_clients_need_little_buffer_or_bandwidth() {
+        for mapping in [fb_mapping(6), npb_mapping(4), sb_mapping(6, None)] {
+            let eager = simulate_client(&mapping, Slot::new(0), DownloadPolicy::Eager);
+            let lazy = simulate_client(&mapping, Slot::new(0), DownloadPolicy::Lazy);
+            assert!(lazy.deadlines_met, "{}", mapping.name());
+            assert!(
+                lazy.max_concurrent_streams <= mapping.n_streams() as u32,
+                "{}: {} concurrent",
+                mapping.name(),
+                lazy.max_concurrent_streams
+            );
+            assert!(
+                lazy.max_buffered_segments <= mapping.n_segments() * 2 / 5 + 2,
+                "{}: buffered {} of {}",
+                mapping.name(),
+                lazy.max_buffered_segments,
+                mapping.n_segments()
+            );
+            assert!(
+                lazy.max_buffered_segments < eager.max_buffered_segments,
+                "{}: lazy {} vs eager {}",
+                mapping.name(),
+                lazy.max_buffered_segments,
+                eager.max_buffered_segments
+            );
+        }
+    }
+
+    #[test]
+    fn sb_lazy_client_respects_the_two_stream_design() {
+        // SB's design claim: the set-top box never receives more than two
+        // streams at once. The lazy schedule-aware client achieves it from
+        // every arrival phase.
+        let mapping = sb_mapping(7, None);
+        for a in 0..24 {
+            let report = simulate_client(&mapping, Slot::new(a), DownloadPolicy::Lazy);
+            assert!(report.deadlines_met);
+            assert!(
+                report.max_concurrent_streams <= 2,
+                "arrival {a}: {} concurrent",
+                report.max_concurrent_streams
+            );
+        }
+    }
+
+    #[test]
+    fn deadlines_met_from_every_arrival_slot() {
+        let mapping = npb_mapping(3);
+        for a in 0..20 {
+            for policy in [DownloadPolicy::Eager, DownloadPolicy::Lazy] {
+                let report = simulate_client(&mapping, Slot::new(a), policy);
+                assert!(report.deadlines_met, "arrival {a}, {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn broken_mapping_reports_missed_deadline() {
+        use crate::mapping::{PeriodicClass, StaticMapping, StreamSchedule};
+        use vod_types::SegmentId;
+        let broken = StaticMapping::new(
+            "broken",
+            2,
+            vec![StreamSchedule::from_classes(vec![PeriodicClass::new(
+                0,
+                1,
+                SegmentId::new(1).unwrap(),
+            )])],
+        );
+        let report = simulate_client(&broken, Slot::new(0), DownloadPolicy::Eager);
+        assert!(!report.deadlines_met);
+    }
+
+    #[test]
+    fn eager_needs_at_least_as_much_as_lazy() {
+        for mapping in [fb_mapping(5), npb_mapping(4), sb_mapping(5, None)] {
+            for a in [0u64, 3, 11] {
+                let eager = simulate_client(&mapping, Slot::new(a), DownloadPolicy::Eager);
+                let lazy = simulate_client(&mapping, Slot::new(a), DownloadPolicy::Lazy);
+                assert!(
+                    eager.max_buffered_segments >= lazy.max_buffered_segments,
+                    "{} arrival {a}",
+                    mapping.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Fast Broadcasting (Juhn & Tseng \[13\]) — the paper's Figure 1.
+//!
+//! FB allocates `k` streams of the consumption rate and partitions the video
+//! into `2^k − 1` segments. Stream `j` (1-based) round-robins segments
+//! `S_{2^{j−1}} ..= S_{2^j − 1}`, so segment `S_i` repeats with period
+//! `2^{⌊log2 i⌋} ≤ i` — the timeliness condition holds with room to spare.
+//!
+//! The truncated form ([`fb_mapping_for`]) handles segment counts that are
+//! not `2^k − 1` (the paper's Figure 7 runs UD, which is FB-based, with 99
+//! segments): the last stream cycles through only its assigned segments,
+//! which *shortens* its period and therefore preserves timeliness.
+
+use vod_types::SegmentId;
+
+use crate::mapping::{StaticMapping, StreamSchedule};
+
+/// Segments `k` FB streams can carry: `2^k − 1`.
+///
+/// # Example
+///
+/// ```
+/// use vod_protocols::fb::fb_capacity;
+/// assert_eq!(fb_capacity(3), 7); // the paper's Figure 1
+/// assert_eq!(fb_capacity(7), 127);
+/// ```
+#[must_use]
+pub fn fb_capacity(k: usize) -> usize {
+    assert!(k < 63, "capacity overflows past 62 streams");
+    (1usize << k) - 1
+}
+
+/// Minimum FB streams for `n` segments: `⌈log2(n + 1)⌉`.
+///
+/// ```
+/// use vod_protocols::fb::fb_streams_for;
+/// assert_eq!(fb_streams_for(99), 7); // the paper's UD configuration
+/// assert_eq!(fb_streams_for(7), 3);
+/// assert_eq!(fb_streams_for(8), 4);
+/// ```
+#[must_use]
+pub fn fb_streams_for(n: usize) -> usize {
+    assert!(n > 0, "need at least one segment");
+    let mut k = 0;
+    while fb_capacity(k) < n {
+        k += 1;
+    }
+    k
+}
+
+/// The canonical FB mapping with `k` streams and `2^k − 1` segments.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+#[must_use]
+pub fn fb_mapping(k: usize) -> StaticMapping {
+    assert!(k > 0, "need at least one stream");
+    fb_mapping_for(fb_capacity(k))
+}
+
+/// The FB mapping for exactly `n` segments, using `fb_streams_for(n)`
+/// streams; the last stream's cycle is truncated to its actual segments.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn fb_mapping_for(n: usize) -> StaticMapping {
+    let k = fb_streams_for(n);
+    let mut streams = Vec::with_capacity(k);
+    for j in 1..=k {
+        let first = 1usize << (j - 1);
+        let last = ((1usize << j) - 1).min(n);
+        let cycle: Vec<Option<SegmentId>> = (first..=last).map(SegmentId::new).collect();
+        streams.push(StreamSchedule::from_cycle(cycle));
+    }
+    StaticMapping::new("FB", n, streams)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_types::Slot;
+
+    #[test]
+    fn figure_1_layout() {
+        // Paper Fig. 1: stream 1 repeats S1; stream 2 alternates S2/S3;
+        // stream 3 cycles S4..S7.
+        let m = fb_mapping(3);
+        assert_eq!(m.n_streams(), 3);
+        assert_eq!(m.n_segments(), 7);
+        let text = m.render_schedule(4);
+        assert!(text.contains("S1   S1   S1   S1"));
+        assert!(text.contains("S2   S3   S2   S3"));
+        assert!(text.contains("S4   S5   S6   S7"));
+    }
+
+    #[test]
+    fn all_canonical_mappings_are_timely() {
+        for k in 1..=8 {
+            let m = fb_mapping(k);
+            assert_eq!(m.verify_timeliness(), Ok(()), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn truncated_mapping_for_99_segments() {
+        // The paper's UD/Fig-7 configuration.
+        let m = fb_mapping_for(99);
+        assert_eq!(m.n_streams(), 7);
+        assert_eq!(m.n_segments(), 99);
+        assert_eq!(m.verify_timeliness(), Ok(()));
+        // Stream 7 cycles S64..S99 — 36 segments on a 36-slot period, under
+        // its 64-slot budget, and completely filled.
+        assert_eq!(m.streams()[6].n_segments(), 36);
+        assert!((m.streams()[6].fill() - 1.0).abs() < 1e-12);
+        assert_eq!(m.streams()[6].classes()[0].period, 36);
+    }
+
+    #[test]
+    fn every_segment_has_exactly_one_class() {
+        let m = fb_mapping_for(50);
+        for i in 1..=50 {
+            let classes = m.classes_of(SegmentId::new(i).unwrap());
+            assert_eq!(classes.len(), 1, "S{i} has {} classes", classes.len());
+        }
+    }
+
+    #[test]
+    fn segment_period_is_power_of_two_bucket() {
+        let m = fb_mapping(4);
+        // S5 lives on stream 3 (segments 4..7), period 4 ≤ 5.
+        let s5 = SegmentId::new(5).unwrap();
+        let slots: Vec<u64> = (0..16)
+            .filter(|&s| m.segments_in_slot(Slot::new(s)).contains(&s5))
+            .collect();
+        assert_eq!(slots, vec![1, 5, 9, 13]);
+    }
+
+    #[test]
+    fn capacity_and_streams_are_inverse() {
+        for k in 1..10 {
+            assert_eq!(fb_streams_for(fb_capacity(k)), k);
+            assert_eq!(fb_streams_for(fb_capacity(k) + 1), k + 1);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Harmonic Broadcasting (Juhn & Tseng, 1997) — the bandwidth-optimal
+//! fixed-schedule family the pagoda protocols approximate.
+//!
+//! HB streams segment `S_i` *continuously* at the fractional bandwidth
+//! `b/i`, for a total server cost of `b·H_n` (the `n`-th harmonic number).
+//! That is the analytic floor every equal-bandwidth-stream protocol in this
+//! workspace chases: NPB packs `H_n`-ish schedules into whole streams, and
+//! DHB's on-demand average saturates just above `H_n`.
+//!
+//! Two well-known results are modelled:
+//!
+//! * **Fluid reception is just-in-time-safe**: if segment `i`'s bytes
+//!   stream continuously at `b/i` from the moment the client tunes in,
+//!   every playback deadline is met with *no* extra delay
+//!   ([`HarmonicBroadcast::verify_fluid_delivery`]).
+//! * **The practical slotted version is subtly broken**: segment `i` is
+//!   really broadcast as `i` sub-segments cycled one per slot, and at the
+//!   worst phase the client receives sub-segment 1 *last* — up to one slot
+//!   after its playback deadline. Cautious Harmonic Broadcasting repairs
+//!   this with one extra slot of client delay.
+//!   [`HarmonicBroadcast::verify_slotted_delivery`] reproduces both the
+//!   flaw and the fix.
+
+use vod_types::{Streams, VideoSpec};
+
+/// The harmonic number `H_n = Σ_{i=1..n} 1/i` — HB's total bandwidth in
+/// multiples of the consumption rate.
+///
+/// # Example
+///
+/// ```
+/// use vod_protocols::harmonic::harmonic_number;
+/// assert!((harmonic_number(99) - 5.177).abs() < 1e-3);
+/// ```
+#[must_use]
+pub fn harmonic_number(n: usize) -> f64 {
+    (1..=n).map(|i| 1.0 / i as f64).sum()
+}
+
+/// A harmonic broadcasting configuration for one video.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HarmonicBroadcast {
+    video: VideoSpec,
+}
+
+impl HarmonicBroadcast {
+    /// Creates an HB configuration.
+    #[must_use]
+    pub fn new(video: VideoSpec) -> Self {
+        HarmonicBroadcast { video }
+    }
+
+    /// The constant server bandwidth, `H_n` streams.
+    #[must_use]
+    pub fn bandwidth(&self) -> Streams {
+        Streams::new(harmonic_number(self.video.n_segments()))
+    }
+
+    /// The client's peak receive bandwidth (it listens to every stream at
+    /// once): also `H_n` streams — the protocol's practical drawback next
+    /// to SB's two-stream receivers.
+    #[must_use]
+    pub fn client_bandwidth(&self) -> Streams {
+        self.bandwidth()
+    }
+
+    /// Fluid-model delivery check: reception of segment `i` proceeds at
+    /// `b/i` from tune-in; playback starts immediately. Returns the first
+    /// violating segment, which — per the classical result — never exists:
+    /// by playback offset `x` into segment `i` the client holds
+    /// `((i−1)d + x)/i ≥ x` of it for every `x ≤ d`.
+    ///
+    /// # Errors
+    ///
+    /// Present for parity with
+    /// [`verify_slotted_delivery`](Self::verify_slotted_delivery); the
+    /// fluid model satisfies every deadline.
+    pub fn verify_fluid_delivery(&self) -> Result<(), usize> {
+        let d = self.video.segment_duration().as_secs_f64();
+        for i in 1..=self.video.n_segments() {
+            // Binding point is x = d (end of the segment's playback).
+            let x = d;
+            let received = ((i as f64 - 1.0) * d + x) / i as f64;
+            if received < x - 1e-9 {
+                return Err(i);
+            }
+        }
+        Ok(())
+    }
+
+    /// Slotted-model delivery check at the **worst broadcast phase**:
+    /// segment `i` is cycled as `i` sub-segments, one per slot, and a
+    /// sub-segment only counts as available at the end of its slot. The
+    /// client tunes in at a slot boundary and starts playback
+    /// `extra_wait_slots` slots later.
+    ///
+    /// With `extra_wait_slots = 0` (the original HB), the adversarial phase
+    /// delivers sub-segment 1 of segment `i` during the client's
+    /// `i`-th slot — after its deadline — so the check fails at segment 2.
+    /// With `extra_wait_slots = 1` (Cautious HB) every deadline is met.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first segment whose worst-phase delivery is late.
+    pub fn verify_slotted_delivery(&self, extra_wait_slots: u64) -> Result<(), usize> {
+        let w = extra_wait_slots as f64;
+        for i in 2..=self.video.n_segments() {
+            let i_f = i as f64;
+            for phase in 0..i {
+                for part in 0..i {
+                    // Sub-segment `part` (0-based) is broadcast during the
+                    // client slot s with (phase + s) ≡ part (mod i) and is
+                    // available at s + 1 (slot units).
+                    let s = (part + i - phase) % i;
+                    let available = s as f64 + 1.0;
+                    // Its playback deadline: segment i starts at slot
+                    // w + (i−1); the part covers the final fraction from
+                    // part/i, so its data is first needed at:
+                    let deadline = w + (i_f - 1.0) + part as f64 / i_f;
+                    if available > deadline + 1e-9 {
+                        return Err(i);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Polyharmonic Broadcasting (Pâris, Carter & Long, 1998) — the
+/// wait-for-bandwidth generalisation of HB that PHB-PP (which the paper's
+/// Section 4 names as one of the two protocols able to handle compressed
+/// video) builds on.
+///
+/// Clients wait `m` slots before playback; channel `i` streams segment `i`
+/// at the *lower* rate `b/(m+i−1)`, so segment `i` finishes arriving at
+/// exactly its playback deadline `(m+i−1)·d`. Total bandwidth drops from
+/// `H_n` to `H_{n+m−1} − H_{m−1} ≈ ln((n+m)/m)` — the protocol trades
+/// start-up delay for bandwidth along the harmonic curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolyharmonicBroadcast {
+    video: VideoSpec,
+    m: usize,
+}
+
+impl PolyharmonicBroadcast {
+    /// Creates a PHB configuration with waiting parameter `m` (slots of
+    /// start-up delay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    #[must_use]
+    pub fn new(video: VideoSpec, m: usize) -> Self {
+        assert!(m >= 1, "the waiting parameter must be at least one slot");
+        PolyharmonicBroadcast { video, m }
+    }
+
+    /// The waiting parameter `m`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The client's start-up delay: `m` slots.
+    #[must_use]
+    pub fn startup_slots(&self) -> usize {
+        self.m
+    }
+
+    /// The constant server bandwidth `H_{n+m−1} − H_{m−1}` streams.
+    #[must_use]
+    pub fn bandwidth(&self) -> Streams {
+        let n = self.video.n_segments();
+        Streams::new(harmonic_number(n + self.m - 1) - harmonic_number(self.m - 1))
+    }
+
+    /// Fluid delivery check: with the mandated `m`-slot wait, segment `i`
+    /// completes at exactly its deadline; with any smaller wait the first
+    /// segment is late.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violating segment for waits below `m` slots.
+    pub fn verify_fluid_delivery(&self, wait_slots: usize) -> Result<(), usize> {
+        for i in 1..=self.video.n_segments() {
+            // Segment i (one slot of playback) arrives over (m+i−1) slots
+            // at rate b/(m+i−1); it is needed fully buffered at playback
+            // start wait + (i−1) slots after tune-in.
+            let arrival_complete = (self.m + i - 1) as f64;
+            let deadline = (wait_slots + i - 1) as f64;
+            if arrival_complete > deadline + 1e-9 {
+                return Err(i);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::npb::npb_streams_for;
+
+    fn video() -> VideoSpec {
+        VideoSpec::paper_two_hour()
+    }
+
+    #[test]
+    fn harmonic_number_values() {
+        assert_eq!(harmonic_number(1), 1.0);
+        assert!((harmonic_number(2) - 1.5).abs() < 1e-12);
+        assert!((harmonic_number(99) - 5.1773).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hb_undercuts_every_whole_stream_protocol() {
+        // H_99 ≈ 5.18 < NPB's 6 whole streams: harmonic is the floor.
+        let hb = HarmonicBroadcast::new(video());
+        assert!(hb.bandwidth().get() < npb_streams_for(99) as f64);
+        // …but the client must receive the same total.
+        assert_eq!(hb.client_bandwidth(), hb.bandwidth());
+    }
+
+    #[test]
+    fn fluid_model_is_just_in_time_safe() {
+        assert_eq!(
+            HarmonicBroadcast::new(video()).verify_fluid_delivery(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn original_slotted_hb_is_broken_and_cautious_hb_fixes_it() {
+        let hb = HarmonicBroadcast::new(video());
+        // The classical flaw: with no extra delay, segment 2's first
+        // sub-segment can arrive after its deadline.
+        assert_eq!(hb.verify_slotted_delivery(0), Err(2));
+        // Cautious HB: one extra slot of delay repairs every segment.
+        assert_eq!(hb.verify_slotted_delivery(1), Ok(()));
+        // More delay obviously stays safe.
+        assert_eq!(hb.verify_slotted_delivery(2), Ok(()));
+    }
+
+    #[test]
+    fn small_videos_behave_identically() {
+        for n in 2..=20 {
+            let video = VideoSpec::new(vod_types::Seconds::new(60.0 * n as f64), n).unwrap();
+            let hb = HarmonicBroadcast::new(video);
+            assert_eq!(hb.verify_slotted_delivery(0), Err(2), "n = {n}");
+            assert_eq!(hb.verify_slotted_delivery(1), Ok(()), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn phb_with_m_one_is_plain_harmonic() {
+        let phb = PolyharmonicBroadcast::new(video(), 1);
+        let hb = HarmonicBroadcast::new(video());
+        assert!((phb.bandwidth().get() - hb.bandwidth().get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phb_trades_wait_for_bandwidth() {
+        // Bandwidth strictly decreases in the waiting parameter and
+        // approaches ln((n+m)/m).
+        let mut last = f64::INFINITY;
+        for m in [1usize, 2, 5, 10, 30] {
+            let phb = PolyharmonicBroadcast::new(video(), m);
+            let b = phb.bandwidth().get();
+            assert!(b < last, "m={m}: {b} not below {last}");
+            let approx = ((99.0 + m as f64) / m as f64).ln();
+            assert!((b - approx).abs() < 0.6, "m={m}: {b} vs ln approx {approx}");
+            last = b;
+        }
+        // m = 10 on a 2-hour video: ~12 minute wait for ~2.4 streams —
+        // less than half of NPB's 6.
+        let phb = PolyharmonicBroadcast::new(video(), 10);
+        assert!(phb.bandwidth().get() < 3.0);
+    }
+
+    #[test]
+    fn phb_delivery_is_exactly_tight() {
+        let phb = PolyharmonicBroadcast::new(video(), 5);
+        assert_eq!(phb.verify_fluid_delivery(5), Ok(()));
+        assert_eq!(phb.verify_fluid_delivery(6), Ok(()));
+        // One slot less and the very first segment is late.
+        assert_eq!(phb.verify_fluid_delivery(4), Err(1));
+        assert_eq!(phb.startup_slots(), 5);
+        assert_eq!(phb.m(), 5);
+    }
+}

@@ -1,0 +1,88 @@
+//! The Eager–Vernon–Zahorjan lower bound \[6\].
+//!
+//! For Poisson arrivals at rate `λ` to a video of length `L`, *any* protocol
+//! that provides immediate (zero-delay) service must spend, on average, at
+//! least
+//!
+//! ```text
+//! B_min = ∫₀ᴸ λ / (1 + λx) dx = ln(1 + λL)
+//! ```
+//!
+//! streams of server bandwidth. The intuition: the piece of video at offset
+//! `x` can be shared only among clients that arrived within the last `x`
+//! seconds, so it must be retransmitted about once every `x + 1/λ` seconds.
+//! The paper cites this bound (its reference \[6\]) as the yardstick its DHB
+//! heuristic approaches; the figure binaries print it alongside the measured
+//! curves.
+
+use vod_types::{ArrivalRate, Seconds, Streams};
+
+/// The minimum average bandwidth for immediate service (see module docs).
+///
+/// # Example
+///
+/// ```
+/// use vod_protocols::lower_bound::reactive_lower_bound;
+/// use vod_types::{ArrivalRate, Seconds};
+///
+/// let b = reactive_lower_bound(ArrivalRate::per_hour(10.0), Seconds::from_hours(2.0));
+/// // ln(1 + 20) ≈ 3.04 streams.
+/// assert!((b.get() - 21.0f64.ln()).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn reactive_lower_bound(rate: ArrivalRate, video_len: Seconds) -> Streams {
+    let eta = rate.per_second() * video_len.as_secs_f64();
+    Streams::new((1.0 + eta).ln())
+}
+
+/// The analogous bound when customers tolerate a start-up delay `d`:
+/// sharing windows widen by `d`, giving `ln((d + L + 1/λ) / (d + 1/λ))`.
+/// Degenerates to [`reactive_lower_bound`] at `d = 0`.
+///
+/// # Panics
+///
+/// Panics if the rate is zero (the bound is then simply 0 — there are no
+/// requests — which the caller should special-case).
+#[must_use]
+pub fn delayed_lower_bound(rate: ArrivalRate, video_len: Seconds, delay: Seconds) -> Streams {
+    let lambda = rate.per_second();
+    assert!(lambda > 0.0, "rate must be positive");
+    let inv = 1.0 / lambda;
+    let d = delay.as_secs_f64();
+    let l = video_len.as_secs_f64();
+    Streams::new(((d + l + inv) / (d + inv)).ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_is_logarithmic_in_rate() {
+        let l = Seconds::from_hours(2.0);
+        let b10 = reactive_lower_bound(ArrivalRate::per_hour(10.0), l).get();
+        let b100 = reactive_lower_bound(ArrivalRate::per_hour(100.0), l).get();
+        let b1000 = reactive_lower_bound(ArrivalRate::per_hour(1000.0), l).get();
+        // Each decade adds roughly ln(10) ≈ 2.3 streams once λL >> 1.
+        assert!((b100 - b10 - 10.0f64.ln()).abs() < 0.15);
+        assert!((b1000 - b100 - 10.0f64.ln()).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_rate_costs_nothing() {
+        let b = reactive_lower_bound(ArrivalRate::ZERO, Seconds::from_hours(2.0));
+        assert_eq!(b, Streams::ZERO);
+    }
+
+    #[test]
+    fn delay_reduces_the_bound() {
+        let rate = ArrivalRate::per_hour(100.0);
+        let l = Seconds::from_hours(2.0);
+        let immediate = reactive_lower_bound(rate, l).get();
+        let delayed = delayed_lower_bound(rate, l, Seconds::new(73.0)).get();
+        assert!(delayed < immediate);
+        // At zero delay the two coincide.
+        let zero = delayed_lower_bound(rate, l, Seconds::ZERO).get();
+        assert!((zero - immediate).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,554 @@
+//! Periodic segment-to-stream schedules shared by all fixed broadcasting
+//! protocols.
+//!
+//! Every fixed protocol in the literature (FB, NPB, SB, the pagoda family)
+//! transmits each segment as an arithmetic progression of slots — a
+//! [`PeriodicClass`] `(offset, period)`. Representing schedules as classes
+//! rather than materialised cycles keeps NPB mappings (whose cycle lengths
+//! are least-common-multiples that can be astronomically large) exact, and
+//! makes the universal correctness condition — segment `S_i` appears in
+//! every window of `i` consecutive slots — checkable analytically.
+
+use std::fmt;
+
+use vod_sim::SlottedProtocol;
+use vod_types::{SegmentId, Slot};
+
+/// One segment's periodic slot assignment on a stream: the segment is
+/// transmitted in every slot `s` with `s ≡ offset (mod period)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeriodicClass {
+    /// First slot of the progression (must be `< period`).
+    pub offset: u64,
+    /// Distance between consecutive transmissions.
+    pub period: u64,
+    /// The segment transmitted.
+    pub segment: SegmentId,
+}
+
+impl PeriodicClass {
+    /// Creates a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or `offset >= period`.
+    #[must_use]
+    pub fn new(offset: u64, period: u64, segment: SegmentId) -> Self {
+        assert!(period > 0, "period must be positive");
+        assert!(offset < period, "offset must be below the period");
+        PeriodicClass {
+            offset,
+            period,
+            segment,
+        }
+    }
+
+    /// Whether this class transmits in `slot`.
+    #[must_use]
+    pub fn covers(&self, slot: Slot) -> bool {
+        slot.index() % self.period == self.offset
+    }
+
+    /// Whether two classes ever collide in the same slot (Chinese remainder
+    /// condition: they do iff their offsets agree modulo `gcd` of periods).
+    #[must_use]
+    pub fn collides_with(&self, other: &PeriodicClass) -> bool {
+        let g = gcd(self.period, other.period);
+        self.offset % g == other.offset % g
+    }
+}
+
+/// One broadcast stream's schedule: a set of pairwise-disjoint
+/// [`PeriodicClass`]es. Slots covered by no class are idle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSchedule {
+    classes: Vec<PeriodicClass>,
+}
+
+impl StreamSchedule {
+    /// Creates a schedule from disjoint classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any two classes collide in some slot.
+    #[must_use]
+    pub fn from_classes(classes: Vec<PeriodicClass>) -> Self {
+        for (i, a) in classes.iter().enumerate() {
+            for b in &classes[i + 1..] {
+                assert!(
+                    !a.collides_with(b),
+                    "classes {a:?} and {b:?} collide on the same stream"
+                );
+            }
+        }
+        StreamSchedule { classes }
+    }
+
+    /// Creates a schedule from one explicit cycle of slots (the natural form
+    /// for FB and SB): position `t` in a cycle of length `L` becomes the
+    /// class `(t, L)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cycle is empty.
+    #[must_use]
+    pub fn from_cycle(cycle: Vec<Option<SegmentId>>) -> Self {
+        assert!(!cycle.is_empty(), "stream cycle must not be empty");
+        let period = cycle.len() as u64;
+        let classes = cycle
+            .into_iter()
+            .enumerate()
+            .filter_map(|(t, seg)| seg.map(|s| PeriodicClass::new(t as u64, period, s)))
+            .collect();
+        StreamSchedule { classes }
+    }
+
+    /// The classes of this stream.
+    #[must_use]
+    pub fn classes(&self) -> &[PeriodicClass] {
+        &self.classes
+    }
+
+    /// The segment transmitted in (global) `slot`, if any.
+    #[must_use]
+    pub fn segment_at(&self, slot: Slot) -> Option<SegmentId> {
+        self.classes
+            .iter()
+            .find(|c| c.covers(slot))
+            .map(|c| c.segment)
+    }
+
+    /// Number of distinct segments this stream carries.
+    #[must_use]
+    pub fn n_segments(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The fraction of this stream's slots that carry a segment
+    /// (`Σ 1/period`); 1.0 means the stream is completely filled, as FB and
+    /// canonical NPB streams are.
+    #[must_use]
+    pub fn fill(&self) -> f64 {
+        self.classes.iter().map(|c| 1.0 / c.period as f64).sum()
+    }
+}
+
+/// A complete fixed broadcasting schedule: one [`StreamSchedule`] per stream
+/// covering segments `S_1 ..= S_n`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct StaticMapping {
+    name: String,
+    n_segments: usize,
+    streams: Vec<StreamSchedule>,
+}
+
+impl fmt::Debug for StaticMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StaticMapping")
+            .field("name", &self.name)
+            .field("n_segments", &self.n_segments)
+            .field("n_streams", &self.streams.len())
+            .finish()
+    }
+}
+
+impl StaticMapping {
+    /// Creates a mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no streams, no segments, or a scheduled segment id
+    /// exceeds `n_segments`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, n_segments: usize, streams: Vec<StreamSchedule>) -> Self {
+        assert!(n_segments > 0, "mapping must cover at least one segment");
+        assert!(!streams.is_empty(), "mapping must have at least one stream");
+        for s in &streams {
+            for class in s.classes() {
+                assert!(
+                    class.segment.get() <= n_segments,
+                    "{} scheduled but mapping only has {} segments",
+                    class.segment,
+                    n_segments
+                );
+            }
+        }
+        StaticMapping {
+            name: name.into(),
+            n_segments,
+            streams,
+        }
+    }
+
+    /// The construction's name (`"FB"`, `"NPB"`, `"SB"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of segments the mapping covers.
+    #[must_use]
+    pub fn n_segments(&self) -> usize {
+        self.n_segments
+    }
+
+    /// Number of streams (the protocol's constant allocated bandwidth in
+    /// multiples of the consumption rate — the flat lines of Figures 7/8).
+    #[must_use]
+    pub fn n_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// The per-stream schedules.
+    #[must_use]
+    pub fn streams(&self) -> &[StreamSchedule] {
+        &self.streams
+    }
+
+    /// All classes of a given segment, across streams.
+    #[must_use]
+    pub fn classes_of(&self, segment: SegmentId) -> Vec<PeriodicClass> {
+        self.streams
+            .iter()
+            .flat_map(|s| s.classes())
+            .filter(|c| c.segment == segment)
+            .copied()
+            .collect()
+    }
+
+    /// All segments transmitted during `slot`, in stream order.
+    #[must_use]
+    pub fn segments_in_slot(&self, slot: Slot) -> Vec<SegmentId> {
+        self.streams
+            .iter()
+            .filter_map(|s| s.segment_at(slot))
+            .collect()
+    }
+
+    /// Verifies the correctness condition every fixed broadcasting protocol
+    /// must satisfy: **every window of `i` consecutive slots contains at
+    /// least one transmission of segment `S_i`**. A customer arriving in any
+    /// slot then receives every segment before its playback deadline.
+    ///
+    /// For a segment carried by a single class this is exactly
+    /// `period ≤ i`; segments spread over several classes are checked by
+    /// enumerating occurrences over the classes' joint period.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn verify_timeliness(&self) -> Result<(), TimelinessError> {
+        for i in 1..=self.n_segments {
+            let seg = SegmentId::new(i).expect("i >= 1");
+            let classes = self.classes_of(seg);
+            let window = i as u64;
+            match classes.as_slice() {
+                [] => {
+                    return Err(TimelinessError {
+                        segment: seg,
+                        window_start: Slot::ZERO,
+                    })
+                }
+                [single] => {
+                    if single.period > window {
+                        return Err(TimelinessError {
+                            segment: seg,
+                            // The window just after a transmission misses.
+                            window_start: Slot::new(single.offset + 1),
+                        });
+                    }
+                }
+                several => {
+                    let joint = several.iter().map(|c| c.period).fold(1u64, lcm);
+                    let occurs: Vec<bool> = (0..joint)
+                        .map(|s| several.iter().any(|c| c.covers(Slot::new(s))))
+                        .collect();
+                    for start in 0..joint {
+                        let hit = (0..window).any(|off| occurs[((start + off) % joint) as usize]);
+                        if !hit {
+                            return Err(TimelinessError {
+                                segment: seg,
+                                window_start: Slot::new(start),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the first `slots` slots of each stream as the paper's figures
+    /// do (`S1 S2 S3 …`, `--` for idle), one line per stream.
+    #[must_use]
+    pub fn render_schedule(&self, slots: u64) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, stream) in self.streams.iter().enumerate() {
+            let _ = write!(out, "stream {}:", i + 1);
+            for s in 0..slots {
+                match stream.segment_at(Slot::new(s)) {
+                    Some(seg) => {
+                        let _ = write!(out, " {:>4}", seg.to_string());
+                    }
+                    None => out.push_str("   --"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+pub(crate) fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = b;
+        b = a % b;
+        a = t;
+    }
+    a
+}
+
+pub(crate) fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+/// A violated broadcast deadline found by
+/// [`StaticMapping::verify_timeliness`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelinessError {
+    /// The segment whose window lacked a transmission.
+    pub segment: SegmentId,
+    /// The first slot of a violating window.
+    pub window_start: Slot,
+}
+
+impl fmt::Display for TimelinessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} is not transmitted in the {} slots starting at {}",
+            self.segment,
+            self.segment.get(),
+            self.window_start
+        )
+    }
+}
+
+impl std::error::Error for TimelinessError {}
+
+/// A fixed broadcasting protocol driven by a [`StaticMapping`]: it transmits
+/// its full schedule every slot regardless of demand.
+///
+/// [`SlottedProtocol::transmissions_in`] reports the slots actually carrying
+/// a segment; [`allocated_streams`](FixedBroadcast::allocated_streams) is the
+/// constant *allocated* bandwidth the paper plots (identical unless the
+/// mapping was truncated and has idle slots).
+#[derive(Debug, Clone)]
+pub struct FixedBroadcast {
+    mapping: StaticMapping,
+}
+
+impl FixedBroadcast {
+    /// Wraps a mapping.
+    #[must_use]
+    pub fn new(mapping: StaticMapping) -> Self {
+        FixedBroadcast { mapping }
+    }
+
+    /// The underlying mapping.
+    #[must_use]
+    pub fn mapping(&self) -> &StaticMapping {
+        &self.mapping
+    }
+
+    /// The constant allocated bandwidth, in streams.
+    #[must_use]
+    pub fn allocated_streams(&self) -> u32 {
+        self.mapping.n_streams() as u32
+    }
+}
+
+impl SlottedProtocol for FixedBroadcast {
+    fn name(&self) -> &str {
+        self.mapping.name()
+    }
+
+    fn on_request(&mut self, _slot: Slot) {
+        // Proactive: the schedule is not affected by requests.
+    }
+
+    fn transmissions_in(&mut self, slot: Slot) -> u32 {
+        self.mapping.segments_in_slot(slot).len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(i: usize) -> SegmentId {
+        SegmentId::new(i).expect("non-zero")
+    }
+
+    /// The paper's Figure 1 mapping, hand-rolled: FB with three streams.
+    fn fb3() -> StaticMapping {
+        StaticMapping::new(
+            "FB",
+            7,
+            vec![
+                StreamSchedule::from_cycle(vec![Some(seg(1))]),
+                StreamSchedule::from_cycle(vec![Some(seg(2)), Some(seg(3))]),
+                StreamSchedule::from_cycle(vec![
+                    Some(seg(4)),
+                    Some(seg(5)),
+                    Some(seg(6)),
+                    Some(seg(7)),
+                ]),
+            ],
+        )
+    }
+
+    #[test]
+    fn class_covers_progression() {
+        let c = PeriodicClass::new(1, 3, seg(4));
+        assert!(c.covers(Slot::new(1)));
+        assert!(c.covers(Slot::new(4)));
+        assert!(!c.covers(Slot::new(2)));
+    }
+
+    #[test]
+    fn collision_detection_uses_crt() {
+        let a = PeriodicClass::new(0, 2, seg(1));
+        let b = PeriodicClass::new(1, 2, seg(2));
+        let c = PeriodicClass::new(2, 4, seg(3));
+        assert!(!a.collides_with(&b));
+        assert!(a.collides_with(&c)); // slots 0,2,4... vs 2,6,10... meet at 2
+        assert!(!b.collides_with(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "collide")]
+    fn colliding_classes_rejected() {
+        let _ = StreamSchedule::from_classes(vec![
+            PeriodicClass::new(0, 2, seg(1)),
+            PeriodicClass::new(2, 4, seg(2)),
+        ]);
+    }
+
+    #[test]
+    fn cycle_round_trip() {
+        let s = StreamSchedule::from_cycle(vec![Some(seg(2)), Some(seg(3))]);
+        assert_eq!(s.segment_at(Slot::new(0)), Some(seg(2)));
+        assert_eq!(s.segment_at(Slot::new(1)), Some(seg(3)));
+        assert_eq!(s.segment_at(Slot::new(4)), Some(seg(2)));
+        assert_eq!(s.n_segments(), 2);
+        assert!((s.fill() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_slots_lower_fill() {
+        let s = StreamSchedule::from_cycle(vec![Some(seg(1)), None]);
+        assert_eq!(s.segment_at(Slot::new(1)), None);
+        assert!((s.fill() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fb3_is_timely() {
+        assert_eq!(fb3().verify_timeliness(), Ok(()));
+    }
+
+    #[test]
+    fn mapping_accessors() {
+        let m = fb3();
+        assert_eq!(m.n_segments(), 7);
+        assert_eq!(m.n_streams(), 3);
+        assert_eq!(
+            m.segments_in_slot(Slot::new(0)),
+            vec![seg(1), seg(2), seg(4)]
+        );
+        assert_eq!(m.classes_of(seg(5)), vec![PeriodicClass::new(1, 4, seg(5))]);
+    }
+
+    #[test]
+    fn broken_mapping_is_caught() {
+        // S2 only every 3 slots: period 3 > window 2.
+        let broken = StaticMapping::new(
+            "broken",
+            2,
+            vec![
+                StreamSchedule::from_cycle(vec![Some(seg(1))]),
+                StreamSchedule::from_cycle(vec![Some(seg(2)), None, None]),
+            ],
+        );
+        let err = broken.verify_timeliness().unwrap_err();
+        assert_eq!(err.segment, seg(2));
+        assert!(err.to_string().contains("S2"));
+    }
+
+    #[test]
+    fn missing_segment_is_caught() {
+        let missing = StaticMapping::new(
+            "missing",
+            2,
+            vec![StreamSchedule::from_cycle(vec![Some(seg(1))])],
+        );
+        assert!(missing.verify_timeliness().is_err());
+    }
+
+    #[test]
+    fn multi_class_segment_verified_jointly() {
+        // S2 appears on two streams, each with period 4, offset 0 and 2:
+        // combined it appears every 2 slots — timely even though each class
+        // alone would not be.
+        let m = StaticMapping::new(
+            "multi",
+            2,
+            vec![
+                StreamSchedule::from_classes(vec![PeriodicClass::new(0, 1, seg(1))]),
+                StreamSchedule::from_classes(vec![PeriodicClass::new(0, 4, seg(2))]),
+                StreamSchedule::from_classes(vec![PeriodicClass::new(2, 4, seg(2))]),
+            ],
+        );
+        assert_eq!(m.verify_timeliness(), Ok(()));
+    }
+
+    #[test]
+    fn render_shows_paper_layout() {
+        let text = fb3().render_schedule(4);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("S1   S1   S1   S1"));
+        assert!(lines[1].contains("S2   S3   S2   S3"));
+        assert!(lines[2].contains("S4   S5   S6   S7"));
+    }
+
+    #[test]
+    fn fixed_broadcast_is_demand_independent() {
+        let mut p = FixedBroadcast::new(fb3());
+        assert_eq!(p.name(), "FB");
+        assert_eq!(p.allocated_streams(), 3);
+        let before = p.transmissions_in(Slot::new(5));
+        p.on_request(Slot::new(5));
+        p.on_request(Slot::new(5));
+        assert_eq!(p.transmissions_in(Slot::new(5)), before);
+        assert_eq!(before, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "only has")]
+    fn out_of_range_segment_panics() {
+        let _ = StaticMapping::new(
+            "bad",
+            1,
+            vec![StreamSchedule::from_cycle(vec![Some(seg(2))])],
+        );
+    }
+
+    #[test]
+    fn gcd_lcm_behave() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(1, 7), 7);
+    }
+}

@@ -1,0 +1,293 @@
+//! New Pagoda Broadcasting (Pâris \[14\]) — the paper's Figure 2.
+//!
+//! NPB improves on FB with a denser segment-to-stream mapping: nine segments
+//! fit into three streams where FB packs only seven. We reconstruct the
+//! general mapping with a greedy **frequency-splitting packer** over
+//! periodic slot classes:
+//!
+//! * every stream starts as one free class `(offset 0, period 1)`;
+//! * to place segment `S_i`, pick — across all streams — the free class
+//!   `(o, p)` whose best split reaches the largest period `m·p ≤ i`
+//!   (`m = ⌊i/p⌋`), preferring fewer splits, then smaller offsets, then
+//!   lower stream indices on ties;
+//! * split the class into `m` subclasses `(o + t·p, m·p)`, assign the first
+//!   to `S_i` and return the rest to the pool.
+//!
+//! With three streams this reproduces the published Figure 2 schedule
+//! *verbatim* (`S3 S6 S8 S3 S7 S9` on stream 3) and the packer provably
+//! never assigns a period above the segment index, so
+//! [`StaticMapping::verify_timeliness`] holds by construction — the tests
+//! check it anyway.
+
+use vod_types::SegmentId;
+
+use crate::mapping::{PeriodicClass, StaticMapping, StreamSchedule};
+
+/// A free slot class during packing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FreeClass {
+    stream: usize,
+    offset: u64,
+    period: u64,
+}
+
+/// Outcome of packing segments into `k` streams.
+#[derive(Debug, Clone)]
+struct Packing {
+    /// `(stream, offset, period)` per segment, in segment order.
+    assignments: Vec<(usize, u64, u64)>,
+    k: usize,
+}
+
+fn pack(k: usize, max_segments: Option<usize>) -> Packing {
+    assert!(k > 0, "need at least one stream");
+    let mut pool: Vec<FreeClass> = (0..k)
+        .map(|stream| FreeClass {
+            stream,
+            offset: 0,
+            period: 1,
+        })
+        .collect();
+    let mut assignments = Vec::new();
+
+    let mut i: u64 = 1;
+    loop {
+        if let Some(max) = max_segments {
+            if assignments.len() >= max {
+                break;
+            }
+        }
+        if pool.is_empty() {
+            break;
+        }
+        // Pick the class maximising the achieved period m·p ≤ i, preferring
+        // fewer splits, smaller offsets, then lower stream index.
+        let mut best: Option<(usize, u64, u64)> = None; // (pool idx, achieved, m)
+        for (idx, class) in pool.iter().enumerate() {
+            let m = i / class.period;
+            if m == 0 {
+                continue;
+            }
+            let achieved = m * class.period;
+            let better = match best {
+                None => true,
+                Some((best_idx, best_achieved, best_m)) => {
+                    let b = &pool[best_idx];
+                    (
+                        achieved,
+                        std::cmp::Reverse(m),
+                        std::cmp::Reverse(class.offset),
+                        std::cmp::Reverse(class.stream),
+                    ) > (
+                        best_achieved,
+                        std::cmp::Reverse(best_m),
+                        std::cmp::Reverse(b.offset),
+                        std::cmp::Reverse(b.stream),
+                    )
+                }
+            };
+            if better {
+                best = Some((idx, achieved, m));
+            }
+        }
+        // Invariant: a class created while packing segment j has period
+        // ≤ j < i, and the initial classes have period 1 — so some class
+        // always fits and segment indices are never skipped.
+        let (idx, achieved, m) =
+            best.expect("pool class periods never exceed the next segment index");
+        let class = pool.swap_remove(idx);
+        assignments.push((class.stream, class.offset, achieved));
+        // Return the m−1 sibling subclasses to the pool.
+        for t in 1..m {
+            pool.push(FreeClass {
+                stream: class.stream,
+                offset: class.offset + t * class.period,
+                period: achieved,
+            });
+        }
+        i += 1;
+    }
+
+    Packing { assignments, k }
+}
+
+fn mapping_from(packing: &Packing, name: &str) -> StaticMapping {
+    let n = packing.assignments.len();
+    let mut per_stream: Vec<Vec<PeriodicClass>> = vec![Vec::new(); packing.k];
+    for (seg_idx, &(stream, offset, period)) in packing.assignments.iter().enumerate() {
+        per_stream[stream].push(PeriodicClass::new(
+            offset,
+            period,
+            SegmentId::from_array_index(seg_idx),
+        ));
+    }
+    StaticMapping::new(
+        name,
+        n,
+        per_stream
+            .into_iter()
+            .map(StreamSchedule::from_classes)
+            .collect(),
+    )
+}
+
+/// The canonical NPB mapping: `k` streams packed to capacity.
+///
+/// # Example
+///
+/// ```
+/// use vod_protocols::npb::npb_mapping;
+///
+/// // Figure 2 of the paper: 9 segments in 3 streams.
+/// let m = npb_mapping(3);
+/// assert_eq!(m.n_segments(), 9);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+#[must_use]
+pub fn npb_mapping(k: usize) -> StaticMapping {
+    mapping_from(&pack(k, None), "NPB")
+}
+
+/// Number of segments `k` NPB streams pack (1, 3, 9, … — compare FB's
+/// `2^k − 1`).
+#[must_use]
+pub fn npb_capacity(k: usize) -> usize {
+    pack(k, None).assignments.len()
+}
+
+/// Minimum NPB streams for `n` segments.
+///
+/// ```
+/// use vod_protocols::npb::npb_streams_for;
+/// // The paper's Figure 7/8 configuration: 99 segments need 6 NPB streams.
+/// assert_eq!(npb_streams_for(99), 6);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn npb_streams_for(n: usize) -> usize {
+    assert!(n > 0, "need at least one segment");
+    let mut k = 1;
+    while npb_capacity(k) < n {
+        k += 1;
+    }
+    k
+}
+
+/// The NPB mapping for exactly `n` segments on the minimum number of
+/// streams; surplus capacity is left idle.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn npb_mapping_for(n: usize) -> StaticMapping {
+    let k = npb_streams_for(n);
+    mapping_from(&pack(k, Some(n)), "NPB")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_types::Slot;
+
+    #[test]
+    fn figure_2_layout_is_reproduced_exactly() {
+        let m = npb_mapping(3);
+        assert_eq!(m.n_streams(), 3);
+        assert_eq!(m.n_segments(), 9);
+        let text = m.render_schedule(6);
+        let lines: Vec<&str> = text.lines().collect();
+        // Paper Fig. 2: S1 ×6 / S2 S4 S2 S5 S2 S4 / S3 S6 S8 S3 S7 S9.
+        assert!(lines[0].contains("S1   S1   S1   S1   S1   S1"), "{text}");
+        assert!(lines[1].contains("S2   S4   S2   S5   S2   S4"), "{text}");
+        assert!(lines[2].contains("S3   S6   S8   S3   S7   S9"), "{text}");
+    }
+
+    #[test]
+    fn capacities_match_the_known_small_values() {
+        // 1 stream: S1. 2 streams: S2 (period 2) + S3 (period 2) → 3.
+        // 3 streams: 9 (the paper's headline claim vs FB's 7).
+        assert_eq!(npb_capacity(1), 1);
+        assert_eq!(npb_capacity(2), 3);
+        assert_eq!(npb_capacity(3), 9);
+        // NPB packs strictly more than FB from 3 streams on.
+        for k in 3..=7 {
+            let fb = crate::fb::fb_capacity(k);
+            let npb = npb_capacity(k);
+            assert!(npb > fb, "k={k}: NPB {npb} ≤ FB {fb}");
+        }
+    }
+
+    #[test]
+    fn all_mappings_are_timely() {
+        for k in 1..=6 {
+            let m = npb_mapping(k);
+            assert_eq!(m.verify_timeliness(), Ok(()), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn every_period_is_at_most_the_segment_index() {
+        let m = npb_mapping(5);
+        for i in 1..=m.n_segments() {
+            let classes = m.classes_of(SegmentId::new(i).unwrap());
+            assert_eq!(classes.len(), 1);
+            assert!(
+                classes[0].period <= i as u64,
+                "S{i} has period {}",
+                classes[0].period
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_streams_are_fully_packed() {
+        // The canonical (untruncated) mapping leaves no idle slots: this is
+        // what lets NPB beat FB.
+        let m = npb_mapping(4);
+        for (j, stream) in m.streams().iter().enumerate() {
+            assert!(
+                (stream.fill() - 1.0).abs() < 1e-9,
+                "stream {} fill {}",
+                j + 1,
+                stream.fill()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_configuration_99_segments() {
+        let m = npb_mapping_for(99);
+        assert_eq!(m.n_segments(), 99);
+        assert_eq!(m.n_streams(), 6);
+        assert_eq!(m.verify_timeliness(), Ok(()));
+    }
+
+    #[test]
+    fn truncated_mapping_has_idle_capacity() {
+        let m = npb_mapping_for(99);
+        let fill: f64 = m.streams().iter().map(StreamSchedule::fill).sum();
+        assert!(fill < 6.0, "total fill {fill} should be below 6 streams");
+        // But at least the first streams are fully busy.
+        assert!((m.streams()[0].fill() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_slots_carry_every_stream() {
+        let m = npb_mapping(3);
+        assert_eq!(m.segments_in_slot(Slot::new(0)).len(), 3);
+    }
+
+    #[test]
+    fn packer_is_deterministic() {
+        let a = npb_mapping(4);
+        let b = npb_mapping(4);
+        assert_eq!(a, b);
+    }
+}

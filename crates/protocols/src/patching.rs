@@ -1,0 +1,128 @@
+//! Patching (Hua, Cai & Sheu \[12\]).
+//!
+//! Patching is the multicast twin of simple stream tapping: a client joins
+//! the most recent complete multicast and receives the missed opening on a
+//! dedicated patch stream, with periodic restarts of the complete stream.
+//! The paper treats the two interchangeably ("Stream tapping \[2\] and
+//! patching \[12\] take a purely reactive approach"), so this type wraps the
+//! same engine with the classic patching configuration: simple tapping plus
+//! the optimal restart window for the expected arrival rate.
+
+use vod_sim::{ContinuousProtocol, StreamInterval};
+use vod_types::{ArrivalRate, Seconds};
+
+use crate::tapping::{StreamTapping, TappingPolicy};
+
+/// Patching with the analytically optimal restart window.
+///
+/// # Example
+///
+/// ```
+/// use vod_protocols::Patching;
+/// use vod_sim::ContinuousProtocol;
+/// use vod_types::{ArrivalRate, Seconds};
+///
+/// let mut p = Patching::new(Seconds::from_hours(2.0), ArrivalRate::per_hour(20.0));
+/// let first = p.on_request(Seconds::new(0.0));
+/// assert_eq!(first[0].len(), Seconds::from_hours(2.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Patching {
+    inner: StreamTapping,
+}
+
+impl Patching {
+    /// Creates a patching instance tuned for `expected_rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the video length or the rate is not positive.
+    #[must_use]
+    pub fn new(video_len: Seconds, expected_rate: ArrivalRate) -> Self {
+        let window = StreamTapping::optimal_restart_threshold(expected_rate, video_len);
+        Patching {
+            inner: StreamTapping::new(video_len, TappingPolicy::Simple).restart_threshold(window),
+        }
+    }
+
+    /// Creates a patching instance with an explicit restart window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the video length or the window is not positive.
+    #[must_use]
+    pub fn with_window(video_len: Seconds, window: Seconds) -> Self {
+        Patching {
+            inner: StreamTapping::new(video_len, TappingPolicy::Simple).restart_threshold(window),
+        }
+    }
+
+    /// Number of streams the server is currently transmitting.
+    #[must_use]
+    pub fn active_streams(&self) -> usize {
+        self.inner.active_streams()
+    }
+}
+
+impl ContinuousProtocol for Patching {
+    fn name(&self) -> &str {
+        "patching"
+    }
+
+    fn on_request(&mut self, t: Seconds) -> Vec<StreamInterval> {
+        self.inner.on_request(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_sim::{ContinuousRun, PoissonProcess};
+
+    #[test]
+    fn patching_scales_sublinearly_with_rate() {
+        // Patching's average bandwidth grows like √(2λL), not λL.
+        let l = Seconds::from_hours(2.0);
+        let horizon = Seconds::from_hours(200.0);
+        let mut results = Vec::new();
+        for rate_ph in [10.0, 40.0, 160.0] {
+            let rate = ArrivalRate::per_hour(rate_ph);
+            let report = ContinuousRun::new(horizon)
+                .warmup(Seconds::from_hours(10.0))
+                .seed(3)
+                .run(&mut Patching::new(l, rate), PoissonProcess::new(rate));
+            results.push(report.avg_bandwidth.get());
+        }
+        // Quadrupling the rate should roughly double the bandwidth.
+        let r1 = results[1] / results[0];
+        let r2 = results[2] / results[1];
+        assert!(
+            (1.5..=2.8).contains(&r1),
+            "ratio {r1} (results {results:?})"
+        );
+        assert!(
+            (1.5..=2.8).contains(&r2),
+            "ratio {r2} (results {results:?})"
+        );
+        // And sit in the √(2λL) ballpark: √(2·160/h·2h) ≈ 25 streams.
+        assert!((15.0..=40.0).contains(&results[2]), "{results:?}");
+    }
+
+    #[test]
+    fn explicit_window_is_honoured() {
+        let mut p = Patching::with_window(Seconds::new(1000.0), Seconds::new(100.0));
+        let _ = p.on_request(Seconds::new(0.0));
+        // Inside the window: a patch.
+        let patch = p.on_request(Seconds::new(50.0));
+        assert!((patch[0].len().as_secs_f64() - 50.0).abs() < 1e-9);
+        // Beyond the window: a restart.
+        let restart = p.on_request(Seconds::new(170.0));
+        assert_eq!(restart[0].len(), Seconds::new(1000.0));
+    }
+
+    #[test]
+    fn name_is_patching() {
+        let p = Patching::with_window(Seconds::new(10.0), Seconds::new(1.0));
+        assert_eq!(p.name(), "patching");
+    }
+}

@@ -1,0 +1,189 @@
+//! Skyscraper Broadcasting (Hua & Sheu \[11\]) — the paper's Figure 3.
+//!
+//! SB restricts the set-top box to receiving **at most two streams at
+//! once**, at the price of a sparser packing than FB or NPB. Segments are
+//! grouped by the skyscraper series `1, 2, 2, 5, 5, 12, 12, 25, 25, 52,
+//! 52, …` (capped by a width parameter `W`): stream `j` round-robins the
+//! `w_j` consecutive segments of its group, so each repeats with period
+//! `w_j`, which the series keeps at or below the group's first segment
+//! index.
+
+use vod_types::SegmentId;
+
+use crate::mapping::{StaticMapping, StreamSchedule};
+
+/// The skyscraper series `w(1..=k)`, optionally capped at `width`
+/// (Hua & Sheu's `W`): 1, 2, 2, 5, 5, 12, 12, 25, 25, 52, 52, …
+///
+/// # Example
+///
+/// ```
+/// use vod_protocols::sb::skyscraper_series;
+/// assert_eq!(skyscraper_series(7, None), vec![1, 2, 2, 5, 5, 12, 12]);
+/// assert_eq!(skyscraper_series(7, Some(5)), vec![1, 2, 2, 5, 5, 5, 5]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k` is zero or the width cap is zero.
+#[must_use]
+pub fn skyscraper_series(k: usize, width: Option<u64>) -> Vec<u64> {
+    assert!(k > 0, "need at least one stream");
+    if let Some(w) = width {
+        assert!(w > 0, "width cap must be positive");
+    }
+    let mut raw_series: Vec<u64> = Vec::with_capacity(k);
+    for j in 1..=k {
+        let raw: u64 = match j {
+            1 => 1,
+            2 | 3 => 2,
+            _ => {
+                let prev = raw_series[j - 2];
+                match j % 4 {
+                    0 => 2 * prev + 1,
+                    1 | 3 => prev,
+                    2 => 2 * prev + 2,
+                    _ => unreachable!(),
+                }
+            }
+        };
+        raw_series.push(raw);
+    }
+    match width {
+        Some(w) => raw_series.into_iter().map(|x| x.min(w)).collect(),
+        None => raw_series,
+    }
+}
+
+/// Segments `k` SB streams carry: the series' prefix sum.
+///
+/// ```
+/// use vod_protocols::sb::sb_capacity;
+/// assert_eq!(sb_capacity(3, None), 5); // the paper's Figure 3
+/// ```
+#[must_use]
+pub fn sb_capacity(k: usize, width: Option<u64>) -> usize {
+    skyscraper_series(k, width).iter().sum::<u64>() as usize
+}
+
+/// Minimum SB streams for `n` segments.
+///
+/// # Panics
+///
+/// Panics if `n` is zero, or if a width cap makes `n` unreachable within
+/// 64 streams.
+#[must_use]
+pub fn sb_streams_for(n: usize, width: Option<u64>) -> usize {
+    assert!(n > 0, "need at least one segment");
+    let mut k = 1;
+    while sb_capacity(k, width) < n {
+        k += 1;
+        assert!(k <= 64, "{n} segments unreachable with this width cap");
+    }
+    k
+}
+
+/// The canonical SB mapping with `k` streams (packed to capacity).
+#[must_use]
+pub fn sb_mapping(k: usize, width: Option<u64>) -> StaticMapping {
+    sb_mapping_n(k, sb_capacity(k, width), width)
+}
+
+/// The SB mapping for exactly `n` segments on the minimum number of streams.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn sb_mapping_for(n: usize, width: Option<u64>) -> StaticMapping {
+    sb_mapping_n(sb_streams_for(n, width), n, width)
+}
+
+fn sb_mapping_n(k: usize, n: usize, width: Option<u64>) -> StaticMapping {
+    let series = skyscraper_series(k, width);
+    let mut streams = Vec::with_capacity(k);
+    let mut next = 1usize;
+    for &w in &series {
+        if next > n {
+            break;
+        }
+        let last = (next + w as usize - 1).min(n);
+        let cycle: Vec<Option<SegmentId>> = (next..=last).map(SegmentId::new).collect();
+        streams.push(StreamSchedule::from_cycle(cycle));
+        next = last + 1;
+    }
+    StaticMapping::new("SB", n, streams)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_matches_hua_sheu() {
+        assert_eq!(
+            skyscraper_series(11, None),
+            vec![1, 2, 2, 5, 5, 12, 12, 25, 25, 52, 52]
+        );
+    }
+
+    #[test]
+    fn width_caps_the_series() {
+        let s = skyscraper_series(9, Some(12));
+        assert_eq!(s, vec![1, 2, 2, 5, 5, 12, 12, 12, 12]);
+    }
+
+    #[test]
+    fn figure_3_layout() {
+        // Paper Fig. 3: S1 repeating; S2 S3 alternating; S4 S5 alternating.
+        let m = sb_mapping(3, None);
+        assert_eq!(m.n_segments(), 5);
+        let text = m.render_schedule(4);
+        assert!(text.contains("S1   S1   S1   S1"), "{text}");
+        assert!(text.contains("S2   S3   S2   S3"), "{text}");
+        assert!(text.contains("S4   S5   S4   S5"), "{text}");
+    }
+
+    #[test]
+    fn all_mappings_are_timely() {
+        for k in 1..=9 {
+            let m = sb_mapping(k, None);
+            assert_eq!(m.verify_timeliness(), Ok(()), "k = {k}");
+            let capped = sb_mapping(k, Some(12));
+            assert_eq!(capped.verify_timeliness(), Ok(()), "capped k = {k}");
+        }
+    }
+
+    #[test]
+    fn sb_packs_fewer_than_fb_and_npb() {
+        // The paper: "SB will always require more server bandwidth than NPB
+        // and FB to guarantee the same maximum waiting time d."
+        for k in 3..=7 {
+            let sb = sb_capacity(k, None);
+            let fb = crate::fb::fb_capacity(k);
+            let npb = crate::npb::npb_capacity(k);
+            assert!(sb < fb, "k={k}: SB {sb} ≥ FB {fb}");
+            assert!(sb < npb, "k={k}: SB {sb} ≥ NPB {npb}");
+        }
+    }
+
+    #[test]
+    fn mapping_for_99_segments() {
+        let m = sb_mapping_for(99, None);
+        assert_eq!(m.n_segments(), 99);
+        assert!(m.n_streams() > crate::npb::npb_streams_for(99));
+        assert_eq!(m.verify_timeliness(), Ok(()));
+    }
+
+    #[test]
+    fn groups_are_consecutive() {
+        let m = sb_mapping(4, None);
+        let mut expected = 1usize;
+        for stream in m.streams() {
+            for class in stream.classes() {
+                assert_eq!(class.segment.get(), expected);
+                expected += 1;
+            }
+        }
+    }
+}

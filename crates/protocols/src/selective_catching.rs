@@ -1,0 +1,180 @@
+//! Selective catching (Gao, Zhang & Towsley \[8\]).
+//!
+//! SC "combines both reactive and proactive approaches. It dedicates a
+//! certain number of channels for periodic broadcasts of videos while using
+//! the other channels to allow incoming requests to catch up with the
+//! current broadcast cycle" (paper, Section 2). With `k` dedicated
+//! channels a complete broadcast starts every `L/k`; a client joins the
+//! most recent cycle and receives the missed opening — at most `L/k` —
+//! on a reactive catch-up stream, so the reactive component costs at most
+//! `λ·L/(2k)·L…` and the total grows like `O(log(λL))` when `k` is chosen
+//! per rate.
+
+use vod_sim::{ContinuousProtocol, StreamInterval};
+use vod_types::{ArrivalRate, Seconds, Streams};
+
+/// The selective catching protocol for one video.
+///
+/// # Example
+///
+/// ```
+/// use vod_protocols::selective_catching::SelectiveCatching;
+/// use vod_sim::ContinuousProtocol;
+/// use vod_types::Seconds;
+///
+/// let mut sc = SelectiveCatching::new(Seconds::from_hours(2.0), 4);
+/// // Broadcast cycles start every 30 minutes; a client arriving 10 minutes
+/// // into a cycle needs a 10-minute catch-up stream.
+/// let streams = sc.on_request(Seconds::new(2400.0));
+/// assert_eq!(streams.len(), 1);
+/// assert_eq!(streams[0].len(), Seconds::new(600.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SelectiveCatching {
+    video_len: f64,
+    /// Dedicated broadcast channels; a cycle starts every `video_len / k`.
+    k: u32,
+}
+
+impl SelectiveCatching {
+    /// Creates an SC instance with `k` dedicated broadcast channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the video length is not positive or `k` is zero.
+    #[must_use]
+    pub fn new(video_len: Seconds, k: u32) -> Self {
+        assert!(
+            video_len.as_secs_f64() > 0.0,
+            "video length must be positive"
+        );
+        assert!(k >= 1, "need at least one broadcast channel");
+        SelectiveCatching {
+            video_len: video_len.as_secs_f64(),
+            k,
+        }
+    }
+
+    /// The dedicated (proactive) bandwidth: `k` channels, always on.
+    #[must_use]
+    pub fn dedicated_streams(&self) -> Streams {
+        Streams::from(self.k)
+    }
+
+    /// The broadcast cycle period `L / k`.
+    #[must_use]
+    pub fn cycle(&self) -> Seconds {
+        Seconds::new(self.video_len / f64::from(self.k))
+    }
+
+    /// The rate-optimal channel count for Poisson arrivals: minimises
+    /// `k + λ·L/(2k)` (dedicated plus expected catch-up), giving
+    /// `k* = √(λL/2)` rounded to at least 1.
+    #[must_use]
+    pub fn optimal_channels(rate: ArrivalRate, video_len: Seconds) -> u32 {
+        let eta = rate.per_second() * video_len.as_secs_f64();
+        ((eta / 2.0).sqrt().round() as u32).max(1)
+    }
+
+    /// Total *analytic* average bandwidth at `rate`: the dedicated channels
+    /// plus the expected catch-up cost `λ·(L/k)/2` streams.
+    #[must_use]
+    pub fn analytic_avg_bandwidth(&self, rate: ArrivalRate) -> Streams {
+        let catchup = rate.per_second() * (self.video_len / f64::from(self.k)) / 2.0 * 1.0;
+        Streams::new(f64::from(self.k) + catchup * 1.0)
+    }
+}
+
+impl ContinuousProtocol for SelectiveCatching {
+    fn name(&self) -> &str {
+        "selective catching"
+    }
+
+    fn on_request(&mut self, t: Seconds) -> Vec<StreamInterval> {
+        // The dedicated channels are not emitted per request (they are a
+        // constant k streams accounted analytically); the reactive part is
+        // the catch-up stream covering the missed opening of the current
+        // cycle, delivered just in time.
+        let cycle = self.video_len / f64::from(self.k);
+        let gap = t.as_secs_f64().rem_euclid(cycle);
+        if gap == 0.0 {
+            return Vec::new(); // arrived exactly at a cycle start
+        }
+        vec![StreamInterval::starting_at(t, Seconds::new(gap))]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_sim::{ContinuousRun, PoissonProcess};
+
+    #[test]
+    fn catchup_length_equals_gap_into_cycle() {
+        let mut sc = SelectiveCatching::new(Seconds::new(7200.0), 4);
+        assert_eq!(sc.cycle(), Seconds::new(1800.0));
+        // 100 s into the second cycle.
+        let s = sc.on_request(Seconds::new(1900.0));
+        assert_eq!(s[0].len(), Seconds::new(100.0));
+        // Exactly at a cycle start: free.
+        assert!(sc.on_request(Seconds::new(3600.0)).is_empty());
+    }
+
+    #[test]
+    fn measured_reactive_cost_matches_analytic() {
+        let video = Seconds::from_hours(2.0);
+        let rate = ArrivalRate::per_hour(100.0);
+        let k = 4;
+        let report = ContinuousRun::new(Seconds::from_hours(200.0))
+            .warmup(Seconds::from_hours(5.0))
+            .seed(8)
+            .run(
+                &mut SelectiveCatching::new(video, k),
+                PoissonProcess::new(rate),
+            );
+        let sc = SelectiveCatching::new(video, k);
+        let analytic_reactive = sc.analytic_avg_bandwidth(rate).get() - f64::from(k);
+        let measured = report.avg_bandwidth.get();
+        assert!(
+            (measured - analytic_reactive).abs() / analytic_reactive < 0.1,
+            "measured {measured} vs analytic {analytic_reactive}"
+        );
+    }
+
+    #[test]
+    fn optimal_channels_scale_as_sqrt_rate() {
+        let l = Seconds::from_hours(2.0);
+        let k100 = SelectiveCatching::optimal_channels(ArrivalRate::per_hour(100.0), l);
+        let k400 = SelectiveCatching::optimal_channels(ArrivalRate::per_hour(400.0), l);
+        // 4× the rate → 2× the channels.
+        assert_eq!(k400, 2 * k100);
+        assert_eq!(
+            SelectiveCatching::optimal_channels(ArrivalRate::per_hour(0.1), l),
+            1
+        );
+    }
+
+    #[test]
+    fn total_bandwidth_with_optimal_k_grows_slowly() {
+        // Total = k* + λL/(2k*) = 2·√(λL/2) = √(2λL): sub-linear, though
+        // above the logarithmic DHB/EVZ scale — matching the paper's remark
+        // that "similar considerations [to tapping] would apply to
+        // selective catching".
+        let l = Seconds::from_hours(2.0);
+        let total_at = |per_hour: f64| {
+            let rate = ArrivalRate::per_hour(per_hour);
+            let k = SelectiveCatching::optimal_channels(rate, l);
+            SelectiveCatching::new(l, k)
+                .analytic_avg_bandwidth(rate)
+                .get()
+        };
+        let t100 = total_at(100.0);
+        let t400 = total_at(400.0);
+        assert!(
+            (t400 / t100 - 2.0).abs() < 0.1,
+            "√ scaling: {t100} → {t400}"
+        );
+        // And √(2λL) at 100/h is √400 = 20 streams.
+        assert!((t100 - 20.0).abs() < 1.0, "t100 = {t100}");
+    }
+}

@@ -1,0 +1,391 @@
+//! Stream tapping (Carter & Long \[2\]) — the paper's reactive baseline.
+//!
+//! Clients joining shortly after an earlier viewer *tap* the remainder of
+//! that viewer's stream from their set-top-box buffer and only need the
+//! opening `Δ` minutes on a stream of their own. With **extra tapping**
+//! (the unlimited-buffer variant Figure 7 plots) they additionally tap the
+//! still-active patch streams of other recent clients, recursively
+//! shortening their own stream.
+//!
+//! The server model: every stream transmits a contiguous range of video
+//! positions at the consumption rate, just in time for its requesting
+//! client. A later client can record any position a stream has *not yet*
+//! transmitted, and everything it records arrives no later than its own
+//! playback needs it (earlier clients are always ahead), so coverage
+//! computations reduce to interval arithmetic over video positions.
+
+use vod_sim::{ContinuousProtocol, StreamInterval};
+use vod_types::{ArrivalRate, Seconds};
+
+/// How aggressively clients share existing streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TappingPolicy {
+    /// No sharing: every request gets a complete stream (plain unicast,
+    /// the pre-tapping baseline).
+    Plain,
+    /// Tap complete (original) streams only — classic stream
+    /// tapping/patching.
+    Simple,
+    /// Tap originals *and* other clients' patch streams — "unlimited extra
+    /// tapping", the variant the paper simulates.
+    Extra,
+}
+
+/// One active server stream, transmitting video positions
+/// `[video_start, video_end)` starting at wall time `wall_start`.
+#[derive(Debug, Clone, Copy)]
+struct ActiveStream {
+    wall_start: f64,
+    video_start: f64,
+    video_end: f64,
+    original: bool,
+}
+
+impl ActiveStream {
+    fn wall_end(&self) -> f64 {
+        self.wall_start + (self.video_end - self.video_start)
+    }
+
+    /// Video positions a client arriving at wall time `t` can still record
+    /// from this stream.
+    fn tappable_from(&self, t: f64) -> (f64, f64) {
+        let start = self.video_start + (t - self.wall_start).max(0.0);
+        (start.min(self.video_end), self.video_end)
+    }
+}
+
+/// The stream tapping protocol for one video.
+///
+/// # Example
+///
+/// ```
+/// use vod_protocols::{StreamTapping, TappingPolicy};
+/// use vod_sim::ContinuousProtocol;
+/// use vod_types::Seconds;
+///
+/// let mut tapping = StreamTapping::new(Seconds::from_hours(2.0), TappingPolicy::Simple);
+/// // First request: a complete 2-hour stream.
+/// let first = tapping.on_request(Seconds::new(0.0));
+/// assert_eq!(first[0].len(), Seconds::from_hours(2.0));
+/// // A request 10 minutes later taps the rest and only needs a 10-minute
+/// // patch.
+/// let second = tapping.on_request(Seconds::new(600.0));
+/// assert_eq!(second[0].len(), Seconds::new(600.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamTapping {
+    video_len: f64,
+    policy: TappingPolicy,
+    restart_threshold: Option<f64>,
+    streams: Vec<ActiveStream>,
+}
+
+impl StreamTapping {
+    /// Creates the protocol for a video of the given length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the video length is not positive.
+    #[must_use]
+    pub fn new(video_len: Seconds, policy: TappingPolicy) -> Self {
+        assert!(
+            video_len.as_secs_f64() > 0.0,
+            "video length must be positive"
+        );
+        StreamTapping {
+            video_len: video_len.as_secs_f64(),
+            policy,
+            restart_threshold: None,
+            streams: Vec::new(),
+        }
+    }
+
+    /// Starts a fresh complete stream whenever the gap to the last complete
+    /// stream reaches `threshold` (the patching restart rule); without it a
+    /// new complete stream starts only when no original is active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is not positive.
+    #[must_use]
+    pub fn restart_threshold(mut self, threshold: Seconds) -> Self {
+        assert!(
+            threshold.as_secs_f64() > 0.0,
+            "restart threshold must be positive"
+        );
+        self.restart_threshold = Some(threshold.as_secs_f64());
+        self
+    }
+
+    /// The analytically optimal restart threshold for classic patching under
+    /// Poisson arrivals: `w* = (√(2λL + 1) − 1) / λ` (minimises the renewal
+    /// cost `(L + λw²/2) / (w + 1/λ)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is zero.
+    #[must_use]
+    pub fn optimal_restart_threshold(rate: ArrivalRate, video_len: Seconds) -> Seconds {
+        let lambda = rate.per_second();
+        assert!(lambda > 0.0, "rate must be positive");
+        let l = video_len.as_secs_f64();
+        Seconds::new(((2.0 * lambda * l + 1.0).sqrt() - 1.0) / lambda)
+    }
+
+    /// Number of streams the server is currently transmitting.
+    #[must_use]
+    pub fn active_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn start_original(&mut self, t: f64) -> Vec<StreamInterval> {
+        self.streams.push(ActiveStream {
+            wall_start: t,
+            video_start: 0.0,
+            video_end: self.video_len,
+            original: true,
+        });
+        vec![StreamInterval::starting_at(
+            Seconds::new(t),
+            Seconds::new(self.video_len),
+        )]
+    }
+}
+
+impl ContinuousProtocol for StreamTapping {
+    fn name(&self) -> &str {
+        match self.policy {
+            TappingPolicy::Plain => "unicast",
+            TappingPolicy::Simple => "stream tapping",
+            TappingPolicy::Extra => "stream tapping (extra)",
+        }
+    }
+
+    fn on_request(&mut self, t: Seconds) -> Vec<StreamInterval> {
+        let t = t.as_secs_f64();
+        // Retire streams that have finished transmitting.
+        self.streams.retain(|s| s.wall_end() > t);
+
+        if self.policy == TappingPolicy::Plain {
+            return self.start_original(t);
+        }
+
+        // The most recent complete stream determines Δ.
+        let delta = self
+            .streams
+            .iter()
+            .filter(|s| s.original && s.wall_start <= t)
+            .map(|s| t - s.wall_start)
+            .fold(f64::INFINITY, f64::min);
+
+        let must_restart = match self.restart_threshold {
+            Some(threshold) => delta >= threshold,
+            None => false,
+        };
+        if delta.is_infinite() || must_restart {
+            return self.start_original(t);
+        }
+
+        // Coverage from streams the policy allows tapping.
+        let mut covered: Vec<(f64, f64)> = self
+            .streams
+            .iter()
+            .filter(|s| s.original || self.policy == TappingPolicy::Extra)
+            .map(|s| s.tappable_from(t))
+            .filter(|(a, b)| b > a)
+            .collect();
+        covered.sort_by(|x, y| x.0.total_cmp(&y.0));
+
+        let gaps = subtract_from(self.video_len, &covered);
+        let mut own = Vec::with_capacity(gaps.len());
+        for (a, b) in gaps {
+            // Transmit [a, b) just in time: position p at wall t + p.
+            self.streams.push(ActiveStream {
+                wall_start: t + a,
+                video_start: a,
+                video_end: b,
+                original: false,
+            });
+            own.push(StreamInterval {
+                start: Seconds::new(t + a),
+                end: Seconds::new(t + b),
+            });
+        }
+        own
+    }
+}
+
+/// Subtracts sorted, possibly overlapping `covered` intervals from
+/// `[0, len)`, returning the uncovered gaps.
+fn subtract_from(len: f64, covered: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let mut gaps = Vec::new();
+    let mut cursor = 0.0;
+    for &(a, b) in covered {
+        if a > cursor {
+            gaps.push((cursor, a.min(len)));
+        }
+        cursor = cursor.max(b);
+        if cursor >= len {
+            break;
+        }
+    }
+    if cursor < len {
+        gaps.push((cursor, len));
+    }
+    gaps.retain(|(a, b)| b - a > 1e-12);
+    gaps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_sim::{ContinuousRun, PoissonProcess};
+
+    fn two_hours() -> Seconds {
+        Seconds::from_hours(2.0)
+    }
+
+    #[test]
+    fn subtract_from_handles_all_shapes() {
+        assert_eq!(subtract_from(10.0, &[]), vec![(0.0, 10.0)]);
+        assert_eq!(subtract_from(10.0, &[(0.0, 10.0)]), vec![]);
+        assert_eq!(
+            subtract_from(10.0, &[(2.0, 5.0)]),
+            vec![(0.0, 2.0), (5.0, 10.0)]
+        );
+        assert_eq!(
+            subtract_from(10.0, &[(0.0, 3.0), (2.0, 4.0), (6.0, 20.0)]),
+            vec![(4.0, 6.0)]
+        );
+    }
+
+    #[test]
+    fn first_request_gets_a_complete_stream() {
+        let mut p = StreamTapping::new(two_hours(), TappingPolicy::Simple);
+        let streams = p.on_request(Seconds::new(5.0));
+        assert_eq!(streams.len(), 1);
+        assert_eq!(streams[0].start, Seconds::new(5.0));
+        assert_eq!(streams[0].len(), two_hours());
+        assert_eq!(p.active_streams(), 1);
+    }
+
+    #[test]
+    fn patch_length_equals_delta() {
+        let mut p = StreamTapping::new(two_hours(), TappingPolicy::Simple);
+        let _ = p.on_request(Seconds::new(0.0));
+        let patch = p.on_request(Seconds::new(900.0));
+        assert_eq!(patch.len(), 1);
+        assert_eq!(patch[0].len(), Seconds::new(900.0));
+        // Just-in-time: the patch starts at the request.
+        assert_eq!(patch[0].start, Seconds::new(900.0));
+    }
+
+    #[test]
+    fn extra_tapping_taps_previous_patches() {
+        let mut p = StreamTapping::new(two_hours(), TappingPolicy::Extra);
+        let _ = p.on_request(Seconds::new(0.0));
+        let _ = p.on_request(Seconds::new(600.0)); // patch [0, 600) over wall [600, 1200)
+                                                   // Third client at 900: taps the original for [900, L) and the
+                                                   // patch's not-yet-sent [300, 600); it must still transmit [0, 300)
+                                                   // and [600, 900) itself — 600 s over two streams, vs the 900 s a
+                                                   // simple tap would cost.
+        let third = p.on_request(Seconds::new(900.0));
+        assert_eq!(third.len(), 2);
+        let total: f64 = third.iter().map(|s| s.len().as_secs_f64()).sum();
+        assert!((total - 600.0).abs() < 1e-9, "total {total}");
+        assert!((third[0].len().as_secs_f64() - 300.0).abs() < 1e-9);
+        assert!((third[1].len().as_secs_f64() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simple_tapping_cannot_tap_patches() {
+        let mut p = StreamTapping::new(two_hours(), TappingPolicy::Simple);
+        let _ = p.on_request(Seconds::new(0.0));
+        let _ = p.on_request(Seconds::new(600.0));
+        let third = p.on_request(Seconds::new(900.0));
+        // Simple: patch the full Δ = 900 s.
+        assert_eq!(third.len(), 1);
+        assert!((third[0].len().as_secs_f64() - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restart_threshold_forces_new_original() {
+        let mut p = StreamTapping::new(two_hours(), TappingPolicy::Simple)
+            .restart_threshold(Seconds::new(600.0));
+        let _ = p.on_request(Seconds::new(0.0));
+        let late = p.on_request(Seconds::new(700.0));
+        assert_eq!(late[0].len(), two_hours());
+    }
+
+    #[test]
+    fn new_original_after_video_ends() {
+        let mut p = StreamTapping::new(Seconds::new(100.0), TappingPolicy::Extra);
+        let _ = p.on_request(Seconds::new(0.0));
+        let after = p.on_request(Seconds::new(150.0));
+        assert_eq!(after[0].len(), Seconds::new(100.0));
+    }
+
+    #[test]
+    fn tapping_beats_unicast_and_extra_beats_simple() {
+        let horizon = Seconds::from_hours(150.0);
+        let rate = ArrivalRate::per_hour(20.0);
+        let run = |policy| {
+            ContinuousRun::new(horizon)
+                .warmup(Seconds::from_hours(5.0))
+                .seed(7)
+                .run(
+                    &mut StreamTapping::new(two_hours(), policy),
+                    PoissonProcess::new(rate),
+                )
+                .avg_bandwidth
+                .get()
+        };
+        let plain = run(TappingPolicy::Plain);
+        let simple = run(TappingPolicy::Simple);
+        let extra = run(TappingPolicy::Extra);
+        assert!(simple < plain * 0.6, "simple {simple} vs plain {plain}");
+        assert!(extra < simple, "extra {extra} vs simple {simple}");
+        // Unicast bandwidth is λL = 40 streams.
+        assert!((plain - 40.0).abs() < 4.0, "plain {plain}");
+    }
+
+    #[test]
+    fn optimal_threshold_matches_formula_and_is_near_optimal() {
+        let rate = ArrivalRate::per_hour(20.0);
+        let l = two_hours();
+        let w = StreamTapping::optimal_restart_threshold(rate, l);
+        // λL = 40 → w* = (√81 − 1)/λ = 8/λ = 8/20 h = 24 min.
+        assert!((w.as_secs_f64() - 1440.0).abs() < 1.0, "w = {w}");
+
+        // Empirically: the formula threshold beats clearly suboptimal ones.
+        let horizon = Seconds::from_hours(300.0);
+        let run = |threshold: Seconds| {
+            ContinuousRun::new(horizon)
+                .warmup(Seconds::from_hours(10.0))
+                .seed(13)
+                .run(
+                    &mut StreamTapping::new(l, TappingPolicy::Simple).restart_threshold(threshold),
+                    PoissonProcess::new(rate),
+                )
+                .avg_bandwidth
+                .get()
+        };
+        let at_formula = run(w);
+        let too_small = run(Seconds::new(60.0));
+        let too_large = run(Seconds::new(7000.0));
+        assert!(at_formula < too_small, "{at_formula} vs small {too_small}");
+        assert!(at_formula < too_large, "{at_formula} vs large {too_large}");
+    }
+
+    #[test]
+    fn names_distinguish_policies() {
+        assert_eq!(
+            StreamTapping::new(two_hours(), TappingPolicy::Plain).name(),
+            "unicast"
+        );
+        assert_eq!(
+            StreamTapping::new(two_hours(), TappingPolicy::Extra).name(),
+            "stream tapping (extra)"
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! The Universal Distribution protocol (Pâris, Carter & Long \[17\]).
+//!
+//! UD is a dynamic broadcasting protocol based on Fast Broadcasting:
+//! segments keep FB's fixed segment-to-stream schedule but are "transmitted
+//! only on demand, which saves a considerable amount of bandwidth when the
+//! request arrival rate remains below 100 requests per hour. Above 200
+//! requests per hour, all channels become saturated and the UD reverts to a
+//! conventional FB protocol" (paper, Section 2).
+//!
+//! The reconstruction (the original paper's mechanism description — see
+//! DESIGN.md §4.4): a scheduled instance is transmitted iff at least one
+//! active client still lacks that segment; every listening client stores any
+//! transmission it lacks.
+
+use vod_sim::SlottedProtocol;
+use vod_types::Slot;
+
+use crate::fb::fb_mapping_for;
+use crate::mapping::StaticMapping;
+use crate::on_demand::OnDemandBroadcast;
+
+/// The Universal Distribution protocol for one video of `n` segments.
+///
+/// # Example
+///
+/// ```
+/// use vod_protocols::UniversalDistribution;
+/// use vod_sim::{PoissonProcess, SlottedRun};
+/// use vod_types::{ArrivalRate, VideoSpec};
+///
+/// let video = VideoSpec::paper_two_hour();
+/// let mut ud = UniversalDistribution::new(video.n_segments());
+/// let report = SlottedRun::new(video)
+///     .measured_slots(500)
+///     .run(&mut ud, PoissonProcess::new(ArrivalRate::per_hour(5.0)));
+/// // At 5 requests/hour UD uses far less than its 7 allocated FB streams.
+/// assert!(report.avg_bandwidth.get() < 5.0);
+/// assert_eq!(ud.violations(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UniversalDistribution {
+    inner: OnDemandBroadcast,
+}
+
+impl UniversalDistribution {
+    /// Creates a UD instance for a video of `n` segments
+    /// (`⌈log2(n+1)⌉` FB streams).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        UniversalDistribution {
+            inner: OnDemandBroadcast::new("UD", fb_mapping_for(n)),
+        }
+    }
+
+    /// The underlying FB mapping.
+    #[must_use]
+    pub fn mapping(&self) -> &StaticMapping {
+        self.inner.mapping()
+    }
+
+    /// The saturation bandwidth: the number of FB streams UD reverts to
+    /// under heavy load.
+    #[must_use]
+    pub fn allocated_streams(&self) -> u32 {
+        self.inner.mapping().n_streams() as u32
+    }
+
+    /// Deadline violations observed (0 for any valid run).
+    #[must_use]
+    pub fn violations(&self) -> u64 {
+        self.inner.violations()
+    }
+
+    /// Number of clients currently being served.
+    #[must_use]
+    pub fn active_clients(&self) -> usize {
+        self.inner.active_clients()
+    }
+}
+
+impl SlottedProtocol for UniversalDistribution {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn on_request(&mut self, slot: Slot) {
+        self.inner.on_request(slot);
+    }
+
+    fn transmissions_in(&mut self, slot: Slot) -> u32 {
+        self.inner.transmissions_in(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_sim::{PoissonProcess, SlottedRun};
+    use vod_types::{ArrivalRate, VideoSpec};
+
+    #[test]
+    fn paper_configuration_uses_seven_streams() {
+        let ud = UniversalDistribution::new(99);
+        assert_eq!(ud.allocated_streams(), 7);
+        assert_eq!(ud.mapping().n_segments(), 99);
+    }
+
+    #[test]
+    fn saturates_to_fb_at_high_rates() {
+        let video = VideoSpec::paper_two_hour();
+        let mut ud = UniversalDistribution::new(99);
+        let report = SlottedRun::new(video)
+            .warmup_slots(150)
+            .measured_slots(800)
+            .seed(17)
+            .run(&mut ud, PoissonProcess::new(ArrivalRate::per_hour(1000.0)));
+        // Paper: saturation above ~200 requests/hour.
+        assert!(
+            report.avg_bandwidth.get() > 6.9,
+            "avg {} not saturated",
+            report.avg_bandwidth
+        );
+        assert_eq!(report.max_bandwidth.get(), 7.0);
+        assert_eq!(ud.violations(), 0);
+    }
+
+    #[test]
+    fn low_rate_bandwidth_tracks_video_cost() {
+        // Each isolated request costs one full video: λL = 2 streams at
+        // 1 req/h for a 2-hour video.
+        let video = VideoSpec::paper_two_hour();
+        let mut ud = UniversalDistribution::new(99);
+        let report = SlottedRun::new(video)
+            .warmup_slots(200)
+            .measured_slots(4_000)
+            .seed(23)
+            .run(&mut ud, PoissonProcess::new(ArrivalRate::per_hour(1.0)));
+        let avg = report.avg_bandwidth.get();
+        assert!((1.3..=2.3).contains(&avg), "avg {avg} not near λL = 2");
+        assert_eq!(ud.violations(), 0);
+    }
+
+    #[test]
+    fn bandwidth_is_monotone_in_rate() {
+        let video = VideoSpec::paper_two_hour();
+        let mut last = 0.0;
+        for rate in [2.0, 20.0, 200.0] {
+            let mut ud = UniversalDistribution::new(99);
+            let report = SlottedRun::new(video)
+                .warmup_slots(100)
+                .measured_slots(600)
+                .seed(31)
+                .run(&mut ud, PoissonProcess::new(ArrivalRate::per_hour(rate)));
+            assert!(
+                report.avg_bandwidth.get() > last,
+                "rate {rate}: {} not above {last}",
+                report.avg_bandwidth
+            );
+            last = report.avg_bandwidth.get();
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests across the protocol baselines.
+
+use proptest::prelude::*;
+use vod_protocols::fb::fb_mapping_for;
+use vod_protocols::npb::npb_mapping_for;
+use vod_protocols::sb::sb_mapping_for;
+use vod_protocols::tapping::{StreamTapping, TappingPolicy};
+use vod_protocols::{simulate_client, DownloadPolicy, DynamicNpb, UniversalDistribution};
+use vod_sim::{ContinuousProtocol, DeterministicArrivals, SlottedRun};
+use vod_types::{Seconds, Slot, VideoSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every constructed mapping satisfies the universal timeliness
+    /// invariant, for arbitrary segment counts.
+    #[test]
+    fn constructed_mappings_are_always_timely(n in 1usize..260) {
+        for mapping in [fb_mapping_for(n), npb_mapping_for(n), sb_mapping_for(n, None)] {
+            prop_assert_eq!(
+                mapping.verify_timeliness(),
+                Ok(()),
+                "{} with {} segments",
+                mapping.name(),
+                n
+            );
+        }
+    }
+
+    /// Both client policies meet every deadline on every mapping, from any
+    /// arrival phase, and lazy never buffers more than eager.
+    #[test]
+    fn clients_always_meet_deadlines(n in 2usize..150, arrival in 0u64..500) {
+        for mapping in [fb_mapping_for(n), npb_mapping_for(n), sb_mapping_for(n, None)] {
+            let eager = simulate_client(&mapping, Slot::new(arrival), DownloadPolicy::Eager);
+            let lazy = simulate_client(&mapping, Slot::new(arrival), DownloadPolicy::Lazy);
+            prop_assert!(eager.deadlines_met, "{} eager n={n} a={arrival}", mapping.name());
+            prop_assert!(lazy.deadlines_met, "{} lazy n={n} a={arrival}", mapping.name());
+            prop_assert!(lazy.max_buffered_segments <= eager.max_buffered_segments);
+        }
+    }
+
+    /// On-demand protocols never violate a deadline and never exceed their
+    /// allocated streams, under arbitrary request scripts.
+    #[test]
+    fn on_demand_protocols_stay_correct(
+        n in 2usize..40,
+        arrivals in prop::collection::vec(0.0f64..2_000.0, 0..40),
+    ) {
+        let mut sorted = arrivals;
+        sorted.sort_by(f64::total_cmp);
+        let times: Vec<Seconds> = sorted.iter().map(|&t| Seconds::new(t)).collect();
+        let video = VideoSpec::new(Seconds::new(3_000.0), n).unwrap();
+
+        let mut ud = UniversalDistribution::new(n);
+        let report = SlottedRun::new(video)
+            .warmup_slots(0)
+            .measured_slots(video.n_segments() as u64 * 3)
+            .run(&mut ud, DeterministicArrivals::new(times.clone()));
+        prop_assert_eq!(ud.violations(), 0);
+        prop_assert!(report.max_bandwidth.get() <= ud.allocated_streams() as f64);
+
+        let mut dnpb = DynamicNpb::new(n);
+        let report = SlottedRun::new(video)
+            .warmup_slots(0)
+            .measured_slots(video.n_segments() as u64 * 3)
+            .run(&mut dnpb, DeterministicArrivals::new(times));
+        prop_assert_eq!(dnpb.violations(), 0);
+        prop_assert!(report.max_bandwidth.get() <= dnpb.allocated_streams() as f64);
+    }
+
+    /// For any arrival script, per-request server cost is ordered:
+    /// extra tapping ≤ simple tapping ≤ plain unicast, and every emitted
+    /// interval stays within the video's wall span.
+    #[test]
+    fn tapping_policies_are_ordered(
+        arrivals in prop::collection::vec(0.0f64..10_000.0, 1..60),
+    ) {
+        let mut sorted = arrivals;
+        sorted.sort_by(f64::total_cmp);
+        let video_len = Seconds::new(3_600.0);
+
+        let cost = |policy| {
+            let mut p = StreamTapping::new(video_len, policy);
+            let mut total = 0.0;
+            for &t in &sorted {
+                for interval in p.on_request(Seconds::new(t)) {
+                    // A stream never starts before its request nor runs past
+                    // the request's playback end.
+                    assert!(interval.start.as_secs_f64() >= t - 1e-9);
+                    assert!(interval.end.as_secs_f64() <= t + video_len.as_secs_f64() + 1e-9);
+                    total += interval.len().as_secs_f64();
+                }
+            }
+            total
+        };
+
+        let plain = cost(TappingPolicy::Plain);
+        let simple = cost(TappingPolicy::Simple);
+        let extra = cost(TappingPolicy::Extra);
+        prop_assert!(simple <= plain + 1e-6, "simple {simple} > plain {plain}");
+        prop_assert!(extra <= simple + 1e-6, "extra {extra} > simple {simple}");
+        // Plain always costs exactly requests × video length.
+        prop_assert!((plain - sorted.len() as f64 * 3_600.0).abs() < 1e-6);
+    }
+
+    /// Each client's own streams in extra tapping never overlap in video
+    /// position with what it could tap — i.e. no redundant transmission:
+    /// total transmitted for a batch never exceeds (video length) +
+    /// Σ later deltas (the simple-tapping cost).
+    #[test]
+    fn extra_tapping_never_transmits_redundantly(
+        deltas in prop::collection::vec(1.0f64..600.0, 1..30),
+    ) {
+        let video_len = 3_600.0;
+        let mut times = vec![0.0];
+        for &d in &deltas {
+            let next = times.last().unwrap() + d;
+            times.push(next);
+        }
+        let mut p = StreamTapping::new(Seconds::new(video_len), TappingPolicy::Extra);
+        let mut total = 0.0;
+        for &t in &times {
+            for i in p.on_request(Seconds::new(t)) {
+                total += i.len().as_secs_f64();
+            }
+        }
+        // Upper bound: the simple-tapping cost for the same script.
+        let mut q = StreamTapping::new(Seconds::new(video_len), TappingPolicy::Simple);
+        let mut simple_total = 0.0;
+        for &t in &times {
+            for i in q.on_request(Seconds::new(t)) {
+                simple_total += i.len().as_secs_f64();
+            }
+        }
+        prop_assert!(total <= simple_total + 1e-6);
+        // Lower bound: at least one full video must be transmitted.
+        prop_assert!(total >= video_len - 1e-6);
+    }
+}

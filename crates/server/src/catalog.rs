@@ -1,0 +1,162 @@
+//! Video catalogs with Zipf popularity.
+
+use std::fmt;
+
+use vod_types::{ArrivalRate, VideoSpec};
+
+/// A catalog-unique video identifier (its popularity rank, 1-based:
+/// video 1 is the hottest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VideoId(pub usize);
+
+impl fmt::Display for VideoId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "video#{}", self.0)
+    }
+}
+
+/// One catalog entry: a video and its individual request rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VideoEntry {
+    /// Popularity rank.
+    pub id: VideoId,
+    /// The video's structure (all protocols derive their layout from it).
+    pub spec: VideoSpec,
+    /// This video's Poisson arrival rate.
+    pub rate: ArrivalRate,
+}
+
+/// A set of videos splitting a total request rate.
+///
+/// Because superposed/split Poisson processes stay Poisson, simulating each
+/// video independently against its own rate is *exact* for aggregate
+/// average bandwidth; the catalog exists to derive those rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Catalog {
+    entries: Vec<VideoEntry>,
+}
+
+impl Catalog {
+    /// Builds a catalog of `n_videos` identical-structure videos whose
+    /// popularity follows a Zipf law with the given exponent:
+    /// `rate_i ∝ 1 / i^exponent`, normalised to `total_rate`.
+    ///
+    /// Exponent 0 gives uniform popularity; ~1 matches the video-rental
+    /// popularity studies of the VOD literature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_videos` is zero or the exponent is negative or not
+    /// finite.
+    #[must_use]
+    pub fn zipf(n_videos: usize, total_rate: ArrivalRate, exponent: f64, spec: VideoSpec) -> Self {
+        assert!(n_videos > 0, "catalog must contain at least one video");
+        assert!(
+            exponent.is_finite() && exponent >= 0.0,
+            "Zipf exponent must be finite and non-negative"
+        );
+        let weights: Vec<f64> = (1..=n_videos)
+            .map(|i| 1.0 / (i as f64).powf(exponent))
+            .collect();
+        let norm: f64 = weights.iter().sum();
+        let entries = weights
+            .into_iter()
+            .enumerate()
+            .map(|(idx, w)| VideoEntry {
+                id: VideoId(idx + 1),
+                spec,
+                rate: ArrivalRate::per_second_raw(total_rate.per_second() * w / norm),
+            })
+            .collect();
+        Catalog { entries }
+    }
+
+    /// Builds a catalog from explicit entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty.
+    #[must_use]
+    pub fn from_entries(entries: Vec<VideoEntry>) -> Self {
+        assert!(
+            !entries.is_empty(),
+            "catalog must contain at least one video"
+        );
+        Catalog { entries }
+    }
+
+    /// The catalog's videos, hottest first.
+    #[must_use]
+    pub fn entries(&self) -> &[VideoEntry] {
+        &self.entries
+    }
+
+    /// Number of videos.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Always false (a catalog has at least one video).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The summed request rate across the catalog.
+    #[must_use]
+    pub fn total_rate(&self) -> ArrivalRate {
+        ArrivalRate::per_second_raw(self.entries.iter().map(|e| e.rate.per_second()).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_types::Seconds;
+
+    fn spec() -> VideoSpec {
+        VideoSpec::new(Seconds::from_hours(2.0), 99).unwrap()
+    }
+
+    #[test]
+    fn zipf_rates_sum_to_total_and_decay() {
+        let total = ArrivalRate::per_hour(100.0);
+        let catalog = Catalog::zipf(10, total, 1.0, spec());
+        assert_eq!(catalog.len(), 10);
+        assert!((catalog.total_rate().as_per_hour() - 100.0).abs() < 1e-9);
+        let rates: Vec<f64> = catalog
+            .entries()
+            .iter()
+            .map(|e| e.rate.as_per_hour())
+            .collect();
+        for w in rates.windows(2) {
+            assert!(w[0] > w[1], "popularity must decay: {rates:?}");
+        }
+        // Zipf(1): rate_1 / rate_2 = 2.
+        assert!((rates[0] / rates[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let catalog = Catalog::zipf(4, ArrivalRate::per_hour(40.0), 0.0, spec());
+        for e in catalog.entries() {
+            assert!((e.rate.as_per_hour() - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ids_are_ranks() {
+        let catalog = Catalog::zipf(3, ArrivalRate::per_hour(3.0), 1.0, spec());
+        let ids: Vec<usize> = catalog.entries().iter().map(|e| e.id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert_eq!(catalog.entries()[0].id.to_string(), "video#1");
+        assert!(!catalog.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one video")]
+    fn empty_catalog_rejected() {
+        let _ = Catalog::zipf(0, ArrivalRate::per_hour(1.0), 1.0, spec());
+    }
+}

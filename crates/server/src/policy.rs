@@ -1,0 +1,84 @@
+//! Per-video protocol assignment policies.
+
+use std::fmt;
+
+use vod_types::ArrivalRate;
+
+/// How the server assigns a distribution protocol to each video.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// DHB for every video (the paper's proposal: one protocol that is
+    /// adequate at every access rate).
+    DhbEverywhere,
+    /// Fixed NPB broadcasting for every video — ideal for the head,
+    /// wasteful for the tail.
+    NpbEverywhere,
+    /// Stream tapping (unlimited buffer) for every video — ideal for the
+    /// tail, unbounded for the head.
+    TappingEverywhere,
+    /// The Universal Distribution protocol for every video.
+    UdEverywhere,
+    /// The conventional split the paper's introduction describes: fixed
+    /// broadcasting (NPB) for videos whose expected rate is at or above the
+    /// threshold, stream tapping below it. Requires a priori knowledge of
+    /// each video's demand — exactly what time-varying popularity breaks.
+    HotColdSplit {
+        /// Videos at or above this expected rate get NPB.
+        broadcast_at_or_above: ArrivalRate,
+    },
+}
+
+impl Policy {
+    /// All fixed policies plus a hot/cold split at the given threshold.
+    #[must_use]
+    pub fn roster(threshold: ArrivalRate) -> Vec<Policy> {
+        vec![
+            Policy::TappingEverywhere,
+            Policy::NpbEverywhere,
+            Policy::UdEverywhere,
+            Policy::HotColdSplit {
+                broadcast_at_or_above: threshold,
+            },
+            Policy::DhbEverywhere,
+        ]
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Policy::DhbEverywhere => f.write_str("DHB everywhere"),
+            Policy::NpbEverywhere => f.write_str("NPB everywhere"),
+            Policy::TappingEverywhere => f.write_str("tapping everywhere"),
+            Policy::UdEverywhere => f.write_str("UD everywhere"),
+            Policy::HotColdSplit {
+                broadcast_at_or_above,
+            } => write!(
+                f,
+                "hot/cold split at {:.0} req/h",
+                broadcast_at_or_above.as_per_hour()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_contains_all_families() {
+        let roster = Policy::roster(ArrivalRate::per_hour(20.0));
+        assert_eq!(roster.len(), 5);
+        assert!(roster.contains(&Policy::DhbEverywhere));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Policy::DhbEverywhere.to_string(), "DHB everywhere");
+        let split = Policy::HotColdSplit {
+            broadcast_at_or_above: ArrivalRate::per_hour(20.0),
+        };
+        assert_eq!(split.to_string(), "hot/cold split at 20 req/h");
+    }
+}

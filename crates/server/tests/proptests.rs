@@ -1,0 +1,72 @@
+//! Property-based tests for the multi-video server.
+
+use proptest::prelude::*;
+use vod_server::{Catalog, Policy, Server};
+use vod_types::{ArrivalRate, VideoSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Zipf rates always sum to the requested total and decay with rank,
+    /// for any catalog size and exponent.
+    #[test]
+    fn zipf_catalog_invariants(
+        n in 1usize..50,
+        total_ph in 1.0f64..2_000.0,
+        exponent in 0.0f64..2.5,
+    ) {
+        let catalog = Catalog::zipf(
+            n,
+            ArrivalRate::per_hour(total_ph),
+            exponent,
+            VideoSpec::paper_two_hour(),
+        );
+        prop_assert_eq!(catalog.len(), n);
+        prop_assert!((catalog.total_rate().as_per_hour() - total_ph).abs() / total_ph < 1e-9);
+        let rates: Vec<f64> = catalog.entries().iter().map(|e| e.rate.per_second()).collect();
+        for w in rates.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-15, "rates must not increase with rank");
+        }
+    }
+
+    /// The joint peak never exceeds the sum of independent per-video peaks,
+    /// and the two estimates of the average bandwidth agree, for any small
+    /// catalog and slotted policy.
+    #[test]
+    fn joint_simulation_is_consistent(
+        n_videos in 1usize..5,
+        total_ph in 20.0f64..400.0,
+        seed in 0u64..20,
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [
+            Policy::DhbEverywhere,
+            Policy::UdEverywhere,
+            Policy::NpbEverywhere,
+        ][policy_idx];
+        let catalog = Catalog::zipf(
+            n_videos,
+            ArrivalRate::per_hour(total_ph),
+            1.0,
+            VideoSpec::paper_two_hour(),
+        );
+        let server = Server::new(catalog)
+            .warmup_slots(40)
+            .measured_slots(250)
+            .seed(seed);
+        let joint = server.simulate_joint(&policy).expect("slotted policy");
+        let independent = server.simulate(&policy);
+        prop_assert!(
+            joint.joint_peak.get() <= independent.peak_upper_bound.get() + 1e-9,
+            "joint peak {} above the bound {}",
+            joint.joint_peak,
+            independent.peak_upper_bound
+        );
+        // Averages agree within simulation noise (same arrival seeds, same
+        // windows — NPB is exact, stochastic protocols wobble slightly
+        // because joint runs interleave RNG draws differently).
+        let rel = (joint.total_avg.get() - independent.total_avg.get()).abs()
+            / independent.total_avg.get().max(1.0);
+        prop_assert!(rel < 0.12, "avg mismatch: joint {} vs {}", joint.total_avg, independent.total_avg);
+    }
+}

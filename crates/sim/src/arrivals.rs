@@ -1,0 +1,345 @@
+//! Request arrival processes.
+
+use vod_types::{ArrivalRate, Seconds};
+
+use crate::rng::SimRng;
+
+/// A source of monotonically non-decreasing request arrival times.
+///
+/// Implementations yield the absolute time of the next request, or `None`
+/// when the process is exhausted (only the deterministic script ever is —
+/// stochastic processes are unbounded and the engine cuts them at its
+/// horizon).
+pub trait ArrivalProcess {
+    /// The absolute time of the next arrival.
+    fn next_arrival(&mut self, rng: &mut SimRng) -> Option<Seconds>;
+}
+
+/// A homogeneous Poisson process, the paper's workload model
+/// ("requests for a particular video were distributed according to a Poisson
+/// law").
+///
+/// # Example
+///
+/// ```
+/// use vod_sim::{ArrivalProcess, PoissonProcess, SimRng};
+/// use vod_types::ArrivalRate;
+///
+/// let mut p = PoissonProcess::new(ArrivalRate::per_hour(3600.0)); // 1/s
+/// let mut rng = SimRng::seed_from(1);
+/// let t1 = p.next_arrival(&mut rng).unwrap();
+/// let t2 = p.next_arrival(&mut rng).unwrap();
+/// assert!(t2 > t1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoissonProcess {
+    rate: ArrivalRate,
+    clock: Seconds,
+}
+
+impl PoissonProcess {
+    /// Creates a Poisson process with the given rate. A zero rate yields no
+    /// arrivals.
+    #[must_use]
+    pub fn new(rate: ArrivalRate) -> Self {
+        PoissonProcess {
+            rate,
+            clock: Seconds::ZERO,
+        }
+    }
+
+    /// The configured arrival rate.
+    #[must_use]
+    pub fn rate(&self) -> ArrivalRate {
+        self.rate
+    }
+}
+
+impl ArrivalProcess for PoissonProcess {
+    fn next_arrival(&mut self, rng: &mut SimRng) -> Option<Seconds> {
+        let per_sec = self.rate.per_second();
+        if per_sec <= 0.0 {
+            return None;
+        }
+        self.clock += Seconds::new(rng.exponential(per_sec));
+        Some(self.clock)
+    }
+}
+
+/// A piecewise-constant daily rate profile for [`TimeVaryingPoisson`].
+///
+/// The paper's introduction motivates DHB with demand that "varies widely
+/// with the time of day" — child-oriented fare peaking in daytime, adult fare
+/// at night. A profile maps the time of day (wrapping at `period`) to an
+/// arrival rate.
+#[derive(Debug, Clone)]
+pub struct RateProfile {
+    period: Seconds,
+    /// Breakpoints `(start_offset, rate)`, sorted by offset, first at 0.
+    pieces: Vec<(Seconds, ArrivalRate)>,
+}
+
+impl RateProfile {
+    /// Creates a profile over one `period` from `(offset, rate)` pieces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pieces` is empty, the first offset is not zero, offsets are
+    /// not strictly increasing, or any offset reaches the period.
+    #[must_use]
+    pub fn new(period: Seconds, pieces: Vec<(Seconds, ArrivalRate)>) -> Self {
+        assert!(!pieces.is_empty(), "profile needs at least one piece");
+        assert_eq!(
+            pieces[0].0,
+            Seconds::ZERO,
+            "first piece must start at offset 0"
+        );
+        for w in pieces.windows(2) {
+            assert!(w[0].0 < w[1].0, "piece offsets must be strictly increasing");
+        }
+        assert!(
+            pieces.last().expect("non-empty").0 < period,
+            "piece offsets must lie inside the period"
+        );
+        RateProfile { period, pieces }
+    }
+
+    /// A stylised day/night cycle: `day_rate` for the first half of each
+    /// 24-hour period, `night_rate` for the second half.
+    #[must_use]
+    pub fn day_night(day_rate: ArrivalRate, night_rate: ArrivalRate) -> Self {
+        RateProfile::new(
+            Seconds::from_hours(24.0),
+            vec![
+                (Seconds::ZERO, day_rate),
+                (Seconds::from_hours(12.0), night_rate),
+            ],
+        )
+    }
+
+    /// The rate in force at absolute time `t`.
+    #[must_use]
+    pub fn rate_at(&self, t: Seconds) -> ArrivalRate {
+        let offset = t.as_secs_f64().rem_euclid(self.period.as_secs_f64());
+        let mut current = self.pieces[0].1;
+        for &(start, rate) in &self.pieces {
+            if start.as_secs_f64() <= offset {
+                current = rate;
+            } else {
+                break;
+            }
+        }
+        current
+    }
+
+    /// The maximum rate over the whole profile (the thinning envelope).
+    #[must_use]
+    pub fn max_rate(&self) -> ArrivalRate {
+        let max = self
+            .pieces
+            .iter()
+            .map(|(_, r)| r.per_second())
+            .fold(0.0, f64::max);
+        ArrivalRate::per_second_raw(max)
+    }
+}
+
+/// A non-homogeneous Poisson process driven by a [`RateProfile`], simulated
+/// by thinning (Lewis & Shedler): candidate arrivals are drawn at the
+/// profile's maximum rate and accepted with probability `rate(t) / max_rate`.
+#[derive(Debug, Clone)]
+pub struct TimeVaryingPoisson {
+    profile: RateProfile,
+    clock: Seconds,
+}
+
+impl TimeVaryingPoisson {
+    /// Creates a time-varying Poisson process over `profile`.
+    #[must_use]
+    pub fn new(profile: RateProfile) -> Self {
+        TimeVaryingPoisson {
+            profile,
+            clock: Seconds::ZERO,
+        }
+    }
+
+    /// The underlying rate profile.
+    #[must_use]
+    pub fn profile(&self) -> &RateProfile {
+        &self.profile
+    }
+}
+
+impl ArrivalProcess for TimeVaryingPoisson {
+    fn next_arrival(&mut self, rng: &mut SimRng) -> Option<Seconds> {
+        let envelope = self.profile.max_rate().per_second();
+        if envelope <= 0.0 {
+            return None;
+        }
+        loop {
+            self.clock += Seconds::new(rng.exponential(envelope));
+            let accept_p = self.profile.rate_at(self.clock).per_second() / envelope;
+            if rng.uniform() < accept_p {
+                return Some(self.clock);
+            }
+        }
+    }
+}
+
+/// A scripted arrival sequence, for unit tests and for reproducing the
+/// paper's worked examples (Figures 4 and 5 use arrivals in slots 1 and 3).
+#[derive(Debug, Clone)]
+pub struct DeterministicArrivals {
+    times: std::vec::IntoIter<Seconds>,
+}
+
+impl DeterministicArrivals {
+    /// Creates a script from absolute arrival times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the times are not non-decreasing.
+    #[must_use]
+    pub fn new(times: Vec<Seconds>) -> Self {
+        for w in times.windows(2) {
+            assert!(
+                w[0] <= w[1],
+                "scripted arrival times must be non-decreasing"
+            );
+        }
+        DeterministicArrivals {
+            times: times.into_iter(),
+        }
+    }
+}
+
+impl ArrivalProcess for DeterministicArrivals {
+    fn next_arrival(&mut self, _rng: &mut SimRng) -> Option<Seconds> {
+        self.times.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_until(
+        p: &mut impl ArrivalProcess,
+        rng: &mut SimRng,
+        horizon: Seconds,
+    ) -> Vec<Seconds> {
+        let mut out = Vec::new();
+        while let Some(t) = p.next_arrival(rng) {
+            if t > horizon {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let mut rng = SimRng::seed_from(100);
+        let mut p = PoissonProcess::new(ArrivalRate::per_hour(120.0));
+        let horizon = Seconds::from_hours(100.0);
+        let arrivals = drain_until(&mut p, &mut rng, horizon);
+        let observed = arrivals.len() as f64 / 100.0;
+        assert!(
+            (observed - 120.0).abs() < 8.0,
+            "observed {observed} req/h, expected 120"
+        );
+    }
+
+    #[test]
+    fn poisson_zero_rate_never_fires() {
+        let mut rng = SimRng::seed_from(1);
+        let mut p = PoissonProcess::new(ArrivalRate::ZERO);
+        assert_eq!(p.next_arrival(&mut rng), None);
+    }
+
+    #[test]
+    fn poisson_times_strictly_increase() {
+        let mut rng = SimRng::seed_from(2);
+        let mut p = PoissonProcess::new(ArrivalRate::per_hour(1000.0));
+        let mut prev = Seconds::ZERO;
+        for _ in 0..1000 {
+            let t = p.next_arrival(&mut rng).unwrap();
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn profile_lookup_and_wrapping() {
+        let profile =
+            RateProfile::day_night(ArrivalRate::per_hour(100.0), ArrivalRate::per_hour(10.0));
+        assert_eq!(
+            profile.rate_at(Seconds::from_hours(1.0)).as_per_hour(),
+            100.0
+        );
+        assert_eq!(
+            profile.rate_at(Seconds::from_hours(13.0)).as_per_hour(),
+            10.0
+        );
+        // Wraps into the second day.
+        assert_eq!(
+            profile.rate_at(Seconds::from_hours(25.0)).as_per_hour(),
+            100.0
+        );
+        assert_eq!(profile.max_rate().as_per_hour(), 100.0);
+    }
+
+    #[test]
+    fn time_varying_matches_piecewise_rates() {
+        let profile =
+            RateProfile::day_night(ArrivalRate::per_hour(200.0), ArrivalRate::per_hour(20.0));
+        let mut rng = SimRng::seed_from(3);
+        let mut p = TimeVaryingPoisson::new(profile);
+        let arrivals = drain_until(&mut p, &mut rng, Seconds::from_hours(240.0));
+        let (mut day, mut night) = (0usize, 0usize);
+        for t in &arrivals {
+            let hour_of_day = t.as_hours() % 24.0;
+            if hour_of_day < 12.0 {
+                day += 1;
+            } else {
+                night += 1;
+            }
+        }
+        // 10 days of simulation: expect ~2400 day and ~240 night arrivals.
+        let day_rate = day as f64 / 120.0;
+        let night_rate = night as f64 / 120.0;
+        assert!((day_rate - 200.0).abs() < 25.0, "day {day_rate}");
+        assert!((night_rate - 20.0).abs() < 10.0, "night {night_rate}");
+    }
+
+    #[test]
+    fn deterministic_script_replays_exactly() {
+        let mut rng = SimRng::seed_from(0);
+        let times = vec![Seconds::new(1.0), Seconds::new(2.0), Seconds::new(2.0)];
+        let mut p = DeterministicArrivals::new(times.clone());
+        for expected in times {
+            assert_eq!(p.next_arrival(&mut rng), Some(expected));
+        }
+        assert_eq!(p.next_arrival(&mut rng), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn deterministic_script_rejects_unsorted() {
+        let _ = DeterministicArrivals::new(vec![Seconds::new(2.0), Seconds::new(1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn profile_rejects_unsorted_pieces() {
+        let _ = RateProfile::new(
+            Seconds::from_hours(24.0),
+            vec![
+                (Seconds::ZERO, ArrivalRate::ZERO),
+                (Seconds::from_hours(5.0), ArrivalRate::ZERO),
+                (Seconds::from_hours(5.0), ArrivalRate::ZERO),
+            ],
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! The continuous-time engine for reactive protocols.
+
+use vod_types::{Seconds, Streams};
+
+use crate::arrivals::ArrivalProcess;
+use crate::metrics::TimeWeightedMax;
+use crate::rng::SimRng;
+
+/// A server transmission over a continuous interval of time.
+///
+/// Reactive protocols answer each request with a set of streams; an interval
+/// of length `L` at the video consumption rate `b` costs `L · b` of server
+/// capacity. Interval ends are exclusive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamInterval {
+    /// When the server starts transmitting this stream.
+    pub start: Seconds,
+    /// When the stream ends (exclusive).
+    pub end: Seconds,
+}
+
+impl StreamInterval {
+    /// Creates an interval `[start, start + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is negative.
+    #[must_use]
+    pub fn starting_at(start: Seconds, len: Seconds) -> Self {
+        assert!(
+            len.is_valid_duration(),
+            "stream length must be non-negative"
+        );
+        StreamInterval {
+            start,
+            end: start + len,
+        }
+    }
+
+    /// The interval's duration.
+    #[must_use]
+    pub fn len(&self) -> Seconds {
+        self.end.max(self.start) - self.start
+    }
+
+    /// True for zero-length intervals.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// A reactive protocol driven by individual request arrival times.
+///
+/// Stream tapping and patching implement this: on every request they decide
+/// which existing streams the client can tap and return only the *new*
+/// server transmissions required.
+pub trait ContinuousProtocol {
+    /// Human-readable protocol name used in reports.
+    fn name(&self) -> &str;
+
+    /// Handles a request arriving at `t`, returning the new server streams
+    /// (possibly none if the request is fully served by existing streams).
+    fn on_request(&mut self, t: Seconds) -> Vec<StreamInterval>;
+}
+
+impl<P: ContinuousProtocol + ?Sized> ContinuousProtocol for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn on_request(&mut self, t: Seconds) -> Vec<StreamInterval> {
+        (**self).on_request(t)
+    }
+}
+
+/// Configuration for one continuous simulation run.
+///
+/// Bandwidth accounting clips every stream interval to the measurement
+/// window `[warmup, horizon)`: the average bandwidth is total clipped
+/// stream-time divided by the window length and the maximum is the peak
+/// number of concurrent clipped streams.
+///
+/// # Example
+///
+/// ```
+/// use vod_sim::{ContinuousProtocol, ContinuousRun, PoissonProcess, StreamInterval};
+/// use vod_types::{ArrivalRate, Seconds};
+///
+/// /// Plain unicast: every request gets its own full-length stream.
+/// struct Unicast { video_len: Seconds }
+/// impl ContinuousProtocol for Unicast {
+///     fn name(&self) -> &str { "unicast" }
+///     fn on_request(&mut self, t: Seconds) -> Vec<StreamInterval> {
+///         vec![StreamInterval::starting_at(t, self.video_len)]
+///     }
+/// }
+///
+/// let video_len = Seconds::from_hours(2.0);
+/// let report = ContinuousRun::new(Seconds::from_hours(100.0))
+///     .warmup(Seconds::from_hours(5.0))
+///     .run(
+///         &mut Unicast { video_len },
+///         PoissonProcess::new(ArrivalRate::per_hour(1.0)),
+///     );
+/// // Little's law: about rate × length = 2 concurrent streams on average.
+/// assert!((report.avg_bandwidth.get() - 2.0).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContinuousRun {
+    horizon: Seconds,
+    warmup: Seconds,
+    seed: u64,
+}
+
+impl ContinuousRun {
+    /// Creates a run ending at `horizon` with no warm-up and a default seed.
+    #[must_use]
+    pub fn new(horizon: Seconds) -> Self {
+        ContinuousRun {
+            horizon,
+            warmup: Seconds::ZERO,
+            seed: 0xD4B_CA57,
+        }
+    }
+
+    /// Sets the warm-up period excluded from statistics.
+    #[must_use]
+    pub fn warmup(mut self, warmup: Seconds) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets the random seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs `protocol` against `arrivals` until the horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the warm-up is not shorter than the horizon.
+    pub fn run<P, A>(&self, protocol: &mut P, mut arrivals: A) -> ContinuousReport
+    where
+        P: ContinuousProtocol + ?Sized,
+        A: ArrivalProcess,
+    {
+        assert!(
+            self.warmup < self.horizon,
+            "warm-up must end before the horizon"
+        );
+        let mut rng = SimRng::seed_from(self.seed);
+        let window_start = self.warmup.as_secs_f64();
+        let window_end = self.horizon.as_secs_f64();
+
+        let mut overlap = TimeWeightedMax::new();
+        let mut requests = 0u64;
+        let mut streams_started = 0u64;
+
+        while let Some(t) = arrivals.next_arrival(&mut rng) {
+            if t > self.horizon {
+                break;
+            }
+            requests += 1;
+            for interval in protocol.on_request(t) {
+                if interval.is_empty() {
+                    continue;
+                }
+                streams_started += 1;
+                let start = interval.start.as_secs_f64().max(window_start);
+                let end = interval.end.as_secs_f64().min(window_end);
+                overlap.add_interval(start, end);
+            }
+        }
+
+        let window = window_end - window_start;
+        ContinuousReport {
+            avg_bandwidth: Streams::new(overlap.total_busy_time() / window),
+            max_bandwidth: Streams::new(f64::from(overlap.max_concurrent())),
+            requests,
+            streams_started,
+        }
+    }
+}
+
+/// The outcome of one continuous simulation run.
+#[derive(Debug, Clone)]
+pub struct ContinuousReport {
+    /// Time-averaged server bandwidth in multiples of the consumption rate.
+    pub avg_bandwidth: Streams,
+    /// Peak number of concurrent server streams in the measured window.
+    pub max_bandwidth: Streams,
+    /// Number of requests processed.
+    pub requests: u64,
+    /// Number of non-empty server streams started.
+    pub streams_started: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::{DeterministicArrivals, PoissonProcess};
+    use vod_types::ArrivalRate;
+
+    struct Unicast {
+        len: Seconds,
+    }
+
+    impl ContinuousProtocol for Unicast {
+        fn name(&self) -> &str {
+            "unicast"
+        }
+
+        fn on_request(&mut self, t: Seconds) -> Vec<StreamInterval> {
+            vec![StreamInterval::starting_at(t, self.len)]
+        }
+    }
+
+    #[test]
+    fn interval_helpers() {
+        let i = StreamInterval::starting_at(Seconds::new(3.0), Seconds::new(4.0));
+        assert_eq!(i.end, Seconds::new(7.0));
+        assert_eq!(i.len(), Seconds::new(4.0));
+        assert!(!i.is_empty());
+        assert!(StreamInterval::starting_at(Seconds::new(1.0), Seconds::ZERO).is_empty());
+    }
+
+    #[test]
+    fn scripted_unicast_bandwidth() {
+        // Two non-overlapping 10 s streams over a 100 s window: 20% busy.
+        let arrivals = DeterministicArrivals::new(vec![Seconds::new(10.0), Seconds::new(50.0)]);
+        let report = ContinuousRun::new(Seconds::new(100.0)).run(
+            &mut Unicast {
+                len: Seconds::new(10.0),
+            },
+            arrivals,
+        );
+        assert_eq!(report.requests, 2);
+        assert_eq!(report.streams_started, 2);
+        assert!((report.avg_bandwidth.get() - 0.2).abs() < 1e-12);
+        assert_eq!(report.max_bandwidth, Streams::new(1.0));
+    }
+
+    #[test]
+    fn overlapping_streams_raise_max() {
+        let arrivals = DeterministicArrivals::new(vec![
+            Seconds::new(0.0),
+            Seconds::new(1.0),
+            Seconds::new(2.0),
+        ]);
+        let report = ContinuousRun::new(Seconds::new(100.0)).run(
+            &mut Unicast {
+                len: Seconds::new(10.0),
+            },
+            arrivals,
+        );
+        assert_eq!(report.max_bandwidth, Streams::new(3.0));
+    }
+
+    #[test]
+    fn little_law_holds_for_unicast() {
+        // Average concurrent streams = λ · L (per Little's law).
+        let rate = ArrivalRate::per_hour(5.0);
+        let len = Seconds::from_hours(2.0);
+        let report = ContinuousRun::new(Seconds::from_hours(400.0))
+            .warmup(Seconds::from_hours(10.0))
+            .seed(4)
+            .run(&mut Unicast { len }, PoissonProcess::new(rate));
+        assert!(
+            (report.avg_bandwidth.get() - 10.0).abs() < 1.0,
+            "avg {} streams, expected ~10",
+            report.avg_bandwidth
+        );
+    }
+
+    #[test]
+    fn streams_crossing_the_horizon_are_clipped() {
+        let arrivals = DeterministicArrivals::new(vec![Seconds::new(95.0)]);
+        let report = ContinuousRun::new(Seconds::new(100.0)).run(
+            &mut Unicast {
+                len: Seconds::new(50.0),
+            },
+            arrivals,
+        );
+        // Only 5 of the 50 seconds fall inside the window.
+        assert!((report.avg_bandwidth.get() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-up must end before the horizon")]
+    fn warmup_beyond_horizon_panics() {
+        let _ = ContinuousRun::new(Seconds::new(10.0))
+            .warmup(Seconds::new(20.0))
+            .run(
+                &mut Unicast {
+                    len: Seconds::new(1.0),
+                },
+                DeterministicArrivals::new(vec![]),
+            );
+    }
+}

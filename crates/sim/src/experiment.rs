@@ -1,0 +1,311 @@
+//! Arrival-rate sweeps — the harness behind Figures 7, 8 and 9.
+
+use vod_types::{ArrivalRate, Seconds, VideoSpec};
+
+use crate::arrivals::PoissonProcess;
+use crate::continuous::{ContinuousProtocol, ContinuousRun};
+use crate::slotted::{SlottedProtocol, SlottedRun};
+
+/// One measured point of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Configured arrival rate in requests per hour (the x-axis).
+    pub rate_per_hour: f64,
+    /// Mean server bandwidth in multiples of the consumption rate.
+    pub avg_streams: f64,
+    /// Peak server bandwidth in multiples of the consumption rate.
+    pub max_streams: f64,
+}
+
+/// A labelled series of sweep points — one curve of a figure.
+#[derive(Debug, Clone)]
+pub struct SweepSeries {
+    /// Curve label (protocol name).
+    pub label: String,
+    /// Points in the order the rates were given.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepSeries {
+    /// The point measured at `rate_per_hour`, if the sweep contained it.
+    #[must_use]
+    pub fn at(&self, rate_per_hour: f64) -> Option<&SweepPoint> {
+        self.points
+            .iter()
+            .find(|p| (p.rate_per_hour - rate_per_hour).abs() < 1e-9)
+    }
+
+    /// Average bandwidths in sweep order.
+    #[must_use]
+    pub fn avg_curve(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.avg_streams).collect()
+    }
+
+    /// Maximum bandwidths in sweep order.
+    #[must_use]
+    pub fn max_curve(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.max_streams).collect()
+    }
+}
+
+/// A sweep over request arrival rates against a fixed video.
+///
+/// Slotted and continuous protocols share the sweep: the horizon is given in
+/// slots and converted to seconds for the continuous engine, so both protocol
+/// families see statistically comparable windows.
+///
+/// # Example
+///
+/// ```
+/// use vod_sim::{RateSweep, SlottedProtocol};
+/// use vod_types::{Slot, VideoSpec};
+///
+/// struct Idle;
+/// impl SlottedProtocol for Idle {
+///     fn name(&self) -> &str { "idle" }
+///     fn on_request(&mut self, _: Slot) {}
+///     fn transmissions_in(&mut self, _: Slot) -> u32 { 0 }
+/// }
+///
+/// let sweep = RateSweep::new(VideoSpec::paper_two_hour())
+///     .rates_per_hour(&[1.0, 10.0])
+///     .measured_slots(50);
+/// let series = sweep.run_slotted(|| Idle);
+/// assert_eq!(series.points.len(), 2);
+/// assert_eq!(series.points[0].avg_streams, 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RateSweep {
+    video: VideoSpec,
+    rates: Vec<ArrivalRate>,
+    warmup_slots: u64,
+    measured_slots: u64,
+    seed: u64,
+}
+
+impl RateSweep {
+    /// The paper's Figure 7/8 x-axis: 1 to 1000 requests per hour.
+    pub const PAPER_RATES_PER_HOUR: [f64; 10] =
+        [1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0];
+
+    /// Creates a sweep over `video` using the paper's rate grid and default
+    /// windows.
+    #[must_use]
+    pub fn new(video: VideoSpec) -> Self {
+        RateSweep {
+            video,
+            rates: Self::PAPER_RATES_PER_HOUR
+                .iter()
+                .map(|&r| ArrivalRate::per_hour(r))
+                .collect(),
+            warmup_slots: SlottedRun::DEFAULT_WARMUP,
+            measured_slots: SlottedRun::DEFAULT_MEASURED,
+            seed: 0xD4B_CA57,
+        }
+    }
+
+    /// Replaces the rate grid (requests per hour).
+    #[must_use]
+    pub fn rates_per_hour(mut self, rates: &[f64]) -> Self {
+        self.rates = rates.iter().map(|&r| ArrivalRate::per_hour(r)).collect();
+        self
+    }
+
+    /// Sets the warm-up window in slots.
+    #[must_use]
+    pub fn warmup_slots(mut self, slots: u64) -> Self {
+        self.warmup_slots = slots;
+        self
+    }
+
+    /// Sets the measured window in slots.
+    #[must_use]
+    pub fn measured_slots(mut self, slots: u64) -> Self {
+        self.measured_slots = slots;
+        self
+    }
+
+    /// Sets the base random seed; each rate uses a deterministic derivative.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The video under test.
+    #[must_use]
+    pub fn video(&self) -> VideoSpec {
+        self.video
+    }
+
+    /// The configured rates.
+    #[must_use]
+    pub fn rates(&self) -> &[ArrivalRate] {
+        &self.rates
+    }
+
+    fn seed_for(&self, rate_index: usize) -> u64 {
+        // Distinct, deterministic per-rate streams.
+        self.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(rate_index as u64)
+    }
+
+    /// Runs a slotted protocol (rebuilt fresh per rate) over every rate.
+    pub fn run_slotted<P, F>(&self, mut factory: F) -> SweepSeries
+    where
+        P: SlottedProtocol,
+        F: FnMut() -> P,
+    {
+        let mut points = Vec::with_capacity(self.rates.len());
+        let mut label = String::new();
+        for (idx, &rate) in self.rates.iter().enumerate() {
+            let mut protocol = factory();
+            if label.is_empty() {
+                label = protocol.name().to_owned();
+            }
+            let report = SlottedRun::new(self.video)
+                .warmup_slots(self.warmup_slots)
+                .measured_slots(self.measured_slots)
+                .seed(self.seed_for(idx))
+                .run(&mut protocol, PoissonProcess::new(rate));
+            points.push(SweepPoint {
+                rate_per_hour: rate.as_per_hour(),
+                avg_streams: report.avg_bandwidth.get(),
+                max_streams: report.max_bandwidth.get(),
+            });
+        }
+        SweepSeries { label, points }
+    }
+
+    /// Runs a continuous protocol (rebuilt fresh per rate) over every rate,
+    /// using the same time window as the slotted runs.
+    pub fn run_continuous<P, F>(&self, mut factory: F) -> SweepSeries
+    where
+        P: ContinuousProtocol,
+        F: FnMut() -> P,
+    {
+        let d = self.video.segment_duration();
+        let warmup = d * self.warmup_slots as f64;
+        let horizon = d * (self.warmup_slots + self.measured_slots) as f64;
+
+        let mut points = Vec::with_capacity(self.rates.len());
+        let mut label = String::new();
+        for (idx, &rate) in self.rates.iter().enumerate() {
+            let mut protocol = factory();
+            if label.is_empty() {
+                label = protocol.name().to_owned();
+            }
+            let report = ContinuousRun::new(horizon)
+                .warmup(warmup)
+                .seed(self.seed_for(idx))
+                .run(&mut protocol, PoissonProcess::new(rate));
+            points.push(SweepPoint {
+                rate_per_hour: rate.as_per_hour(),
+                avg_streams: report.avg_bandwidth.get(),
+                max_streams: report.max_bandwidth.get(),
+            });
+        }
+        SweepSeries { label, points }
+    }
+
+    /// Total simulated time per rate (warm-up plus measured window).
+    #[must_use]
+    pub fn horizon(&self) -> Seconds {
+        self.video.segment_duration() * (self.warmup_slots + self.measured_slots) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::continuous::StreamInterval;
+    use vod_types::Slot;
+
+    struct ConstantLoad(u32);
+
+    impl SlottedProtocol for ConstantLoad {
+        fn name(&self) -> &str {
+            "constant"
+        }
+        fn on_request(&mut self, _: Slot) {}
+        fn transmissions_in(&mut self, _: Slot) -> u32 {
+            self.0
+        }
+    }
+
+    struct Unicast(Seconds);
+
+    impl ContinuousProtocol for Unicast {
+        fn name(&self) -> &str {
+            "unicast"
+        }
+        fn on_request(&mut self, t: Seconds) -> Vec<StreamInterval> {
+            vec![StreamInterval::starting_at(t, self.0)]
+        }
+    }
+
+    #[test]
+    fn slotted_sweep_covers_all_rates() {
+        let sweep = RateSweep::new(VideoSpec::paper_two_hour())
+            .rates_per_hour(&[1.0, 10.0, 100.0])
+            .warmup_slots(0)
+            .measured_slots(20);
+        let series = sweep.run_slotted(|| ConstantLoad(3));
+        assert_eq!(series.label, "constant");
+        assert_eq!(series.points.len(), 3);
+        assert!(series.points.iter().all(|p| p.avg_streams == 3.0));
+        assert!(series.points.iter().all(|p| p.max_streams == 3.0));
+        assert_eq!(series.at(10.0).unwrap().rate_per_hour, 10.0);
+        assert!(series.at(42.0).is_none());
+        assert_eq!(series.avg_curve(), vec![3.0, 3.0, 3.0]);
+        assert_eq!(series.max_curve(), vec![3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn continuous_sweep_grows_with_rate() {
+        // Unicast average bandwidth is λ·L, so the curve must increase.
+        let sweep = RateSweep::new(VideoSpec::paper_two_hour())
+            .rates_per_hour(&[1.0, 10.0, 50.0])
+            .warmup_slots(20)
+            .measured_slots(2_000)
+            .seed(11);
+        let series = sweep.run_continuous(|| Unicast(Seconds::from_hours(2.0)));
+        let curve = series.avg_curve();
+        assert!(
+            curve[0] < curve[1] && curve[1] < curve[2],
+            "curve {curve:?}"
+        );
+        // λL at 10/h is 20 streams.
+        assert!((curve[1] - 20.0).abs() < 3.0, "curve {curve:?}");
+    }
+
+    #[test]
+    fn default_grid_is_the_papers() {
+        let sweep = RateSweep::new(VideoSpec::paper_two_hour());
+        let per_hour: Vec<f64> = sweep.rates().iter().map(|r| r.as_per_hour()).collect();
+        assert_eq!(per_hour.len(), 10);
+        assert_eq!(per_hour[0], 1.0);
+        assert_eq!(per_hour[9], 1000.0);
+    }
+
+    #[test]
+    fn horizon_matches_windows() {
+        let sweep = RateSweep::new(VideoSpec::paper_two_hour())
+            .warmup_slots(10)
+            .measured_slots(90);
+        let d = VideoSpec::paper_two_hour().segment_duration();
+        assert_eq!(sweep.horizon(), d * 100.0);
+    }
+
+    #[test]
+    fn sweeps_are_deterministic() {
+        let sweep = RateSweep::new(VideoSpec::paper_two_hour())
+            .rates_per_hour(&[5.0])
+            .measured_slots(200)
+            .seed(3);
+        let a = sweep.run_continuous(|| Unicast(Seconds::from_hours(2.0)));
+        let b = sweep.run_continuous(|| Unicast(Seconds::from_hours(2.0)));
+        assert_eq!(a.points[0], b.points[0]);
+    }
+}

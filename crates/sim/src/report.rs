@@ -1,0 +1,213 @@
+//! Plain-text rendering of experiment results.
+
+use std::fmt::Write as _;
+
+use crate::experiment::SweepSeries;
+
+/// A rectangular table of strings with a header row.
+///
+/// The figure-regeneration binaries print these; keeping the rendering here
+/// lets the integration tests assert on structure rather than formatting.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must have the same arity as `headers`.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's arity differs from the header's.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row arity must match header arity"
+        );
+        self.rows.push(row);
+    }
+
+    /// Builds the standard figure table: one row per rate, one column pair is
+    /// avoided — the caller picks averages (`Fig. 7/9`) or maxima (`Fig. 8`)
+    /// via `select`.
+    #[must_use]
+    pub fn from_series(
+        rate_header: &str,
+        series: &[SweepSeries],
+        select: fn(&crate::experiment::SweepPoint) -> f64,
+    ) -> Table {
+        let mut headers = vec![rate_header.to_owned()];
+        headers.extend(series.iter().map(|s| s.label.clone()));
+        let mut table = Table::new(headers);
+        if series.is_empty() {
+            return table;
+        }
+        let n_points = series[0].points.len();
+        for i in 0..n_points {
+            let mut row = vec![format!("{}", series[0].points[i].rate_per_hour)];
+            for s in series {
+                row.push(format!("{:.3}", select(&s.points[i])));
+            }
+            table.push_row(row);
+        }
+        table
+    }
+}
+
+/// Renders a table with aligned columns.
+///
+/// # Example
+///
+/// ```
+/// use vod_sim::{render_table, Table};
+///
+/// let mut t = Table::new(vec!["rate", "DHB"]);
+/// t.push_row(vec!["1", "2.01"]);
+/// let text = render_table(&t);
+/// assert!(text.contains("rate"));
+/// assert!(text.contains("2.01"));
+/// ```
+#[must_use]
+pub fn render_table(table: &Table) -> String {
+    let n_cols = table.headers.len();
+    let mut widths: Vec<usize> = table.headers.iter().map(String::len).collect();
+    for row in &table.rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            let _ = write!(out, "{:>width$}", cell, width = widths[i]);
+            if i + 1 < n_cols {
+                out.push_str("  ");
+            }
+        }
+        out.push('\n');
+    };
+    write_row(&mut out, &table.headers);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (n_cols.saturating_sub(1));
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in &table.rows {
+        write_row(&mut out, row);
+    }
+    out
+}
+
+/// Renders a table as CSV (no quoting — figure data never contains commas).
+#[must_use]
+pub fn csv_table(table: &Table) -> String {
+    let mut out = String::new();
+    out.push_str(&table.headers.join(","));
+    out.push('\n');
+    for row in &table.rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{SweepPoint, SweepSeries};
+
+    fn sample_series() -> Vec<SweepSeries> {
+        vec![
+            SweepSeries {
+                label: "DHB".into(),
+                points: vec![
+                    SweepPoint {
+                        rate_per_hour: 1.0,
+                        avg_streams: 1.9,
+                        max_streams: 3.0,
+                    },
+                    SweepPoint {
+                        rate_per_hour: 10.0,
+                        avg_streams: 3.5,
+                        max_streams: 5.0,
+                    },
+                ],
+            },
+            SweepSeries {
+                label: "NPB".into(),
+                points: vec![
+                    SweepPoint {
+                        rate_per_hour: 1.0,
+                        avg_streams: 6.0,
+                        max_streams: 6.0,
+                    },
+                    SweepPoint {
+                        rate_per_hour: 10.0,
+                        avg_streams: 6.0,
+                        max_streams: 6.0,
+                    },
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn from_series_builds_figure_table() {
+        let table = Table::from_series("req/h", &sample_series(), |p| p.avg_streams);
+        assert_eq!(table.headers, vec!["req/h", "DHB", "NPB"]);
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.rows[0], vec!["1", "1.900", "6.000"]);
+        assert_eq!(table.rows[1], vec!["10", "3.500", "6.000"]);
+    }
+
+    #[test]
+    fn from_series_max_selector() {
+        let table = Table::from_series("req/h", &sample_series(), |p| p.max_streams);
+        assert_eq!(table.rows[0], vec!["1", "3.000", "6.000"]);
+    }
+
+    #[test]
+    fn from_empty_series() {
+        let table = Table::from_series("req/h", &[], |p| p.avg_streams);
+        assert_eq!(table.headers, vec!["req/h"]);
+        assert!(table.rows.is_empty());
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let table = Table::from_series("req/h", &sample_series(), |p| p.avg_streams);
+        let text = render_table(&table);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, 2 rows
+        assert!(lines[0].contains("DHB") && lines[0].contains("NPB"));
+        // All rows have the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_round_trips_values() {
+        let table = Table::from_series("req/h", &sample_series(), |p| p.avg_streams);
+        let csv = csv_table(&table);
+        assert_eq!(csv, "req/h,DHB,NPB\n1,1.900,6.000\n10,3.500,6.000\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["only-one"]);
+    }
+}

@@ -1,0 +1,427 @@
+//! The slotted simulation engine.
+
+use vod_types::{Slot, Streams, VideoSpec};
+
+use crate::arrivals::ArrivalProcess;
+use crate::metrics::{LoadHistogram, RunningStats};
+use crate::rng::SimRng;
+
+/// A broadcasting protocol driven slot by slot.
+///
+/// DHB, UD and the fixed broadcasting protocols (FB, NPB, SB) all live behind
+/// this trait. The engine's contract per slot `i`, in order:
+///
+/// 1. [`on_request`](SlottedProtocol::on_request) is called once for every
+///    customer request whose arrival time falls inside slot `i`. Per the
+///    paper, such a request's transmission schedule starts at slot `i + 1`,
+///    so the protocol must never add transmissions to the current slot.
+/// 2. [`transmissions_in`](SlottedProtocol::transmissions_in) is called
+///    exactly once, and returns the number of segment instances the protocol
+///    transmits during slot `i`. Each instance occupies one data stream of
+///    bandwidth `b` for the whole slot, so this count *is* the slot's
+///    bandwidth in multiples of the consumption rate.
+pub trait SlottedProtocol {
+    /// Human-readable protocol name used in reports.
+    fn name(&self) -> &str;
+
+    /// Handles one customer request arriving during `slot`.
+    fn on_request(&mut self, slot: Slot);
+
+    /// Number of segment instances transmitted during `slot`.
+    ///
+    /// Called once per slot in strictly increasing slot order after all of
+    /// the slot's requests have been delivered.
+    fn transmissions_in(&mut self, slot: Slot) -> u32;
+
+    /// Extra whole slots a customer waits beyond the next slot boundary
+    /// before playback starts.
+    ///
+    /// 0 for the just-in-time protocols of Figures 7/8 (playback begins
+    /// with the first scheduled slot); 1 for deterministic-wait VBR
+    /// delivery (the paper's DHB-b/c/d, where a segment must be fully
+    /// buffered before it is watched). The engine feeds this into its
+    /// waiting-time statistics.
+    fn playback_delay_slots(&self) -> u64 {
+        0
+    }
+}
+
+impl<P: SlottedProtocol + ?Sized> SlottedProtocol for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn on_request(&mut self, slot: Slot) {
+        (**self).on_request(slot);
+    }
+
+    fn transmissions_in(&mut self, slot: Slot) -> u32 {
+        (**self).transmissions_in(slot)
+    }
+
+    fn playback_delay_slots(&self) -> u64 {
+        (**self).playback_delay_slots()
+    }
+}
+
+/// Configuration for one slotted simulation run.
+///
+/// # Example
+///
+/// ```
+/// use vod_sim::{PoissonProcess, SlottedProtocol, SlottedRun};
+/// use vod_types::{ArrivalRate, Slot, VideoSpec};
+///
+/// /// A protocol that transmits one instance per slot, unconditionally.
+/// struct OneStream;
+/// impl SlottedProtocol for OneStream {
+///     fn name(&self) -> &str { "one-stream" }
+///     fn on_request(&mut self, _: Slot) {}
+///     fn transmissions_in(&mut self, _: Slot) -> u32 { 1 }
+/// }
+///
+/// let video = VideoSpec::paper_two_hour();
+/// let report = SlottedRun::new(video)
+///     .warmup_slots(10)
+///     .measured_slots(100)
+///     .run(
+///         &mut OneStream,
+///         PoissonProcess::new(ArrivalRate::per_hour(10.0)),
+///     );
+/// assert_eq!(report.avg_bandwidth.get(), 1.0);
+/// assert_eq!(report.max_bandwidth.get(), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlottedRun {
+    video: VideoSpec,
+    warmup_slots: u64,
+    measured_slots: u64,
+    seed: u64,
+}
+
+impl SlottedRun {
+    /// Default number of warm-up slots excluded from statistics.
+    pub const DEFAULT_WARMUP: u64 = 200;
+    /// Default number of measured slots.
+    pub const DEFAULT_MEASURED: u64 = 5_000;
+
+    /// Creates a run over `video` with default warm-up, horizon and seed.
+    #[must_use]
+    pub fn new(video: VideoSpec) -> Self {
+        SlottedRun {
+            video,
+            warmup_slots: Self::DEFAULT_WARMUP,
+            measured_slots: Self::DEFAULT_MEASURED,
+            seed: 0xD4B_CA57,
+        }
+    }
+
+    /// Sets the number of initial slots excluded from statistics, letting the
+    /// protocol reach steady state.
+    #[must_use]
+    pub fn warmup_slots(mut self, slots: u64) -> Self {
+        self.warmup_slots = slots;
+        self
+    }
+
+    /// Sets the number of slots over which statistics are collected.
+    #[must_use]
+    pub fn measured_slots(mut self, slots: u64) -> Self {
+        self.measured_slots = slots;
+        self
+    }
+
+    /// Sets the random seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The video this run simulates.
+    #[must_use]
+    pub fn video(&self) -> VideoSpec {
+        self.video
+    }
+
+    /// Runs `protocol` against `arrivals` and collects bandwidth statistics.
+    pub fn run<P, A>(&self, protocol: &mut P, mut arrivals: A) -> SlottedReport
+    where
+        P: SlottedProtocol + ?Sized,
+        A: ArrivalProcess,
+    {
+        let mut rng = SimRng::seed_from(self.seed);
+        let d = self.video.segment_duration().as_secs_f64();
+        let total_slots = self.warmup_slots + self.measured_slots;
+
+        let mut stats = RunningStats::new();
+        let mut histogram = LoadHistogram::new();
+        let mut wait_stats = RunningStats::new();
+        let mut total_requests = 0u64;
+        let mut measured_requests = 0u64;
+        let playback_delay = protocol.playback_delay_slots() as f64 * d;
+
+        let mut pending = arrivals.next_arrival(&mut rng);
+        for slot_idx in 0..total_slots {
+            let slot = Slot::new(slot_idx);
+            let slot_end = (slot_idx + 1) as f64 * d;
+            while let Some(t) = pending {
+                if t.as_secs_f64() >= slot_end {
+                    break;
+                }
+                protocol.on_request(slot);
+                total_requests += 1;
+                if slot_idx >= self.warmup_slots {
+                    measured_requests += 1;
+                    // Wait: to the next slot boundary, plus any protocol-
+                    // mandated full-buffering delay.
+                    wait_stats.push(slot_end - t.as_secs_f64() + playback_delay);
+                }
+                pending = arrivals.next_arrival(&mut rng);
+            }
+            let load = protocol.transmissions_in(slot);
+            if slot_idx >= self.warmup_slots {
+                stats.push(f64::from(load));
+                histogram.record(load);
+            }
+        }
+
+        SlottedReport {
+            avg_bandwidth: Streams::new(stats.mean()),
+            max_bandwidth: Streams::new(stats.max().unwrap_or(0.0)),
+            bandwidth_stats: stats,
+            load_histogram: histogram,
+            wait_stats,
+            total_requests,
+            measured_requests,
+            measured_slots: self.measured_slots,
+        }
+    }
+}
+
+/// The outcome of one slotted simulation run.
+#[derive(Debug, Clone)]
+pub struct SlottedReport {
+    /// Mean per-slot bandwidth in multiples of the consumption rate
+    /// (Figure 7's y-axis).
+    pub avg_bandwidth: Streams,
+    /// Maximum per-slot bandwidth (Figure 8's y-axis).
+    pub max_bandwidth: Streams,
+    /// Full per-slot bandwidth statistics.
+    pub bandwidth_stats: RunningStats,
+    /// Distribution of per-slot loads.
+    pub load_histogram: LoadHistogram,
+    /// Customer waiting times in seconds, over the measured window (time to
+    /// the next slot boundary plus the protocol's playback delay).
+    pub wait_stats: RunningStats,
+    /// Requests delivered over the whole run, warm-up included.
+    pub total_requests: u64,
+    /// Requests delivered during the measured window.
+    pub measured_requests: u64,
+    /// Number of measured slots.
+    pub measured_slots: u64,
+}
+
+impl SlottedReport {
+    /// Observed arrival rate over the measured window, in requests per slot.
+    #[must_use]
+    pub fn observed_requests_per_slot(&self) -> f64 {
+        if self.measured_slots == 0 {
+            0.0
+        } else {
+            self.measured_requests as f64 / self.measured_slots as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::{DeterministicArrivals, PoissonProcess};
+    use vod_types::{ArrivalRate, Seconds};
+
+    /// Transmits as many instances as there were requests in the previous
+    /// slot — a minimal protocol exercising the engine's ordering contract.
+    struct EchoLast {
+        pending: u32,
+        expected_slot: u64,
+        saw_request_after_transmit: bool,
+    }
+
+    impl EchoLast {
+        fn new() -> Self {
+            EchoLast {
+                pending: 0,
+                expected_slot: 0,
+                saw_request_after_transmit: false,
+            }
+        }
+    }
+
+    impl SlottedProtocol for EchoLast {
+        fn name(&self) -> &str {
+            "echo-last"
+        }
+
+        fn on_request(&mut self, slot: Slot) {
+            // Requests must arrive for the slot currently being processed.
+            if slot.index() != self.expected_slot {
+                self.saw_request_after_transmit = true;
+            }
+            self.pending += 1;
+        }
+
+        fn transmissions_in(&mut self, slot: Slot) -> u32 {
+            assert_eq!(
+                slot.index(),
+                self.expected_slot,
+                "slots must be visited in order"
+            );
+            self.expected_slot += 1;
+            std::mem::take(&mut self.pending)
+        }
+    }
+
+    fn video_600s_10seg() -> VideoSpec {
+        VideoSpec::new(Seconds::new(600.0), 10).unwrap()
+    }
+
+    #[test]
+    fn arrivals_are_binned_into_the_right_slots() {
+        // d = 60 s. Arrivals at 10 s, 59 s (slot 0), 61 s (slot 1), 200 s (slot 3).
+        let video = video_600s_10seg();
+        let arrivals = DeterministicArrivals::new(vec![
+            Seconds::new(10.0),
+            Seconds::new(59.0),
+            Seconds::new(61.0),
+            Seconds::new(200.0),
+        ]);
+        let mut protocol = EchoLast::new();
+        let report = SlottedRun::new(video)
+            .warmup_slots(0)
+            .measured_slots(10)
+            .run(&mut protocol, arrivals);
+
+        assert!(!protocol.saw_request_after_transmit);
+        assert_eq!(report.total_requests, 4);
+        // Slot loads: slot0=2, slot1=1, slot3=1, rest 0.
+        assert_eq!(report.load_histogram.count_at(2), 1);
+        assert_eq!(report.load_histogram.count_at(1), 2);
+        assert_eq!(report.max_bandwidth, Streams::new(2.0));
+        assert!((report.avg_bandwidth.get() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warmup_slots_are_excluded_from_stats() {
+        let video = video_600s_10seg();
+        // One arrival in slot 0 (warm-up), one in slot 5 (measured).
+        let arrivals = DeterministicArrivals::new(vec![Seconds::new(5.0), Seconds::new(330.0)]);
+        let report = SlottedRun::new(video)
+            .warmup_slots(2)
+            .measured_slots(8)
+            .run(&mut EchoLast::new(), arrivals);
+
+        assert_eq!(report.total_requests, 2);
+        assert_eq!(report.measured_requests, 1);
+        assert_eq!(report.bandwidth_stats.count(), 8);
+        assert_eq!(report.max_bandwidth, Streams::new(1.0));
+    }
+
+    #[test]
+    fn observed_rate_tracks_configured_rate() {
+        let video = VideoSpec::paper_two_hour();
+        let rate = ArrivalRate::per_hour(100.0);
+        let report = SlottedRun::new(video)
+            .warmup_slots(50)
+            .measured_slots(2_000)
+            .seed(99)
+            .run(&mut EchoLast::new(), PoissonProcess::new(rate));
+        let d_hours = video.segment_duration().as_hours();
+        let observed_per_hour = report.observed_requests_per_slot() / d_hours;
+        assert!(
+            (observed_per_hour - 100.0).abs() < 10.0,
+            "observed {observed_per_hour} req/h"
+        );
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let video = VideoSpec::paper_two_hour();
+        let run = SlottedRun::new(video)
+            .warmup_slots(10)
+            .measured_slots(500)
+            .seed(7);
+        let rate = ArrivalRate::per_hour(50.0);
+        let a = run.run(&mut EchoLast::new(), PoissonProcess::new(rate));
+        let b = run.run(&mut EchoLast::new(), PoissonProcess::new(rate));
+        assert_eq!(a.total_requests, b.total_requests);
+        assert_eq!(a.avg_bandwidth, b.avg_bandwidth);
+        assert_eq!(a.max_bandwidth, b.max_bandwidth);
+    }
+
+    #[test]
+    fn waiting_times_are_bounded_by_one_slot_plus_delay() {
+        // d = 72.7 s: every wait lies in (0, d], averaging ~d/2.
+        let video = VideoSpec::paper_two_hour();
+        let d = video.segment_duration().as_secs_f64();
+        let report = SlottedRun::new(video)
+            .warmup_slots(0)
+            .measured_slots(2_000)
+            .seed(3)
+            .run(
+                &mut EchoLast::new(),
+                PoissonProcess::new(ArrivalRate::per_hour(100.0)),
+            );
+        let waits = &report.wait_stats;
+        assert!(waits.count() > 100);
+        assert!(waits.max().unwrap() <= d + 1e-9);
+        assert!(waits.min().unwrap() > 0.0);
+        assert!(
+            (waits.mean() - d / 2.0).abs() < d * 0.1,
+            "mean {}",
+            waits.mean()
+        );
+    }
+
+    #[test]
+    fn playback_delay_shifts_waits_by_whole_slots() {
+        struct Delayed;
+        impl SlottedProtocol for Delayed {
+            fn name(&self) -> &str {
+                "delayed"
+            }
+            fn on_request(&mut self, _: Slot) {}
+            fn transmissions_in(&mut self, _: Slot) -> u32 {
+                0
+            }
+            fn playback_delay_slots(&self) -> u64 {
+                1
+            }
+        }
+        let video = video_600s_10seg(); // d = 60 s
+        let report = SlottedRun::new(video)
+            .warmup_slots(0)
+            .measured_slots(10)
+            .run(
+                &mut Delayed,
+                DeterministicArrivals::new(vec![Seconds::new(30.0)]),
+            );
+        // Arrived mid-slot: 30 s to the boundary + one full slot.
+        assert!((report.wait_stats.mean() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boxed_protocols_work() {
+        let video = video_600s_10seg();
+        let mut boxed: Box<dyn SlottedProtocol> = Box::new(EchoLast::new());
+        let report = SlottedRun::new(video)
+            .warmup_slots(0)
+            .measured_slots(5)
+            .run(
+                &mut boxed,
+                DeterministicArrivals::new(vec![Seconds::new(1.0)]),
+            );
+        assert_eq!(report.total_requests, 1);
+        assert_eq!(boxed.name(), "echo-last");
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+use vod_sim::{
+    ArrivalProcess, DeterministicArrivals, PoissonProcess, RunningStats, SimRng, SlottedProtocol,
+    SlottedRun, TimeWeightedMax,
+};
+use vod_types::{ArrivalRate, Seconds, Slot, VideoSpec};
+
+/// Counts requests per slot; transmits that count.
+struct Echo {
+    pending: u32,
+}
+
+impl SlottedProtocol for Echo {
+    fn name(&self) -> &str {
+        "echo"
+    }
+    fn on_request(&mut self, _: Slot) {
+        self.pending += 1;
+    }
+    fn transmissions_in(&mut self, _: Slot) -> u32 {
+        std::mem::take(&mut self.pending)
+    }
+}
+
+proptest! {
+    /// RunningStats matches a direct two-pass computation.
+    #[test]
+    fn running_stats_matches_naive(data in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = RunningStats::new();
+        s.extend(data.iter().copied());
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.population_variance() - var).abs() < 1e-4 * var.max(1.0));
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.max(), Some(max));
+    }
+
+    /// Merging any split of the data equals processing it whole.
+    #[test]
+    fn running_stats_merge_any_split(
+        data in prop::collection::vec(-1e3f64..1e3, 2..100),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((data.len() as f64) * split_frac) as usize;
+        let mut whole = RunningStats::new();
+        whole.extend(data.iter().copied());
+        let mut left = RunningStats::new();
+        left.extend(data[..split].iter().copied());
+        let mut right = RunningStats::new();
+        right.extend(data[split..].iter().copied());
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
+    }
+
+    /// Poisson arrival times are strictly increasing and roughly at rate λ.
+    #[test]
+    fn poisson_is_monotone(seed in 0u64..1000, rate_ph in 1.0f64..2000.0) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut p = PoissonProcess::new(ArrivalRate::per_hour(rate_ph));
+        let mut prev = Seconds::ZERO;
+        for _ in 0..50 {
+            let t = p.next_arrival(&mut rng).unwrap();
+            prop_assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    /// Max overlap of intervals computed by sweep matches a brute-force
+    /// point-sampling lower bound and never undercounts.
+    #[test]
+    fn overlap_max_is_correct(intervals in prop::collection::vec((0.0f64..100.0, 0.1f64..30.0), 1..40)) {
+        let mut t = TimeWeightedMax::new();
+        let mut concrete = Vec::new();
+        for &(start, len) in &intervals {
+            t.add_interval(start, start + len);
+            concrete.push((start, start + len));
+        }
+        let sweep_max = t.max_concurrent();
+        // Brute force: evaluate overlap just after each start point.
+        let brute = concrete
+            .iter()
+            .map(|&(s, _)| {
+                let probe = s + 1e-9;
+                concrete.iter().filter(|&&(a, b)| a <= probe && probe < b).count()
+            })
+            .max()
+            .unwrap_or(0) as u32;
+        prop_assert_eq!(sweep_max, brute);
+        // Total busy time equals the sum of lengths.
+        let total: f64 = intervals.iter().map(|&(_, len)| len).sum();
+        prop_assert!((t.total_busy_time() - total).abs() < 1e-6);
+    }
+
+    /// The slotted engine delivers every scripted arrival exactly once and
+    /// bins it into the slot containing its arrival time.
+    #[test]
+    fn slotted_engine_accounts_every_request(
+        times in prop::collection::vec(0.0f64..580.0, 0..50),
+    ) {
+        let mut sorted = times.clone();
+        sorted.sort_by(f64::total_cmp);
+        let video = VideoSpec::new(Seconds::new(600.0), 10).unwrap();
+        let arrivals = DeterministicArrivals::new(
+            sorted.iter().map(|&t| Seconds::new(t)).collect(),
+        );
+        let report = SlottedRun::new(video)
+            .warmup_slots(0)
+            .measured_slots(10)
+            .run(&mut Echo { pending: 0 }, arrivals);
+        prop_assert_eq!(report.total_requests, sorted.len() as u64);
+        // Total transmissions equal total requests for the echo protocol.
+        let total_load: f64 =
+            report.bandwidth_stats.mean() * report.bandwidth_stats.count() as f64;
+        prop_assert!((total_load - sorted.len() as f64).abs() < 1e-9);
+    }
+}

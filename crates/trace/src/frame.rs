@@ -1,0 +1,249 @@
+//! MPEG frame and group-of-pictures structure.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The three MPEG picture types.
+///
+/// I-frames are intra-coded (largest), P-frames are forward-predicted,
+/// B-frames are bidirectionally predicted (smallest). The paper's references
+/// \[1\]\[9\] model VBR traffic around exactly this structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Intra-coded picture.
+    I,
+    /// Predicted picture.
+    P,
+    /// Bidirectionally predicted picture.
+    B,
+}
+
+impl FrameKind {
+    /// The conventional relative size of this frame type within a GOP,
+    /// before scene-level modulation (I : P : B ≈ 5 : 2 : 1, in line with
+    /// published MPEG-1/2 trace studies).
+    #[must_use]
+    pub fn relative_size(self) -> f64 {
+        match self {
+            FrameKind::I => 5.0,
+            FrameKind::P => 2.0,
+            FrameKind::B => 1.0,
+        }
+    }
+}
+
+impl fmt::Display for FrameKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            FrameKind::I => 'I',
+            FrameKind::P => 'P',
+            FrameKind::B => 'B',
+        };
+        write!(f, "{c}")
+    }
+}
+
+impl TryFrom<char> for FrameKind {
+    type Error = InvalidGopPattern;
+
+    fn try_from(c: char) -> Result<Self, InvalidGopPattern> {
+        match c {
+            'I' => Ok(FrameKind::I),
+            'P' => Ok(FrameKind::P),
+            'B' => Ok(FrameKind::B),
+            other => Err(InvalidGopPattern::UnknownFrame(other)),
+        }
+    }
+}
+
+/// A repeating group-of-pictures pattern plus a frame rate.
+///
+/// # Example
+///
+/// ```
+/// use vod_trace::GopStructure;
+///
+/// let gop: GopStructure = "IBBPBBPBBPBB".parse()?;
+/// assert_eq!(gop.len(), 12);
+/// assert_eq!(gop.frame_at(0).to_string(), "I");
+/// assert_eq!(gop.frame_at(12).to_string(), "I"); // wraps
+/// # Ok::<(), vod_trace::frame::InvalidGopPattern>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GopStructure {
+    pattern: Vec<FrameKind>,
+    fps: u32,
+}
+
+impl GopStructure {
+    /// The default DVD-style structure: a 12-frame `IBBPBBPBBPBB` GOP at 24
+    /// frames per second (film material, as on *The Matrix* DVD).
+    #[must_use]
+    pub fn dvd_default() -> Self {
+        "IBBPBBPBBPBB"
+            .parse::<GopStructure>()
+            .expect("static pattern is valid")
+    }
+
+    /// Creates a structure from an explicit pattern and frame rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidGopPattern`] if the pattern is empty, does not start
+    /// with an I-frame, or contains characters other than `I`, `P`, `B`.
+    pub fn new(pattern: &str, fps: u32) -> Result<Self, InvalidGopPattern> {
+        if pattern.is_empty() {
+            return Err(InvalidGopPattern::Empty);
+        }
+        let frames: Vec<FrameKind> = pattern
+            .chars()
+            .map(FrameKind::try_from)
+            .collect::<Result<_, _>>()?;
+        if frames[0] != FrameKind::I {
+            return Err(InvalidGopPattern::MustStartWithI);
+        }
+        if fps == 0 {
+            return Err(InvalidGopPattern::ZeroFps);
+        }
+        Ok(GopStructure {
+            pattern: frames,
+            fps,
+        })
+    }
+
+    /// Number of frames in one GOP.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pattern.len()
+    }
+
+    /// Always false: a GOP has at least one frame.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Frames per second.
+    #[must_use]
+    pub fn fps(&self) -> u32 {
+        self.fps
+    }
+
+    /// The frame type at global frame index `i` (the pattern repeats).
+    #[must_use]
+    pub fn frame_at(&self, i: usize) -> FrameKind {
+        self.pattern[i % self.pattern.len()]
+    }
+
+    /// Mean of `relative_size` over one GOP — the normalisation constant
+    /// linking scene levels to frame sizes.
+    #[must_use]
+    pub fn mean_relative_size(&self) -> f64 {
+        let sum: f64 = self.pattern.iter().map(|k| k.relative_size()).sum();
+        sum / self.pattern.len() as f64
+    }
+
+    /// Number of frames in `secs` seconds of video.
+    #[must_use]
+    pub fn frames_in(&self, secs: f64) -> usize {
+        (secs * f64::from(self.fps)).round() as usize
+    }
+}
+
+impl FromStr for GopStructure {
+    type Err = InvalidGopPattern;
+
+    /// Parses a pattern at the default 24 fps.
+    fn from_str(s: &str) -> Result<Self, InvalidGopPattern> {
+        GopStructure::new(s, 24)
+    }
+}
+
+/// Error building a [`GopStructure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvalidGopPattern {
+    /// The pattern string was empty.
+    Empty,
+    /// The pattern did not start with an I-frame.
+    MustStartWithI,
+    /// A character other than `I`, `P` or `B` appeared.
+    UnknownFrame(char),
+    /// The frame rate was zero.
+    ZeroFps,
+}
+
+impl fmt::Display for InvalidGopPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidGopPattern::Empty => write!(f, "GOP pattern must not be empty"),
+            InvalidGopPattern::MustStartWithI => {
+                write!(f, "GOP pattern must start with an I-frame")
+            }
+            InvalidGopPattern::UnknownFrame(c) => {
+                write!(f, "unknown frame type {c:?} in GOP pattern")
+            }
+            InvalidGopPattern::ZeroFps => write!(f, "frame rate must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for InvalidGopPattern {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dvd_default_shape() {
+        let gop = GopStructure::dvd_default();
+        assert_eq!(gop.len(), 12);
+        assert_eq!(gop.fps(), 24);
+        assert_eq!(gop.frame_at(0), FrameKind::I);
+        assert_eq!(gop.frame_at(3), FrameKind::P);
+        assert_eq!(gop.frame_at(1), FrameKind::B);
+        // Pattern wraps.
+        assert_eq!(gop.frame_at(24), FrameKind::I);
+        assert!(!gop.is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_bad_patterns() {
+        assert_eq!("".parse::<GopStructure>(), Err(InvalidGopPattern::Empty));
+        assert_eq!(
+            "PBB".parse::<GopStructure>(),
+            Err(InvalidGopPattern::MustStartWithI)
+        );
+        assert_eq!(
+            "IXB".parse::<GopStructure>(),
+            Err(InvalidGopPattern::UnknownFrame('X'))
+        );
+        assert_eq!(GopStructure::new("I", 0), Err(InvalidGopPattern::ZeroFps));
+    }
+
+    #[test]
+    fn mean_relative_size_of_dvd_gop() {
+        // 1×5 + 3×2 + 8×1 = 19 over 12 frames.
+        let gop = GopStructure::dvd_default();
+        assert!((gop.mean_relative_size() - 19.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frames_in_duration() {
+        let gop = GopStructure::dvd_default();
+        assert_eq!(gop.frames_in(1.0), 24);
+        assert_eq!(gop.frames_in(8170.0), 196_080);
+    }
+
+    #[test]
+    fn relative_sizes_are_ordered() {
+        assert!(FrameKind::I.relative_size() > FrameKind::P.relative_size());
+        assert!(FrameKind::P.relative_size() > FrameKind::B.relative_size());
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(InvalidGopPattern::UnknownFrame('x')
+            .to_string()
+            .contains("unknown frame type"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Reading and writing traces in a plain-text interchange format.
+//!
+//! The Section-4 analysis runs on a synthetic stand-in because the paper's
+//! DVD trace is proprietary — but everything downstream
+//! ([`crate::segmentation`], [`crate::smoothing`], [`crate::periods`],
+//! [`crate::plan`]) only needs per-frame sizes. This module defines a
+//! one-number-per-line text format so a *real* trace (e.g. from the public
+//! MPEG trace archives the paper's refs \[1\]\[9\] draw on) can be dropped
+//! in:
+//!
+//! ```text
+//! # vod-trace v1 fps=24
+//! 31.4
+//! 7.2
+//! 6.9
+//! …
+//! ```
+//!
+//! Lines starting with `#` after the header are comments; blank lines are
+//! ignored. Sizes are kilobytes per frame.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::trace::{InvalidTrace, VbrTrace};
+
+/// The header magic of version 1.
+const HEADER_PREFIX: &str = "# vod-trace v1 fps=";
+
+/// Writes `trace` in the interchange format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_frame_sizes<W: Write>(trace: &VbrTrace, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "{HEADER_PREFIX}{}", trace.fps())?;
+    for size in trace.frame_sizes() {
+        writeln!(w, "{size}")?;
+    }
+    Ok(())
+}
+
+/// Reads a trace in the interchange format.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on I/O failures, a missing or malformed
+/// header, unparsable lines, or frame sizes a [`VbrTrace`] rejects.
+pub fn read_frame_sizes<R: BufRead>(r: R) -> Result<VbrTrace, TraceIoError> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or(TraceIoError::MissingHeader)?
+        .map_err(TraceIoError::Io)?;
+    let fps: u32 = header
+        .strip_prefix(HEADER_PREFIX)
+        .ok_or(TraceIoError::MissingHeader)?
+        .trim()
+        .parse()
+        .map_err(|_| TraceIoError::MissingHeader)?;
+
+    let mut sizes = Vec::new();
+    for (idx, line) in lines.enumerate() {
+        let line = line.map_err(TraceIoError::Io)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let size: f64 = trimmed.parse().map_err(|_| TraceIoError::BadLine {
+            // +2: 1-based, counting the header.
+            line: idx + 2,
+        })?;
+        sizes.push(size);
+    }
+    VbrTrace::new(fps, sizes).map_err(TraceIoError::Invalid)
+}
+
+/// Error reading a trace file.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The `# vod-trace v1 fps=N` header was absent or malformed.
+    MissingHeader,
+    /// A data line did not parse as a number.
+    BadLine {
+        /// 1-based line number in the file.
+        line: usize,
+    },
+    /// The parsed sizes do not form a valid trace.
+    Invalid(InvalidTrace),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+            TraceIoError::MissingHeader => {
+                write!(f, "missing or malformed '{HEADER_PREFIX}N' header")
+            }
+            TraceIoError::BadLine { line } => {
+                write!(f, "line {line} is not a frame size")
+            }
+            TraceIoError::Invalid(e) => write!(f, "invalid trace data: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SyntheticVbr;
+    use vod_types::Seconds;
+
+    #[test]
+    fn round_trip_preserves_the_trace() {
+        let trace = SyntheticVbr::new(Seconds::new(30.0)).generate(4);
+        let mut buf = Vec::new();
+        write_frame_sizes(&trace, &mut buf).unwrap();
+        let back = read_frame_sizes(buf.as_slice()).unwrap();
+        assert_eq!(back.fps(), trace.fps());
+        assert_eq!(back.n_frames(), trace.n_frames());
+        for (a, b) in back.frame_sizes().iter().zip(trace.frame_sizes()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "# vod-trace v1 fps=2\n1.5\n\n# a comment\n2.5\n";
+        let trace = read_frame_sizes(text.as_bytes()).unwrap();
+        assert_eq!(trace.fps(), 2);
+        assert_eq!(trace.frame_sizes(), &[1.5, 2.5]);
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        assert!(matches!(
+            read_frame_sizes("1.5\n2.5\n".as_bytes()),
+            Err(TraceIoError::MissingHeader)
+        ));
+        assert!(matches!(
+            read_frame_sizes("# vod-trace v1 fps=abc\n".as_bytes()),
+            Err(TraceIoError::MissingHeader)
+        ));
+        assert!(matches!(
+            read_frame_sizes("".as_bytes()),
+            Err(TraceIoError::MissingHeader)
+        ));
+    }
+
+    #[test]
+    fn bad_lines_are_located() {
+        let text = "# vod-trace v1 fps=2\n1.5\nnot-a-number\n";
+        match read_frame_sizes(text.as_bytes()) {
+            Err(TraceIoError::BadLine { line }) => assert_eq!(line, 3),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_traces_are_rejected() {
+        let text = "# vod-trace v1 fps=2\n1.5\n-3.0\n";
+        assert!(matches!(
+            read_frame_sizes(text.as_bytes()),
+            Err(TraceIoError::Invalid(_))
+        ));
+        let empty = "# vod-trace v1 fps=2\n";
+        assert!(matches!(
+            read_frame_sizes(empty.as_bytes()),
+            Err(TraceIoError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let trace = SyntheticVbr::new(Seconds::new(10.0)).generate(5);
+        let path = std::env::temp_dir().join("vod-trace-io-test.txt");
+        {
+            let file = std::fs::File::create(&path).unwrap();
+            write_frame_sizes(&trace, std::io::BufWriter::new(file)).unwrap();
+        }
+        let file = std::fs::File::open(&path).unwrap();
+        let back = read_frame_sizes(std::io::BufReader::new(file)).unwrap();
+        assert_eq!(back.n_frames(), trace.n_frames());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn errors_display_helpfully() {
+        let e = TraceIoError::BadLine { line: 7 };
+        assert!(e.to_string().contains("line 7"));
+        assert!(TraceIoError::MissingHeader.to_string().contains("fps="));
+    }
+}

@@ -1,0 +1,55 @@
+//! The variable-bit-rate (VBR) video substrate for Section 4 of the paper.
+//!
+//! The paper tunes DHB to a DVD MPEG trace of *The Matrix* (8170 seconds,
+//! 951 KB/s peak over one second, 636 KB/s average). That trace is
+//! proprietary, so this crate builds the closest synthetic equivalent: an
+//! MPEG-like GOP-structured frame-size process with scene-level modulation,
+//! calibrated to reproduce exactly the three statistics the paper reports
+//! (see [`matrix::matrix_like`] and DESIGN.md §5).
+//!
+//! On top of the trace the crate implements the whole Section 4 pipeline:
+//!
+//! * [`segmentation`] — equal-duration segments and their mean/peak rates
+//!   (variants DHB-a and DHB-b);
+//! * [`smoothing`] — work-ahead smoothing after Salehi et al. \[18\]:
+//!   the minimal constant delivery rate under a startup delay, and the
+//!   optimal (taut-string) piecewise-CBR schedule under a finite client
+//!   buffer (variant DHB-c);
+//! * [`periods`] — per-segment maximum transmission periods `T[i]`
+//!   (variant DHB-d);
+//! * [`plan`] — the [`plan::BroadcastPlan`] consumed by the DHB scheduler,
+//!   one constructor per variant.
+//!
+//! # Example
+//!
+//! ```
+//! use vod_trace::matrix::matrix_like;
+//! use vod_trace::plan::{BroadcastPlan, DhbVariant};
+//! use vod_types::Seconds;
+//!
+//! let trace = matrix_like(42);
+//! assert!((trace.mean_rate().get() - 636.0).abs() < 1.0);
+//! let plan = BroadcastPlan::for_variant(&trace, DhbVariant::B, Seconds::new(60.0));
+//! // DHB-b streams at the worst per-segment mean rate, well below the peak.
+//! assert!(plan.stream_rate < trace.peak_rate_over_one_second());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod analysis;
+pub mod frame;
+pub mod io;
+pub mod matrix;
+pub mod periods;
+pub mod plan;
+pub mod presets;
+pub mod segmentation;
+pub mod smoothing;
+pub mod synth;
+mod trace;
+
+pub use frame::{FrameKind, GopStructure};
+pub use plan::{BroadcastPlan, DhbVariant};
+pub use presets::FilmPreset;
+pub use trace::{InvalidTrace, VbrTrace};

@@ -1,0 +1,208 @@
+//! The calibrated *Matrix*-like trace (the paper's Section 4 workload).
+//!
+//! The paper analyses "a DVD format version of the movie The Matrix" and
+//! reports exactly three statistics:
+//!
+//! * duration **8170 seconds** (2 h 16 min 10 s),
+//! * maximum bandwidth over one second **951 KB/s**,
+//! * average bandwidth **636 KB/s**.
+//!
+//! The original trace is proprietary; [`matrix_like`] substitutes a synthetic
+//! MPEG-like trace ([`crate::synth`]) calibrated so that all three statistics
+//! match to within 0.1%. Every Section-4 quantity (per-segment rates,
+//! smoothing rate, `T[i]` periods) is derived from the cumulative consumption
+//! curve, so pinning these moments preserves the shape of the DHB-a→d
+//! comparison even though the frame-level data differs (see DESIGN.md §5).
+
+use vod_types::{KilobytesPerSec, Seconds};
+
+use crate::synth::SyntheticVbr;
+use crate::trace::VbrTrace;
+
+/// Duration of the paper's trace: 8170 s.
+pub const MATRIX_DURATION_SECS: f64 = 8170.0;
+/// The paper's one-second peak rate: 951 KB/s.
+pub const MATRIX_PEAK_1S_KBPS: f64 = 951.0;
+/// The paper's mean rate: 636 KB/s.
+pub const MATRIX_MEAN_KBPS: f64 = 636.0;
+/// Relative tolerance the calibration guarantees on both statistics.
+pub const CALIBRATION_TOLERANCE: f64 = 1e-3;
+
+/// Generates the calibrated *Matrix*-like trace for a seed.
+///
+/// Deterministic per seed. The returned trace satisfies (within
+/// [`CALIBRATION_TOLERANCE`]):
+/// duration = [`MATRIX_DURATION_SECS`], mean rate = [`MATRIX_MEAN_KBPS`],
+/// one-second peak = [`MATRIX_PEAK_1S_KBPS`].
+///
+/// # Example
+///
+/// ```
+/// use vod_trace::matrix::{matrix_like, MATRIX_MEAN_KBPS, MATRIX_PEAK_1S_KBPS};
+///
+/// let trace = matrix_like(42);
+/// assert!((trace.mean_rate().get() - MATRIX_MEAN_KBPS).abs() < 1.0);
+/// assert!((trace.peak_rate_over_one_second().get() - MATRIX_PEAK_1S_KBPS).abs() < 1.0);
+/// ```
+#[must_use]
+pub fn matrix_like(seed: u64) -> VbrTrace {
+    let raw = SyntheticVbr::new(Seconds::new(MATRIX_DURATION_SECS)).generate(seed);
+    calibrate(
+        &raw,
+        KilobytesPerSec::new(MATRIX_MEAN_KBPS),
+        KilobytesPerSec::new(MATRIX_PEAK_1S_KBPS),
+    )
+}
+
+/// Calibrates a trace so its mean rate and one-second peak rate match the
+/// targets (within [`CALIBRATION_TOLERANCE`] relative error).
+///
+/// Two moves are iterated to convergence:
+///
+/// 1. a global scale pinning the mean;
+/// 2. an affine contraction/expansion around the mean frame size
+///    (`y = m + γ·(x − m)`), which preserves the mean exactly and maps the
+///    peak one-second window onto the target peak. The map is monotone on
+///    window sums, so the argmax window is stable and one step is exact —
+///    iteration is only needed when expansion (γ > 1) clips a frame at the
+///    non-negativity floor.
+///
+/// # Panics
+///
+/// Panics if the targets are non-positive, if the target peak is below the
+/// target mean, or if the calibration fails to converge in 100 iterations.
+/// Non-convergence means the requested peak/mean ratio is outside the
+/// envelope reachable by a mean-preserving affine map of this trace
+/// (roughly 1.0–2× for the default generator; the paper's target is 1.495).
+#[must_use]
+pub fn calibrate(
+    trace: &VbrTrace,
+    target_mean: KilobytesPerSec,
+    target_peak: KilobytesPerSec,
+) -> VbrTrace {
+    assert!(target_mean.get() > 0.0, "target mean must be positive");
+    assert!(
+        target_peak.get() >= target_mean.get(),
+        "target peak must be at least the target mean"
+    );
+
+    let fps = f64::from(trace.fps());
+    let mut current = trace.clone();
+    for _ in 0..100 {
+        // Pin the mean with a global scale.
+        let mean = current.mean_rate().get();
+        assert!(
+            mean > 0.0,
+            "trace mean collapsed to zero during calibration"
+        );
+        current = current.scaled(target_mean.get() / mean);
+
+        let peak = current.peak_rate_over_one_second().get();
+        let mean = current.mean_rate().get();
+        if (peak - target_peak.get()).abs() / target_peak.get() < CALIBRATION_TOLERANCE
+            && (mean - target_mean.get()).abs() / target_mean.get() < CALIBRATION_TOLERANCE
+        {
+            return current;
+        }
+
+        // Affine map around the mean frame size. Guard against a flat trace
+        // where peak == mean and γ is undefined.
+        let spread = peak - mean;
+        assert!(
+            spread > 1e-9,
+            "cannot calibrate a flat trace to a peak above its mean"
+        );
+        // Damp large expansions: a big γ pushes many small B-frames onto the
+        // non-negativity floor at once, and the resulting mean shift can
+        // oscillate. Stepping by at most 1.5× per iteration converges
+        // smoothly instead.
+        let gamma = ((target_peak.get() - mean) / spread).clamp(0.05, 1.5);
+        let mean_frame = mean / fps;
+        let floor = 0.005 * mean_frame;
+        let sizes: Vec<f64> = current
+            .frame_sizes()
+            .iter()
+            .map(|&x| (mean_frame + gamma * (x - mean_frame)).max(floor))
+            .collect();
+        current = VbrTrace::new(trace.fps(), sizes).expect("calibrated sizes are valid");
+    }
+    panic!("calibration did not converge in 100 iterations");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_like_hits_published_statistics() {
+        let trace = matrix_like(1);
+        assert_eq!(trace.duration().as_secs_f64(), MATRIX_DURATION_SECS);
+        let mean = trace.mean_rate().get();
+        let peak = trace.peak_rate_over_one_second().get();
+        assert!(
+            (mean - MATRIX_MEAN_KBPS).abs() / MATRIX_MEAN_KBPS < CALIBRATION_TOLERANCE,
+            "mean {mean}"
+        );
+        assert!(
+            (peak - MATRIX_PEAK_1S_KBPS).abs() / MATRIX_PEAK_1S_KBPS < CALIBRATION_TOLERANCE,
+            "peak {peak}"
+        );
+    }
+
+    #[test]
+    fn matrix_like_is_deterministic_and_seed_sensitive() {
+        let a = matrix_like(10);
+        let b = matrix_like(10);
+        assert_eq!(a.frame_sizes(), b.frame_sizes());
+        let c = matrix_like(11);
+        assert_ne!(a.frame_sizes(), c.frame_sizes());
+        // Different seeds still share the calibrated statistics.
+        assert!((c.mean_rate().get() - MATRIX_MEAN_KBPS).abs() < 1.0);
+        assert!((c.peak_rate_over_one_second().get() - MATRIX_PEAK_1S_KBPS).abs() < 1.0);
+    }
+
+    #[test]
+    fn calibrate_compresses_an_overly_bursty_trace() {
+        // Raw synthetic traces are typically *more* bursty than 951/636;
+        // calibration must compress the dynamic range without disturbing the
+        // mean.
+        let raw = SyntheticVbr::new(Seconds::new(2000.0))
+            .scene_sigma(0.8)
+            .generate(99);
+        let calibrated = calibrate(
+            &raw,
+            KilobytesPerSec::new(500.0),
+            KilobytesPerSec::new(700.0),
+        );
+        assert!((calibrated.mean_rate().get() - 500.0).abs() < 0.5);
+        assert!((calibrated.peak_rate_over_one_second().get() - 700.0).abs() < 0.7);
+    }
+
+    #[test]
+    fn calibrate_expands_a_tame_trace() {
+        let raw = SyntheticVbr::new(Seconds::new(2000.0))
+            .scene_sigma(0.1)
+            .frame_noise_sigma(0.02)
+            .generate(7);
+        let calibrated = calibrate(
+            &raw,
+            KilobytesPerSec::new(600.0),
+            KilobytesPerSec::new(1200.0),
+        );
+        assert!((calibrated.mean_rate().get() - 600.0).abs() < 0.6);
+        assert!((calibrated.peak_rate_over_one_second().get() - 1200.0).abs() < 1.2);
+        // Expansion must not create negative frames.
+        assert!(calibrated.frame_sizes().iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "target peak must be at least the target mean")]
+    fn peak_below_mean_rejected() {
+        let raw = SyntheticVbr::new(Seconds::new(100.0)).generate(1);
+        let _ = calibrate(
+            &raw,
+            KilobytesPerSec::new(600.0),
+            KilobytesPerSec::new(500.0),
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Equal-duration segmentation of a VBR trace.
+//!
+//! Section 4 of the paper partitions the 8170-second trace into 137 segments
+//! of (at most) one minute. DHB-a streams each segment at the global peak
+//! rate; DHB-b only needs the worst per-segment *mean* rate, because each
+//! segment is fully buffered one slot ahead of its playback.
+
+use std::fmt;
+
+use vod_types::{DataSize, KilobytesPerSec, Seconds};
+
+use crate::trace::VbrTrace;
+
+/// Number of equal segments needed so that none exceeds `max_wait`
+/// (`⌈D / w⌉` — the paper's 8170 s / 60 s → 137).
+///
+/// # Panics
+///
+/// Panics if `max_wait` is not positive.
+#[must_use]
+pub fn segments_for_max_wait(duration: Seconds, max_wait: Seconds) -> usize {
+    assert!(
+        max_wait.as_secs_f64() > 0.0,
+        "maximum wait must be positive"
+    );
+    (duration.as_secs_f64() / max_wait.as_secs_f64()).ceil() as usize
+}
+
+/// A trace cut into `n` equal-duration segments.
+///
+/// # Example
+///
+/// ```
+/// use vod_trace::segmentation::Segmentation;
+/// use vod_trace::VbrTrace;
+/// use vod_types::{KilobytesPerSec, Seconds};
+///
+/// let trace = VbrTrace::constant_rate(24, Seconds::new(600.0), KilobytesPerSec::new(500.0));
+/// let seg = Segmentation::new(&trace, 10);
+/// assert_eq!(seg.segment_duration(), Seconds::new(60.0));
+/// // On a CBR trace every segment has the same mean rate.
+/// assert!((seg.max_segment_mean_rate().get() - 500.0).abs() < 1e-6);
+/// ```
+#[derive(Clone)]
+pub struct Segmentation<'a> {
+    trace: &'a VbrTrace,
+    n: usize,
+    /// `volumes[i]` = data in segment `i` (0-based), KB.
+    volumes: Vec<f64>,
+}
+
+impl fmt::Debug for Segmentation<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Segmentation")
+            .field("n", &self.n)
+            .field("segment_duration_s", &self.segment_duration().as_secs_f64())
+            .finish()
+    }
+}
+
+impl<'a> Segmentation<'a> {
+    /// Cuts `trace` into `n` equal-duration segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(trace: &'a VbrTrace, n: usize) -> Self {
+        assert!(n > 0, "segment count must be positive");
+        let d = trace.duration().as_secs_f64() / n as f64;
+        let mut volumes = Vec::with_capacity(n);
+        let mut prev = 0.0;
+        for i in 1..=n {
+            let cum = trace.cumulative_at(Seconds::new(d * i as f64)).kilobytes();
+            volumes.push(cum - prev);
+            prev = cum;
+        }
+        Segmentation { trace, n, volumes }
+    }
+
+    /// Cuts `trace` so that no segment is longer than `max_wait`.
+    #[must_use]
+    pub fn for_max_wait(trace: &'a VbrTrace, max_wait: Seconds) -> Self {
+        Segmentation::new(trace, segments_for_max_wait(trace.duration(), max_wait))
+    }
+
+    /// Number of segments.
+    #[must_use]
+    pub fn n_segments(&self) -> usize {
+        self.n
+    }
+
+    /// Duration of every segment.
+    #[must_use]
+    pub fn segment_duration(&self) -> Seconds {
+        self.trace.duration() / self.n as f64
+    }
+
+    /// Data volume of segment `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_segments()`.
+    #[must_use]
+    pub fn volume(&self, i: usize) -> DataSize {
+        DataSize::from_kilobytes(self.volumes[i])
+    }
+
+    /// Mean consumption rate of segment `i` (0-based).
+    #[must_use]
+    pub fn mean_rate(&self, i: usize) -> KilobytesPerSec {
+        self.volume(i).rate_over(self.segment_duration())
+    }
+
+    /// The largest per-segment mean rate — the stream bandwidth DHB-b needs
+    /// (the paper's 789 KB/s).
+    #[must_use]
+    pub fn max_segment_mean_rate(&self) -> KilobytesPerSec {
+        (0..self.n)
+            .map(|i| self.mean_rate(i))
+            .fold(KilobytesPerSec::ZERO, KilobytesPerSec::max)
+    }
+
+    /// Per-segment mean rates, in order.
+    #[must_use]
+    pub fn mean_rates(&self) -> Vec<KilobytesPerSec> {
+        (0..self.n).map(|i| self.mean_rate(i)).collect()
+    }
+
+    /// The index (0-based) of the busiest segment.
+    #[must_use]
+    pub fn busiest_segment(&self) -> usize {
+        self.volumes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("n > 0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SyntheticVbr;
+
+    #[test]
+    fn paper_segment_count() {
+        // 8170 s at a one-minute maximum wait → 137 segments.
+        assert_eq!(
+            segments_for_max_wait(Seconds::new(8170.0), Seconds::new(60.0)),
+            137
+        );
+        // The Figure 7 workload: 7200 s / 99 segments ≈ 72.7 s each.
+        assert_eq!(
+            segments_for_max_wait(Seconds::from_hours(2.0), Seconds::new(72.73)),
+            99
+        );
+    }
+
+    #[test]
+    fn volumes_partition_the_total() {
+        let trace = SyntheticVbr::new(Seconds::new(600.0)).generate(8);
+        let seg = Segmentation::new(&trace, 10);
+        let sum: f64 = (0..10).map(|i| seg.volume(i).kilobytes()).sum();
+        assert!((sum - trace.total_size().kilobytes()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cbr_trace_has_uniform_segments() {
+        let trace = VbrTrace::constant_rate(24, Seconds::new(600.0), KilobytesPerSec::new(480.0));
+        let seg = Segmentation::new(&trace, 10);
+        for i in 0..10 {
+            assert!((seg.mean_rate(i).get() - 480.0).abs() < 1e-9);
+        }
+        assert_eq!(seg.max_segment_mean_rate().get(), 480.0);
+    }
+
+    #[test]
+    fn max_rate_below_instant_peak_above_mean() {
+        // Averaging over a segment smooths sub-segment bursts, so the DHB-b
+        // rate sits strictly between the global mean and the 1-second peak —
+        // the ordering behind 636 < 789 < 951 in the paper.
+        let trace = crate::matrix::matrix_like(3);
+        let seg = Segmentation::for_max_wait(&trace, Seconds::new(60.0));
+        assert_eq!(seg.n_segments(), 137);
+        let b_rate = seg.max_segment_mean_rate().get();
+        assert!(b_rate > trace.mean_rate().get(), "b_rate {b_rate}");
+        assert!(
+            b_rate < trace.peak_rate_over_one_second().get(),
+            "b_rate {b_rate}"
+        );
+    }
+
+    #[test]
+    fn busiest_segment_has_max_volume() {
+        let trace = SyntheticVbr::new(Seconds::new(600.0)).generate(12);
+        let seg = Segmentation::new(&trace, 10);
+        let busiest = seg.busiest_segment();
+        for i in 0..10 {
+            assert!(seg.volume(busiest) >= seg.volume(i));
+        }
+        assert!((seg.mean_rate(busiest).get() - seg.max_segment_mean_rate().get()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_segments_panics() {
+        let trace = VbrTrace::constant_rate(24, Seconds::new(10.0), KilobytesPerSec::new(100.0));
+        let _ = Segmentation::new(&trace, 0);
+    }
+}

@@ -1,0 +1,410 @@
+//! Work-ahead smoothing (Salehi et al. \[18\]).
+//!
+//! Two results from the smoothing literature are implemented:
+//!
+//! * [`min_constant_rate`] — the smallest constant delivery rate that, given
+//!   a client start-up delay and an unlimited client buffer, delivers every
+//!   frame by its playback deadline. This is the stream rate of the paper's
+//!   DHB-c variant ("make continuous use of all that bandwidth").
+//! * [`smooth`] — the optimal piecewise-constant-rate schedule under a
+//!   *finite* client buffer, computed with the taut-string (shortest-path)
+//!   construction between the cumulative-demand floor and the buffer
+//!   ceiling. With an unbounded buffer it degenerates to the concave
+//!   majorant of the demand curve, whose first (and largest) slope equals
+//!   [`min_constant_rate`] — a cross-check the tests exercise.
+
+use std::fmt;
+
+use vod_types::{DataSize, KilobytesPerSec, Seconds};
+
+use crate::trace::VbrTrace;
+
+/// The minimal constant delivery rate that meets every frame deadline when
+/// playback starts `startup` seconds after transmission begins:
+/// `max_k cum(k+1) / (startup + t_k)` over all frames `k`.
+///
+/// # Panics
+///
+/// Panics if `startup` is not strictly positive (frame 0's deadline would be
+/// at time zero and no finite rate could meet it).
+///
+/// # Example
+///
+/// ```
+/// use vod_trace::smoothing::min_constant_rate;
+/// use vod_trace::VbrTrace;
+/// use vod_types::{KilobytesPerSec, Seconds};
+///
+/// let cbr = VbrTrace::constant_rate(24, Seconds::new(600.0), KilobytesPerSec::new(500.0));
+/// let r = min_constant_rate(&cbr, Seconds::new(60.0));
+/// // A 60 s head start on a 600 s CBR video shaves the rate by ~10%.
+/// assert!((r.get() - 500.0 * 600.0 / 660.0).abs() < 1.0);
+/// ```
+#[must_use]
+pub fn min_constant_rate(trace: &VbrTrace, startup: Seconds) -> KilobytesPerSec {
+    assert!(
+        startup.as_secs_f64() > 0.0,
+        "start-up delay must be strictly positive"
+    );
+    let fps = f64::from(trace.fps());
+    let d0 = startup.as_secs_f64();
+    let mut cum = 0.0;
+    let mut rate: f64 = 0.0;
+    for (k, &size) in trace.frame_sizes().iter().enumerate() {
+        cum += size;
+        // Frame k must be fully delivered when its display starts at
+        // startup + k / fps.
+        rate = rate.max(cum / (d0 + k as f64 / fps));
+    }
+    KilobytesPerSec::new(rate)
+}
+
+/// One constant-rate piece of a smoothing schedule, over wall-clock time
+/// (`start` = 0 is the beginning of transmission; playback begins at the
+/// start-up delay).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulePiece {
+    /// Wall-clock start of the piece.
+    pub start: Seconds,
+    /// Wall-clock end of the piece (exclusive).
+    pub end: Seconds,
+    /// Delivery rate during the piece.
+    pub rate: KilobytesPerSec,
+}
+
+/// A piecewise-constant-rate delivery schedule produced by [`smooth`].
+#[derive(Clone, PartialEq)]
+pub struct SmoothingSchedule {
+    pieces: Vec<SchedulePiece>,
+}
+
+impl fmt::Debug for SmoothingSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SmoothingSchedule")
+            .field("n_pieces", &self.pieces.len())
+            .field("max_rate", &self.max_rate())
+            .finish()
+    }
+}
+
+impl SmoothingSchedule {
+    /// The schedule's pieces in time order.
+    #[must_use]
+    pub fn pieces(&self) -> &[SchedulePiece] {
+        &self.pieces
+    }
+
+    /// Number of constant-rate pieces (rate changes + 1).
+    #[must_use]
+    pub fn n_pieces(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// The schedule's peak rate.
+    #[must_use]
+    pub fn max_rate(&self) -> KilobytesPerSec {
+        self.pieces
+            .iter()
+            .map(|p| p.rate)
+            .fold(KilobytesPerSec::ZERO, KilobytesPerSec::max)
+    }
+
+    /// Cumulative data delivered by wall-clock time `w`.
+    #[must_use]
+    pub fn delivered_by(&self, w: Seconds) -> DataSize {
+        let mut total = DataSize::ZERO;
+        for p in &self.pieces {
+            if w <= p.start {
+                break;
+            }
+            let span = w.min(p.end) - p.start;
+            total += p.rate.over(span);
+        }
+        total
+    }
+
+    /// Total data the schedule delivers.
+    #[must_use]
+    pub fn total(&self) -> DataSize {
+        match self.pieces.last() {
+            Some(p) => self.delivered_by(p.end),
+            None => DataSize::ZERO,
+        }
+    }
+}
+
+/// Computes the optimal (taut-string) piecewise-CBR delivery schedule.
+///
+/// Transmission starts at wall-clock 0; playback starts at `startup`. At any
+/// wall time `w` the cumulative delivery `D(w)` must satisfy
+///
+/// * `D(w) ≥ L(w) = cum(w − startup)` — no playback starvation, and
+/// * `D(w) ≤ U(w) = min(L(w) + buffer, total)` — no client buffer overflow
+///   (pass `None` for an unlimited buffer).
+///
+/// Among all feasible schedules the taut string minimises the peak rate and
+/// the number/size of rate changes. Bounds are enforced on a one-second grid,
+/// matching the granularity of the paper's trace statistics.
+///
+/// # Panics
+///
+/// Panics if `startup` is not strictly positive or if `buffer` is too small
+/// to be feasible (smaller than the largest one-second consumption bin).
+#[must_use]
+pub fn smooth(trace: &VbrTrace, startup: Seconds, buffer: Option<DataSize>) -> SmoothingSchedule {
+    assert!(
+        startup.as_secs_f64() > 0.0,
+        "start-up delay must be strictly positive"
+    );
+    let total = trace.total_size().kilobytes();
+    let horizon = startup + trace.duration();
+
+    // One-second grid, with the exact horizon appended if fractional.
+    let mut ws: Vec<f64> = (0..=horizon.as_secs_f64().floor() as usize)
+        .map(|j| j as f64)
+        .collect();
+    if *ws.last().expect("non-empty grid") < horizon.as_secs_f64() {
+        ws.push(horizon.as_secs_f64());
+    }
+    let m = ws.len() - 1;
+
+    let lower: Vec<f64> = ws
+        .iter()
+        .map(|&w| trace.cumulative_at(Seconds::new(w) - startup).kilobytes())
+        .collect();
+    let upper: Vec<f64> = match buffer {
+        None => vec![total; ws.len()],
+        Some(b) => {
+            let b = b.kilobytes();
+            ws.iter()
+                .enumerate()
+                .map(|(j, _)| (lower[j] + b).min(total))
+                .collect()
+        }
+    };
+    for j in 0..=m {
+        assert!(
+            upper[j] >= lower[j] - 1e-9,
+            "buffer too small: infeasible at grid point {j}"
+        );
+    }
+
+    // Taut string from (ws[0], 0) to (ws[m], total).
+    let mut pieces = Vec::new();
+    let mut a_idx = 0usize;
+    let mut a_y = 0.0f64;
+    while a_idx < m {
+        let mut smin = f64::NEG_INFINITY;
+        let mut smax = f64::INFINITY;
+        let mut jmin = a_idx;
+        let mut jmax = a_idx;
+        let mut j = a_idx + 1;
+        loop {
+            let dx = ws[j] - ws[a_idx];
+            let lo = (lower[j] - a_y) / dx;
+            let hi = (upper[j] - a_y) / dx;
+            if lo > smax {
+                // The floor overtakes the ceiling tangent: bend downward at
+                // the point that fixed smax (an upper-curve touch).
+                let end_y = a_y + smax * (ws[jmax] - ws[a_idx]);
+                push_piece(&mut pieces, ws[a_idx], ws[jmax], a_y, end_y);
+                a_idx = jmax;
+                a_y = end_y;
+                break;
+            }
+            if hi < smin {
+                // The ceiling dips below the floor tangent: bend upward at
+                // the point that fixed smin (a lower-curve touch).
+                let end_y = a_y + smin * (ws[jmin] - ws[a_idx]);
+                push_piece(&mut pieces, ws[a_idx], ws[jmin], a_y, end_y);
+                a_idx = jmin;
+                a_y = end_y;
+                break;
+            }
+            if lo > smin {
+                smin = lo;
+                jmin = j;
+            }
+            if hi < smax {
+                smax = hi;
+                jmax = j;
+            }
+            if j == m {
+                // Straight shot to the endpoint is feasible for every
+                // constraint seen, because its slope lies in [smin, smax].
+                push_piece(&mut pieces, ws[a_idx], ws[m], a_y, total);
+                a_idx = m;
+                a_y = total;
+                break;
+            }
+            j += 1;
+        }
+    }
+
+    SmoothingSchedule { pieces }
+}
+
+fn push_piece(pieces: &mut Vec<SchedulePiece>, x0: f64, x1: f64, y0: f64, y1: f64) {
+    debug_assert!(x1 > x0, "schedule pieces must advance in time");
+    pieces.push(SchedulePiece {
+        start: Seconds::new(x0),
+        end: Seconds::new(x1),
+        rate: KilobytesPerSec::new(((y1 - y0) / (x1 - x0)).max(0.0)),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::matrix_like;
+    use crate::synth::SyntheticVbr;
+
+    fn cbr() -> VbrTrace {
+        VbrTrace::constant_rate(24, Seconds::new(600.0), KilobytesPerSec::new(500.0))
+    }
+
+    #[test]
+    fn min_rate_on_cbr_accounts_for_head_start() {
+        let r = min_constant_rate(&cbr(), Seconds::new(60.0));
+        // Worst constraint is (nearly) the last frame: 500·600 / (60+600).
+        let expected = 500.0 * 600.0 / 660.0;
+        assert!((r.get() - expected).abs() < 0.5, "r = {r}");
+    }
+
+    #[test]
+    fn min_rate_is_feasible_and_tight() {
+        let trace = matrix_like(2);
+        let startup = Seconds::new(60.0);
+        let r = min_constant_rate(&trace, startup).get();
+        // Feasible: r·(startup + t) covers cum(t) at every second.
+        // Tight: reducing r by 0.1% starves some frame.
+        let mut tight = false;
+        for sec in 0..=8170usize {
+            let cum = trace.cumulative_at(Seconds::new(sec as f64)).kilobytes();
+            let wall = 60.0 + sec as f64;
+            assert!(r * wall >= cum - 1e-6, "starved at {sec}s");
+            if 0.999 * r * wall < cum {
+                tight = true;
+            }
+        }
+        assert!(tight, "rate {r} is not tight");
+    }
+
+    #[test]
+    fn min_rate_sits_between_mean_and_peak_on_vbr() {
+        // The paper's DHB-c ordering: 636 < 671 < 789 — the smoothed rate is
+        // above the mean but below the DHB-b per-segment maximum.
+        let trace = matrix_like(5);
+        let r = min_constant_rate(&trace, Seconds::new(60.0)).get();
+        assert!(r > trace.mean_rate().get() * 0.99, "r = {r}");
+        assert!(r < trace.peak_rate_over_one_second().get(), "r = {r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_startup_panics() {
+        let _ = min_constant_rate(&cbr(), Seconds::ZERO);
+    }
+
+    #[test]
+    fn unbounded_smooth_is_concave_with_peak_equal_min_rate() {
+        let trace = matrix_like(4);
+        let startup = Seconds::new(60.0);
+        let schedule = smooth(&trace, startup, None);
+        // Rates must be non-increasing (concave majorant).
+        let rates: Vec<f64> = schedule.pieces().iter().map(|p| p.rate.get()).collect();
+        for w in rates.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9, "rates not non-increasing: {rates:?}");
+        }
+        // And the first rate equals the minimal constant rate (grid-rounded).
+        let min_r = min_constant_rate(&trace, startup).get();
+        assert!(
+            (schedule.max_rate().get() - min_r).abs() / min_r < 0.01,
+            "peak {} vs min constant {min_r}",
+            schedule.max_rate()
+        );
+    }
+
+    #[test]
+    fn schedule_delivers_everything_exactly_once() {
+        let trace = matrix_like(6);
+        let schedule = smooth(&trace, Seconds::new(60.0), None);
+        let total = schedule.total().kilobytes();
+        assert!((total - trace.total_size().kilobytes()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bounded_smooth_respects_both_bounds() {
+        let trace = SyntheticVbr::new(Seconds::new(1200.0)).generate(9);
+        let startup = Seconds::new(30.0);
+        let buffer = DataSize::from_kilobytes(20_000.0);
+        let schedule = smooth(&trace, startup, Some(buffer));
+        let horizon = (startup + trace.duration()).as_secs_f64() as usize;
+        for sec in 0..=horizon {
+            let w = Seconds::new(sec as f64);
+            let delivered = schedule.delivered_by(w).kilobytes();
+            let consumed = trace.cumulative_at(w - startup).kilobytes();
+            assert!(delivered >= consumed - 1e-6, "starved at {sec} s");
+            assert!(
+                delivered <= consumed + buffer.kilobytes() + 1e-6,
+                "overflow at {sec} s: {} in buffer",
+                delivered - consumed
+            );
+        }
+    }
+
+    #[test]
+    fn smaller_buffer_needs_higher_peak() {
+        let trace = SyntheticVbr::new(Seconds::new(1200.0)).generate(10);
+        let startup = Seconds::new(30.0);
+        let loose = smooth(&trace, startup, Some(DataSize::from_kilobytes(100_000.0)));
+        let tight = smooth(&trace, startup, Some(DataSize::from_kilobytes(5_000.0)));
+        assert!(
+            tight.max_rate() >= loose.max_rate(),
+            "tight {} < loose {}",
+            tight.max_rate(),
+            loose.max_rate()
+        );
+        // And more rate changes with the tighter buffer.
+        assert!(tight.n_pieces() >= loose.n_pieces());
+    }
+
+    #[test]
+    fn cbr_smooths_to_few_pieces() {
+        let schedule = smooth(&cbr(), Seconds::new(60.0), None);
+        // A CBR video with a head start smooths to a single straight line.
+        assert_eq!(schedule.n_pieces(), 1);
+        let r = schedule.pieces()[0].rate.get();
+        assert!((r - 500.0 * 600.0 / 660.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn tiny_buffer_degenerates_to_chasing_the_demand_curve() {
+        // With fluid delivery any positive buffer is feasible — the taut
+        // string simply hugs the demand curve, so the peak delivery rate
+        // approaches the peak consumption rate instead of the smoothed one.
+        let trace = matrix_like(8);
+        let startup = Seconds::new(60.0);
+        let tiny = smooth(&trace, startup, Some(DataSize::from_kilobytes(200.0)));
+        let unconstrained = smooth(&trace, startup, None);
+        assert!(
+            tiny.max_rate().get() > 1.2 * unconstrained.max_rate().get(),
+            "tiny-buffer peak {} not clearly above smoothed peak {}",
+            tiny.max_rate(),
+            unconstrained.max_rate()
+        );
+        assert!(tiny.n_pieces() > 10 * unconstrained.n_pieces());
+    }
+
+    #[test]
+    fn delivered_by_is_monotone() {
+        let trace = matrix_like(7);
+        let schedule = smooth(&trace, Seconds::new(60.0), None);
+        let mut prev = -1.0;
+        for sec in (0..8230).step_by(97) {
+            let d = schedule.delivered_by(Seconds::new(sec as f64)).kilobytes();
+            assert!(d >= prev);
+            prev = d;
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! The core VBR trace type.
+
+use std::fmt;
+
+use vod_types::{DataSize, KilobytesPerSec, Seconds};
+
+/// A variable-bit-rate video trace: one data size per frame.
+///
+/// The trace is the single source of truth for Section 4 of the paper —
+/// every DHB variant is derived from its cumulative consumption curve. Sizes
+/// are stored in kilobytes per frame; a prefix-sum table is built once so all
+/// cumulative queries are O(1) or O(log n).
+///
+/// # Example
+///
+/// ```
+/// use vod_trace::VbrTrace;
+///
+/// // A 2-second CBR "video" at 24 fps, 10 KB per frame.
+/// let trace = VbrTrace::new(24, vec![10.0; 48])?;
+/// assert_eq!(trace.duration().as_secs_f64(), 2.0);
+/// assert_eq!(trace.mean_rate().get(), 240.0);
+/// assert_eq!(trace.peak_rate_over_one_second().get(), 240.0);
+/// # Ok::<(), vod_trace::InvalidTrace>(())
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct VbrTrace {
+    fps: u32,
+    /// Per-frame sizes in KB.
+    sizes: Vec<f64>,
+    /// `prefix[i]` = sum of `sizes[..i]`; length `sizes.len() + 1`.
+    prefix: Vec<f64>,
+}
+
+impl fmt::Debug for VbrTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VbrTrace")
+            .field("fps", &self.fps)
+            .field("n_frames", &self.sizes.len())
+            .field("duration_s", &self.duration().as_secs_f64())
+            .field("mean_rate", &self.mean_rate())
+            .finish()
+    }
+}
+
+impl VbrTrace {
+    /// Creates a trace from per-frame sizes in kilobytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidTrace`] if `fps` is zero, the trace is empty, or any
+    /// frame size is negative or non-finite.
+    pub fn new(fps: u32, sizes: Vec<f64>) -> Result<Self, InvalidTrace> {
+        if fps == 0 {
+            return Err(InvalidTrace::ZeroFps);
+        }
+        if sizes.is_empty() {
+            return Err(InvalidTrace::Empty);
+        }
+        if let Some(idx) = sizes.iter().position(|s| !s.is_finite() || *s < 0.0) {
+            return Err(InvalidTrace::BadFrameSize { frame: idx });
+        }
+        let mut prefix = Vec::with_capacity(sizes.len() + 1);
+        prefix.push(0.0);
+        let mut acc = 0.0;
+        for &s in &sizes {
+            acc += s;
+            prefix.push(acc);
+        }
+        Ok(VbrTrace { fps, sizes, prefix })
+    }
+
+    /// A constant-bit-rate trace: `duration` seconds at `rate`, useful as the
+    /// degenerate case in tests (every VBR computation must collapse to the
+    /// CBR answer on it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is non-positive or the rate negative.
+    #[must_use]
+    pub fn constant_rate(fps: u32, duration: Seconds, rate: KilobytesPerSec) -> Self {
+        assert!(duration.as_secs_f64() > 0.0, "duration must be positive");
+        assert!(rate.get() >= 0.0, "rate must be non-negative");
+        let n = (duration.as_secs_f64() * f64::from(fps)).round() as usize;
+        let per_frame = rate.get() / f64::from(fps);
+        VbrTrace::new(fps, vec![per_frame; n.max(1)]).expect("CBR trace is valid")
+    }
+
+    /// Frames per second.
+    #[must_use]
+    pub fn fps(&self) -> u32 {
+        self.fps
+    }
+
+    /// Number of frames.
+    #[must_use]
+    pub fn n_frames(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Per-frame sizes in KB.
+    #[must_use]
+    pub fn frame_sizes(&self) -> &[f64] {
+        &self.sizes
+    }
+
+    /// Video duration (`n_frames / fps`).
+    #[must_use]
+    pub fn duration(&self) -> Seconds {
+        Seconds::new(self.sizes.len() as f64 / f64::from(self.fps))
+    }
+
+    /// Total data volume.
+    #[must_use]
+    pub fn total_size(&self) -> DataSize {
+        DataSize::from_kilobytes(*self.prefix.last().expect("non-empty"))
+    }
+
+    /// Mean consumption rate over the whole video (the paper's "average
+    /// bandwidth": 636 KB/s for *The Matrix*).
+    #[must_use]
+    pub fn mean_rate(&self) -> KilobytesPerSec {
+        self.total_size().rate_over(self.duration())
+    }
+
+    /// Peak consumption rate over any window of `window_secs` whole seconds
+    /// (the paper's "maximum bandwidth over a period of one second": 951
+    /// KB/s).
+    ///
+    /// The window slides frame by frame; partial windows at the end of the
+    /// video are not considered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_secs` is zero.
+    #[must_use]
+    pub fn peak_rate_over(&self, window_secs: u32) -> KilobytesPerSec {
+        assert!(window_secs > 0, "window must be at least one second");
+        let w = (self.fps * window_secs) as usize;
+        if w >= self.sizes.len() {
+            return self.mean_rate();
+        }
+        let mut peak = 0.0f64;
+        for start in 0..=(self.sizes.len() - w) {
+            let sum = self.prefix[start + w] - self.prefix[start];
+            peak = peak.max(sum);
+        }
+        KilobytesPerSec::new(peak / f64::from(window_secs))
+    }
+
+    /// Shorthand for [`peak_rate_over`](Self::peak_rate_over)`(1)`.
+    #[must_use]
+    pub fn peak_rate_over_one_second(&self) -> KilobytesPerSec {
+        self.peak_rate_over(1)
+    }
+
+    /// Cumulative data consumed by playback time `t`, interpolating linearly
+    /// inside the current frame. Clamped to `[0, total]` outside the video.
+    #[must_use]
+    pub fn cumulative_at(&self, t: Seconds) -> DataSize {
+        let frames = t.as_secs_f64() * f64::from(self.fps);
+        if frames <= 0.0 {
+            return DataSize::ZERO;
+        }
+        let whole = frames.floor() as usize;
+        if whole >= self.sizes.len() {
+            return self.total_size();
+        }
+        let frac = frames - whole as f64;
+        DataSize::from_kilobytes(self.prefix[whole] + frac * self.sizes[whole])
+    }
+
+    /// The earliest playback time by which `volume` of data has been
+    /// consumed — the inverse of [`cumulative_at`](Self::cumulative_at).
+    /// Clamped to the video duration for volumes beyond the total.
+    #[must_use]
+    pub fn time_when_consumed(&self, volume: DataSize) -> Seconds {
+        let target = volume.kilobytes();
+        if target <= 0.0 {
+            return Seconds::ZERO;
+        }
+        let total = *self.prefix.last().expect("non-empty");
+        if target >= total {
+            return self.duration();
+        }
+        // First frame index whose prefix end exceeds the target.
+        let idx = self.prefix.partition_point(|&p| p < target);
+        // prefix[idx] >= target > prefix[idx-1]; consumption crosses the
+        // target inside frame idx-1.
+        let frame = idx - 1;
+        let within = if self.sizes[frame] > 0.0 {
+            (target - self.prefix[frame]) / self.sizes[frame]
+        } else {
+            0.0
+        };
+        Seconds::new((frame as f64 + within) / f64::from(self.fps))
+    }
+
+    /// Data consumed during whole second `sec` (`[sec, sec+1)`), in KB.
+    /// Returns 0 past the end of the video.
+    #[must_use]
+    pub fn second_bin(&self, sec: usize) -> f64 {
+        let start = (sec * self.fps as usize).min(self.sizes.len());
+        let end = ((sec + 1) * self.fps as usize).min(self.sizes.len());
+        self.prefix[end] - self.prefix[start]
+    }
+
+    /// Per-whole-second consumption bins in KB (the last partial second is
+    /// dropped).
+    #[must_use]
+    pub fn per_second_bins(&self) -> Vec<f64> {
+        let whole_secs = self.sizes.len() / self.fps as usize;
+        (0..whole_secs).map(|s| self.second_bin(s)).collect()
+    }
+
+    /// Returns a copy with every frame scaled by `factor` (calibration
+    /// helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> VbrTrace {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative"
+        );
+        let sizes = self.sizes.iter().map(|s| s * factor).collect();
+        VbrTrace::new(self.fps, sizes).expect("scaling preserves validity")
+    }
+}
+
+/// Error building a [`VbrTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvalidTrace {
+    /// The frame rate was zero.
+    ZeroFps,
+    /// The trace had no frames.
+    Empty,
+    /// A frame size was negative or non-finite.
+    BadFrameSize {
+        /// Index of the offending frame.
+        frame: usize,
+    },
+}
+
+impl fmt::Display for InvalidTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidTrace::ZeroFps => write!(f, "frame rate must be positive"),
+            InvalidTrace::Empty => write!(f, "trace must contain at least one frame"),
+            InvalidTrace::BadFrameSize { frame } => {
+                write!(f, "frame {frame} has a negative or non-finite size")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidTrace {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_trace() -> VbrTrace {
+        // 4 seconds at 2 fps; frame sizes 1, 2, ..., 8 KB.
+        VbrTrace::new(2, (1..=8).map(f64::from).collect()).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert_eq!(VbrTrace::new(0, vec![1.0]), Err(InvalidTrace::ZeroFps));
+        assert_eq!(VbrTrace::new(24, vec![]), Err(InvalidTrace::Empty));
+        assert_eq!(
+            VbrTrace::new(24, vec![1.0, -2.0]),
+            Err(InvalidTrace::BadFrameSize { frame: 1 })
+        );
+        assert_eq!(
+            VbrTrace::new(24, vec![f64::NAN]),
+            Err(InvalidTrace::BadFrameSize { frame: 0 })
+        );
+    }
+
+    #[test]
+    fn totals_and_rates() {
+        let t = ramp_trace();
+        assert_eq!(t.n_frames(), 8);
+        assert_eq!(t.duration(), Seconds::new(4.0));
+        assert_eq!(t.total_size(), DataSize::from_kilobytes(36.0));
+        assert_eq!(t.mean_rate(), KilobytesPerSec::new(9.0));
+    }
+
+    #[test]
+    fn peak_window_rates() {
+        let t = ramp_trace();
+        // 1-second windows of 2 frames, sliding per frame: the max is the
+        // last two frames, 7 + 8 = 15 KB/s.
+        assert_eq!(t.peak_rate_over_one_second(), KilobytesPerSec::new(15.0));
+        // 2-second windows of 4 frames: 5+6+7+8 = 26 KB over 2 s = 13 KB/s.
+        assert_eq!(t.peak_rate_over(2), KilobytesPerSec::new(13.0));
+        // Window longer than the video degrades to the mean.
+        assert_eq!(t.peak_rate_over(100), t.mean_rate());
+    }
+
+    #[test]
+    fn cumulative_interpolates() {
+        let t = ramp_trace();
+        assert_eq!(t.cumulative_at(Seconds::ZERO), DataSize::ZERO);
+        // After 1 s (frames 1 and 2): 3 KB.
+        assert_eq!(
+            t.cumulative_at(Seconds::new(1.0)),
+            DataSize::from_kilobytes(3.0)
+        );
+        // Half-way through frame 3 (t = 1.25 s): 3 + 1.5 = 4.5 KB.
+        assert_eq!(
+            t.cumulative_at(Seconds::new(1.25)),
+            DataSize::from_kilobytes(4.5)
+        );
+        // Past the end: the total.
+        assert_eq!(t.cumulative_at(Seconds::new(100.0)), t.total_size());
+        // Negative times clamp to zero.
+        assert_eq!(t.cumulative_at(Seconds::new(-1.0)), DataSize::ZERO);
+    }
+
+    #[test]
+    fn inverse_cumulative_round_trips() {
+        let t = ramp_trace();
+        for &kb in &[0.0, 1.0, 3.0, 4.5, 17.0, 35.9, 36.0, 50.0] {
+            let time = t.time_when_consumed(DataSize::from_kilobytes(kb));
+            let back = t.cumulative_at(time).kilobytes();
+            let expected = kb.min(36.0);
+            assert!(
+                (back - expected).abs() < 1e-9,
+                "kb={kb}: inverse gave t={time}, cum={back}"
+            );
+        }
+        assert_eq!(t.time_when_consumed(DataSize::ZERO), Seconds::ZERO);
+        assert_eq!(
+            t.time_when_consumed(DataSize::from_kilobytes(1000.0)),
+            t.duration()
+        );
+    }
+
+    #[test]
+    fn per_second_bins_sum_to_total() {
+        let t = ramp_trace();
+        let bins = t.per_second_bins();
+        assert_eq!(bins, vec![3.0, 7.0, 11.0, 15.0]);
+        assert_eq!(bins.iter().sum::<f64>(), 36.0);
+        assert_eq!(t.second_bin(99), 0.0);
+    }
+
+    #[test]
+    fn cbr_collapses_everything() {
+        let t = VbrTrace::constant_rate(24, Seconds::new(10.0), KilobytesPerSec::new(480.0));
+        assert_eq!(t.mean_rate(), KilobytesPerSec::new(480.0));
+        assert_eq!(t.peak_rate_over_one_second(), KilobytesPerSec::new(480.0));
+        assert_eq!(
+            t.cumulative_at(Seconds::new(5.0)),
+            DataSize::from_kilobytes(2400.0)
+        );
+    }
+
+    #[test]
+    fn scaling_scales_rates() {
+        let t = ramp_trace().scaled(2.0);
+        assert_eq!(t.mean_rate(), KilobytesPerSec::new(18.0));
+        assert_eq!(t.total_size(), DataSize::from_kilobytes(72.0));
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let s = format!("{:?}", ramp_trace());
+        assert!(s.contains("n_frames"));
+        assert!(!s.contains('['), "must not dump the frame vector: {s}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the VBR trace substrate.
+
+use proptest::prelude::*;
+use vod_trace::periods::max_periods;
+use vod_trace::segmentation::Segmentation;
+use vod_trace::smoothing::{min_constant_rate, smooth};
+use vod_trace::synth::SyntheticVbr;
+use vod_trace::VbrTrace;
+use vod_types::{DataSize, KilobytesPerSec, Seconds};
+
+fn arb_trace() -> impl Strategy<Value = VbrTrace> {
+    // Short random traces: 30–120 s at 4 fps with arbitrary positive frames.
+    (30usize..120).prop_flat_map(|secs| {
+        prop::collection::vec(0.5f64..200.0, secs * 4..=secs * 4)
+            .prop_map(|sizes| VbrTrace::new(4, sizes).expect("valid sizes"))
+    })
+}
+
+proptest! {
+    /// cumulative_at and time_when_consumed are mutual inverses on any trace.
+    #[test]
+    fn cumulative_inverse_round_trip(trace in arb_trace(), frac in 0.0f64..1.0) {
+        let target = trace.total_size().kilobytes() * frac;
+        let t = trace.time_when_consumed(DataSize::from_kilobytes(target));
+        let back = trace.cumulative_at(t).kilobytes();
+        prop_assert!((back - target).abs() < 1e-6, "target {target}, got {back}");
+    }
+
+    /// cumulative_at is monotone non-decreasing.
+    #[test]
+    fn cumulative_is_monotone(trace in arb_trace(), a in 0.0f64..200.0, b in 0.0f64..200.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            trace.cumulative_at(Seconds::new(lo)) <= trace.cumulative_at(Seconds::new(hi))
+        );
+    }
+
+    /// Segment volumes always partition the trace's total, for any count.
+    #[test]
+    fn segmentation_partitions_total(trace in arb_trace(), n in 1usize..40) {
+        let seg = Segmentation::new(&trace, n);
+        let sum: f64 = (0..n).map(|i| seg.volume(i).kilobytes()).sum();
+        prop_assert!((sum - trace.total_size().kilobytes()).abs() < 1e-6);
+        // Per-segment mean rates bracket the global mean.
+        let max = seg.max_segment_mean_rate().get();
+        prop_assert!(max >= trace.mean_rate().get() - 1e-9);
+    }
+
+    /// The minimal constant rate is feasible at every frame deadline and is
+    /// the maximum of the per-frame bounds (tight somewhere).
+    #[test]
+    fn min_constant_rate_is_feasible_and_tight(trace in arb_trace(), startup in 1.0f64..30.0) {
+        let startup = Seconds::new(startup);
+        let r = min_constant_rate(&trace, startup).get();
+        let fps = f64::from(trace.fps());
+        let mut cum = 0.0;
+        let mut slack_min = f64::INFINITY;
+        for (k, &size) in trace.frame_sizes().iter().enumerate() {
+            cum += size;
+            let deadline = startup.as_secs_f64() + k as f64 / fps;
+            let slack = r * deadline - cum;
+            prop_assert!(slack >= -1e-6, "frame {k} starved by {slack}");
+            slack_min = slack_min.min(slack);
+        }
+        prop_assert!(slack_min < 1e-6, "rate not tight (min slack {slack_min})");
+    }
+
+    /// The taut-string schedule respects both bounds and delivers the total,
+    /// for any buffer size.
+    #[test]
+    fn smoothing_feasible_for_any_buffer(
+        trace in arb_trace(),
+        startup in 1.0f64..20.0,
+        buffer_kb in 100.0f64..50_000.0,
+    ) {
+        let startup = Seconds::new(startup);
+        let buffer = DataSize::from_kilobytes(buffer_kb);
+        let schedule = smooth(&trace, startup, Some(buffer));
+        let total = trace.total_size().kilobytes();
+        prop_assert!((schedule.total().kilobytes() - total).abs() < 1e-3);
+        let horizon = (startup + trace.duration()).as_secs_f64().ceil() as usize;
+        for sec in 0..=horizon {
+            let w = Seconds::new(sec as f64);
+            let delivered = schedule.delivered_by(w).kilobytes();
+            let consumed = trace.cumulative_at(w - startup).kilobytes();
+            prop_assert!(delivered >= consumed - 1e-6, "starved at {sec}s");
+            prop_assert!(
+                delivered <= consumed + buffer_kb + 1e-6,
+                "overflow at {sec}s"
+            );
+        }
+    }
+
+    /// Unbounded smoothing never needs a higher peak than any bounded one.
+    #[test]
+    fn unbounded_smoothing_has_minimal_peak(
+        trace in arb_trace(),
+        buffer_kb in 100.0f64..50_000.0,
+    ) {
+        let startup = Seconds::new(5.0);
+        let unbounded = smooth(&trace, startup, None);
+        let bounded = smooth(&trace, startup, Some(DataSize::from_kilobytes(buffer_kb)));
+        prop_assert!(
+            bounded.max_rate().get() >= unbounded.max_rate().get() - 1e-6
+        );
+    }
+
+    /// Computed maximum periods are ≥ 1, non-decreasing, start at 1, and
+    /// never fall more than one slot below the fixed-rate default when the
+    /// stream rate is the feasible smoothing rate.
+    #[test]
+    fn max_periods_structural_invariants(trace in arb_trace(), n in 2usize..30) {
+        let slot = trace.duration() / n as f64;
+        let rate = min_constant_rate(&trace, slot);
+        let p = max_periods(&trace, rate, slot, n);
+        prop_assert_eq!(p[0], 1);
+        for (j, w) in p.windows(2).enumerate() {
+            prop_assert!(w[0] <= w[1], "not monotone at {j}");
+        }
+        for (idx, &t) in p.iter().enumerate() {
+            let default = idx as u64 + 1;
+            prop_assert!(t + 1 >= default, "T[{}] = {t} below default - 1", idx + 1);
+        }
+    }
+
+    /// Calibration hits arbitrary (mean, peak) targets on synthetic traces.
+    #[test]
+    // Ratios span the realistic MPEG band around the paper's 951/636 ≈ 1.50;
+    // far larger ratios exceed what a mean-preserving affine map of a short
+    // trace can reach (documented panic in `calibrate`).
+    fn calibration_hits_targets(seed in 0u64..50, mean in 200.0f64..900.0, ratio in 1.1f64..1.55) {
+        let raw = SyntheticVbr::new(Seconds::new(300.0)).generate(seed);
+        let target_mean = KilobytesPerSec::new(mean);
+        let target_peak = KilobytesPerSec::new(mean * ratio);
+        let calibrated = vod_trace::matrix::calibrate(&raw, target_mean, target_peak);
+        prop_assert!((calibrated.mean_rate().get() - mean).abs() / mean < 2e-3);
+        prop_assert!(
+            (calibrated.peak_rate_over_one_second().get() - mean * ratio).abs() / (mean * ratio)
+                < 2e-3
+        );
+    }
+}

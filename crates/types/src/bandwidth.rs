@@ -1,0 +1,394 @@
+//! Bandwidth and data-volume units.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use crate::Seconds;
+
+/// Server bandwidth expressed in multiples of the video consumption rate `b`.
+///
+/// This is the unit of the paper's Figures 7 and 8 ("bandwidths are expressed
+/// in multiples of the video consumption rate"): one fully occupied data
+/// stream of a constant-bit-rate video costs exactly `Streams(1.0)`. A
+/// slotted protocol that transmits `m` segment instances during one slot uses
+/// `Streams(m as f64)` for that slot.
+///
+/// # Example
+///
+/// ```
+/// use vod_types::Streams;
+///
+/// let per_slot = [Streams::new(3.0), Streams::new(5.0)];
+/// let total: Streams = per_slot.iter().copied().sum();
+/// assert_eq!(total, Streams::new(8.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Streams(f64);
+
+impl Streams {
+    /// No bandwidth.
+    pub const ZERO: Streams = Streams(0.0);
+
+    /// Creates a bandwidth of `n` stream-equivalents.
+    #[must_use]
+    pub fn new(n: f64) -> Self {
+        debug_assert!(!n.is_nan(), "bandwidth must not be NaN");
+        Streams(n)
+    }
+
+    /// The raw number of stream-equivalents.
+    #[must_use]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to a physical rate given the per-stream consumption rate.
+    ///
+    /// ```
+    /// use vod_types::{KilobytesPerSec, Streams};
+    /// let b = KilobytesPerSec::new(951.0);
+    /// assert_eq!(Streams::new(2.0).at_rate(b), KilobytesPerSec::new(1902.0));
+    /// ```
+    #[must_use]
+    pub fn at_rate(self, per_stream: KilobytesPerSec) -> KilobytesPerSec {
+        KilobytesPerSec::new(self.0 * per_stream.get())
+    }
+
+    /// Component-wise maximum.
+    #[must_use]
+    pub fn max(self, other: Streams) -> Streams {
+        Streams(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for Streams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} streams", self.0)
+    }
+}
+
+impl Add for Streams {
+    type Output = Streams;
+    fn add(self, rhs: Streams) -> Streams {
+        Streams::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Streams {
+    fn add_assign(&mut self, rhs: Streams) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Streams {
+    type Output = Streams;
+    fn sub(self, rhs: Streams) -> Streams {
+        Streams::new(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Streams {
+    type Output = Streams;
+    fn mul(self, rhs: f64) -> Streams {
+        Streams::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Streams {
+    type Output = Streams;
+    fn div(self, rhs: f64) -> Streams {
+        Streams::new(self.0 / rhs)
+    }
+}
+
+impl Sum for Streams {
+    fn sum<I: Iterator<Item = Streams>>(iter: I) -> Streams {
+        iter.fold(Streams::ZERO, Add::add)
+    }
+}
+
+impl From<u32> for Streams {
+    fn from(n: u32) -> Self {
+        Streams(f64::from(n))
+    }
+}
+
+/// A physical data rate in kilobytes per second.
+///
+/// The unit of the paper's Section 4 and Figure 9 (the *Matrix* trace: 951
+/// KB/s peak over one second, 636 KB/s average). "Kilobyte" here means
+/// 1000 bytes, matching how DVD bit rates are conventionally quoted.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct KilobytesPerSec(f64);
+
+impl KilobytesPerSec {
+    /// Zero rate.
+    pub const ZERO: KilobytesPerSec = KilobytesPerSec(0.0);
+
+    /// Creates a rate of `kb_per_sec` kilobytes per second.
+    #[must_use]
+    pub fn new(kb_per_sec: f64) -> Self {
+        debug_assert!(!kb_per_sec.is_nan(), "rate must not be NaN");
+        KilobytesPerSec(kb_per_sec)
+    }
+
+    /// The raw rate in KB/s.
+    #[must_use]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The rate in megabytes per second (Figure 9's y-axis unit).
+    #[must_use]
+    pub fn as_mb_per_sec(self) -> f64 {
+        self.0 / 1000.0
+    }
+
+    /// Data transferred at this rate over `duration`.
+    ///
+    /// ```
+    /// use vod_types::{KilobytesPerSec, Seconds};
+    /// let rate = KilobytesPerSec::new(636.0);
+    /// assert_eq!(rate.over(Seconds::new(10.0)).kilobytes(), 6360.0);
+    /// ```
+    #[must_use]
+    pub fn over(self, duration: Seconds) -> DataSize {
+        DataSize::from_kilobytes(self.0 * duration.as_secs_f64())
+    }
+
+    /// Component-wise maximum.
+    #[must_use]
+    pub fn max(self, other: KilobytesPerSec) -> KilobytesPerSec {
+        KilobytesPerSec(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for KilobytesPerSec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} KB/s", self.0)
+    }
+}
+
+impl Add for KilobytesPerSec {
+    type Output = KilobytesPerSec;
+    fn add(self, rhs: KilobytesPerSec) -> KilobytesPerSec {
+        KilobytesPerSec::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for KilobytesPerSec {
+    fn add_assign(&mut self, rhs: KilobytesPerSec) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<f64> for KilobytesPerSec {
+    type Output = KilobytesPerSec;
+    fn mul(self, rhs: f64) -> KilobytesPerSec {
+        KilobytesPerSec::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for KilobytesPerSec {
+    type Output = KilobytesPerSec;
+    fn div(self, rhs: f64) -> KilobytesPerSec {
+        KilobytesPerSec::new(self.0 / rhs)
+    }
+}
+
+impl Div<KilobytesPerSec> for KilobytesPerSec {
+    /// Ratio of two rates (dimensionless).
+    type Output = f64;
+    fn div(self, rhs: KilobytesPerSec) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for KilobytesPerSec {
+    fn sum<I: Iterator<Item = KilobytesPerSec>>(iter: I) -> KilobytesPerSec {
+        iter.fold(KilobytesPerSec::ZERO, Add::add)
+    }
+}
+
+/// A quantity of video data, in kilobytes.
+///
+/// Used by the VBR trace pipeline: frame sizes, per-segment volumes and
+/// cumulative consumption curves are all `DataSize`s.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct DataSize(f64);
+
+impl DataSize {
+    /// Zero data.
+    pub const ZERO: DataSize = DataSize(0.0);
+
+    /// Creates a size of `kb` kilobytes.
+    #[must_use]
+    pub fn from_kilobytes(kb: f64) -> Self {
+        debug_assert!(!kb.is_nan(), "size must not be NaN");
+        DataSize(kb)
+    }
+
+    /// The size in kilobytes.
+    #[must_use]
+    pub const fn kilobytes(self) -> f64 {
+        self.0
+    }
+
+    /// The size in megabytes.
+    #[must_use]
+    pub fn megabytes(self) -> f64 {
+        self.0 / 1000.0
+    }
+
+    /// The constant rate that delivers this much data in `duration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is zero or negative.
+    #[must_use]
+    pub fn rate_over(self, duration: Seconds) -> KilobytesPerSec {
+        assert!(
+            duration.as_secs_f64() > 0.0,
+            "cannot compute a rate over a non-positive duration"
+        );
+        KilobytesPerSec::new(self.0 / duration.as_secs_f64())
+    }
+
+    /// Time needed to send this much data at `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is zero or negative.
+    #[must_use]
+    pub fn time_at(self, rate: KilobytesPerSec) -> Seconds {
+        assert!(rate.get() > 0.0, "cannot divide by a non-positive rate");
+        Seconds::new(self.0 / rate.get())
+    }
+
+    /// Component-wise maximum.
+    #[must_use]
+    pub fn max(self, other: DataSize) -> DataSize {
+        DataSize(self.0.max(other.0))
+    }
+
+    /// Saturating subtraction: never goes below zero.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: DataSize) -> DataSize {
+        DataSize((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl fmt::Display for DataSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} KB", self.0)
+    }
+}
+
+impl Add for DataSize {
+    type Output = DataSize;
+    fn add(self, rhs: DataSize) -> DataSize {
+        DataSize(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for DataSize {
+    fn add_assign(&mut self, rhs: DataSize) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for DataSize {
+    type Output = DataSize;
+    fn sub(self, rhs: DataSize) -> DataSize {
+        DataSize(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for DataSize {
+    type Output = DataSize;
+    fn mul(self, rhs: f64) -> DataSize {
+        DataSize(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for DataSize {
+    type Output = DataSize;
+    fn div(self, rhs: f64) -> DataSize {
+        DataSize(self.0 / rhs)
+    }
+}
+
+impl Sum for DataSize {
+    fn sum<I: Iterator<Item = DataSize>>(iter: I) -> DataSize {
+        iter.fold(DataSize::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_sum_and_scale() {
+        let total: Streams = (1..=4).map(|m| Streams::from(m as u32)).sum();
+        assert_eq!(total, Streams::new(10.0));
+        assert_eq!(total / 4.0, Streams::new(2.5));
+        assert_eq!(Streams::new(2.0) * 3.0, Streams::new(6.0));
+        assert_eq!(Streams::new(5.0) - Streams::new(2.0), Streams::new(3.0));
+    }
+
+    #[test]
+    fn streams_at_physical_rate() {
+        // DHB-a allocates 951 KB/s per stream; 6 busy streams is 5.7 MB/s,
+        // right at Fig. 9's scale.
+        let mbps = Streams::new(6.0)
+            .at_rate(KilobytesPerSec::new(951.0))
+            .as_mb_per_sec();
+        assert!((mbps - 5.706).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_volume_round_trip() {
+        let rate = KilobytesPerSec::new(636.0);
+        let vol = rate.over(Seconds::new(8170.0));
+        assert!((vol.megabytes() - 5196.12).abs() < 0.01);
+        let back = vol.rate_over(Seconds::new(8170.0));
+        assert!((back.get() - 636.0).abs() < 1e-9);
+        assert!((vol.time_at(rate).as_secs_f64() - 8170.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturating_sub_never_negative() {
+        let a = DataSize::from_kilobytes(2.0);
+        let b = DataSize::from_kilobytes(5.0);
+        assert_eq!(a.saturating_sub(b), DataSize::ZERO);
+        assert_eq!(b.saturating_sub(a), DataSize::from_kilobytes(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn rate_over_zero_duration_panics() {
+        let _ = DataSize::from_kilobytes(1.0).rate_over(Seconds::ZERO);
+    }
+
+    #[test]
+    fn displays_have_units() {
+        assert_eq!(Streams::new(1.5).to_string(), "1.500 streams");
+        assert_eq!(KilobytesPerSec::new(951.0).to_string(), "951.0 KB/s");
+        assert_eq!(DataSize::from_kilobytes(12.25).to_string(), "12.2 KB");
+    }
+
+    #[test]
+    fn maxima() {
+        assert_eq!(Streams::new(1.0).max(Streams::new(2.0)), Streams::new(2.0));
+        assert_eq!(
+            KilobytesPerSec::new(951.0).max(KilobytesPerSec::new(636.0)),
+            KilobytesPerSec::new(951.0)
+        );
+        assert_eq!(
+            DataSize::from_kilobytes(1.0).max(DataSize::from_kilobytes(2.0)),
+            DataSize::from_kilobytes(2.0)
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Shared domain types for the video-on-demand broadcasting protocol suite.
+//!
+//! This crate defines the vocabulary every other crate in the workspace speaks:
+//! time [`Slot`]s and [`Seconds`], 1-based [`SegmentId`]s, bandwidth expressed
+//! in multiples of the video consumption rate ([`Streams`]) or in raw
+//! [`KilobytesPerSec`], request [`ArrivalRate`]s, and the [`VideoSpec`]
+//! describing a video partitioned into equal-duration segments.
+//!
+//! The types are deliberately small `Copy` newtypes (per the Rust API
+//! guidelines' C-NEWTYPE): a `Slot` is not a `u64`, a per-hour rate is not a
+//! per-second rate, and mixing them up is a compile error rather than a
+//! simulation artefact.
+//!
+//! # Example
+//!
+//! ```
+//! use vod_types::{Seconds, VideoSpec};
+//!
+//! // The paper's canonical workload: a two-hour video in 99 segments,
+//! // giving a maximum start-up delay of about 73 seconds.
+//! let video = VideoSpec::new(Seconds::from_hours(2.0), 99)?;
+//! assert!((video.segment_duration().as_secs_f64() - 72.7).abs() < 0.1);
+//! # Ok::<(), vod_types::InvalidVideoSpec>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod bandwidth;
+mod rate;
+mod request;
+mod segment;
+mod slot;
+mod time;
+mod video;
+
+pub use bandwidth::{DataSize, KilobytesPerSec, Streams};
+pub use rate::ArrivalRate;
+pub use request::{Request, RequestId};
+pub use segment::{SegmentId, SegmentIdIter};
+pub use slot::Slot;
+pub use time::Seconds;
+pub use video::{InvalidVideoSpec, VideoSpec};

@@ -1,0 +1,128 @@
+//! Request arrival rates.
+
+use std::fmt;
+
+use crate::Seconds;
+
+/// A Poisson request arrival rate for a single video.
+///
+/// The paper sweeps rates from 1 to 1000 requests per hour; internally the
+/// simulators want requests per second (to draw exponential inter-arrival
+/// times) and requests per slot. Keeping the unit inside the type removes the
+/// 3600× foot-gun.
+///
+/// # Example
+///
+/// ```
+/// use vod_types::{ArrivalRate, Seconds};
+///
+/// let rate = ArrivalRate::per_hour(10.0);
+/// assert!((rate.per_second() - 10.0 / 3600.0).abs() < 1e-12);
+/// // Expected arrivals during one 73-second slot:
+/// let mean = rate.expected_in(Seconds::new(73.0));
+/// assert!((mean - 730.0 / 3600.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct ArrivalRate {
+    per_second: f64,
+}
+
+impl ArrivalRate {
+    /// No arrivals ever.
+    pub const ZERO: ArrivalRate = ArrivalRate { per_second: 0.0 };
+
+    /// Creates a rate of `n` requests per hour (the paper's unit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is negative, NaN or infinite.
+    #[must_use]
+    pub fn per_hour(n: f64) -> Self {
+        ArrivalRate::per_second_raw(n / 3600.0)
+    }
+
+    /// Creates a rate of `n` requests per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is negative, NaN or infinite.
+    #[must_use]
+    pub fn per_second_raw(n: f64) -> Self {
+        assert!(
+            n.is_finite() && n >= 0.0,
+            "arrival rate must be finite and non-negative"
+        );
+        ArrivalRate { per_second: n }
+    }
+
+    /// The rate in requests per second.
+    #[must_use]
+    pub const fn per_second(self) -> f64 {
+        self.per_second
+    }
+
+    /// The rate in requests per hour.
+    #[must_use]
+    pub fn as_per_hour(self) -> f64 {
+        self.per_second * 3600.0
+    }
+
+    /// Expected number of arrivals in an interval of the given length
+    /// (the Poisson mean `λ·t`).
+    #[must_use]
+    pub fn expected_in(self, interval: Seconds) -> f64 {
+        self.per_second * interval.as_secs_f64()
+    }
+
+    /// Mean inter-arrival time, or `None` when the rate is zero.
+    #[must_use]
+    pub fn mean_interarrival(self) -> Option<Seconds> {
+        if self.per_second > 0.0 {
+            Some(Seconds::new(1.0 / self.per_second))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for ArrivalRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} req/h", self.as_per_hour())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        let r = ArrivalRate::per_hour(3600.0);
+        assert!((r.per_second() - 1.0).abs() < 1e-12);
+        assert!((r.as_per_hour() - 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_arrivals_scale_with_interval() {
+        let r = ArrivalRate::per_hour(100.0);
+        assert!((r.expected_in(Seconds::from_hours(2.0)) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_interarrival_inverts_rate() {
+        let r = ArrivalRate::per_second_raw(0.25);
+        assert_eq!(r.mean_interarrival(), Some(Seconds::new(4.0)));
+        assert_eq!(ArrivalRate::ZERO.mean_interarrival(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_panics() {
+        let _ = ArrivalRate::per_hour(-1.0);
+    }
+
+    #[test]
+    fn display_uses_paper_units() {
+        assert_eq!(ArrivalRate::per_hour(10.0).to_string(), "10.000 req/h");
+    }
+}

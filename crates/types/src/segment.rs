@@ -1,0 +1,154 @@
+//! Video segment identifiers.
+
+use std::fmt;
+use std::num::NonZeroUsize;
+
+/// A 1-based video segment identifier, `S_1 ..= S_n`.
+///
+/// The broadcasting literature (and this paper) numbers segments from 1:
+/// segment `S_1` is the first `d` seconds of the video and must be on the air
+/// at least once every slot; segment `S_i` tolerates a period of up to `i`
+/// slots. Keeping the identifier 1-based in the type system avoids the
+/// perennial off-by-one between the paper's formulas and array indices —
+/// [`SegmentId::array_index`] is the only place the conversion happens.
+///
+/// # Example
+///
+/// ```
+/// use vod_types::SegmentId;
+///
+/// let s3 = SegmentId::new(3).unwrap();
+/// assert_eq!(s3.get(), 3);
+/// assert_eq!(s3.array_index(), 2);
+/// assert_eq!(s3.to_string(), "S3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegmentId(NonZeroUsize);
+
+impl SegmentId {
+    /// The first segment, `S_1`.
+    pub const FIRST: SegmentId = SegmentId(NonZeroUsize::MIN);
+
+    /// Creates a segment id, returning `None` for 0 (segments are 1-based).
+    #[must_use]
+    pub const fn new(id: usize) -> Option<Self> {
+        match NonZeroUsize::new(id) {
+            Some(nz) => Some(SegmentId(nz)),
+            None => None,
+        }
+    }
+
+    /// Creates a segment id from a 0-based array index.
+    #[must_use]
+    pub fn from_array_index(index: usize) -> Self {
+        SegmentId(NonZeroUsize::new(index + 1).expect("index + 1 is nonzero"))
+    }
+
+    /// The 1-based id (the `i` in `S_i`).
+    #[must_use]
+    pub const fn get(self) -> usize {
+        self.0.get()
+    }
+
+    /// The 0-based index for storage in slices.
+    #[must_use]
+    pub const fn array_index(self) -> usize {
+        self.0.get() - 1
+    }
+
+    /// Iterates `S_1 ..= S_n`.
+    ///
+    /// ```
+    /// use vod_types::SegmentId;
+    /// let ids: Vec<usize> = SegmentId::all(3).map(SegmentId::get).collect();
+    /// assert_eq!(ids, [1, 2, 3]);
+    /// ```
+    #[must_use]
+    pub fn all(n: usize) -> SegmentIdIter {
+        SegmentIdIter { next: 1, end: n }
+    }
+
+    /// The default maximum period of this segment in slots.
+    ///
+    /// In the fixed-rate DHB protocol segment `S_i` must be transmitted at
+    /// least once every `i` slots; VBR plans may override this with larger
+    /// per-segment periods `T[i]` (see the paper's Sec. 4 / DHB-d).
+    #[must_use]
+    pub const fn default_period(self) -> u64 {
+        self.0.get() as u64
+    }
+}
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Iterator over segment ids `S_1 ..= S_n`, created by [`SegmentId::all`].
+#[derive(Debug, Clone)]
+pub struct SegmentIdIter {
+    next: usize,
+    end: usize,
+}
+
+impl Iterator for SegmentIdIter {
+    type Item = SegmentId;
+
+    fn next(&mut self) -> Option<SegmentId> {
+        if self.next > self.end {
+            return None;
+        }
+        let id = SegmentId::new(self.next)?;
+        self.next += 1;
+        Some(id)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.end.saturating_sub(self.next - 1);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for SegmentIdIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_rejected() {
+        assert!(SegmentId::new(0).is_none());
+        assert_eq!(SegmentId::new(1), Some(SegmentId::FIRST));
+    }
+
+    #[test]
+    fn array_index_round_trip() {
+        for i in 0..100 {
+            let id = SegmentId::from_array_index(i);
+            assert_eq!(id.array_index(), i);
+            assert_eq!(id.get(), i + 1);
+        }
+    }
+
+    #[test]
+    fn all_iterates_inclusive_range() {
+        let ids: Vec<usize> = SegmentId::all(5).map(SegmentId::get).collect();
+        assert_eq!(ids, [1, 2, 3, 4, 5]);
+        assert_eq!(SegmentId::all(0).count(), 0);
+        assert_eq!(SegmentId::all(99).len(), 99);
+    }
+
+    #[test]
+    fn default_period_equals_id() {
+        // Paper Sec. 3: "each segment S_i has to be scheduled at a unique
+        // minimum frequency 1/(i d)" — i.e. a maximum period of i slots.
+        let s7 = SegmentId::new(7).unwrap();
+        assert_eq!(s7.default_period(), 7);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(SegmentId::new(42).unwrap().to_string(), "S42");
+    }
+}

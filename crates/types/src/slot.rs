@@ -1,0 +1,187 @@
+//! Slotted time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// The index of a time slot in a slotted broadcasting schedule.
+///
+/// All slotted protocols in this workspace (DHB, UD, FB, NPB, SB) divide time
+/// into slots of equal duration `d` — the segment duration. Slots are
+/// numbered from 0; the paper's figures number them from 1, and the figure
+/// harness adds 1 when printing so the two line up.
+///
+/// A `Slot` plus a number of slots is a `Slot`; the difference of two slots is
+/// a `u64` count. Subtracting a later slot from an earlier one panics (in
+/// debug builds) rather than wrapping, because a negative slot distance is
+/// always a scheduling bug.
+///
+/// # Example
+///
+/// ```
+/// use vod_types::Slot;
+///
+/// let arrival = Slot::new(3);
+/// // A request arriving in slot `i` may have segment j scheduled anywhere in
+/// // slots i+1 ..= i+j.
+/// let window: Vec<Slot> = arrival.window(4).collect();
+/// assert_eq!(window, [Slot::new(4), Slot::new(5), Slot::new(6), Slot::new(7)]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Slot(u64);
+
+impl Slot {
+    /// The first slot.
+    pub const ZERO: Slot = Slot(0);
+
+    /// Creates a slot with the given index.
+    #[must_use]
+    pub const fn new(index: u64) -> Self {
+        Slot(index)
+    }
+
+    /// Returns the raw slot index.
+    #[must_use]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the next slot.
+    #[must_use]
+    pub const fn next(self) -> Slot {
+        Slot(self.0 + 1)
+    }
+
+    /// Returns an iterator over the `len` slots *after* this one:
+    /// `self+1, self+2, ..., self+len`.
+    ///
+    /// This is exactly the search window the DHB protocol scans for a request
+    /// arriving during this slot and a segment with maximum period `len`.
+    pub fn window(self, len: u64) -> impl DoubleEndedIterator<Item = Slot> {
+        (self.0 + 1..=self.0 + len).map(Slot)
+    }
+
+    /// Number of slots from `earlier` to `self` (`self - earlier`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier > self`.
+    #[must_use]
+    pub fn distance_from(self, earlier: Slot) -> u64 {
+        self.0
+            .checked_sub(earlier.0)
+            .expect("slot distance must be non-negative")
+    }
+
+    /// Saturating conversion of an `i64` offset applied to this slot.
+    ///
+    /// Offsets below slot 0 clamp to slot 0. Useful when looking a fixed
+    /// number of slots into the past near the start of a simulation.
+    #[must_use]
+    pub fn saturating_offset(self, offset: i64) -> Slot {
+        if offset >= 0 {
+            Slot(self.0.saturating_add(offset as u64))
+        } else {
+            Slot(self.0.saturating_sub(offset.unsigned_abs()))
+        }
+    }
+}
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot {}", self.0)
+    }
+}
+
+impl Add<u64> for Slot {
+    type Output = Slot;
+
+    fn add(self, rhs: u64) -> Slot {
+        Slot(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Slot {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Slot> for Slot {
+    type Output = u64;
+
+    fn sub(self, rhs: Slot) -> u64 {
+        self.distance_from(rhs)
+    }
+}
+
+impl From<u64> for Slot {
+    fn from(index: u64) -> Self {
+        Slot(index)
+    }
+}
+
+impl From<Slot> for u64 {
+    fn from(slot: Slot) -> Self {
+        slot.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_matches_paper_definition() {
+        // Paper, Sec. 3: a request arriving during slot i that needs a new
+        // transmission of segment S_j searches slots i+1 to i+j.
+        let i = Slot::new(1);
+        let window: Vec<u64> = i.window(6).map(Slot::index).collect();
+        assert_eq!(window, [2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn window_is_double_ended() {
+        let last = Slot::new(10).window(3).next_back();
+        assert_eq!(last, Some(Slot::new(13)));
+    }
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let s = Slot::new(41);
+        assert_eq!(s + 1, Slot::new(42));
+        assert_eq!((s + 9) - s, 9);
+        assert_eq!(Slot::from(7u64).index(), 7);
+        assert_eq!(u64::from(Slot::new(7)), 7);
+    }
+
+    #[test]
+    fn add_assign_advances() {
+        let mut s = Slot::ZERO;
+        s += 5;
+        assert_eq!(s, Slot::new(5));
+        assert_eq!(s.next(), Slot::new(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_distance_panics() {
+        let _ = Slot::new(1).distance_from(Slot::new(2));
+    }
+
+    #[test]
+    fn saturating_offset_clamps_at_zero() {
+        assert_eq!(Slot::new(3).saturating_offset(-10), Slot::ZERO);
+        assert_eq!(Slot::new(3).saturating_offset(4), Slot::new(7));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Slot::new(12).to_string(), "slot 12");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Slot::new(1) < Slot::new(2));
+        assert_eq!(Slot::default(), Slot::ZERO);
+    }
+}

@@ -1,0 +1,179 @@
+//! Continuous time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A duration or point in simulated time, in seconds.
+///
+/// Continuous-time protocols (stream tapping, patching) and the VBR trace
+/// pipeline work in seconds; slotted protocols convert through
+/// [`crate::VideoSpec::segment_duration`]. The type is a thin `f64` wrapper
+/// with the arithmetic a simulation needs and nothing else.
+///
+/// # Example
+///
+/// ```
+/// use vod_types::Seconds;
+///
+/// let video = Seconds::from_hours(2.0);
+/// assert_eq!(video, Seconds::new(7200.0));
+/// assert_eq!(video / 99.0, Seconds::new(7200.0 / 99.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Seconds(f64);
+
+impl Seconds {
+    /// Zero seconds.
+    pub const ZERO: Seconds = Seconds(0.0);
+
+    /// Creates a duration of `secs` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `secs` is NaN; every simulation clock
+    /// comparison would otherwise silently misbehave.
+    #[must_use]
+    pub fn new(secs: f64) -> Self {
+        debug_assert!(!secs.is_nan(), "time must not be NaN");
+        Seconds(secs)
+    }
+
+    /// Creates a duration from minutes.
+    #[must_use]
+    pub fn from_mins(mins: f64) -> Self {
+        Seconds::new(mins * 60.0)
+    }
+
+    /// Creates a duration from hours.
+    #[must_use]
+    pub fn from_hours(hours: f64) -> Self {
+        Seconds::new(hours * 3600.0)
+    }
+
+    /// The raw number of seconds.
+    #[must_use]
+    pub const fn as_secs_f64(self) -> f64 {
+        self.0
+    }
+
+    /// This duration expressed in hours.
+    #[must_use]
+    pub fn as_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// Component-wise minimum.
+    #[must_use]
+    pub fn min(self, other: Seconds) -> Seconds {
+        Seconds(self.0.min(other.0))
+    }
+
+    /// Component-wise maximum.
+    #[must_use]
+    pub fn max(self, other: Seconds) -> Seconds {
+        Seconds(self.0.max(other.0))
+    }
+
+    /// True if this is a non-negative, finite duration.
+    #[must_use]
+    pub fn is_valid_duration(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} s", self.0)
+    }
+}
+
+impl Add for Seconds {
+    type Output = Seconds;
+    fn add(self, rhs: Seconds) -> Seconds {
+        Seconds::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Seconds {
+    fn add_assign(&mut self, rhs: Seconds) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Seconds {
+    type Output = Seconds;
+    fn sub(self, rhs: Seconds) -> Seconds {
+        Seconds::new(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Seconds {
+    fn sub_assign(&mut self, rhs: Seconds) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Seconds {
+    type Output = Seconds;
+    fn mul(self, rhs: f64) -> Seconds {
+        Seconds::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Seconds {
+    type Output = Seconds;
+    fn div(self, rhs: f64) -> Seconds {
+        Seconds::new(self.0 / rhs)
+    }
+}
+
+impl Div<Seconds> for Seconds {
+    /// Ratio of two durations (dimensionless).
+    type Output = f64;
+    fn div(self, rhs: Seconds) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Seconds::from_hours(2.0), Seconds::new(7200.0));
+        assert_eq!(Seconds::from_mins(1.0), Seconds::new(60.0));
+        assert_eq!(Seconds::from_hours(1.0).as_hours(), 1.0);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Seconds::new(10.0);
+        let b = Seconds::new(4.0);
+        assert_eq!(a + b, Seconds::new(14.0));
+        assert_eq!(a - b, Seconds::new(6.0));
+        assert_eq!(a * 2.0, Seconds::new(20.0));
+        assert_eq!(a / 2.0, Seconds::new(5.0));
+        assert_eq!(a / b, 2.5);
+        let mut c = a;
+        c += b;
+        c -= Seconds::new(1.0);
+        assert_eq!(c, Seconds::new(13.0));
+    }
+
+    #[test]
+    fn min_max_and_validity() {
+        let a = Seconds::new(1.0);
+        let b = Seconds::new(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert!(a.is_valid_duration());
+        assert!(!Seconds::new(-1.0).is_valid_duration());
+        assert!(!Seconds::new(f64::INFINITY).is_valid_duration());
+    }
+
+    #[test]
+    fn display_has_units() {
+        assert_eq!(Seconds::new(73.0).to_string(), "73.000 s");
+    }
+}

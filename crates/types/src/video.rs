@@ -1,0 +1,214 @@
+//! Video descriptions.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Seconds, SegmentId, SegmentIdIter, Slot};
+
+/// A video partitioned into `n` equal-duration segments, the common ground of
+/// every slotted broadcasting protocol in this workspace.
+///
+/// The paper's two standard instances are provided as constructors:
+/// [`VideoSpec::paper_two_hour`] (Figures 7 and 8: a 2-hour video in 99
+/// segments) and the *Matrix*-length video used in Section 4 (8170 seconds;
+/// segment counts vary per DHB variant, so that one is built with
+/// [`VideoSpec::new`]).
+///
+/// # Example
+///
+/// ```
+/// use vod_types::{Seconds, VideoSpec};
+///
+/// let video = VideoSpec::paper_two_hour();
+/// assert_eq!(video.n_segments(), 99);
+/// // "no more than 73 seconds for a two-hour video"
+/// assert!(video.segment_duration() < Seconds::new(73.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VideoSpec {
+    duration: Seconds,
+    n_segments: usize,
+}
+
+impl VideoSpec {
+    /// Creates a video of the given total duration split into `n_segments`
+    /// equal segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidVideoSpec`] if the duration is non-positive or not
+    /// finite, or if `n_segments` is zero.
+    pub fn new(duration: Seconds, n_segments: usize) -> Result<Self, InvalidVideoSpec> {
+        if !duration.is_valid_duration() || duration == Seconds::ZERO {
+            return Err(InvalidVideoSpec::NonPositiveDuration { duration });
+        }
+        if n_segments == 0 {
+            return Err(InvalidVideoSpec::ZeroSegments);
+        }
+        Ok(VideoSpec {
+            duration,
+            n_segments,
+        })
+    }
+
+    /// The paper's Figure 7/8 workload: a two-hour video in 99 segments.
+    #[must_use]
+    pub fn paper_two_hour() -> Self {
+        VideoSpec::new(Seconds::from_hours(2.0), 99).expect("static spec is valid")
+    }
+
+    /// Total duration `D` of the video.
+    #[must_use]
+    pub const fn duration(self) -> Seconds {
+        self.duration
+    }
+
+    /// Number of segments `n`.
+    #[must_use]
+    pub const fn n_segments(self) -> usize {
+        self.n_segments
+    }
+
+    /// Segment duration `d = D / n`, which is also the slot duration and the
+    /// maximum customer waiting time.
+    #[must_use]
+    pub fn segment_duration(self) -> Seconds {
+        self.duration / self.n_segments as f64
+    }
+
+    /// The last segment id, `S_n`.
+    #[must_use]
+    pub fn last_segment(self) -> SegmentId {
+        SegmentId::new(self.n_segments).expect("n_segments > 0")
+    }
+
+    /// Iterates all segment ids `S_1 ..= S_n`.
+    #[must_use]
+    pub fn segments(self) -> SegmentIdIter {
+        SegmentId::all(self.n_segments)
+    }
+
+    /// The slot containing absolute time `t` (slot 0 starts at `t = 0`).
+    #[must_use]
+    pub fn slot_at(self, t: Seconds) -> Slot {
+        let d = self.segment_duration().as_secs_f64();
+        let idx = (t.as_secs_f64() / d).floor();
+        Slot::new(if idx < 0.0 { 0 } else { idx as u64 })
+    }
+
+    /// Start time of the given slot.
+    #[must_use]
+    pub fn slot_start(self, slot: Slot) -> Seconds {
+        self.segment_duration() * slot.index() as f64
+    }
+
+    /// Number of whole slots covering `interval` (rounded up).
+    #[must_use]
+    pub fn slots_in(self, interval: Seconds) -> u64 {
+        (interval / self.segment_duration()).ceil() as u64
+    }
+}
+
+impl fmt::Display for VideoSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "video {:.0} s in {} segments of {:.2} s",
+            self.duration.as_secs_f64(),
+            self.n_segments,
+            self.segment_duration().as_secs_f64()
+        )
+    }
+}
+
+/// Error returned by [`VideoSpec::new`] for degenerate parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InvalidVideoSpec {
+    /// The duration was zero, negative, NaN or infinite.
+    NonPositiveDuration {
+        /// The offending duration.
+        duration: Seconds,
+    },
+    /// `n_segments` was zero.
+    ZeroSegments,
+}
+
+impl fmt::Display for InvalidVideoSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidVideoSpec::NonPositiveDuration { duration } => {
+                write!(
+                    f,
+                    "video duration must be positive and finite, got {duration}"
+                )
+            }
+            InvalidVideoSpec::ZeroSegments => {
+                write!(f, "video must have at least one segment")
+            }
+        }
+    }
+}
+
+impl Error for InvalidVideoSpec {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workload_numbers() {
+        let v = VideoSpec::paper_two_hour();
+        assert_eq!(v.duration(), Seconds::from_hours(2.0));
+        assert_eq!(v.n_segments(), 99);
+        // 7200 / 99 = 72.72… s ("no more than 73 seconds").
+        let d = v.segment_duration().as_secs_f64();
+        assert!((d - 72.7272).abs() < 1e-3);
+        assert_eq!(v.last_segment().get(), 99);
+    }
+
+    #[test]
+    fn rejects_degenerate_specs() {
+        assert_eq!(
+            VideoSpec::new(Seconds::from_hours(2.0), 0),
+            Err(InvalidVideoSpec::ZeroSegments)
+        );
+        assert!(matches!(
+            VideoSpec::new(Seconds::ZERO, 10),
+            Err(InvalidVideoSpec::NonPositiveDuration { .. })
+        ));
+        assert!(matches!(
+            VideoSpec::new(Seconds::new(-5.0), 10),
+            Err(InvalidVideoSpec::NonPositiveDuration { .. })
+        ));
+    }
+
+    #[test]
+    fn slot_mapping_round_trips() {
+        let v = VideoSpec::new(Seconds::new(600.0), 10).unwrap();
+        // d = 60 s
+        assert_eq!(v.slot_at(Seconds::new(0.0)), Slot::new(0));
+        assert_eq!(v.slot_at(Seconds::new(59.9)), Slot::new(0));
+        assert_eq!(v.slot_at(Seconds::new(60.0)), Slot::new(1));
+        assert_eq!(v.slot_start(Slot::new(3)), Seconds::new(180.0));
+        assert_eq!(v.slots_in(Seconds::new(150.0)), 3);
+    }
+
+    #[test]
+    fn segments_iterator_covers_video() {
+        let v = VideoSpec::new(Seconds::new(600.0), 6).unwrap();
+        let ids: Vec<usize> = v.segments().map(SegmentId::get).collect();
+        assert_eq!(ids, [1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn display_summarises() {
+        let v = VideoSpec::new(Seconds::new(600.0), 10).unwrap();
+        assert_eq!(v.to_string(), "video 600 s in 10 segments of 60.00 s");
+    }
+
+    #[test]
+    fn errors_display_and_are_std_errors() {
+        let e: Box<dyn Error> = Box::new(InvalidVideoSpec::ZeroSegments);
+        assert!(e.to_string().contains("at least one segment"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Property-based tests for the domain newtypes.
+
+use proptest::prelude::*;
+use vod_types::{ArrivalRate, DataSize, Seconds, SegmentId, Slot, VideoSpec};
+
+proptest! {
+    /// A DHB search window for a request in slot `i` and segment period `t`
+    /// always spans exactly `t` slots, starting immediately after `i`.
+    #[test]
+    fn slot_window_has_expected_bounds(i in 0u64..1_000_000, t in 1u64..1_000) {
+        let slot = Slot::new(i);
+        let window: Vec<Slot> = slot.window(t).collect();
+        prop_assert_eq!(window.len() as u64, t);
+        prop_assert_eq!(window[0], Slot::new(i + 1));
+        prop_assert_eq!(*window.last().unwrap(), Slot::new(i + t));
+        // Every window slot is strictly after the arrival slot.
+        prop_assert!(window.iter().all(|w| *w > slot));
+    }
+
+    /// Segment array indices and 1-based ids always round-trip.
+    #[test]
+    fn segment_id_round_trip(raw in 1usize..100_000) {
+        let id = SegmentId::new(raw).unwrap();
+        prop_assert_eq!(SegmentId::from_array_index(id.array_index()), id);
+        prop_assert_eq!(id.default_period(), raw as u64);
+    }
+
+    /// slot_at and slot_start are consistent: time t falls inside the slot
+    /// whose start is at or before t and whose end is after t.
+    #[test]
+    fn video_slot_mapping_is_consistent(
+        dur_secs in 60.0f64..20_000.0,
+        n in 1usize..500,
+        frac in 0.0f64..0.999,
+    ) {
+        let video = VideoSpec::new(Seconds::new(dur_secs), n).unwrap();
+        let t = Seconds::new(dur_secs * frac);
+        let slot = video.slot_at(t);
+        let start = video.slot_start(slot);
+        let end = video.slot_start(slot.next());
+        prop_assert!(start <= t, "slot start {start} must not exceed t {t}");
+        // Allow for floating-point boundary wobble of one ULP-ish.
+        prop_assert!(t.as_secs_f64() < end.as_secs_f64() + 1e-9);
+    }
+
+    /// Rates round-trip between per-hour and per-second representations.
+    #[test]
+    fn arrival_rate_round_trip(per_hour in 0.0f64..10_000.0) {
+        let rate = ArrivalRate::per_hour(per_hour);
+        prop_assert!((rate.as_per_hour() - per_hour).abs() < 1e-6);
+        if per_hour > 0.0 {
+            let mean = rate.mean_interarrival().unwrap();
+            prop_assert!((rate.expected_in(mean) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Data volume / rate / time conversions are mutually inverse.
+    #[test]
+    fn data_rate_time_triangle(kb in 0.1f64..1e7, secs in 0.1f64..1e5) {
+        let size = DataSize::from_kilobytes(kb);
+        let dur = Seconds::new(secs);
+        let rate = size.rate_over(dur);
+        let back = rate.over(dur);
+        prop_assert!((back.kilobytes() - kb).abs() / kb < 1e-9);
+        let t = size.time_at(rate);
+        prop_assert!((t.as_secs_f64() - secs).abs() / secs < 1e-9);
+    }
+}

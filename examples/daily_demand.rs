@@ -1,0 +1,79 @@
+//! The paper's opening motivation, simulated: "the frequency of requests for
+//! any given video is likely to vary widely with the time of the day.
+//! Child-oriented fare will always be in higher demand during the day…".
+//!
+//! A fixed broadcasting protocol (NPB) pays its full allocation around the
+//! clock; a reactive protocol (stream tapping) is cheap at night but
+//! expensive in prime time; DHB adapts to both regimes.
+//!
+//! Run with `cargo run --release --example daily_demand`.
+
+use vod_dhb::dhb::Dhb;
+use vod_dhb::protocols::npb::npb_streams_for;
+use vod_dhb::protocols::{StreamTapping, TappingPolicy};
+use vod_dhb::sim::{
+    render_table, ContinuousRun, RateProfile, SlottedRun, Table, TimeVaryingPoisson,
+};
+use vod_dhb::types::{ArrivalRate, Seconds, VideoSpec};
+
+fn main() {
+    let video = VideoSpec::paper_two_hour();
+    let n = video.n_segments();
+
+    // A children's movie: busy 8:00–20:00, nearly idle overnight.
+    let profile = RateProfile::new(
+        Seconds::from_hours(24.0),
+        vec![
+            (Seconds::ZERO, ArrivalRate::per_hour(2.0)), // 00:00 night
+            (Seconds::from_hours(8.0), ArrivalRate::per_hour(150.0)), // daytime
+            (Seconds::from_hours(20.0), ArrivalRate::per_hour(10.0)), // evening
+        ],
+    );
+
+    // Ten simulated days.
+    let days = 10.0;
+    let horizon = Seconds::from_hours(24.0 * days);
+    let slots = (horizon / video.segment_duration()).ceil() as u64;
+
+    eprintln!("simulating {days:.0} days of time-varying demand…");
+    let mut dhb = Dhb::fixed_rate(n);
+    let dhb_report = SlottedRun::new(video)
+        .warmup_slots(0)
+        .measured_slots(slots)
+        .seed(21)
+        .run(&mut dhb, TimeVaryingPoisson::new(profile.clone()));
+
+    let tap_report = ContinuousRun::new(horizon).seed(21).run(
+        &mut StreamTapping::new(video.duration(), TappingPolicy::Extra),
+        TimeVaryingPoisson::new(profile.clone()),
+    );
+
+    let npb_streams = npb_streams_for(n) as f64;
+
+    let mut table = Table::new(vec!["protocol", "avg streams", "peak streams"]);
+    table.push_row(vec![
+        "NPB (fixed)".to_owned(),
+        format!("{npb_streams:.2}"),
+        format!("{npb_streams:.1}"),
+    ]);
+    table.push_row(vec![
+        "stream tapping".to_owned(),
+        format!("{:.2}", tap_report.avg_bandwidth.get()),
+        format!("{:.1}", tap_report.max_bandwidth.get()),
+    ]);
+    table.push_row(vec![
+        "DHB".to_owned(),
+        format!("{:.2}", dhb_report.avg_bandwidth.get()),
+        format!("{:.1}", dhb_report.max_bandwidth.get()),
+    ]);
+    println!("\nTen days of a day/night demand cycle (2 → 150 → 10 req/h), 2-hour video:\n");
+    println!("{}", render_table(&table));
+    println!("requests served: {} (DHB run)\n", dhb_report.total_requests);
+    println!("The DHB schedule is demand-driven, so overnight slots are nearly free");
+    println!("while prime-time cost stays below the fixed NPB allocation — the");
+    println!("situation the paper says \"no conventional distribution protocol can");
+    println!("effectively handle\".");
+
+    assert!(dhb_report.avg_bandwidth.get() < npb_streams);
+    assert!(dhb_report.avg_bandwidth.get() < tap_report.avg_bandwidth.get());
+}

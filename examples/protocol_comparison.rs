@@ -1,0 +1,72 @@
+//! Compare every distribution protocol in the suite across arrival rates —
+//! a terminal-sized rendition of the paper's Figure 7 plus the protocols it
+//! only discusses (SB, patching, dynamic NPB, the EVZ lower bound).
+//!
+//! Run with `cargo run --release --example protocol_comparison`.
+
+use vod_dhb::dhb::Dhb;
+use vod_dhb::protocols::lower_bound::reactive_lower_bound;
+use vod_dhb::protocols::npb::npb_streams_for;
+use vod_dhb::protocols::sb::sb_streams_for;
+use vod_dhb::protocols::{
+    DynamicNpb, Patching, StreamTapping, TappingPolicy, UniversalDistribution,
+};
+use vod_dhb::sim::{render_table, RateSweep, Table};
+use vod_dhb::types::{ArrivalRate, VideoSpec};
+
+fn main() {
+    let video = VideoSpec::paper_two_hour();
+    let n = video.n_segments();
+    let rates = [1.0, 5.0, 20.0, 100.0, 500.0];
+    let sweep = RateSweep::new(video)
+        .rates_per_hour(&rates)
+        .warmup_slots(200)
+        .measured_slots(1_500)
+        .seed(11);
+
+    eprintln!("simulating (five protocols × five rates)…");
+    let tapping =
+        sweep.run_continuous(|| StreamTapping::new(video.duration(), TappingPolicy::Extra));
+    let patching = sweep.run_continuous(|| {
+        // Patching tunes its restart window per expected rate; use the
+        // sweep's mid-point as its design rate to show the mismatch cost.
+        Patching::new(video.duration(), ArrivalRate::per_hour(20.0))
+    });
+    let ud = sweep.run_slotted(|| UniversalDistribution::new(n));
+    let dnpb = sweep.run_slotted(|| DynamicNpb::new(n));
+    let dhb = sweep.run_slotted(|| Dhb::fixed_rate(n));
+
+    let mut table = Table::new(vec![
+        "req/h",
+        "EVZ bound",
+        "tapping",
+        "patching",
+        "UD",
+        "dyn-NPB",
+        "DHB",
+        "NPB",
+        "SB",
+    ]);
+    let npb_flat = npb_streams_for(n) as f64;
+    let sb_flat = sb_streams_for(n, None) as f64;
+    for (i, &rate) in rates.iter().enumerate() {
+        let bound = reactive_lower_bound(ArrivalRate::per_hour(rate), video.duration());
+        table.push_row(vec![
+            format!("{rate}"),
+            format!("{:.2}", bound.get()),
+            format!("{:.2}", tapping.points[i].avg_streams),
+            format!("{:.2}", patching.points[i].avg_streams),
+            format!("{:.2}", ud.points[i].avg_streams),
+            format!("{:.2}", dnpb.points[i].avg_streams),
+            format!("{:.2}", dhb.points[i].avg_streams),
+            format!("{npb_flat:.2}"),
+            format!("{sb_flat:.2}"),
+        ]);
+    }
+    println!("Average server bandwidth (streams), 2-hour video, 99 segments:\n");
+    println!("{}", render_table(&table));
+    println!("Reading guide:");
+    println!("  * tapping/patching give instant access; everything else delays up to 73 s;");
+    println!("  * NPB and SB are fixed schedules — flat at their allocated streams;");
+    println!("  * DHB tracks the cheapest protocol at every rate (the paper's claim).");
+}

@@ -1,0 +1,78 @@
+//! Quickstart: schedule requests with the DHB protocol and watch the
+//! paper's Figures 4 and 5 fall out of the algorithm.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use vod_dhb::dhb::{Dhb, DhbScheduler};
+use vod_dhb::sim::{PoissonProcess, SlottedProtocol, SlottedRun};
+use vod_dhb::types::{ArrivalRate, Slot, VideoSpec};
+
+fn main() {
+    // --- The worked example from the paper (Figures 4 and 5) -------------
+    // A video in six segments; slots are numbered from 0 here, from 1 in
+    // the paper.
+    let mut scheduler = DhbScheduler::fixed_rate(6);
+
+    println!("A request arrives during slot 1 into an idle system.");
+    let first = scheduler.schedule_request(Slot::new(1));
+    for entry in &first {
+        println!(
+            "  {} -> {} ({})",
+            entry.segment,
+            entry.slot,
+            disposition(entry.newly_scheduled)
+        );
+    }
+    println!("{}", scheduler.render_schedule(Slot::new(2), Slot::new(7)));
+
+    // Time advances to slot 3; a second request arrives.
+    while scheduler.next_slot().index() < 3 {
+        let _ = scheduler.pop_slot();
+    }
+    println!("A second request arrives during slot 3.");
+    let second = scheduler.schedule_request(Slot::new(3));
+    for entry in &second {
+        println!(
+            "  {} -> {} ({})",
+            entry.segment,
+            entry.slot,
+            disposition(entry.newly_scheduled)
+        );
+    }
+    println!("{}", scheduler.render_schedule(Slot::new(3), Slot::new(7)));
+
+    // --- A full simulated workload ---------------------------------------
+    // The paper's Figure-7 configuration: a two-hour video in 99 segments
+    // under Poisson arrivals.
+    let video = VideoSpec::paper_two_hour();
+    let mut dhb = Dhb::fixed_rate(video.n_segments());
+    let report = SlottedRun::new(video)
+        .warmup_slots(200)
+        .measured_slots(2_000)
+        .seed(7)
+        .run(&mut dhb, PoissonProcess::new(ArrivalRate::per_hour(50.0)));
+
+    println!("Two-hour video, 99 segments, 50 requests/hour:");
+    println!("  protocol            : {}", dhb.name());
+    println!("  average bandwidth   : {}", report.avg_bandwidth);
+    println!("  maximum bandwidth   : {}", report.max_bandwidth);
+    println!("  requests served     : {}", report.total_requests);
+    let stats = dhb.stats();
+    println!(
+        "  sharing ratio       : {:.1}% of segment needs met by existing instances",
+        stats.sharing_ratio() * 100.0
+    );
+    println!(
+        "  new instances/req   : {:.1} (out of {} segments)",
+        stats.new_instances_per_request(),
+        video.n_segments()
+    );
+}
+
+fn disposition(newly_scheduled: bool) -> &'static str {
+    if newly_scheduled {
+        "new transmission"
+    } else {
+        "shared with an earlier request"
+    }
+}

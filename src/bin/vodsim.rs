@@ -1,0 +1,21 @@
+//! `vodsim` — explore the VOD broadcasting protocol suite from the shell.
+//!
+//! See `vodsim help` (or [`vod_dhb::cli`]) for usage.
+
+use std::process::ExitCode;
+
+use vod_dhb::cli;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse(&args).and_then(|cmd| cli::run(&cmd)) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

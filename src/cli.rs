@@ -1,0 +1,732 @@
+//! The `vodsim` command-line interface.
+//!
+//! A thin, dependency-free front-end over the library: rate sweeps for any
+//! protocol, the Section-4 VBR analysis for any film preset, multi-video
+//! server policies, and the DHB schedule renderer. The binary lives in
+//! `src/bin/vodsim.rs`; everything testable lives here.
+//!
+//! ```text
+//! vodsim sweep --protocol dhb --rates 1,10,100 [--segments 99]
+//!              [--duration-mins 120] [--slots 2000] [--seed 42]
+//! vodsim vbr [--preset matrix|action|drama|toon] [--max-wait-secs 60] [--seed 42]
+//! vodsim server [--videos 20] [--total-rate 500] [--zipf 1.0] [--slots 1200]
+//! vodsim schedule [--segments 6] [--arrivals 1,3]
+//! ```
+
+use std::fmt;
+
+use dhb_core::{Dhb, DhbScheduler};
+use vod_protocols::npb::npb_streams_for;
+use vod_protocols::{
+    DynamicNpb, DynamicSb, Patching, StreamTapping, TappingPolicy, UniversalDistribution,
+};
+use vod_server::{Catalog, Policy, Server};
+use vod_sim::{render_table, RateSweep, Table};
+use vod_trace::periods::relaxed_segments;
+use vod_trace::{BroadcastPlan, FilmPreset};
+use vod_types::{ArrivalRate, Seconds, Slot, VideoSpec};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `vodsim sweep …`
+    Sweep {
+        /// Protocol key (see [`PROTOCOLS`]).
+        protocol: String,
+        /// Arrival rates in requests per hour.
+        rates: Vec<f64>,
+        /// Segment count.
+        segments: usize,
+        /// Video duration in minutes.
+        duration_mins: f64,
+        /// Measured slots.
+        slots: u64,
+        /// Seed.
+        seed: u64,
+    },
+    /// `vodsim vbr …`
+    Vbr {
+        /// Film preset key.
+        preset: String,
+        /// Maximum waiting time in seconds.
+        max_wait_secs: f64,
+        /// Seed.
+        seed: u64,
+    },
+    /// `vodsim server …`
+    ServerPolicies {
+        /// Catalog size.
+        videos: usize,
+        /// Total request rate (per hour).
+        total_rate: f64,
+        /// Zipf exponent.
+        zipf: f64,
+        /// Measured slots.
+        slots: u64,
+        /// Seed.
+        seed: u64,
+    },
+    /// `vodsim schedule …`
+    Schedule {
+        /// Segment count.
+        segments: usize,
+        /// Arrival slots.
+        arrivals: Vec<u64>,
+    },
+    /// `vodsim analyze …` — statistical profile of a trace (preset or
+    /// imported file).
+    Analyze {
+        /// Film preset key, ignored if `file` is given.
+        preset: String,
+        /// Path to a trace in the `vod_trace::io` interchange format.
+        file: Option<String>,
+        /// Seed for preset generation.
+        seed: u64,
+        /// Optional path to export the analysed trace to.
+        export: Option<String>,
+    },
+    /// `vodsim help` or `--help`.
+    Help,
+}
+
+/// Protocol keys accepted by `sweep --protocol`.
+pub const PROTOCOLS: [&str; 7] = ["dhb", "ud", "dnpb", "dsb", "tapping", "patching", "npb"];
+
+/// Film preset keys accepted by `vbr --preset`.
+pub const PRESETS: [&str; 4] = ["matrix", "action", "drama", "toon"];
+
+/// A CLI usage error, rendered to the user verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}\n\n{}", self.0, usage())
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// The usage banner.
+#[must_use]
+pub fn usage() -> String {
+    "usage:\n  \
+     vodsim sweep --protocol <dhb|ud|dnpb|dsb|tapping|patching|npb> --rates <r1,r2,…>\n          \
+     [--segments 99] [--duration-mins 120] [--slots 2000] [--seed 42]\n  \
+     vodsim vbr [--preset <matrix|action|drama|toon>] [--max-wait-secs 60] [--seed 42]\n  \
+     vodsim server [--videos 20] [--total-rate 500] [--zipf 1.0] [--slots 1200] [--seed 42]\n  \
+     vodsim schedule [--segments 6] [--arrivals 1,3]\n  \
+     vodsim analyze [--preset <matrix|action|drama|toon>] [--file trace.txt]\n          \
+     [--seed 42] [--export out.txt]\n  \
+     vodsim help"
+        .to_owned()
+}
+
+/// Parses an argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`UsageError`] describing the first problem found.
+pub fn parse(args: &[String]) -> Result<Command, UsageError> {
+    let mut it = args.iter().map(String::as_str);
+    let sub = it.next().unwrap_or("help");
+    let rest: Vec<&str> = it.collect();
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "sweep" => {
+            let mut opts = Options::parse(&rest)?;
+            let cmd = Command::Sweep {
+                protocol: opts
+                    .take_str("protocol")?
+                    .ok_or_else(|| UsageError("sweep requires --protocol".to_owned()))?,
+                rates: opts
+                    .take_f64_list("rates")?
+                    .ok_or_else(|| UsageError("sweep requires --rates".to_owned()))?,
+                segments: opts.take_usize("segments")?.unwrap_or(99),
+                duration_mins: opts.take_f64("duration-mins")?.unwrap_or(120.0),
+                slots: opts.take_u64("slots")?.unwrap_or(2_000),
+                seed: opts.take_u64("seed")?.unwrap_or(42),
+            };
+            opts.finish()?;
+            if let Command::Sweep {
+                protocol,
+                rates,
+                segments,
+                ..
+            } = &cmd
+            {
+                if !PROTOCOLS.contains(&protocol.as_str()) {
+                    return Err(UsageError(format!(
+                        "unknown protocol {protocol:?}; expected one of {PROTOCOLS:?}"
+                    )));
+                }
+                if rates.is_empty() {
+                    return Err(UsageError("--rates must not be empty".to_owned()));
+                }
+                if *segments == 0 {
+                    return Err(UsageError("--segments must be positive".to_owned()));
+                }
+            }
+            Ok(cmd)
+        }
+        "vbr" => {
+            let mut opts = Options::parse(&rest)?;
+            let preset = opts
+                .take_str("preset")?
+                .unwrap_or_else(|| "matrix".to_owned());
+            if !PRESETS.contains(&preset.as_str()) {
+                return Err(UsageError(format!(
+                    "unknown preset {preset:?}; expected one of {PRESETS:?}"
+                )));
+            }
+            let cmd = Command::Vbr {
+                preset,
+                max_wait_secs: opts.take_f64("max-wait-secs")?.unwrap_or(60.0),
+                seed: opts.take_u64("seed")?.unwrap_or(42),
+            };
+            opts.finish()?;
+            Ok(cmd)
+        }
+        "server" => {
+            let mut opts = Options::parse(&rest)?;
+            let cmd = Command::ServerPolicies {
+                videos: opts.take_usize("videos")?.unwrap_or(20),
+                total_rate: opts.take_f64("total-rate")?.unwrap_or(500.0),
+                zipf: opts.take_f64("zipf")?.unwrap_or(1.0),
+                slots: opts.take_u64("slots")?.unwrap_or(1_200),
+                seed: opts.take_u64("seed")?.unwrap_or(42),
+            };
+            opts.finish()?;
+            Ok(cmd)
+        }
+        "schedule" => {
+            let mut opts = Options::parse(&rest)?;
+            let cmd = Command::Schedule {
+                segments: opts.take_usize("segments")?.unwrap_or(6),
+                arrivals: opts
+                    .take_u64_list("arrivals")?
+                    .unwrap_or_else(|| vec![1, 3]),
+            };
+            opts.finish()?;
+            Ok(cmd)
+        }
+        "analyze" => {
+            let mut opts = Options::parse(&rest)?;
+            let preset = opts
+                .take_str("preset")?
+                .unwrap_or_else(|| "matrix".to_owned());
+            let file = opts.take_str("file")?;
+            if file.is_none() && !PRESETS.contains(&preset.as_str()) {
+                return Err(UsageError(format!(
+                    "unknown preset {preset:?}; expected one of {PRESETS:?}"
+                )));
+            }
+            let cmd = Command::Analyze {
+                preset,
+                file,
+                seed: opts.take_u64("seed")?.unwrap_or(42),
+                export: opts.take_str("export")?,
+            };
+            opts.finish()?;
+            Ok(cmd)
+        }
+        other => Err(UsageError(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+/// `--key value` option bag.
+#[derive(Debug)]
+struct Options {
+    pairs: Vec<(String, String)>,
+}
+
+impl Options {
+    fn parse(args: &[&str]) -> Result<Options, UsageError> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| UsageError(format!("expected --option, got {:?}", args[i])))?;
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| UsageError(format!("--{key} requires a value")))?;
+            pairs.push((key.to_owned(), (*value).to_owned()));
+            i += 2;
+        }
+        Ok(Options { pairs })
+    }
+
+    fn take_str(&mut self, key: &str) -> Result<Option<String>, UsageError> {
+        match self.pairs.iter().position(|(k, _)| k == key) {
+            Some(idx) => Ok(Some(self.pairs.remove(idx).1)),
+            None => Ok(None),
+        }
+    }
+
+    fn take_f64(&mut self, key: &str) -> Result<Option<f64>, UsageError> {
+        self.take_str(key)?
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| UsageError(format!("--{key}: {v:?} is not a number")))
+            })
+            .transpose()
+    }
+
+    fn take_u64(&mut self, key: &str) -> Result<Option<u64>, UsageError> {
+        self.take_str(key)?
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| UsageError(format!("--{key}: {v:?} is not an integer")))
+            })
+            .transpose()
+    }
+
+    fn take_usize(&mut self, key: &str) -> Result<Option<usize>, UsageError> {
+        Ok(self.take_u64(key)?.map(|v| v as usize))
+    }
+
+    fn take_f64_list(&mut self, key: &str) -> Result<Option<Vec<f64>>, UsageError> {
+        self.take_str(key)?
+            .map(|v| {
+                v.split(',')
+                    .map(|p| {
+                        p.trim()
+                            .parse::<f64>()
+                            .map_err(|_| UsageError(format!("--{key}: {p:?} is not a number")))
+                    })
+                    .collect()
+            })
+            .transpose()
+    }
+
+    fn take_u64_list(&mut self, key: &str) -> Result<Option<Vec<u64>>, UsageError> {
+        self.take_str(key)?
+            .map(|v| {
+                v.split(',')
+                    .map(|p| {
+                        p.trim()
+                            .parse::<u64>()
+                            .map_err(|_| UsageError(format!("--{key}: {p:?} is not an integer")))
+                    })
+                    .collect()
+            })
+            .transpose()
+    }
+
+    fn finish(self) -> Result<(), UsageError> {
+        match self.pairs.first() {
+            Some((k, _)) => Err(UsageError(format!("unknown option --{k}"))),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Executes a command and returns its stdout text.
+///
+/// # Errors
+///
+/// Returns a [`UsageError`] for semantically invalid parameters discovered
+/// at run time.
+pub fn run(command: &Command) -> Result<String, UsageError> {
+    match command {
+        Command::Help => Ok(usage()),
+        Command::Sweep {
+            protocol,
+            rates,
+            segments,
+            duration_mins,
+            slots,
+            seed,
+        } => run_sweep(protocol, rates, *segments, *duration_mins, *slots, *seed),
+        Command::Vbr {
+            preset,
+            max_wait_secs,
+            seed,
+        } => run_vbr(preset, *max_wait_secs, *seed),
+        Command::ServerPolicies {
+            videos,
+            total_rate,
+            zipf,
+            slots,
+            seed,
+        } => run_server(*videos, *total_rate, *zipf, *slots, *seed),
+        Command::Schedule { segments, arrivals } => run_schedule(*segments, arrivals),
+        Command::Analyze {
+            preset,
+            file,
+            seed,
+            export,
+        } => run_analyze(preset, file.as_deref(), *seed, export.as_deref()),
+    }
+}
+
+fn run_analyze(
+    preset_key: &str,
+    file: Option<&str>,
+    seed: u64,
+    export: Option<&str>,
+) -> Result<String, UsageError> {
+    use vod_trace::analysis;
+    use vod_trace::io::{read_frame_sizes, write_frame_sizes};
+
+    let (label, trace) = match file {
+        Some(path) => {
+            let f = std::fs::File::open(path)
+                .map_err(|e| UsageError(format!("cannot open {path}: {e}")))?;
+            let trace = read_frame_sizes(std::io::BufReader::new(f))
+                .map_err(|e| UsageError(e.to_string()))?;
+            (path.to_owned(), trace)
+        }
+        None => {
+            let preset = preset_from_key(preset_key)?;
+            (preset.to_string(), preset.trace(seed))
+        }
+    };
+
+    let p = analysis::profile(&trace);
+    let mut table = Table::new(vec!["statistic", "value"]);
+    table.push_row(vec![
+        "duration (s)".to_owned(),
+        format!("{:.1}", trace.duration().as_secs_f64()),
+    ]);
+    table.push_row(vec!["frames".to_owned(), trace.n_frames().to_string()]);
+    table.push_row(vec!["mean rate (KB/s)".to_owned(), format!("{:.1}", p.mean_kbps)]);
+    table.push_row(vec![
+        "peak/mean @1 s".to_owned(),
+        format!("{:.3}", p.peak_to_mean_1s),
+    ]);
+    table.push_row(vec![
+        "peak/mean @60 s".to_owned(),
+        format!("{:.3}", p.peak_to_mean_60s),
+    ]);
+    table.push_row(vec!["acf @1 s".to_owned(), format!("{:.3}", p.acf_1s)]);
+    table.push_row(vec!["acf @60 s".to_owned(), format!("{:.3}", p.acf_60s)]);
+    table.push_row(vec![
+        "GOP-12 prominence".to_owned(),
+        format!("{:.3}", p.gop_score),
+    ]);
+
+    let mut out = format!("{label}:\n{}", render_table(&table));
+    if let Some(path) = export {
+        let f = std::fs::File::create(path)
+            .map_err(|e| UsageError(format!("cannot create {path}: {e}")))?;
+        write_frame_sizes(&trace, std::io::BufWriter::new(f))
+            .map_err(|e| UsageError(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!("\n[trace exported to {path}]\n"));
+    }
+    Ok(out)
+}
+
+fn run_sweep(
+    protocol: &str,
+    rates: &[f64],
+    segments: usize,
+    duration_mins: f64,
+    slots: u64,
+    seed: u64,
+) -> Result<String, UsageError> {
+    let video = VideoSpec::new(Seconds::from_mins(duration_mins), segments)
+        .map_err(|e| UsageError(e.to_string()))?;
+    let sweep = RateSweep::new(video)
+        .rates_per_hour(rates)
+        .warmup_slots(slots / 10)
+        .measured_slots(slots)
+        .seed(seed);
+
+    let series = match protocol {
+        "dhb" => sweep.run_slotted(|| Dhb::fixed_rate(segments)),
+        "ud" => sweep.run_slotted(|| UniversalDistribution::new(segments)),
+        "dnpb" => sweep.run_slotted(|| DynamicNpb::new(segments)),
+        "dsb" => sweep.run_slotted(|| DynamicSb::new(segments, None)),
+        "tapping" => {
+            sweep.run_continuous(|| StreamTapping::new(video.duration(), TappingPolicy::Extra))
+        }
+        "patching" => {
+            let mid = rates[rates.len() / 2];
+            sweep
+                .run_continuous(move || Patching::new(video.duration(), ArrivalRate::per_hour(mid)))
+        }
+        "npb" => {
+            // Deterministic: no simulation needed.
+            let streams = npb_streams_for(segments) as f64;
+            let mut table = Table::new(vec!["req/h", "avg", "max"]);
+            for &r in rates {
+                table.push_row(vec![
+                    format!("{r}"),
+                    format!("{streams:.3}"),
+                    format!("{streams:.3}"),
+                ]);
+            }
+            return Ok(render_table(&table));
+        }
+        other => return Err(UsageError(format!("unknown protocol {other:?}"))),
+    };
+
+    let mut table = Table::new(vec!["req/h", "avg streams", "max streams"]);
+    for p in &series.points {
+        table.push_row(vec![
+            format!("{}", p.rate_per_hour),
+            format!("{:.3}", p.avg_streams),
+            format!("{:.3}", p.max_streams),
+        ]);
+    }
+    Ok(format!(
+        "{} ({})\n{}",
+        series.label,
+        video,
+        render_table(&table)
+    ))
+}
+
+fn preset_from_key(key: &str) -> Result<FilmPreset, UsageError> {
+    match key {
+        "matrix" => Ok(FilmPreset::MatrixLike),
+        "action" => Ok(FilmPreset::ActionBlockbuster),
+        "drama" => Ok(FilmPreset::DialogueDrama),
+        "toon" => Ok(FilmPreset::AnimatedFeature),
+        other => Err(UsageError(format!("unknown preset {other:?}"))),
+    }
+}
+
+fn run_vbr(preset_key: &str, max_wait_secs: f64, seed: u64) -> Result<String, UsageError> {
+    if max_wait_secs <= 0.0 {
+        return Err(UsageError("--max-wait-secs must be positive".to_owned()));
+    }
+    let preset = preset_from_key(preset_key)?;
+    let trace = preset.trace(seed);
+    let plans = BroadcastPlan::all_variants(&trace, Seconds::new(max_wait_secs));
+
+    let mut out = format!(
+        "{preset}: {:.0} s, mean {}, 1-s peak {}\n\n",
+        trace.duration().as_secs_f64(),
+        trace.mean_rate(),
+        trace.peak_rate_over_one_second()
+    );
+    let mut table = Table::new(vec!["variant", "segments", "stream rate", "relaxed T[i]"]);
+    for plan in &plans {
+        table.push_row(vec![
+            plan.variant.to_string(),
+            plan.n_segments.to_string(),
+            format!("{}", plan.stream_rate),
+            format!("{}", relaxed_segments(&plan.periods).len()),
+        ]);
+    }
+    out.push_str(&render_table(&table));
+    Ok(out)
+}
+
+fn run_server(
+    videos: usize,
+    total_rate: f64,
+    zipf: f64,
+    slots: u64,
+    seed: u64,
+) -> Result<String, UsageError> {
+    if videos == 0 {
+        return Err(UsageError("--videos must be positive".to_owned()));
+    }
+    if !(zipf.is_finite() && zipf >= 0.0) {
+        return Err(UsageError("--zipf must be non-negative".to_owned()));
+    }
+    let catalog = Catalog::zipf(
+        videos,
+        ArrivalRate::per_hour(total_rate),
+        zipf,
+        VideoSpec::paper_two_hour(),
+    );
+    let server = Server::new(catalog)
+        .warmup_slots(slots / 10)
+        .measured_slots(slots)
+        .seed(seed);
+    let mut table = Table::new(vec!["policy", "avg streams", "joint peak"]);
+    for policy in Policy::roster(ArrivalRate::per_hour(25.0)) {
+        let report = server.simulate(&policy);
+        let joint = server.simulate_joint(&policy).map_or_else(
+            || "n/a".to_owned(),
+            |j| format!("{:.1}", j.joint_peak.get()),
+        );
+        table.push_row(vec![
+            policy.to_string(),
+            format!("{:.2}", report.total_avg.get()),
+            joint,
+        ]);
+    }
+    Ok(render_table(&table))
+}
+
+fn run_schedule(segments: usize, arrivals: &[u64]) -> Result<String, UsageError> {
+    if segments == 0 {
+        return Err(UsageError("--segments must be positive".to_owned()));
+    }
+    let mut sorted = arrivals.to_vec();
+    sorted.sort_unstable();
+    let mut scheduler = DhbScheduler::fixed_rate(segments);
+    let mut out = String::new();
+    for &a in &sorted {
+        while scheduler.next_slot().index() < a {
+            let _ = scheduler.pop_slot();
+        }
+        let schedule = scheduler.schedule_request(Slot::new(a));
+        let shared = schedule.iter().filter(|e| !e.newly_scheduled).count();
+        out.push_str(&format!(
+            "request in slot {a}: {shared} of {segments} segments shared\n"
+        ));
+    }
+    let last = sorted.last().copied().unwrap_or(0);
+    out.push('\n');
+    out.push_str(
+        &scheduler.render_schedule(scheduler.next_slot(), Slot::new(last + segments as u64 + 1)),
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_sweep_with_defaults() {
+        let cmd = parse(&args("sweep --protocol dhb --rates 1,10,100")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Sweep {
+                protocol: "dhb".into(),
+                rates: vec![1.0, 10.0, 100.0],
+                segments: 99,
+                duration_mins: 120.0,
+                slots: 2_000,
+                seed: 42,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_full_option_set() {
+        let cmd = parse(&args(
+            "sweep --protocol tapping --rates 5 --segments 50 --duration-mins 90 --slots 100 --seed 7",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Sweep {
+                protocol,
+                segments,
+                duration_mins,
+                slots,
+                seed,
+                ..
+            } => {
+                assert_eq!(protocol, "tapping");
+                assert_eq!(segments, 50);
+                assert_eq!(duration_mins, 90.0);
+                assert_eq!(slots, 100);
+                assert_eq!(seed, 7);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&args("sweep --rates 1")).is_err()); // no protocol
+        assert!(parse(&args("sweep --protocol dhb")).is_err()); // no rates
+        assert!(parse(&args("sweep --protocol nope --rates 1")).is_err());
+        assert!(parse(&args("sweep --protocol dhb --rates abc")).is_err());
+        assert!(parse(&args("sweep --protocol dhb --rates 1 --bogus 2")).is_err());
+        assert!(parse(&args("frobnicate")).is_err());
+        assert!(parse(&args("vbr --preset nope")).is_err());
+        let err = parse(&args("sweep --protocol")).unwrap_err();
+        assert!(err.to_string().contains("requires a value"));
+    }
+
+    #[test]
+    fn help_paths() {
+        assert_eq!(parse(&args("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&args("--help")).unwrap(), Command::Help);
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        let text = run(&Command::Help).unwrap();
+        assert!(text.contains("vodsim sweep"));
+    }
+
+    #[test]
+    fn schedule_command_renders_figures_4_and_5() {
+        let cmd = parse(&args("schedule --segments 6 --arrivals 1,3")).unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(
+            out.contains("request in slot 1: 0 of 6 segments shared"),
+            "{out}"
+        );
+        assert!(
+            out.contains("request in slot 3: 4 of 6 segments shared"),
+            "{out}"
+        );
+        assert!(out.contains("stream 1:"), "{out}");
+    }
+
+    #[test]
+    fn sweep_command_produces_a_table() {
+        let cmd = parse(&args(
+            "sweep --protocol dhb --rates 10 --segments 20 --duration-mins 40 --slots 150",
+        ))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("req/h"), "{out}");
+        assert!(out.contains("10"), "{out}");
+    }
+
+    #[test]
+    fn npb_sweep_is_flat_and_instant() {
+        let cmd = parse(&args("sweep --protocol npb --rates 1,1000")).unwrap();
+        let out = run(&cmd).unwrap();
+        let sixes = out.matches("6.000").count();
+        assert!(sixes >= 4, "{out}");
+    }
+
+    #[test]
+    fn vbr_command_reports_plans() {
+        let cmd = parse(&args("vbr --preset drama --seed 3")).unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("DHB-a"), "{out}");
+        assert!(out.contains("DHB-d"), "{out}");
+        assert!(out.contains("dialogue drama"), "{out}");
+    }
+
+    #[test]
+    fn server_command_lists_policies() {
+        let cmd = parse(&args("server --videos 3 --total-rate 60 --slots 120")).unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("DHB everywhere"), "{out}");
+        assert!(out.contains("joint peak"), "{out}");
+    }
+
+    #[test]
+    fn analyze_command_profiles_and_round_trips() {
+        let tmp = std::env::temp_dir().join("vodsim-analyze-test.txt");
+        let path = tmp.to_str().unwrap().to_owned();
+        // Analyze a short preset and export it…
+        let cmd = parse(&args(&format!(
+            "analyze --preset drama --seed 2 --export {path}"
+        )))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("mean rate"), "{out}");
+        assert!(out.contains("GOP-12"), "{out}");
+        assert!(out.contains("exported"), "{out}");
+        // …then re-analyze the exported file.
+        let cmd = parse(&args(&format!("analyze --file {path}"))).unwrap();
+        let out2 = run(&cmd).unwrap();
+        assert!(out2.contains("mean rate"), "{out2}");
+        let _ = std::fs::remove_file(&tmp);
+    }
+
+    #[test]
+    fn analyze_rejects_bad_inputs() {
+        assert!(parse(&args("analyze --preset nope")).is_err());
+        let cmd = parse(&args("analyze --file /definitely/not/here.txt")).unwrap();
+        assert!(run(&cmd).is_err());
+    }
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the DHB video-on-demand broadcasting reproduction.
+//!
+//! Re-exports the workspace's public API so that downstream users (and the
+//! `examples/` and `tests/` in this repository) can depend on a single crate.
+
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use dhb_core as dhb;
+pub use vod_protocols as protocols;
+pub use vod_server as server;
+pub use vod_sim as sim;
+pub use vod_trace as trace;
+pub use vod_types as types;

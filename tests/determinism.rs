@@ -1,0 +1,43 @@
+//! Reproducibility: every simulation in the workspace is a pure function of
+//! its seed.
+
+use vod_dhb::dhb::Dhb;
+use vod_dhb::protocols::{StreamTapping, TappingPolicy, UniversalDistribution};
+use vod_dhb::sim::RateSweep;
+use vod_dhb::trace::matrix::matrix_like;
+use vod_dhb::types::VideoSpec;
+
+fn sweep(seed: u64) -> RateSweep {
+    RateSweep::new(VideoSpec::paper_two_hour())
+        .rates_per_hour(&[5.0, 100.0])
+        .warmup_slots(30)
+        .measured_slots(200)
+        .seed(seed)
+}
+
+#[test]
+fn slotted_sweeps_are_deterministic() {
+    let a = sweep(9).run_slotted(|| Dhb::fixed_rate(99));
+    let b = sweep(9).run_slotted(|| Dhb::fixed_rate(99));
+    assert_eq!(a.points, b.points);
+    let c = sweep(10).run_slotted(|| Dhb::fixed_rate(99));
+    assert_ne!(a.points, c.points, "different seeds must differ");
+}
+
+#[test]
+fn on_demand_and_continuous_protocols_are_deterministic() {
+    let a = sweep(9).run_slotted(|| UniversalDistribution::new(99));
+    let b = sweep(9).run_slotted(|| UniversalDistribution::new(99));
+    assert_eq!(a.points, b.points);
+
+    let video = VideoSpec::paper_two_hour();
+    let a = sweep(9).run_continuous(|| StreamTapping::new(video.duration(), TappingPolicy::Extra));
+    let b = sweep(9).run_continuous(|| StreamTapping::new(video.duration(), TappingPolicy::Extra));
+    assert_eq!(a.points, b.points);
+}
+
+#[test]
+fn traces_are_deterministic_per_seed() {
+    assert_eq!(matrix_like(5).frame_sizes(), matrix_like(5).frame_sizes());
+    assert_ne!(matrix_like(5).frame_sizes(), matrix_like(6).frame_sizes());
+}

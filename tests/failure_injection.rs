@@ -1,0 +1,145 @@
+//! Failure-injection and stress tests: demand patterns the Poisson sweeps
+//! never produce — flash crowds, sudden collapse, adversarial phasing —
+//! must not break any safety property.
+
+use vod_dhb::dhb::{audit::audit_dhb, Dhb, SlotHeuristic};
+use vod_dhb::protocols::{StreamTapping, TappingPolicy, UniversalDistribution};
+use vod_dhb::sim::{ContinuousProtocol, DeterministicArrivals, SlottedRun};
+use vod_dhb::types::{Seconds, Slot, VideoSpec};
+
+/// A flash crowd: hundreds of requests land in a single slot (a premiere).
+#[test]
+fn flash_crowd_is_absorbed_by_sharing() {
+    let n = 50;
+    let video = VideoSpec::new(Seconds::new(5_000.0), n).unwrap();
+    let d = video.segment_duration().as_secs_f64();
+    // 500 requests during slot 10, nothing else.
+    let times: Vec<Seconds> = (0..500)
+        .map(|i| Seconds::new(10.0 * d + (i as f64 / 500.0) * d))
+        .collect();
+    let mut audited = audit_dhb(Dhb::fixed_rate(n));
+    let horizon = 80;
+    let report = SlottedRun::new(video)
+        .warmup_slots(0)
+        .measured_slots(horizon)
+        .run(&mut audited, DeterministicArrivals::new(times));
+    audited
+        .verify(Slot::new(horizon - 1))
+        .expect("no deadline misses in a flash crowd");
+    // Same-slot requests share perfectly: the whole crowd costs one
+    // request's worth of transmissions.
+    let stats = audited.inner().stats();
+    assert_eq!(stats.new_instances, n as u64);
+    assert_eq!(stats.shared_instances, (500 - 1) * n as u64);
+    assert_eq!(report.max_bandwidth.get(), 1.0, "one instance per slot");
+}
+
+/// Demand that collapses to zero mid-run: the schedule must drain cleanly
+/// and the protocol must go fully idle.
+#[test]
+fn demand_collapse_drains_the_schedule() {
+    let n = 30;
+    let video = VideoSpec::new(Seconds::new(3_000.0), n).unwrap();
+    let d = video.segment_duration().as_secs_f64();
+    let times: Vec<Seconds> = (0..40).map(|i| Seconds::new(i as f64 * d * 0.9)).collect();
+    let mut dhb = Dhb::fixed_rate(n);
+    let horizon = 40 + 2 * n as u64; // well past the last window
+    let report = SlottedRun::new(video)
+        .warmup_slots(0)
+        .measured_slots(horizon)
+        .run(&mut dhb, DeterministicArrivals::new(times));
+    assert!(report.total_requests == 40);
+    // The tail of the run is silent: loads drop to zero after the last
+    // request's window.
+    assert_eq!(
+        dhb.scheduler().planned_load(Slot::new(horizon + 1)),
+        0,
+        "schedule must be drained"
+    );
+}
+
+/// Adversarial phasing for the strawman heuristic: one request per slot,
+/// aligned to pile instances on divisor-rich slots. The paper's heuristic
+/// and the auditor must both survive; only the strawman's peak explodes.
+#[test]
+fn adversarial_phasing_only_hurts_the_strawman() {
+    let n = 24;
+    let video = VideoSpec::new(Seconds::new(2_400.0), n).unwrap();
+    let d = video.segment_duration().as_secs_f64();
+    let times: Vec<Seconds> = (0..200).map(|i| Seconds::new(i as f64 * d + 0.5)).collect();
+
+    let run = |heuristic| {
+        let mut audited = audit_dhb(Dhb::with_heuristic(n, heuristic));
+        let report = SlottedRun::new(video)
+            .warmup_slots(0)
+            .measured_slots(230)
+            .run(&mut audited, DeterministicArrivals::new(times.clone()));
+        audited.verify(Slot::new(229)).expect("deadlines hold");
+        report.max_bandwidth.get()
+    };
+    let paper = run(SlotHeuristic::MinLoadLatest);
+    let strawman = run(SlotHeuristic::LatestPossible);
+    assert!(
+        strawman >= paper + 2.0,
+        "strawman peak {strawman} vs paper {paper}"
+    );
+}
+
+/// Requests arriving at pathological instants (exact slot boundaries) must
+/// be binned consistently and never scheduled into the past.
+#[test]
+fn boundary_arrivals_are_handled_exactly() {
+    let n = 10;
+    let video = VideoSpec::new(Seconds::new(1_000.0), n).unwrap();
+    let d = video.segment_duration().as_secs_f64();
+    // Arrivals exactly at slot starts.
+    let times: Vec<Seconds> = (0..15).map(|i| Seconds::new(i as f64 * d)).collect();
+    let mut audited = audit_dhb(Dhb::fixed_rate(n));
+    let report = SlottedRun::new(video)
+        .warmup_slots(0)
+        .measured_slots(40)
+        .run(&mut audited, DeterministicArrivals::new(times));
+    assert_eq!(report.total_requests, 15);
+    audited.verify(Slot::new(39)).expect("boundary arrivals safe");
+}
+
+/// The same stress patterns must not break UD either (its on-demand
+/// counters are the fragile part).
+#[test]
+fn ud_survives_flash_crowd_and_collapse() {
+    let n = 31;
+    let video = VideoSpec::new(Seconds::new(3_100.0), n).unwrap();
+    let d = video.segment_duration().as_secs_f64();
+    let mut times: Vec<Seconds> = (0..300)
+        .map(|i| Seconds::new(5.0 * d + (i as f64 / 300.0) * d))
+        .collect();
+    times.push(Seconds::new(50.0 * d + 1.0)); // a straggler after silence
+    let mut ud = UniversalDistribution::new(n);
+    let report = SlottedRun::new(video)
+        .warmup_slots(0)
+        .measured_slots(120)
+        .run(&mut ud, DeterministicArrivals::new(times));
+    assert_eq!(ud.violations(), 0);
+    assert_eq!(report.total_requests, 301);
+    assert_eq!(ud.active_clients(), 0, "everyone served and retired");
+}
+
+/// Stream tapping under a same-instant thundering herd: every later client
+/// taps the first, and the server transmits the video essentially once.
+#[test]
+fn tapping_thundering_herd_costs_one_video() {
+    let video_len = Seconds::new(3_600.0);
+    let mut tapping = StreamTapping::new(video_len, TappingPolicy::Extra);
+    let mut total = 0.0;
+    for i in 0..200 {
+        let t = Seconds::new(i as f64 * 1e-3); // within one millisecond
+        for interval in tapping.on_request(t) {
+            total += interval.len().as_secs_f64();
+        }
+    }
+    assert!(
+        total < video_len.as_secs_f64() * 1.01,
+        "herd cost {total} s vs one video {} s",
+        video_len.as_secs_f64()
+    );
+}

@@ -1,0 +1,172 @@
+//! Integration tests asserting the paper's figures at reduced horizons.
+//!
+//! The figure binaries in `crates/bench` regenerate the full-quality tables;
+//! these tests pin the *shapes* — who wins where, saturation levels,
+//! crossovers — so that `cargo test --workspace` guards the reproduction.
+
+use vod_dhb::dhb::{Dhb, DhbScheduler};
+use vod_dhb::protocols::fb::{fb_capacity, fb_mapping};
+use vod_dhb::protocols::npb::{npb_capacity, npb_mapping, npb_streams_for};
+use vod_dhb::protocols::sb::sb_mapping;
+use vod_dhb::protocols::{StreamTapping, TappingPolicy, UniversalDistribution};
+use vod_dhb::sim::RateSweep;
+use vod_dhb::types::{Slot, VideoSpec};
+
+fn quick_sweep(rates: &[f64]) -> RateSweep {
+    RateSweep::new(VideoSpec::paper_two_hour())
+        .rates_per_hour(rates)
+        .warmup_slots(100)
+        .measured_slots(700)
+        .seed(1234)
+}
+
+/// Figure 1: the FB mapping's first three streams, exactly as printed.
+#[test]
+fn fig1_fb_first_three_streams() {
+    let text = fb_mapping(3).render_schedule(4);
+    assert!(text.contains("S1   S1   S1   S1"));
+    assert!(text.contains("S2   S3   S2   S3"));
+    assert!(text.contains("S4   S5   S6   S7"));
+}
+
+/// Figure 2: the NPB mapping packs 9 segments into 3 streams with the
+/// paper's exact layout, and beats FB from three streams on.
+#[test]
+fn fig2_npb_packing_and_layout() {
+    let mapping = npb_mapping(3);
+    assert_eq!(mapping.n_segments(), 9);
+    let text = mapping.render_schedule(6);
+    assert!(text.contains("S2   S4   S2   S5   S2   S4"), "{text}");
+    assert!(text.contains("S3   S6   S8   S3   S7   S9"), "{text}");
+    for k in 3..=6 {
+        assert!(npb_capacity(k) > fb_capacity(k));
+    }
+    // The published NPB capacity sequence.
+    assert_eq!(
+        (1..=7).map(npb_capacity).collect::<Vec<_>>(),
+        vec![1, 3, 9, 25, 73, 201, 565]
+    );
+}
+
+/// Figure 3: the SB mapping's first three streams.
+#[test]
+fn fig3_sb_first_three_streams() {
+    let text = sb_mapping(3, None).render_schedule(4);
+    assert!(text.contains("S2   S3   S2   S3"));
+    assert!(text.contains("S4   S5   S4   S5"));
+}
+
+/// Figures 4 and 5: DHB's worked schedules, verbatim.
+#[test]
+fn fig4_fig5_dhb_worked_examples() {
+    let mut s = DhbScheduler::fixed_rate(6);
+    let first = s.schedule_request(Slot::new(1));
+    for (idx, e) in first.iter().enumerate() {
+        assert_eq!(e.slot.index(), idx as u64 + 2, "S_i in slot i+1");
+    }
+    while s.next_slot().index() < 3 {
+        let _ = s.pop_slot();
+    }
+    let second = s.schedule_request(Slot::new(3));
+    assert_eq!(
+        (second[0].slot.index(), second[0].newly_scheduled),
+        (4, true),
+        "S1 newly scheduled in slot 4"
+    );
+    assert_eq!(
+        (second[1].slot.index(), second[1].newly_scheduled),
+        (5, true),
+        "S2 newly scheduled in slot 5"
+    );
+    assert!(
+        second[2..].iter().all(|e| !e.newly_scheduled),
+        "S3..S6 shared"
+    );
+}
+
+/// Figure 7's load-bearing claims at reduced horizon: DHB requires less
+/// average bandwidth than tapping, UD and NPB at every rate above two
+/// requests per hour; tapping is competitive only at the bottom.
+#[test]
+fn fig7_dhb_wins_above_two_requests_per_hour() {
+    let rates = [1.0, 5.0, 20.0, 100.0, 1000.0];
+    let sweep = quick_sweep(&rates);
+    let video = VideoSpec::paper_two_hour();
+    let dhb = sweep.run_slotted(|| Dhb::fixed_rate(99));
+    let ud = sweep.run_slotted(|| UniversalDistribution::new(99));
+    let tapping =
+        sweep.run_continuous(|| StreamTapping::new(video.duration(), TappingPolicy::Extra));
+    let npb = npb_streams_for(99) as f64;
+    assert_eq!(npb, 6.0);
+
+    for (i, &rate) in rates.iter().enumerate() {
+        if rate >= 5.0 {
+            assert!(
+                dhb.points[i].avg_streams < ud.points[i].avg_streams,
+                "rate {rate}: DHB {} vs UD {}",
+                dhb.points[i].avg_streams,
+                ud.points[i].avg_streams
+            );
+            assert!(
+                dhb.points[i].avg_streams < tapping.points[i].avg_streams,
+                "rate {rate}: DHB {} vs tapping {}",
+                dhb.points[i].avg_streams,
+                tapping.points[i].avg_streams
+            );
+        }
+        assert!(
+            dhb.points[i].avg_streams < npb,
+            "rate {rate}: DHB below NPB"
+        );
+    }
+    // Tapping is within 15% of DHB at 1 req/h (the paper calls it slightly
+    // better; our extra-tapping lands slightly worse — see EXPERIMENTS.md).
+    let ratio = tapping.points[0].avg_streams / dhb.points[0].avg_streams;
+    assert!((0.85..=1.25).contains(&ratio), "1 req/h ratio {ratio}");
+    // UD saturates at its 7 allocated FB streams.
+    assert!(ud.points[4].avg_streams > 6.8);
+    // Tapping grows past every broadcasting protocol at the top end.
+    assert!(tapping.points[4].avg_streams > 7.0);
+}
+
+/// Figure 8's claims: NPB has the smallest maximum bandwidth, DHB the
+/// highest, and the DHB−NPB gap never exceeds two streams.
+#[test]
+fn fig8_max_bandwidth_ordering() {
+    let rates = [1.0, 20.0, 200.0, 1000.0];
+    let sweep = quick_sweep(&rates);
+    let dhb = sweep.run_slotted(|| Dhb::fixed_rate(99));
+    let ud = sweep.run_slotted(|| UniversalDistribution::new(99));
+    let npb = npb_streams_for(99) as f64;
+
+    for (i, &rate) in rates.iter().enumerate() {
+        assert!(
+            dhb.points[i].max_streams <= npb + 2.0,
+            "rate {rate}: DHB max {} above NPB + 2",
+            dhb.points[i].max_streams
+        );
+        assert!(
+            ud.points[i].max_streams <= 7.0,
+            "rate {rate}: UD max above its allocation"
+        );
+    }
+    // At saturation the ordering is NPB < UD ≤ DHB.
+    let last = rates.len() - 1;
+    assert!(npb < ud.points[last].max_streams);
+    assert!(ud.points[last].max_streams <= dhb.points[last].max_streams);
+}
+
+/// DHB's average saturates near (slightly above) the harmonic number H_n —
+/// the analytic floor for one instance of S_j per j slots.
+#[test]
+fn dhb_saturation_tracks_harmonic_number() {
+    let sweep = quick_sweep(&[1000.0]);
+    let dhb = sweep.run_slotted(|| Dhb::fixed_rate(99));
+    let h99: f64 = (1..=99).map(|j| 1.0 / j as f64).sum();
+    let sat = dhb.points[0].avg_streams;
+    assert!(sat >= h99 - 0.05, "saturation {sat} below H_99 {h99}");
+    assert!(
+        sat <= h99 + 0.5,
+        "saturation {sat} too far above H_99 {h99}"
+    );
+}

@@ -1,0 +1,59 @@
+//! Fuzz-style robustness: user-facing parsers must reject garbage
+//! gracefully — errors, never panics.
+
+use proptest::prelude::*;
+use vod_dhb::cli;
+use vod_dhb::trace::io::read_frame_sizes;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary argument vectors never panic the CLI parser.
+    #[test]
+    fn cli_parse_never_panics(
+        args in prop::collection::vec("[ -~]{0,24}", 0..8),
+    ) {
+        let _ = cli::parse(&args);
+    }
+
+    /// Arbitrary argument vectors built from plausible fragments also never
+    /// panic, and either parse or explain themselves.
+    #[test]
+    fn cli_parse_structured_fragments(
+        parts in prop::collection::vec(
+            prop::sample::select(vec![
+                "sweep", "vbr", "server", "schedule", "analyze", "help",
+                "--protocol", "dhb", "npb", "--rates", "1,10", "--segments",
+                "0", "99", "--seed", "-3", "1e9", "--preset", "matrix",
+                "--file", "/nope", "--videos", "--zipf", "abc",
+            ]),
+            0..10,
+        ),
+    ) {
+        let args: Vec<String> = parts.into_iter().map(str::to_owned).collect();
+        match cli::parse(&args) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    /// Arbitrary bytes never panic the trace reader.
+    #[test]
+    fn trace_reader_never_panics(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = read_frame_sizes(data.as_slice());
+    }
+
+    /// Header-led but otherwise arbitrary text either parses to a valid
+    /// trace or fails with a located error.
+    #[test]
+    fn trace_reader_with_header(body in "[ -~\n]{0,256}") {
+        let text = format!("# vod-trace v1 fps=24\n{body}");
+        match read_frame_sizes(text.as_bytes()) {
+            Ok(trace) => {
+                prop_assert!(trace.n_frames() > 0);
+                prop_assert!(trace.frame_sizes().iter().all(|s| s.is_finite() && *s >= 0.0));
+            }
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+}
