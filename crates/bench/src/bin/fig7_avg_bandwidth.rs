@@ -35,11 +35,7 @@ fn main() {
         label: "NPB".to_owned(),
         points: PAPER_RATES
             .iter()
-            .map(|&r| SweepPoint {
-                rate_per_hour: r,
-                avg_streams: npb_streams,
-                max_streams: npb_streams,
-            })
+            .map(|&r| SweepPoint::fault_free(r, npb_streams, npb_streams))
             .collect(),
     };
 
@@ -51,11 +47,7 @@ fn main() {
             .map(|&r| {
                 let b =
                     reactive_lower_bound(ArrivalRate::per_hour(r), Seconds::from_hours(2.0)).get();
-                SweepPoint {
-                    rate_per_hour: r,
-                    avg_streams: b,
-                    max_streams: b,
-                }
+                SweepPoint::fault_free(r, b, b)
             })
             .collect(),
     };

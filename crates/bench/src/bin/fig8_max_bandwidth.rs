@@ -27,11 +27,7 @@ fn main() {
         label: "NPB".to_owned(),
         points: PAPER_RATES
             .iter()
-            .map(|&r| SweepPoint {
-                rate_per_hour: r,
-                avg_streams: npb_streams,
-                max_streams: npb_streams,
-            })
+            .map(|&r| SweepPoint::fault_free(r, npb_streams, npb_streams))
             .collect(),
     };
 

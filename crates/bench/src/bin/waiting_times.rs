@@ -29,7 +29,10 @@ fn main() {
 
     // Slotted protocols: measured waits.
     for (label, mut protocol) in [
-        ("DHB", Box::new(Dhb::fixed_rate(n)) as Box<dyn vod_sim::SlottedProtocol>),
+        (
+            "DHB",
+            Box::new(Dhb::fixed_rate(n)) as Box<dyn vod_sim::SlottedProtocol>,
+        ),
         ("UD", Box::new(UniversalDistribution::new(n))),
     ] {
         let report = SlottedRun::new(video)

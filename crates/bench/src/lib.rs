@@ -15,7 +15,6 @@
 use std::fs;
 use std::path::PathBuf;
 
-use serde::Serialize;
 use vod_sim::{render_table, RateSweep, SweepSeries, Table};
 use vod_types::VideoSpec;
 
@@ -76,7 +75,7 @@ impl Quality {
 }
 
 /// One figure's machine-readable record.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct FigureRecord<'a> {
     /// Experiment id (e.g. `"fig7"`).
     pub id: &'a str,
@@ -110,12 +109,75 @@ pub fn emit(id: &str, title: &str, table: &Table) {
     let dir = results_dir();
     fs::create_dir_all(&dir).expect("create bench-results directory");
     let path = dir.join(format!("{id}.json"));
-    fs::write(
-        &path,
-        serde_json::to_string_pretty(&record).expect("serialise record"),
-    )
-    .expect("write figure record");
+    fs::write(&path, record.to_json_pretty()).expect("write figure record");
     println!("[record written to {}]", path.display());
+}
+
+impl FigureRecord<'_> {
+    /// Serialises the record as pretty-printed JSON, byte-compatible with
+    /// `serde_json::to_string_pretty` (two-space indent) so regenerated
+    /// figures diff cleanly against historical `bench-results/` files.
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_string(self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_string(self.title)));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"headers\": ");
+        json_string_array(&mut out, &self.headers, 1);
+        out.push_str(",\n  \"rows\": ");
+        if self.rows.is_empty() {
+            out.push_str("[]");
+        } else {
+            out.push_str("[\n");
+            for (i, row) in self.rows.iter().enumerate() {
+                out.push_str("    ");
+                json_string_array(&mut out, row, 2);
+                out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("  ]");
+        }
+        out.push_str("\n}");
+        out
+    }
+}
+
+fn json_string_array(out: &mut String, items: &[String], depth: usize) {
+    if items.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    let pad = "  ".repeat(depth);
+    out.push_str("[\n");
+    for (i, item) in items.iter().enumerate() {
+        out.push_str(&pad);
+        out.push_str("  ");
+        out.push_str(&json_string(item));
+        out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+    }
+    out.push_str(&pad);
+    out.push(']');
+}
+
+/// Escapes a string following the same rules as `serde_json`.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\x08' => out.push_str("\\b"),
+            '\x0c' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// The directory figure records are written to (workspace-root

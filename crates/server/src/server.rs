@@ -3,9 +3,9 @@
 use std::fmt;
 
 use dhb_core::Dhb;
-use vod_protocols::npb::npb_streams_for;
-use vod_protocols::{StreamTapping, TappingPolicy, UniversalDistribution};
-use vod_sim::{ContinuousRun, PoissonProcess, SlottedRun};
+use vod_protocols::npb::{npb_mapping_for, npb_streams_for};
+use vod_protocols::{FixedBroadcast, StreamTapping, TappingPolicy, UniversalDistribution};
+use vod_sim::{ContinuousRun, FaultPlan, FaultSummary, PoissonProcess, SlottedRun};
 use vod_types::{ArrivalRate, Streams};
 
 use crate::catalog::{Catalog, VideoId};
@@ -24,19 +24,37 @@ pub struct VideoReport {
     pub avg: Streams,
     /// Its peak bandwidth over the measured window.
     pub peak: Streams,
+    /// Fraction of this video's scheduled transmissions delivered (1.0
+    /// without faults).
+    pub delivery_ratio: f64,
+    /// Playback deferral accumulated by DHB fault recovery, in seconds
+    /// (0 for other protocols, which have no recovery path).
+    pub stall_secs: f64,
 }
 
 /// Aggregate outcome of a catalog simulation.
 ///
 /// Per-video averages add exactly (Poisson splitting); the peak is reported
 /// as the sum of per-video peaks, an *upper bound* on the true joint peak
-/// since per-video peaks need not coincide in time.
+/// since per-video peaks need not coincide in time. For fault-free slotted
+/// policies [`joint_peak`](ServerReport::joint_peak) additionally holds the
+/// exact peak measured on a shared slot clock (see
+/// [`Server::simulate_joint`]); the bound remains as the fallback for
+/// policies with no common grid.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServerReport {
     /// Sum of per-video average bandwidths (exact).
     pub total_avg: Streams,
     /// Sum of per-video peaks (an upper bound on the joint peak).
     pub peak_upper_bound: Streams,
+    /// The true joint peak on a shared slot clock, when the policy is
+    /// fully slotted and no faults are injected; `None` otherwise.
+    pub joint_peak: Option<Streams>,
+    /// Catalog-wide fraction of scheduled transmissions delivered (1.0
+    /// without faults).
+    pub delivery_ratio: f64,
+    /// Total playback deferral across the catalog, in seconds.
+    pub total_stall_secs: f64,
     /// Per-video breakdown, hottest first.
     pub per_video: Vec<VideoReport>,
 }
@@ -45,12 +63,37 @@ impl fmt::Display for ServerReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} videos: avg {:.2} streams, peak ≤ {:.1}",
+            "{} videos: avg {:.2} streams, peak ",
             self.per_video.len(),
             self.total_avg.get(),
-            self.peak_upper_bound.get()
-        )
+        )?;
+        match self.joint_peak {
+            Some(peak) => write!(
+                f,
+                "{:.1} (bound {:.1})",
+                peak.get(),
+                self.peak_upper_bound.get()
+            ),
+            None => write!(f, "≤ {:.1}", self.peak_upper_bound.get()),
+        }?;
+        if self.delivery_ratio < 1.0 {
+            write!(
+                f,
+                ", delivered {:.1}%, stalled {:.0} s",
+                self.delivery_ratio * 100.0,
+                self.total_stall_secs
+            )?;
+        }
+        Ok(())
     }
+}
+
+/// The protocol a policy assigns to one catalog entry.
+enum Assigned {
+    Tapping,
+    Npb,
+    Ud,
+    Dhb,
 }
 
 /// A multi-video server simulation.
@@ -60,6 +103,7 @@ pub struct Server {
     warmup_slots: u64,
     measured_slots: u64,
     seed: u64,
+    fault_plan: FaultPlan,
 }
 
 impl Server {
@@ -71,7 +115,18 @@ impl Server {
             warmup_slots: 150,
             measured_slots: 1_500,
             seed: 0x5E21_F00D,
+            fault_plan: FaultPlan::none(),
         }
+    }
+
+    /// Injects channel faults into every video's run (same plan, but each
+    /// video draws from its own derived fault stream). With faults active,
+    /// NPB is simulated through its actual broadcast mapping rather than
+    /// accounted analytically, so its losses are observable too.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
     }
 
     /// Sets the warm-up window (slots).
@@ -113,10 +168,24 @@ impl Server {
         self.seed
     }
 
+    /// The fault plan for the video at catalog index `idx`: the configured
+    /// plan with a per-video derived fault seed, so videos do not share one
+    /// loss stream.
+    fn fault_plan_for(&self, idx: usize) -> FaultPlan {
+        let derived = self
+            .fault_plan
+            .seed()
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(idx as u64);
+        self.fault_plan.clone().with_seed(derived)
+    }
+
     /// Simulates the whole catalog under `policy`.
     #[must_use]
     pub fn simulate(&self, policy: &Policy) -> ServerReport {
         let mut per_video = Vec::with_capacity(self.catalog.len());
+        let mut faults = FaultSummary::default();
+        let mut total_stall_secs = 0.0;
         for (idx, entry) in self.catalog.entries().iter().enumerate() {
             let seed = self
                 .seed
@@ -124,74 +193,129 @@ impl Server {
                 .wrapping_add(idx as u64);
             let n = entry.spec.n_segments();
 
-            let use_tapping = match policy {
-                Policy::TappingEverywhere => true,
+            // Decide each video's protocol once, exhaustively.
+            let assigned = match policy {
+                Policy::TappingEverywhere => Assigned::Tapping,
                 Policy::HotColdSplit {
                     broadcast_at_or_above,
-                } => entry.rate < *broadcast_at_or_above,
-                _ => false,
+                } => {
+                    if entry.rate < *broadcast_at_or_above {
+                        Assigned::Tapping
+                    } else {
+                        Assigned::Npb
+                    }
+                }
+                Policy::NpbEverywhere => Assigned::Npb,
+                Policy::UdEverywhere => Assigned::Ud,
+                Policy::DhbEverywhere => Assigned::Dhb,
             };
 
-            let (protocol, avg, peak) = if use_tapping {
-                let d = entry.spec.segment_duration();
-                let report =
-                    ContinuousRun::new(d * (self.warmup_slots + self.measured_slots) as f64)
+            let slotted_run = || {
+                SlottedRun::new(entry.spec)
+                    .warmup_slots(self.warmup_slots)
+                    .measured_slots(self.measured_slots)
+                    .seed(seed)
+                    .fault_plan(self.fault_plan_for(idx))
+            };
+
+            let (protocol, avg, peak, video_faults, stall_secs) =
+                match assigned {
+                    Assigned::Tapping => {
+                        let d = entry.spec.segment_duration();
+                        let report = ContinuousRun::new(
+                            d * (self.warmup_slots + self.measured_slots) as f64,
+                        )
                         .warmup(d * self.warmup_slots as f64)
                         .seed(seed)
+                        .fault_plan(self.fault_plan_for(idx))
                         .run(
                             &mut StreamTapping::new(entry.spec.duration(), TappingPolicy::Extra),
                             PoissonProcess::new(entry.rate),
                         );
-                (
-                    "stream tapping".to_owned(),
-                    report.avg_bandwidth,
-                    report.max_bandwidth,
-                )
-            } else {
-                match policy {
-                    Policy::NpbEverywhere | Policy::HotColdSplit { .. } => {
+                        (
+                            "stream tapping".to_owned(),
+                            report.avg_bandwidth,
+                            report.max_bandwidth,
+                            report.faults,
+                            0.0,
+                        )
+                    }
+                    Assigned::Npb if self.fault_plan.is_zero() => {
                         // Deterministic: the full allocation, always.
                         let streams = npb_streams_for(n) as f64;
                         (
                             "NPB".to_owned(),
                             Streams::new(streams),
                             Streams::new(streams),
+                            FaultSummary::default(),
+                            0.0,
                         )
                     }
-                    Policy::UdEverywhere => {
+                    Assigned::Npb => {
+                        // Under faults the analytic allocation says nothing
+                        // about what reaches clients: run the actual broadcast
+                        // mapping through the engine so drops are observable.
+                        let mut npb = FixedBroadcast::new(npb_mapping_for(n));
+                        let report = slotted_run().run(&mut npb, PoissonProcess::new(entry.rate));
+                        (
+                            "NPB".to_owned(),
+                            report.avg_bandwidth,
+                            report.max_bandwidth,
+                            report.faults,
+                            0.0,
+                        )
+                    }
+                    Assigned::Ud => {
                         let mut ud = UniversalDistribution::new(n);
-                        let report = SlottedRun::new(entry.spec)
-                            .warmup_slots(self.warmup_slots)
-                            .measured_slots(self.measured_slots)
-                            .seed(seed)
-                            .run(&mut ud, PoissonProcess::new(entry.rate));
-                        ("UD".to_owned(), report.avg_bandwidth, report.max_bandwidth)
+                        let report = slotted_run().run(&mut ud, PoissonProcess::new(entry.rate));
+                        (
+                            "UD".to_owned(),
+                            report.avg_bandwidth,
+                            report.max_bandwidth,
+                            report.faults,
+                            0.0,
+                        )
                     }
-                    Policy::DhbEverywhere => {
+                    Assigned::Dhb => {
                         let mut dhb = Dhb::fixed_rate(n);
-                        let report = SlottedRun::new(entry.spec)
-                            .warmup_slots(self.warmup_slots)
-                            .measured_slots(self.measured_slots)
-                            .seed(seed)
-                            .run(&mut dhb, PoissonProcess::new(entry.rate));
-                        ("DHB".to_owned(), report.avg_bandwidth, report.max_bandwidth)
+                        let report = slotted_run().run(&mut dhb, PoissonProcess::new(entry.rate));
+                        (
+                            "DHB".to_owned(),
+                            report.avg_bandwidth,
+                            report.max_bandwidth,
+                            report.faults,
+                            report.stall_secs,
+                        )
                     }
-                    Policy::TappingEverywhere => unreachable!("handled above"),
-                }
-            };
+                };
 
+            faults.merge(&video_faults);
+            total_stall_secs += stall_secs;
             per_video.push(VideoReport {
                 id: entry.id,
                 rate: entry.rate,
                 protocol,
                 avg,
                 peak,
+                delivery_ratio: video_faults.delivery_ratio(),
+                stall_secs,
             });
         }
+
+        // The exact joint peak needs a shared fault-free slot grid; the
+        // summed per-video peaks remain as the bound either way.
+        let joint_peak = if self.fault_plan.is_zero() {
+            self.simulate_joint(policy).map(|j| j.joint_peak)
+        } else {
+            None
+        };
 
         ServerReport {
             total_avg: per_video.iter().map(|v| v.avg).sum(),
             peak_upper_bound: per_video.iter().map(|v| v.peak).sum(),
+            joint_peak,
+            delivery_ratio: faults.delivery_ratio(),
+            total_stall_secs,
             per_video,
         }
     }
@@ -284,5 +408,47 @@ mod tests {
         let a = server.simulate(&Policy::UdEverywhere);
         let b = server.simulate(&Policy::UdEverywhere);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn joint_peak_is_exact_for_slotted_policies_and_bounded() {
+        let server = small_server();
+        let dhb = server.simulate(&Policy::DhbEverywhere);
+        let joint = dhb.joint_peak.expect("slotted fault-free policy");
+        assert!(joint.get() <= dhb.peak_upper_bound.get());
+        assert!(dhb.to_string().contains("bound"));
+        // Continuous policies keep only the bound.
+        let tapping = server.simulate(&Policy::TappingEverywhere);
+        assert!(tapping.joint_peak.is_none());
+        assert_eq!(dhb.delivery_ratio, 1.0);
+        assert_eq!(dhb.total_stall_secs, 0.0);
+    }
+
+    #[test]
+    fn faults_degrade_delivery_and_disable_the_joint_peak() {
+        let server = small_server().fault_plan(FaultPlan::none().with_loss_rate(0.1));
+        let dhb = server.simulate(&Policy::DhbEverywhere);
+        assert!(dhb.delivery_ratio < 1.0);
+        assert!(dhb.joint_peak.is_none());
+        assert!(dhb.per_video.iter().all(|v| v.delivery_ratio < 1.0));
+        // DHB recovery produces stall accounting; the run remains
+        // deterministic.
+        let again = server.simulate(&Policy::DhbEverywhere);
+        assert_eq!(dhb, again);
+    }
+
+    #[test]
+    fn npb_is_simulated_through_its_mapping_under_faults() {
+        let server = small_server().fault_plan(FaultPlan::none().with_loss_rate(0.1));
+        let npb = server.simulate(&Policy::NpbEverywhere);
+        // The analytic path would report exactly 36 streams; the simulated
+        // mapping transmits at most the allocation and loses some of it.
+        assert!(npb.total_avg.get() <= 36.0);
+        assert!(npb.delivery_ratio < 1.0);
+        assert_eq!(npb.per_video[0].protocol, "NPB");
+        // Fault-free, the analytic path is intact.
+        let clean = small_server().simulate(&Policy::NpbEverywhere);
+        assert_eq!(clean.total_avg, Streams::new(36.0));
+        assert_eq!(clean.delivery_ratio, 1.0);
     }
 }

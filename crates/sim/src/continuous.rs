@@ -3,6 +3,7 @@
 use vod_types::{Seconds, Streams};
 
 use crate::arrivals::ArrivalProcess;
+use crate::fault::{FaultPlan, FaultSummary};
 use crate::metrics::TimeWeightedMax;
 use crate::rng::SimRng;
 
@@ -111,6 +112,7 @@ pub struct ContinuousRun {
     horizon: Seconds,
     warmup: Seconds,
     seed: u64,
+    fault_plan: FaultPlan,
 }
 
 impl ContinuousRun {
@@ -121,6 +123,7 @@ impl ContinuousRun {
             horizon,
             warmup: Seconds::ZERO,
             seed: 0xD4B_CA57,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -135,6 +138,17 @@ impl ContinuousRun {
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Injects channel faults per `plan`: each new server stream is dropped
+    /// whole with the plan's Bernoulli loss probability, or when its start
+    /// falls in an outage window. The per-slot cap does not apply (there is
+    /// no slot). The plan's RNG is independent of the arrival seed, so
+    /// [`FaultPlan::none`] (the default) leaves the run bit-identical.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
         self
     }
 
@@ -156,8 +170,11 @@ impl ContinuousRun {
         let window_start = self.warmup.as_secs_f64();
         let window_end = self.horizon.as_secs_f64();
 
+        let mut injector = self.fault_plan.injector();
+        let mut faults = FaultSummary::default();
         let mut overlap = TimeWeightedMax::new();
         let mut requests = 0u64;
+        let mut failed_requests = 0u64;
         let mut streams_started = 0u64;
 
         while let Some(t) = arrivals.next_arrival(&mut rng) {
@@ -165,14 +182,27 @@ impl ContinuousRun {
                 break;
             }
             requests += 1;
+            let mut failed = false;
             for interval in protocol.on_request(t) {
                 if interval.is_empty() {
+                    continue;
+                }
+                let cause = injector.apply_stream(interval.start);
+                faults.record_stream(cause);
+                if cause.is_some() {
+                    // The stream is lost whole; the request that triggered
+                    // it goes unserved (reactive protocols have no recovery
+                    // path). Tap-sharing dependents are not tracked.
+                    failed = true;
                     continue;
                 }
                 streams_started += 1;
                 let start = interval.start.as_secs_f64().max(window_start);
                 let end = interval.end.as_secs_f64().min(window_end);
                 overlap.add_interval(start, end);
+            }
+            if failed {
+                failed_requests += 1;
             }
         }
 
@@ -181,7 +211,9 @@ impl ContinuousRun {
             avg_bandwidth: Streams::new(overlap.total_busy_time() / window),
             max_bandwidth: Streams::new(f64::from(overlap.max_concurrent())),
             requests,
+            failed_requests,
             streams_started,
+            faults,
         }
     }
 }
@@ -195,8 +227,21 @@ pub struct ContinuousReport {
     pub max_bandwidth: Streams,
     /// Number of requests processed.
     pub requests: u64,
-    /// Number of non-empty server streams started.
+    /// Requests that lost at least one of their streams to a fault.
+    pub failed_requests: u64,
+    /// Number of non-empty server streams started (delivered, post-fault).
     pub streams_started: u64,
+    /// Scheduled-vs-delivered stream accounting for the run.
+    pub faults: FaultSummary,
+}
+
+impl ContinuousReport {
+    /// Fraction of scheduled streams actually delivered (1.0 with no
+    /// faults or no streams).
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        self.faults.delivery_ratio()
+    }
 }
 
 #[cfg(test)]
@@ -287,6 +332,71 @@ mod tests {
         );
         // Only 5 of the 50 seconds fall inside the window.
         assert!((report.avg_bandwidth.get() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_fault_plan_changes_nothing() {
+        let mk = || {
+            (
+                Unicast {
+                    len: Seconds::from_hours(2.0),
+                },
+                PoissonProcess::new(ArrivalRate::per_hour(5.0)),
+            )
+        };
+        let run = ContinuousRun::new(Seconds::from_hours(50.0)).seed(7);
+        let (mut p1, a1) = mk();
+        let baseline = run.run(&mut p1, a1);
+        let (mut p2, a2) = mk();
+        let faulted = run.clone().fault_plan(FaultPlan::none()).run(&mut p2, a2);
+        assert_eq!(baseline.avg_bandwidth, faulted.avg_bandwidth);
+        assert_eq!(baseline.max_bandwidth, faulted.max_bandwidth);
+        assert_eq!(baseline.streams_started, faulted.streams_started);
+        assert_eq!(faulted.failed_requests, 0);
+        assert!((faulted.delivery_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outages_drop_streams_whole() {
+        // Streams starting inside [40, 60) are dropped entirely.
+        let arrivals = DeterministicArrivals::new(vec![
+            Seconds::new(10.0),
+            Seconds::new(50.0),
+            Seconds::new(70.0),
+        ]);
+        let report = ContinuousRun::new(Seconds::new(100.0))
+            .fault_plan(FaultPlan::none().with_outage(Seconds::new(40.0), Seconds::new(60.0)))
+            .run(
+                &mut Unicast {
+                    len: Seconds::new(10.0),
+                },
+                arrivals,
+            );
+        assert_eq!(report.requests, 3);
+        assert_eq!(report.streams_started, 2);
+        assert_eq!(report.failed_requests, 1);
+        assert_eq!(report.faults.scheduled, 3);
+        assert_eq!(report.faults.outage_dropped, 1);
+        assert!((report.avg_bandwidth.get() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_rate_reduces_delivery_ratio() {
+        let report = ContinuousRun::new(Seconds::from_hours(200.0))
+            .fault_plan(FaultPlan::none().with_loss_rate(0.3))
+            .run(
+                &mut Unicast {
+                    len: Seconds::from_hours(2.0),
+                },
+                PoissonProcess::new(ArrivalRate::per_hour(5.0)),
+            );
+        assert!(report.faults.lost > 0, "expected some lost streams");
+        let ratio = report.delivery_ratio();
+        assert!(
+            (0.55..0.85).contains(&ratio),
+            "delivery ratio {ratio} far from 0.7"
+        );
+        assert_eq!(report.failed_requests, report.faults.lost);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use vod_types::{ArrivalRate, Seconds, VideoSpec};
 
 use crate::arrivals::PoissonProcess;
 use crate::continuous::{ContinuousProtocol, ContinuousRun};
+use crate::fault::FaultPlan;
 use crate::slotted::{SlottedProtocol, SlottedRun};
 
 /// One measured point of a sweep.
@@ -15,6 +16,26 @@ pub struct SweepPoint {
     pub avg_streams: f64,
     /// Peak server bandwidth in multiples of the consumption rate.
     pub max_streams: f64,
+    /// Fraction of scheduled transmissions delivered (1.0 without faults).
+    pub delivery_ratio: f64,
+    /// Total playback deferral caused by fault recovery, in seconds
+    /// (always 0 for continuous protocols, which have no recovery path).
+    pub stall_secs: f64,
+}
+
+impl SweepPoint {
+    /// An analytically-derived point on a clean channel: full delivery, no
+    /// stall. Used for curves that need no simulation (NPB, lower bounds).
+    #[must_use]
+    pub fn fault_free(rate_per_hour: f64, avg_streams: f64, max_streams: f64) -> Self {
+        SweepPoint {
+            rate_per_hour,
+            avg_streams,
+            max_streams,
+            delivery_ratio: 1.0,
+            stall_secs: 0.0,
+        }
+    }
 }
 
 /// A labelled series of sweep points — one curve of a figure.
@@ -81,6 +102,7 @@ pub struct RateSweep {
     warmup_slots: u64,
     measured_slots: u64,
     seed: u64,
+    fault_plan: FaultPlan,
 }
 
 impl RateSweep {
@@ -101,7 +123,18 @@ impl RateSweep {
             warmup_slots: SlottedRun::DEFAULT_WARMUP,
             measured_slots: SlottedRun::DEFAULT_MEASURED,
             seed: 0xD4B_CA57,
+            fault_plan: FaultPlan::none(),
         }
+    }
+
+    /// Runs every point of the sweep under `plan` (see
+    /// [`SlottedRun::fault_plan`] and [`ContinuousRun::fault_plan`]). The
+    /// default, [`FaultPlan::none`], leaves every run bit-identical to a
+    /// sweep without this call.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
     }
 
     /// Replaces the rate grid (requests per hour).
@@ -168,11 +201,14 @@ impl RateSweep {
                 .warmup_slots(self.warmup_slots)
                 .measured_slots(self.measured_slots)
                 .seed(self.seed_for(idx))
+                .fault_plan(self.fault_plan.clone())
                 .run(&mut protocol, PoissonProcess::new(rate));
             points.push(SweepPoint {
                 rate_per_hour: rate.as_per_hour(),
                 avg_streams: report.avg_bandwidth.get(),
                 max_streams: report.max_bandwidth.get(),
+                delivery_ratio: report.delivery_ratio(),
+                stall_secs: report.stall_secs,
             });
         }
         SweepSeries { label, points }
@@ -199,11 +235,14 @@ impl RateSweep {
             let report = ContinuousRun::new(horizon)
                 .warmup(warmup)
                 .seed(self.seed_for(idx))
+                .fault_plan(self.fault_plan.clone())
                 .run(&mut protocol, PoissonProcess::new(rate));
             points.push(SweepPoint {
                 rate_per_hour: rate.as_per_hour(),
                 avg_streams: report.avg_bandwidth.get(),
                 max_streams: report.max_bandwidth.get(),
+                delivery_ratio: report.delivery_ratio(),
+                stall_secs: 0.0,
             });
         }
         SweepSeries { label, points }
@@ -296,6 +335,31 @@ mod tests {
             .measured_slots(90);
         let d = VideoSpec::paper_two_hour().segment_duration();
         assert_eq!(sweep.horizon(), d * 100.0);
+    }
+
+    #[test]
+    fn fault_plan_threads_through_both_engines() {
+        let sweep = RateSweep::new(VideoSpec::paper_two_hour())
+            .rates_per_hour(&[50.0])
+            .warmup_slots(10)
+            .measured_slots(400)
+            .seed(7)
+            .fault_plan(FaultPlan::none().with_loss_rate(0.2));
+        let slotted = sweep.run_slotted(|| ConstantLoad(2));
+        assert!(slotted.points[0].delivery_ratio < 1.0);
+        let continuous = sweep.run_continuous(|| Unicast(Seconds::from_hours(2.0)));
+        assert!(continuous.points[0].delivery_ratio < 1.0);
+        assert_eq!(continuous.points[0].stall_secs, 0.0);
+
+        // A fault-free sweep reports perfect delivery.
+        let clean = RateSweep::new(VideoSpec::paper_two_hour())
+            .rates_per_hour(&[50.0])
+            .warmup_slots(10)
+            .measured_slots(400)
+            .seed(7)
+            .run_slotted(|| ConstantLoad(2));
+        assert_eq!(clean.points[0].delivery_ratio, 1.0);
+        assert_eq!(clean.points[0].stall_secs, 0.0);
     }
 
     #[test]

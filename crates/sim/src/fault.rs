@@ -1,0 +1,431 @@
+//! Seeded fault injection for both simulation engines.
+//!
+//! A [`FaultPlan`] describes the unreliability of the delivery channel:
+//!
+//! * **Bernoulli loss** — each scheduled transmission is independently lost
+//!   with probability `loss_rate` (the stream airs, the clients miss it);
+//! * **timed outages** — half-open wall-clock windows `[start, end)` during
+//!   which nothing is transmitted at all;
+//! * **a hard per-slot stream cap** — the server can drive at most `cap`
+//!   concurrent streams in a slot, and excess instances are cut (slotted
+//!   engine only: continuous protocols have no slot to cap).
+//!
+//! The plan owns its *own* seeded RNG, drawn from a stream completely
+//! separate from the arrival process, so [`FaultPlan::none`] leaves every
+//! existing run bit-identical — the arrival RNG never sees a fault draw.
+//!
+//! The engines apply the plan after each slot's (or stream's) transmissions
+//! are known and report the outcome back to the protocol through
+//! [`SlottedProtocol::on_slot_outcome`](crate::SlottedProtocol::on_slot_outcome),
+//! which is how DHB's recovery path learns which segment instances it must
+//! re-enter into the schedule.
+
+use vod_types::{Seconds, Slot};
+
+use crate::rng::SimRng;
+
+/// Why a scheduled transmission was not delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropCause {
+    /// Independent Bernoulli channel loss: the server transmitted, the
+    /// clients did not receive.
+    Loss,
+    /// The slot (or stream start) fell inside a timed channel outage; the
+    /// server never transmitted.
+    Outage,
+    /// The instance exceeded the hard per-slot stream cap; the server never
+    /// transmitted.
+    Capped,
+}
+
+impl std::fmt::Display for DropCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DropCause::Loss => write!(f, "loss"),
+            DropCause::Outage => write!(f, "outage"),
+            DropCause::Capped => write!(f, "capped"),
+        }
+    }
+}
+
+/// A deterministic, seeded description of channel faults for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    loss_rate: f64,
+    /// Half-open outage windows `[start, end)` in simulation time.
+    outages: Vec<(Seconds, Seconds)>,
+    slot_cap: Option<u32>,
+    seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The zero-fault plan: nothing is ever dropped, no RNG is ever drawn,
+    /// and a run configured with it is bit-identical to one with no plan.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan {
+            loss_rate: 0.0,
+            outages: Vec::new(),
+            slot_cap: None,
+            seed: 0xFA_017,
+        }
+    }
+
+    /// Sets the per-transmission Bernoulli loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ rate < 1` (a channel losing everything forever
+    /// cannot be recovered from and is a configuration error).
+    #[must_use]
+    pub fn with_loss_rate(mut self, rate: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "loss rate must be in [0, 1), got {rate}"
+        );
+        self.loss_rate = rate;
+        self
+    }
+
+    /// Adds a channel outage over `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or negative.
+    #[must_use]
+    pub fn with_outage(mut self, start: Seconds, end: Seconds) -> Self {
+        assert!(start < end, "outage window must be non-empty");
+        self.outages.push((start, end));
+        self
+    }
+
+    /// Caps the number of instances the server may transmit per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    #[must_use]
+    pub fn with_slot_cap(mut self, cap: u32) -> Self {
+        assert!(cap >= 1, "slot cap must allow at least one stream");
+        self.slot_cap = Some(cap);
+        self
+    }
+
+    /// Seeds the fault RNG (independent of the arrival seed).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The Bernoulli loss probability.
+    #[must_use]
+    pub fn loss_rate(&self) -> f64 {
+        self.loss_rate
+    }
+
+    /// The per-slot stream cap, if any.
+    #[must_use]
+    pub fn slot_cap(&self) -> Option<u32> {
+        self.slot_cap
+    }
+
+    /// The configured outage windows.
+    #[must_use]
+    pub fn outages(&self) -> &[(Seconds, Seconds)] {
+        &self.outages
+    }
+
+    /// The fault RNG seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when this plan can never drop anything.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.loss_rate == 0.0 && self.outages.is_empty() && self.slot_cap.is_none()
+    }
+
+    /// A fresh injector for one run.
+    #[must_use]
+    pub fn injector(&self) -> FaultInjector {
+        FaultInjector {
+            plan: self.clone(),
+            rng: SimRng::seed_from(self.seed),
+        }
+    }
+}
+
+/// The per-run state of a [`FaultPlan`]: the plan plus its seeded RNG.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SimRng,
+}
+
+impl FaultInjector {
+    fn in_outage(&self, t: Seconds) -> bool {
+        self.plan.outages.iter().any(|&(lo, hi)| t >= lo && t < hi)
+    }
+
+    /// Decides the fate of a slot's `scheduled` transmissions. `slot_start`
+    /// is the slot's wall-clock start (used for outage windows).
+    ///
+    /// Causes compose in severity order: an outage silences the whole slot;
+    /// otherwise instances beyond the cap are cut, and each surviving
+    /// instance is subject to independent Bernoulli loss. Indices refer to
+    /// the slot's instance list in the order the protocol reports it.
+    pub fn apply_slot(&mut self, slot: Slot, slot_start: Seconds, scheduled: u32) -> SlotOutcome {
+        let mut dropped = Vec::new();
+        if scheduled > 0 {
+            if self.in_outage(slot_start) {
+                dropped.extend((0..scheduled).map(|i| (i, DropCause::Outage)));
+            } else {
+                let cap = self.plan.slot_cap.unwrap_or(u32::MAX);
+                for i in 0..scheduled {
+                    if i >= cap {
+                        dropped.push((i, DropCause::Capped));
+                    } else if self.plan.loss_rate > 0.0 && self.rng.uniform() < self.plan.loss_rate
+                    {
+                        dropped.push((i, DropCause::Loss));
+                    }
+                }
+            }
+        }
+        SlotOutcome {
+            slot,
+            scheduled,
+            dropped,
+        }
+    }
+
+    /// Decides the fate of one continuous-engine stream starting at `start`.
+    /// Returns `None` when the stream is delivered. The slot cap does not
+    /// apply (there is no slot).
+    pub fn apply_stream(&mut self, start: Seconds) -> Option<DropCause> {
+        if self.in_outage(start) {
+            return Some(DropCause::Outage);
+        }
+        if self.plan.loss_rate > 0.0 && self.rng.uniform() < self.plan.loss_rate {
+            return Some(DropCause::Loss);
+        }
+        None
+    }
+}
+
+/// What fault injection did to one slot's transmissions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotOutcome {
+    /// The slot.
+    pub slot: Slot,
+    /// Instances the protocol scheduled for the slot.
+    pub scheduled: u32,
+    /// `(index, cause)` per dropped instance, ascending by index. The index
+    /// points into the slot's instance list as the protocol ordered it.
+    pub dropped: Vec<(u32, DropCause)>,
+}
+
+impl SlotOutcome {
+    /// Instances the clients actually received.
+    #[must_use]
+    pub fn delivered(&self) -> u32 {
+        self.scheduled - self.dropped.len() as u32
+    }
+
+    /// Instances the server actually put on the wire: everything scheduled
+    /// except capped and outage-silenced instances. Lost instances *were*
+    /// transmitted (and consumed bandwidth); the clients just missed them.
+    #[must_use]
+    pub fn transmitted(&self) -> u32 {
+        let never_sent = self
+            .dropped
+            .iter()
+            .filter(|(_, cause)| matches!(cause, DropCause::Outage | DropCause::Capped))
+            .count() as u32;
+        self.scheduled - never_sent
+    }
+
+    /// True when nothing was dropped.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.dropped.is_empty()
+    }
+}
+
+/// Delivered-versus-scheduled accounting accumulated over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Transmissions the protocol scheduled.
+    pub scheduled: u64,
+    /// Transmissions the clients received.
+    pub delivered: u64,
+    /// Dropped to Bernoulli channel loss.
+    pub lost: u64,
+    /// Dropped to a timed outage.
+    pub outage_dropped: u64,
+    /// Cut by the per-slot stream cap.
+    pub capped: u64,
+}
+
+impl FaultSummary {
+    /// Folds one slot outcome into the totals.
+    pub fn record(&mut self, outcome: &SlotOutcome) {
+        self.scheduled += u64::from(outcome.scheduled);
+        self.delivered += u64::from(outcome.delivered());
+        for (_, cause) in &outcome.dropped {
+            match cause {
+                DropCause::Loss => self.lost += 1,
+                DropCause::Outage => self.outage_dropped += 1,
+                DropCause::Capped => self.capped += 1,
+            }
+        }
+    }
+
+    /// Folds one continuous-engine stream decision into the totals.
+    pub fn record_stream(&mut self, cause: Option<DropCause>) {
+        self.scheduled += 1;
+        match cause {
+            None => self.delivered += 1,
+            Some(DropCause::Loss) => self.lost += 1,
+            Some(DropCause::Outage) => self.outage_dropped += 1,
+            Some(DropCause::Capped) => self.capped += 1,
+        }
+    }
+
+    /// Accumulates another summary into this one (multi-run aggregation).
+    pub fn merge(&mut self, other: &FaultSummary) {
+        self.scheduled += other.scheduled;
+        self.delivered += other.delivered;
+        self.lost += other.lost;
+        self.outage_dropped += other.outage_dropped;
+        self.capped += other.capped;
+    }
+
+    /// Total dropped transmissions.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.lost + self.outage_dropped + self.capped
+    }
+
+    /// Delivered over scheduled (1.0 for an idle or fault-free run).
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.scheduled == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.scheduled as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_plan_is_zero_and_drops_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_zero());
+        let mut inj = plan.injector();
+        for s in 0..100u64 {
+            let out = inj.apply_slot(Slot::new(s), Seconds::new(s as f64), 5);
+            assert!(out.is_clean());
+            assert_eq!(out.delivered(), 5);
+            assert_eq!(out.transmitted(), 5);
+            assert_eq!(inj.apply_stream(Seconds::new(s as f64)), None);
+        }
+    }
+
+    #[test]
+    fn loss_rate_drops_about_the_right_fraction() {
+        let plan = FaultPlan::none().with_loss_rate(0.3).with_seed(9);
+        let mut inj = plan.injector();
+        let mut summary = FaultSummary::default();
+        for s in 0..10_000u64 {
+            let out = inj.apply_slot(Slot::new(s), Seconds::new(s as f64), 4);
+            summary.record(&out);
+        }
+        let ratio = summary.delivery_ratio();
+        assert!((ratio - 0.7).abs() < 0.02, "delivery ratio {ratio}");
+        assert_eq!(summary.lost, summary.dropped());
+    }
+
+    #[test]
+    fn outage_silences_whole_slots() {
+        let plan = FaultPlan::none().with_outage(Seconds::new(10.0), Seconds::new(20.0));
+        let mut inj = plan.injector();
+        let clean = inj.apply_slot(Slot::new(0), Seconds::new(9.9), 3);
+        assert!(clean.is_clean());
+        let out = inj.apply_slot(Slot::new(1), Seconds::new(10.0), 3);
+        assert_eq!(out.dropped.len(), 3);
+        assert!(out.dropped.iter().all(|&(_, c)| c == DropCause::Outage));
+        assert_eq!(out.transmitted(), 0);
+        // End is exclusive.
+        assert!(inj
+            .apply_slot(Slot::new(2), Seconds::new(20.0), 3)
+            .is_clean());
+        assert_eq!(
+            inj.apply_stream(Seconds::new(15.0)),
+            Some(DropCause::Outage)
+        );
+    }
+
+    #[test]
+    fn cap_cuts_the_tail_of_the_instance_list() {
+        let plan = FaultPlan::none().with_slot_cap(2);
+        let mut inj = plan.injector();
+        let out = inj.apply_slot(Slot::new(0), Seconds::ZERO, 5);
+        assert_eq!(
+            out.dropped,
+            vec![
+                (2, DropCause::Capped),
+                (3, DropCause::Capped),
+                (4, DropCause::Capped)
+            ]
+        );
+        assert_eq!(out.delivered(), 2);
+        assert_eq!(out.transmitted(), 2);
+    }
+
+    #[test]
+    fn injector_is_deterministic_per_seed() {
+        let plan = FaultPlan::none().with_loss_rate(0.5).with_seed(42);
+        let run = |plan: &FaultPlan| {
+            let mut inj = plan.injector();
+            (0..200u64)
+                .map(|s| {
+                    inj.apply_slot(Slot::new(s), Seconds::new(s as f64), 3)
+                        .dropped
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(&plan), run(&plan));
+        let other = plan.clone().with_seed(43);
+        assert_ne!(run(&plan), run(&other));
+    }
+
+    #[test]
+    fn summary_accumulates_stream_decisions() {
+        let mut summary = FaultSummary::default();
+        summary.record_stream(None);
+        summary.record_stream(Some(DropCause::Loss));
+        summary.record_stream(Some(DropCause::Outage));
+        assert_eq!(summary.scheduled, 3);
+        assert_eq!(summary.delivered, 1);
+        assert_eq!(summary.dropped(), 2);
+        assert!((summary.delivery_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_reports_full_delivery() {
+        assert_eq!(FaultSummary::default().delivery_ratio(), 1.0);
+    }
+}

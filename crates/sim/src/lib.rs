@@ -13,7 +13,10 @@
 //!
 //! Both engines draw arrivals from an [`ArrivalProcess`] (homogeneous Poisson,
 //! time-varying Poisson via thinning, or a deterministic script for tests) and
-//! are fully deterministic given a seed.
+//! are fully deterministic given a seed. Either engine can additionally run
+//! under a seeded [`FaultPlan`] ([`fault`]) injecting transmission loss,
+//! channel outages and per-slot bandwidth caps without perturbing the arrival
+//! stream.
 //!
 //! # Example
 //!
@@ -39,6 +42,7 @@
 pub mod arrivals;
 pub mod continuous;
 pub mod experiment;
+pub mod fault;
 pub mod metrics;
 pub mod report;
 pub mod rng;
@@ -49,6 +53,7 @@ pub use arrivals::{
 };
 pub use continuous::{ContinuousProtocol, ContinuousReport, ContinuousRun, StreamInterval};
 pub use experiment::{RateSweep, SweepPoint, SweepSeries};
+pub use fault::{DropCause, FaultInjector, FaultPlan, FaultSummary, SlotOutcome};
 pub use metrics::{LoadHistogram, RunningStats, TimeWeightedMax};
 pub use report::{csv_table, render_table, Table};
 pub use rng::SimRng;

@@ -128,37 +128,25 @@ mod tests {
     use super::*;
     use crate::experiment::{SweepPoint, SweepSeries};
 
+    fn point(rate_per_hour: f64, avg_streams: f64, max_streams: f64) -> SweepPoint {
+        SweepPoint {
+            rate_per_hour,
+            avg_streams,
+            max_streams,
+            delivery_ratio: 1.0,
+            stall_secs: 0.0,
+        }
+    }
+
     fn sample_series() -> Vec<SweepSeries> {
         vec![
             SweepSeries {
                 label: "DHB".into(),
-                points: vec![
-                    SweepPoint {
-                        rate_per_hour: 1.0,
-                        avg_streams: 1.9,
-                        max_streams: 3.0,
-                    },
-                    SweepPoint {
-                        rate_per_hour: 10.0,
-                        avg_streams: 3.5,
-                        max_streams: 5.0,
-                    },
-                ],
+                points: vec![point(1.0, 1.9, 3.0), point(10.0, 3.5, 5.0)],
             },
             SweepSeries {
                 label: "NPB".into(),
-                points: vec![
-                    SweepPoint {
-                        rate_per_hour: 1.0,
-                        avg_streams: 6.0,
-                        max_streams: 6.0,
-                    },
-                    SweepPoint {
-                        rate_per_hour: 10.0,
-                        avg_streams: 6.0,
-                        max_streams: 6.0,
-                    },
-                ],
+                points: vec![point(1.0, 6.0, 6.0), point(10.0, 6.0, 6.0)],
             },
         ]
     }

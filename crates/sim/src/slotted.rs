@@ -1,8 +1,9 @@
 //! The slotted simulation engine.
 
-use vod_types::{Slot, Streams, VideoSpec};
+use vod_types::{Seconds, Slot, Streams, VideoSpec};
 
 use crate::arrivals::ArrivalProcess;
+use crate::fault::{FaultPlan, FaultSummary, SlotOutcome};
 use crate::metrics::{LoadHistogram, RunningStats};
 use crate::rng::SimRng;
 
@@ -44,6 +45,22 @@ pub trait SlottedProtocol {
     fn playback_delay_slots(&self) -> u64 {
         0
     }
+
+    /// Reports what fault injection did to the slot whose transmissions were
+    /// just counted by [`transmissions_in`](SlottedProtocol::transmissions_in).
+    ///
+    /// Called exactly once per slot, immediately after `transmissions_in`,
+    /// even when the outcome is clean. Dropped indices refer to the slot's
+    /// instance list in the order the protocol transmits it. Protocols with
+    /// a recovery path (DHB) re-enter the dropped needs here; the default
+    /// ignores faults, which is correct for open-loop protocols.
+    fn on_slot_outcome(&mut self, _outcome: &SlotOutcome) {}
+
+    /// Total whole slots of playback stall this protocol's recovery path has
+    /// imposed on customers so far (0 for protocols without recovery).
+    fn stall_slots(&self) -> u64 {
+        0
+    }
 }
 
 impl<P: SlottedProtocol + ?Sized> SlottedProtocol for Box<P> {
@@ -61,6 +78,14 @@ impl<P: SlottedProtocol + ?Sized> SlottedProtocol for Box<P> {
 
     fn playback_delay_slots(&self) -> u64 {
         (**self).playback_delay_slots()
+    }
+
+    fn on_slot_outcome(&mut self, outcome: &SlotOutcome) {
+        (**self).on_slot_outcome(outcome);
+    }
+
+    fn stall_slots(&self) -> u64 {
+        (**self).stall_slots()
     }
 }
 
@@ -97,6 +122,7 @@ pub struct SlottedRun {
     warmup_slots: u64,
     measured_slots: u64,
     seed: u64,
+    fault_plan: FaultPlan,
 }
 
 impl SlottedRun {
@@ -113,6 +139,7 @@ impl SlottedRun {
             warmup_slots: Self::DEFAULT_WARMUP,
             measured_slots: Self::DEFAULT_MEASURED,
             seed: 0xD4B_CA57,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -138,6 +165,15 @@ impl SlottedRun {
         self
     }
 
+    /// Injects channel faults per `plan`. The plan's RNG is independent of
+    /// the arrival seed, so [`FaultPlan::none`] (the default) leaves the run
+    /// bit-identical to a run without a plan.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
     /// The video this run simulates.
     #[must_use]
     pub fn video(&self) -> VideoSpec {
@@ -154,6 +190,8 @@ impl SlottedRun {
         let d = self.video.segment_duration().as_secs_f64();
         let total_slots = self.warmup_slots + self.measured_slots;
 
+        let mut injector = self.fault_plan.injector();
+        let mut faults = FaultSummary::default();
         let mut stats = RunningStats::new();
         let mut histogram = LoadHistogram::new();
         let mut wait_stats = RunningStats::new();
@@ -179,13 +217,20 @@ impl SlottedRun {
                 }
                 pending = arrivals.next_arrival(&mut rng);
             }
-            let load = protocol.transmissions_in(slot);
+            let scheduled = protocol.transmissions_in(slot);
+            let outcome = injector.apply_slot(slot, Seconds::new(slot_idx as f64 * d), scheduled);
+            faults.record(&outcome);
+            // Bandwidth = what the server put on the wire: capped and
+            // outage-silenced instances never aired; lost ones did.
+            let load = outcome.transmitted();
+            protocol.on_slot_outcome(&outcome);
             if slot_idx >= self.warmup_slots {
                 stats.push(f64::from(load));
                 histogram.record(load);
             }
         }
 
+        let stall_slots = protocol.stall_slots();
         SlottedReport {
             avg_bandwidth: Streams::new(stats.mean()),
             max_bandwidth: Streams::new(stats.max().unwrap_or(0.0)),
@@ -195,6 +240,9 @@ impl SlottedRun {
             total_requests,
             measured_requests,
             measured_slots: self.measured_slots,
+            faults,
+            stall_slots,
+            stall_secs: stall_slots as f64 * d,
         }
     }
 }
@@ -220,6 +268,14 @@ pub struct SlottedReport {
     pub measured_requests: u64,
     /// Number of measured slots.
     pub measured_slots: u64,
+    /// Delivered-versus-scheduled transmission accounting over the whole
+    /// run, warm-up included (all zeros-dropped under [`FaultPlan::none`]).
+    pub faults: FaultSummary,
+    /// Whole slots of recovery-imposed playback stall reported by the
+    /// protocol (0 for protocols without a recovery path).
+    pub stall_slots: u64,
+    /// The same stall in seconds.
+    pub stall_secs: f64,
 }
 
 impl SlottedReport {
@@ -231,6 +287,12 @@ impl SlottedReport {
         } else {
             self.measured_requests as f64 / self.measured_slots as f64
         }
+    }
+
+    /// Fraction of scheduled transmissions the clients received.
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        self.faults.delivery_ratio()
     }
 }
 
@@ -408,6 +470,94 @@ mod tests {
             );
         // Arrived mid-slot: 30 s to the boundary + one full slot.
         assert!((report.wait_stats.mean() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_fault_plan_changes_nothing() {
+        let video = VideoSpec::paper_two_hour();
+        let rate = ArrivalRate::per_hour(80.0);
+        let base = SlottedRun::new(video)
+            .warmup_slots(20)
+            .measured_slots(400)
+            .seed(17);
+        let plain = base
+            .clone()
+            .run(&mut EchoLast::new(), PoissonProcess::new(rate));
+        let faulted = base
+            .fault_plan(FaultPlan::none())
+            .run(&mut EchoLast::new(), PoissonProcess::new(rate));
+        assert_eq!(plain.total_requests, faulted.total_requests);
+        assert_eq!(plain.avg_bandwidth, faulted.avg_bandwidth);
+        assert_eq!(plain.max_bandwidth, faulted.max_bandwidth);
+        assert_eq!(plain.faults, faulted.faults);
+        assert_eq!(faulted.delivery_ratio(), 1.0);
+        assert_eq!(faulted.stall_slots, 0);
+    }
+
+    #[test]
+    fn slot_cap_bounds_the_measured_load() {
+        let video = video_600s_10seg();
+        // Three same-slot arrivals: EchoLast would transmit 3 next slot.
+        let arrivals = DeterministicArrivals::new(vec![
+            Seconds::new(1.0),
+            Seconds::new(2.0),
+            Seconds::new(3.0),
+        ]);
+        let report = SlottedRun::new(video)
+            .warmup_slots(0)
+            .measured_slots(10)
+            .fault_plan(FaultPlan::none().with_slot_cap(2))
+            .run(&mut EchoLast::new(), arrivals);
+        assert_eq!(report.max_bandwidth, Streams::new(2.0));
+        assert_eq!(report.faults.capped, 1);
+        assert_eq!(report.faults.scheduled, 3);
+        assert_eq!(report.faults.delivered, 2);
+    }
+
+    #[test]
+    fn outcomes_are_reported_to_the_protocol() {
+        struct Recorder {
+            inner: EchoLast,
+            outcomes: Vec<(u64, u32, usize)>,
+        }
+        impl SlottedProtocol for Recorder {
+            fn name(&self) -> &str {
+                "recorder"
+            }
+            fn on_request(&mut self, slot: Slot) {
+                self.inner.on_request(slot);
+            }
+            fn transmissions_in(&mut self, slot: Slot) -> u32 {
+                self.inner.transmissions_in(slot)
+            }
+            fn on_slot_outcome(&mut self, outcome: &crate::fault::SlotOutcome) {
+                self.outcomes.push((
+                    outcome.slot.index(),
+                    outcome.scheduled,
+                    outcome.dropped.len(),
+                ));
+            }
+        }
+        let video = video_600s_10seg();
+        // d = 60 s; the outage covers slots 2 and 3 ([120, 240) s).
+        let mut recorder = Recorder {
+            inner: EchoLast::new(),
+            outcomes: Vec::new(),
+        };
+        let arrivals = DeterministicArrivals::new(vec![Seconds::new(70.0), Seconds::new(130.0)]);
+        let report = SlottedRun::new(video)
+            .warmup_slots(0)
+            .measured_slots(6)
+            .fault_plan(FaultPlan::none().with_outage(Seconds::new(120.0), Seconds::new(240.0)))
+            .run(&mut recorder, arrivals);
+        // One outcome per slot, clean or not.
+        assert_eq!(recorder.outcomes.len(), 6);
+        // The slot-1 arrival airs in slot 1, before the outage; the slot-2
+        // arrival airs in slot 2 and is dropped.
+        assert_eq!(recorder.outcomes[1], (1, 1, 0));
+        assert_eq!(recorder.outcomes[2], (2, 1, 1));
+        assert_eq!(report.faults.outage_dropped, 1);
+        assert!(report.delivery_ratio() < 1.0);
     }
 
     #[test]

@@ -2,8 +2,9 @@
 
 use proptest::prelude::*;
 use vod_sim::{
-    ArrivalProcess, DeterministicArrivals, PoissonProcess, RunningStats, SimRng, SlottedProtocol,
-    SlottedRun, TimeWeightedMax,
+    ArrivalProcess, ContinuousProtocol, ContinuousRun, DeterministicArrivals, FaultPlan,
+    PoissonProcess, RunningStats, SimRng, SlottedProtocol, SlottedRun, StreamInterval,
+    TimeWeightedMax,
 };
 use vod_types::{ArrivalRate, Seconds, Slot, VideoSpec};
 
@@ -21,6 +22,18 @@ impl SlottedProtocol for Echo {
     }
     fn transmissions_in(&mut self, _: Slot) -> u32 {
         std::mem::take(&mut self.pending)
+    }
+}
+
+/// One full-length stream per request.
+struct Unicast(Seconds);
+
+impl ContinuousProtocol for Unicast {
+    fn name(&self) -> &str {
+        "unicast"
+    }
+    fn on_request(&mut self, t: Seconds) -> Vec<StreamInterval> {
+        vec![StreamInterval::starting_at(t, self.0)]
     }
 }
 
@@ -117,5 +130,81 @@ proptest! {
         let total_load: f64 =
             report.bandwidth_stats.mean() * report.bandwidth_stats.count() as f64;
         prop_assert!((total_load - sorted.len() as f64).abs() < 1e-9);
+    }
+
+    /// The zero-fault plan is invisible: both engines produce byte-identical
+    /// reports with and without it, for any seed and rate.
+    #[test]
+    fn zero_fault_plan_is_bit_identical(seed in 0u64..500, rate_ph in 1.0f64..500.0) {
+        let video = VideoSpec::new(Seconds::new(600.0), 10).unwrap();
+        let bare = SlottedRun::new(video)
+            .warmup_slots(5)
+            .measured_slots(60)
+            .seed(seed)
+            .run(&mut Echo { pending: 0 }, PoissonProcess::new(ArrivalRate::per_hour(rate_ph)));
+        let planned = SlottedRun::new(video)
+            .warmup_slots(5)
+            .measured_slots(60)
+            .seed(seed)
+            .fault_plan(FaultPlan::none())
+            .run(&mut Echo { pending: 0 }, PoissonProcess::new(ArrivalRate::per_hour(rate_ph)));
+        prop_assert_eq!(bare.avg_bandwidth, planned.avg_bandwidth);
+        prop_assert_eq!(bare.max_bandwidth, planned.max_bandwidth);
+        prop_assert_eq!(bare.total_requests, planned.total_requests);
+        prop_assert_eq!(bare.faults, planned.faults);
+        prop_assert_eq!(planned.delivery_ratio(), 1.0);
+        prop_assert_eq!(planned.stall_secs, 0.0);
+
+        let horizon = Seconds::new(3_600.0);
+        let c_bare = ContinuousRun::new(horizon)
+            .seed(seed)
+            .run(&mut Unicast(Seconds::new(600.0)), PoissonProcess::new(ArrivalRate::per_hour(rate_ph)));
+        let c_planned = ContinuousRun::new(horizon)
+            .seed(seed)
+            .fault_plan(FaultPlan::none())
+            .run(&mut Unicast(Seconds::new(600.0)), PoissonProcess::new(ArrivalRate::per_hour(rate_ph)));
+        prop_assert_eq!(c_bare.avg_bandwidth, c_planned.avg_bandwidth);
+        prop_assert_eq!(c_bare.max_bandwidth, c_planned.max_bandwidth);
+        prop_assert_eq!(c_bare.requests, c_planned.requests);
+        prop_assert_eq!(c_bare.streams_started, c_planned.streams_started);
+        prop_assert_eq!(c_planned.failed_requests, 0);
+        prop_assert_eq!(c_planned.delivery_ratio(), 1.0);
+    }
+
+    /// Fault accounting is conserved under arbitrary plans: every scheduled
+    /// transmission is either delivered or attributed to exactly one cause.
+    #[test]
+    fn fault_accounting_is_conserved(
+        seed in 0u64..500,
+        loss in 0.0f64..0.9,
+        cap in 1u32..5,
+        outage_start in 0.0f64..500.0,
+        outage_len in 1.0f64..200.0,
+        rate_ph in 10.0f64..2000.0,
+    ) {
+        let plan = FaultPlan::none()
+            .with_loss_rate(loss)
+            .with_slot_cap(cap)
+            .with_outage(Seconds::new(outage_start), Seconds::new(outage_start + outage_len))
+            .with_seed(seed);
+        let video = VideoSpec::new(Seconds::new(600.0), 10).unwrap();
+        let report = SlottedRun::new(video)
+            .warmup_slots(0)
+            .measured_slots(40)
+            .seed(seed)
+            .fault_plan(plan.clone())
+            .run(&mut Echo { pending: 0 }, PoissonProcess::new(ArrivalRate::per_hour(rate_ph)));
+        let f = report.faults;
+        prop_assert_eq!(f.delivered + f.dropped(), f.scheduled);
+        prop_assert!((0.0..=1.0).contains(&report.delivery_ratio()));
+
+        let c = ContinuousRun::new(Seconds::new(2_400.0))
+            .seed(seed)
+            .fault_plan(plan)
+            .run(&mut Unicast(Seconds::new(600.0)), PoissonProcess::new(ArrivalRate::per_hour(rate_ph)));
+        prop_assert_eq!(c.faults.delivered + c.faults.dropped(), c.faults.scheduled);
+        prop_assert_eq!(c.faults.capped, 0); // no slots to cap
+        prop_assert_eq!(c.failed_requests, c.faults.dropped());
+        prop_assert_eq!(c.streams_started, c.faults.delivered);
     }
 }

@@ -139,7 +139,9 @@ mod tests {
         assert_eq!(series_autocorrelation(&[5.0; 50], 1), 0.0);
         // A strongly alternating series is negatively correlated at lag 1
         // and positively at lag 2.
-        let alt: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let alt: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(series_autocorrelation(&alt, 1) < -0.9);
         assert!(series_autocorrelation(&alt, 2) > 0.9);
         // Degenerate inputs.

@@ -8,6 +8,7 @@
 //! ```text
 //! vodsim sweep --protocol dhb --rates 1,10,100 [--segments 99]
 //!              [--duration-mins 120] [--slots 2000] [--seed 42]
+//!              [--loss 0.05] [--slot-cap 8] [--outage 600:900] [--fault-seed 7]
 //! vodsim vbr [--preset matrix|action|drama|toon] [--max-wait-secs 60] [--seed 42]
 //! vodsim server [--videos 20] [--total-rate 500] [--zipf 1.0] [--slots 1200]
 //! vodsim schedule [--segments 6] [--arrivals 1,3]
@@ -16,12 +17,13 @@
 use std::fmt;
 
 use dhb_core::{Dhb, DhbScheduler};
-use vod_protocols::npb::npb_streams_for;
+use vod_protocols::npb::{npb_mapping_for, npb_streams_for};
 use vod_protocols::{
-    DynamicNpb, DynamicSb, Patching, StreamTapping, TappingPolicy, UniversalDistribution,
+    DynamicNpb, DynamicSb, FixedBroadcast, Patching, StreamTapping, TappingPolicy,
+    UniversalDistribution,
 };
 use vod_server::{Catalog, Policy, Server};
-use vod_sim::{render_table, RateSweep, Table};
+use vod_sim::{render_table, FaultPlan, RateSweep, Table};
 use vod_trace::periods::relaxed_segments;
 use vod_trace::{BroadcastPlan, FilmPreset};
 use vod_types::{ArrivalRate, Seconds, Slot, VideoSpec};
@@ -43,6 +45,14 @@ pub enum Command {
         slots: u64,
         /// Seed.
         seed: u64,
+        /// Bernoulli per-transmission loss probability.
+        loss: f64,
+        /// Hard per-slot stream cap (slotted protocols only).
+        slot_cap: Option<u32>,
+        /// Channel outage window `[start, end)` in seconds.
+        outage: Option<(f64, f64)>,
+        /// Fault RNG seed (independent of the arrival seed).
+        fault_seed: Option<u64>,
     },
     /// `vodsim vbr …`
     Vbr {
@@ -112,7 +122,8 @@ impl std::error::Error for UsageError {}
 pub fn usage() -> String {
     "usage:\n  \
      vodsim sweep --protocol <dhb|ud|dnpb|dsb|tapping|patching|npb> --rates <r1,r2,…>\n          \
-     [--segments 99] [--duration-mins 120] [--slots 2000] [--seed 42]\n  \
+     [--segments 99] [--duration-mins 120] [--slots 2000] [--seed 42]\n          \
+     [--loss 0.05] [--slot-cap 8] [--outage <start:end secs>] [--fault-seed 7]\n  \
      vodsim vbr [--preset <matrix|action|drama|toon>] [--max-wait-secs 60] [--seed 42]\n  \
      vodsim server [--videos 20] [--total-rate 500] [--zipf 1.0] [--slots 1200] [--seed 42]\n  \
      vodsim schedule [--segments 6] [--arrivals 1,3]\n  \
@@ -146,12 +157,19 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 duration_mins: opts.take_f64("duration-mins")?.unwrap_or(120.0),
                 slots: opts.take_u64("slots")?.unwrap_or(2_000),
                 seed: opts.take_u64("seed")?.unwrap_or(42),
+                loss: opts.take_f64("loss")?.unwrap_or(0.0),
+                slot_cap: opts.take_u64("slot-cap")?.map(|v| v as u32),
+                outage: opts.take_outage("outage")?,
+                fault_seed: opts.take_u64("fault-seed")?,
             };
             opts.finish()?;
             if let Command::Sweep {
                 protocol,
                 rates,
                 segments,
+                loss,
+                slot_cap,
+                outage,
                 ..
             } = &cmd
             {
@@ -165,6 +183,19 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 }
                 if *segments == 0 {
                     return Err(UsageError("--segments must be positive".to_owned()));
+                }
+                if !(0.0..1.0).contains(loss) {
+                    return Err(UsageError("--loss must be in [0, 1)".to_owned()));
+                }
+                if slot_cap == &Some(0) {
+                    return Err(UsageError("--slot-cap must be positive".to_owned()));
+                }
+                if let Some((start, end)) = outage {
+                    if start >= end {
+                        return Err(UsageError(
+                            "--outage window must be non-empty (start < end)".to_owned(),
+                        ));
+                    }
                 }
             }
             Ok(cmd)
@@ -300,6 +331,20 @@ impl Options {
             .transpose()
     }
 
+    /// `--key start:end` — a half-open window in seconds.
+    fn take_outage(&mut self, key: &str) -> Result<Option<(f64, f64)>, UsageError> {
+        self.take_str(key)?
+            .map(|v| {
+                let bad = || UsageError(format!("--{key}: expected start:end seconds, got {v:?}"));
+                let (start, end) = v.split_once(':').ok_or_else(bad)?;
+                Ok((
+                    start.trim().parse::<f64>().map_err(|_| bad())?,
+                    end.trim().parse::<f64>().map_err(|_| bad())?,
+                ))
+            })
+            .transpose()
+    }
+
     fn take_u64_list(&mut self, key: &str) -> Result<Option<Vec<u64>>, UsageError> {
         self.take_str(key)?
             .map(|v| {
@@ -338,7 +383,31 @@ pub fn run(command: &Command) -> Result<String, UsageError> {
             duration_mins,
             slots,
             seed,
-        } => run_sweep(protocol, rates, *segments, *duration_mins, *slots, *seed),
+            loss,
+            slot_cap,
+            outage,
+            fault_seed,
+        } => {
+            let mut plan = FaultPlan::none().with_loss_rate(*loss);
+            if let Some(cap) = slot_cap {
+                plan = plan.with_slot_cap(*cap);
+            }
+            if let Some((start, end)) = outage {
+                plan = plan.with_outage(Seconds::new(*start), Seconds::new(*end));
+            }
+            if let Some(fs) = fault_seed {
+                plan = plan.with_seed(*fs);
+            }
+            run_sweep(
+                protocol,
+                rates,
+                *segments,
+                *duration_mins,
+                *slots,
+                *seed,
+                &plan,
+            )
+        }
         Command::Vbr {
             preset,
             max_wait_secs,
@@ -391,7 +460,10 @@ fn run_analyze(
         format!("{:.1}", trace.duration().as_secs_f64()),
     ]);
     table.push_row(vec!["frames".to_owned(), trace.n_frames().to_string()]);
-    table.push_row(vec!["mean rate (KB/s)".to_owned(), format!("{:.1}", p.mean_kbps)]);
+    table.push_row(vec![
+        "mean rate (KB/s)".to_owned(),
+        format!("{:.1}", p.mean_kbps),
+    ]);
     table.push_row(vec![
         "peak/mean @1 s".to_owned(),
         format!("{:.3}", p.peak_to_mean_1s),
@@ -425,6 +497,7 @@ fn run_sweep(
     duration_mins: f64,
     slots: u64,
     seed: u64,
+    plan: &FaultPlan,
 ) -> Result<String, UsageError> {
     let video = VideoSpec::new(Seconds::from_mins(duration_mins), segments)
         .map_err(|e| UsageError(e.to_string()))?;
@@ -432,7 +505,8 @@ fn run_sweep(
         .rates_per_hour(rates)
         .warmup_slots(slots / 10)
         .measured_slots(slots)
-        .seed(seed);
+        .seed(seed)
+        .fault_plan(plan.clone());
 
     let series = match protocol {
         "dhb" => sweep.run_slotted(|| Dhb::fixed_rate(segments)),
@@ -447,8 +521,8 @@ fn run_sweep(
             sweep
                 .run_continuous(move || Patching::new(video.duration(), ArrivalRate::per_hour(mid)))
         }
-        "npb" => {
-            // Deterministic: no simulation needed.
+        "npb" if plan.is_zero() => {
+            // Deterministic on a clean channel: no simulation needed.
             let streams = npb_streams_for(segments) as f64;
             let mut table = Table::new(vec!["req/h", "avg", "max"]);
             for &r in rates {
@@ -460,16 +534,29 @@ fn run_sweep(
             }
             return Ok(render_table(&table));
         }
+        // Under faults NPB's fixed mapping must be driven through the engine
+        // to expose what the channel actually delivered.
+        "npb" => sweep.run_slotted(|| FixedBroadcast::new(npb_mapping_for(segments))),
         other => return Err(UsageError(format!("unknown protocol {other:?}"))),
     };
 
-    let mut table = Table::new(vec!["req/h", "avg streams", "max streams"]);
+    let mut headers = vec!["req/h", "avg streams", "max streams"];
+    if !plan.is_zero() {
+        headers.push("delivery %");
+        headers.push("stall (s)");
+    }
+    let mut table = Table::new(headers);
     for p in &series.points {
-        table.push_row(vec![
+        let mut row = vec![
             format!("{}", p.rate_per_hour),
             format!("{:.3}", p.avg_streams),
             format!("{:.3}", p.max_streams),
-        ]);
+        ];
+        if !plan.is_zero() {
+            row.push(format!("{:.2}", p.delivery_ratio * 100.0));
+            row.push(format!("{:.1}", p.stall_secs));
+        }
+        table.push_row(row);
     }
     Ok(format!(
         "{} ({})\n{}",
@@ -601,8 +688,43 @@ mod tests {
                 duration_mins: 120.0,
                 slots: 2_000,
                 seed: 42,
+                loss: 0.0,
+                slot_cap: None,
+                outage: None,
+                fault_seed: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        let cmd = parse(&args(
+            "sweep --protocol dhb --rates 10 --loss 0.05 --slot-cap 8 --outage 600:900 --fault-seed 7",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Sweep {
+                loss,
+                slot_cap,
+                outage,
+                fault_seed,
+                ..
+            } => {
+                assert_eq!(loss, 0.05);
+                assert_eq!(slot_cap, Some(8));
+                assert_eq!(outage, Some((600.0, 900.0)));
+                assert_eq!(fault_seed, Some(7));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_fault_flags() {
+        assert!(parse(&args("sweep --protocol dhb --rates 1 --loss 1.5")).is_err());
+        assert!(parse(&args("sweep --protocol dhb --rates 1 --slot-cap 0")).is_err());
+        assert!(parse(&args("sweep --protocol dhb --rates 1 --outage 900:600")).is_err());
+        assert!(parse(&args("sweep --protocol dhb --rates 1 --outage nope")).is_err());
     }
 
     #[test]
@@ -684,6 +806,29 @@ mod tests {
         let out = run(&cmd).unwrap();
         let sixes = out.matches("6.000").count();
         assert!(sixes >= 4, "{out}");
+    }
+
+    #[test]
+    fn faulty_sweep_adds_delivery_columns() {
+        let cmd = parse(&args(
+            "sweep --protocol dhb --rates 50 --segments 12 --duration-mins 24 --slots 200 --loss 0.1",
+        ))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("delivery %"), "{out}");
+        assert!(out.contains("stall (s)"), "{out}");
+    }
+
+    #[test]
+    fn npb_sweep_is_simulated_under_faults() {
+        let cmd = parse(&args(
+            "sweep --protocol npb --rates 50 --segments 6 --duration-mins 12 --slots 200 --loss 0.2",
+        ))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        // Simulated through the engine: labelled series plus fault columns.
+        assert!(out.contains("delivery %"), "{out}");
+        assert!(out.contains("avg streams"), "{out}");
     }
 
     #[test]

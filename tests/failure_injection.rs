@@ -100,7 +100,9 @@ fn boundary_arrivals_are_handled_exactly() {
         .measured_slots(40)
         .run(&mut audited, DeterministicArrivals::new(times));
     assert_eq!(report.total_requests, 15);
-    audited.verify(Slot::new(39)).expect("boundary arrivals safe");
+    audited
+        .verify(Slot::new(39))
+        .expect("boundary arrivals safe");
 }
 
 /// The same stress patterns must not break UD either (its on-demand
