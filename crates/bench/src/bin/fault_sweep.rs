@@ -24,7 +24,7 @@ use dhb_core::{audit_dhb, Dhb, MissCause, TimelinessAuditor};
 use vod_bench::{paper_video, Quality, FIGURE_SEED};
 use vod_protocols::npb::npb_mapping_for;
 use vod_protocols::{FixedBroadcast, StreamTapping, TappingPolicy};
-use vod_sim::{ContinuousRun, FaultPlan, PoissonProcess, SlottedRun, Table};
+use vod_sim::{ContinuousRun, FaultPlan, Journal, Observer, PoissonProcess, SlottedRun, Table};
 use vod_types::{ArrivalRate, SegmentId, Slot};
 
 /// The injected Bernoulli loss grid.
@@ -39,6 +39,15 @@ fn main() {
     let n = video.n_segments();
     let measured = quality.measured_slots;
     let last_slot = Slot::new(measured - 1);
+
+    // With --emit-metrics the DHB runs are observed; counters and timers
+    // accumulate across the whole loss grid into one snapshot.
+    let emit_metrics = vod_bench::metrics_requested();
+    let mut obs = if emit_metrics {
+        Observer::enabled(Journal::disabled())
+    } else {
+        Observer::disabled()
+    };
 
     let mut table = Table::new(vec![
         "loss %",
@@ -65,9 +74,10 @@ fn main() {
             .measured_slots(measured)
             .seed(FIGURE_SEED)
             .fault_plan(plan.clone())
-            .run(
+            .run_observed(
                 &mut dhb,
                 PoissonProcess::new(ArrivalRate::per_hour(RATE_PER_HOUR)),
+                &mut obs,
             );
         let dhb_summary = dhb.service_summary(last_slot);
         let dhb_recovery = dhb.inner().recovery_stats();
@@ -153,6 +163,11 @@ fn main() {
                 "no drop may exhaust its retries at 5% loss"
             );
         }
+    }
+
+    if emit_metrics {
+        obs.finish_timers();
+        vod_bench::emit_metrics("fault_sweep", &obs.registry);
     }
 
     vod_bench::emit(

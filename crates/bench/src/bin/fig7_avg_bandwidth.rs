@@ -12,7 +12,7 @@ use vod_bench::{figure_table, paper_video, Quality, PAPER_RATES};
 use vod_protocols::lower_bound::reactive_lower_bound;
 use vod_protocols::npb::npb_streams_for;
 use vod_protocols::{StreamTapping, TappingPolicy, UniversalDistribution};
-use vod_sim::{SweepPoint, SweepSeries};
+use vod_sim::{Journal, Observer, SweepPoint, SweepSeries};
 use vod_types::{ArrivalRate, Seconds};
 
 fn main() {
@@ -27,7 +27,17 @@ fn main() {
     eprintln!("running UD…");
     let ud = sweep.run_slotted(|| UniversalDistribution::new(n));
     eprintln!("running DHB…");
-    let dhb = sweep.run_slotted(|| Dhb::fixed_rate(n));
+    // With --emit-metrics the DHB sweep runs observed: hot-path timers and
+    // engine counters accumulate across all rates into one snapshot.
+    let dhb = if vod_bench::metrics_requested() {
+        let mut obs = Observer::enabled(Journal::disabled());
+        let series = sweep.run_slotted_observed(|| Dhb::fixed_rate(n), &mut obs);
+        obs.finish_timers();
+        vod_bench::emit_metrics("fig7", &obs.registry);
+        series
+    } else {
+        sweep.run_slotted(|| Dhb::fixed_rate(n))
+    };
 
     // NPB is deterministic: flat at its allocated streams.
     let npb_streams = npb_streams_for(n) as f64;

@@ -7,7 +7,11 @@
 //! * a quality switch (`--quick` for CI-speed runs, default for
 //!   paper-quality horizons);
 //! * uniform output: an aligned ASCII table on stdout plus a JSON record
-//!   under `bench-results/` for EXPERIMENTS.md bookkeeping.
+//!   under `bench-results/` for EXPERIMENTS.md bookkeeping;
+//! * an opt-in metrics switch (`--emit-metrics`): figure binaries that
+//!   support it run their sweeps under an [`vod_obs::Observer`] and write
+//!   the registry snapshot to `bench-results/<id>_metrics.json` via
+//!   [`emit_metrics`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -111,6 +115,29 @@ pub fn emit(id: &str, title: &str, table: &Table) {
     let path = dir.join(format!("{id}.json"));
     fs::write(&path, record.to_json_pretty()).expect("write figure record");
     println!("[record written to {}]", path.display());
+}
+
+/// True when the process was invoked with `--emit-metrics`: figure binaries
+/// that support observation should then run under an
+/// [`Observer`](vod_obs::Observer) and call [`emit_metrics`].
+#[must_use]
+pub fn metrics_requested() -> bool {
+    std::env::args().any(|a| a == "--emit-metrics")
+}
+
+/// Writes a metrics registry snapshot to
+/// `bench-results/<id>_metrics.json`, next to the figure's record.
+///
+/// # Panics
+///
+/// Panics if the results directory cannot be created or written, matching
+/// [`emit`]'s contract.
+pub fn emit_metrics(id: &str, registry: &vod_obs::Registry) {
+    let dir = results_dir();
+    fs::create_dir_all(&dir).expect("create bench-results directory");
+    let path = dir.join(format!("{id}_metrics.json"));
+    fs::write(&path, registry.to_json_pretty()).expect("write metrics snapshot");
+    println!("[metrics snapshot written to {}]", path.display());
 }
 
 impl FigureRecord<'_> {
@@ -228,5 +255,22 @@ mod tests {
     fn results_dir_is_workspace_level() {
         let dir = results_dir();
         assert!(dir.ends_with("bench-results"));
+    }
+
+    #[test]
+    fn metrics_are_opt_in() {
+        // The test harness is never invoked with --emit-metrics.
+        assert!(!metrics_requested());
+    }
+
+    #[test]
+    fn emit_metrics_writes_a_snapshot() {
+        let mut registry = vod_obs::Registry::new();
+        registry.inc("test.counter", 3);
+        emit_metrics("test_emit_metrics", &registry);
+        let path = results_dir().join("test_emit_metrics_metrics.json");
+        let json = fs::read_to_string(&path).expect("snapshot on disk");
+        assert!(json.contains("\"test.counter\": 3"), "{json}");
+        let _ = fs::remove_file(&path);
     }
 }

@@ -137,6 +137,16 @@ impl Dhb {
         )
     }
 
+    /// Attaches a structured event journal to the underlying scheduler (see
+    /// [`DhbScheduler::with_journal`]). Pass a clone of the journal handed to
+    /// the engine's observer so scheduling and engine events interleave in
+    /// one stream.
+    #[must_use]
+    pub fn with_journal(mut self, journal: vod_obs::Journal) -> Self {
+        self.scheduler = self.scheduler.with_journal(journal);
+        self
+    }
+
     /// Scheduling statistics accumulated so far.
     #[must_use]
     pub fn stats(&self) -> DhbStats {

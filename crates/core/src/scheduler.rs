@@ -3,6 +3,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 
+use vod_obs::{Event, Journal};
 use vod_types::{SegmentId, Slot};
 
 use crate::heuristic::SlotHeuristic;
@@ -130,6 +131,9 @@ pub struct DhbScheduler {
     /// the dropped instances' deadlines and retry counts.
     last_popped: Option<(u64, SlotPlan)>,
     recovery: RecoveryStats,
+    /// Structured event sink; the default disabled journal costs one branch
+    /// per emission point.
+    journal: Journal,
     // Cumulative statistics.
     new_instances: u64,
     shared_instances: u64,
@@ -182,6 +186,7 @@ impl DhbScheduler {
             max_recovery_retries: 8,
             last_popped: None,
             recovery: RecoveryStats::default(),
+            journal: Journal::disabled(),
             new_instances: 0,
             shared_instances: 0,
             requests: 0,
@@ -245,6 +250,25 @@ impl DhbScheduler {
     pub fn with_max_recovery_retries(mut self, retries: u32) -> Self {
         self.max_recovery_retries = retries;
         self
+    }
+
+    /// Attaches a structured event journal: every scheduling decision
+    /// ([`Event::InstanceScheduled`]) and recovery action
+    /// ([`Event::Rescheduled`], [`Event::PlaybackDeferred`]) is emitted into
+    /// it. Pass a clone of a shared [`Journal`] to interleave scheduler
+    /// events with the engine's. The default disabled journal costs one
+    /// branch per emission point.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = journal;
+        self
+    }
+
+    /// The attached event journal (disabled unless
+    /// [`with_journal`](Self::with_journal) was called).
+    #[must_use]
+    pub fn journal(&self) -> &Journal {
+        &self.journal
     }
 
     /// Number of segments.
@@ -408,9 +432,19 @@ impl DhbScheduler {
                 client_load[off] += 1;
                 let plan = &mut self.ring[off];
                 plan.deadline[j - 1] = plan.deadline[j - 1].min(deadline);
+                let load = plan.load;
+                let slot = self.base + off as u64;
+                self.journal.emit_with(|| Event::InstanceScheduled {
+                    segment: j as u32,
+                    shared: true,
+                    window_start: arrival.index() + 1,
+                    window_end: deadline,
+                    slot,
+                    load,
+                });
                 out.push(ScheduledSegment {
                     segment: seg,
-                    slot: Slot::new(self.base + off as u64),
+                    slot: Slot::new(slot),
                     newly_scheduled: false,
                 });
                 continue;
@@ -458,6 +492,16 @@ impl DhbScheduler {
                 self.duplicate_instances += 1;
             }
             self.place_new(seg, ring_idx, deadline, &mut client_load, &mut out);
+            let load = self.ring[ring_idx].load;
+            let slot = self.base + ring_idx as u64;
+            self.journal.emit_with(|| Event::InstanceScheduled {
+                segment: j as u32,
+                shared: false,
+                window_start: arrival.index() + 1,
+                window_end: deadline,
+                slot,
+                load,
+            });
         }
         out
     }
@@ -557,8 +601,13 @@ impl DhbScheduler {
             if deadline >= self.base {
                 // Slack remains: re-enter the need in [base, deadline].
                 let width = (deadline - self.base + 1) as usize;
-                self.replant(seg, width, deadline, retries + 1);
+                let placed = self.replant(seg, width, deadline, retries + 1);
                 self.recovery.reschedules += 1;
+                self.journal.emit_with(|| Event::Rescheduled {
+                    segment: seg.get() as u32,
+                    from_slot: slot,
+                    to_slot: placed,
+                });
             } else {
                 // Slack exhausted: degrade gracefully by deferring the
                 // dependents' playback into a fresh window instead of
@@ -567,11 +616,18 @@ impl DhbScheduler {
                 let placed = self.replant(seg, t, u64::MAX, retries + 1);
                 // Telescoping stall accounting: the dependents were owed
                 // the segment by `deadline` and now get it at `placed`.
-                self.recovery.stall_slots += placed - deadline;
+                let stall = placed - deadline;
+                self.recovery.stall_slots += stall;
                 self.recovery.deferred_starts += 1;
                 let off = (placed - self.base) as usize;
                 let d = &mut self.ring[off].deadline[idx];
                 *d = (*d).min(placed);
+                self.journal.emit_with(|| Event::PlaybackDeferred {
+                    segment: seg.get() as u32,
+                    from_slot: slot,
+                    to_slot: placed,
+                    stall_slots: stall,
+                });
             }
         }
         self.last_popped = Some((slot, plan));
@@ -1035,6 +1091,96 @@ mod tests {
         }
         assert_eq!(s.recovery_stats(), RecoveryStats::default());
         assert_eq!(s.stall_slots(), 0);
+    }
+
+    #[test]
+    fn journal_sees_every_scheduling_decision() {
+        use vod_obs::EventKind;
+        let journal = Journal::enabled();
+        let mut s = DhbScheduler::fixed_rate(6).with_journal(journal.clone());
+        let _ = s.schedule_request(Slot::new(0));
+        let _ = s.schedule_request(Slot::new(0));
+        // 6 new placements + 6 shares, all as InstanceScheduled.
+        assert_eq!(journal.count_of(EventKind::InstanceScheduled), 12);
+        let shared: Vec<bool> = journal
+            .snapshot()
+            .iter()
+            .filter_map(|r| match r.event {
+                Event::InstanceScheduled { shared, .. } => Some(shared),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(shared.iter().filter(|&&s| !s).count(), 6);
+        assert_eq!(shared.iter().filter(|&&s| s).count(), 6);
+        // Chosen slots stay inside the reported candidate window.
+        for r in journal.snapshot() {
+            if let Event::InstanceScheduled {
+                window_start,
+                window_end,
+                slot,
+                ..
+            } = r.event
+            {
+                assert!((window_start..=window_end).contains(&slot));
+            }
+        }
+    }
+
+    #[test]
+    fn journal_records_recovery_outcomes() {
+        use vod_obs::EventKind;
+        let journal = Journal::enabled();
+        // Deferral: T = [1, 4], drop S2 when it airs with no slack left.
+        let mut s = DhbScheduler::new(vec![1, 4], SlotHeuristic::MinLoadLatest)
+            .with_journal(journal.clone());
+        let _ = s.schedule_request(Slot::new(0));
+        let _ = advance_to(&mut s, 4);
+        let (_, segs) = s.pop_slot();
+        assert_eq!(segs, vec![seg(2)]);
+        s.recover_dropped(&[seg(2)]);
+        assert_eq!(journal.count_of(EventKind::PlaybackDeferred), 1);
+        assert_eq!(journal.count_of(EventKind::Rescheduled), 0);
+        let deferred = journal
+            .snapshot()
+            .into_iter()
+            .find_map(|r| match r.event {
+                Event::PlaybackDeferred {
+                    segment,
+                    from_slot,
+                    to_slot,
+                    stall_slots,
+                } => Some((segment, from_slot, to_slot, stall_slots)),
+                _ => None,
+            })
+            .expect("deferral event");
+        assert_eq!(deferred.0, 2);
+        assert_eq!(deferred.1, 4);
+        assert_eq!(deferred.3, s.recovery_stats().stall_slots);
+        assert_eq!(deferred.2, deferred.1 + deferred.3); // telescoping stall
+
+        // Reschedule: T = [3], drop S1 while slack remains.
+        let journal = Journal::enabled();
+        let mut s = DhbScheduler::new(vec![3], SlotHeuristic::EarliestPossible)
+            .with_journal(journal.clone());
+        let _ = s.schedule_request(Slot::new(0));
+        let _ = s.pop_slot();
+        let (_, segs) = s.pop_slot();
+        assert_eq!(segs, vec![seg(1)]);
+        s.recover_dropped(&[seg(1)]);
+        assert_eq!(journal.count_of(EventKind::Rescheduled), 1);
+        assert_eq!(journal.count_of(EventKind::PlaybackDeferred), 0);
+        let (from, to) = journal
+            .snapshot()
+            .into_iter()
+            .find_map(|r| match r.event {
+                Event::Rescheduled {
+                    from_slot, to_slot, ..
+                } => Some((from_slot, to_slot)),
+                _ => None,
+            })
+            .expect("reschedule event");
+        assert_eq!(from, 1);
+        assert!(s.planned_segments(Slot::new(to)).contains(&seg(1)));
     }
 
     #[test]

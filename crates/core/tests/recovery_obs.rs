@@ -1,0 +1,114 @@
+//! Recovery accounting vs the event journal: the counters kept by
+//! `RecoveryStats` and the events emitted into an attached `Journal` must
+//! tell the same story, drop for drop.
+
+use dhb_core::Dhb;
+use vod_obs::{Event, EventKind, Journal, Observer};
+use vod_sim::{FaultPlan, PoissonProcess, SlottedRun};
+use vod_types::{ArrivalRate, VideoSpec};
+
+/// Runs DHB under `plan`, returning the protocol and the shared journal.
+fn faulted_run(plan: FaultPlan, seed: u64) -> (Dhb, Journal) {
+    let journal = Journal::enabled();
+    let mut dhb = Dhb::fixed_rate(99).with_journal(journal.clone());
+    let mut obs = Observer::enabled(journal.clone());
+    let _ = SlottedRun::new(VideoSpec::paper_two_hour())
+        .warmup_slots(50)
+        .measured_slots(600)
+        .seed(seed)
+        .fault_plan(plan)
+        .run_observed(
+            &mut dhb,
+            PoissonProcess::new(ArrivalRate::per_hour(100.0)),
+            &mut obs,
+        );
+    (dhb, journal)
+}
+
+#[test]
+fn every_drop_is_accounted_exactly_once() {
+    let (dhb, _) = faulted_run(FaultPlan::none().with_loss_rate(0.05).with_seed(7), 11);
+    let rec = dhb.recovery_stats();
+    assert!(rec.drops_seen > 0, "5% loss over 600 slots must drop");
+    // The three recovery outcomes partition the drops: recovered in slack,
+    // deferred playback, or abandoned after the retry bound.
+    assert_eq!(
+        rec.drops_seen,
+        rec.reschedules + rec.deferred_starts + rec.unrecoverable
+    );
+}
+
+#[test]
+fn journal_counts_match_recovery_stats() {
+    let (dhb, journal) = faulted_run(FaultPlan::none().with_loss_rate(0.08).with_seed(3), 5);
+    let rec = dhb.recovery_stats();
+    assert!(rec.reschedules > 0);
+    assert_eq!(journal.count_of(EventKind::Rescheduled), rec.reschedules);
+    assert_eq!(
+        journal.count_of(EventKind::PlaybackDeferred),
+        rec.deferred_starts
+    );
+    assert_eq!(journal.count_of(EventKind::InstanceDropped), rec.drops_seen);
+    // Stall accounting: the sum of per-event stalls equals the counter.
+    let stall_total: u64 = journal
+        .snapshot()
+        .iter()
+        .filter_map(|r| match r.event {
+            Event::PlaybackDeferred { stall_slots, .. } => Some(stall_slots),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(stall_total, rec.stall_slots);
+}
+
+#[test]
+fn retry_exhaustion_is_counted_but_not_journalled_as_recovery() {
+    // Drop S1 every time it airs under a retry bound of 2: the first drop
+    // and two retries are recovered (journalled), the final one is declared
+    // unrecoverable — counted, but with no recovery event to show for it.
+    use dhb_core::DhbScheduler;
+    use vod_types::{SegmentId, Slot};
+    let journal = Journal::enabled();
+    let mut s = DhbScheduler::new(vec![1], dhb_core::SlotHeuristic::MinLoadLatest)
+        .with_max_recovery_retries(2)
+        .with_journal(journal.clone());
+    let _ = s.schedule_request(Slot::new(0));
+    let _ = s.pop_slot();
+    let seg1 = SegmentId::new(1).unwrap();
+    for _ in 0..10 {
+        let (_, segs) = s.pop_slot();
+        if segs.contains(&seg1) {
+            s.recover_dropped(&[seg1]);
+        }
+    }
+    let rec = s.recovery_stats();
+    assert_eq!(rec.drops_seen, 3);
+    assert_eq!(rec.unrecoverable, 1);
+    assert_eq!(
+        rec.drops_seen,
+        rec.reschedules + rec.deferred_starts + rec.unrecoverable
+    );
+    // Exactly the recovered drops appear as recovery events.
+    assert_eq!(
+        journal.count_of(EventKind::Rescheduled) + journal.count_of(EventKind::PlaybackDeferred),
+        rec.reschedules + rec.deferred_starts
+    );
+}
+
+#[test]
+fn zero_fault_run_emits_zero_fault_events() {
+    let (dhb, journal) = faulted_run(FaultPlan::none(), 9);
+    assert_eq!(dhb.recovery_stats(), Default::default());
+    for kind in [
+        EventKind::InstanceDropped,
+        EventKind::Rescheduled,
+        EventKind::PlaybackDeferred,
+        EventKind::StreamDropped,
+    ] {
+        assert_eq!(journal.count_of(kind), 0, "{}", kind.name());
+    }
+    // The scheduling side still journals normally.
+    assert!(journal.count_of(EventKind::InstanceScheduled) > 0);
+    assert!(journal.count_of(EventKind::RequestArrived) > 0);
+    assert!(journal.count_of(EventKind::SlotClosed) > 0);
+}

@@ -1,0 +1,232 @@
+//! The typed event taxonomy.
+
+use std::fmt;
+
+/// Why a scheduled transmission (or reactive stream) did not reach clients.
+///
+/// Mirrors the sim crate's fault-injection causes without depending on it:
+/// `vod-sim` provides `From<DropCause> for FaultKind` at the boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Independent per-instance channel loss.
+    Loss,
+    /// A scheduled outage window silenced the transmission.
+    Outage,
+    /// The per-slot bandwidth cap cut the transmission.
+    Capped,
+}
+
+impl FaultKind {
+    /// Stable lower-case wire name used by the JSONL schema.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Loss => "loss",
+            FaultKind::Outage => "outage",
+            FaultKind::Capped => "capped",
+        }
+    }
+
+    /// Inverse of [`name`](FaultKind::name).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<FaultKind> {
+        match name {
+            "loss" => Some(FaultKind::Loss),
+            "outage" => Some(FaultKind::Outage),
+            "capped" => Some(FaultKind::Capped),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One observable scheduling or delivery decision.
+///
+/// Slot-valued fields are absolute slot indices; `segment` is the paper's
+/// 1-based segment number `j`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A customer request arrived during `slot`.
+    RequestArrived {
+        /// Slot the arrival fell into; its schedule starts at `slot + 1`.
+        slot: u64,
+    },
+    /// The scheduler placed (or shared) one segment instance for a request.
+    InstanceScheduled {
+        /// 1-based segment number `j`.
+        segment: u32,
+        /// `true` when an existing instance inside the window was shared,
+        /// `false` when a new instance was planted.
+        shared: bool,
+        /// First slot of the candidate window (`arrival + 1`).
+        window_start: u64,
+        /// Last slot of the candidate window (`arrival + T[j]`).
+        window_end: u64,
+        /// The slot the heuristic chose.
+        slot: u64,
+        /// Load of the chosen slot after the decision.
+        load: u32,
+    },
+    /// Fault injection dropped one transmitted instance.
+    InstanceDropped {
+        /// Slot whose transmission was hit.
+        slot: u64,
+        /// Index into the slot's instance list, in transmission order.
+        instance: u32,
+        /// What dropped it.
+        cause: FaultKind,
+    },
+    /// Recovery replanted a dropped segment within its deadline slack.
+    Rescheduled {
+        /// 1-based segment number `j`.
+        segment: u32,
+        /// Slot the drop happened in.
+        from_slot: u64,
+        /// Slot the segment was replanted into.
+        to_slot: u64,
+    },
+    /// Recovery missed the deadline and deferred playback instead.
+    PlaybackDeferred {
+        /// 1-based segment number `j`.
+        segment: u32,
+        /// Slot the drop happened in.
+        from_slot: u64,
+        /// Slot the segment was replanted into, past its deadline.
+        to_slot: u64,
+        /// Whole slots of playback stall this deferral imposed.
+        stall_slots: u64,
+    },
+    /// The engine finished a slot.
+    SlotClosed {
+        /// The finished slot.
+        slot: u64,
+        /// Instances the protocol scheduled for the slot.
+        scheduled: u32,
+        /// Instances actually put on the wire after fault injection.
+        transmitted: u32,
+    },
+    /// The continuous engine lost a reactive stream (no slot structure, so
+    /// this carries the stream's start time instead).
+    StreamDropped {
+        /// Stream start time in seconds from the run origin.
+        at_secs: f64,
+        /// What dropped it.
+        cause: FaultKind,
+    },
+}
+
+/// Discriminant of [`Event`], used for eviction-proof per-kind counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// [`Event::RequestArrived`].
+    RequestArrived,
+    /// [`Event::InstanceScheduled`].
+    InstanceScheduled,
+    /// [`Event::InstanceDropped`].
+    InstanceDropped,
+    /// [`Event::Rescheduled`].
+    Rescheduled,
+    /// [`Event::PlaybackDeferred`].
+    PlaybackDeferred,
+    /// [`Event::SlotClosed`].
+    SlotClosed,
+    /// [`Event::StreamDropped`].
+    StreamDropped,
+}
+
+impl EventKind {
+    /// Number of event kinds.
+    pub const COUNT: usize = 7;
+
+    /// All kinds, in wire order.
+    pub const ALL: [EventKind; EventKind::COUNT] = [
+        EventKind::RequestArrived,
+        EventKind::InstanceScheduled,
+        EventKind::InstanceDropped,
+        EventKind::Rescheduled,
+        EventKind::PlaybackDeferred,
+        EventKind::SlotClosed,
+        EventKind::StreamDropped,
+    ];
+
+    /// Stable snake-case wire name used as the JSONL `type` field.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::RequestArrived => "request_arrived",
+            EventKind::InstanceScheduled => "instance_scheduled",
+            EventKind::InstanceDropped => "instance_dropped",
+            EventKind::Rescheduled => "rescheduled",
+            EventKind::PlaybackDeferred => "playback_deferred",
+            EventKind::SlotClosed => "slot_closed",
+            EventKind::StreamDropped => "stream_dropped",
+        }
+    }
+
+    /// Inverse of [`name`](EventKind::name).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        EventKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            EventKind::RequestArrived => 0,
+            EventKind::InstanceScheduled => 1,
+            EventKind::InstanceDropped => 2,
+            EventKind::Rescheduled => 3,
+            EventKind::PlaybackDeferred => 4,
+            EventKind::SlotClosed => 5,
+            EventKind::StreamDropped => 6,
+        }
+    }
+}
+
+impl Event {
+    /// This event's discriminant.
+    #[must_use]
+    pub fn kind(&self) -> EventKind {
+        match self {
+            Event::RequestArrived { .. } => EventKind::RequestArrived,
+            Event::InstanceScheduled { .. } => EventKind::InstanceScheduled,
+            Event::InstanceDropped { .. } => EventKind::InstanceDropped,
+            Event::Rescheduled { .. } => EventKind::Rescheduled,
+            Event::PlaybackDeferred { .. } => EventKind::PlaybackDeferred,
+            Event::SlotClosed { .. } => EventKind::SlotClosed,
+            Event::StreamDropped { .. } => EventKind::StreamDropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in EventKind::ALL {
+            assert_eq!(EventKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(EventKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn fault_names_round_trip() {
+        for kind in [FaultKind::Loss, FaultKind::Outage, FaultKind::Capped] {
+            assert_eq!(FaultKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(FaultKind::from_name(""), None);
+    }
+
+    #[test]
+    fn kind_indices_are_dense() {
+        for (i, kind) in EventKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! The [`Observer`]: the bundle the sim engines thread through a run.
+
+use crate::journal::Journal;
+use crate::registry::Registry;
+use crate::timer::HotTimer;
+
+/// Everything an instrumented run collects: a journal handle, a registry and
+/// the three hot-path timers. Engines take `&mut Observer`;
+/// [`Observer::disabled`] makes every instrumentation point a single branch.
+///
+/// The timers live here (not in the registry) so the hot paths pay no map
+/// lookup; [`finish_timers`](Observer::finish_timers) folds them into the
+/// registry as `timer.schedule_ns`, `timer.engine_step_ns` and
+/// `timer.recovery_ns` once the run ends.
+#[derive(Debug, Default)]
+pub struct Observer {
+    /// Event sink, shared (via clone) with whoever else emits — typically the
+    /// DHB scheduler.
+    pub journal: Journal,
+    /// Named metrics filled in at the end of a run.
+    pub registry: Registry,
+    /// Time spent in `on_request` (the `DhbScheduler::schedule_request` hot
+    /// path for DHB).
+    pub schedule_timer: HotTimer,
+    /// Time spent producing each slot's transmissions (the engine step).
+    pub step_timer: HotTimer,
+    /// Time spent in `on_slot_outcome` (recovery rescheduling for DHB).
+    pub recovery_timer: HotTimer,
+    enabled: bool,
+    progress_every: u64,
+}
+
+impl Observer {
+    /// An observer that records nothing — instrumented code paths reduce to
+    /// one branch per probe.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Observer::default()
+    }
+
+    /// An enabled observer collecting events into `journal`.
+    #[must_use]
+    pub fn enabled(journal: Journal) -> Self {
+        Observer {
+            journal,
+            registry: Registry::new(),
+            schedule_timer: HotTimer::new(),
+            step_timer: HotTimer::new(),
+            recovery_timer: HotTimer::new(),
+            enabled: true,
+            progress_every: 0,
+        }
+    }
+
+    /// Emits a heartbeat line to stderr every `every` slots (0 disables).
+    #[must_use]
+    pub fn progress_every(mut self, every: u64) -> Self {
+        self.progress_every = every;
+        self
+    }
+
+    /// Whether metrics and timers are being collected.
+    #[inline]
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Times `f` on the schedule timer when enabled, else just runs it.
+    #[inline]
+    pub fn time_schedule<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        if self.enabled {
+            self.schedule_timer.time(f)
+        } else {
+            f()
+        }
+    }
+
+    /// Times `f` on the engine-step timer when enabled, else just runs it.
+    #[inline]
+    pub fn time_step<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        if self.enabled {
+            self.step_timer.time(f)
+        } else {
+            f()
+        }
+    }
+
+    /// Times `f` on the recovery timer when enabled, else just runs it.
+    #[inline]
+    pub fn time_recovery<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        if self.enabled {
+            self.recovery_timer.time(f)
+        } else {
+            f()
+        }
+    }
+
+    /// Prints a progress heartbeat when `done` crosses the configured
+    /// interval. `total` of 0 means the horizon is unknown.
+    #[inline]
+    pub fn heartbeat(&self, done: u64, total: u64, unit: &str) {
+        if self.progress_every != 0 && done != 0 && done.is_multiple_of(self.progress_every) {
+            if total != 0 {
+                eprintln!("[obs] {done}/{total} {unit}");
+            } else {
+                eprintln!("[obs] {done} {unit}");
+            }
+        }
+    }
+
+    /// Folds the hot-path timers into the registry under the `timer.*`
+    /// names. Call once, after the run.
+    pub fn finish_timers(&mut self) {
+        for (name, timer) in [
+            ("timer.schedule_ns", &self.schedule_timer),
+            ("timer.engine_step_ns", &self.step_timer),
+            ("timer.recovery_ns", &self.recovery_timer),
+        ] {
+            if timer.histogram().count() > 0 {
+                self.registry.merge_histogram(name, timer.histogram());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    #[test]
+    fn disabled_observer_is_inert() {
+        let mut obs = Observer::disabled();
+        assert!(!obs.is_enabled());
+        assert!(!obs.journal.is_enabled());
+        let out = obs.time_schedule(|| 42);
+        assert_eq!(out, 42);
+        obs.finish_timers();
+        assert!(obs.registry.is_empty());
+    }
+
+    #[test]
+    fn enabled_observer_times_and_folds() {
+        let mut obs = Observer::enabled(Journal::with_capacity(4));
+        assert!(obs.is_enabled());
+        obs.journal.emit(Event::RequestArrived { slot: 0 });
+        let _ = obs.time_schedule(|| std::hint::black_box((0..100u64).sum::<u64>()));
+        obs.time_step(|| ());
+        obs.finish_timers();
+        assert_eq!(
+            obs.registry.histogram("timer.schedule_ns").unwrap().count(),
+            1
+        );
+        assert_eq!(
+            obs.registry
+                .histogram("timer.engine_step_ns")
+                .unwrap()
+                .count(),
+            1
+        );
+        // The recovery timer never fired, so it must not appear.
+        assert!(obs.registry.histogram("timer.recovery_ns").is_none());
+        assert_eq!(obs.journal.len(), 1);
+    }
+}

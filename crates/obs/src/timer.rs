@@ -1,0 +1,282 @@
+//! Log-bucketed histograms and hot-path timers.
+
+use std::time::Instant;
+
+/// A power-of-two log-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` covers `[2^(i-1), 2^i)` (bucket 0 holds zeros), so 65 buckets
+/// cover the whole `u64` range with ≤2× relative quantile error — plenty for
+/// ns/op timing, where the interesting differences are multiplicative.
+/// Exact min, max and sum are tracked alongside.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample, `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact mean of the samples (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket holding the `p`-quantile sample, clamped to
+    /// the exact observed `[min, max]`. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&p), "quantile level must be in [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let threshold = (p * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= threshold {
+                // Bucket idx covers [2^(idx-1), 2^idx - 1]; report its upper
+                // bound, clamped to what was actually observed.
+                let upper = if idx == 0 {
+                    0
+                } else if idx >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << idx) - 1
+                };
+                return Some(upper.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A histogram-backed accumulator for hot-path durations in nanoseconds.
+///
+/// Hot paths own their timer directly (no registry map lookup per
+/// operation) and fold it into a [`Registry`](crate::Registry) once at the
+/// end of a run via
+/// [`Registry::merge_histogram`](crate::Registry::merge_histogram).
+#[derive(Debug, Clone, Default)]
+pub struct HotTimer {
+    hist: LogHistogram,
+}
+
+impl HotTimer {
+    /// Creates an idle timer.
+    #[must_use]
+    pub fn new() -> Self {
+        HotTimer::default()
+    }
+
+    /// Records an already-measured duration.
+    #[inline]
+    pub fn record_ns(&mut self, ns: u64) {
+        self.hist.record(ns);
+    }
+
+    /// Times `f` and records the elapsed nanoseconds.
+    #[inline]
+    pub fn time<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.record_ns(elapsed_ns(start));
+        out
+    }
+
+    /// Starts a guard that records on drop — for spans that don't fit a
+    /// closure.
+    pub fn start(&mut self) -> ScopedTimer<'_> {
+        ScopedTimer {
+            timer: self,
+            start: Instant::now(),
+        }
+    }
+
+    /// The recorded distribution.
+    #[must_use]
+    pub fn histogram(&self) -> &LogHistogram {
+        &self.hist
+    }
+}
+
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Records the span from [`HotTimer::start`] until drop.
+#[derive(Debug)]
+pub struct ScopedTimer<'a> {
+    timer: &'a mut HotTimer,
+    start: Instant,
+}
+
+impl Drop for ScopedTimer<'_> {
+    fn drop(&mut self) {
+        let ns = elapsed_ns(self.start);
+        self.timer.record_ns(ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn bucket_bounds() {
+        assert_eq!(LogHistogram::bucket_index(0), 0);
+        assert_eq!(LogHistogram::bucket_index(1), 1);
+        assert_eq!(LogHistogram::bucket_index(2), 2);
+        assert_eq!(LogHistogram::bucket_index(3), 2);
+        assert_eq!(LogHistogram::bucket_index(4), 3);
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn quantiles_within_2x() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(1000));
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        let p50 = h.quantile(0.5).unwrap();
+        // The true median 500 lands in bucket [256, 511].
+        assert!((500..=1000).contains(&p50), "p50 = {p50}");
+        assert!(p50 <= 2 * 500);
+        assert_eq!(h.quantile(1.0), Some(1000));
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        let mut h = LogHistogram::new();
+        h.record(700);
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(p), Some(700));
+        }
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        for v in 0..100u64 {
+            whole.record(v * 7);
+            if v % 2 == 0 {
+                a.record(v * 7);
+            } else {
+                b.record(v * 7);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.quantile(0.9), whole.quantile(0.9));
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timer_records_positive_durations() {
+        let mut t = HotTimer::new();
+        let out = t.time(|| std::hint::black_box((0..1000u64).sum::<u64>()));
+        assert_eq!(out, 499_500);
+        {
+            let _guard = t.start();
+            std::hint::black_box((0..1000u64).product::<u64>());
+        }
+        assert_eq!(t.histogram().count(), 2);
+        assert!(t.histogram().max().unwrap() > 0);
+    }
+}

@@ -59,6 +59,34 @@ pub struct ServerReport {
     pub per_video: Vec<VideoReport>,
 }
 
+impl ServerReport {
+    /// Exports the report into a metrics [`Registry`](vod_obs::Registry)
+    /// under the `server.*` namespace: aggregate gauges plus per-video
+    /// `server.video.<id>.*` breakdowns, so catalog runs serialize through
+    /// the same snapshot pipeline as engine runs.
+    pub fn export_metrics(&self, registry: &mut vod_obs::Registry) {
+        registry.set_gauge("server.total_avg_streams", self.total_avg.get());
+        registry.set_gauge(
+            "server.peak_upper_bound_streams",
+            self.peak_upper_bound.get(),
+        );
+        if let Some(peak) = self.joint_peak {
+            registry.set_gauge("server.joint_peak_streams", peak.get());
+        }
+        registry.set_gauge("server.delivery_ratio", self.delivery_ratio);
+        registry.set_gauge("server.total_stall_secs", self.total_stall_secs);
+        registry.inc("server.videos", self.per_video.len() as u64);
+        for video in &self.per_video {
+            let base = format!("server.video.{}", video.id.0);
+            registry.set_gauge(&format!("{base}.rate_per_hour"), video.rate.as_per_hour());
+            registry.set_gauge(&format!("{base}.avg_streams"), video.avg.get());
+            registry.set_gauge(&format!("{base}.peak_streams"), video.peak.get());
+            registry.set_gauge(&format!("{base}.delivery_ratio"), video.delivery_ratio);
+            registry.set_gauge(&format!("{base}.stall_secs"), video.stall_secs);
+        }
+    }
+}
+
 impl fmt::Display for ServerReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -435,6 +463,38 @@ mod tests {
         // deterministic.
         let again = server.simulate(&Policy::DhbEverywhere);
         assert_eq!(dhb, again);
+    }
+
+    #[test]
+    fn export_metrics_mirrors_the_report() {
+        let server = small_server();
+        let report = server.simulate(&Policy::DhbEverywhere);
+        let mut registry = vod_obs::Registry::new();
+        report.export_metrics(&mut registry);
+        assert_eq!(registry.counter("server.videos"), 6);
+        assert_eq!(
+            registry.gauge("server.total_avg_streams"),
+            Some(report.total_avg.get())
+        );
+        assert_eq!(
+            registry.gauge("server.joint_peak_streams"),
+            report.joint_peak.map(|p| p.get())
+        );
+        for video in &report.per_video {
+            let base = format!("server.video.{}", video.id.0);
+            assert_eq!(
+                registry.gauge(&format!("{base}.avg_streams")),
+                Some(video.avg.get()),
+                "{base}"
+            );
+            assert_eq!(
+                registry.gauge(&format!("{base}.delivery_ratio")),
+                Some(video.delivery_ratio)
+            );
+        }
+        // The snapshot serializes deterministically.
+        let json = registry.to_json_pretty();
+        assert!(json.contains("\"server.total_avg_streams\""));
     }
 
     #[test]

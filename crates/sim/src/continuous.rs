@@ -1,5 +1,6 @@
 //! The continuous-time engine for reactive protocols.
 
+use vod_obs::{Event, Observer};
 use vod_types::{Seconds, Streams};
 
 use crate::arrivals::ArrivalProcess;
@@ -157,7 +158,29 @@ impl ContinuousRun {
     /// # Panics
     ///
     /// Panics if the warm-up is not shorter than the horizon.
-    pub fn run<P, A>(&self, protocol: &mut P, mut arrivals: A) -> ContinuousReport
+    pub fn run<P, A>(&self, protocol: &mut P, arrivals: A) -> ContinuousReport
+    where
+        P: ContinuousProtocol + ?Sized,
+        A: ArrivalProcess,
+    {
+        self.run_observed(protocol, arrivals, &mut Observer::disabled())
+    }
+
+    /// Like [`run`](ContinuousRun::run), but threads an [`Observer`] through
+    /// the loop. The continuous engine has no slot structure, so the journal
+    /// carries [`Event::StreamDropped`] (with the stream's start time) rather
+    /// than the slotted per-slot events; `on_request` is timed on the
+    /// schedule timer and the heartbeat counts requests instead of slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the warm-up is not shorter than the horizon.
+    pub fn run_observed<P, A>(
+        &self,
+        protocol: &mut P,
+        mut arrivals: A,
+        obs: &mut Observer,
+    ) -> ContinuousReport
     where
         P: ContinuousProtocol + ?Sized,
         A: ArrivalProcess,
@@ -183,17 +206,21 @@ impl ContinuousRun {
             }
             requests += 1;
             let mut failed = false;
-            for interval in protocol.on_request(t) {
+            for interval in obs.time_schedule(|| protocol.on_request(t)) {
                 if interval.is_empty() {
                     continue;
                 }
                 let cause = injector.apply_stream(interval.start);
                 faults.record_stream(cause);
-                if cause.is_some() {
+                if let Some(cause) = cause {
                     // The stream is lost whole; the request that triggered
                     // it goes unserved (reactive protocols have no recovery
                     // path). Tap-sharing dependents are not tracked.
                     failed = true;
+                    obs.journal.emit_with(|| Event::StreamDropped {
+                        at_secs: interval.start.as_secs_f64(),
+                        cause: cause.into(),
+                    });
                     continue;
                 }
                 streams_started += 1;
@@ -204,9 +231,30 @@ impl ContinuousRun {
             if failed {
                 failed_requests += 1;
             }
+            obs.heartbeat(requests, 0, "requests");
         }
 
         let window = window_end - window_start;
+        if obs.is_enabled() {
+            let r = &mut obs.registry;
+            r.inc("sim.requests", requests);
+            r.inc("sim.failed_requests", failed_requests);
+            r.inc("sim.streams_started", streams_started);
+            r.inc("fault.scheduled", faults.scheduled);
+            r.inc("fault.delivered", faults.delivered);
+            r.inc("fault.lost", faults.lost);
+            r.inc("fault.outage_dropped", faults.outage_dropped);
+            r.inc("fault.capped", faults.capped);
+            r.set_gauge(
+                "sim.avg_bandwidth_streams",
+                overlap.total_busy_time() / window,
+            );
+            r.set_gauge(
+                "sim.max_bandwidth_streams",
+                f64::from(overlap.max_concurrent()),
+            );
+            r.set_gauge("sim.delivery_ratio", faults.delivery_ratio());
+        }
         ContinuousReport {
             avg_bandwidth: Streams::new(overlap.total_busy_time() / window),
             max_bandwidth: Streams::new(f64::from(overlap.max_concurrent())),

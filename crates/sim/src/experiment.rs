@@ -1,5 +1,6 @@
 //! Arrival-rate sweeps — the harness behind Figures 7, 8 and 9.
 
+use vod_obs::Observer;
 use vod_types::{ArrivalRate, Seconds, VideoSpec};
 
 use crate::arrivals::PoissonProcess;
@@ -185,7 +186,19 @@ impl RateSweep {
     }
 
     /// Runs a slotted protocol (rebuilt fresh per rate) over every rate.
-    pub fn run_slotted<P, F>(&self, mut factory: F) -> SweepSeries
+    pub fn run_slotted<P, F>(&self, factory: F) -> SweepSeries
+    where
+        P: SlottedProtocol,
+        F: FnMut() -> P,
+    {
+        self.run_slotted_observed(factory, &mut Observer::disabled())
+    }
+
+    /// Like [`run_slotted`](RateSweep::run_slotted), threading one
+    /// [`Observer`] through every rate's run: per-rate counters and timer
+    /// samples accumulate into the same registry and journal, giving the
+    /// sweep-level totals benches emit with `--emit-metrics`.
+    pub fn run_slotted_observed<P, F>(&self, mut factory: F, obs: &mut Observer) -> SweepSeries
     where
         P: SlottedProtocol,
         F: FnMut() -> P,
@@ -202,7 +215,7 @@ impl RateSweep {
                 .measured_slots(self.measured_slots)
                 .seed(self.seed_for(idx))
                 .fault_plan(self.fault_plan.clone())
-                .run(&mut protocol, PoissonProcess::new(rate));
+                .run_observed(&mut protocol, PoissonProcess::new(rate), obs);
             points.push(SweepPoint {
                 rate_per_hour: rate.as_per_hour(),
                 avg_streams: report.avg_bandwidth.get(),

@@ -48,6 +48,19 @@ impl std::fmt::Display for DropCause {
     }
 }
 
+/// The observability crate mirrors these causes without depending on the sim
+/// layer; this is the boundary conversion the engines use when journalling
+/// drop events.
+impl From<DropCause> for vod_obs::FaultKind {
+    fn from(cause: DropCause) -> Self {
+        match cause {
+            DropCause::Loss => vod_obs::FaultKind::Loss,
+            DropCause::Outage => vod_obs::FaultKind::Outage,
+            DropCause::Capped => vod_obs::FaultKind::Capped,
+        }
+    }
+}
+
 /// A deterministic, seeded description of channel faults for one run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {

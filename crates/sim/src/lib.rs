@@ -58,3 +58,5 @@ pub use metrics::{LoadHistogram, RunningStats, TimeWeightedMax};
 pub use report::{csv_table, render_table, Table};
 pub use rng::SimRng;
 pub use slotted::{SlottedProtocol, SlottedReport, SlottedRun};
+pub use vod_obs as obs;
+pub use vod_obs::{Event, EventKind, FaultKind, Journal, Observer, Registry};

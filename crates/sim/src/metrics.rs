@@ -1,403 +1,8 @@
 //! Streaming statistics for simulation outputs.
+//!
+//! These types now live in the observability crate (`vod-obs`), where the
+//! metrics registry can snapshot them; this module re-exports them so every
+//! existing `vod_sim::metrics::…` / `vod_sim::RunningStats` path keeps
+//! working. See [`vod_obs::Registry`] for the registry that absorbed them.
 
-use std::fmt;
-
-/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
-///
-/// Used for the per-slot bandwidth series behind Figures 7 and 8: the slotted
-/// engine observes millions of slots and never materialises the series.
-///
-/// # Example
-///
-/// ```
-/// use vod_sim::RunningStats;
-///
-/// let mut s = RunningStats::new();
-/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
-///     s.push(x);
-/// }
-/// assert_eq!(s.mean(), 5.0);
-/// assert_eq!(s.max(), Some(9.0));
-/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
-/// ```
-#[derive(Debug, Clone, Default)]
-pub struct RunningStats {
-    count: u64,
-    mean: f64,
-    m2: f64,
-    min: f64,
-    max: f64,
-}
-
-impl RunningStats {
-    /// Creates an empty accumulator.
-    #[must_use]
-    pub fn new() -> Self {
-        RunningStats {
-            count: 0,
-            mean: 0.0,
-            m2: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
-    }
-
-    /// Adds an observation.
-    pub fn push(&mut self, x: f64) {
-        self.count += 1;
-        let delta = x - self.mean;
-        self.mean += delta / self.count as f64;
-        self.m2 += delta * (x - self.mean);
-        self.min = self.min.min(x);
-        self.max = self.max.max(x);
-    }
-
-    /// Number of observations.
-    #[must_use]
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Sample mean (0 when empty).
-    #[must_use]
-    pub fn mean(&self) -> f64 {
-        self.mean
-    }
-
-    /// Population variance (0 when empty).
-    #[must_use]
-    pub fn population_variance(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.m2 / self.count as f64
-        }
-    }
-
-    /// Population standard deviation.
-    #[must_use]
-    pub fn std_dev(&self) -> f64 {
-        self.population_variance().sqrt()
-    }
-
-    /// Smallest observation, `None` when empty.
-    #[must_use]
-    pub fn min(&self) -> Option<f64> {
-        (self.count > 0).then_some(self.min)
-    }
-
-    /// Largest observation, `None` when empty.
-    #[must_use]
-    pub fn max(&self) -> Option<f64> {
-        (self.count > 0).then_some(self.max)
-    }
-
-    /// Merges another accumulator into this one (parallel Welford).
-    pub fn merge(&mut self, other: &RunningStats) {
-        if other.count == 0 {
-            return;
-        }
-        if self.count == 0 {
-            *self = other.clone();
-            return;
-        }
-        let n1 = self.count as f64;
-        let n2 = other.count as f64;
-        let delta = other.mean - self.mean;
-        let total = n1 + n2;
-        self.mean += delta * n2 / total;
-        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
-        self.count += other.count;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
-    }
-}
-
-impl fmt::Display for RunningStats {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
-            self.count,
-            self.mean,
-            self.std_dev(),
-            self.min().unwrap_or(f64::NAN),
-            self.max().unwrap_or(f64::NAN)
-        )
-    }
-}
-
-impl Extend<f64> for RunningStats {
-    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
-        for x in iter {
-            self.push(x);
-        }
-    }
-}
-
-/// Histogram of integer slot loads (number of segment instances per slot).
-///
-/// Complements [`RunningStats`] where the full distribution matters — e.g.
-/// quantifying how often DHB's per-slot bandwidth exceeds NPB's fixed stream
-/// count (the Fig. 8 discussion).
-#[derive(Debug, Clone, Default)]
-pub struct LoadHistogram {
-    counts: Vec<u64>,
-    total: u64,
-}
-
-impl LoadHistogram {
-    /// Creates an empty histogram.
-    #[must_use]
-    pub fn new() -> Self {
-        LoadHistogram::default()
-    }
-
-    /// Records one slot with the given load.
-    pub fn record(&mut self, load: u32) {
-        let idx = load as usize;
-        if idx >= self.counts.len() {
-            self.counts.resize(idx + 1, 0);
-        }
-        self.counts[idx] += 1;
-        self.total += 1;
-    }
-
-    /// Number of slots recorded.
-    #[must_use]
-    pub fn total(&self) -> u64 {
-        self.total
-    }
-
-    /// Number of slots with exactly `load` instances.
-    #[must_use]
-    pub fn count_at(&self, load: u32) -> u64 {
-        self.counts.get(load as usize).copied().unwrap_or(0)
-    }
-
-    /// Largest observed load, `None` when empty.
-    #[must_use]
-    pub fn max_load(&self) -> Option<u32> {
-        self.counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .map(|idx| idx as u32)
-    }
-
-    /// The smallest load `q` such that at least `p` (0..=1) of slots have
-    /// load ≤ `q`. `None` when empty.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `p` is outside `[0, 1]`.
-    #[must_use]
-    pub fn quantile(&self, p: f64) -> Option<u32> {
-        assert!((0.0..=1.0).contains(&p), "quantile level must be in [0, 1]");
-        if self.total == 0 {
-            return None;
-        }
-        let threshold = (p * self.total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (load, &count) in self.counts.iter().enumerate() {
-            seen += count;
-            if seen >= threshold {
-                return Some(load as u32);
-            }
-        }
-        self.max_load()
-    }
-
-    /// Fraction of slots whose load exceeds `load`.
-    #[must_use]
-    pub fn fraction_above(&self, load: u32) -> f64 {
-        if self.total == 0 {
-            return 0.0;
-        }
-        let above: u64 = self
-            .counts
-            .iter()
-            .enumerate()
-            .skip(load as usize + 1)
-            .map(|(_, &c)| c)
-            .sum();
-        above as f64 / self.total as f64
-    }
-
-    /// Mean load.
-    #[must_use]
-    pub fn mean(&self) -> f64 {
-        if self.total == 0 {
-            return 0.0;
-        }
-        let sum: f64 = self
-            .counts
-            .iter()
-            .enumerate()
-            .map(|(load, &c)| load as f64 * c as f64)
-            .sum();
-        sum / self.total as f64
-    }
-}
-
-/// Tracks the maximum number of concurrent intervals over continuous time.
-///
-/// Reactive protocols transmit streams as `[start, end)` intervals; the
-/// maximum overlap is the protocol's peak bandwidth in streams. The sweep is
-/// done lazily over the recorded endpoints.
-#[derive(Debug, Clone, Default)]
-pub struct TimeWeightedMax {
-    /// `(time, +1/-1)` endpoint events.
-    events: Vec<(f64, i32)>,
-}
-
-impl TimeWeightedMax {
-    /// Creates an empty tracker.
-    #[must_use]
-    pub fn new() -> Self {
-        TimeWeightedMax::default()
-    }
-
-    /// Records one interval `[start, end)`. Empty or inverted intervals are
-    /// ignored.
-    pub fn add_interval(&mut self, start: f64, end: f64) {
-        if end > start {
-            self.events.push((start, 1));
-            self.events.push((end, -1));
-        }
-    }
-
-    /// Maximum overlap across all recorded intervals.
-    #[must_use]
-    pub fn max_concurrent(&self) -> u32 {
-        let mut events = self.events.clone();
-        // Ends sort before starts at equal times: [a, b) and [b, c) overlap
-        // in at most a point, which has measure zero.
-        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        let mut current = 0i64;
-        let mut max = 0i64;
-        for (_, delta) in events {
-            current += i64::from(delta);
-            max = max.max(current);
-        }
-        max.max(0) as u32
-    }
-
-    /// Total interval-time recorded (the integral of the overlap count).
-    #[must_use]
-    pub fn total_busy_time(&self) -> f64 {
-        self.events
-            .iter()
-            .map(|&(t, delta)| -t * f64::from(delta))
-            .sum()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn running_stats_textbook_example() {
-        let mut s = RunningStats::new();
-        s.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
-        assert_eq!(s.count(), 8);
-        assert_eq!(s.mean(), 5.0);
-        assert!((s.population_variance() - 4.0).abs() < 1e-12);
-        assert_eq!(s.std_dev(), 2.0);
-        assert_eq!(s.min(), Some(2.0));
-        assert_eq!(s.max(), Some(9.0));
-    }
-
-    #[test]
-    fn running_stats_empty() {
-        let s = RunningStats::new();
-        assert_eq!(s.mean(), 0.0);
-        assert_eq!(s.min(), None);
-        assert_eq!(s.max(), None);
-        assert_eq!(s.population_variance(), 0.0);
-    }
-
-    #[test]
-    fn merge_equals_sequential() {
-        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
-        let mut whole = RunningStats::new();
-        whole.extend(data.iter().copied());
-
-        let mut left = RunningStats::new();
-        left.extend(data[..37].iter().copied());
-        let mut right = RunningStats::new();
-        right.extend(data[37..].iter().copied());
-        left.merge(&right);
-
-        assert_eq!(left.count(), whole.count());
-        assert!((left.mean() - whole.mean()).abs() < 1e-12);
-        assert!((left.population_variance() - whole.population_variance()).abs() < 1e-9);
-        assert_eq!(left.max(), whole.max());
-    }
-
-    #[test]
-    fn merge_with_empty_is_identity() {
-        let mut a = RunningStats::new();
-        a.extend([1.0, 2.0]);
-        let before = a.mean();
-        a.merge(&RunningStats::new());
-        assert_eq!(a.mean(), before);
-
-        let mut empty = RunningStats::new();
-        empty.merge(&a);
-        assert_eq!(empty.count(), 2);
-        assert_eq!(empty.mean(), before);
-    }
-
-    #[test]
-    fn histogram_counts_and_quantiles() {
-        let mut h = LoadHistogram::new();
-        for load in [0, 1, 1, 2, 2, 2, 3, 8] {
-            h.record(load);
-        }
-        assert_eq!(h.total(), 8);
-        assert_eq!(h.count_at(2), 3);
-        assert_eq!(h.max_load(), Some(8));
-        assert_eq!(h.quantile(0.5), Some(2));
-        assert_eq!(h.quantile(1.0), Some(8));
-        assert_eq!(h.quantile(0.0), Some(0));
-        assert!((h.fraction_above(2) - 0.25).abs() < 1e-12);
-        assert!((h.mean() - 19.0 / 8.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn histogram_empty() {
-        let h = LoadHistogram::new();
-        assert_eq!(h.max_load(), None);
-        assert_eq!(h.quantile(0.5), None);
-        assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.fraction_above(0), 0.0);
-    }
-
-    #[test]
-    fn interval_overlap_basic() {
-        let mut t = TimeWeightedMax::new();
-        t.add_interval(0.0, 10.0);
-        t.add_interval(5.0, 15.0);
-        t.add_interval(20.0, 30.0);
-        assert_eq!(t.max_concurrent(), 2);
-        assert!((t.total_busy_time() - 30.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn touching_intervals_do_not_overlap() {
-        let mut t = TimeWeightedMax::new();
-        t.add_interval(0.0, 10.0);
-        t.add_interval(10.0, 20.0);
-        assert_eq!(t.max_concurrent(), 1);
-    }
-
-    #[test]
-    fn degenerate_intervals_ignored() {
-        let mut t = TimeWeightedMax::new();
-        t.add_interval(5.0, 5.0);
-        t.add_interval(7.0, 3.0);
-        assert_eq!(t.max_concurrent(), 0);
-        assert_eq!(t.total_busy_time(), 0.0);
-    }
-}
+pub use vod_obs::{LoadHistogram, RunningStats, TimeWeightedMax};

@@ -1,5 +1,6 @@
 //! The slotted simulation engine.
 
+use vod_obs::{Event, Observer};
 use vod_types::{Seconds, Slot, Streams, VideoSpec};
 
 use crate::arrivals::ArrivalProcess;
@@ -181,7 +182,26 @@ impl SlottedRun {
     }
 
     /// Runs `protocol` against `arrivals` and collects bandwidth statistics.
-    pub fn run<P, A>(&self, protocol: &mut P, mut arrivals: A) -> SlottedReport
+    pub fn run<P, A>(&self, protocol: &mut P, arrivals: A) -> SlottedReport
+    where
+        P: SlottedProtocol + ?Sized,
+        A: ArrivalProcess,
+    {
+        self.run_observed(protocol, arrivals, &mut Observer::disabled())
+    }
+
+    /// Like [`run`](SlottedRun::run), but threads an [`Observer`] through the
+    /// loop: requests, drops and slot closures are journalled, the protocol
+    /// callbacks are timed (`timer.schedule_ns` / `timer.engine_step_ns` /
+    /// `timer.recovery_ns`), and the run's totals land in the observer's
+    /// registry under `sim.*` and `fault.*`. With [`Observer::disabled`] each
+    /// probe is one branch and the run is bit-identical to [`run`].
+    pub fn run_observed<P, A>(
+        &self,
+        protocol: &mut P,
+        mut arrivals: A,
+        obs: &mut Observer,
+    ) -> SlottedReport
     where
         P: SlottedProtocol + ?Sized,
         A: ArrivalProcess,
@@ -207,7 +227,9 @@ impl SlottedRun {
                 if t.as_secs_f64() >= slot_end {
                     break;
                 }
-                protocol.on_request(slot);
+                obs.journal
+                    .emit_with(|| Event::RequestArrived { slot: slot_idx });
+                obs.time_schedule(|| protocol.on_request(slot));
                 total_requests += 1;
                 if slot_idx >= self.warmup_slots {
                     measured_requests += 1;
@@ -217,20 +239,52 @@ impl SlottedRun {
                 }
                 pending = arrivals.next_arrival(&mut rng);
             }
-            let scheduled = protocol.transmissions_in(slot);
+            let scheduled = obs.time_step(|| protocol.transmissions_in(slot));
             let outcome = injector.apply_slot(slot, Seconds::new(slot_idx as f64 * d), scheduled);
             faults.record(&outcome);
             // Bandwidth = what the server put on the wire: capped and
             // outage-silenced instances never aired; lost ones did.
             let load = outcome.transmitted();
-            protocol.on_slot_outcome(&outcome);
+            if obs.journal.is_enabled() {
+                for &(instance, cause) in &outcome.dropped {
+                    obs.journal.emit(Event::InstanceDropped {
+                        slot: slot_idx,
+                        instance,
+                        cause: cause.into(),
+                    });
+                }
+            }
+            obs.time_recovery(|| protocol.on_slot_outcome(&outcome));
+            obs.journal.emit_with(|| Event::SlotClosed {
+                slot: slot_idx,
+                scheduled,
+                transmitted: load,
+            });
             if slot_idx >= self.warmup_slots {
                 stats.push(f64::from(load));
                 histogram.record(load);
             }
+            obs.heartbeat(slot_idx + 1, total_slots, "slots");
         }
 
         let stall_slots = protocol.stall_slots();
+        if obs.is_enabled() {
+            let r = &mut obs.registry;
+            r.inc("sim.slots", total_slots);
+            r.inc("sim.requests", total_requests);
+            r.inc("sim.measured_requests", measured_requests);
+            r.inc("sim.stall_slots", stall_slots);
+            r.inc("fault.scheduled", faults.scheduled);
+            r.inc("fault.delivered", faults.delivered);
+            r.inc("fault.lost", faults.lost);
+            r.inc("fault.outage_dropped", faults.outage_dropped);
+            r.inc("fault.capped", faults.capped);
+            r.set_gauge("sim.avg_bandwidth_streams", stats.mean());
+            r.set_gauge("sim.max_bandwidth_streams", stats.max().unwrap_or(0.0));
+            r.set_gauge("sim.wait_mean_secs", wait_stats.mean());
+            r.set_gauge("sim.delivery_ratio", faults.delivery_ratio());
+            r.record_load_quantiles("sim.slot_load", &histogram);
+        }
         SlottedReport {
             avg_bandwidth: Streams::new(stats.mean()),
             max_bandwidth: Streams::new(stats.max().unwrap_or(0.0)),

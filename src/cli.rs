@@ -17,13 +17,14 @@
 use std::fmt;
 
 use dhb_core::{Dhb, DhbScheduler};
+use vod_obs::{jsonl, EventKind, Journal, Observer};
 use vod_protocols::npb::{npb_mapping_for, npb_streams_for};
 use vod_protocols::{
     DynamicNpb, DynamicSb, FixedBroadcast, Patching, StreamTapping, TappingPolicy,
     UniversalDistribution,
 };
 use vod_server::{Catalog, Policy, Server};
-use vod_sim::{render_table, FaultPlan, RateSweep, Table};
+use vod_sim::{render_table, FaultPlan, PoissonProcess, RateSweep, SlottedRun, Table};
 use vod_trace::periods::relaxed_segments;
 use vod_trace::{BroadcastPlan, FilmPreset};
 use vod_types::{ArrivalRate, Seconds, Slot, VideoSpec};
@@ -83,6 +84,39 @@ pub enum Command {
         /// Arrival slots.
         arrivals: Vec<u64>,
     },
+    /// `vodsim trace …` — one observed run with the event journal and
+    /// metrics registry attached.
+    Trace {
+        /// Slotted protocol key (see [`TRACE_PROTOCOLS`]).
+        protocol: String,
+        /// Arrival rate in requests per hour.
+        rate: f64,
+        /// Segment count.
+        segments: usize,
+        /// Video duration in minutes.
+        duration_mins: f64,
+        /// Measured slots.
+        slots: u64,
+        /// Seed.
+        seed: u64,
+        /// Bernoulli per-transmission loss probability.
+        loss: f64,
+        /// Hard per-slot stream cap.
+        slot_cap: Option<u32>,
+        /// Channel outage window `[start, end)` in seconds.
+        outage: Option<(f64, f64)>,
+        /// Fault RNG seed (independent of the arrival seed).
+        fault_seed: Option<u64>,
+        /// Where to write the JSONL event journal.
+        events_out: Option<String>,
+        /// Where to write the metrics snapshot (JSON).
+        metrics_out: Option<String>,
+        /// Heartbeat interval in slots (0 disables).
+        progress: Option<u64>,
+        /// Journal ring capacity (events kept; per-kind counts survive
+        /// eviction regardless).
+        events_cap: Option<usize>,
+    },
     /// `vodsim analyze …` — statistical profile of a trace (preset or
     /// imported file).
     Analyze {
@@ -101,6 +135,10 @@ pub enum Command {
 
 /// Protocol keys accepted by `sweep --protocol`.
 pub const PROTOCOLS: [&str; 7] = ["dhb", "ud", "dnpb", "dsb", "tapping", "patching", "npb"];
+
+/// Slotted protocol keys accepted by `trace --protocol` (the continuous
+/// protocols have no slot clock for the journal to follow).
+pub const TRACE_PROTOCOLS: [&str; 5] = ["dhb", "ud", "dnpb", "dsb", "npb"];
 
 /// Film preset keys accepted by `vbr --preset`.
 pub const PRESETS: [&str; 4] = ["matrix", "action", "drama", "toon"];
@@ -127,6 +165,11 @@ pub fn usage() -> String {
      vodsim vbr [--preset <matrix|action|drama|toon>] [--max-wait-secs 60] [--seed 42]\n  \
      vodsim server [--videos 20] [--total-rate 500] [--zipf 1.0] [--slots 1200] [--seed 42]\n  \
      vodsim schedule [--segments 6] [--arrivals 1,3]\n  \
+     vodsim trace [--protocol <dhb|ud|dnpb|dsb|npb>] [--rate 100] [--segments 99]\n          \
+     [--duration-mins 120] [--slots 2000] [--seed 42]\n          \
+     [--loss 0.05] [--slot-cap 8] [--outage <start:end secs>] [--fault-seed 7]\n          \
+     [--events-out trace.jsonl] [--metrics-out metrics.json]\n          \
+     [--progress <slots>] [--events-cap 1048576]\n  \
      vodsim analyze [--preset <matrix|action|drama|toon>] [--file trace.txt]\n          \
      [--seed 42] [--export out.txt]\n  \
      vodsim help"
@@ -239,6 +282,68 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                     .unwrap_or_else(|| vec![1, 3]),
             };
             opts.finish()?;
+            Ok(cmd)
+        }
+        "trace" => {
+            let mut opts = Options::parse(&rest)?;
+            let protocol = opts
+                .take_str("protocol")?
+                .unwrap_or_else(|| "dhb".to_owned());
+            if !TRACE_PROTOCOLS.contains(&protocol.as_str()) {
+                return Err(UsageError(format!(
+                    "unknown trace protocol {protocol:?}; expected one of {TRACE_PROTOCOLS:?}"
+                )));
+            }
+            let cmd = Command::Trace {
+                protocol,
+                rate: opts.take_f64("rate")?.unwrap_or(100.0),
+                segments: opts.take_usize("segments")?.unwrap_or(99),
+                duration_mins: opts.take_f64("duration-mins")?.unwrap_or(120.0),
+                slots: opts.take_u64("slots")?.unwrap_or(2_000),
+                seed: opts.take_u64("seed")?.unwrap_or(42),
+                loss: opts.take_f64("loss")?.unwrap_or(0.0),
+                slot_cap: opts.take_u64("slot-cap")?.map(|v| v as u32),
+                outage: opts.take_outage("outage")?,
+                fault_seed: opts.take_u64("fault-seed")?,
+                events_out: opts.take_str("events-out")?,
+                metrics_out: opts.take_str("metrics-out")?,
+                progress: opts.take_u64("progress")?,
+                events_cap: opts.take_usize("events-cap")?,
+            };
+            opts.finish()?;
+            if let Command::Trace {
+                rate,
+                segments,
+                loss,
+                slot_cap,
+                outage,
+                events_cap,
+                ..
+            } = &cmd
+            {
+                if !(rate.is_finite() && *rate > 0.0) {
+                    return Err(UsageError("--rate must be positive".to_owned()));
+                }
+                if *segments == 0 {
+                    return Err(UsageError("--segments must be positive".to_owned()));
+                }
+                if !(0.0..1.0).contains(loss) {
+                    return Err(UsageError("--loss must be in [0, 1)".to_owned()));
+                }
+                if slot_cap == &Some(0) {
+                    return Err(UsageError("--slot-cap must be positive".to_owned()));
+                }
+                if let Some((start, end)) = outage {
+                    if start >= end {
+                        return Err(UsageError(
+                            "--outage window must be non-empty (start < end)".to_owned(),
+                        ));
+                    }
+                }
+                if events_cap == &Some(0) {
+                    return Err(UsageError("--events-cap must be positive".to_owned()));
+                }
+            }
             Ok(cmd)
         }
         "analyze" => {
@@ -421,6 +526,46 @@ pub fn run(command: &Command) -> Result<String, UsageError> {
             seed,
         } => run_server(*videos, *total_rate, *zipf, *slots, *seed),
         Command::Schedule { segments, arrivals } => run_schedule(*segments, arrivals),
+        Command::Trace {
+            protocol,
+            rate,
+            segments,
+            duration_mins,
+            slots,
+            seed,
+            loss,
+            slot_cap,
+            outage,
+            fault_seed,
+            events_out,
+            metrics_out,
+            progress,
+            events_cap,
+        } => {
+            let mut plan = FaultPlan::none().with_loss_rate(*loss);
+            if let Some(cap) = slot_cap {
+                plan = plan.with_slot_cap(*cap);
+            }
+            if let Some((start, end)) = outage {
+                plan = plan.with_outage(Seconds::new(*start), Seconds::new(*end));
+            }
+            if let Some(fs) = fault_seed {
+                plan = plan.with_seed(*fs);
+            }
+            run_trace(&TraceConfig {
+                protocol,
+                rate: *rate,
+                segments: *segments,
+                duration_mins: *duration_mins,
+                slots: *slots,
+                seed: *seed,
+                plan,
+                events_out: events_out.as_deref(),
+                metrics_out: metrics_out.as_deref(),
+                progress: *progress,
+                events_cap: *events_cap,
+            })
+        }
         Command::Analyze {
             preset,
             file,
@@ -564,6 +709,132 @@ fn run_sweep(
         video,
         render_table(&table)
     ))
+}
+
+/// Parameters of one `vodsim trace` run.
+struct TraceConfig<'a> {
+    protocol: &'a str,
+    rate: f64,
+    segments: usize,
+    duration_mins: f64,
+    slots: u64,
+    seed: u64,
+    plan: FaultPlan,
+    events_out: Option<&'a str>,
+    metrics_out: Option<&'a str>,
+    progress: Option<u64>,
+    events_cap: Option<usize>,
+}
+
+fn run_trace(cfg: &TraceConfig<'_>) -> Result<String, UsageError> {
+    let video = VideoSpec::new(Seconds::from_mins(cfg.duration_mins), cfg.segments)
+        .map_err(|e| UsageError(e.to_string()))?;
+    let journal = match cfg.events_cap {
+        Some(cap) => Journal::with_capacity(cap),
+        None => Journal::enabled(),
+    };
+    let mut obs = Observer::enabled(journal.clone());
+    if let Some(every) = cfg.progress {
+        obs = obs.progress_every(every);
+    }
+    let run = SlottedRun::new(video)
+        .warmup_slots(cfg.slots / 10)
+        .measured_slots(cfg.slots)
+        .seed(cfg.seed)
+        .fault_plan(cfg.plan.clone());
+    let arrivals = PoissonProcess::new(ArrivalRate::per_hour(cfg.rate));
+
+    let report = match cfg.protocol {
+        "dhb" => {
+            let mut dhb = Dhb::fixed_rate(cfg.segments).with_journal(journal.clone());
+            let report = run.run_observed(&mut dhb, arrivals, &mut obs);
+            let stats = dhb.stats();
+            let r = &mut obs.registry;
+            r.inc("dhb.requests", stats.requests);
+            r.inc("dhb.new_instances", stats.new_instances);
+            r.inc("dhb.shared_instances", stats.shared_instances);
+            r.inc("dhb.duplicate_instances", stats.duplicate_instances);
+            r.inc("dhb.cap_overflows", stats.cap_overflows);
+            r.inc("dhb.recovery.drops_seen", stats.recovery.drops_seen);
+            r.inc("dhb.recovery.reschedules", stats.recovery.reschedules);
+            r.inc(
+                "dhb.recovery.deferred_starts",
+                stats.recovery.deferred_starts,
+            );
+            r.inc("dhb.recovery.stall_slots", stats.recovery.stall_slots);
+            r.inc("dhb.recovery.unrecoverable", stats.recovery.unrecoverable);
+            r.set_gauge("dhb.sharing_ratio", stats.sharing_ratio());
+            report
+        }
+        "ud" => run.run_observed(
+            &mut UniversalDistribution::new(cfg.segments),
+            arrivals,
+            &mut obs,
+        ),
+        "dnpb" => run.run_observed(&mut DynamicNpb::new(cfg.segments), arrivals, &mut obs),
+        "dsb" => run.run_observed(&mut DynamicSb::new(cfg.segments, None), arrivals, &mut obs),
+        "npb" => run.run_observed(
+            &mut FixedBroadcast::new(npb_mapping_for(cfg.segments)),
+            arrivals,
+            &mut obs,
+        ),
+        other => return Err(UsageError(format!("unknown trace protocol {other:?}"))),
+    };
+    obs.finish_timers();
+
+    let mut out = format!(
+        "{} trace ({video}, {} req/h, {} measured slots)\n\
+         events: {} emitted ({} evicted from the {}-event ring)\n\
+         avg {:.3} streams, max {:.3}, delivery {:.2}%, stalled {:.1} s\n",
+        cfg.protocol,
+        cfg.rate,
+        cfg.slots,
+        journal.total_emitted(),
+        journal.evicted(),
+        cfg.events_cap.unwrap_or(Journal::DEFAULT_CAPACITY),
+        report.avg_bandwidth.get(),
+        report.max_bandwidth.get(),
+        report.delivery_ratio() * 100.0,
+        report.stall_secs,
+    );
+    let recovery_kinds = [
+        EventKind::InstanceDropped,
+        EventKind::Rescheduled,
+        EventKind::PlaybackDeferred,
+    ];
+    if recovery_kinds.iter().any(|&k| journal.count_of(k) > 0) {
+        out.push_str(&format!(
+            "faults: {} dropped, {} rescheduled, {} playback-deferred\n",
+            journal.count_of(EventKind::InstanceDropped),
+            journal.count_of(EventKind::Rescheduled),
+            journal.count_of(EventKind::PlaybackDeferred),
+        ));
+    }
+
+    if let Some(path) = cfg.events_out {
+        let records = journal.snapshot();
+        let text = jsonl::to_jsonl(&records);
+        // Validate the writer output against the parser before anything
+        // downstream consumes it: the round trip must be lossless.
+        let parsed = jsonl::parse_jsonl(&text)
+            .map_err(|e| UsageError(format!("internal JSONL round-trip failure: {e}")))?;
+        if parsed != records {
+            return Err(UsageError(
+                "internal JSONL round-trip failure: re-parse differs".to_owned(),
+            ));
+        }
+        std::fs::write(path, &text).map_err(|e| UsageError(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!(
+            "[{} events written to {path}, schema validated]\n",
+            records.len()
+        ));
+    }
+    if let Some(path) = cfg.metrics_out {
+        std::fs::write(path, obs.registry.to_json_pretty())
+            .map_err(|e| UsageError(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!("[metrics snapshot written to {path}]\n"));
+    }
+    Ok(out)
 }
 
 fn preset_from_key(key: &str) -> Result<FilmPreset, UsageError> {
@@ -846,6 +1117,78 @@ mod tests {
         let out = run(&cmd).unwrap();
         assert!(out.contains("DHB everywhere"), "{out}");
         assert!(out.contains("joint peak"), "{out}");
+    }
+
+    #[test]
+    fn parses_trace_with_defaults() {
+        let cmd = parse(&args("trace")).unwrap();
+        match cmd {
+            Command::Trace {
+                protocol,
+                rate,
+                segments,
+                slots,
+                events_out,
+                progress,
+                ..
+            } => {
+                assert_eq!(protocol, "dhb");
+                assert_eq!(rate, 100.0);
+                assert_eq!(segments, 99);
+                assert_eq!(slots, 2_000);
+                assert_eq!(events_out, None);
+                assert_eq!(progress, None);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_rejects_bad_inputs() {
+        assert!(parse(&args("trace --protocol tapping")).is_err());
+        assert!(parse(&args("trace --rate 0")).is_err());
+        assert!(parse(&args("trace --loss 1.0")).is_err());
+        assert!(parse(&args("trace --events-cap 0")).is_err());
+        assert!(parse(&args("trace --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn trace_command_writes_validated_artifacts() {
+        let dir = std::env::temp_dir();
+        let events = dir.join("vodsim-trace-test.jsonl");
+        let metrics = dir.join("vodsim-trace-test-metrics.json");
+        let cmd = parse(&args(&format!(
+            "trace --protocol dhb --rate 100 --segments 12 --duration-mins 24 \
+             --slots 200 --loss 0.05 --events-out {} --metrics-out {}",
+            events.display(),
+            metrics.display()
+        )))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("schema validated"), "{out}");
+        assert!(out.contains("metrics snapshot written"), "{out}");
+        // The JSONL on disk re-parses and agrees with the summary line.
+        let text = std::fs::read_to_string(&events).unwrap();
+        let records = jsonl::parse_jsonl(&text).unwrap();
+        assert!(!records.is_empty());
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(json.contains("\"dhb.recovery.reschedules\""), "{json}");
+        assert!(json.contains("\"timer.schedule_ns\""), "{json}");
+        let _ = std::fs::remove_file(&events);
+        let _ = std::fs::remove_file(&metrics);
+    }
+
+    #[test]
+    fn trace_runs_every_slotted_protocol() {
+        for protocol in TRACE_PROTOCOLS {
+            let cmd = parse(&args(&format!(
+                "trace --protocol {protocol} --rate 50 --segments 6 \
+                 --duration-mins 12 --slots 60"
+            )))
+            .unwrap();
+            let out = run(&cmd).unwrap();
+            assert!(out.contains("events:"), "{protocol}: {out}");
+        }
     }
 
     #[test]

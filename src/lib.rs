@@ -8,6 +8,7 @@
 pub mod cli;
 
 pub use dhb_core as dhb;
+pub use vod_obs as obs;
 pub use vod_protocols as protocols;
 pub use vod_server as server;
 pub use vod_sim as sim;

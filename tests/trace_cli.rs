@@ -1,0 +1,114 @@
+//! The PR's acceptance criterion, end to end through the CLI: a traced DHB
+//! run at 100 req/h with 5 % loss must produce a JSONL journal whose
+//! recovery events agree exactly with the recovery totals in the metrics
+//! snapshot — the journal and the registry are two views of one run.
+
+use vod_dhb::cli::{parse, run};
+use vod_dhb::obs::{jsonl, Event, EventKind};
+
+fn args(s: &str) -> Vec<String> {
+    s.split_whitespace().map(str::to_owned).collect()
+}
+
+/// Pulls `"name": value` out of the flat metrics JSON.
+fn counter(json: &str, name: &str) -> u64 {
+    let needle = format!("\"{name}\": ");
+    let at = json
+        .find(&needle)
+        .unwrap_or_else(|| panic!("metrics snapshot lacks {name}"));
+    json[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("counter value")
+}
+
+#[test]
+fn traced_faulty_run_reconciles_journal_and_metrics() {
+    let dir = std::env::temp_dir();
+    let events = dir.join("dhb-acceptance.jsonl");
+    let metrics = dir.join("dhb-acceptance-metrics.json");
+    let cmd = parse(&args(&format!(
+        "trace --protocol dhb --rate 100 --segments 99 --duration-mins 120 \
+         --slots 800 --seed 11 --loss 0.05 --fault-seed 7 \
+         --events-out {} --metrics-out {}",
+        events.display(),
+        metrics.display()
+    )))
+    .unwrap();
+    let out = run(&cmd).unwrap();
+    assert!(out.contains("schema validated"), "{out}");
+
+    let text = std::fs::read_to_string(&events).unwrap();
+    let records = jsonl::parse_jsonl(&text).expect("journal on disk parses");
+    assert!(!records.is_empty());
+
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    let reschedules = counter(&json, "dhb.recovery.reschedules");
+    let deferred = counter(&json, "dhb.recovery.deferred_starts");
+    let drops = counter(&json, "dhb.recovery.drops_seen");
+    let unrecoverable = counter(&json, "dhb.recovery.unrecoverable");
+    assert!(drops > 0, "5% loss over 800 slots must drop transmissions");
+    assert_eq!(drops, reschedules + deferred + unrecoverable);
+
+    // Every recovery event in the JSONL matches the snapshot totals.
+    let count = |kind: EventKind| records.iter().filter(|r| r.event.kind() == kind).count() as u64;
+    assert_eq!(count(EventKind::Rescheduled), reschedules);
+    assert_eq!(count(EventKind::PlaybackDeferred), deferred);
+    assert_eq!(count(EventKind::InstanceDropped), drops);
+    assert_eq!(
+        counter(&json, "fault.lost"),
+        counter(&json, "dhb.recovery.drops_seen"),
+        "pure-loss plan: every fault-lost instance reaches recovery"
+    );
+
+    // Stall totals agree too.
+    let stall_from_events: u64 = records
+        .iter()
+        .filter_map(|r| match r.event {
+            Event::PlaybackDeferred { stall_slots, .. } => Some(stall_slots),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(
+        stall_from_events,
+        counter(&json, "dhb.recovery.stall_slots")
+    );
+
+    let _ = std::fs::remove_file(&events);
+    let _ = std::fs::remove_file(&metrics);
+}
+
+#[test]
+fn clean_trace_has_no_fault_events_and_full_delivery() {
+    let dir = std::env::temp_dir();
+    let events = dir.join("dhb-acceptance-clean.jsonl");
+    let metrics = dir.join("dhb-acceptance-clean-metrics.json");
+    let cmd = parse(&args(&format!(
+        "trace --protocol dhb --rate 100 --segments 30 --duration-mins 60 \
+         --slots 300 --seed 4 --events-out {} --metrics-out {}",
+        events.display(),
+        metrics.display()
+    )))
+    .unwrap();
+    let _ = run(&cmd).unwrap();
+    let records = jsonl::parse_jsonl(&std::fs::read_to_string(&events).unwrap()).unwrap();
+    for kind in [
+        EventKind::InstanceDropped,
+        EventKind::Rescheduled,
+        EventKind::PlaybackDeferred,
+        EventKind::StreamDropped,
+    ] {
+        assert!(
+            records.iter().all(|r| r.event.kind() != kind),
+            "clean run emitted {}",
+            kind.name()
+        );
+    }
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    assert_eq!(counter(&json, "dhb.recovery.drops_seen"), 0);
+    assert_eq!(counter(&json, "fault.lost"), 0);
+    let _ = std::fs::remove_file(&events);
+    let _ = std::fs::remove_file(&metrics);
+}
