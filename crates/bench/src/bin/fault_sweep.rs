@@ -24,8 +24,10 @@ use dhb_core::{audit_dhb, Dhb, MissCause, TimelinessAuditor};
 use vod_bench::{paper_video, Quality, FIGURE_SEED};
 use vod_protocols::npb::npb_mapping_for;
 use vod_protocols::{FixedBroadcast, StreamTapping, TappingPolicy};
-use vod_sim::{ContinuousRun, FaultPlan, Journal, Observer, PoissonProcess, SlottedRun, Table};
-use vod_types::{ArrivalRate, SegmentId, Slot};
+use vod_sim::{
+    ContinuousRun, FaultPlan, Journal, Observer, PoissonProcess, Runner, SlottedRun, Table,
+};
+use vod_types::{ArrivalRate, SegmentId, Slot, VideoSpec};
 
 /// The injected Bernoulli loss grid.
 const LOSS_RATES: [f64; 6] = [0.0, 0.01, 0.02, 0.05, 0.1, 0.2];
@@ -33,15 +35,127 @@ const LOSS_RATES: [f64; 6] = [0.0, 0.01, 0.02, 0.05, 0.1, 0.2];
 /// The single arrival rate of the sweep (requests per hour).
 const RATE_PER_HOUR: f64 = 100.0;
 
+/// One loss rate's measured row, computed independently of the others so the
+/// grid can fan across worker threads.
+fn run_loss_point(
+    idx: usize,
+    loss: f64,
+    video: VideoSpec,
+    measured: u64,
+    obs: &mut Observer,
+) -> Vec<String> {
+    let n = video.n_segments();
+    let last_slot = Slot::new(measured - 1);
+    let plan = FaultPlan::none()
+        .with_loss_rate(loss)
+        .with_seed(FIGURE_SEED.wrapping_add(idx as u64));
+    eprintln!("loss {:.0}%…", loss * 100.0);
+
+    // DHB, audited, with the recovery path active.
+    let mut dhb = audit_dhb(Dhb::fixed_rate(n));
+    let dhb_report = SlottedRun::new(video)
+        .warmup_slots(0)
+        .measured_slots(measured)
+        .seed(FIGURE_SEED)
+        .fault_plan(plan.clone())
+        .run_observed(
+            &mut dhb,
+            PoissonProcess::new(ArrivalRate::per_hour(RATE_PER_HOUR)),
+            obs,
+        );
+    let dhb_summary = dhb.service_summary(last_slot);
+    let dhb_recovery = dhb.inner().recovery_stats();
+
+    // Every residual miss must be the channel's fault, never the
+    // scheduler's — this is the self-healing guarantee under test.
+    if let Err(errors) = dhb.verify(last_slot) {
+        let bugs = errors
+            .iter()
+            .filter(|e| e.cause == MissCause::SchedulerBug)
+            .count();
+        assert_eq!(
+            bugs, 0,
+            "at {loss} loss the auditor found {bugs} scheduler-caused misses"
+        );
+    }
+
+    // NPB: the fixed mapping simulated through the engine, audited with
+    // its fixed-rate windows (S_j due within j slots of each arrival).
+    let mapping = npb_mapping_for(n);
+    let periods: Vec<u64> = (1..=n as u64).collect();
+    let mut npb = TimelinessAuditor::new(
+        FixedBroadcast::new(mapping),
+        periods,
+        |p: &FixedBroadcast, slot: Slot| -> Vec<SegmentId> { p.mapping().segments_in_slot(slot) },
+    );
+    let npb_report = SlottedRun::new(video)
+        .warmup_slots(0)
+        .measured_slots(measured)
+        .seed(FIGURE_SEED)
+        .fault_plan(plan.clone())
+        .run(
+            &mut npb,
+            PoissonProcess::new(ArrivalRate::per_hour(RATE_PER_HOUR)),
+        );
+    let npb_summary = npb.service_summary(last_slot);
+    let npb_on_time = if npb_summary.complete_requests == 0 {
+        1.0
+    } else {
+        npb_summary.on_time as f64 / npb_summary.complete_requests as f64
+    };
+
+    // Stream tapping: each lost stream start fails one request.
+    let d = video.segment_duration();
+    let mut tapping = StreamTapping::new(video.duration(), TappingPolicy::Extra);
+    let tap_report = ContinuousRun::new(d * measured as f64)
+        .seed(FIGURE_SEED)
+        .fault_plan(plan.clone())
+        .run(
+            &mut tapping,
+            PoissonProcess::new(ArrivalRate::per_hour(RATE_PER_HOUR)),
+        );
+
+    // Headline claims, asserted on the measured data.
+    if loss == 0.0 {
+        assert_eq!(dhb_report.delivery_ratio(), 1.0);
+        assert_eq!(dhb_summary.served_ratio(), 1.0);
+        assert_eq!(dhb_recovery.drops_seen, 0);
+        assert_eq!(npb_on_time, 1.0, "a clean channel leaves NPB on time");
+    }
+    if (loss - 0.05).abs() < 1e-12 {
+        assert!(
+            dhb_summary.served_ratio() >= 0.99,
+            "DHB must keep ≥ 99% of requests served at 5% loss, got {}",
+            dhb_summary.served_ratio()
+        );
+        assert_eq!(
+            dhb_recovery.unrecoverable, 0,
+            "no drop may exhaust its retries at 5% loss"
+        );
+    }
+
+    vec![
+        format!("{:.0}", loss * 100.0),
+        format!("{:.3}", dhb_report.avg_bandwidth.get()),
+        format!("{:.2}", dhb_summary.served_ratio() * 100.0),
+        format!("{:.1}", dhb_report.stall_secs),
+        format!("{}", dhb_recovery.unrecoverable),
+        format!("{:.3}", npb_report.avg_bandwidth.get()),
+        format!("{:.2}", npb_on_time * 100.0),
+        format!("{:.3}", tap_report.avg_bandwidth.get()),
+        format!("{:.2}", tap_report.delivery_ratio() * 100.0),
+    ]
+}
+
 fn main() {
     let quality = Quality::from_args();
     let video = paper_video();
-    let n = video.n_segments();
     let measured = quality.measured_slots;
-    let last_slot = Slot::new(measured - 1);
 
     // With --emit-metrics the DHB runs are observed; counters and timers
-    // accumulate across the whole loss grid into one snapshot.
+    // accumulate across the whole loss grid into one snapshot. Each loss
+    // point runs against a worker observer that the root observer absorbs
+    // in grid order, so --jobs N leaves the snapshot identical to serial.
     let emit_metrics = vod_bench::metrics_requested();
     let mut obs = if emit_metrics {
         Observer::enabled(Journal::disabled())
@@ -61,108 +175,21 @@ fn main() {
         "tap delivery %",
     ]);
 
-    for (idx, &loss) in LOSS_RATES.iter().enumerate() {
-        let plan = FaultPlan::none()
-            .with_loss_rate(loss)
-            .with_seed(FIGURE_SEED.wrapping_add(idx as u64));
-        eprintln!("loss {:.0}%…", loss * 100.0);
-
-        // DHB, audited, with the recovery path active.
-        let mut dhb = audit_dhb(Dhb::fixed_rate(n));
-        let dhb_report = SlottedRun::new(video)
-            .warmup_slots(0)
-            .measured_slots(measured)
-            .seed(FIGURE_SEED)
-            .fault_plan(plan.clone())
-            .run_observed(
-                &mut dhb,
-                PoissonProcess::new(ArrivalRate::per_hour(RATE_PER_HOUR)),
-                &mut obs,
-            );
-        let dhb_summary = dhb.service_summary(last_slot);
-        let dhb_recovery = dhb.inner().recovery_stats();
-
-        // Every residual miss must be the channel's fault, never the
-        // scheduler's — this is the self-healing guarantee under test.
-        if let Err(errors) = dhb.verify(last_slot) {
-            let bugs = errors
-                .iter()
-                .filter(|e| e.cause == MissCause::SchedulerBug)
-                .count();
-            assert_eq!(
-                bugs, 0,
-                "at {loss} loss the auditor found {bugs} scheduler-caused misses"
-            );
-        }
-
-        // NPB: the fixed mapping simulated through the engine, audited with
-        // its fixed-rate windows (S_j due within j slots of each arrival).
-        let mapping = npb_mapping_for(n);
-        let periods: Vec<u64> = (1..=n as u64).collect();
-        let mut npb = TimelinessAuditor::new(
-            FixedBroadcast::new(mapping),
-            periods,
-            |p: &FixedBroadcast, slot: Slot| -> Vec<SegmentId> {
-                p.mapping().segments_in_slot(slot)
-            },
-        );
-        let npb_report = SlottedRun::new(video)
-            .warmup_slots(0)
-            .measured_slots(measured)
-            .seed(FIGURE_SEED)
-            .fault_plan(plan.clone())
-            .run(
-                &mut npb,
-                PoissonProcess::new(ArrivalRate::per_hour(RATE_PER_HOUR)),
-            );
-        let npb_summary = npb.service_summary(last_slot);
-        let npb_on_time = if npb_summary.complete_requests == 0 {
-            1.0
-        } else {
-            npb_summary.on_time as f64 / npb_summary.complete_requests as f64
-        };
-
-        // Stream tapping: each lost stream start fails one request.
-        let d = video.segment_duration();
-        let mut tapping = StreamTapping::new(video.duration(), TappingPolicy::Extra);
-        let tap_report = ContinuousRun::new(d * measured as f64)
-            .seed(FIGURE_SEED)
-            .fault_plan(plan.clone())
-            .run(
-                &mut tapping,
-                PoissonProcess::new(ArrivalRate::per_hour(RATE_PER_HOUR)),
-            );
-
-        table.push_row(vec![
-            format!("{:.0}", loss * 100.0),
-            format!("{:.3}", dhb_report.avg_bandwidth.get()),
-            format!("{:.2}", dhb_summary.served_ratio() * 100.0),
-            format!("{:.1}", dhb_report.stall_secs),
-            format!("{}", dhb_recovery.unrecoverable),
-            format!("{:.3}", npb_report.avg_bandwidth.get()),
-            format!("{:.2}", npb_on_time * 100.0),
-            format!("{:.3}", tap_report.avg_bandwidth.get()),
-            format!("{:.2}", tap_report.delivery_ratio() * 100.0),
-        ]);
-
-        // Headline claims, asserted on the measured data.
-        if loss == 0.0 {
-            assert_eq!(dhb_report.delivery_ratio(), 1.0);
-            assert_eq!(dhb_summary.served_ratio(), 1.0);
-            assert_eq!(dhb_recovery.drops_seen, 0);
-            assert_eq!(npb_on_time, 1.0, "a clean channel leaves NPB on time");
-        }
-        if (loss - 0.05).abs() < 1e-12 {
-            assert!(
-                dhb_summary.served_ratio() >= 0.99,
-                "DHB must keep ≥ 99% of requests served at 5% loss, got {}",
-                dhb_summary.served_ratio()
-            );
-            assert_eq!(
-                dhb_recovery.unrecoverable, 0,
-                "no drop may exhaust its retries at 5% loss"
-            );
-        }
+    let tasks: Vec<_> = LOSS_RATES
+        .iter()
+        .enumerate()
+        .map(|(idx, &loss)| {
+            let mut worker = obs.worker();
+            move || {
+                let row = run_loss_point(idx, loss, video, measured, &mut worker);
+                (row, worker)
+            }
+        })
+        .collect();
+    let results = Runner::new(vod_bench::jobs_requested()).run(tasks);
+    for (row, worker) in results {
+        obs.absorb(&worker);
+        table.push_row(row);
     }
 
     if emit_metrics {

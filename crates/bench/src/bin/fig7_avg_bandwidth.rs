@@ -19,7 +19,9 @@ fn main() {
     let quality = Quality::from_args();
     let video = paper_video();
     let n = video.n_segments();
-    let sweep = quality.sweep(video);
+    // --jobs N fans the per-rate runs across worker threads; the runner's
+    // per-rate seed derivation keeps the output byte-identical to serial.
+    let sweep = quality.sweep(video).jobs(vod_bench::jobs_requested());
 
     eprintln!("running stream tapping…");
     let tapping =

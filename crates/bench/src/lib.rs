@@ -125,6 +125,34 @@ pub fn metrics_requested() -> bool {
     std::env::args().any(|a| a == "--emit-metrics")
 }
 
+/// Worker threads requested via `--jobs N` (or `--jobs=N`), defaulting to 1
+/// (serial). The parallel runner is deterministic, so any value yields
+/// byte-identical figures; higher values only change wall-clock time.
+///
+/// # Panics
+///
+/// Panics if `--jobs` is present without a positive integer value.
+#[must_use]
+pub fn jobs_requested() -> usize {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--jobs" {
+            args.next()
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            Some(v.to_owned())
+        } else {
+            continue;
+        };
+        let jobs: usize = value
+            .as_deref()
+            .and_then(|v| v.parse().ok())
+            .expect("--jobs requires a positive integer");
+        assert!(jobs >= 1, "--jobs requires a positive integer");
+        return jobs;
+    }
+    1
+}
+
 /// Writes a metrics registry snapshot to
 /// `bench-results/<id>_metrics.json`, next to the figure's record.
 ///
@@ -261,6 +289,12 @@ mod tests {
     fn metrics_are_opt_in() {
         // The test harness is never invoked with --emit-metrics.
         assert!(!metrics_requested());
+    }
+
+    #[test]
+    fn jobs_default_to_serial() {
+        // The test harness is never invoked with --jobs.
+        assert_eq!(jobs_requested(), 1);
     }
 
     #[test]

@@ -8,11 +8,72 @@ use vod_types::{SegmentId, Slot};
 
 use crate::heuristic::SlotHeuristic;
 
+/// Bit width of [`SegmentSet`]'s inline storage.
+const INLINE_BITS: usize = 128;
+
+/// Fixed-width bitset over segment array indices (`j - 1`).
+///
+/// The first 128 bits — which cover the paper's `n = 99` — live in two inline
+/// words, so cloning a [`SlotPlan`] and probing a window never touch the heap
+/// for the bit mask. Larger catalogs spill the remaining bits to a boxed
+/// slice sized once at construction (empty, hence allocation-free, for small
+/// `n`). The `idx < INLINE_BITS` test in [`get`](Self::get) compares against
+/// a constant, so the hot window scan stays branch-predictable and
+/// bounds-check-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SegmentSet {
+    inline: [u64; 2],
+    spill: Box<[u64]>,
+}
+
+impl SegmentSet {
+    fn new(n: usize) -> Self {
+        let spill_words = n.saturating_sub(INLINE_BITS).div_ceil(64);
+        SegmentSet {
+            inline: [0; 2],
+            spill: vec![0u64; spill_words].into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, idx: usize) -> bool {
+        if idx < INLINE_BITS {
+            self.inline[idx / 64] & (1u64 << (idx % 64)) != 0
+        } else {
+            self.spill[(idx - INLINE_BITS) / 64] & (1u64 << (idx % 64)) != 0
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, idx: usize) {
+        if idx < INLINE_BITS {
+            self.inline[idx / 64] |= 1u64 << (idx % 64);
+        } else {
+            self.spill[(idx - INLINE_BITS) / 64] |= 1u64 << (idx % 64);
+        }
+    }
+
+    /// Set bits in ascending index order, via per-word `trailing_zeros` scan.
+    fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.inline
+            .iter()
+            .chain(self.spill.iter())
+            .enumerate()
+            .flat_map(|(w, &word)| {
+                std::iter::successors((word != 0).then_some(word), |&rest| {
+                    let rest = rest & (rest - 1);
+                    (rest != 0).then_some(rest)
+                })
+                .map(move |bits| w * 64 + bits.trailing_zeros() as usize)
+            })
+    }
+}
+
 /// One future slot's transmission plan.
 #[derive(Debug, Clone)]
 struct SlotPlan {
-    /// `scheduled[j-1]`: is `S_j` scheduled in this slot?
-    scheduled: Vec<bool>,
+    /// Bit `j-1`: is `S_j` scheduled in this slot?
+    scheduled: SegmentSet,
     /// `deadline[j-1]`: the latest slot this instance could still air in and
     /// serve every request depending on it (minimum over the dependents'
     /// window ends). Meaningful only where `scheduled` is set.
@@ -26,7 +87,7 @@ struct SlotPlan {
 impl SlotPlan {
     fn empty(n: usize) -> Self {
         SlotPlan {
-            scheduled: vec![false; n],
+            scheduled: SegmentSet::new(n),
             deadline: vec![0; n],
             retries: vec![0; n],
             load: 0,
@@ -34,12 +95,9 @@ impl SlotPlan {
     }
 
     fn segments(&self) -> Vec<SegmentId> {
-        self.scheduled
-            .iter()
-            .enumerate()
-            .filter(|(_, &s)| s)
-            .map(|(idx, _)| SegmentId::from_array_index(idx))
-            .collect()
+        let mut out = Vec::with_capacity(self.load as usize);
+        out.extend(self.scheduled.iter_ones().map(SegmentId::from_array_index));
+        out
     }
 }
 
@@ -415,7 +473,7 @@ impl DhbScheduler {
             let mut existing_any = false;
             let mut shareable: Option<usize> = None;
             for (rel, plan) in self.ring.range(window.clone()).enumerate() {
-                if plan.scheduled[j - 1] {
+                if plan.scheduled.get(j - 1) {
                     existing_any = true;
                     let off = start_off + rel;
                     if client_ok(off, &client_load) {
@@ -516,7 +574,7 @@ impl DhbScheduler {
         out: &mut Vec<ScheduledSegment>,
     ) {
         let plan = &mut self.ring[ring_idx];
-        plan.scheduled[seg.array_index()] = true;
+        plan.scheduled.insert(seg.array_index());
         plan.deadline[seg.array_index()] = deadline;
         plan.retries[seg.array_index()] = 0;
         plan.load += 1;
@@ -588,7 +646,7 @@ impl DhbScheduler {
         for &seg in dropped {
             let idx = seg.array_index();
             assert!(
-                plan.scheduled[idx],
+                plan.scheduled.get(idx),
                 "dropped {seg} was never scheduled in slot {slot}"
             );
             self.recovery.drops_seen += 1;
@@ -641,7 +699,7 @@ impl DhbScheduler {
         self.ensure_ring(width);
         let mut shareable = None;
         for (off, plan) in self.ring.range(0..width).enumerate() {
-            if plan.scheduled[idx] {
+            if plan.scheduled.get(idx) {
                 shareable = Some(off);
             }
         }
@@ -652,7 +710,7 @@ impl DhbScheduler {
                 let entropy = self.next_entropy();
                 let chosen = self.heuristic.pick(&loads, entropy);
                 let plan = &mut self.ring[chosen];
-                plan.scheduled[idx] = true;
+                plan.scheduled.insert(idx);
                 plan.deadline[idx] = u64::MAX;
                 plan.load += 1;
                 self.new_instances += 1;

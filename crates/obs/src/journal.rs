@@ -161,6 +161,40 @@ impl Journal {
             .unwrap_or_default()
     }
 
+    /// True when `other` is a clone of this journal, i.e. both handles write
+    /// into the same ring buffer.
+    #[must_use]
+    pub fn shares_buffer_with(&self, other: &Journal) -> bool {
+        match (&self.shared, &other.shared) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// A fresh journal with this one's enabled-ness and ring capacity but its
+    /// own buffer — the per-thread sink a parallel runner hands each worker,
+    /// folded back afterwards with [`absorb`](Journal::absorb).
+    #[must_use]
+    pub fn worker(&self) -> Journal {
+        match self.with_inner(|inner| inner.capacity) {
+            Some(capacity) => Journal::with_capacity(capacity),
+            None => Journal::disabled(),
+        }
+    }
+
+    /// Drains `other` and re-emits its surviving events here, in their
+    /// original order, under this journal's sequence numbering. A no-op when
+    /// either side is disabled or when `other` shares this buffer (absorbing
+    /// a clone of ourselves would duplicate every event).
+    pub fn absorb(&self, other: &Journal) {
+        if !self.is_enabled() || self.shares_buffer_with(other) {
+            return;
+        }
+        for record in other.drain() {
+            self.emit(record.event);
+        }
+    }
+
     fn with_inner<R>(&self, f: impl FnOnce(&mut Inner) -> R) -> Option<R> {
         self.shared
             .as_ref()

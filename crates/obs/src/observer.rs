@@ -109,6 +109,36 @@ impl Observer {
         }
     }
 
+    /// A fresh observer for one worker thread of a parallel run: same
+    /// enabled-ness, a private journal with this journal's capacity, an empty
+    /// registry and idle timers. Fold it back with
+    /// [`absorb`](Observer::absorb) once the worker's runs finish.
+    #[must_use]
+    pub fn worker(&self) -> Observer {
+        Observer {
+            journal: self.journal.worker(),
+            registry: Registry::new(),
+            schedule_timer: HotTimer::new(),
+            step_timer: HotTimer::new(),
+            recovery_timer: HotTimer::new(),
+            enabled: self.enabled,
+            progress_every: self.progress_every,
+        }
+    }
+
+    /// Merges a worker observer back into this one: the worker's journal
+    /// events are re-emitted here in order, counters add, gauges overwrite
+    /// (absorb workers in run order to match a serial run) and timer samples
+    /// merge. A worker journal that shares this journal's buffer is skipped
+    /// rather than double-counted.
+    pub fn absorb(&mut self, worker: &Observer) {
+        self.journal.absorb(&worker.journal);
+        self.registry.merge(&worker.registry);
+        self.schedule_timer.merge(&worker.schedule_timer);
+        self.step_timer.merge(&worker.step_timer);
+        self.recovery_timer.merge(&worker.recovery_timer);
+    }
+
     /// Folds the hot-path timers into the registry under the `timer.*`
     /// names. Call once, after the run.
     pub fn finish_timers(&mut self) {

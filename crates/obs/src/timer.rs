@@ -176,6 +176,11 @@ impl HotTimer {
     pub fn histogram(&self) -> &LogHistogram {
         &self.hist
     }
+
+    /// Folds another timer's samples into this one.
+    pub fn merge(&mut self, other: &HotTimer) {
+        self.hist.merge(&other.hist);
+    }
 }
 
 fn elapsed_ns(start: Instant) -> u64 {

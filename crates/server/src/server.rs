@@ -5,10 +5,10 @@ use std::fmt;
 use dhb_core::Dhb;
 use vod_protocols::npb::{npb_mapping_for, npb_streams_for};
 use vod_protocols::{FixedBroadcast, StreamTapping, TappingPolicy, UniversalDistribution};
-use vod_sim::{ContinuousRun, FaultPlan, FaultSummary, PoissonProcess, SlottedRun};
+use vod_sim::{ContinuousRun, FaultPlan, FaultSummary, PoissonProcess, Runner, SlottedRun};
 use vod_types::{ArrivalRate, Streams};
 
-use crate::catalog::{Catalog, VideoId};
+use crate::catalog::{Catalog, VideoEntry, VideoId};
 use crate::policy::Policy;
 
 /// One video's share of the server's load.
@@ -132,6 +132,7 @@ pub struct Server {
     measured_slots: u64,
     seed: u64,
     fault_plan: FaultPlan,
+    jobs: usize,
 }
 
 impl Server {
@@ -144,7 +145,19 @@ impl Server {
             measured_slots: 1_500,
             seed: 0x5E21_F00D,
             fault_plan: FaultPlan::none(),
+            jobs: 1,
         }
+    }
+
+    /// Fans the per-video simulations across `jobs` worker threads via the
+    /// [`Runner`]. Every video already draws from its own derived seed and
+    /// fault stream and results are collected in catalog order, so the
+    /// report is byte-identical for every job count (asserted by the
+    /// determinism tests). The default, 1, runs serially.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
     }
 
     /// Injects channel faults into every video's run (same plan, but each
@@ -208,51 +221,51 @@ impl Server {
         self.fault_plan.clone().with_seed(derived)
     }
 
-    /// Simulates the whole catalog under `policy`.
-    #[must_use]
-    pub fn simulate(&self, policy: &Policy) -> ServerReport {
-        let mut per_video = Vec::with_capacity(self.catalog.len());
-        let mut faults = FaultSummary::default();
-        let mut total_stall_secs = 0.0;
-        for (idx, entry) in self.catalog.entries().iter().enumerate() {
-            let seed = self
-                .seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(idx as u64);
-            let n = entry.spec.n_segments();
+    /// Simulates one catalog entry under `policy`, returning its report and
+    /// its fault accounting. Fully self-contained: the entry's arrival seed
+    /// and fault stream are derived from `idx`, so any thread can run it.
+    fn simulate_video(
+        &self,
+        policy: &Policy,
+        idx: usize,
+        entry: &VideoEntry,
+    ) -> (VideoReport, FaultSummary) {
+        let seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(idx as u64);
+        let n = entry.spec.n_segments();
 
-            // Decide each video's protocol once, exhaustively.
-            let assigned = match policy {
-                Policy::TappingEverywhere => Assigned::Tapping,
-                Policy::HotColdSplit {
-                    broadcast_at_or_above,
-                } => {
-                    if entry.rate < *broadcast_at_or_above {
-                        Assigned::Tapping
-                    } else {
-                        Assigned::Npb
-                    }
+        // Decide each video's protocol once, exhaustively.
+        let assigned = match policy {
+            Policy::TappingEverywhere => Assigned::Tapping,
+            Policy::HotColdSplit {
+                broadcast_at_or_above,
+            } => {
+                if entry.rate < *broadcast_at_or_above {
+                    Assigned::Tapping
+                } else {
+                    Assigned::Npb
                 }
-                Policy::NpbEverywhere => Assigned::Npb,
-                Policy::UdEverywhere => Assigned::Ud,
-                Policy::DhbEverywhere => Assigned::Dhb,
-            };
+            }
+            Policy::NpbEverywhere => Assigned::Npb,
+            Policy::UdEverywhere => Assigned::Ud,
+            Policy::DhbEverywhere => Assigned::Dhb,
+        };
 
-            let slotted_run = || {
-                SlottedRun::new(entry.spec)
-                    .warmup_slots(self.warmup_slots)
-                    .measured_slots(self.measured_slots)
-                    .seed(seed)
-                    .fault_plan(self.fault_plan_for(idx))
-            };
+        let slotted_run = || {
+            SlottedRun::new(entry.spec)
+                .warmup_slots(self.warmup_slots)
+                .measured_slots(self.measured_slots)
+                .seed(seed)
+                .fault_plan(self.fault_plan_for(idx))
+        };
 
-            let (protocol, avg, peak, video_faults, stall_secs) =
-                match assigned {
-                    Assigned::Tapping => {
-                        let d = entry.spec.segment_duration();
-                        let report = ContinuousRun::new(
-                            d * (self.warmup_slots + self.measured_slots) as f64,
-                        )
+        let (protocol, avg, peak, video_faults, stall_secs) = match assigned {
+            Assigned::Tapping => {
+                let d = entry.spec.segment_duration();
+                let report =
+                    ContinuousRun::new(d * (self.warmup_slots + self.measured_slots) as f64)
                         .warmup(d * self.warmup_slots as f64)
                         .seed(seed)
                         .fault_plan(self.fault_plan_for(idx))
@@ -260,66 +273,65 @@ impl Server {
                             &mut StreamTapping::new(entry.spec.duration(), TappingPolicy::Extra),
                             PoissonProcess::new(entry.rate),
                         );
-                        (
-                            "stream tapping".to_owned(),
-                            report.avg_bandwidth,
-                            report.max_bandwidth,
-                            report.faults,
-                            0.0,
-                        )
-                    }
-                    Assigned::Npb if self.fault_plan.is_zero() => {
-                        // Deterministic: the full allocation, always.
-                        let streams = npb_streams_for(n) as f64;
-                        (
-                            "NPB".to_owned(),
-                            Streams::new(streams),
-                            Streams::new(streams),
-                            FaultSummary::default(),
-                            0.0,
-                        )
-                    }
-                    Assigned::Npb => {
-                        // Under faults the analytic allocation says nothing
-                        // about what reaches clients: run the actual broadcast
-                        // mapping through the engine so drops are observable.
-                        let mut npb = FixedBroadcast::new(npb_mapping_for(n));
-                        let report = slotted_run().run(&mut npb, PoissonProcess::new(entry.rate));
-                        (
-                            "NPB".to_owned(),
-                            report.avg_bandwidth,
-                            report.max_bandwidth,
-                            report.faults,
-                            0.0,
-                        )
-                    }
-                    Assigned::Ud => {
-                        let mut ud = UniversalDistribution::new(n);
-                        let report = slotted_run().run(&mut ud, PoissonProcess::new(entry.rate));
-                        (
-                            "UD".to_owned(),
-                            report.avg_bandwidth,
-                            report.max_bandwidth,
-                            report.faults,
-                            0.0,
-                        )
-                    }
-                    Assigned::Dhb => {
-                        let mut dhb = Dhb::fixed_rate(n);
-                        let report = slotted_run().run(&mut dhb, PoissonProcess::new(entry.rate));
-                        (
-                            "DHB".to_owned(),
-                            report.avg_bandwidth,
-                            report.max_bandwidth,
-                            report.faults,
-                            report.stall_secs,
-                        )
-                    }
-                };
+                (
+                    "stream tapping".to_owned(),
+                    report.avg_bandwidth,
+                    report.max_bandwidth,
+                    report.faults,
+                    0.0,
+                )
+            }
+            Assigned::Npb if self.fault_plan.is_zero() => {
+                // Deterministic: the full allocation, always.
+                let streams = npb_streams_for(n) as f64;
+                (
+                    "NPB".to_owned(),
+                    Streams::new(streams),
+                    Streams::new(streams),
+                    FaultSummary::default(),
+                    0.0,
+                )
+            }
+            Assigned::Npb => {
+                // Under faults the analytic allocation says nothing
+                // about what reaches clients: run the actual broadcast
+                // mapping through the engine so drops are observable.
+                let mut npb = FixedBroadcast::new(npb_mapping_for(n));
+                let report = slotted_run().run(&mut npb, PoissonProcess::new(entry.rate));
+                (
+                    "NPB".to_owned(),
+                    report.avg_bandwidth,
+                    report.max_bandwidth,
+                    report.faults,
+                    0.0,
+                )
+            }
+            Assigned::Ud => {
+                let mut ud = UniversalDistribution::new(n);
+                let report = slotted_run().run(&mut ud, PoissonProcess::new(entry.rate));
+                (
+                    "UD".to_owned(),
+                    report.avg_bandwidth,
+                    report.max_bandwidth,
+                    report.faults,
+                    0.0,
+                )
+            }
+            Assigned::Dhb => {
+                let mut dhb = Dhb::fixed_rate(n);
+                let report = slotted_run().run(&mut dhb, PoissonProcess::new(entry.rate));
+                (
+                    "DHB".to_owned(),
+                    report.avg_bandwidth,
+                    report.max_bandwidth,
+                    report.faults,
+                    report.stall_secs,
+                )
+            }
+        };
 
-            faults.merge(&video_faults);
-            total_stall_secs += stall_secs;
-            per_video.push(VideoReport {
+        (
+            VideoReport {
                 id: entry.id,
                 rate: entry.rate,
                 protocol,
@@ -327,7 +339,33 @@ impl Server {
                 peak,
                 delivery_ratio: video_faults.delivery_ratio(),
                 stall_secs,
-            });
+            },
+            video_faults,
+        )
+    }
+
+    /// Simulates the whole catalog under `policy`. Per-video runs are
+    /// independent and fan across the configured [`jobs`](Server::jobs);
+    /// results merge in catalog order, so the report does not depend on the
+    /// job count.
+    #[must_use]
+    pub fn simulate(&self, policy: &Policy) -> ServerReport {
+        let tasks: Vec<_> = self
+            .catalog
+            .entries()
+            .iter()
+            .enumerate()
+            .map(|(idx, entry)| move || self.simulate_video(policy, idx, entry))
+            .collect();
+        let results = Runner::new(self.jobs).run(tasks);
+
+        let mut per_video = Vec::with_capacity(results.len());
+        let mut faults = FaultSummary::default();
+        let mut total_stall_secs = 0.0;
+        for (report, video_faults) in results {
+            faults.merge(&video_faults);
+            total_stall_secs += report.stall_secs;
+            per_video.push(report);
         }
 
         // The exact joint peak needs a shared fault-free slot grid; the
@@ -436,6 +474,34 @@ mod tests {
         let a = server.simulate(&Policy::UdEverywhere);
         let b = server.simulate(&Policy::UdEverywhere);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_catalog_simulation_is_byte_identical() {
+        for policy in [
+            Policy::DhbEverywhere,
+            Policy::TappingEverywhere,
+            Policy::HotColdSplit {
+                broadcast_at_or_above: ArrivalRate::per_hour(40.0),
+            },
+        ] {
+            let serial = small_server().simulate(&policy);
+            let parallel = small_server().jobs(4).simulate(&policy);
+            assert_eq!(serial, parallel, "{policy:?} diverged under jobs=4");
+        }
+    }
+
+    #[test]
+    fn faulted_parallel_simulation_matches_serial() {
+        let plan = FaultPlan::none().with_loss_rate(0.1);
+        let serial = small_server()
+            .fault_plan(plan.clone())
+            .simulate(&Policy::DhbEverywhere);
+        let parallel = small_server()
+            .fault_plan(plan)
+            .jobs(3)
+            .simulate(&Policy::DhbEverywhere);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

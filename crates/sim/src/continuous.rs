@@ -1,12 +1,11 @@
 //! The continuous-time engine for reactive protocols.
 
-use vod_obs::{Event, Observer};
+use vod_obs::{Event, Observer, TimeWeightedMax};
 use vod_types::{Seconds, Streams};
 
 use crate::arrivals::ArrivalProcess;
 use crate::fault::{FaultPlan, FaultSummary};
-use crate::metrics::TimeWeightedMax;
-use crate::rng::SimRng;
+use crate::kernel::{Engine, Kernel, RunSummary, Workload};
 
 /// A server transmission over a continuous interval of time.
 ///
@@ -178,7 +177,7 @@ impl ContinuousRun {
     pub fn run_observed<P, A>(
         &self,
         protocol: &mut P,
-        mut arrivals: A,
+        arrivals: A,
         obs: &mut Observer,
     ) -> ContinuousReport
     where
@@ -189,57 +188,101 @@ impl ContinuousRun {
             self.warmup < self.horizon,
             "warm-up must end before the horizon"
         );
-        let mut rng = SimRng::seed_from(self.seed);
-        let window_start = self.warmup.as_secs_f64();
-        let window_end = self.horizon.as_secs_f64();
+        let workload = ContinuousWorkload::new(protocol, self.horizon, self.warmup);
+        Engine::new(self.seed, self.fault_plan.clone()).run(workload, arrivals, obs)
+    }
+}
 
-        let mut injector = self.fault_plan.injector();
-        let mut faults = FaultSummary::default();
-        let mut overlap = TimeWeightedMax::new();
-        let mut requests = 0u64;
-        let mut failed_requests = 0u64;
-        let mut streams_started = 0u64;
+/// The continuous engine's logic, run on the [`kernel`](crate::kernel):
+/// every arrival up to the horizon is served immediately (there is no slot
+/// structure, so [`step`](Workload::step) ends the run as soon as the
+/// arrival stream does) and each resulting stream is clipped to the
+/// measurement window for bandwidth accounting.
+#[derive(Debug)]
+pub struct ContinuousWorkload<'p, P: ?Sized> {
+    protocol: &'p mut P,
+    horizon: Seconds,
+    window_start: f64,
+    window_end: f64,
+    overlap: TimeWeightedMax,
+    failed_requests: u64,
+    streams_started: u64,
+}
 
-        while let Some(t) = arrivals.next_arrival(&mut rng) {
-            if t > self.horizon {
-                break;
-            }
-            requests += 1;
-            let mut failed = false;
-            for interval in obs.time_schedule(|| protocol.on_request(t)) {
-                if interval.is_empty() {
-                    continue;
-                }
-                let cause = injector.apply_stream(interval.start);
-                faults.record_stream(cause);
-                if let Some(cause) = cause {
-                    // The stream is lost whole; the request that triggered
-                    // it goes unserved (reactive protocols have no recovery
-                    // path). Tap-sharing dependents are not tracked.
-                    failed = true;
-                    obs.journal.emit_with(|| Event::StreamDropped {
-                        at_secs: interval.start.as_secs_f64(),
-                        cause: cause.into(),
-                    });
-                    continue;
-                }
-                streams_started += 1;
-                let start = interval.start.as_secs_f64().max(window_start);
-                let end = interval.end.as_secs_f64().min(window_end);
-                overlap.add_interval(start, end);
-            }
-            if failed {
-                failed_requests += 1;
-            }
-            obs.heartbeat(requests, 0, "requests");
+impl<'p, P> ContinuousWorkload<'p, P>
+where
+    P: ContinuousProtocol + ?Sized,
+{
+    /// Wraps `protocol` for a run over `[0, horizon)` measured from
+    /// `warmup` on.
+    pub fn new(protocol: &'p mut P, horizon: Seconds, warmup: Seconds) -> Self {
+        ContinuousWorkload {
+            protocol,
+            horizon,
+            window_start: warmup.as_secs_f64(),
+            window_end: horizon.as_secs_f64(),
+            overlap: TimeWeightedMax::new(),
+            failed_requests: 0,
+            streams_started: 0,
         }
+    }
+}
 
-        let window = window_end - window_start;
+impl<P> Workload for ContinuousWorkload<'_, P>
+where
+    P: ContinuousProtocol + ?Sized,
+{
+    type Report = ContinuousReport;
+
+    fn accepts(&self, t: Seconds) -> bool {
+        t <= self.horizon
+    }
+
+    fn on_arrival(&mut self, t: Seconds, kernel: &mut Kernel<'_>) {
+        kernel.count_request(false);
+        let mut failed = false;
+        for interval in kernel.obs.time_schedule(|| self.protocol.on_request(t)) {
+            if interval.is_empty() {
+                continue;
+            }
+            let cause = kernel.apply_stream(interval.start);
+            if let Some(cause) = cause {
+                // The stream is lost whole; the request that triggered
+                // it goes unserved (reactive protocols have no recovery
+                // path). Tap-sharing dependents are not tracked.
+                failed = true;
+                kernel.obs.journal.emit_with(|| Event::StreamDropped {
+                    at_secs: interval.start.as_secs_f64(),
+                    cause: cause.into(),
+                });
+                continue;
+            }
+            self.streams_started += 1;
+            let start = interval.start.as_secs_f64().max(self.window_start);
+            let end = interval.end.as_secs_f64().min(self.window_end);
+            self.overlap.add_interval(start, end);
+        }
+        if failed {
+            self.failed_requests += 1;
+        }
+        let requests = kernel.total_requests();
+        kernel.obs.heartbeat(requests, 0, "requests");
+    }
+
+    fn step(&mut self, _kernel: &mut Kernel<'_>) -> bool {
+        // There is nothing between arrivals to advance: the run ends with
+        // the arrival stream.
+        false
+    }
+
+    fn finish(self, summary: RunSummary, obs: &mut Observer) -> ContinuousReport {
+        let faults = summary.faults;
+        let window = self.window_end - self.window_start;
         if obs.is_enabled() {
             let r = &mut obs.registry;
-            r.inc("sim.requests", requests);
-            r.inc("sim.failed_requests", failed_requests);
-            r.inc("sim.streams_started", streams_started);
+            r.inc("sim.requests", summary.total_requests);
+            r.inc("sim.failed_requests", self.failed_requests);
+            r.inc("sim.streams_started", self.streams_started);
             r.inc("fault.scheduled", faults.scheduled);
             r.inc("fault.delivered", faults.delivered);
             r.inc("fault.lost", faults.lost);
@@ -247,20 +290,20 @@ impl ContinuousRun {
             r.inc("fault.capped", faults.capped);
             r.set_gauge(
                 "sim.avg_bandwidth_streams",
-                overlap.total_busy_time() / window,
+                self.overlap.total_busy_time() / window,
             );
             r.set_gauge(
                 "sim.max_bandwidth_streams",
-                f64::from(overlap.max_concurrent()),
+                f64::from(self.overlap.max_concurrent()),
             );
             r.set_gauge("sim.delivery_ratio", faults.delivery_ratio());
         }
         ContinuousReport {
-            avg_bandwidth: Streams::new(overlap.total_busy_time() / window),
-            max_bandwidth: Streams::new(f64::from(overlap.max_concurrent())),
-            requests,
-            failed_requests,
-            streams_started,
+            avg_bandwidth: Streams::new(self.overlap.total_busy_time() / window),
+            max_bandwidth: Streams::new(f64::from(self.overlap.max_concurrent())),
+            requests: summary.total_requests,
+            failed_requests: self.failed_requests,
+            streams_started: self.streams_started,
             faults,
         }
     }

@@ -3,9 +3,9 @@
 use vod_obs::Observer;
 use vod_types::{ArrivalRate, Seconds, VideoSpec};
 
-use crate::arrivals::PoissonProcess;
-use crate::continuous::{ContinuousProtocol, ContinuousRun};
+use crate::continuous::ContinuousProtocol;
 use crate::fault::FaultPlan;
+use crate::runner::{RunSpec, Runner};
 use crate::slotted::{SlottedProtocol, SlottedRun};
 
 /// One measured point of a sweep.
@@ -40,7 +40,7 @@ impl SweepPoint {
 }
 
 /// A labelled series of sweep points — one curve of a figure.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepSeries {
     /// Curve label (protocol name).
     pub label: String,
@@ -104,6 +104,7 @@ pub struct RateSweep {
     measured_slots: u64,
     seed: u64,
     fault_plan: FaultPlan,
+    jobs: usize,
 }
 
 impl RateSweep {
@@ -125,7 +126,20 @@ impl RateSweep {
             measured_slots: SlottedRun::DEFAULT_MEASURED,
             seed: 0xD4B_CA57,
             fault_plan: FaultPlan::none(),
+            jobs: 1,
         }
+    }
+
+    /// Fans the sweep's runs across `jobs` worker threads via the
+    /// [`Runner`]. Seeds stay per-rate ([`seed`](RateSweep::seed)'s
+    /// derivation is unchanged), results are collected in rate order, and
+    /// observers are forked per worker and absorbed back in rate order, so
+    /// the sweep's output is byte-identical for every job count. The
+    /// default, 1, runs serially on the calling thread.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
     }
 
     /// Runs every point of the sweep under `plan` (see
@@ -185,11 +199,30 @@ impl RateSweep {
             .wrapping_add(rate_index as u64)
     }
 
+    /// The sweep, resolved into one independent [`RunSpec`] per rate (the
+    /// form the [`Runner`] executes). Spec `i` carries `seed_for(i)`, so a
+    /// spec's run is a pure function of the spec.
+    #[must_use]
+    pub fn specs(&self) -> Vec<RunSpec> {
+        self.rates
+            .iter()
+            .enumerate()
+            .map(|(idx, &rate)| RunSpec {
+                video: self.video,
+                rate,
+                warmup_slots: self.warmup_slots,
+                measured_slots: self.measured_slots,
+                seed: self.seed_for(idx),
+                fault_plan: self.fault_plan.clone(),
+            })
+            .collect()
+    }
+
     /// Runs a slotted protocol (rebuilt fresh per rate) over every rate.
     pub fn run_slotted<P, F>(&self, factory: F) -> SweepSeries
     where
         P: SlottedProtocol,
-        F: FnMut() -> P,
+        F: Fn() -> P + Sync,
     {
         self.run_slotted_observed(factory, &mut Observer::disabled())
     }
@@ -198,66 +231,55 @@ impl RateSweep {
     /// [`Observer`] through every rate's run: per-rate counters and timer
     /// samples accumulate into the same registry and journal, giving the
     /// sweep-level totals benches emit with `--emit-metrics`.
-    pub fn run_slotted_observed<P, F>(&self, mut factory: F, obs: &mut Observer) -> SweepSeries
+    pub fn run_slotted_observed<P, F>(&self, factory: F, obs: &mut Observer) -> SweepSeries
     where
         P: SlottedProtocol,
-        F: FnMut() -> P,
+        F: Fn() -> P + Sync,
     {
-        let mut points = Vec::with_capacity(self.rates.len());
-        let mut label = String::new();
-        for (idx, &rate) in self.rates.iter().enumerate() {
-            let mut protocol = factory();
-            if label.is_empty() {
-                label = protocol.name().to_owned();
-            }
-            let report = SlottedRun::new(self.video)
-                .warmup_slots(self.warmup_slots)
-                .measured_slots(self.measured_slots)
-                .seed(self.seed_for(idx))
-                .fault_plan(self.fault_plan.clone())
-                .run_observed(&mut protocol, PoissonProcess::new(rate), obs);
-            points.push(SweepPoint {
+        let results = Runner::new(self.jobs).run_slotted_observed(&self.specs(), &factory, obs);
+        let label = results
+            .first()
+            .map(|(name, _)| name.clone())
+            .unwrap_or_default();
+        let points = self
+            .rates
+            .iter()
+            .zip(&results)
+            .map(|(&rate, (_, report))| SweepPoint {
                 rate_per_hour: rate.as_per_hour(),
                 avg_streams: report.avg_bandwidth.get(),
                 max_streams: report.max_bandwidth.get(),
                 delivery_ratio: report.delivery_ratio(),
                 stall_secs: report.stall_secs,
-            });
-        }
+            })
+            .collect();
         SweepSeries { label, points }
     }
 
     /// Runs a continuous protocol (rebuilt fresh per rate) over every rate,
     /// using the same time window as the slotted runs.
-    pub fn run_continuous<P, F>(&self, mut factory: F) -> SweepSeries
+    pub fn run_continuous<P, F>(&self, factory: F) -> SweepSeries
     where
         P: ContinuousProtocol,
-        F: FnMut() -> P,
+        F: Fn() -> P + Sync,
     {
-        let d = self.video.segment_duration();
-        let warmup = d * self.warmup_slots as f64;
-        let horizon = d * (self.warmup_slots + self.measured_slots) as f64;
-
-        let mut points = Vec::with_capacity(self.rates.len());
-        let mut label = String::new();
-        for (idx, &rate) in self.rates.iter().enumerate() {
-            let mut protocol = factory();
-            if label.is_empty() {
-                label = protocol.name().to_owned();
-            }
-            let report = ContinuousRun::new(horizon)
-                .warmup(warmup)
-                .seed(self.seed_for(idx))
-                .fault_plan(self.fault_plan.clone())
-                .run(&mut protocol, PoissonProcess::new(rate));
-            points.push(SweepPoint {
+        let results = Runner::new(self.jobs).run_continuous(&self.specs(), &factory);
+        let label = results
+            .first()
+            .map(|(name, _)| name.clone())
+            .unwrap_or_default();
+        let points = self
+            .rates
+            .iter()
+            .zip(&results)
+            .map(|(&rate, (_, report))| SweepPoint {
                 rate_per_hour: rate.as_per_hour(),
                 avg_streams: report.avg_bandwidth.get(),
                 max_streams: report.max_bandwidth.get(),
                 delivery_ratio: report.delivery_ratio(),
                 stall_secs: 0.0,
-            });
-        }
+            })
+            .collect();
         SweepSeries { label, points }
     }
 

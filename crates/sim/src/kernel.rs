@@ -1,0 +1,292 @@
+//! The generic simulation kernel both engines run on.
+//!
+//! [`slotted`](crate::slotted) and [`continuous`](crate::continuous) used to
+//! each carry a private copy of the same spine: seed the RNG, pull arrivals,
+//! apply the [`FaultPlan`], thread the [`Observer`] through, keep the
+//! warmup/measured request accounting and assemble the run totals. The
+//! [`Engine`] owns that spine once; a [`Workload`] supplies only the
+//! protocol-facing decisions — when an arrival still belongs to the current
+//! step, what delivering it does, and what closing a step does.
+//!
+//! The contract is exact: for any workload, `Engine::run` draws arrivals in
+//! the same order and applies faults at the same points as the loops it
+//! replaced, so the pre-kernel engines' outputs are reproduced bit for bit
+//! (the engine tests and `tests/determinism.rs` hold this to the seed).
+//!
+//! # Pump loop
+//!
+//! ```text
+//! pending ← arrivals.next()
+//! loop {
+//!     while pending is Some(t) and workload.accepts(t) {
+//!         workload.on_arrival(t, kernel)     // deliver, count, observe
+//!         pending ← arrivals.next()
+//!     }
+//!     if !workload.step(kernel) { break }    // close a slot / finish
+//! }
+//! report ← workload.finish(kernel.into_summary(), observer)
+//! ```
+
+use vod_obs::Observer;
+use vod_types::{Seconds, Slot};
+
+use crate::arrivals::ArrivalProcess;
+use crate::fault::{DropCause, FaultInjector, FaultPlan, FaultSummary, SlotOutcome};
+use crate::rng::SimRng;
+
+/// The services the kernel lends a [`Workload`] while it runs: the observer,
+/// fault injection with its delivered-versus-scheduled accounting, and the
+/// request counters.
+#[derive(Debug)]
+pub struct Kernel<'o> {
+    /// The run's observer — journal, registry and hot-path timers.
+    pub obs: &'o mut Observer,
+    injector: FaultInjector,
+    faults: FaultSummary,
+    total_requests: u64,
+    measured_requests: u64,
+}
+
+impl<'o> Kernel<'o> {
+    fn new(injector: FaultInjector, obs: &'o mut Observer) -> Self {
+        Kernel {
+            obs,
+            injector,
+            faults: FaultSummary::default(),
+            total_requests: 0,
+            measured_requests: 0,
+        }
+    }
+
+    /// Applies the fault plan to one slot's scheduled transmissions and
+    /// records the outcome in the run's [`FaultSummary`].
+    pub fn apply_slot(&mut self, slot: Slot, starts_at: Seconds, scheduled: u32) -> SlotOutcome {
+        let outcome = self.injector.apply_slot(slot, starts_at, scheduled);
+        self.faults.record(&outcome);
+        outcome
+    }
+
+    /// Applies the fault plan to one continuous stream starting at `at` and
+    /// records the verdict in the run's [`FaultSummary`].
+    pub fn apply_stream(&mut self, at: Seconds) -> Option<DropCause> {
+        let cause = self.injector.apply_stream(at);
+        self.faults.record_stream(cause);
+        cause
+    }
+
+    /// Counts one delivered request; `measured` marks it as inside the
+    /// measurement window.
+    pub fn count_request(&mut self, measured: bool) {
+        self.total_requests += 1;
+        if measured {
+            self.measured_requests += 1;
+        }
+    }
+
+    /// Requests delivered so far, warm-up included.
+    #[must_use]
+    pub fn total_requests(&self) -> u64 {
+        self.total_requests
+    }
+
+    /// Fault accounting so far.
+    #[must_use]
+    pub fn faults(&self) -> &FaultSummary {
+        &self.faults
+    }
+
+    fn into_summary(self) -> RunSummary {
+        RunSummary {
+            total_requests: self.total_requests,
+            measured_requests: self.measured_requests,
+            faults: self.faults,
+        }
+    }
+}
+
+/// The kernel-owned totals of one run, handed to
+/// [`Workload::finish`] for report assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Requests delivered over the whole run, warm-up included.
+    pub total_requests: u64,
+    /// Requests delivered inside the measurement window.
+    pub measured_requests: u64,
+    /// Delivered-versus-scheduled transmission accounting.
+    pub faults: FaultSummary,
+}
+
+/// One simulation's protocol-facing logic, driven by an [`Engine`].
+///
+/// The kernel pumps arrivals and steps; the workload decides what both mean.
+/// [`SlottedWorkload`](crate::slotted::SlottedWorkload) bins arrivals into
+/// slots and closes one slot per step;
+/// [`ContinuousWorkload`](crate::continuous::ContinuousWorkload) serves each
+/// arrival immediately and has nothing to step.
+pub trait Workload {
+    /// What the run produces.
+    type Report;
+
+    /// Whether an arrival at `t` should be delivered before the next
+    /// [`step`](Workload::step). Returning `false` holds the arrival (the
+    /// engine re-offers it after the step) or, if `t` lies beyond the run's
+    /// horizon, discards it when the run ends.
+    fn accepts(&self, t: Seconds) -> bool;
+
+    /// Delivers one arrival at `t`. Count it via
+    /// [`Kernel::count_request`].
+    fn on_arrival(&mut self, t: Seconds, kernel: &mut Kernel<'_>);
+
+    /// Advances the simulation once all currently-acceptable arrivals are
+    /// delivered. Returns `false` when the run is over.
+    fn step(&mut self, kernel: &mut Kernel<'_>) -> bool;
+
+    /// Assembles the report from the kernel's totals.
+    fn finish(self, summary: RunSummary, obs: &mut Observer) -> Self::Report;
+}
+
+/// The shared engine: seeded arrival generation, fault application, observer
+/// threading and run accounting around any [`Workload`].
+#[derive(Debug, Clone)]
+pub struct Engine {
+    seed: u64,
+    fault_plan: FaultPlan,
+}
+
+impl Engine {
+    /// Creates an engine drawing arrivals from `seed` and injecting faults
+    /// per `fault_plan` (whose RNG is independent of the arrival seed).
+    #[must_use]
+    pub fn new(seed: u64, fault_plan: FaultPlan) -> Self {
+        Engine { seed, fault_plan }
+    }
+
+    /// Pumps `arrivals` through `workload` until it declares the run over,
+    /// then hands the kernel's totals to [`Workload::finish`].
+    pub fn run<W, A>(&self, mut workload: W, mut arrivals: A, obs: &mut Observer) -> W::Report
+    where
+        W: Workload,
+        A: ArrivalProcess,
+    {
+        let mut rng = SimRng::seed_from(self.seed);
+        let mut kernel = Kernel::new(self.fault_plan.injector(), &mut *obs);
+        let mut pending = arrivals.next_arrival(&mut rng);
+        loop {
+            while let Some(t) = pending {
+                if !workload.accepts(t) {
+                    break;
+                }
+                workload.on_arrival(t, &mut kernel);
+                pending = arrivals.next_arrival(&mut rng);
+            }
+            if !workload.step(&mut kernel) {
+                break;
+            }
+        }
+        let summary = kernel.into_summary();
+        workload.finish(summary, obs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::DeterministicArrivals;
+
+    /// Accepts arrivals below a horizon, never steps.
+    struct CountAll {
+        horizon: Seconds,
+    }
+
+    impl Workload for CountAll {
+        type Report = RunSummary;
+
+        fn accepts(&self, t: Seconds) -> bool {
+            t <= self.horizon
+        }
+
+        fn on_arrival(&mut self, _t: Seconds, kernel: &mut Kernel<'_>) {
+            kernel.count_request(true);
+        }
+
+        fn step(&mut self, _kernel: &mut Kernel<'_>) -> bool {
+            false
+        }
+
+        fn finish(self, summary: RunSummary, _obs: &mut Observer) -> RunSummary {
+            summary
+        }
+    }
+
+    #[test]
+    fn pump_delivers_accepted_arrivals_and_stops() {
+        let arrivals = DeterministicArrivals::new(vec![
+            Seconds::new(1.0),
+            Seconds::new(2.0),
+            Seconds::new(99.0),
+        ]);
+        let summary = Engine::new(0, FaultPlan::none()).run(
+            CountAll {
+                horizon: Seconds::new(10.0),
+            },
+            arrivals,
+            &mut Observer::disabled(),
+        );
+        // The 99 s arrival lies beyond the horizon and is discarded.
+        assert_eq!(summary.total_requests, 2);
+        assert_eq!(summary.measured_requests, 2);
+        assert_eq!(summary.faults, FaultSummary::default());
+    }
+
+    /// Steps N times without accepting anything, counting steps.
+    struct StepsOnly {
+        left: u32,
+        taken: u32,
+    }
+
+    impl Workload for StepsOnly {
+        type Report = u32;
+
+        fn accepts(&self, _t: Seconds) -> bool {
+            false
+        }
+
+        fn on_arrival(&mut self, _t: Seconds, _kernel: &mut Kernel<'_>) {
+            unreachable!("nothing is accepted");
+        }
+
+        fn step(&mut self, _kernel: &mut Kernel<'_>) -> bool {
+            if self.left == 0 {
+                return false;
+            }
+            self.left -= 1;
+            self.taken += 1;
+            true
+        }
+
+        fn finish(self, _summary: RunSummary, _obs: &mut Observer) -> u32 {
+            self.taken
+        }
+    }
+
+    #[test]
+    fn zero_horizon_workload_never_delivers() {
+        let arrivals = DeterministicArrivals::new(vec![Seconds::new(0.5)]);
+        let taken = Engine::new(0, FaultPlan::none()).run(
+            StepsOnly { left: 0, taken: 0 },
+            arrivals,
+            &mut Observer::disabled(),
+        );
+        assert_eq!(taken, 0);
+    }
+
+    #[test]
+    fn steps_run_to_completion_without_arrivals() {
+        let taken = Engine::new(0, FaultPlan::none()).run(
+            StepsOnly { left: 3, taken: 0 },
+            DeterministicArrivals::new(vec![]),
+            &mut Observer::disabled(),
+        );
+        assert_eq!(taken, 3);
+    }
+}

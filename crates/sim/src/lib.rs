@@ -11,6 +11,13 @@
 //!   (stream tapping, patching), which transmit arbitrary-length streams at
 //!   arbitrary times.
 //!
+//! Both engines are workloads over one generic simulation kernel
+//! ([`kernel::Engine`]), which owns the shared spine: arrival generation,
+//! fault application, observer emission and warmup/measured accounting.
+//! Independent runs fan across threads through the deterministic parallel
+//! runner ([`runner::Runner`]); per-spec seed derivation keeps parallel
+//! output byte-identical to serial.
+//!
 //! Both engines draw arrivals from an [`ArrivalProcess`] (homogeneous Poisson,
 //! time-varying Poisson via thinning, or a deterministic script for tests) and
 //! are fully deterministic given a seed. Either engine can additionally run
@@ -43,20 +50,27 @@ pub mod arrivals;
 pub mod continuous;
 pub mod experiment;
 pub mod fault;
-pub mod metrics;
+pub mod kernel;
 pub mod report;
 pub mod rng;
+pub mod runner;
 pub mod slotted;
 
 pub use arrivals::{
     ArrivalProcess, DeterministicArrivals, PoissonProcess, RateProfile, TimeVaryingPoisson,
 };
-pub use continuous::{ContinuousProtocol, ContinuousReport, ContinuousRun, StreamInterval};
+pub use continuous::{
+    ContinuousProtocol, ContinuousReport, ContinuousRun, ContinuousWorkload, StreamInterval,
+};
 pub use experiment::{RateSweep, SweepPoint, SweepSeries};
 pub use fault::{DropCause, FaultInjector, FaultPlan, FaultSummary, SlotOutcome};
-pub use metrics::{LoadHistogram, RunningStats, TimeWeightedMax};
+pub use kernel::{Engine, Kernel, RunSummary, Workload};
 pub use report::{csv_table, render_table, Table};
 pub use rng::SimRng;
-pub use slotted::{SlottedProtocol, SlottedReport, SlottedRun};
+pub use runner::{RunSpec, Runner};
+pub use slotted::{SlottedProtocol, SlottedReport, SlottedRun, SlottedWorkload};
 pub use vod_obs as obs;
-pub use vod_obs::{Event, EventKind, FaultKind, Journal, Observer, Registry};
+pub use vod_obs::{
+    Event, EventKind, FaultKind, Journal, LoadHistogram, Observer, Registry, RunningStats,
+    TimeWeightedMax,
+};

@@ -1,0 +1,370 @@
+//! The deterministic parallel experiment runner.
+//!
+//! A [`Runner`] fans independent simulation runs across OS threads with a
+//! [`std::thread::scope`] work queue — no external dependencies — while
+//! guaranteeing that the output is *byte-identical* to running the same work
+//! serially:
+//!
+//! * every run is self-contained (own seed, own fault-plan RNG, own
+//!   protocol instance built by the caller's factory), so no run observes
+//!   another's execution;
+//! * results are collected by task index, not completion order;
+//! * with `jobs == 1` the tasks run in order on the calling thread — the
+//!   exact pre-runner code path.
+//!
+//! The per-spec seeds come from the caller (e.g.
+//! [`RateSweep`](crate::experiment::RateSweep) derives them as
+//! `seed · 0x9E37_79B9_7F4A_7C15 + rate_index`), so the schedule a spec runs
+//! on is a pure function of the spec — never of thread timing.
+//!
+//! Observability under parallelism: each worker run gets a private
+//! [`Observer`] fork ([`Observer::worker`]) which is folded back into the
+//! caller's observer in spec order ([`Observer::absorb`]) once all runs
+//! finish, so counters, timer histograms and journal event order match a
+//! serial run of the same specs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use vod_obs::Observer;
+use vod_types::{ArrivalRate, VideoSpec};
+
+use crate::arrivals::PoissonProcess;
+use crate::continuous::{ContinuousProtocol, ContinuousReport, ContinuousRun};
+use crate::fault::FaultPlan;
+use crate::slotted::{SlottedProtocol, SlottedReport, SlottedRun};
+
+/// One fully-resolved simulation run: everything needed to execute it on any
+/// thread, independently of every other spec.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// The video under test.
+    pub video: VideoSpec,
+    /// Poisson request arrival rate.
+    pub rate: ArrivalRate,
+    /// Warm-up window in slots.
+    pub warmup_slots: u64,
+    /// Measured window in slots.
+    pub measured_slots: u64,
+    /// The run's own arrival seed (already derived — the runner never
+    /// re-derives seeds).
+    pub seed: u64,
+    /// Channel faults to inject.
+    pub fault_plan: FaultPlan,
+}
+
+impl RunSpec {
+    /// The equivalent slotted run configuration.
+    #[must_use]
+    pub fn slotted(&self) -> SlottedRun {
+        SlottedRun::new(self.video)
+            .warmup_slots(self.warmup_slots)
+            .measured_slots(self.measured_slots)
+            .seed(self.seed)
+            .fault_plan(self.fault_plan.clone())
+    }
+
+    /// The equivalent continuous run configuration, covering the same time
+    /// window as [`slotted`](RunSpec::slotted).
+    #[must_use]
+    pub fn continuous(&self) -> ContinuousRun {
+        let d = self.video.segment_duration();
+        ContinuousRun::new(d * (self.warmup_slots + self.measured_slots) as f64)
+            .warmup(d * self.warmup_slots as f64)
+            .seed(self.seed)
+            .fault_plan(self.fault_plan.clone())
+    }
+
+    /// The spec's arrival process.
+    #[must_use]
+    pub fn arrivals(&self) -> PoissonProcess {
+        PoissonProcess::new(self.rate)
+    }
+}
+
+/// A work-queue executor over independent closures.
+#[derive(Debug, Clone, Copy)]
+pub struct Runner {
+    jobs: usize,
+}
+
+impl Runner {
+    /// Creates a runner with `jobs` worker threads (clamped to at least 1;
+    /// 1 means run serially on the calling thread).
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        Runner { jobs: jobs.max(1) }
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs every task and returns the results in task order.
+    ///
+    /// With one job (or at most one task) the tasks run in order on the
+    /// calling thread; otherwise `min(jobs, tasks)` scoped threads pull task
+    /// indices from a shared atomic counter. Either way `results[i]` is
+    /// `tasks[i]()`, so callers observe identical output regardless of the
+    /// job count. A panicking task propagates its panic to the caller.
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = tasks.len();
+        if self.jobs <= 1 || n <= 1 {
+            return tasks.into_iter().map(|task| task()).collect();
+        }
+        let task_slots: Vec<Mutex<Option<F>>> =
+            tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let result_slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.jobs.min(n) {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let task = task_slots[idx]
+                        .lock()
+                        .expect("task slot poisoned")
+                        .take()
+                        .expect("task claimed twice");
+                    let result = task();
+                    *result_slots[idx].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        result_slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker finished without storing a result")
+            })
+            .collect()
+    }
+
+    /// Runs a slotted protocol (rebuilt fresh per spec from `factory`) over
+    /// every spec, returning `(protocol name, report)` pairs in spec order.
+    pub fn run_slotted<P, F>(&self, specs: &[RunSpec], factory: &F) -> Vec<(String, SlottedReport)>
+    where
+        P: SlottedProtocol,
+        F: Fn() -> P + Sync,
+    {
+        self.run_slotted_observed(specs, factory, &mut Observer::disabled())
+    }
+
+    /// Like [`run_slotted`](Runner::run_slotted), threading an [`Observer`]
+    /// through the runs. With one job the caller's observer is used directly
+    /// (the exact serial path); with more, each spec runs under a private
+    /// [`Observer::worker`] fork, absorbed back in spec order.
+    pub fn run_slotted_observed<P, F>(
+        &self,
+        specs: &[RunSpec],
+        factory: &F,
+        obs: &mut Observer,
+    ) -> Vec<(String, SlottedReport)>
+    where
+        P: SlottedProtocol,
+        F: Fn() -> P + Sync,
+    {
+        if self.jobs <= 1 || specs.len() <= 1 {
+            return specs
+                .iter()
+                .map(|spec| {
+                    let mut protocol = factory();
+                    let name = protocol.name().to_owned();
+                    let report = spec
+                        .slotted()
+                        .run_observed(&mut protocol, spec.arrivals(), obs);
+                    (name, report)
+                })
+                .collect();
+        }
+        let tasks = specs
+            .iter()
+            .map(|spec| {
+                let mut worker_obs = obs.worker();
+                move || {
+                    let mut protocol = factory();
+                    let name = protocol.name().to_owned();
+                    let report = spec.slotted().run_observed(
+                        &mut protocol,
+                        spec.arrivals(),
+                        &mut worker_obs,
+                    );
+                    (name, report, worker_obs)
+                }
+            })
+            .collect();
+        self.run(tasks)
+            .into_iter()
+            .map(|(name, report, worker_obs)| {
+                obs.absorb(&worker_obs);
+                (name, report)
+            })
+            .collect()
+    }
+
+    /// Runs a continuous protocol (rebuilt fresh per spec from `factory`)
+    /// over every spec — each over the same time window as the spec's
+    /// slotted form — returning `(protocol name, report)` pairs in spec
+    /// order.
+    pub fn run_continuous<P, F>(
+        &self,
+        specs: &[RunSpec],
+        factory: &F,
+    ) -> Vec<(String, ContinuousReport)>
+    where
+        P: ContinuousProtocol,
+        F: Fn() -> P + Sync,
+    {
+        let tasks = specs
+            .iter()
+            .map(|spec| {
+                move || {
+                    let mut protocol = factory();
+                    let name = protocol.name().to_owned();
+                    let report = spec.continuous().run(&mut protocol, spec.arrivals());
+                    (name, report)
+                }
+            })
+            .collect();
+        self.run(tasks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_types::{Seconds, Slot};
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        for jobs in [1, 2, 4, 7] {
+            let tasks: Vec<_> = (0..23usize).map(|i| move || i * i).collect();
+            let out = Runner::new(jobs).run(tasks);
+            assert_eq!(out, (0..23usize).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_clamped_to_serial() {
+        let runner = Runner::new(0);
+        assert_eq!(runner.jobs(), 1);
+        assert_eq!(runner.run(vec![|| 7]), vec![7]);
+    }
+
+    #[test]
+    fn empty_task_list_yields_empty_results() {
+        let out: Vec<u32> = Runner::new(4).run(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+    }
+
+    struct Echo {
+        pending: u32,
+    }
+
+    impl SlottedProtocol for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn on_request(&mut self, _: Slot) {
+            self.pending += 1;
+        }
+        fn transmissions_in(&mut self, _: Slot) -> u32 {
+            std::mem::take(&mut self.pending)
+        }
+    }
+
+    fn specs() -> Vec<RunSpec> {
+        [10.0, 50.0, 200.0]
+            .iter()
+            .enumerate()
+            .map(|(idx, &per_hour)| RunSpec {
+                video: VideoSpec::paper_two_hour(),
+                rate: ArrivalRate::per_hour(per_hour),
+                warmup_slots: 10,
+                measured_slots: 300,
+                seed: 1000 + idx as u64,
+                fault_plan: FaultPlan::none(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_slotted_runs_match_serial() {
+        let specs = specs();
+        let factory = || Echo { pending: 0 };
+        let serial = Runner::new(1).run_slotted(&specs, &factory);
+        let parallel = Runner::new(4).run_slotted(&specs, &factory);
+        assert_eq!(serial.len(), parallel.len());
+        for ((sn, sr), (pn, pr)) in serial.iter().zip(&parallel) {
+            assert_eq!(sn, pn);
+            assert_eq!(sr.total_requests, pr.total_requests);
+            assert_eq!(sr.avg_bandwidth, pr.avg_bandwidth);
+            assert_eq!(sr.max_bandwidth, pr.max_bandwidth);
+            assert_eq!(sr.faults, pr.faults);
+        }
+    }
+
+    struct Unicast;
+
+    impl ContinuousProtocol for Unicast {
+        fn name(&self) -> &str {
+            "unicast"
+        }
+        fn on_request(&mut self, t: Seconds) -> Vec<crate::continuous::StreamInterval> {
+            vec![crate::continuous::StreamInterval::starting_at(
+                t,
+                Seconds::from_hours(2.0),
+            )]
+        }
+    }
+
+    #[test]
+    fn parallel_continuous_runs_match_serial() {
+        let specs = specs();
+        let factory = || Unicast;
+        let serial = Runner::new(1).run_continuous(&specs, &factory);
+        let parallel = Runner::new(4).run_continuous(&specs, &factory);
+        for ((sn, sr), (pn, pr)) in serial.iter().zip(&parallel) {
+            assert_eq!(sn, pn);
+            assert_eq!(sr.avg_bandwidth, pr.avg_bandwidth);
+            assert_eq!(sr.max_bandwidth, pr.max_bandwidth);
+            assert_eq!(sr.streams_started, pr.streams_started);
+        }
+    }
+
+    #[test]
+    fn parallel_observers_accumulate_like_serial() {
+        let specs = specs();
+        let factory = || Echo { pending: 0 };
+
+        let mut serial_obs = Observer::enabled(vod_obs::Journal::enabled());
+        let _ = Runner::new(1).run_slotted_observed(&specs, &factory, &mut serial_obs);
+        serial_obs.finish_timers();
+
+        let mut parallel_obs = Observer::enabled(vod_obs::Journal::enabled());
+        let _ = Runner::new(3).run_slotted_observed(&specs, &factory, &mut parallel_obs);
+        parallel_obs.finish_timers();
+
+        for name in ["sim.slots", "sim.requests", "fault.scheduled"] {
+            assert_eq!(
+                serial_obs.registry.counter(name),
+                parallel_obs.registry.counter(name),
+                "counter {name} diverged"
+            );
+        }
+        // Journals carry the same events in the same order (seq included).
+        assert_eq!(
+            serial_obs.journal.snapshot(),
+            parallel_obs.journal.snapshot()
+        );
+    }
+}

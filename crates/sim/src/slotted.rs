@@ -1,12 +1,11 @@
 //! The slotted simulation engine.
 
-use vod_obs::{Event, Observer};
+use vod_obs::{Event, LoadHistogram, Observer, RunningStats};
 use vod_types::{Seconds, Slot, Streams, VideoSpec};
 
 use crate::arrivals::ArrivalProcess;
 use crate::fault::{FaultPlan, FaultSummary, SlotOutcome};
-use crate::metrics::{LoadHistogram, RunningStats};
-use crate::rng::SimRng;
+use crate::kernel::{Engine, Kernel, RunSummary, Workload};
 
 /// A broadcasting protocol driven slot by slot.
 ///
@@ -199,104 +198,173 @@ impl SlottedRun {
     pub fn run_observed<P, A>(
         &self,
         protocol: &mut P,
-        mut arrivals: A,
+        arrivals: A,
         obs: &mut Observer,
     ) -> SlottedReport
     where
         P: SlottedProtocol + ?Sized,
         A: ArrivalProcess,
     {
-        let mut rng = SimRng::seed_from(self.seed);
-        let d = self.video.segment_duration().as_secs_f64();
-        let total_slots = self.warmup_slots + self.measured_slots;
+        let workload =
+            SlottedWorkload::new(protocol, self.video, self.warmup_slots, self.measured_slots);
+        Engine::new(self.seed, self.fault_plan.clone()).run(workload, arrivals, obs)
+    }
+}
 
-        let mut injector = self.fault_plan.injector();
-        let mut faults = FaultSummary::default();
-        let mut stats = RunningStats::new();
-        let mut histogram = LoadHistogram::new();
-        let mut wait_stats = RunningStats::new();
-        let mut total_requests = 0u64;
-        let mut measured_requests = 0u64;
+/// The slotted engine's per-step logic, run on the
+/// [`kernel`](crate::kernel): arrivals are binned into fixed-duration slots
+/// and each [`step`](Workload::step) closes one slot — count transmissions,
+/// apply faults, report the outcome back to the protocol, record measured
+/// statistics.
+#[derive(Debug)]
+pub struct SlottedWorkload<'p, P: ?Sized> {
+    protocol: &'p mut P,
+    d: f64,
+    warmup_slots: u64,
+    measured_slots: u64,
+    total_slots: u64,
+    slot_idx: u64,
+    playback_delay: f64,
+    stats: RunningStats,
+    histogram: LoadHistogram,
+    wait_stats: RunningStats,
+}
+
+impl<'p, P> SlottedWorkload<'p, P>
+where
+    P: SlottedProtocol + ?Sized,
+{
+    /// Wraps `protocol` for a run over `video`'s slot grid.
+    pub fn new(
+        protocol: &'p mut P,
+        video: VideoSpec,
+        warmup_slots: u64,
+        measured_slots: u64,
+    ) -> Self {
+        let d = video.segment_duration().as_secs_f64();
         let playback_delay = protocol.playback_delay_slots() as f64 * d;
-
-        let mut pending = arrivals.next_arrival(&mut rng);
-        for slot_idx in 0..total_slots {
-            let slot = Slot::new(slot_idx);
-            let slot_end = (slot_idx + 1) as f64 * d;
-            while let Some(t) = pending {
-                if t.as_secs_f64() >= slot_end {
-                    break;
-                }
-                obs.journal
-                    .emit_with(|| Event::RequestArrived { slot: slot_idx });
-                obs.time_schedule(|| protocol.on_request(slot));
-                total_requests += 1;
-                if slot_idx >= self.warmup_slots {
-                    measured_requests += 1;
-                    // Wait: to the next slot boundary, plus any protocol-
-                    // mandated full-buffering delay.
-                    wait_stats.push(slot_end - t.as_secs_f64() + playback_delay);
-                }
-                pending = arrivals.next_arrival(&mut rng);
-            }
-            let scheduled = obs.time_step(|| protocol.transmissions_in(slot));
-            let outcome = injector.apply_slot(slot, Seconds::new(slot_idx as f64 * d), scheduled);
-            faults.record(&outcome);
-            // Bandwidth = what the server put on the wire: capped and
-            // outage-silenced instances never aired; lost ones did.
-            let load = outcome.transmitted();
-            if obs.journal.is_enabled() {
-                for &(instance, cause) in &outcome.dropped {
-                    obs.journal.emit(Event::InstanceDropped {
-                        slot: slot_idx,
-                        instance,
-                        cause: cause.into(),
-                    });
-                }
-            }
-            obs.time_recovery(|| protocol.on_slot_outcome(&outcome));
-            obs.journal.emit_with(|| Event::SlotClosed {
-                slot: slot_idx,
-                scheduled,
-                transmitted: load,
-            });
-            if slot_idx >= self.warmup_slots {
-                stats.push(f64::from(load));
-                histogram.record(load);
-            }
-            obs.heartbeat(slot_idx + 1, total_slots, "slots");
+        SlottedWorkload {
+            protocol,
+            d,
+            warmup_slots,
+            measured_slots,
+            total_slots: warmup_slots + measured_slots,
+            slot_idx: 0,
+            playback_delay,
+            stats: RunningStats::new(),
+            histogram: LoadHistogram::new(),
+            wait_stats: RunningStats::new(),
         }
+    }
 
-        let stall_slots = protocol.stall_slots();
+    fn slot_end(&self) -> f64 {
+        (self.slot_idx + 1) as f64 * self.d
+    }
+}
+
+impl<P> Workload for SlottedWorkload<'_, P>
+where
+    P: SlottedProtocol + ?Sized,
+{
+    type Report = SlottedReport;
+
+    fn accepts(&self, t: Seconds) -> bool {
+        // Arrivals belong to the slot being processed; anything at or past
+        // its end waits for (or outlives) the next one.
+        self.slot_idx < self.total_slots && t.as_secs_f64() < self.slot_end()
+    }
+
+    fn on_arrival(&mut self, t: Seconds, kernel: &mut Kernel<'_>) {
+        let slot_idx = self.slot_idx;
+        let slot = Slot::new(slot_idx);
+        kernel
+            .obs
+            .journal
+            .emit_with(|| Event::RequestArrived { slot: slot_idx });
+        kernel.obs.time_schedule(|| self.protocol.on_request(slot));
+        let measured = slot_idx >= self.warmup_slots;
+        kernel.count_request(measured);
+        if measured {
+            // Wait: to the next slot boundary, plus any protocol-mandated
+            // full-buffering delay.
+            self.wait_stats
+                .push(self.slot_end() - t.as_secs_f64() + self.playback_delay);
+        }
+    }
+
+    fn step(&mut self, kernel: &mut Kernel<'_>) -> bool {
+        if self.slot_idx >= self.total_slots {
+            return false;
+        }
+        let slot_idx = self.slot_idx;
+        let slot = Slot::new(slot_idx);
+        let scheduled = kernel
+            .obs
+            .time_step(|| self.protocol.transmissions_in(slot));
+        let outcome = kernel.apply_slot(slot, Seconds::new(slot_idx as f64 * self.d), scheduled);
+        // Bandwidth = what the server put on the wire: capped and
+        // outage-silenced instances never aired; lost ones did.
+        let load = outcome.transmitted();
+        if kernel.obs.journal.is_enabled() {
+            for &(instance, cause) in &outcome.dropped {
+                kernel.obs.journal.emit(Event::InstanceDropped {
+                    slot: slot_idx,
+                    instance,
+                    cause: cause.into(),
+                });
+            }
+        }
+        kernel
+            .obs
+            .time_recovery(|| self.protocol.on_slot_outcome(&outcome));
+        kernel.obs.journal.emit_with(|| Event::SlotClosed {
+            slot: slot_idx,
+            scheduled,
+            transmitted: load,
+        });
+        if slot_idx >= self.warmup_slots {
+            self.stats.push(f64::from(load));
+            self.histogram.record(load);
+        }
+        kernel
+            .obs
+            .heartbeat(slot_idx + 1, self.total_slots, "slots");
+        self.slot_idx += 1;
+        true
+    }
+
+    fn finish(self, summary: RunSummary, obs: &mut Observer) -> SlottedReport {
+        let stall_slots = self.protocol.stall_slots();
+        let faults = summary.faults;
         if obs.is_enabled() {
             let r = &mut obs.registry;
-            r.inc("sim.slots", total_slots);
-            r.inc("sim.requests", total_requests);
-            r.inc("sim.measured_requests", measured_requests);
+            r.inc("sim.slots", self.total_slots);
+            r.inc("sim.requests", summary.total_requests);
+            r.inc("sim.measured_requests", summary.measured_requests);
             r.inc("sim.stall_slots", stall_slots);
             r.inc("fault.scheduled", faults.scheduled);
             r.inc("fault.delivered", faults.delivered);
             r.inc("fault.lost", faults.lost);
             r.inc("fault.outage_dropped", faults.outage_dropped);
             r.inc("fault.capped", faults.capped);
-            r.set_gauge("sim.avg_bandwidth_streams", stats.mean());
-            r.set_gauge("sim.max_bandwidth_streams", stats.max().unwrap_or(0.0));
-            r.set_gauge("sim.wait_mean_secs", wait_stats.mean());
+            r.set_gauge("sim.avg_bandwidth_streams", self.stats.mean());
+            r.set_gauge("sim.max_bandwidth_streams", self.stats.max().unwrap_or(0.0));
+            r.set_gauge("sim.wait_mean_secs", self.wait_stats.mean());
             r.set_gauge("sim.delivery_ratio", faults.delivery_ratio());
-            r.record_load_quantiles("sim.slot_load", &histogram);
+            r.record_load_quantiles("sim.slot_load", &self.histogram);
         }
         SlottedReport {
-            avg_bandwidth: Streams::new(stats.mean()),
-            max_bandwidth: Streams::new(stats.max().unwrap_or(0.0)),
-            bandwidth_stats: stats,
-            load_histogram: histogram,
-            wait_stats,
-            total_requests,
-            measured_requests,
+            avg_bandwidth: Streams::new(self.stats.mean()),
+            max_bandwidth: Streams::new(self.stats.max().unwrap_or(0.0)),
+            bandwidth_stats: self.stats,
+            load_histogram: self.histogram,
+            wait_stats: self.wait_stats,
+            total_requests: summary.total_requests,
+            measured_requests: summary.measured_requests,
             measured_slots: self.measured_slots,
             faults,
             stall_slots,
-            stall_secs: stall_slots as f64 * d,
+            stall_secs: stall_slots as f64 * self.d,
         }
     }
 }

@@ -54,6 +54,9 @@ pub enum Command {
         outage: Option<(f64, f64)>,
         /// Fault RNG seed (independent of the arrival seed).
         fault_seed: Option<u64>,
+        /// Worker threads for the per-rate runs (output is identical for
+        /// every value; only wall-clock time changes).
+        jobs: usize,
     },
     /// `vodsim vbr …`
     Vbr {
@@ -161,7 +164,8 @@ pub fn usage() -> String {
     "usage:\n  \
      vodsim sweep --protocol <dhb|ud|dnpb|dsb|tapping|patching|npb> --rates <r1,r2,…>\n          \
      [--segments 99] [--duration-mins 120] [--slots 2000] [--seed 42]\n          \
-     [--loss 0.05] [--slot-cap 8] [--outage <start:end secs>] [--fault-seed 7]\n  \
+     [--loss 0.05] [--slot-cap 8] [--outage <start:end secs>] [--fault-seed 7]\n          \
+     [--jobs 4]\n  \
      vodsim vbr [--preset <matrix|action|drama|toon>] [--max-wait-secs 60] [--seed 42]\n  \
      vodsim server [--videos 20] [--total-rate 500] [--zipf 1.0] [--slots 1200] [--seed 42]\n  \
      vodsim schedule [--segments 6] [--arrivals 1,3]\n  \
@@ -204,6 +208,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 slot_cap: opts.take_u64("slot-cap")?.map(|v| v as u32),
                 outage: opts.take_outage("outage")?,
                 fault_seed: opts.take_u64("fault-seed")?,
+                jobs: opts.take_usize("jobs")?.unwrap_or(1),
             };
             opts.finish()?;
             if let Command::Sweep {
@@ -213,6 +218,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 loss,
                 slot_cap,
                 outage,
+                jobs,
                 ..
             } = &cmd
             {
@@ -239,6 +245,9 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                             "--outage window must be non-empty (start < end)".to_owned(),
                         ));
                     }
+                }
+                if *jobs == 0 {
+                    return Err(UsageError("--jobs must be positive".to_owned()));
                 }
             }
             Ok(cmd)
@@ -492,6 +501,7 @@ pub fn run(command: &Command) -> Result<String, UsageError> {
             slot_cap,
             outage,
             fault_seed,
+            jobs,
         } => {
             let mut plan = FaultPlan::none().with_loss_rate(*loss);
             if let Some(cap) = slot_cap {
@@ -511,6 +521,7 @@ pub fn run(command: &Command) -> Result<String, UsageError> {
                 *slots,
                 *seed,
                 &plan,
+                *jobs,
             )
         }
         Command::Vbr {
@@ -635,6 +646,7 @@ fn run_analyze(
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_sweep(
     protocol: &str,
     rates: &[f64],
@@ -643,6 +655,7 @@ fn run_sweep(
     slots: u64,
     seed: u64,
     plan: &FaultPlan,
+    jobs: usize,
 ) -> Result<String, UsageError> {
     let video = VideoSpec::new(Seconds::from_mins(duration_mins), segments)
         .map_err(|e| UsageError(e.to_string()))?;
@@ -651,7 +664,8 @@ fn run_sweep(
         .warmup_slots(slots / 10)
         .measured_slots(slots)
         .seed(seed)
-        .fault_plan(plan.clone());
+        .fault_plan(plan.clone())
+        .jobs(jobs);
 
     let series = match protocol {
         "dhb" => sweep.run_slotted(|| Dhb::fixed_rate(segments)),
@@ -963,8 +977,19 @@ mod tests {
                 slot_cap: None,
                 outage: None,
                 fault_seed: None,
+                jobs: 1,
             }
         );
+    }
+
+    #[test]
+    fn parses_jobs_flag() {
+        let cmd = parse(&args("sweep --protocol dhb --rates 1,10 --jobs 4")).unwrap();
+        match cmd {
+            Command::Sweep { jobs, .. } => assert_eq!(jobs, 4),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(parse(&args("sweep --protocol dhb --rates 1 --jobs 0")).is_err());
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Determinism contract of the parallel runner: a [`RateSweep`] fanned
+//! across worker threads must produce a [`SweepSeries`] identical to the
+//! serial run — same seeds, same points, same labels — for every protocol
+//! family and every seed. Parallelism may only change wall-clock time.
+
+use proptest::prelude::*;
+use vod_dhb::dhb::Dhb;
+use vod_dhb::protocols::npb::npb_mapping_for;
+use vod_dhb::protocols::{FixedBroadcast, StreamTapping, TappingPolicy};
+use vod_dhb::sim::{FaultPlan, RateSweep};
+use vod_dhb::types::VideoSpec;
+
+fn sweep(seed: u64, rates: &[f64], jobs: usize) -> RateSweep {
+    RateSweep::new(VideoSpec::paper_two_hour())
+        .rates_per_hour(rates)
+        .warmup_slots(20)
+        .measured_slots(150)
+        .seed(seed)
+        .jobs(jobs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// DHB: 4 jobs reproduce the serial sweep exactly.
+    #[test]
+    fn dhb_sweep_is_jobs_invariant(
+        seed in any::<u64>(),
+        rates in prop::collection::vec(1.0f64..500.0, 1..6),
+    ) {
+        let serial = sweep(seed, &rates, 1).run_slotted(|| Dhb::fixed_rate(99));
+        let parallel = sweep(seed, &rates, 4).run_slotted(|| Dhb::fixed_rate(99));
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// NPB's fixed mapping, driven through the engine under a faulty
+    /// channel (the interesting case: loss draws must line up too).
+    #[test]
+    fn npb_sweep_is_jobs_invariant(
+        seed in any::<u64>(),
+        loss in 0.0f64..0.2,
+    ) {
+        let rates = [5.0, 50.0, 200.0];
+        let plan = FaultPlan::none().with_loss_rate(loss).with_seed(seed ^ 0xF00D);
+        let serial = sweep(seed, &rates, 1)
+            .fault_plan(plan.clone())
+            .run_slotted(|| FixedBroadcast::new(npb_mapping_for(99)));
+        let parallel = sweep(seed, &rates, 4)
+            .fault_plan(plan)
+            .run_slotted(|| FixedBroadcast::new(npb_mapping_for(99)));
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// Stream tapping: the continuous engine through the same runner.
+    #[test]
+    fn tapping_sweep_is_jobs_invariant(
+        seed in any::<u64>(),
+        rates in prop::collection::vec(1.0f64..200.0, 1..5),
+    ) {
+        let video = VideoSpec::paper_two_hour();
+        let serial = sweep(seed, &rates, 1)
+            .run_continuous(|| StreamTapping::new(video.duration(), TappingPolicy::Extra));
+        let parallel = sweep(seed, &rates, 4)
+            .run_continuous(|| StreamTapping::new(video.duration(), TappingPolicy::Extra));
+        prop_assert_eq!(serial, parallel);
+    }
+}
