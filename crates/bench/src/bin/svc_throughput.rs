@@ -1,0 +1,168 @@
+//! SVC-THROUGHPUT — request throughput and grant latency of the live
+//! vod-svc service at 1, 2, and 4 scheduler shards, with the **identity
+//! check** on: every grant delivered over TCP is compared against the
+//! offline [`DhbScheduler`] oracle, so the numbers only count work that is
+//! byte-identical to the simulator.
+//!
+//! Eight connections drive eight videos (one each) with explicit stride-1
+//! arrival slots; the admission queue is deep enough that nothing is shed,
+//! making the grant sequence per video independent of shard count. On a
+//! host with ≥ 4 cores the 4-shard configuration must clear 1.8× the
+//! single-shard throughput; on smaller hosts (CI) the scaling row is
+//! reported but not asserted.
+
+use std::time::Duration;
+
+use dhb_core::DhbScheduler;
+use vod_sim::Table;
+use vod_svc::{run_load, GrantedSegment, LoadConfig, Service, SvcConfig};
+use vod_types::{Seconds, Slot, VideoSpec};
+
+const VIDEOS: u32 = 8;
+const CONNS: usize = 8;
+const WINDOW: u64 = 4;
+
+/// The offline oracle: the grant sequence a fresh scheduler produces for
+/// stride-1 arrivals.
+fn oracle(segments: usize, requests: u64) -> Vec<Vec<GrantedSegment>> {
+    let mut scheduler = DhbScheduler::fixed_rate(segments);
+    (0..requests)
+        .map(|a| {
+            while scheduler.next_slot().index() < a {
+                let _ = scheduler.pop_slot();
+            }
+            scheduler
+                .schedule_request(Slot::new(a))
+                .iter()
+                .map(|s| GrantedSegment {
+                    segment: s.segment.get() as u32,
+                    slot: s.slot.index(),
+                    shared: !s.newly_scheduled,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (segments, requests_per_conn) = if quick { (30, 150) } else { (120, 400) };
+    let video = VideoSpec::new(Seconds::new(segments as f64 * 10.0), segments).expect("valid spec");
+    let expected = oracle(segments, requests_per_conn);
+
+    let mut table = Table::new(vec![
+        "shards",
+        "req/s",
+        "p50 ms",
+        "p99 ms",
+        "p99.9 ms",
+        "vs 1 shard",
+    ]);
+    let mut base_throughput = None;
+    let mut scaling_1_to_4 = None;
+    for shards in [1usize, 2, 4] {
+        let service = Service::start(
+            "127.0.0.1:0",
+            &SvcConfig {
+                videos: VIDEOS,
+                video,
+                shards,
+                dilation: 1_000,
+                // Deep enough that the 8-conn burst is never shed — a
+                // reject would break the identity the bench certifies.
+                queue_cap: 4_096,
+                outbound_cap: 1_024,
+                min_service_time: Duration::ZERO,
+                ..SvcConfig::default()
+            },
+        )
+        .expect("service starts");
+
+        let report = run_load(
+            service.local_addr(),
+            &LoadConfig {
+                conns: CONNS,
+                requests_per_conn,
+                videos: VIDEOS,
+                window: WINDOW,
+                open_rate: None,
+                arrival_stride: Some(1),
+                collect_grants: true,
+            },
+        )
+        .expect("load run succeeds");
+
+        assert_eq!(
+            report.grants,
+            CONNS as u64 * requests_per_conn,
+            "nothing may be shed at {shards} shard(s): {}",
+            report.render()
+        );
+        assert_eq!(report.protocol_errors, 0, "{}", report.render());
+        // Identity: each connection owns its video, so each must replay the
+        // full fresh-scheduler sequence regardless of shard count.
+        for (conn, grants) in report.grants_by_conn.iter().enumerate() {
+            for (i, grant) in grants.iter().enumerate() {
+                assert_eq!(
+                    grant.segments, expected[i],
+                    "conn {conn} request {i} at {shards} shard(s) diverged from the simulator"
+                );
+            }
+        }
+        let summary = service.shutdown();
+        assert_eq!(summary.rejected, 0);
+
+        let throughput = report.throughput_per_sec();
+        let base = *base_throughput.get_or_insert(throughput);
+        let scaling = throughput / base;
+        if shards == 4 {
+            scaling_1_to_4 = Some(scaling);
+        }
+        let q = |p: f64| {
+            report
+                .quantile_ms(p)
+                .map_or_else(|| "n/a".to_owned(), |ms| format!("{ms:.3}"))
+        };
+        eprintln!("{shards} shard(s): {throughput:.0} req/s ({scaling:.2}x)");
+        table.push_row(vec![
+            shards.to_string(),
+            format!("{throughput:.0}"),
+            q(0.50),
+            q(0.99),
+            q(0.999),
+            format!("{scaling:.2}"),
+        ]);
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    table.push_row(vec![
+        "host cores".to_owned(),
+        cores.to_string(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    vod_bench::emit(
+        "svc_throughput",
+        "vod-svc throughput and grant latency vs shard count (identity-checked)",
+        &table,
+    );
+
+    let scaling = scaling_1_to_4.expect("4-shard row ran");
+    if cores >= 4 {
+        assert!(
+            scaling >= 1.8,
+            "4 shards must reach 1.8x single-shard throughput on a {cores}-core host, \
+             got {scaling:.2}x"
+        );
+        println!(
+            "[checks passed: identity at 1/2/4 shards; 4-shard scaling {scaling:.2}x >= 1.8x]"
+        );
+    } else {
+        println!(
+            "[checks passed: identity at 1/2/4 shards; scaling {scaling:.2}x reported only — \
+             {cores}-core host is below the 4-core assertion floor]"
+        );
+    }
+}

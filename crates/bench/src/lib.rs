@@ -125,9 +125,11 @@ pub fn metrics_requested() -> bool {
     std::env::args().any(|a| a == "--emit-metrics")
 }
 
-/// Worker threads requested via `--jobs N` (or `--jobs=N`), defaulting to 1
-/// (serial). The parallel runner is deterministic, so any value yields
-/// byte-identical figures; higher values only change wall-clock time.
+/// Worker threads requested via `--jobs N` (or `--jobs=N`), defaulting to
+/// the machine's available parallelism (capped — see
+/// [`vod_sim::default_jobs`]). The parallel runner is deterministic, so any
+/// value yields byte-identical figures; `--jobs 1` still forces a serial
+/// run, higher values only change wall-clock time.
 ///
 /// # Panics
 ///
@@ -150,7 +152,7 @@ pub fn jobs_requested() -> usize {
         assert!(jobs >= 1, "--jobs requires a positive integer");
         return jobs;
     }
-    1
+    vod_sim::default_jobs()
 }
 
 /// Writes a metrics registry snapshot to
@@ -292,9 +294,11 @@ mod tests {
     }
 
     #[test]
-    fn jobs_default_to_serial() {
-        // The test harness is never invoked with --jobs.
-        assert_eq!(jobs_requested(), 1);
+    fn jobs_default_to_machine_parallelism() {
+        // The test harness is never invoked with --jobs, so the default —
+        // the machine's (capped) available parallelism — applies.
+        assert_eq!(jobs_requested(), vod_sim::default_jobs());
+        assert!(jobs_requested() >= 1);
     }
 
     #[test]

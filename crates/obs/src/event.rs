@@ -45,6 +45,67 @@ impl fmt::Display for FaultKind {
     }
 }
 
+/// Why the service refused to admit a request.
+///
+/// Lives here (not in `vod-svc`) so the journal taxonomy and the wire
+/// protocol share one vocabulary: the service's `Rejected` frame carries the
+/// same enum it journals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RejectKind {
+    /// The target shard's bounded queue was full (load shedding).
+    QueueFull,
+    /// The service is draining and admits no new work.
+    Draining,
+    /// The requested video id is outside the catalog.
+    UnknownVideo,
+}
+
+impl RejectKind {
+    /// All kinds, in wire order; a kind's position is its wire code.
+    pub const ALL: [RejectKind; 3] = [
+        RejectKind::QueueFull,
+        RejectKind::Draining,
+        RejectKind::UnknownVideo,
+    ];
+
+    /// Stable lower-case wire name used by the JSONL schema.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectKind::QueueFull => "queue_full",
+            RejectKind::Draining => "draining",
+            RejectKind::UnknownVideo => "unknown_video",
+        }
+    }
+
+    /// Inverse of [`name`](RejectKind::name).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<RejectKind> {
+        RejectKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Single-byte wire code (the position in [`RejectKind::ALL`]).
+    #[must_use]
+    pub fn code(self) -> u8 {
+        RejectKind::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("kind is in ALL") as u8
+    }
+
+    /// Inverse of [`code`](RejectKind::code).
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<RejectKind> {
+        RejectKind::ALL.get(usize::from(code)).copied()
+    }
+}
+
+impl fmt::Display for RejectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One observable scheduling or delivery decision.
 ///
 /// Slot-valued fields are absolute slot indices; `segment` is the paper's
@@ -118,6 +179,28 @@ pub enum Event {
         /// What dropped it.
         cause: FaultKind,
     },
+    /// The service accepted a client connection.
+    ConnAccepted {
+        /// Service-wide connection id, assigned in accept order.
+        conn: u64,
+    },
+    /// Admission control refused a client request.
+    RequestRejected {
+        /// Connection the request arrived on.
+        conn: u64,
+        /// The client's per-connection request sequence number.
+        request: u64,
+        /// Why it was refused.
+        reason: RejectKind,
+    },
+    /// The service finished a graceful drain: every admitted request had its
+    /// grant flushed before the listener shut down.
+    ServiceDrained {
+        /// Connections accepted over the service's lifetime.
+        conns: u64,
+        /// Grants delivered over the service's lifetime.
+        grants: u64,
+    },
 }
 
 /// Discriminant of [`Event`], used for eviction-proof per-kind counting.
@@ -137,11 +220,17 @@ pub enum EventKind {
     SlotClosed,
     /// [`Event::StreamDropped`].
     StreamDropped,
+    /// [`Event::ConnAccepted`].
+    ConnAccepted,
+    /// [`Event::RequestRejected`].
+    RequestRejected,
+    /// [`Event::ServiceDrained`].
+    ServiceDrained,
 }
 
 impl EventKind {
     /// Number of event kinds.
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 10;
 
     /// All kinds, in wire order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -152,6 +241,9 @@ impl EventKind {
         EventKind::PlaybackDeferred,
         EventKind::SlotClosed,
         EventKind::StreamDropped,
+        EventKind::ConnAccepted,
+        EventKind::RequestRejected,
+        EventKind::ServiceDrained,
     ];
 
     /// Stable snake-case wire name used as the JSONL `type` field.
@@ -165,6 +257,9 @@ impl EventKind {
             EventKind::PlaybackDeferred => "playback_deferred",
             EventKind::SlotClosed => "slot_closed",
             EventKind::StreamDropped => "stream_dropped",
+            EventKind::ConnAccepted => "conn_accepted",
+            EventKind::RequestRejected => "request_rejected",
+            EventKind::ServiceDrained => "service_drained",
         }
     }
 
@@ -183,6 +278,9 @@ impl EventKind {
             EventKind::PlaybackDeferred => 4,
             EventKind::SlotClosed => 5,
             EventKind::StreamDropped => 6,
+            EventKind::ConnAccepted => 7,
+            EventKind::RequestRejected => 8,
+            EventKind::ServiceDrained => 9,
         }
     }
 }
@@ -199,6 +297,9 @@ impl Event {
             Event::PlaybackDeferred { .. } => EventKind::PlaybackDeferred,
             Event::SlotClosed { .. } => EventKind::SlotClosed,
             Event::StreamDropped { .. } => EventKind::StreamDropped,
+            Event::ConnAccepted { .. } => EventKind::ConnAccepted,
+            Event::RequestRejected { .. } => EventKind::RequestRejected,
+            Event::ServiceDrained { .. } => EventKind::ServiceDrained,
         }
     }
 }
@@ -221,6 +322,16 @@ mod tests {
             assert_eq!(FaultKind::from_name(kind.name()), Some(kind));
         }
         assert_eq!(FaultKind::from_name(""), None);
+    }
+
+    #[test]
+    fn reject_names_and_codes_round_trip() {
+        for kind in RejectKind::ALL {
+            assert_eq!(RejectKind::from_name(kind.name()), Some(kind));
+            assert_eq!(RejectKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(RejectKind::from_name("nope"), None);
+        assert_eq!(RejectKind::from_code(200), None);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use std::fmt;
 
-use crate::event::{Event, EventKind, FaultKind};
+use crate::event::{Event, EventKind, FaultKind, RejectKind};
 use crate::journal::EventRecord;
 
 /// Appends `record` to `out` as one canonical JSONL line (with trailing
@@ -84,6 +84,21 @@ pub fn write_record(out: &mut String, record: &EventRecord) {
             out,
             r#"{{"seq":{seq},"type":"{kind}","at_secs":{at_secs},"cause":"{cause}"}}"#
         ),
+        Event::ConnAccepted { conn } => {
+            write!(out, r#"{{"seq":{seq},"type":"{kind}","conn":{conn}}}"#)
+        }
+        Event::RequestRejected {
+            conn,
+            request,
+            reason,
+        } => write!(
+            out,
+            r#"{{"seq":{seq},"type":"{kind}","conn":{conn},"request":{request},"reason":"{reason}"}}"#
+        ),
+        Event::ServiceDrained { conns, grants } => write!(
+            out,
+            r#"{{"seq":{seq},"type":"{kind}","conns":{conns},"grants":{grants}}}"#
+        ),
     };
     out.push('\n');
 }
@@ -149,6 +164,9 @@ pub fn parse_line(line: &str) -> Result<EventRecord, String> {
         ],
         EventKind::SlotClosed => &["seq", "type", "slot", "scheduled", "transmitted"],
         EventKind::StreamDropped => &["seq", "type", "at_secs", "cause"],
+        EventKind::ConnAccepted => &["seq", "type", "conn"],
+        EventKind::RequestRejected => &["seq", "type", "conn", "request", "reason"],
+        EventKind::ServiceDrained => &["seq", "type", "conns", "grants"],
     };
     for (name, _) in &fields {
         if !expected.contains(&name.as_str()) {
@@ -191,6 +209,18 @@ pub fn parse_line(line: &str) -> Result<EventRecord, String> {
         EventKind::StreamDropped => Event::StreamDropped {
             at_secs: get_f64(&fields, "at_secs")?,
             cause: get_cause(&fields)?,
+        },
+        EventKind::ConnAccepted => Event::ConnAccepted {
+            conn: get_u64(&fields, "conn")?,
+        },
+        EventKind::RequestRejected => Event::RequestRejected {
+            conn: get_u64(&fields, "conn")?,
+            request: get_u64(&fields, "request")?,
+            reason: get_reason(&fields)?,
+        },
+        EventKind::ServiceDrained => Event::ServiceDrained {
+            conns: get_u64(&fields, "conns")?,
+            grants: get_u64(&fields, "grants")?,
         },
     };
     Ok(EventRecord { seq, event })
@@ -381,6 +411,11 @@ fn get_cause(fields: &[(String, Value)]) -> Result<FaultKind, String> {
     FaultKind::from_name(name).ok_or_else(|| format!("unknown fault cause {name:?}"))
 }
 
+fn get_reason(fields: &[(String, Value)]) -> Result<RejectKind, String> {
+    let name = get_str(fields, "reason")?;
+    RejectKind::from_name(name).ok_or_else(|| format!("unknown reject reason {name:?}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,6 +463,21 @@ mod tests {
             Event::StreamDropped {
                 at_secs: 123.5,
                 cause: FaultKind::Outage,
+            },
+            Event::ConnAccepted { conn: 7 },
+            Event::RequestRejected {
+                conn: 7,
+                request: 3,
+                reason: RejectKind::QueueFull,
+            },
+            Event::RequestRejected {
+                conn: 9,
+                request: 0,
+                reason: RejectKind::Draining,
+            },
+            Event::ServiceDrained {
+                conns: 12,
+                grants: 480,
             },
         ];
         events
@@ -489,6 +539,8 @@ mod tests {
             r#"{"seq":0,"type":"request_arrived","slot":-1}"#,
             r#"{"seq":0,"seq":1,"type":"request_arrived","slot":1}"#,
             r#"{"seq":0,"type":"instance_dropped","slot":1,"instance":0,"cause":"gremlins"}"#,
+            r#"{"seq":0,"type":"request_rejected","conn":1,"request":0,"reason":"tuesday"}"#,
+            r#"{"seq":0,"type":"conn_accepted","conn":1,"request":0}"#,
             r#"{"seq":0,"type":"slot_closed","slot":1,"scheduled":4294967296,"transmitted":0}"#,
             r#"not json"#,
             r#"{"seq":0,"type":"request_arrived","slot":1} trailing"#,

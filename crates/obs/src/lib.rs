@@ -29,7 +29,7 @@ mod registry;
 mod stats;
 mod timer;
 
-pub use event::{Event, EventKind, FaultKind};
+pub use event::{Event, EventKind, FaultKind, RejectKind};
 pub use journal::{EventRecord, Journal};
 pub use observer::Observer;
 pub use registry::{HistogramSummary, Registry};

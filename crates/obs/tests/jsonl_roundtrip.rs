@@ -2,7 +2,7 @@
 //! the identity on writer output).
 
 use proptest::prelude::*;
-use vod_obs::{jsonl, Event, EventRecord, FaultKind};
+use vod_obs::{jsonl, Event, EventKind, EventRecord, FaultKind, RejectKind};
 
 fn cause_for(tag: u64) -> FaultKind {
     match tag % 3 {
@@ -10,6 +10,10 @@ fn cause_for(tag: u64) -> FaultKind {
         1 => FaultKind::Outage,
         _ => FaultKind::Capped,
     }
+}
+
+fn reason_for(tag: u64) -> RejectKind {
+    RejectKind::ALL[(tag % RejectKind::ALL.len() as u64) as usize]
 }
 
 #[allow(clippy::too_many_lines)]
@@ -45,11 +49,31 @@ fn build_event(kind: usize, a: u64, b: u64, c: u32, flag: bool, t: f64) -> Event
             scheduled: c,
             transmitted: c / 2,
         },
-        _ => Event::StreamDropped {
+        6 => Event::StreamDropped {
             at_secs: t,
             cause: cause_for(a),
         },
+        7 => Event::ConnAccepted { conn: a },
+        8 => Event::RequestRejected {
+            conn: a,
+            request: b,
+            reason: reason_for(b),
+        },
+        _ => Event::ServiceDrained {
+            conns: a,
+            grants: b,
+        },
     }
+}
+
+#[test]
+fn generator_covers_every_event_kind() {
+    // `build_event`'s arms must keep pace with the taxonomy: each kind in
+    // `0..EventKind::COUNT` maps to a distinct discriminant.
+    let kinds: std::collections::HashSet<EventKind> = (0..EventKind::COUNT)
+        .map(|k| build_event(k, 1, 2, 3, true, 1.5).kind())
+        .collect();
+    assert_eq!(kinds.len(), EventKind::COUNT);
 }
 
 proptest! {
@@ -59,7 +83,7 @@ proptest! {
     fn emit_parse_reemit_is_identity(
         raw in prop::collection::vec(
             (
-                (0usize..7, any::<u64>()),
+                (0usize..EventKind::COUNT, any::<u64>()),
                 (any::<u64>(), any::<u32>()),
                 (any::<bool>(), 0f64..1e9),
             ),
@@ -91,7 +115,7 @@ proptest! {
 
     #[test]
     fn parser_rejects_truncated_writer_output(
-        (kind, a) in (0usize..7, any::<u64>()),
+        (kind, a) in (0usize..EventKind::COUNT, any::<u64>()),
         cut in 1usize..20,
     ) {
         let record = EventRecord {

@@ -67,7 +67,7 @@ pub use fault::{DropCause, FaultInjector, FaultPlan, FaultSummary, SlotOutcome};
 pub use kernel::{Engine, Kernel, RunSummary, Workload};
 pub use report::{csv_table, render_table, Table};
 pub use rng::SimRng;
-pub use runner::{RunSpec, Runner};
+pub use runner::{default_jobs, RunSpec, Runner};
 pub use slotted::{SlottedProtocol, SlottedReport, SlottedRun, SlottedWorkload};
 pub use vod_obs as obs;
 pub use vod_obs::{

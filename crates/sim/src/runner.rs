@@ -82,6 +82,16 @@ impl RunSpec {
     }
 }
 
+/// The machine-appropriate default worker count: the available parallelism,
+/// capped at 8 (experiment batches rarely scale past that, and the cap keeps
+/// shared CI runners polite). Falls back to 1 (serial) when the parallelism
+/// cannot be queried. The runner is deterministic, so the job count never
+/// changes results — only wall-clock time.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+}
+
 /// A work-queue executor over independent closures.
 #[derive(Debug, Clone, Copy)]
 pub struct Runner {

@@ -1,0 +1,77 @@
+//! The virtual slot clock.
+//!
+//! The offline simulators advance an abstract slot counter; the live
+//! service needs wall-clock slots. [`SlotClock`] maps monotonic elapsed
+//! time to slot indices, compressed by a *time-dilation* factor: with
+//! dilation `d`, one real second covers `d` seconds of video time, so a
+//! full two-hour schedule plays out in `7200 / d` real seconds. Dilation
+//! changes only the wall-clock pace — slot arithmetic, windows, and the
+//! schedules themselves are identical at every dilation, which is what lets
+//! CI smoke-test a Matrix-length run in milliseconds.
+
+use std::time::{Duration, Instant};
+
+use vod_types::Seconds;
+
+/// A monotonic map from elapsed real time to virtual slot indices.
+#[derive(Debug, Clone)]
+pub struct SlotClock {
+    origin: Instant,
+    nanos_per_slot: u64,
+}
+
+impl SlotClock {
+    /// Starts a clock at slot 0 (now). `slot_duration` is the video-time
+    /// length of one slot; `dilation ≥ 1` compresses it in real time.
+    #[must_use]
+    pub fn start(slot_duration: Seconds, dilation: u32) -> SlotClock {
+        let dilation = dilation.max(1);
+        let nanos = slot_duration.as_secs_f64() * 1e9 / f64::from(dilation);
+        SlotClock {
+            origin: Instant::now(),
+            // Clamp to ≥ 1 ns so the clock always advances.
+            nanos_per_slot: (nanos.max(1.0)) as u64,
+        }
+    }
+
+    /// The slot the current instant falls into.
+    #[must_use]
+    pub fn slot_now(&self) -> u64 {
+        let elapsed = self.origin.elapsed().as_nanos();
+        (elapsed / u128::from(self.nanos_per_slot)) as u64
+    }
+
+    /// The real-time length of one virtual slot after dilation.
+    #[must_use]
+    pub fn real_slot_duration(&self) -> Duration {
+        Duration::from_nanos(self.nanos_per_slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dilation_compresses_real_time() {
+        // 72-second slots at 1000x dilation: 72 ms real time per slot.
+        let clock = SlotClock::start(Seconds::new(72.0), 1_000);
+        assert_eq!(clock.real_slot_duration(), Duration::from_millis(72));
+        assert!(clock.slot_now() < 4, "clock must start near slot 0");
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let clock = SlotClock::start(Seconds::new(1e-6), 1);
+        let a = clock.slot_now();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = clock.slot_now();
+        assert!(b > a, "{b} must exceed {a}");
+    }
+
+    #[test]
+    fn zero_dilation_is_clamped() {
+        let clock = SlotClock::start(Seconds::new(1.0), 0);
+        assert_eq!(clock.real_slot_duration(), Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,30 @@
+//! `vod-svc`: a real-time network service layer for the DHB scheduler.
+//!
+//! The offline crates answer "what would the broadcast schedule be"; this
+//! crate serves that answer live. A [`Service`] listens on TCP, speaks a
+//! length-prefixed binary protocol ([`wire`]), routes admitted requests to
+//! per-video scheduler shards driven by a dilatable virtual slot clock
+//! ([`SlotClock`]), and streams `Grant` frames back. Overload is shed at
+//! admission with explicit `Rejected` frames; shutdown drains in-flight
+//! grants before closing.
+//!
+//! Everything is dependency-free `std`: `TcpListener` + worker threads +
+//! bounded channels. [`load`] is the matching open/closed-loop load
+//! generator (`vodload`'s engine), reused by the loopback tests as the
+//! service↔simulator equivalence oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod load;
+pub mod server;
+mod shard;
+pub mod stats;
+pub mod wire;
+
+pub use clock::SlotClock;
+pub use load::{fetch_stats, run_load, GrantRecord, LoadConfig, LoadReport};
+pub use server::{DrainSummary, Service, SvcConfig};
+pub use stats::ServiceStats;
+pub use wire::{Frame, GrantedSegment, WireError, ARRIVAL_AUTO, MAX_FRAME_LEN, PROTOCOL_VERSION};

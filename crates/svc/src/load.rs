@@ -1,0 +1,364 @@
+//! The open/closed-loop load generator (`vodload`'s engine).
+//!
+//! Each connection runs a sender (main) thread plus a receiver thread over
+//! one TCP stream. Closed loop keeps a fixed window of outstanding requests
+//! per connection; open loop fires at a target rate regardless of replies.
+//! Request→grant latency is measured client-side from the moment the
+//! request frame is written to the moment its `Grant` (or `Rejected`) is
+//! parsed, captured in a [`LogHistogram`] for p50/p99/p99.9 reporting.
+//!
+//! With `arrival_stride = Some(k)`, connection `c` stamps request `i` with
+//! explicit arrival slot `i·k` — fully deterministic, which is what the
+//! loopback equivalence tests and the throughput bench rely on. `None`
+//! stamps [`ARRIVAL_AUTO`](crate::wire::ARRIVAL_AUTO) and exercises the
+//! virtual clock instead.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use vod_obs::LogHistogram;
+
+use crate::wire::{read_frame, write_frame, Frame, GrantedSegment, ARRIVAL_AUTO, PROTOCOL_VERSION};
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent connections.
+    pub conns: usize,
+    /// Requests issued per connection.
+    pub requests_per_conn: u64,
+    /// Catalog size to spread connections over (connection `c` drives video
+    /// `c % videos`).
+    pub videos: u32,
+    /// Closed-loop window: outstanding requests per connection.
+    pub window: u64,
+    /// `Some(rate)`: open loop at `rate` requests/second per connection
+    /// (the window is ignored).
+    pub open_rate: Option<f64>,
+    /// `Some(k)`: explicit arrival slots `0, k, 2k, …` per connection;
+    /// `None`: stamp requests with the server's virtual clock.
+    pub arrival_stride: Option<u64>,
+    /// Keep every granted schedule (for equivalence checks); costs memory.
+    pub collect_grants: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            conns: 2,
+            requests_per_conn: 50,
+            videos: 2,
+            window: 4,
+            open_rate: None,
+            arrival_stride: Some(1),
+            collect_grants: false,
+        }
+    }
+}
+
+/// One granted schedule, as received on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrantRecord {
+    /// Echoed sequence number.
+    pub seq: u64,
+    /// The arrival slot the server computed the schedule for.
+    pub arrival_slot: u64,
+    /// The granted instances, in segment order.
+    pub segments: Vec<GrantedSegment>,
+}
+
+/// Aggregated result of a load run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub requests: u64,
+    /// Grants received.
+    pub grants: u64,
+    /// `Rejected` frames received.
+    pub rejected: u64,
+    /// `Draining` frames received.
+    pub draining_seen: u64,
+    /// Malformed or unexpected frames (should be zero).
+    pub protocol_errors: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Client-side request→grant latency (nanoseconds).
+    pub latency: LogHistogram,
+    /// Video driven by each connection.
+    pub videos_by_conn: Vec<u32>,
+    /// Grants per connection, in arrival order (empty unless
+    /// `collect_grants`).
+    pub grants_by_conn: Vec<Vec<GrantRecord>>,
+}
+
+impl LoadReport {
+    /// Achieved grant throughput in requests/second.
+    #[must_use]
+    pub fn throughput_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.grants as f64 / secs
+    }
+
+    /// A latency quantile in milliseconds (`None` when nothing completed).
+    #[must_use]
+    pub fn quantile_ms(&self, p: f64) -> Option<f64> {
+        self.latency.quantile(p).map(|ns| ns as f64 / 1e6)
+    }
+
+    /// Human-readable summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let q = |p: f64| {
+            self.quantile_ms(p)
+                .map_or_else(|| "n/a".to_owned(), |ms| format!("{ms:.3} ms"))
+        };
+        format!(
+            "requests {}, grants {}, rejected {}, draining {}, protocol errors {}\n\
+             elapsed {:.3} s, throughput {:.1} req/s\n\
+             request→grant latency: p50 {}, p99 {}, p99.9 {}\n",
+            self.requests,
+            self.grants,
+            self.rejected,
+            self.draining_seen,
+            self.protocol_errors,
+            self.elapsed.as_secs_f64(),
+            self.throughput_per_sec(),
+            q(0.50),
+            q(0.99),
+            q(0.999),
+        )
+    }
+}
+
+#[derive(Default)]
+struct ConnOutcome {
+    grants: u64,
+    rejected: u64,
+    draining_seen: u64,
+    protocol_errors: u64,
+    latency: LogHistogram,
+    records: Vec<GrantRecord>,
+}
+
+/// Runs a load scenario against `addr` and aggregates the per-connection
+/// outcomes.
+///
+/// # Errors
+///
+/// Fails only on connect/handshake errors; in-run socket failures are
+/// counted as protocol errors instead.
+///
+/// # Panics
+///
+/// Panics if a client thread itself panicked.
+pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> io::Result<LoadReport> {
+    let started = Instant::now();
+    let videos_by_conn: Vec<u32> = (0..config.conns)
+        .map(|c| c as u32 % config.videos.max(1))
+        .collect();
+    let mut handles = Vec::with_capacity(config.conns);
+    for &video in &videos_by_conn {
+        let cfg = config.clone();
+        handles.push(std::thread::spawn(move || drive_conn(addr, video, &cfg)));
+    }
+    let mut report = LoadReport {
+        requests: config.conns as u64 * config.requests_per_conn,
+        grants: 0,
+        rejected: 0,
+        draining_seen: 0,
+        protocol_errors: 0,
+        elapsed: Duration::ZERO,
+        latency: LogHistogram::new(),
+        videos_by_conn,
+        grants_by_conn: Vec::with_capacity(config.conns),
+    };
+    let mut first_error = None;
+    for handle in handles {
+        match handle.join().expect("client thread panicked") {
+            Ok(outcome) => {
+                report.grants += outcome.grants;
+                report.rejected += outcome.rejected;
+                report.draining_seen += outcome.draining_seen;
+                report.protocol_errors += outcome.protocol_errors;
+                report.latency.merge(&outcome.latency);
+                report.grants_by_conn.push(outcome.records);
+            }
+            Err(e) => {
+                first_error.get_or_insert(e);
+                report.grants_by_conn.push(Vec::new());
+            }
+        }
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    report.elapsed = started.elapsed();
+    Ok(report)
+}
+
+/// Connects, handshakes, and asks for one metrics snapshot.
+///
+/// # Errors
+///
+/// Connect/handshake failures, or an unexpected frame in place of the
+/// `StatsReply`.
+pub fn fetch_stats(addr: SocketAddr) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    write_frame(
+        &mut stream,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+        },
+    )?;
+    write_frame(&mut stream, &Frame::Stats)?;
+    let unexpected = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_owned());
+    loop {
+        match read_frame(&mut stream).map_err(|e| unexpected(&e.to_string()))? {
+            Some(Frame::Welcome { .. } | Frame::Draining) => continue,
+            Some(Frame::StatsReply { json }) => {
+                let _ = write_frame(&mut stream, &Frame::Goodbye);
+                return Ok(json);
+            }
+            Some(_) => return Err(unexpected("unexpected frame while waiting for stats")),
+            None => return Err(unexpected("connection closed before stats reply")),
+        }
+    }
+}
+
+fn drive_conn(addr: SocketAddr, video: u32, config: &LoadConfig) -> io::Result<ConnOutcome> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    write_frame(
+        &mut stream,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+        },
+    )?;
+    match read_frame(&mut stream) {
+        Ok(Some(Frame::Welcome { .. })) => {}
+        Ok(_) | Err(_) => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "handshake failed: no Welcome",
+            ))
+        }
+    }
+
+    let total = config.requests_per_conn;
+    // Send timestamps, indexed by seq; the receiver thread computes latency.
+    let sent_at: Arc<Mutex<Vec<Option<Instant>>>> =
+        Arc::new(Mutex::new(vec![None; total as usize]));
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+    let recv_stream = stream.try_clone()?;
+    let recv_sent_at = Arc::clone(&sent_at);
+    let collect = config.collect_grants;
+    let receiver =
+        std::thread::spawn(move || receive_frames(recv_stream, &recv_sent_at, &done_tx, collect));
+
+    let pace = config.open_rate.map(|rate| {
+        (
+            Instant::now(),
+            Duration::from_secs_f64(1.0 / rate.max(1e-9)),
+        )
+    });
+    let mut completions_seen = 0u64;
+    for seq in 0..total {
+        match pace {
+            Some((start, gap)) => {
+                // Open loop: fire on schedule, ignore outstanding count.
+                let due = start + gap * u32::try_from(seq).unwrap_or(u32::MAX);
+                if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+            }
+            None => {
+                // Closed loop: block until the window has room.
+                while seq - completions_seen >= config.window {
+                    match done_rx.recv() {
+                        Ok(()) => completions_seen += 1,
+                        Err(_) => break, // receiver gone (drain/EOF)
+                    }
+                }
+            }
+        }
+        let arrival_slot = config
+            .arrival_stride
+            .map_or(ARRIVAL_AUTO, |stride| seq * stride);
+        sent_at.lock().expect("sent_at lock poisoned")[seq as usize] = Some(Instant::now());
+        let frame = Frame::Request {
+            seq,
+            video,
+            arrival_slot,
+        };
+        if write_frame(&mut stream, &frame).is_err() {
+            break; // server went away; the receiver reports what landed
+        }
+    }
+    let _ = write_frame(&mut stream, &Frame::Goodbye);
+    drop(done_rx);
+    Ok(receiver.join().expect("receiver thread panicked"))
+}
+
+fn receive_frames(
+    mut stream: TcpStream,
+    sent_at: &Mutex<Vec<Option<Instant>>>,
+    done_tx: &mpsc::Sender<()>,
+    collect: bool,
+) -> ConnOutcome {
+    let mut outcome = ConnOutcome::default();
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(Frame::Grant {
+                seq,
+                arrival_slot,
+                segments,
+                ..
+            })) => {
+                outcome.grants += 1;
+                record_latency(&mut outcome, sent_at, seq);
+                if collect {
+                    outcome.records.push(GrantRecord {
+                        seq,
+                        arrival_slot,
+                        segments,
+                    });
+                }
+                let _ = done_tx.send(());
+            }
+            Ok(Some(Frame::Rejected { seq, .. })) => {
+                outcome.rejected += 1;
+                record_latency(&mut outcome, sent_at, seq);
+                let _ = done_tx.send(());
+            }
+            Ok(Some(Frame::Draining)) => outcome.draining_seen += 1,
+            Ok(Some(Frame::Welcome { .. } | Frame::StatsReply { .. })) => {}
+            Ok(Some(_)) => outcome.protocol_errors += 1,
+            Ok(None) => return outcome, // clean EOF after the server flushed
+            Err(_) => {
+                outcome.protocol_errors += 1;
+                return outcome;
+            }
+        }
+    }
+}
+
+fn record_latency(outcome: &mut ConnOutcome, sent_at: &Mutex<Vec<Option<Instant>>>, seq: u64) {
+    let sent = sent_at
+        .lock()
+        .expect("sent_at lock poisoned")
+        .get(seq as usize)
+        .copied()
+        .flatten();
+    if let Some(at) = sent {
+        outcome
+            .latency
+            .record(u64::try_from(at.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+}

@@ -1,0 +1,489 @@
+//! The TCP service: accept loop, per-connection reader/writer threads,
+//! admission control, and graceful drain.
+//!
+//! Thread topology: one accept thread, one reader and one writer thread per
+//! connection, and `shards` scheduler threads. Readers validate and route
+//! frames; every outbound frame goes through the connection's **bounded**
+//! outbound queue to the writer, which is the per-connection write
+//! backpressure: a client that stops reading eventually blocks its own
+//! pipeline (and, transitively, any shard trying to answer it), never an
+//! unbounded buffer.
+//!
+//! Drain protocol (see DESIGN.md §12): [`Service::shutdown`] flips the
+//! drain flag, pokes the listener, and joins readers → shards → writers in
+//! that order. Readers send one `Draining` frame and stop admitting;
+//! already-queued requests still flow shard → writer → socket, so every
+//! admitted request gets its grant before the last socket closes.
+
+use std::io::{self, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use vod_obs::{Event, Journal, RejectKind};
+use vod_types::VideoSpec;
+
+use crate::clock::SlotClock;
+use crate::shard::{spawn_shard, ShardConfig, ShardMsg};
+use crate::stats::ServiceStats;
+use crate::wire::{self, Frame, MAX_FRAME_LEN, PROTOCOL_VERSION};
+
+/// How often an idle reader wakes to check the drain flag.
+const IDLE_POLL: Duration = Duration::from_millis(25);
+/// Retries tolerated while waiting for the rest of a started frame
+/// (`IDLE_POLL` each) before the connection is declared stalled.
+const MID_FRAME_RETRIES: u32 = 1_200;
+
+/// Service configuration. `Default` gives a small two-shard catalog of
+/// paper-sized videos at real-time pace.
+#[derive(Debug, Clone)]
+pub struct SvcConfig {
+    /// Catalog size; valid video ids are `0..videos`.
+    pub videos: u32,
+    /// Segment count and duration of every catalog entry.
+    pub video: VideoSpec,
+    /// Scheduler shard count (video `v` is owned by shard `v % shards`).
+    pub shards: usize,
+    /// Virtual-clock time dilation (1 = real time; 1000 runs a two-hour
+    /// schedule in 7.2 s).
+    pub dilation: u32,
+    /// Bounded per-shard request-queue depth (admission control).
+    pub queue_cap: usize,
+    /// Bounded per-connection outbound frame-queue depth (write
+    /// backpressure).
+    pub outbound_cap: usize,
+    /// Test knob: minimum scheduling time per request, for deterministic
+    /// overload/drain tests. Keep zero in production.
+    pub min_service_time: Duration,
+    /// Journal for accept/reject/drain and scheduler events
+    /// (`Journal::disabled()` for none).
+    pub journal: Journal,
+}
+
+impl Default for SvcConfig {
+    fn default() -> Self {
+        SvcConfig {
+            videos: 4,
+            video: VideoSpec::paper_two_hour(),
+            shards: 2,
+            dilation: 1,
+            queue_cap: 64,
+            outbound_cap: 256,
+            min_service_time: Duration::ZERO,
+            journal: Journal::disabled(),
+        }
+    }
+}
+
+/// What a graceful [`Service::shutdown`] observed.
+#[derive(Debug, Clone)]
+pub struct DrainSummary {
+    /// Connections accepted over the service's lifetime.
+    pub conns: u64,
+    /// Request frames received.
+    pub requests: u64,
+    /// Grants delivered.
+    pub grants: u64,
+    /// Requests rejected (all reasons).
+    pub rejected: u64,
+    /// Final metrics snapshot (the same JSON a `STATS` frame returns).
+    pub stats_json: String,
+}
+
+struct Shared {
+    videos: u32,
+    shards: usize,
+    segments: u32,
+    dilation: u32,
+    draining: AtomicBool,
+    next_conn: AtomicU64,
+    stats: Arc<ServiceStats>,
+    journal: Journal,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    writers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running VoD control-plane service.
+///
+/// Bind with [`Service::start`], stop with [`Service::shutdown`]; dropping
+/// without `shutdown` leaves detached threads running until process exit
+/// (fine for a serve-forever binary, not for tests).
+pub struct Service {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: JoinHandle<()>,
+    shard_handles: Vec<JoinHandle<()>>,
+    shard_txs: Vec<SyncSender<ShardMsg>>,
+}
+
+impl Service {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind/configuration failures.
+    pub fn start(addr: &str, config: &SvcConfig) -> io::Result<Service> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shards = config.shards.max(1);
+        let clock = Arc::new(SlotClock::start(
+            config.video.segment_duration(),
+            config.dilation,
+        ));
+        let stats = Arc::new(ServiceStats::new(shards));
+
+        let mut shard_txs = Vec::with_capacity(shards);
+        let mut shard_handles = Vec::with_capacity(shards);
+        for id in 0..shards {
+            let (tx, rx) = sync_channel(config.queue_cap.max(1));
+            shard_txs.push(tx);
+            shard_handles.push(spawn_shard(
+                ShardConfig {
+                    id,
+                    videos: (0..config.videos)
+                        .filter(|v| *v as usize % shards == id)
+                        .collect(),
+                    segments: config.video.last_segment().get(),
+                    clock: Arc::clone(&clock),
+                    stats: Arc::clone(&stats),
+                    journal: config.journal.clone(),
+                    min_service_time: config.min_service_time,
+                },
+                rx,
+            ));
+        }
+
+        let shared = Arc::new(Shared {
+            videos: config.videos,
+            shards,
+            segments: config.video.last_segment().get() as u32,
+            dilation: config.dilation.max(1),
+            draining: AtomicBool::new(false),
+            next_conn: AtomicU64::new(0),
+            stats,
+            journal: config.journal.clone(),
+            readers: Mutex::new(Vec::new()),
+            writers: Mutex::new(Vec::new()),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_txs = shard_txs.clone();
+        let outbound_cap = config.outbound_cap.max(8);
+        let accept_handle = std::thread::Builder::new()
+            .name("vod-svc-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &accept_shared, &accept_txs, outbound_cap))?;
+
+        Ok(Service {
+            addr,
+            shared,
+            accept_handle,
+            shard_handles,
+            shard_txs,
+        })
+    }
+
+    /// The bound address (including the resolved ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live counters (shared with every service thread).
+    #[must_use]
+    pub fn stats(&self) -> &Arc<ServiceStats> {
+        &self.shared.stats
+    }
+
+    /// Gracefully drains and stops the service: stop admitting, flush every
+    /// admitted grant, join all threads.
+    #[must_use = "the drain summary carries the final stats snapshot"]
+    pub fn shutdown(self) -> DrainSummary {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Unblock `accept` so the accept thread notices the flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.accept_handle.join();
+        // Readers exit within one idle poll; they stop admitting first.
+        for handle in take_handles(&self.shared.readers) {
+            let _ = handle.join();
+        }
+        // With every request-side sender gone the shards drain their queues
+        // (answering what was admitted) and exit.
+        drop(self.shard_txs);
+        for handle in self.shard_handles {
+            let _ = handle.join();
+        }
+        // Writers exit once the last queued frame is flushed.
+        for handle in take_handles(&self.shared.writers) {
+            let _ = handle.join();
+        }
+        let stats = &self.shared.stats;
+        let summary = DrainSummary {
+            conns: stats.conns.load(Ordering::Relaxed),
+            requests: stats.requests.load(Ordering::Relaxed),
+            grants: stats.grants.load(Ordering::Relaxed),
+            rejected: stats.rejected_total(),
+            stats_json: stats.snapshot().to_json_pretty(),
+        };
+        self.shared.journal.emit_with(|| Event::ServiceDrained {
+            conns: summary.conns,
+            grants: summary.grants,
+        });
+        summary
+    }
+}
+
+fn take_handles(slot: &Mutex<Vec<JoinHandle<()>>>) -> Vec<JoinHandle<()>> {
+    std::mem::take(&mut *slot.lock().expect("handle list poisoned"))
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    shard_txs: &[SyncSender<ShardMsg>],
+    outbound_cap: usize,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        let conn = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        shared.stats.conns.fetch_add(1, Ordering::Relaxed);
+        shared.journal.emit_with(|| Event::ConnAccepted { conn });
+        let conn_shared = Arc::clone(shared);
+        let conn_txs = shard_txs.to_vec();
+        let handle = std::thread::Builder::new()
+            .name(format!("vod-svc-conn-{conn}"))
+            .spawn(move || run_connection(stream, conn, &conn_shared, &conn_txs, outbound_cap));
+        match handle {
+            Ok(handle) => shared
+                .readers
+                .lock()
+                .expect("handle list poisoned")
+                .push(handle),
+            Err(_) => continue,
+        }
+    }
+}
+
+/// The per-connection reader: parses frames, applies admission control,
+/// routes to shards, and answers control frames.
+fn run_connection(
+    mut stream: TcpStream,
+    conn: u64,
+    shared: &Arc<Shared>,
+    shard_txs: &[SyncSender<ShardMsg>],
+    outbound_cap: usize,
+) {
+    if stream.set_read_timeout(Some(IDLE_POLL)).is_err() || stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let write_half = match stream.try_clone() {
+        Ok(half) => half,
+        Err(_) => return,
+    };
+    let (out_tx, out_rx) = sync_channel::<Frame>(outbound_cap);
+    let writer = std::thread::Builder::new()
+        .name(format!("vod-svc-write-{conn}"))
+        .spawn(move || run_writer(write_half, &out_rx));
+    match writer {
+        Ok(handle) => shared
+            .writers
+            .lock()
+            .expect("handle list poisoned")
+            .push(handle),
+        Err(_) => return,
+    }
+
+    let stats = &shared.stats;
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            // Stop admitting; tell the client; leave delivery of queued
+            // grants to the writer.
+            let _ = out_tx.send(Frame::Draining);
+            return;
+        }
+        let frame = match read_inbound(&mut stream) {
+            Inbound::Frame(frame) => frame,
+            Inbound::Idle => continue,
+            Inbound::Eof => return,
+            Inbound::Fail => {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        match frame {
+            Frame::Hello { version: _ } => {
+                let welcome = Frame::Welcome {
+                    version: PROTOCOL_VERSION,
+                    videos: shared.videos,
+                    segments: shared.segments,
+                    shards: shared.shards as u32,
+                    dilation: shared.dilation,
+                };
+                if out_tx.send(welcome).is_err() {
+                    return;
+                }
+            }
+            Frame::Request {
+                seq,
+                video,
+                arrival_slot,
+            } => {
+                stats.requests.fetch_add(1, Ordering::Relaxed);
+                let reject = if video >= shared.videos {
+                    Some(RejectKind::UnknownVideo)
+                } else if shared.draining.load(Ordering::SeqCst) {
+                    Some(RejectKind::Draining)
+                } else {
+                    let msg = ShardMsg::Request {
+                        seq,
+                        video,
+                        arrival_slot,
+                        enqueued: std::time::Instant::now(),
+                        reply: out_tx.clone(),
+                    };
+                    match shard_txs[video as usize % shard_txs.len()].try_send(msg) {
+                        Ok(()) => None,
+                        Err(TrySendError::Full(_)) => Some(RejectKind::QueueFull),
+                        Err(TrySendError::Disconnected(_)) => Some(RejectKind::Draining),
+                    }
+                };
+                if let Some(reason) = reject {
+                    stats.count_rejection(reason);
+                    shared.journal.emit_with(|| Event::RequestRejected {
+                        conn,
+                        request: seq,
+                        reason,
+                    });
+                    if out_tx.send(Frame::Rejected { seq, reason }).is_err() {
+                        return;
+                    }
+                }
+            }
+            Frame::Stats => {
+                let json = stats.snapshot().to_json_pretty();
+                if out_tx.send(Frame::StatsReply { json }).is_err() {
+                    return;
+                }
+            }
+            Frame::Goodbye => return,
+            // Server→client frames arriving at the server are a protocol
+            // violation.
+            Frame::Welcome { .. }
+            | Frame::Grant { .. }
+            | Frame::Rejected { .. }
+            | Frame::StatsReply { .. }
+            | Frame::Draining => {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}
+
+/// The per-connection writer: flushes the bounded outbound queue to the
+/// socket. On a write failure it keeps *consuming* (discarding) frames so
+/// blocked producers — shards included — are never wedged by a dead client.
+fn run_writer(mut stream: TcpStream, rx: &Receiver<Frame>) {
+    let mut dead = false;
+    while let Ok(frame) = rx.recv() {
+        if !dead && wire::write_frame(&mut stream, &frame).is_err() {
+            dead = true;
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+}
+
+enum Inbound {
+    Frame(Frame),
+    /// Idle timeout with no bytes of a frame read — safe to poll flags and
+    /// retry.
+    Idle,
+    Eof,
+    /// Dead socket, mid-frame timeout, or malformed frame — the reader
+    /// drops the connection either way, so no payload is carried.
+    Fail,
+}
+
+/// Reads one frame under the reader's idle-poll timeout.
+///
+/// Only the *first* byte of a frame may time out and report [`Inbound::Idle`];
+/// once a frame has started, reads retry until it completes (bounded by
+/// [`MID_FRAME_RETRIES`]) so a timeout can never desynchronise the stream
+/// mid-frame.
+fn read_inbound(stream: &mut TcpStream) -> Inbound {
+    let mut len_buf = [0u8; 4];
+    match read_full(stream, &mut len_buf, true) {
+        ReadFull::Done => {}
+        ReadFull::Idle => return Inbound::Idle,
+        ReadFull::Eof => return Inbound::Eof,
+        ReadFull::Fail => return Inbound::Fail,
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len as usize > MAX_FRAME_LEN {
+        return Inbound::Fail;
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_full(stream, &mut payload, false) {
+        ReadFull::Done => {}
+        ReadFull::Idle | ReadFull::Eof | ReadFull::Fail => return Inbound::Fail,
+    }
+    match Frame::decode_payload(&payload) {
+        Ok(frame) => Inbound::Frame(frame),
+        Err(_) => Inbound::Fail,
+    }
+}
+
+enum ReadFull {
+    Done,
+    Idle,
+    Eof,
+    Fail,
+}
+
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], idle_ok: bool) -> ReadFull {
+    let mut filled = 0;
+    let mut retries = 0u32;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    ReadFull::Eof
+                } else {
+                    ReadFull::Fail
+                }
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if filled == 0 && idle_ok {
+                    return ReadFull::Idle;
+                }
+                retries += 1;
+                if retries > MID_FRAME_RETRIES {
+                    return ReadFull::Fail;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadFull::Fail,
+        }
+    }
+    ReadFull::Done
+}

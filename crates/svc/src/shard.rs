@@ -1,0 +1,139 @@
+//! Scheduler shard workers.
+//!
+//! Each shard thread owns the [`DhbScheduler`]s of the videos routed to it
+//! (`video % shards`), so no scheduler is ever shared between threads and
+//! shard-local scheduling needs no locks. Requests arrive over a **bounded**
+//! `sync_channel` — the admission-control queue whose `try_send` failure is
+//! surfaced to clients as `Rejected(queue_full)`.
+//!
+//! Determinism: a request carries either an explicit arrival slot or the
+//! [`ARRIVAL_AUTO`](crate::wire::ARRIVAL_AUTO) sentinel resolved against the
+//! virtual [`SlotClock`]. The shard advances the scheduler's ring to the
+//! arrival slot exactly like the offline engines do (pop every earlier
+//! slot), then calls `schedule_request` — so for a fixed arrival-slot
+//! sequence the grants are byte-identical to an offline run, regardless of
+//! wall-clock timing, shard count, or dilation.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dhb_core::DhbScheduler;
+use vod_obs::Journal;
+use vod_types::Slot;
+
+use crate::clock::SlotClock;
+use crate::stats::ServiceStats;
+use crate::wire::{Frame, GrantedSegment, ARRIVAL_AUTO};
+
+/// A unit of work queued to a shard.
+pub(crate) enum ShardMsg {
+    /// An admitted client request, with the outbound channel to answer on.
+    Request {
+        /// Echoed sequence number.
+        seq: u64,
+        /// Target video (pre-validated by the reader).
+        video: u32,
+        /// Explicit arrival slot or [`ARRIVAL_AUTO`].
+        arrival_slot: u64,
+        /// When the reader enqueued it (queue+schedule latency origin).
+        enqueued: Instant,
+        /// The owning connection's outbound frame queue.
+        reply: SyncSender<Frame>,
+    },
+}
+
+pub(crate) struct ShardConfig {
+    pub id: usize,
+    pub videos: Vec<u32>,
+    pub segments: usize,
+    pub clock: Arc<SlotClock>,
+    pub stats: Arc<ServiceStats>,
+    pub journal: Journal,
+    /// Test knob: minimum time spent per request, to make overload and
+    /// drain scenarios deterministic in tests. Zero in production.
+    pub min_service_time: Duration,
+}
+
+pub(crate) fn spawn_shard(config: ShardConfig, rx: Receiver<ShardMsg>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("vod-svc-shard-{}", config.id))
+        .spawn(move || run_shard(&config, &rx))
+        .expect("spawn shard thread")
+}
+
+fn run_shard(config: &ShardConfig, rx: &Receiver<ShardMsg>) {
+    let mut schedulers: HashMap<u32, DhbScheduler> = config
+        .videos
+        .iter()
+        .map(|&video| {
+            (
+                video,
+                DhbScheduler::fixed_rate(config.segments).with_journal(config.journal.clone()),
+            )
+        })
+        .collect();
+
+    // `recv` drains every queued message even after all senders drop, so a
+    // graceful shutdown still answers admitted requests.
+    while let Ok(msg) = rx.recv() {
+        let ShardMsg::Request {
+            seq,
+            video,
+            arrival_slot,
+            enqueued,
+            reply,
+        } = msg;
+        if !config.min_service_time.is_zero() {
+            std::thread::sleep(config.min_service_time);
+        }
+        let scheduler = schedulers
+            .get_mut(&video)
+            .expect("reader routes only owned videos");
+        let requested = if arrival_slot == ARRIVAL_AUTO {
+            config.clock.slot_now()
+        } else {
+            arrival_slot
+        };
+        // The ring's base never moves backwards; a stale explicit slot is
+        // clamped to the earliest the scheduler can still serve.
+        let arrival = requested.max(scheduler.next_slot().index().saturating_sub(1));
+        while scheduler.next_slot().index() < arrival {
+            let (_slot, aired) = scheduler.pop_slot();
+            config
+                .stats
+                .instances_aired
+                .fetch_add(aired.len() as u64, Ordering::Relaxed);
+        }
+        let schedule = scheduler.schedule_request(Slot::new(arrival));
+        let segments = schedule
+            .iter()
+            .map(|s| GrantedSegment {
+                segment: s.segment.get() as u32,
+                slot: s.slot.index(),
+                shared: !s.newly_scheduled,
+            })
+            .collect();
+        config
+            .stats
+            .record_latency(config.id, elapsed_ns(&enqueued));
+        config.stats.grants.fetch_add(1, Ordering::Relaxed);
+        // Blocking send: the outbound queue is bounded, so a slow client
+        // backpressures its shard instead of buffering without limit. A
+        // vanished connection is fine — its writer drains the channel until
+        // every sender is gone.
+        let _ = reply.send(Frame::Grant {
+            seq,
+            video,
+            arrival_slot: arrival,
+            segments,
+        });
+    }
+}
+
+fn elapsed_ns(since: &Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}

@@ -1,0 +1,133 @@
+//! Lock-light service counters and latency capture.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use vod_obs::{LogHistogram, Registry, RejectKind};
+
+/// Shared counters for one [`Service`](crate::Service) instance.
+///
+/// Counters are relaxed atomics (hot paths never lock); grant latency goes
+/// into one `Mutex<LogHistogram>` **per shard**, so each lock is touched
+/// only by its own shard thread plus the occasional `STATS` reader —
+/// effectively uncontended.
+#[derive(Debug)]
+pub struct ServiceStats {
+    /// Connections accepted.
+    pub conns: AtomicU64,
+    /// Request frames received (admitted or not).
+    pub requests: AtomicU64,
+    /// Grants scheduled and handed to connection writers.
+    pub grants: AtomicU64,
+    /// Requests shed because the target shard's queue was full.
+    pub rejected_queue_full: AtomicU64,
+    /// Requests refused because the service was draining.
+    pub rejected_draining: AtomicU64,
+    /// Requests naming a video outside the catalog.
+    pub rejected_unknown_video: AtomicU64,
+    /// Connections dropped after malformed or out-of-role frames.
+    pub protocol_errors: AtomicU64,
+    /// Segment instances popped from slot rings while advancing schedulers.
+    pub instances_aired: AtomicU64,
+    latency: Vec<Mutex<LogHistogram>>,
+}
+
+impl ServiceStats {
+    /// Fresh zeroed stats for `shards` scheduler shards.
+    #[must_use]
+    pub fn new(shards: usize) -> ServiceStats {
+        ServiceStats {
+            conns: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            grants: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_draining: AtomicU64::new(0),
+            rejected_unknown_video: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            instances_aired: AtomicU64::new(0),
+            latency: (0..shards.max(1))
+                .map(|_| Mutex::new(LogHistogram::new()))
+                .collect(),
+        }
+    }
+
+    /// Records one queue-to-grant latency sample from `shard`.
+    pub fn record_latency(&self, shard: usize, ns: u64) {
+        self.latency[shard % self.latency.len()]
+            .lock()
+            .expect("latency lock poisoned")
+            .record(ns);
+    }
+
+    /// Bumps the rejection counter matching `reason`.
+    pub fn count_rejection(&self, reason: RejectKind) {
+        let counter = match reason {
+            RejectKind::QueueFull => &self.rejected_queue_full,
+            RejectKind::Draining => &self.rejected_draining,
+            RejectKind::UnknownVideo => &self.rejected_unknown_video,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total rejections across all reasons.
+    #[must_use]
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected_queue_full.load(Ordering::Relaxed)
+            + self.rejected_draining.load(Ordering::Relaxed)
+            + self.rejected_unknown_video.load(Ordering::Relaxed)
+    }
+
+    /// The grant-latency histogram merged across shards.
+    #[must_use]
+    pub fn latency_histogram(&self) -> LogHistogram {
+        let mut merged = LogHistogram::new();
+        for shard in &self.latency {
+            merged.merge(&shard.lock().expect("latency lock poisoned"));
+        }
+        merged
+    }
+
+    /// A point-in-time metrics registry (what the `STATS` frame returns).
+    #[must_use]
+    pub fn snapshot(&self) -> Registry {
+        let mut r = Registry::new();
+        *r.ensure_counter("svc.conns") = self.conns.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.requests") = self.requests.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.grants") = self.grants.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.rejected.queue_full") =
+            self.rejected_queue_full.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.rejected.draining") = self.rejected_draining.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.rejected.unknown_video") =
+            self.rejected_unknown_video.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.protocol_errors") = self.protocol_errors.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.instances_aired") = self.instances_aired.load(Ordering::Relaxed);
+        let latency = self.latency_histogram();
+        if latency.count() > 0 {
+            r.merge_histogram("svc.grant_latency_ns", &latency);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_carries_counters_and_latency() {
+        let stats = ServiceStats::new(2);
+        stats.requests.fetch_add(3, Ordering::Relaxed);
+        stats.grants.fetch_add(2, Ordering::Relaxed);
+        stats.count_rejection(RejectKind::QueueFull);
+        stats.record_latency(0, 1_000);
+        stats.record_latency(1, 2_000);
+        let r = stats.snapshot();
+        assert_eq!(r.counter("svc.requests"), 3);
+        assert_eq!(r.counter("svc.grants"), 2);
+        assert_eq!(r.counter("svc.rejected.queue_full"), 1);
+        assert_eq!(stats.rejected_total(), 1);
+        assert_eq!(stats.latency_histogram().count(), 2);
+        let json = r.to_json_pretty();
+        assert!(json.contains("svc.grant_latency_ns"), "{json}");
+    }
+}

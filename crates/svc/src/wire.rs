@@ -1,0 +1,504 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every frame on the socket is a little-endian `u32` payload length
+//! followed by the payload: a one-byte tag and the frame's fields, all
+//! little-endian, strings as a `u32` length plus UTF-8 bytes. The encoder is
+//! canonical (one byte sequence per frame) and the decoder is total: any
+//! byte sequence either decodes to exactly one frame or returns a
+//! [`WireError`] — it never panics, and it rejects trailing garbage,
+//! truncated payloads, and frames larger than [`MAX_FRAME_LEN`]. Both
+//! directions are property-tested in `tests/wire_proptests.rs`.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use vod_obs::RejectKind;
+
+/// Protocol version carried by `Hello`/`Welcome`.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard upper bound on a frame payload, enforced by both sides before any
+/// allocation. Keeps a malicious or corrupt length prefix from ballooning
+/// memory.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// `Request::arrival_slot` sentinel: stamp the request with the service's
+/// virtual slot clock instead of an explicit slot.
+pub const ARRIVAL_AUTO: u64 = u64::MAX;
+
+/// One segment instance granted to a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrantedSegment {
+    /// 1-based segment number `j`.
+    pub segment: u32,
+    /// Absolute slot the instance airs in.
+    pub slot: u64,
+    /// `true` when the request shares an instance another client already
+    /// scheduled, `false` when this request planted it.
+    pub shared: bool,
+}
+
+/// One protocol frame, client→server (`Hello`, `Request`, `Stats`,
+/// `Goodbye`) or server→client (the rest).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client handshake.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Ask for a full segment schedule for one video.
+    Request {
+        /// Client-chosen per-connection sequence number, echoed in the
+        /// matching `Grant` or `Rejected`.
+        seq: u64,
+        /// Catalog video id, `0..videos`.
+        video: u32,
+        /// Arrival slot the schedule is computed for, or [`ARRIVAL_AUTO`]
+        /// to use the service's virtual clock. Explicit slots must be
+        /// non-decreasing per video; they make runs reproducible.
+        arrival_slot: u64,
+    },
+    /// Ask for a metrics snapshot.
+    Stats,
+    /// Orderly goodbye; the server flushes pending grants and closes.
+    Goodbye,
+    /// Server handshake reply.
+    Welcome {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Catalog size; valid video ids are `0..videos`.
+        videos: u32,
+        /// Segments per video.
+        segments: u32,
+        /// Scheduler shard count.
+        shards: u32,
+        /// Virtual-clock time-dilation factor (1 = real time).
+        dilation: u32,
+    },
+    /// A granted schedule: one instance per segment of the video.
+    Grant {
+        /// Echo of the request's sequence number.
+        seq: u64,
+        /// Echo of the request's video id.
+        video: u32,
+        /// The arrival slot the schedule was computed for (resolved, never
+        /// [`ARRIVAL_AUTO`]).
+        arrival_slot: u64,
+        /// The granted instances, in segment order `S_1..S_n`.
+        segments: Vec<GrantedSegment>,
+    },
+    /// Admission control refused the request.
+    Rejected {
+        /// Echo of the request's sequence number.
+        seq: u64,
+        /// Why.
+        reason: RejectKind,
+    },
+    /// Reply to `Stats`: the registry snapshot as JSON.
+    StatsReply {
+        /// Deterministic JSON document (see `vod_obs::Registry`).
+        json: String,
+    },
+    /// The service is draining: no further requests will be admitted on
+    /// this connection; already-admitted grants still arrive.
+    Draining,
+}
+
+/// A codec or transport failure.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// The length prefix exceeded [`MAX_FRAME_LEN`].
+    Oversized(u32),
+    /// The payload ended before the frame's fields did.
+    Truncated,
+    /// Unknown frame tag.
+    BadTag(u8),
+    /// Structurally invalid payload (bad enum code, bad UTF-8, trailing
+    /// bytes, …).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Oversized(len) => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            WireError::Truncated => f.write_str("payload truncated"),
+            WireError::BadTag(tag) => write!(f, "unknown frame tag {tag}"),
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_REQUEST: u8 = 2;
+const TAG_STATS: u8 = 3;
+const TAG_GOODBYE: u8 = 4;
+const TAG_WELCOME: u8 = 16;
+const TAG_GRANT: u8 = 17;
+const TAG_REJECTED: u8 = 18;
+const TAG_STATS_REPLY: u8 = 19;
+const TAG_DRAINING: u8 = 20;
+
+impl Frame {
+    /// Encodes the payload (tag + fields, no length prefix).
+    #[must_use]
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            Frame::Hello { version } => {
+                out.push(TAG_HELLO);
+                out.extend_from_slice(&version.to_le_bytes());
+            }
+            Frame::Request {
+                seq,
+                video,
+                arrival_slot,
+            } => {
+                out.push(TAG_REQUEST);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&video.to_le_bytes());
+                out.extend_from_slice(&arrival_slot.to_le_bytes());
+            }
+            Frame::Stats => out.push(TAG_STATS),
+            Frame::Goodbye => out.push(TAG_GOODBYE),
+            Frame::Welcome {
+                version,
+                videos,
+                segments,
+                shards,
+                dilation,
+            } => {
+                out.push(TAG_WELCOME);
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&videos.to_le_bytes());
+                out.extend_from_slice(&segments.to_le_bytes());
+                out.extend_from_slice(&shards.to_le_bytes());
+                out.extend_from_slice(&dilation.to_le_bytes());
+            }
+            Frame::Grant {
+                seq,
+                video,
+                arrival_slot,
+                segments,
+            } => {
+                out.push(TAG_GRANT);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&video.to_le_bytes());
+                out.extend_from_slice(&arrival_slot.to_le_bytes());
+                out.extend_from_slice(&(segments.len() as u32).to_le_bytes());
+                for g in segments {
+                    out.extend_from_slice(&g.segment.to_le_bytes());
+                    out.extend_from_slice(&g.slot.to_le_bytes());
+                    out.push(u8::from(g.shared));
+                }
+            }
+            Frame::Rejected { seq, reason } => {
+                out.push(TAG_REJECTED);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.push(reason.code());
+            }
+            Frame::StatsReply { json } => {
+                out.push(TAG_STATS_REPLY);
+                out.extend_from_slice(&(json.len() as u32).to_le_bytes());
+                out.extend_from_slice(json.as_bytes());
+            }
+            Frame::Draining => out.push(TAG_DRAINING),
+        }
+        out
+    }
+
+    /// Encodes the full frame: length prefix plus payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut out = Vec::with_capacity(4 + payload.len());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decodes a payload (tag + fields, no length prefix).
+    ///
+    /// # Errors
+    ///
+    /// Any malformed input yields a [`WireError`]; the decoder never
+    /// panics and rejects trailing bytes.
+    pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
+        if payload.len() > MAX_FRAME_LEN {
+            return Err(WireError::Oversized(payload.len() as u32));
+        }
+        let mut r = Cursor::new(payload);
+        let tag = r.u8()?;
+        let frame = match tag {
+            TAG_HELLO => Frame::Hello { version: r.u32()? },
+            TAG_REQUEST => Frame::Request {
+                seq: r.u64()?,
+                video: r.u32()?,
+                arrival_slot: r.u64()?,
+            },
+            TAG_STATS => Frame::Stats,
+            TAG_GOODBYE => Frame::Goodbye,
+            TAG_WELCOME => Frame::Welcome {
+                version: r.u32()?,
+                videos: r.u32()?,
+                segments: r.u32()?,
+                shards: r.u32()?,
+                dilation: r.u32()?,
+            },
+            TAG_GRANT => {
+                let seq = r.u64()?;
+                let video = r.u32()?;
+                let arrival_slot = r.u64()?;
+                let count = r.u32()? as usize;
+                // 13 bytes per entry: the count cannot promise more entries
+                // than the remaining payload holds.
+                if count > r.remaining() / 13 {
+                    return Err(WireError::Truncated);
+                }
+                let mut segments = Vec::with_capacity(count);
+                for _ in 0..count {
+                    segments.push(GrantedSegment {
+                        segment: r.u32()?,
+                        slot: r.u64()?,
+                        shared: r.bool()?,
+                    });
+                }
+                Frame::Grant {
+                    seq,
+                    video,
+                    arrival_slot,
+                    segments,
+                }
+            }
+            TAG_REJECTED => Frame::Rejected {
+                seq: r.u64()?,
+                reason: RejectKind::from_code(r.u8()?)
+                    .ok_or(WireError::Malformed("unknown reject reason code"))?,
+            },
+            TAG_STATS_REPLY => {
+                let len = r.u32()? as usize;
+                let bytes = r.take(len)?;
+                Frame::StatsReply {
+                    json: String::from_utf8(bytes.to_vec())
+                        .map_err(|_| WireError::Malformed("stats json is not UTF-8"))?,
+                }
+            }
+            TAG_DRAINING => Frame::Draining,
+            other => return Err(WireError::BadTag(other)),
+        };
+        if r.remaining() != 0 {
+            return Err(WireError::Malformed("trailing bytes after frame"));
+        }
+        Ok(frame)
+    }
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF (no
+/// bytes of a next frame read yet).
+///
+/// # Errors
+///
+/// I/O failures, an oversized length prefix, EOF inside a frame, and every
+/// [`Frame::decode_payload`] failure.
+pub fn read_frame(reader: &mut impl Read) -> Result<Option<Frame>, WireError> {
+    let mut len_buf = [0u8; 4];
+    match reader.read(&mut len_buf[..1])? {
+        0 => return Ok(None),
+        _ => reader.read_exact(&mut len_buf[1..])?,
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len as usize > MAX_FRAME_LEN {
+        return Err(WireError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    Frame::decode_payload(&payload).map(Some)
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_frame(writer: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    writer.write_all(&frame.encode())
+}
+
+/// Bounds-checked little-endian payload reader.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed("boolean byte is not 0 or 1")),
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_byte_layout() {
+        let frame = Frame::Request {
+            seq: 2,
+            video: 1,
+            arrival_slot: 5,
+        };
+        let bytes = frame.encode();
+        // 21-byte payload: tag + u64 + u32 + u64.
+        assert_eq!(&bytes[..4], &21u32.to_le_bytes());
+        assert_eq!(bytes[4], 2); // TAG_REQUEST
+        assert_eq!(&bytes[5..13], &2u64.to_le_bytes());
+        assert_eq!(&bytes[13..17], &1u32.to_le_bytes());
+        assert_eq!(&bytes[17..25], &5u64.to_le_bytes());
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_stream() {
+        let frames = vec![
+            Frame::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            Frame::Welcome {
+                version: PROTOCOL_VERSION,
+                videos: 4,
+                segments: 99,
+                shards: 2,
+                dilation: 1000,
+            },
+            Frame::Request {
+                seq: 0,
+                video: 3,
+                arrival_slot: ARRIVAL_AUTO,
+            },
+            Frame::Grant {
+                seq: 0,
+                video: 3,
+                arrival_slot: 17,
+                segments: vec![
+                    GrantedSegment {
+                        segment: 1,
+                        slot: 18,
+                        shared: false,
+                    },
+                    GrantedSegment {
+                        segment: 2,
+                        slot: 19,
+                        shared: true,
+                    },
+                ],
+            },
+            Frame::Rejected {
+                seq: 9,
+                reason: RejectKind::QueueFull,
+            },
+            Frame::Stats,
+            Frame::StatsReply {
+                json: "{\"counters\": {}}".to_owned(),
+            },
+            Frame::Draining,
+            Frame::Goodbye,
+        ];
+        let mut stream = Vec::new();
+        for frame in &frames {
+            write_frame(&mut stream, frame).unwrap();
+        }
+        let mut reader = &stream[..];
+        for frame in &frames {
+            assert_eq!(read_frame(&mut reader).unwrap().as_ref(), Some(frame));
+        }
+        assert_eq!(read_frame(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocating() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = read_frame(&mut &bytes[..]).unwrap_err();
+        assert!(matches!(err, WireError::Oversized(_)), "{err}");
+    }
+
+    #[test]
+    fn grant_count_cannot_overpromise() {
+        // A Grant whose count field claims u32::MAX entries but carries none.
+        let mut payload = vec![TAG_GRANT];
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = Frame::decode_payload(&payload).unwrap_err();
+        assert!(matches!(err, WireError::Truncated), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_and_bad_tags_are_rejected() {
+        let mut payload = Frame::Stats.encode_payload();
+        payload.push(0);
+        assert!(matches!(
+            Frame::decode_payload(&payload),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            Frame::decode_payload(&[99]),
+            Err(WireError::BadTag(99))
+        ));
+        assert!(matches!(
+            Frame::decode_payload(&[]),
+            Err(WireError::Truncated)
+        ));
+    }
+}

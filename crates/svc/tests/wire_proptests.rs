@@ -1,0 +1,142 @@
+//! Property tests for the wire codec: encoding round-trips byte-identically
+//! for arbitrary frames, and the decoder is *total* — truncated, oversized,
+//! and garbage inputs are rejected with errors, never panics or huge
+//! allocations.
+
+use proptest::prelude::*;
+use vod_svc::wire::{read_frame, Frame, WireError};
+use vod_svc::{GrantedSegment, MAX_FRAME_LEN};
+
+/// All nine frame kinds, driven by primitive inputs (the proptest shim has
+/// no derive support).
+fn build_frame(
+    kind: usize,
+    a: u64,
+    b: u64,
+    c: u32,
+    _flag: bool,
+    segs: &[(u32, u64, bool)],
+    text: &[u8],
+) -> Frame {
+    match kind {
+        0 => Frame::Hello { version: c },
+        1 => Frame::Request {
+            seq: a,
+            video: c,
+            arrival_slot: b,
+        },
+        2 => Frame::Stats,
+        3 => Frame::Goodbye,
+        4 => Frame::Welcome {
+            version: c,
+            videos: c.wrapping_add(1),
+            segments: (a as u32).wrapping_add(c),
+            shards: (b as u32) | 1,
+            dilation: c.rotate_left(7),
+        },
+        5 => Frame::Grant {
+            seq: a,
+            video: c,
+            arrival_slot: b,
+            segments: segs
+                .iter()
+                .map(|&(segment, slot, shared)| GrantedSegment {
+                    segment,
+                    slot,
+                    shared,
+                })
+                .collect(),
+        },
+        6 => Frame::Rejected {
+            seq: a,
+            reason: vod_obs::RejectKind::ALL[b as usize % vod_obs::RejectKind::ALL.len()],
+        },
+        7 => Frame::StatsReply {
+            // Lossy conversion yields arbitrary valid UTF-8, multi-byte
+            // replacement chars included.
+            json: String::from_utf8_lossy(text).into_owned(),
+        },
+        _ => Frame::Draining,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn encode_decode_is_byte_identity(
+        (kind, a) in (0usize..9, any::<u64>()),
+        (b, c, flag) in (any::<u64>(), any::<u32>(), any::<bool>()),
+        segs in prop::collection::vec((any::<u32>(), any::<u64>(), any::<bool>()), 0..12),
+        text in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let frame = build_frame(kind, a, b, c, flag, &segs, &text);
+        let bytes = frame.encode();
+
+        // Stream round trip: the reader must consume exactly this frame.
+        let mut cursor = &bytes[..];
+        let decoded = read_frame(&mut cursor)
+            .expect("well-formed frame must decode")
+            .expect("frame present");
+        prop_assert!(cursor.is_empty(), "decoder must consume the whole frame");
+        prop_assert_eq!(&decoded, &frame);
+
+        // Re-encoding the decoded frame is the byte identity.
+        prop_assert_eq!(decoded.encode(), bytes);
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected_not_panicked(
+        (kind, a) in (0usize..9, any::<u64>()),
+        (b, c, flag) in (any::<u64>(), any::<u32>(), any::<bool>()),
+        segs in prop::collection::vec((any::<u32>(), any::<u64>(), any::<bool>()), 0..8),
+        cut_seed in any::<u64>(),
+    ) {
+        let frame = build_frame(kind, a, b, c, flag, &segs, b"{}");
+        let bytes = frame.encode();
+        // Chop anywhere strictly inside the frame: always an error, never a
+        // panic and never a silent partial decode.
+        let cut = 1 + (cut_seed as usize) % (bytes.len() - 1);
+        let mut cursor = &bytes[..cut];
+        prop_assert!(
+            read_frame(&mut cursor).is_err(),
+            "truncation at {} of {} must be rejected",
+            cut,
+            bytes.len()
+        );
+        // An empty stream is clean EOF, not an error.
+        let mut empty = &bytes[..0];
+        prop_assert!(matches!(read_frame(&mut empty), Ok(None)));
+    }
+
+    #[test]
+    fn oversized_lengths_are_rejected_before_allocation(extra in any::<u32>()) {
+        // A length prefix past the cap must fail immediately — the decoder
+        // must not trust it enough to allocate, let alone read.
+        let claimed = (MAX_FRAME_LEN as u32).saturating_add(extra.max(1));
+        let mut bytes = claimed.to_le_bytes().to_vec();
+        bytes.push(1);
+        let mut cursor = &bytes[..];
+        match read_frame(&mut cursor) {
+            Err(WireError::Oversized(len)) => prop_assert_eq!(len, claimed),
+            other => return Err(proptest::test_runner::TestCaseError::fail(format!(
+                "expected Oversized({claimed}), got {other:?}"
+            ))),
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics_the_decoder(
+        garbage in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Totality: an adversarial byte stream produces frames or errors,
+        // never a panic. Cap iterations — tiny valid frames could repeat.
+        let mut cursor = &garbage[..];
+        for _ in 0..garbage.len() + 1 {
+            match read_frame(&mut cursor) {
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+}

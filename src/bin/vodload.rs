@@ -1,0 +1,231 @@
+//! `vodload` — open/closed-loop load generator for the vod-svc service.
+//!
+//! Point it at a running `vodsim serve` instance, or pass `--self-host` to
+//! spin up an in-process service on an ephemeral port (the CI smoke test
+//! does exactly that). Reports request→grant p50/p99/p99.9 latency and
+//! throughput, optionally saves the server's `STATS` snapshot, and fails
+//! the process when protocol errors occur or `--max-p99-ms` is exceeded.
+//!
+//! ```text
+//! vodload --self-host --dilation 1000 --conns 4 --requests 200 --window 8
+//! vodload --addr 127.0.0.1:7400 --conns 8 --rate 50 --max-p99-ms 250
+//! ```
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use vod_dhb::svc::{fetch_stats, run_load, LoadConfig, Service, SvcConfig};
+use vod_dhb::types::{Seconds, VideoSpec};
+
+struct Args {
+    addr: Option<String>,
+    self_host: bool,
+    conns: usize,
+    requests: u64,
+    window: u64,
+    rate: Option<f64>,
+    videos: u32,
+    segments: usize,
+    duration_mins: f64,
+    shards: usize,
+    dilation: u32,
+    queue_cap: usize,
+    stats_out: Option<String>,
+    max_p99_ms: Option<f64>,
+}
+
+const USAGE: &str = "usage:\n  \
+    vodload [--addr host:port | --self-host] [--conns 4] [--requests 200]\n          \
+    [--window 8] [--rate <req/s per conn>] [--videos 4] [--segments 120]\n          \
+    [--duration-mins 120] [--shards 2] [--dilation 1] [--queue-cap 64]\n          \
+    [--stats-out stats.json] [--max-p99-ms 250]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        self_host: false,
+        conns: 4,
+        requests: 200,
+        window: 8,
+        rate: None,
+        videos: 4,
+        segments: 120,
+        duration_mins: 120.0,
+        shards: 2,
+        dilation: 1,
+        queue_cap: 64,
+        stats_out: None,
+        max_p99_ms: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--self-host" {
+            args.self_host = true;
+            continue;
+        }
+        if flag == "--help" || flag == "-h" {
+            return Err(USAGE.to_owned());
+        }
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value\n\n{USAGE}"))
+        };
+        fn num<T: std::str::FromStr>(name: &str, v: &str) -> Result<T, String> {
+            v.parse()
+                .map_err(|_| format!("{name} has invalid value {v:?}\n\n{USAGE}"))
+        }
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--conns" => args.conns = num("--conns", &value("--conns")?)?,
+            "--requests" => args.requests = num("--requests", &value("--requests")?)?,
+            "--window" => args.window = num("--window", &value("--window")?)?,
+            "--rate" => args.rate = Some(num("--rate", &value("--rate")?)?),
+            "--videos" => args.videos = num("--videos", &value("--videos")?)?,
+            "--segments" => args.segments = num("--segments", &value("--segments")?)?,
+            "--duration-mins" => {
+                args.duration_mins = num("--duration-mins", &value("--duration-mins")?)?;
+            }
+            "--shards" => args.shards = num("--shards", &value("--shards")?)?,
+            "--dilation" => args.dilation = num("--dilation", &value("--dilation")?)?,
+            "--queue-cap" => args.queue_cap = num("--queue-cap", &value("--queue-cap")?)?,
+            "--stats-out" => args.stats_out = Some(value("--stats-out")?),
+            "--max-p99-ms" => args.max_p99_ms = Some(num("--max-p99-ms", &value("--max-p99-ms")?)?),
+            other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
+        }
+    }
+    if args.addr.is_some() == args.self_host {
+        return Err(format!(
+            "exactly one of --addr and --self-host is required\n\n{USAGE}"
+        ));
+    }
+    if args.conns == 0 || args.requests == 0 || args.window == 0 {
+        return Err("--conns, --requests, and --window must be positive".to_owned());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Self-hosted service, if requested; kept alive (and drained) by main.
+    let hosted = if args.self_host {
+        let video = match VideoSpec::new(Seconds::from_mins(args.duration_mins), args.segments) {
+            Ok(video) => video,
+            Err(e) => {
+                eprintln!("invalid video spec: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let config = SvcConfig {
+            videos: args.videos,
+            video,
+            shards: args.shards,
+            dilation: args.dilation,
+            queue_cap: args.queue_cap,
+            ..SvcConfig::default()
+        };
+        match Service::start("127.0.0.1:0", &config) {
+            Ok(service) => {
+                println!("self-hosted vod-svc on {}", service.local_addr());
+                Some(service)
+            }
+            Err(e) => {
+                eprintln!("cannot start service: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
+    let addr: SocketAddr = match hosted.as_ref().map_or_else(
+        || {
+            args.addr
+                .as_deref()
+                .unwrap_or_default()
+                .parse()
+                .map_err(|e| format!("invalid --addr: {e}"))
+        },
+        |service| Ok(service.local_addr()),
+    ) {
+        Ok(addr) => addr,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let config = LoadConfig {
+        conns: args.conns,
+        requests_per_conn: args.requests,
+        videos: args.videos,
+        window: args.window,
+        open_rate: args.rate,
+        arrival_stride: None, // live runs use the server's virtual clock
+        collect_grants: false,
+    };
+    let report = match run_load(addr, &config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("load run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render());
+
+    let mut failed = false;
+    if report.protocol_errors > 0 {
+        eprintln!("FAIL: {} protocol errors", report.protocol_errors);
+        failed = true;
+    }
+    if let Some(bound) = args.max_p99_ms {
+        match report.quantile_ms(0.99) {
+            Some(p99) if p99 > bound => {
+                eprintln!("FAIL: p99 {p99:.3} ms exceeds bound {bound:.3} ms");
+                failed = true;
+            }
+            Some(_) => {}
+            None => {
+                eprintln!("FAIL: no completed requests to bound p99 on");
+                failed = true;
+            }
+        }
+    }
+
+    if let Some(path) = &args.stats_out {
+        match fetch_stats(addr) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, &json) {
+                    eprintln!("cannot write {path}: {e}");
+                    failed = true;
+                } else {
+                    println!("stats snapshot written to {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("stats fetch failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if let Some(service) = hosted {
+        let summary = service.shutdown();
+        println!(
+            "service drained: {} conns, {} requests, {} grants, {} rejected",
+            summary.conns, summary.requests, summary.grants, summary.rejected
+        );
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -120,6 +120,25 @@ pub enum Command {
         /// eviction regardless).
         events_cap: Option<usize>,
     },
+    /// `vodsim serve …` — run the live control-plane service (vod-svc).
+    Serve {
+        /// Bind address (`host:port`; port 0 picks an ephemeral port).
+        addr: String,
+        /// Catalog size (valid video ids are `0..videos`).
+        videos: u32,
+        /// Segments per video.
+        segments: usize,
+        /// Video duration in minutes.
+        duration_mins: f64,
+        /// Scheduler shard count.
+        shards: usize,
+        /// Virtual-clock time dilation (1 = real time).
+        dilation: u32,
+        /// Bounded per-shard admission-queue depth.
+        queue_cap: usize,
+        /// Run duration in seconds; 0 serves until the process is killed.
+        run_secs: f64,
+    },
     /// `vodsim analyze …` — statistical profile of a trace (preset or
     /// imported file).
     Analyze {
@@ -176,6 +195,9 @@ pub fn usage() -> String {
      [--progress <slots>] [--events-cap 1048576]\n  \
      vodsim analyze [--preset <matrix|action|drama|toon>] [--file trace.txt]\n          \
      [--seed 42] [--export out.txt]\n  \
+     vodsim serve [--addr 127.0.0.1:7400] [--videos 4] [--segments 120]\n          \
+     [--duration-mins 120] [--shards 2] [--dilation 1] [--queue-cap 64]\n          \
+     [--run-secs 0]\n  \
      vodsim help"
         .to_owned()
 }
@@ -208,7 +230,9 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 slot_cap: opts.take_u64("slot-cap")?.map(|v| v as u32),
                 outage: opts.take_outage("outage")?,
                 fault_seed: opts.take_u64("fault-seed")?,
-                jobs: opts.take_usize("jobs")?.unwrap_or(1),
+                jobs: opts
+                    .take_usize("jobs")?
+                    .unwrap_or_else(vod_sim::default_jobs),
             };
             opts.finish()?;
             if let Command::Sweep {
@@ -375,6 +399,56 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             opts.finish()?;
             Ok(cmd)
         }
+        "serve" => {
+            let mut opts = Options::parse(&rest)?;
+            let cmd = Command::Serve {
+                addr: opts
+                    .take_str("addr")?
+                    .unwrap_or_else(|| "127.0.0.1:7400".to_owned()),
+                videos: opts.take_u64("videos")?.unwrap_or(4) as u32,
+                segments: opts.take_usize("segments")?.unwrap_or(120),
+                duration_mins: opts.take_f64("duration-mins")?.unwrap_or(120.0),
+                shards: opts.take_usize("shards")?.unwrap_or(2),
+                dilation: opts.take_u64("dilation")?.unwrap_or(1) as u32,
+                queue_cap: opts.take_usize("queue-cap")?.unwrap_or(64),
+                run_secs: opts.take_f64("run-secs")?.unwrap_or(0.0),
+            };
+            opts.finish()?;
+            if let Command::Serve {
+                videos,
+                segments,
+                duration_mins,
+                shards,
+                dilation,
+                queue_cap,
+                run_secs,
+                ..
+            } = &cmd
+            {
+                if *videos == 0 {
+                    return Err(UsageError("--videos must be positive".to_owned()));
+                }
+                if *segments == 0 {
+                    return Err(UsageError("--segments must be positive".to_owned()));
+                }
+                if *duration_mins <= 0.0 {
+                    return Err(UsageError("--duration-mins must be positive".to_owned()));
+                }
+                if *shards == 0 {
+                    return Err(UsageError("--shards must be positive".to_owned()));
+                }
+                if *dilation == 0 {
+                    return Err(UsageError("--dilation must be positive".to_owned()));
+                }
+                if *queue_cap == 0 {
+                    return Err(UsageError("--queue-cap must be positive".to_owned()));
+                }
+                if !run_secs.is_finite() || *run_secs < 0.0 {
+                    return Err(UsageError("--run-secs must be non-negative".to_owned()));
+                }
+            }
+            Ok(cmd)
+        }
         other => Err(UsageError(format!("unknown subcommand {other:?}"))),
     }
 }
@@ -537,6 +611,25 @@ pub fn run(command: &Command) -> Result<String, UsageError> {
             seed,
         } => run_server(*videos, *total_rate, *zipf, *slots, *seed),
         Command::Schedule { segments, arrivals } => run_schedule(*segments, arrivals),
+        Command::Serve {
+            addr,
+            videos,
+            segments,
+            duration_mins,
+            shards,
+            dilation,
+            queue_cap,
+            run_secs,
+        } => run_serve(
+            addr,
+            *videos,
+            *segments,
+            *duration_mins,
+            *shards,
+            *dilation,
+            *queue_cap,
+            *run_secs,
+        ),
         Command::Trace {
             protocol,
             rate,
@@ -953,6 +1046,60 @@ fn run_schedule(segments: usize, arrivals: &[u64]) -> Result<String, UsageError>
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
+fn run_serve(
+    addr: &str,
+    videos: u32,
+    segments: usize,
+    duration_mins: f64,
+    shards: usize,
+    dilation: u32,
+    queue_cap: usize,
+    run_secs: f64,
+) -> Result<String, UsageError> {
+    let video = VideoSpec::new(Seconds::from_mins(duration_mins), segments)
+        .map_err(|e| UsageError(format!("invalid video spec: {e}")))?;
+    let config = vod_svc::SvcConfig {
+        videos,
+        video,
+        shards,
+        dilation,
+        queue_cap,
+        ..vod_svc::SvcConfig::default()
+    };
+    let service = vod_svc::Service::start(addr, &config)
+        .map_err(|e| UsageError(format!("cannot bind {addr}: {e}")))?;
+    let banner = format!(
+        "vod-svc listening on {} ({} videos x {} segments, {} shard(s), dilation {}x, \
+         queue cap {})",
+        service.local_addr(),
+        videos,
+        segments,
+        shards,
+        dilation,
+        queue_cap,
+    );
+    if run_secs <= 0.0 {
+        // Serve until the process is killed; print the banner now since
+        // run() only returns output on exit.
+        println!("{banner}");
+        loop {
+            std::thread::park();
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_secs_f64(run_secs));
+    let summary = service.shutdown();
+    Ok(format!(
+        "{banner}\nserved {:.1}s: {} conns, {} requests, {} grants, {} rejected\n{}",
+        run_secs,
+        summary.conns,
+        summary.requests,
+        summary.grants,
+        summary.rejected,
+        summary.stats_json,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -977,9 +1124,45 @@ mod tests {
                 slot_cap: None,
                 outage: None,
                 fault_seed: None,
-                jobs: 1,
+                jobs: vod_sim::default_jobs(),
             }
         );
+    }
+
+    #[test]
+    fn parses_serve_with_defaults() {
+        let cmd = parse(&args("serve")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                addr: "127.0.0.1:7400".into(),
+                videos: 4,
+                segments: 120,
+                duration_mins: 120.0,
+                shards: 2,
+                dilation: 1,
+                queue_cap: 64,
+                run_secs: 0.0,
+            }
+        );
+        assert!(parse(&args("serve --shards 0")).is_err());
+        assert!(parse(&args("serve --dilation 0")).is_err());
+        assert!(parse(&args("serve --run-secs -1")).is_err());
+    }
+
+    #[test]
+    fn serve_runs_and_reports_a_summary() {
+        // Ephemeral port, high dilation, short bounded run: `run` must come
+        // back with the drain summary.
+        let cmd = parse(&args(
+            "serve --addr 127.0.0.1:0 --segments 6 --duration-mins 1 \
+             --dilation 1000 --run-secs 0.05",
+        ))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        assert!(out.contains("vod-svc listening on"), "{out}");
+        assert!(out.contains("0 grants"), "{out}");
+        assert!(out.contains("svc.requests"), "{out}");
     }
 
     #[test]

@@ -12,5 +12,6 @@ pub use vod_obs as obs;
 pub use vod_protocols as protocols;
 pub use vod_server as server;
 pub use vod_sim as sim;
+pub use vod_svc as svc;
 pub use vod_trace as trace;
 pub use vod_types as types;
