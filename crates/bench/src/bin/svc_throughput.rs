@@ -15,7 +15,7 @@ use std::time::Duration;
 
 use dhb_core::DhbScheduler;
 use vod_sim::Table;
-use vod_svc::{run_load, GrantedSegment, LoadConfig, Service, SvcConfig};
+use vod_svc::{run_load, GrantedSegment, LoadConfig, ServeCatalog, Service, SvcConfig};
 use vod_types::{Seconds, Slot, VideoSpec};
 
 const VIDEOS: u32 = 8;
@@ -64,8 +64,7 @@ fn main() {
         let service = Service::start(
             "127.0.0.1:0",
             &SvcConfig {
-                videos: VIDEOS,
-                video,
+                catalog: ServeCatalog::uniform(VIDEOS, video),
                 shards,
                 dilation: 1_000,
                 // Deep enough that the 8-conn burst is never shed — a
@@ -88,6 +87,8 @@ fn main() {
                 open_rate: None,
                 arrival_stride: Some(1),
                 collect_grants: true,
+                mix: None,
+                describe: false,
             },
         )
         .expect("load run succeeds");

@@ -46,10 +46,12 @@ pub mod audit;
 pub mod heuristic;
 pub mod protocol;
 pub mod scheduler;
+pub mod slot_scheduler;
 
 pub use audit::{
     audit_dhb, AuditError, ClientDemands, MissCause, ServiceSummary, TimelinessAuditor,
 };
 pub use heuristic::SlotHeuristic;
 pub use protocol::{Dhb, DhbStats};
-pub use scheduler::{DhbScheduler, RecoveryStats, ScheduledSegment};
+pub use scheduler::{DhbScheduler, RecoveryStats, ScheduledSegment, SchedulerError};
+pub use slot_scheduler::{PlanScheduler, ScheduledProtocol, SchedulerStats, SlotScheduler};

@@ -119,6 +119,37 @@ pub struct RecoveryStats {
     pub unrecoverable: u64,
 }
 
+/// Why a period vector cannot back a [`DhbScheduler`].
+///
+/// Catalog files are untrusted input; the serving path constructs
+/// schedulers through [`DhbScheduler::try_new`] and maps these errors to a
+/// rejected video entry instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerError {
+    /// The period vector was empty — a video needs at least one segment.
+    EmptyPeriods,
+    /// `T[segment]` was zero; every segment must be schedulable in at least
+    /// the slot after its request (`segment` is 1-based, like `S_j`).
+    ZeroPeriod {
+        /// The offending segment number `j` (1-based).
+        segment: usize,
+    },
+}
+
+impl fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerError::EmptyPeriods => write!(f, "need at least one segment"),
+            SchedulerError::ZeroPeriod { segment } => write!(
+                f,
+                "segment S_{segment}: every maximum period must be at least one slot"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchedulerError {}
+
 /// One segment's disposition in a request's transmission schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScheduledSegment {
@@ -221,17 +252,37 @@ impl DhbScheduler {
     /// # Panics
     ///
     /// Panics if `periods` is empty or contains a zero (every segment must
-    /// be schedulable in at least the next slot).
+    /// be schedulable in at least the next slot). Use
+    /// [`try_new`](Self::try_new) when the periods come from untrusted
+    /// input, such as a catalog file.
     #[must_use]
     pub fn new(periods: Vec<u64>, heuristic: SlotHeuristic) -> Self {
-        assert!(!periods.is_empty(), "need at least one segment");
-        assert!(
-            periods.iter().all(|&t| t >= 1),
-            "every maximum period must be at least one slot"
-        );
+        match DhbScheduler::try_new(periods, heuristic) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`new`](Self::new): validates the period vector and
+    /// returns a [`SchedulerError`] instead of panicking. This is the
+    /// constructor the serving path uses, so a bad catalog entry surfaces as
+    /// a rejected video rather than a dead shard.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedulerError::EmptyPeriods`] if `periods` is empty;
+    /// [`SchedulerError::ZeroPeriod`] if any `T[j]` is zero (segment `S_j`
+    /// must be schedulable in at least the next slot).
+    pub fn try_new(periods: Vec<u64>, heuristic: SlotHeuristic) -> Result<Self, SchedulerError> {
+        if periods.is_empty() {
+            return Err(SchedulerError::EmptyPeriods);
+        }
+        if let Some(idx) = periods.iter().position(|&t| t == 0) {
+            return Err(SchedulerError::ZeroPeriod { segment: idx + 1 });
+        }
         let n = periods.len();
         let max_period = *periods.iter().max().expect("non-empty");
-        DhbScheduler {
+        Ok(DhbScheduler {
             n,
             periods,
             max_period,
@@ -250,7 +301,7 @@ impl DhbScheduler {
             requests: 0,
             duplicate_instances: 0,
             cap_overflows: 0,
-        }
+        })
     }
 
     /// Restricts every client to receiving at most `limit` streams during

@@ -58,14 +58,18 @@ pub enum RejectKind {
     Draining,
     /// The requested video id is outside the catalog.
     UnknownVideo,
+    /// The video is in the catalog but its entry could not back a working
+    /// scheduler (bad period vector in an untrusted catalog file).
+    InvalidVideo,
 }
 
 impl RejectKind {
     /// All kinds, in wire order; a kind's position is its wire code.
-    pub const ALL: [RejectKind; 3] = [
+    pub const ALL: [RejectKind; 4] = [
         RejectKind::QueueFull,
         RejectKind::Draining,
         RejectKind::UnknownVideo,
+        RejectKind::InvalidVideo,
     ];
 
     /// Stable lower-case wire name used by the JSONL schema.
@@ -75,6 +79,7 @@ impl RejectKind {
             RejectKind::QueueFull => "queue_full",
             RejectKind::Draining => "draining",
             RejectKind::UnknownVideo => "unknown_video",
+            RejectKind::InvalidVideo => "invalid_video",
         }
     }
 

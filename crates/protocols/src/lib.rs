@@ -46,6 +46,7 @@ pub mod harmonic;
 pub mod lower_bound;
 pub mod mapping;
 pub mod npb;
+pub mod npb_schedule;
 mod on_demand;
 pub mod patching;
 pub mod sb;
@@ -59,6 +60,7 @@ pub use dynamic_npb::DynamicNpb;
 pub use dynamic_sb::DynamicSb;
 pub use harmonic::{HarmonicBroadcast, PolyharmonicBroadcast};
 pub use mapping::{FixedBroadcast, StaticMapping, TimelinessError};
+pub use npb_schedule::NpbGrantScheduler;
 pub use patching::Patching;
 pub use selective_catching::SelectiveCatching;
 pub use tapping::{StreamTapping, TappingPolicy};

@@ -7,7 +7,7 @@
 //! clock and sums per-slot loads, giving the true joint peak a server
 //! would have to provision for.
 
-use dhb_core::Dhb;
+use dhb_core::{DhbScheduler, ScheduledProtocol};
 use vod_protocols::npb::npb_streams_for;
 use vod_protocols::UniversalDistribution;
 use vod_sim::{ArrivalProcess, PoissonProcess, RunningStats, SimRng, SlottedProtocol};
@@ -40,7 +40,9 @@ impl Server {
         for entry in self.catalog().entries() {
             let n = entry.spec.n_segments();
             let protocol: Box<dyn SlottedProtocol> = match policy {
-                Policy::DhbEverywhere => Box::new(Dhb::fixed_rate(n)),
+                Policy::DhbEverywhere => {
+                    Box::new(ScheduledProtocol::new(DhbScheduler::fixed_rate(n)))
+                }
                 Policy::UdEverywhere => Box::new(UniversalDistribution::new(n)),
                 // NPB is accounted at its *allocated* bandwidth (the paper's
                 // convention and what a server must provision), not the
@@ -50,16 +52,25 @@ impl Server {
             };
             protocols.push(protocol);
         }
-        Some(self.drive_joint(self.catalog(), &mut protocols))
+        self.drive_joint(self.catalog(), &mut protocols)
     }
 
     fn drive_joint(
         &self,
         catalog: &Catalog,
         protocols: &mut [Box<dyn SlottedProtocol>],
-    ) -> JointReport {
+    ) -> Option<JointReport> {
+        // A shared slot grid only exists when every video's segments have
+        // the same duration; heterogeneous catalogs have no joint clock.
         let spec = catalog.entries()[0].spec;
         let d = spec.segment_duration().as_secs_f64();
+        if catalog
+            .entries()
+            .iter()
+            .any(|e| (e.spec.segment_duration().as_secs_f64() - d).abs() > f64::EPSILON)
+        {
+            return None;
+        }
         let (warmup, measured) = self.windows();
         let total_slots = warmup + measured;
 
@@ -110,11 +121,11 @@ impl Server {
             }
         }
 
-        JointReport {
+        Some(JointReport {
             total_avg: Streams::new(stats.mean()),
             joint_peak: Streams::new(peak as f64),
             requests,
-        }
+        })
     }
 }
 

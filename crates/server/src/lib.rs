@@ -43,9 +43,11 @@
 pub mod catalog;
 pub mod joint;
 pub mod policy;
+pub mod serve_catalog;
 pub mod server;
 
 pub use catalog::{Catalog, VideoEntry, VideoId};
 pub use joint::JointReport;
-pub use policy::Policy;
+pub use policy::{AssignedProtocol, Policy};
+pub use serve_catalog::{BuiltEntry, CatalogError, SchedulerKind, ServeCatalog, ServeEntry};
 pub use server::{Server, ServerReport, VideoReport};

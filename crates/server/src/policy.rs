@@ -28,7 +28,53 @@ pub enum Policy {
     },
 }
 
+/// The protocol a policy assigns to one catalog entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignedProtocol {
+    /// Stream tapping (continuous-time, reactive).
+    Tapping,
+    /// New Pagoda Broadcasting (fixed allocation).
+    Npb,
+    /// The Universal Distribution protocol.
+    Ud,
+    /// Dynamic Heuristic Broadcasting.
+    Dhb,
+}
+
+impl fmt::Display for AssignedProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignedProtocol::Tapping => f.write_str("stream tapping"),
+            AssignedProtocol::Npb => f.write_str("NPB"),
+            AssignedProtocol::Ud => f.write_str("UD"),
+            AssignedProtocol::Dhb => f.write_str("DHB"),
+        }
+    }
+}
+
 impl Policy {
+    /// Decides the protocol for a video with expected request rate `rate` —
+    /// the one place assignment logic lives, shared by the independent and
+    /// joint simulators.
+    #[must_use]
+    pub fn assign(&self, rate: ArrivalRate) -> AssignedProtocol {
+        match self {
+            Policy::TappingEverywhere => AssignedProtocol::Tapping,
+            Policy::NpbEverywhere => AssignedProtocol::Npb,
+            Policy::UdEverywhere => AssignedProtocol::Ud,
+            Policy::DhbEverywhere => AssignedProtocol::Dhb,
+            Policy::HotColdSplit {
+                broadcast_at_or_above,
+            } => {
+                if rate < *broadcast_at_or_above {
+                    AssignedProtocol::Tapping
+                } else {
+                    AssignedProtocol::Npb
+                }
+            }
+        }
+    }
+
     /// All fixed policies plus a hot/cold split at the given threshold.
     #[must_use]
     pub fn roster(threshold: ArrivalRate) -> Vec<Policy> {
@@ -71,6 +117,20 @@ mod tests {
         let roster = Policy::roster(ArrivalRate::per_hour(20.0));
         assert_eq!(roster.len(), 5);
         assert!(roster.contains(&Policy::DhbEverywhere));
+    }
+
+    #[test]
+    fn assignment_matches_the_policy_semantics() {
+        let hot = ArrivalRate::per_hour(100.0);
+        let cold = ArrivalRate::per_hour(5.0);
+        let split = Policy::HotColdSplit {
+            broadcast_at_or_above: ArrivalRate::per_hour(40.0),
+        };
+        assert_eq!(split.assign(hot), AssignedProtocol::Npb);
+        assert_eq!(split.assign(cold), AssignedProtocol::Tapping);
+        assert_eq!(Policy::DhbEverywhere.assign(cold), AssignedProtocol::Dhb);
+        assert_eq!(Policy::UdEverywhere.assign(hot), AssignedProtocol::Ud);
+        assert_eq!(AssignedProtocol::Dhb.to_string(), "DHB");
     }
 
     #[test]

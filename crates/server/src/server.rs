@@ -2,14 +2,14 @@
 
 use std::fmt;
 
-use dhb_core::Dhb;
+use dhb_core::{Dhb, DhbScheduler, ScheduledProtocol};
 use vod_protocols::npb::{npb_mapping_for, npb_streams_for};
 use vod_protocols::{FixedBroadcast, StreamTapping, TappingPolicy, UniversalDistribution};
 use vod_sim::{ContinuousRun, FaultPlan, FaultSummary, PoissonProcess, Runner, SlottedRun};
 use vod_types::{ArrivalRate, Streams};
 
 use crate::catalog::{Catalog, VideoEntry, VideoId};
-use crate::policy::Policy;
+use crate::policy::{AssignedProtocol, Policy};
 
 /// One video's share of the server's load.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,14 +114,6 @@ impl fmt::Display for ServerReport {
         }
         Ok(())
     }
-}
-
-/// The protocol a policy assigns to one catalog entry.
-enum Assigned {
-    Tapping,
-    Npb,
-    Ud,
-    Dhb,
 }
 
 /// A multi-video server simulation.
@@ -236,22 +228,8 @@ impl Server {
             .wrapping_add(idx as u64);
         let n = entry.spec.n_segments();
 
-        // Decide each video's protocol once, exhaustively.
-        let assigned = match policy {
-            Policy::TappingEverywhere => Assigned::Tapping,
-            Policy::HotColdSplit {
-                broadcast_at_or_above,
-            } => {
-                if entry.rate < *broadcast_at_or_above {
-                    Assigned::Tapping
-                } else {
-                    Assigned::Npb
-                }
-            }
-            Policy::NpbEverywhere => Assigned::Npb,
-            Policy::UdEverywhere => Assigned::Ud,
-            Policy::DhbEverywhere => Assigned::Dhb,
-        };
+        // Decide each video's protocol once, via the shared policy logic.
+        let assigned = policy.assign(entry.rate);
 
         let slotted_run = || {
             SlottedRun::new(entry.spec)
@@ -262,7 +240,7 @@ impl Server {
         };
 
         let (protocol, avg, peak, video_faults, stall_secs) = match assigned {
-            Assigned::Tapping => {
+            AssignedProtocol::Tapping => {
                 let d = entry.spec.segment_duration();
                 let report =
                     ContinuousRun::new(d * (self.warmup_slots + self.measured_slots) as f64)
@@ -281,7 +259,7 @@ impl Server {
                     0.0,
                 )
             }
-            Assigned::Npb if self.fault_plan.is_zero() => {
+            AssignedProtocol::Npb if self.fault_plan.is_zero() => {
                 // Deterministic: the full allocation, always.
                 let streams = npb_streams_for(n) as f64;
                 (
@@ -292,7 +270,7 @@ impl Server {
                     0.0,
                 )
             }
-            Assigned::Npb => {
+            AssignedProtocol::Npb => {
                 // Under faults the analytic allocation says nothing
                 // about what reaches clients: run the actual broadcast
                 // mapping through the engine so drops are observable.
@@ -306,7 +284,7 @@ impl Server {
                     0.0,
                 )
             }
-            Assigned::Ud => {
+            AssignedProtocol::Ud => {
                 let mut ud = UniversalDistribution::new(n);
                 let report = slotted_run().run(&mut ud, PoissonProcess::new(entry.rate));
                 (
@@ -317,7 +295,25 @@ impl Server {
                     0.0,
                 )
             }
-            Assigned::Dhb => {
+            AssignedProtocol::Dhb if self.fault_plan.is_zero() => {
+                // Fault-free DHB runs through the protocol-generic
+                // [`SlotScheduler`] adapter — the same scheduling path the
+                // live service's shards use — and produces transmissions
+                // byte-identical to the full [`Dhb`] protocol.
+                let mut dhb = ScheduledProtocol::new(DhbScheduler::fixed_rate(n));
+                let report = slotted_run().run(&mut dhb, PoissonProcess::new(entry.rate));
+                (
+                    "DHB".to_owned(),
+                    report.avg_bandwidth,
+                    report.max_bandwidth,
+                    report.faults,
+                    report.stall_secs,
+                )
+            }
+            AssignedProtocol::Dhb => {
+                // Under faults the full protocol is required: its
+                // slot-outcome hook drives the recovery and stall
+                // accounting the trait adapter does not model.
                 let mut dhb = Dhb::fixed_rate(n);
                 let report = slotted_run().run(&mut dhb, PoissonProcess::new(entry.rate));
                 (

@@ -3,10 +3,14 @@
 //! The offline crates answer "what would the broadcast schedule be"; this
 //! crate serves that answer live. A [`Service`] listens on TCP, speaks a
 //! length-prefixed binary protocol ([`wire`]), routes admitted requests to
-//! per-video scheduler shards driven by a dilatable virtual slot clock
-//! ([`SlotClock`]), and streams `Grant` frames back. Overload is shed at
-//! admission with explicit `Rejected` frames; shutdown drains in-flight
-//! grants before closing.
+//! scheduler shards driven by per-video dilatable virtual slot clocks
+//! ([`SlotClock`]), and streams `Grant` frames back. The catalog is
+//! heterogeneous: each video is a [`ServeCatalog`] entry with its own
+//! segment count, protocol (fixed-rate DHB, dynamic-NPB, DHB-d), and
+//! period vector, served through the protocol-generic
+//! `dhb_core::SlotScheduler` trait; clients discover per-video geometry
+//! with `Describe`. Overload is shed at admission with explicit `Rejected`
+//! frames; shutdown drains in-flight grants before closing.
 //!
 //! Everything is dependency-free `std`: `TcpListener` + worker threads +
 //! bounded channels. [`load`] is the matching open/closed-loop load
@@ -27,4 +31,7 @@ pub use clock::SlotClock;
 pub use load::{fetch_stats, run_load, GrantRecord, LoadConfig, LoadReport};
 pub use server::{DrainSummary, Service, SvcConfig};
 pub use stats::ServiceStats;
+// Re-exported so service binaries can build catalogs without naming the
+// server crate.
+pub use vod_server::{CatalogError, SchedulerKind, ServeCatalog, ServeEntry};
 pub use wire::{Frame, GrantedSegment, WireError, ARRIVAL_AUTO, MAX_FRAME_LEN, PROTOCOL_VERSION};

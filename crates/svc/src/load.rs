@@ -31,8 +31,16 @@ pub struct LoadConfig {
     /// Requests issued per connection.
     pub requests_per_conn: u64,
     /// Catalog size to spread connections over (connection `c` drives video
-    /// `c % videos`).
+    /// `c % videos` unless [`mix`](Self::mix) overrides it).
     pub videos: u32,
+    /// Explicit per-connection video mix: connection `c` drives video
+    /// `mix[c % mix.len()]`. Lets a run weight a heterogeneous catalog
+    /// (e.g. `[0, 0, 0, 2]` sends three quarters of the connections at
+    /// video 0). `None` falls back to the round-robin `c % videos`.
+    pub mix: Option<Vec<u32>>,
+    /// Send a `Describe` for the connection's video after the handshake and
+    /// record the reply.
+    pub describe: bool,
     /// Closed-loop window: outstanding requests per connection.
     pub window: u64,
     /// `Some(rate)`: open loop at `rate` requests/second per connection
@@ -51,6 +59,8 @@ impl Default for LoadConfig {
             conns: 2,
             requests_per_conn: 50,
             videos: 2,
+            mix: None,
+            describe: false,
             window: 4,
             open_rate: None,
             arrival_stride: Some(1),
@@ -83,6 +93,9 @@ pub struct LoadReport {
     pub draining_seen: u64,
     /// Malformed or unexpected frames (should be zero).
     pub protocol_errors: u64,
+    /// `VideoInfo` replies received (one per connection when
+    /// [`LoadConfig::describe`] is set).
+    pub video_infos: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Client-side request→grant latency (nanoseconds).
@@ -142,6 +155,7 @@ struct ConnOutcome {
     rejected: u64,
     draining_seen: u64,
     protocol_errors: u64,
+    video_infos: u64,
     latency: LogHistogram,
     records: Vec<GrantRecord>,
 }
@@ -160,7 +174,10 @@ struct ConnOutcome {
 pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> io::Result<LoadReport> {
     let started = Instant::now();
     let videos_by_conn: Vec<u32> = (0..config.conns)
-        .map(|c| c as u32 % config.videos.max(1))
+        .map(|c| match &config.mix {
+            Some(mix) if !mix.is_empty() => mix[c % mix.len()],
+            _ => c as u32 % config.videos.max(1),
+        })
         .collect();
     let mut handles = Vec::with_capacity(config.conns);
     for &video in &videos_by_conn {
@@ -173,6 +190,7 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> io::Result<LoadReport>
         rejected: 0,
         draining_seen: 0,
         protocol_errors: 0,
+        video_infos: 0,
         elapsed: Duration::ZERO,
         latency: LogHistogram::new(),
         videos_by_conn,
@@ -186,6 +204,7 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> io::Result<LoadReport>
                 report.rejected += outcome.rejected;
                 report.draining_seen += outcome.draining_seen;
                 report.protocol_errors += outcome.protocol_errors;
+                report.video_infos += outcome.video_infos;
                 report.latency.merge(&outcome.latency);
                 report.grants_by_conn.push(outcome.records);
             }
@@ -249,6 +268,9 @@ fn drive_conn(addr: SocketAddr, video: u32, config: &LoadConfig) -> io::Result<C
                 "handshake failed: no Welcome",
             ))
         }
+    }
+    if config.describe {
+        write_frame(&mut stream, &Frame::Describe { seq: 0, video })?;
     }
 
     let total = config.requests_per_conn;
@@ -338,6 +360,7 @@ fn receive_frames(
                 let _ = done_tx.send(());
             }
             Ok(Some(Frame::Draining)) => outcome.draining_seen += 1,
+            Ok(Some(Frame::VideoInfo { .. })) => outcome.video_infos += 1,
             Ok(Some(Frame::Welcome { .. } | Frame::StatsReply { .. })) => {}
             Ok(Some(_)) => outcome.protocol_errors += 1,
             Ok(None) => return outcome, // clean EOF after the server flushed

@@ -24,10 +24,11 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use vod_obs::{Event, Journal, RejectKind};
+use vod_server::ServeCatalog;
 use vod_types::VideoSpec;
 
 use crate::clock::SlotClock;
-use crate::shard::{spawn_shard, ShardConfig, ShardMsg};
+use crate::shard::{spawn_shard, ShardConfig, ShardMsg, ShardVideo};
 use crate::stats::ServiceStats;
 use crate::wire::{self, Frame, MAX_FRAME_LEN, PROTOCOL_VERSION};
 
@@ -37,14 +38,16 @@ const IDLE_POLL: Duration = Duration::from_millis(25);
 /// (`IDLE_POLL` each) before the connection is declared stalled.
 const MID_FRAME_RETRIES: u32 = 1_200;
 
-/// Service configuration. `Default` gives a small two-shard catalog of
-/// paper-sized videos at real-time pace.
+/// Service configuration. `Default` gives a small two-shard uniform catalog
+/// of paper-sized videos at real-time pace.
 #[derive(Debug, Clone)]
 pub struct SvcConfig {
-    /// Catalog size; valid video ids are `0..videos`.
-    pub videos: u32,
-    /// Segment count and duration of every catalog entry.
-    pub video: VideoSpec,
+    /// What to serve: per-video segment counts, protocols, and period
+    /// vectors. Wire video ids are catalog positions. Entries that fail to
+    /// build (a catalog file is untrusted input) are hosted as *invalid*
+    /// videos: the service stays up and answers their requests with
+    /// `Rejected(invalid_video)`.
+    pub catalog: ServeCatalog,
     /// Scheduler shard count (video `v` is owned by shard `v % shards`).
     pub shards: usize,
     /// Virtual-clock time dilation (1 = real time; 1000 runs a two-hour
@@ -66,8 +69,7 @@ pub struct SvcConfig {
 impl Default for SvcConfig {
     fn default() -> Self {
         SvcConfig {
-            videos: 4,
-            video: VideoSpec::paper_two_hour(),
+            catalog: ServeCatalog::uniform(4, VideoSpec::paper_two_hour()),
             shards: 2,
             dilation: 1,
             queue_cap: 64,
@@ -93,10 +95,25 @@ pub struct DrainSummary {
     pub stats_json: String,
 }
 
+/// Per-video facts the reader threads answer `Describe` from and validate
+/// `Request`s against. Built once at startup, immutable afterwards.
+struct VideoMeta {
+    /// Segment count (0 for invalid entries).
+    segments: u32,
+    /// Scheduler name (`DHB`, `dyn-NPB`, `DHB-d`, …) or the entry's
+    /// protocol key when the entry failed to build.
+    protocol: String,
+    /// The period vector `T[1..=n]` (empty for invalid entries).
+    periods: Vec<u64>,
+    /// `false` when the catalog entry could not back a working scheduler;
+    /// requests for it get `Rejected(invalid_video)`.
+    valid: bool,
+}
+
 struct Shared {
     videos: u32,
     shards: usize,
-    segments: u32,
+    meta: Vec<VideoMeta>,
     dilation: u32,
     draining: AtomicBool,
     next_conn: AtomicU64,
@@ -130,27 +147,58 @@ impl Service {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shards = config.shards.max(1);
-        let clock = Arc::new(SlotClock::start(
-            config.video.segment_duration(),
-            config.dilation,
-        ));
+        let dilation = config.dilation.max(1);
         let stats = Arc::new(ServiceStats::new(shards));
+
+        // Build every catalog entry. Good entries become shard-owned
+        // schedulers, each ticking on its own slot clock (segment durations
+        // differ across a heterogeneous catalog). Bad entries stay in the
+        // catalog as invalid videos — served with typed rejections, never a
+        // crash: catalog files are untrusted input.
+        let mut meta = Vec::with_capacity(config.catalog.len());
+        let mut shard_videos: Vec<Vec<ShardVideo>> = (0..shards).map(|_| Vec::new()).collect();
+        for (id, built) in config
+            .catalog
+            .build(&config.journal)
+            .into_iter()
+            .enumerate()
+        {
+            match built {
+                Ok((spec, scheduler)) => {
+                    meta.push(VideoMeta {
+                        segments: spec.n_segments() as u32,
+                        protocol: scheduler.name().to_owned(),
+                        periods: scheduler.periods().to_vec(),
+                        valid: true,
+                    });
+                    shard_videos[id % shards].push(ShardVideo {
+                        id: id as u32,
+                        scheduler,
+                        clock: Arc::new(SlotClock::start(spec.segment_duration(), dilation)),
+                    });
+                }
+                Err(_) => {
+                    let entry = &config.catalog.entries()[id];
+                    meta.push(VideoMeta {
+                        segments: 0,
+                        protocol: entry.protocol_key().to_owned(),
+                        periods: Vec::new(),
+                        valid: false,
+                    });
+                }
+            }
+        }
 
         let mut shard_txs = Vec::with_capacity(shards);
         let mut shard_handles = Vec::with_capacity(shards);
-        for id in 0..shards {
+        for (id, videos) in shard_videos.into_iter().enumerate() {
             let (tx, rx) = sync_channel(config.queue_cap.max(1));
             shard_txs.push(tx);
             shard_handles.push(spawn_shard(
                 ShardConfig {
                     id,
-                    videos: (0..config.videos)
-                        .filter(|v| *v as usize % shards == id)
-                        .collect(),
-                    segments: config.video.last_segment().get(),
-                    clock: Arc::clone(&clock),
+                    videos,
                     stats: Arc::clone(&stats),
-                    journal: config.journal.clone(),
                     min_service_time: config.min_service_time,
                 },
                 rx,
@@ -158,10 +206,10 @@ impl Service {
         }
 
         let shared = Arc::new(Shared {
-            videos: config.videos,
+            videos: config.catalog.len() as u32,
             shards,
-            segments: config.video.last_segment().get() as u32,
-            dilation: config.dilation.max(1),
+            meta,
+            dilation,
             draining: AtomicBool::new(false),
             next_conn: AtomicU64::new(0),
             stats,
@@ -325,15 +373,39 @@ fn run_connection(
             }
         };
         match frame {
-            Frame::Hello { version: _ } => {
+            // The decoder already rejected any version other than
+            // PROTOCOL_VERSION (a mismatched client is dropped with a
+            // protocol error before reaching this match).
+            Frame::Hello { .. } => {
                 let welcome = Frame::Welcome {
                     version: PROTOCOL_VERSION,
                     videos: shared.videos,
-                    segments: shared.segments,
                     shards: shared.shards as u32,
                     dilation: shared.dilation,
                 };
                 if out_tx.send(welcome).is_err() {
+                    return;
+                }
+            }
+            Frame::Describe { seq, video } => {
+                let reply = match shared.meta.get(video as usize) {
+                    Some(meta) if meta.valid => Frame::VideoInfo {
+                        seq,
+                        video,
+                        segments: meta.segments,
+                        protocol: meta.protocol.clone(),
+                        periods: meta.periods.clone(),
+                    },
+                    Some(_) => Frame::Rejected {
+                        seq,
+                        reason: RejectKind::InvalidVideo,
+                    },
+                    None => Frame::Rejected {
+                        seq,
+                        reason: RejectKind::UnknownVideo,
+                    },
+                };
+                if out_tx.send(reply).is_err() {
                     return;
                 }
             }
@@ -345,6 +417,8 @@ fn run_connection(
                 stats.requests.fetch_add(1, Ordering::Relaxed);
                 let reject = if video >= shared.videos {
                     Some(RejectKind::UnknownVideo)
+                } else if !shared.meta[video as usize].valid {
+                    Some(RejectKind::InvalidVideo)
                 } else if shared.draining.load(Ordering::SeqCst) {
                     Some(RejectKind::Draining)
                 } else {
@@ -385,6 +459,7 @@ fn run_connection(
             Frame::Welcome { .. }
             | Frame::Grant { .. }
             | Frame::Rejected { .. }
+            | Frame::VideoInfo { .. }
             | Frame::StatsReply { .. }
             | Frame::Draining => {
                 stats.protocol_errors.fetch_add(1, Ordering::Relaxed);

@@ -1,18 +1,30 @@
 //! Scheduler shard workers.
 //!
-//! Each shard thread owns the [`DhbScheduler`]s of the videos routed to it
+//! Each shard thread owns the schedulers of the videos routed to it
 //! (`video % shards`), so no scheduler is ever shared between threads and
-//! shard-local scheduling needs no locks. Requests arrive over a **bounded**
+//! shard-local scheduling needs no locks. The schedulers are
+//! protocol-generic [`SlotScheduler`] trait objects built by the serving
+//! catalog — fixed-rate DHB, dynamic-NPB grants, and DHB-d period vectors
+//! all run through the same loop. Requests arrive over a **bounded**
 //! `sync_channel` — the admission-control queue whose `try_send` failure is
 //! surfaced to clients as `Rejected(queue_full)`.
 //!
 //! Determinism: a request carries either an explicit arrival slot or the
 //! [`ARRIVAL_AUTO`](crate::wire::ARRIVAL_AUTO) sentinel resolved against the
-//! virtual [`SlotClock`]. The shard advances the scheduler's ring to the
-//! arrival slot exactly like the offline engines do (pop every earlier
-//! slot), then calls `schedule_request` — so for a fixed arrival-slot
-//! sequence the grants are byte-identical to an offline run, regardless of
-//! wall-clock timing, shard count, or dilation.
+//! video's own virtual [`SlotClock`] (heterogeneous catalogs have one clock
+//! per video — a 10-second-segment entry and a 60-second DHB-d entry tick
+//! at different real-time rates under the same dilation). The shard
+//! advances the scheduler's ring to the arrival slot exactly like the
+//! offline engines do (pop every earlier slot), then calls
+//! `schedule_request` — so for a fixed arrival-slot sequence the grants are
+//! byte-identical to an offline run, regardless of wall-clock timing, shard
+//! count, or dilation.
+//!
+//! Every grant is audited on the way out: each instance must land in the
+//! window `arrival < slot ≤ arrival + T[j]`. Violations increment
+//! `svc.audit.deadline_misses` — the live-service counterpart of the
+//! offline `TimelinessAuditor`, and the counter the CI catalog smoke
+//! asserts stays zero.
 
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
@@ -21,8 +33,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use dhb_core::DhbScheduler;
-use vod_obs::Journal;
+use dhb_core::SlotScheduler;
 use vod_types::Slot;
 
 use crate::clock::SlotClock;
@@ -46,13 +57,17 @@ pub(crate) enum ShardMsg {
     },
 }
 
+/// One video owned by a shard: its scheduler and its own slot clock.
+pub(crate) struct ShardVideo {
+    pub id: u32,
+    pub scheduler: Box<dyn SlotScheduler + Send>,
+    pub clock: Arc<SlotClock>,
+}
+
 pub(crate) struct ShardConfig {
     pub id: usize,
-    pub videos: Vec<u32>,
-    pub segments: usize,
-    pub clock: Arc<SlotClock>,
+    pub videos: Vec<ShardVideo>,
     pub stats: Arc<ServiceStats>,
-    pub journal: Journal,
     /// Test knob: minimum time spent per request, to make overload and
     /// drain scenarios deterministic in tests. Zero in production.
     pub min_service_time: Duration,
@@ -61,21 +76,16 @@ pub(crate) struct ShardConfig {
 pub(crate) fn spawn_shard(config: ShardConfig, rx: Receiver<ShardMsg>) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("vod-svc-shard-{}", config.id))
-        .spawn(move || run_shard(&config, &rx))
+        .spawn(move || run_shard(config, &rx))
         .expect("spawn shard thread")
 }
 
-fn run_shard(config: &ShardConfig, rx: &Receiver<ShardMsg>) {
-    let mut schedulers: HashMap<u32, DhbScheduler> = config
-        .videos
-        .iter()
-        .map(|&video| {
-            (
-                video,
-                DhbScheduler::fixed_rate(config.segments).with_journal(config.journal.clone()),
-            )
-        })
-        .collect();
+fn run_shard(config: ShardConfig, rx: &Receiver<ShardMsg>) {
+    let shard_id = config.id;
+    let stats = config.stats;
+    let min_service_time = config.min_service_time;
+    let mut videos: HashMap<u32, ShardVideo> =
+        config.videos.into_iter().map(|v| (v.id, v)).collect();
 
     // `recv` drains every queued message even after all senders drop, so a
     // graceful shutdown still answers admitted requests.
@@ -87,14 +97,15 @@ fn run_shard(config: &ShardConfig, rx: &Receiver<ShardMsg>) {
             enqueued,
             reply,
         } = msg;
-        if !config.min_service_time.is_zero() {
-            std::thread::sleep(config.min_service_time);
+        if !min_service_time.is_zero() {
+            std::thread::sleep(min_service_time);
         }
-        let scheduler = schedulers
+        let owned = videos
             .get_mut(&video)
             .expect("reader routes only owned videos");
+        let scheduler = &mut owned.scheduler;
         let requested = if arrival_slot == ARRIVAL_AUTO {
-            config.clock.slot_now()
+            owned.clock.slot_now()
         } else {
             arrival_slot
         };
@@ -103,12 +114,12 @@ fn run_shard(config: &ShardConfig, rx: &Receiver<ShardMsg>) {
         let arrival = requested.max(scheduler.next_slot().index().saturating_sub(1));
         while scheduler.next_slot().index() < arrival {
             let (_slot, aired) = scheduler.pop_slot();
-            config
-                .stats
+            stats
                 .instances_aired
                 .fetch_add(aired.len() as u64, Ordering::Relaxed);
         }
         let schedule = scheduler.schedule_request(Slot::new(arrival));
+        audit_timeliness(&stats, scheduler.periods(), arrival, &schedule);
         let segments = schedule
             .iter()
             .map(|s| GrantedSegment {
@@ -117,10 +128,8 @@ fn run_shard(config: &ShardConfig, rx: &Receiver<ShardMsg>) {
                 shared: !s.newly_scheduled,
             })
             .collect();
-        config
-            .stats
-            .record_latency(config.id, elapsed_ns(&enqueued));
-        config.stats.grants.fetch_add(1, Ordering::Relaxed);
+        stats.record_latency(shard_id, elapsed_ns(&enqueued));
+        stats.grants.fetch_add(1, Ordering::Relaxed);
         // Blocking send: the outbound queue is bounded, so a slow client
         // backpressures its shard instead of buffering without limit. A
         // vanished connection is fine — its writer drains the channel until
@@ -131,6 +140,32 @@ fn run_shard(config: &ShardConfig, rx: &Receiver<ShardMsg>) {
             arrival_slot: arrival,
             segments,
         });
+    }
+}
+
+/// Checks every granted instance against its deadline window
+/// `arrival < slot ≤ arrival + T[j]`.
+fn audit_timeliness(
+    stats: &ServiceStats,
+    periods: &[u64],
+    arrival: u64,
+    schedule: &[dhb_core::ScheduledSegment],
+) {
+    let mut misses = 0u64;
+    for s in schedule {
+        let window = periods.get(s.segment.array_index()).copied().unwrap_or(0);
+        let slot = s.slot.index();
+        if slot <= arrival || slot > arrival.saturating_add(window) {
+            misses += 1;
+        }
+    }
+    stats
+        .audit_segments_checked
+        .fetch_add(schedule.len() as u64, Ordering::Relaxed);
+    if misses > 0 {
+        stats
+            .audit_deadline_misses
+            .fetch_add(misses, Ordering::Relaxed);
     }
 }
 

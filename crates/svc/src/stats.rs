@@ -25,10 +25,19 @@ pub struct ServiceStats {
     pub rejected_draining: AtomicU64,
     /// Requests naming a video outside the catalog.
     pub rejected_unknown_video: AtomicU64,
+    /// Requests naming a catalog video whose entry failed validation.
+    pub rejected_invalid_video: AtomicU64,
     /// Connections dropped after malformed or out-of-role frames.
     pub protocol_errors: AtomicU64,
     /// Segment instances popped from slot rings while advancing schedulers.
     pub instances_aired: AtomicU64,
+    /// Granted segment instances checked against their timeliness deadline
+    /// (every grant is audited).
+    pub audit_segments_checked: AtomicU64,
+    /// Granted instances that violated `arrival < slot ≤ arrival + T[j]`.
+    /// Any non-zero value is a scheduler bug; the CI catalog smoke asserts
+    /// this stays zero.
+    pub audit_deadline_misses: AtomicU64,
     latency: Vec<Mutex<LogHistogram>>,
 }
 
@@ -43,8 +52,11 @@ impl ServiceStats {
             rejected_queue_full: AtomicU64::new(0),
             rejected_draining: AtomicU64::new(0),
             rejected_unknown_video: AtomicU64::new(0),
+            rejected_invalid_video: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             instances_aired: AtomicU64::new(0),
+            audit_segments_checked: AtomicU64::new(0),
+            audit_deadline_misses: AtomicU64::new(0),
             latency: (0..shards.max(1))
                 .map(|_| Mutex::new(LogHistogram::new()))
                 .collect(),
@@ -65,6 +77,7 @@ impl ServiceStats {
             RejectKind::QueueFull => &self.rejected_queue_full,
             RejectKind::Draining => &self.rejected_draining,
             RejectKind::UnknownVideo => &self.rejected_unknown_video,
+            RejectKind::InvalidVideo => &self.rejected_invalid_video,
         };
         counter.fetch_add(1, Ordering::Relaxed);
     }
@@ -75,6 +88,7 @@ impl ServiceStats {
         self.rejected_queue_full.load(Ordering::Relaxed)
             + self.rejected_draining.load(Ordering::Relaxed)
             + self.rejected_unknown_video.load(Ordering::Relaxed)
+            + self.rejected_invalid_video.load(Ordering::Relaxed)
     }
 
     /// The grant-latency histogram merged across shards.
@@ -99,8 +113,14 @@ impl ServiceStats {
         *r.ensure_counter("svc.rejected.draining") = self.rejected_draining.load(Ordering::Relaxed);
         *r.ensure_counter("svc.rejected.unknown_video") =
             self.rejected_unknown_video.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.rejected.invalid_video") =
+            self.rejected_invalid_video.load(Ordering::Relaxed);
         *r.ensure_counter("svc.protocol_errors") = self.protocol_errors.load(Ordering::Relaxed);
         *r.ensure_counter("svc.instances_aired") = self.instances_aired.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.audit.segments_checked") =
+            self.audit_segments_checked.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.audit.deadline_misses") =
+            self.audit_deadline_misses.load(Ordering::Relaxed);
         let latency = self.latency_histogram();
         if latency.count() > 0 {
             r.merge_histogram("svc.grant_latency_ns", &latency);

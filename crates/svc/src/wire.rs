@@ -14,8 +14,13 @@ use std::io::{self, Read, Write};
 
 use vod_obs::RejectKind;
 
-/// Protocol version carried by `Hello`/`Welcome`.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Protocol version carried by `Hello`/`Welcome`. Version 2 introduced the
+/// heterogeneous catalog: `Welcome` lost its uniform `segments` field and
+/// `Describe`/`VideoInfo` report per-video segment counts, protocols, and
+/// period vectors. The decoder rejects any other version with
+/// [`WireError::Version`] — a v1 peer cannot interpret v2 grants correctly,
+/// so the mismatch must fail loudly at the handshake, not garble schedules.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Hard upper bound on a frame payload, enforced by both sides before any
 /// allocation. Keeps a malicious or corrupt length prefix from ballooning
@@ -63,14 +68,22 @@ pub enum Frame {
     Stats,
     /// Orderly goodbye; the server flushes pending grants and closes.
     Goodbye,
-    /// Server handshake reply.
+    /// Ask how one video is served: segment count, protocol, periods.
+    Describe {
+        /// Client-chosen sequence number, echoed in the matching
+        /// `VideoInfo` or `Rejected`.
+        seq: u64,
+        /// Catalog video id, `0..videos`.
+        video: u32,
+    },
+    /// Server handshake reply. Since protocol version 2 the catalog is
+    /// heterogeneous, so there is no uniform segment count here — clients
+    /// learn per-video geometry through `Describe`.
     Welcome {
         /// The server's [`PROTOCOL_VERSION`].
         version: u32,
         /// Catalog size; valid video ids are `0..videos`.
         videos: u32,
-        /// Segments per video.
-        segments: u32,
         /// Scheduler shard count.
         shards: u32,
         /// Virtual-clock time-dilation factor (1 = real time).
@@ -94,6 +107,20 @@ pub enum Frame {
         seq: u64,
         /// Why.
         reason: RejectKind,
+    },
+    /// Reply to `Describe`: how the named video is served.
+    VideoInfo {
+        /// Echo of the describe's sequence number.
+        seq: u64,
+        /// Echo of the describe's video id.
+        video: u32,
+        /// Segments in this video.
+        segments: u32,
+        /// Scheduler name (`DHB`, `dyn-NPB`, `DHB-d`, …).
+        protocol: String,
+        /// The period vector `T[1..=n]` (`periods[j-1]` = the deadline
+        /// window for segment `S_j`, in slots).
+        periods: Vec<u64>,
     },
     /// Reply to `Stats`: the registry snapshot as JSON.
     StatsReply {
@@ -119,6 +146,12 @@ pub enum WireError {
     /// Structurally invalid payload (bad enum code, bad UTF-8, trailing
     /// bytes, …).
     Malformed(&'static str),
+    /// A `Hello` or `Welcome` carried a protocol version this build does
+    /// not speak.
+    Version {
+        /// The version the peer announced.
+        got: u32,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -131,6 +164,10 @@ impl fmt::Display for WireError {
             WireError::Truncated => f.write_str("payload truncated"),
             WireError::BadTag(tag) => write!(f, "unknown frame tag {tag}"),
             WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            WireError::Version { got } => write!(
+                f,
+                "unsupported protocol version {got} (this build speaks {PROTOCOL_VERSION})"
+            ),
         }
     }
 }
@@ -147,11 +184,13 @@ const TAG_HELLO: u8 = 1;
 const TAG_REQUEST: u8 = 2;
 const TAG_STATS: u8 = 3;
 const TAG_GOODBYE: u8 = 4;
+const TAG_DESCRIBE: u8 = 5;
 const TAG_WELCOME: u8 = 16;
 const TAG_GRANT: u8 = 17;
 const TAG_REJECTED: u8 = 18;
 const TAG_STATS_REPLY: u8 = 19;
 const TAG_DRAINING: u8 = 20;
+const TAG_VIDEO_INFO: u8 = 21;
 
 impl Frame {
     /// Encodes the payload (tag + fields, no length prefix).
@@ -175,17 +214,20 @@ impl Frame {
             }
             Frame::Stats => out.push(TAG_STATS),
             Frame::Goodbye => out.push(TAG_GOODBYE),
+            Frame::Describe { seq, video } => {
+                out.push(TAG_DESCRIBE);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&video.to_le_bytes());
+            }
             Frame::Welcome {
                 version,
                 videos,
-                segments,
                 shards,
                 dilation,
             } => {
                 out.push(TAG_WELCOME);
                 out.extend_from_slice(&version.to_le_bytes());
                 out.extend_from_slice(&videos.to_le_bytes());
-                out.extend_from_slice(&segments.to_le_bytes());
                 out.extend_from_slice(&shards.to_le_bytes());
                 out.extend_from_slice(&dilation.to_le_bytes());
             }
@@ -210,6 +252,24 @@ impl Frame {
                 out.push(TAG_REJECTED);
                 out.extend_from_slice(&seq.to_le_bytes());
                 out.push(reason.code());
+            }
+            Frame::VideoInfo {
+                seq,
+                video,
+                segments,
+                protocol,
+                periods,
+            } => {
+                out.push(TAG_VIDEO_INFO);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&video.to_le_bytes());
+                out.extend_from_slice(&segments.to_le_bytes());
+                out.extend_from_slice(&(protocol.len() as u32).to_le_bytes());
+                out.extend_from_slice(protocol.as_bytes());
+                out.extend_from_slice(&(periods.len() as u32).to_le_bytes());
+                for period in periods {
+                    out.extend_from_slice(&period.to_le_bytes());
+                }
             }
             Frame::StatsReply { json } => {
                 out.push(TAG_STATS_REPLY);
@@ -244,7 +304,9 @@ impl Frame {
         let mut r = Cursor::new(payload);
         let tag = r.u8()?;
         let frame = match tag {
-            TAG_HELLO => Frame::Hello { version: r.u32()? },
+            TAG_HELLO => Frame::Hello {
+                version: r.version()?,
+            },
             TAG_REQUEST => Frame::Request {
                 seq: r.u64()?,
                 video: r.u32()?,
@@ -252,10 +314,13 @@ impl Frame {
             },
             TAG_STATS => Frame::Stats,
             TAG_GOODBYE => Frame::Goodbye,
+            TAG_DESCRIBE => Frame::Describe {
+                seq: r.u64()?,
+                video: r.u32()?,
+            },
             TAG_WELCOME => Frame::Welcome {
-                version: r.u32()?,
+                version: r.version()?,
                 videos: r.u32()?,
-                segments: r.u32()?,
                 shards: r.u32()?,
                 dilation: r.u32()?,
             },
@@ -289,6 +354,31 @@ impl Frame {
                 reason: RejectKind::from_code(r.u8()?)
                     .ok_or(WireError::Malformed("unknown reject reason code"))?,
             },
+            TAG_VIDEO_INFO => {
+                let seq = r.u64()?;
+                let video = r.u32()?;
+                let segments = r.u32()?;
+                let name_len = r.u32()? as usize;
+                let protocol = String::from_utf8(r.take(name_len)?.to_vec())
+                    .map_err(|_| WireError::Malformed("protocol name is not UTF-8"))?;
+                let count = r.u32()? as usize;
+                // 8 bytes per period: the count cannot promise more entries
+                // than the remaining payload holds.
+                if count > r.remaining() / 8 {
+                    return Err(WireError::Truncated);
+                }
+                let mut periods = Vec::with_capacity(count);
+                for _ in 0..count {
+                    periods.push(r.u64()?);
+                }
+                Frame::VideoInfo {
+                    seq,
+                    video,
+                    segments,
+                    protocol,
+                    periods,
+                }
+            }
             TAG_STATS_REPLY => {
                 let len = r.u32()? as usize;
                 let bytes = r.take(len)?;
@@ -385,6 +475,18 @@ impl<'a> Cursor<'a> {
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }
+
+    /// A protocol-version field: structurally a `u32`, but only
+    /// [`PROTOCOL_VERSION`] decodes — anything else is the typed
+    /// [`WireError::Version`], so a mismatched peer fails at the handshake
+    /// frame itself.
+    fn version(&mut self) -> Result<u32, WireError> {
+        let got = self.u32()?;
+        if got != PROTOCOL_VERSION {
+            return Err(WireError::Version { got });
+        }
+        Ok(got)
+    }
 }
 
 #[cfg(test)]
@@ -416,9 +518,16 @@ mod tests {
             Frame::Welcome {
                 version: PROTOCOL_VERSION,
                 videos: 4,
-                segments: 99,
                 shards: 2,
                 dilation: 1000,
+            },
+            Frame::Describe { seq: 5, video: 2 },
+            Frame::VideoInfo {
+                seq: 5,
+                video: 2,
+                segments: 4,
+                protocol: "DHB-d".to_owned(),
+                periods: vec![1, 2, 2, 4],
             },
             Frame::Request {
                 seq: 0,
@@ -462,6 +571,45 @@ mod tests {
             assert_eq!(read_frame(&mut reader).unwrap().as_ref(), Some(frame));
         }
         assert_eq!(read_frame(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn mismatched_versions_are_a_typed_error() {
+        for got in [0, 1, PROTOCOL_VERSION + 1, u32::MAX] {
+            let hello = Frame::Hello { version: got }.encode_payload();
+            match Frame::decode_payload(&hello) {
+                Err(WireError::Version { got: seen }) => assert_eq!(seen, got),
+                other => panic!("hello v{got}: expected Version error, got {other:?}"),
+            }
+            let welcome = Frame::Welcome {
+                version: got,
+                videos: 1,
+                shards: 1,
+                dilation: 1,
+            }
+            .encode_payload();
+            assert!(
+                matches!(
+                    Frame::decode_payload(&welcome),
+                    Err(WireError::Version { .. })
+                ),
+                "welcome v{got} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn video_info_period_count_cannot_overpromise() {
+        // A VideoInfo whose period count claims u32::MAX entries but
+        // carries none.
+        let mut payload = vec![TAG_VIDEO_INFO];
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes()); // empty name
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = Frame::decode_payload(&payload).unwrap_err();
+        assert!(matches!(err, WireError::Truncated), "{err}");
     }
 
     #[test]

@@ -4,19 +4,25 @@
 //! The centrepiece is the **service ↔ simulator equivalence oracle**: with
 //! explicit arrival slots, every `(slot, segment, shared)` triple a client
 //! receives over TCP must be byte-identical to what the offline engines
-//! produce for the same arrival sequence — both a direct [`DhbScheduler`]
-//! replay and a full [`SlottedRun`] kernel simulation. The remaining tests
-//! pin the overload (load-shedding), graceful-drain, and `STATS` contracts.
+//! produce for the same arrival sequence — a direct [`SlotScheduler`]
+//! replay per video (fixed-rate DHB, dynamic-NPB, explicit periods, and the
+//! DHB-d VBR pipeline alike) and a full [`SlottedRun`] kernel simulation.
+//! The remaining tests pin the overload (load-shedding), graceful-drain,
+//! heterogeneous-catalog (`Describe`, invalid entries, version mismatch),
+//! and `STATS` contracts.
 
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
-use dhb_core::{Dhb, DhbScheduler};
+use dhb_core::{Dhb, SlotScheduler};
 use vod_obs::{EventKind, Journal, RejectKind};
 use vod_sim::{DeterministicArrivals, SlottedRun};
 use vod_svc::wire::{read_frame, write_frame, Frame};
-use vod_svc::{fetch_stats, run_load, GrantedSegment, LoadConfig, Service, SvcConfig};
+use vod_svc::{
+    fetch_stats, run_load, GrantedSegment, LoadConfig, SchedulerKind, ServeCatalog, ServeEntry,
+    Service, SvcConfig,
+};
 use vod_types::{Seconds, Slot, VideoSpec};
 
 /// A small catalog entry: 6 segments of 10 s each.
@@ -24,10 +30,9 @@ fn small_video() -> VideoSpec {
     VideoSpec::new(Seconds::new(60.0), 6).expect("valid spec")
 }
 
-/// Replays `arrivals` through an offline [`DhbScheduler`] exactly like a
+/// Replays `arrivals` through any offline [`SlotScheduler`] exactly like a
 /// shard does: advance the ring to the arrival slot, then schedule.
-fn offline_grants(segments: usize, arrivals: &[u64]) -> Vec<Vec<GrantedSegment>> {
-    let mut scheduler = DhbScheduler::fixed_rate(segments);
+fn offline_replay(scheduler: &mut dyn SlotScheduler, arrivals: &[u64]) -> Vec<Vec<GrantedSegment>> {
     let mut grants = Vec::with_capacity(arrivals.len());
     for &a in arrivals {
         while scheduler.next_slot().index() < a {
@@ -48,6 +53,12 @@ fn offline_grants(segments: usize, arrivals: &[u64]) -> Vec<Vec<GrantedSegment>>
     grants
 }
 
+/// Replays `arrivals` through a fresh offline build of `entry`.
+fn offline_grants_for(entry: &ServeEntry, arrivals: &[u64]) -> Vec<Vec<GrantedSegment>> {
+    let (_, mut scheduler) = entry.build(&Journal::disabled()).expect("entry builds");
+    offline_replay(scheduler.as_mut(), arrivals)
+}
+
 #[test]
 fn service_grants_match_offline_simulators() {
     let video = small_video();
@@ -55,8 +66,7 @@ fn service_grants_match_offline_simulators() {
     let service = Service::start(
         "127.0.0.1:0",
         &SvcConfig {
-            videos: 2,
-            video,
+            catalog: ServeCatalog::uniform(2, video),
             shards: 2,
             dilation: 1_000,
             ..SvcConfig::default()
@@ -74,6 +84,7 @@ fn service_grants_match_offline_simulators() {
             open_rate: None,
             arrival_stride: Some(1),
             collect_grants: true,
+            ..LoadConfig::default()
         },
     )
     .expect("load run succeeds");
@@ -85,7 +96,7 @@ fn service_grants_match_offline_simulators() {
     // Oracle 1: direct scheduler replay, one per video (= per connection).
     let arrivals: Vec<u64> = (0..requests_per_conn).collect();
     let segments = video.last_segment().get();
-    let expected = offline_grants(segments, &arrivals);
+    let expected = offline_grants_for(&ServeEntry::fixed_rate(video), &arrivals);
 
     // Oracle 2: the full simulation kernel. Arrivals at (a + 0.5)·d land in
     // slot a and are scheduled before that slot airs — the same order the
@@ -148,8 +159,7 @@ fn overload_sheds_with_explicit_rejections() {
     let service = Service::start(
         "127.0.0.1:0",
         &SvcConfig {
-            videos: 1,
-            video: small_video(),
+            catalog: ServeCatalog::uniform(1, small_video()),
             shards: 1,
             dilation: 1_000,
             queue_cap: 2,
@@ -169,6 +179,7 @@ fn overload_sheds_with_explicit_rejections() {
             open_rate: None,
             arrival_stride: Some(1),
             collect_grants: false,
+            ..LoadConfig::default()
         },
     )
     .expect("load run succeeds");
@@ -202,8 +213,7 @@ fn unknown_video_is_rejected_not_dropped() {
     let service = Service::start(
         "127.0.0.1:0",
         &SvcConfig {
-            videos: 1,
-            video: small_video(),
+            catalog: ServeCatalog::uniform(1, small_video()),
             shards: 1,
             ..SvcConfig::default()
         },
@@ -239,8 +249,7 @@ fn graceful_shutdown_drains_admitted_grants() {
     let service = Service::start(
         "127.0.0.1:0",
         &SvcConfig {
-            videos: 1,
-            video: small_video(),
+            catalog: ServeCatalog::uniform(1, small_video()),
             shards: 1,
             dilation: 1_000,
             min_service_time: Duration::from_millis(5),
@@ -301,8 +310,7 @@ fn stats_frame_reports_live_counters() {
     let service = Service::start(
         "127.0.0.1:0",
         &SvcConfig {
-            videos: 2,
-            video: small_video(),
+            catalog: ServeCatalog::uniform(2, small_video()),
             shards: 2,
             dilation: 1_000,
             ..SvcConfig::default()
@@ -316,5 +324,248 @@ fn stats_frame_reports_live_counters() {
     assert!(json.contains("\"svc.grants\": 100"), "{json}");
     assert!(json.contains("svc.grant_latency_ns"), "{json}");
     assert!(json.contains("\"svc.rejected.queue_full\": 0"), "{json}");
+    let _ = service.shutdown();
+}
+
+/// A mixed serving catalog: fixed-rate DHB, dynamic-NPB, an explicit
+/// period vector, and the full DHB-d VBR pipeline (Matrix preset).
+fn mixed_catalog() -> ServeCatalog {
+    ServeCatalog::from_entries(vec![
+        ServeEntry {
+            segment_secs: 10.0,
+            kind: SchedulerKind::Dhb { segments: 6 },
+        },
+        ServeEntry {
+            segment_secs: 10.0,
+            kind: SchedulerKind::Npb { segments: 8 },
+        },
+        ServeEntry {
+            segment_secs: 5.0,
+            kind: SchedulerKind::Periods {
+                periods: vec![1, 2, 2, 4],
+            },
+        },
+        ServeEntry {
+            segment_secs: 60.0, // ignored: the DHB-d plan fixes its own slot
+            kind: SchedulerKind::DhbD {
+                preset: "matrix".to_owned(),
+                seed: 1,
+                max_wait_secs: 60.0,
+            },
+        },
+    ])
+}
+
+#[test]
+fn mixed_catalog_grants_match_each_videos_offline_oracle() {
+    // One connection per catalog entry, each with the same explicit arrival
+    // sequence: every video's wire grants must be byte-identical to an
+    // offline replay of that video's own scheduler — different segment
+    // counts, different protocols, different period vectors.
+    let catalog = mixed_catalog();
+    let requests_per_conn = 10u64;
+    let service = Service::start(
+        "127.0.0.1:0",
+        &SvcConfig {
+            catalog: catalog.clone(),
+            shards: 3, // deliberately coprime with neither 4 nor 1
+            dilation: 1_000,
+            ..SvcConfig::default()
+        },
+    )
+    .expect("service starts");
+
+    let report = run_load(
+        service.local_addr(),
+        &LoadConfig {
+            conns: 4,
+            requests_per_conn,
+            videos: 4,
+            mix: Some(vec![0, 1, 2, 3]),
+            describe: true,
+            window: 4,
+            open_rate: None,
+            arrival_stride: Some(1),
+            collect_grants: true,
+        },
+    )
+    .expect("load run succeeds");
+
+    assert_eq!(report.grants, 4 * requests_per_conn, "{}", report.render());
+    assert_eq!(report.rejected, 0, "{}", report.render());
+    assert_eq!(report.protocol_errors, 0, "{}", report.render());
+    assert_eq!(report.video_infos, 4, "one Describe reply per connection");
+
+    let arrivals: Vec<u64> = (0..requests_per_conn).collect();
+    for (conn, grants) in report.grants_by_conn.iter().enumerate() {
+        let video = report.videos_by_conn[conn] as usize;
+        let entry = &catalog.entries()[video];
+        let expected = offline_grants_for(entry, &arrivals);
+        assert_eq!(grants.len(), arrivals.len(), "video {video}");
+        for (i, grant) in grants.iter().enumerate() {
+            assert_eq!(
+                grant.segments,
+                expected[i],
+                "video {video} ({}) request {i}: wire grant differs from \
+                 its offline scheduler replay",
+                entry.protocol_key()
+            );
+        }
+    }
+
+    // The shard-side timeliness audit must have checked every granted
+    // instance and found zero deadline misses.
+    let stats = service.stats().clone();
+    let checked = stats.audit_segments_checked.load(Ordering::Relaxed);
+    let granted: u64 = report
+        .grants_by_conn
+        .iter()
+        .flatten()
+        .map(|g| g.segments.len() as u64)
+        .sum();
+    assert_eq!(checked, granted, "every granted instance is audited");
+    assert_eq!(stats.audit_deadline_misses.load(Ordering::Relaxed), 0);
+    let _ = service.shutdown();
+}
+
+#[test]
+fn describe_reports_per_video_geometry() {
+    let catalog = mixed_catalog();
+    let service = Service::start(
+        "127.0.0.1:0",
+        &SvcConfig {
+            catalog,
+            shards: 2,
+            ..SvcConfig::default()
+        },
+    )
+    .expect("service starts");
+    let mut stream = TcpStream::connect(service.local_addr()).expect("connect");
+    for (seq, video) in [(0u64, 0u32), (1, 1), (2, 2)] {
+        write_frame(&mut stream, &Frame::Describe { seq, video }).expect("write");
+    }
+    write_frame(&mut stream, &Frame::Describe { seq: 3, video: 99 }).expect("write");
+
+    let mut infos = Vec::new();
+    for _ in 0..3 {
+        match read_frame(&mut stream).expect("read") {
+            Some(Frame::VideoInfo {
+                video,
+                segments,
+                protocol,
+                periods,
+                ..
+            }) => infos.push((video, segments, protocol, periods)),
+            other => panic!("expected VideoInfo, got {other:?}"),
+        }
+    }
+    assert_eq!(infos[0], (0, 6, "DHB".to_owned(), vec![1, 2, 3, 4, 5, 6]));
+    assert_eq!(infos[1].0, 1);
+    assert_eq!(infos[1].1, 8);
+    assert_eq!(infos[1].2, "dyn-NPB");
+    assert_eq!(infos[1].3.len(), 8, "one period per NPB class");
+    assert_eq!(infos[2], (2, 4, "DHB".to_owned(), vec![1, 2, 2, 4]));
+    match read_frame(&mut stream).expect("read") {
+        Some(Frame::Rejected { seq: 3, reason }) => {
+            assert_eq!(reason, RejectKind::UnknownVideo);
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    let _ = service.shutdown();
+}
+
+#[test]
+fn invalid_catalog_entry_is_rejected_typed_while_neighbours_serve() {
+    // An untrusted catalog file with one semantically broken entry (zero
+    // period): the service must come up, serve the good entry, and answer
+    // the bad one with Rejected(invalid_video) — never crash.
+    let catalog = ServeCatalog::from_entries(vec![
+        ServeEntry {
+            segment_secs: 10.0,
+            kind: SchedulerKind::Dhb { segments: 4 },
+        },
+        ServeEntry {
+            segment_secs: 10.0,
+            kind: SchedulerKind::Periods {
+                periods: vec![1, 0, 3],
+            },
+        },
+    ]);
+    let service = Service::start(
+        "127.0.0.1:0",
+        &SvcConfig {
+            catalog,
+            shards: 1,
+            ..SvcConfig::default()
+        },
+    )
+    .expect("service starts despite the bad entry");
+    let mut stream = TcpStream::connect(service.local_addr()).expect("connect");
+    for (seq, video) in [(0u64, 1u32), (1, 0)] {
+        write_frame(
+            &mut stream,
+            &Frame::Request {
+                seq,
+                video,
+                arrival_slot: 0,
+            },
+        )
+        .expect("write");
+    }
+    match read_frame(&mut stream).expect("read") {
+        Some(Frame::Rejected { seq: 0, reason }) => {
+            assert_eq!(reason, RejectKind::InvalidVideo);
+        }
+        other => panic!("expected Rejected(invalid_video), got {other:?}"),
+    }
+    match read_frame(&mut stream).expect("read") {
+        Some(Frame::Grant {
+            seq: 1,
+            video: 0,
+            segments,
+            ..
+        }) => {
+            assert_eq!(segments.len(), 4, "the good entry still serves");
+        }
+        other => panic!("expected Grant for the valid video, got {other:?}"),
+    }
+    // Describe on the broken entry is the same typed rejection.
+    write_frame(&mut stream, &Frame::Describe { seq: 2, video: 1 }).expect("write");
+    match read_frame(&mut stream).expect("read") {
+        Some(Frame::Rejected { seq: 2, reason }) => {
+            assert_eq!(reason, RejectKind::InvalidVideo);
+        }
+        other => panic!("expected Rejected(invalid_video), got {other:?}"),
+    }
+    let stats = service.stats().clone();
+    assert_eq!(stats.rejected_invalid_video.load(Ordering::Relaxed), 1);
+    let _ = service.shutdown();
+}
+
+#[test]
+fn mismatched_hello_version_drops_the_connection() {
+    let service = Service::start(
+        "127.0.0.1:0",
+        &SvcConfig {
+            catalog: ServeCatalog::uniform(1, small_video()),
+            shards: 1,
+            ..SvcConfig::default()
+        },
+    )
+    .expect("service starts");
+    let mut stream = TcpStream::connect(service.local_addr()).expect("connect");
+    // Forge a version-1 handshake: the server's decoder rejects it with the
+    // typed Version error and the reader drops the connection.
+    write_frame(&mut stream, &Frame::Hello { version: 1 }).expect("write");
+    match read_frame(&mut stream) {
+        Ok(None) | Err(_) => {}
+        Ok(Some(frame)) => panic!("expected a dropped connection, got {frame:?}"),
+    }
+    let stats = service.stats().clone();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while stats.protocol_errors.load(Ordering::Relaxed) == 0 {
+        assert!(Instant::now() < deadline, "protocol error never counted");
+        std::thread::sleep(Duration::from_millis(1));
+    }
     let _ = service.shutdown();
 }

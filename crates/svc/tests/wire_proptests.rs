@@ -5,10 +5,12 @@
 
 use proptest::prelude::*;
 use vod_svc::wire::{read_frame, Frame, WireError};
-use vod_svc::{GrantedSegment, MAX_FRAME_LEN};
+use vod_svc::{GrantedSegment, MAX_FRAME_LEN, PROTOCOL_VERSION};
 
-/// All nine frame kinds, driven by primitive inputs (the proptest shim has
-/// no derive support).
+/// All eleven frame kinds, driven by primitive inputs (the proptest shim
+/// has no derive support). `Hello`/`Welcome` carry [`PROTOCOL_VERSION`] —
+/// any other version is rejected at decode, which the version-mismatch
+/// tests below pin separately.
 fn build_frame(
     kind: usize,
     a: u64,
@@ -19,7 +21,9 @@ fn build_frame(
     text: &[u8],
 ) -> Frame {
     match kind {
-        0 => Frame::Hello { version: c },
+        0 => Frame::Hello {
+            version: PROTOCOL_VERSION,
+        },
         1 => Frame::Request {
             seq: a,
             video: c,
@@ -28,9 +32,8 @@ fn build_frame(
         2 => Frame::Stats,
         3 => Frame::Goodbye,
         4 => Frame::Welcome {
-            version: c,
+            version: PROTOCOL_VERSION,
             videos: c.wrapping_add(1),
-            segments: (a as u32).wrapping_add(c),
             shards: (b as u32) | 1,
             dilation: c.rotate_left(7),
         },
@@ -56,6 +59,14 @@ fn build_frame(
             // replacement chars included.
             json: String::from_utf8_lossy(text).into_owned(),
         },
+        8 => Frame::Describe { seq: a, video: c },
+        9 => Frame::VideoInfo {
+            seq: a,
+            video: c,
+            segments: segs.len() as u32,
+            protocol: String::from_utf8_lossy(text).into_owned(),
+            periods: segs.iter().map(|&(_, slot, _)| slot).collect(),
+        },
         _ => Frame::Draining,
     }
 }
@@ -65,7 +76,7 @@ proptest! {
 
     #[test]
     fn encode_decode_is_byte_identity(
-        (kind, a) in (0usize..9, any::<u64>()),
+        (kind, a) in (0usize..11, any::<u64>()),
         (b, c, flag) in (any::<u64>(), any::<u32>(), any::<bool>()),
         segs in prop::collection::vec((any::<u32>(), any::<u64>(), any::<bool>()), 0..12),
         text in prop::collection::vec(any::<u8>(), 0..64),
@@ -87,7 +98,7 @@ proptest! {
 
     #[test]
     fn truncated_frames_are_rejected_not_panicked(
-        (kind, a) in (0usize..9, any::<u64>()),
+        (kind, a) in (0usize..11, any::<u64>()),
         (b, c, flag) in (any::<u64>(), any::<u32>(), any::<bool>()),
         segs in prop::collection::vec((any::<u32>(), any::<u64>(), any::<bool>()), 0..8),
         cut_seed in any::<u64>(),
@@ -123,6 +134,40 @@ proptest! {
                 "expected Oversized({claimed}), got {other:?}"
             ))),
         }
+    }
+
+    #[test]
+    fn mismatched_handshake_versions_are_typed_errors(
+        bad_version in any::<u32>(),
+        (videos, shards, dilation) in (any::<u32>(), any::<u32>(), any::<u32>()),
+        hello in any::<bool>(),
+    ) {
+        prop_assume!(bad_version != PROTOCOL_VERSION);
+        // Encoding is total (tests need to forge old-version bytes), but
+        // decoding any version except PROTOCOL_VERSION must yield the typed
+        // Version error, for both handshake directions.
+        let frame = if hello {
+            Frame::Hello { version: bad_version }
+        } else {
+            Frame::Welcome {
+                version: bad_version,
+                videos,
+                shards,
+                dilation,
+            }
+        };
+        match Frame::decode_payload(&frame.encode_payload()) {
+            Err(WireError::Version { got }) => prop_assert_eq!(got, bad_version),
+            other => return Err(proptest::test_runner::TestCaseError::fail(format!(
+                "expected Version {{ got: {bad_version} }}, got {other:?}"
+            ))),
+        }
+        // The stream reader surfaces the same typed error.
+        let bytes = frame.encode();
+        let mut cursor = &bytes[..];
+        let stream_result = read_frame(&mut cursor);
+        let is_version_error = matches!(stream_result, Err(WireError::Version { .. }));
+        prop_assert!(is_version_error, "stream read gave {:?}", stream_result);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use std::net::SocketAddr;
 use std::process::ExitCode;
 
-use vod_dhb::svc::{fetch_stats, run_load, LoadConfig, Service, SvcConfig};
+use vod_dhb::svc::{fetch_stats, run_load, LoadConfig, ServeCatalog, Service, SvcConfig};
 use vod_dhb::types::{Seconds, VideoSpec};
 
 struct Args {
@@ -27,6 +27,9 @@ struct Args {
     videos: u32,
     segments: usize,
     duration_mins: f64,
+    catalog: Option<String>,
+    mix: Option<Vec<u32>>,
+    describe: bool,
     shards: usize,
     dilation: u32,
     queue_cap: usize,
@@ -37,8 +40,12 @@ struct Args {
 const USAGE: &str = "usage:\n  \
     vodload [--addr host:port | --self-host] [--conns 4] [--requests 200]\n          \
     [--window 8] [--rate <req/s per conn>] [--videos 4] [--segments 120]\n          \
-    [--duration-mins 120] [--shards 2] [--dilation 1] [--queue-cap 64]\n          \
-    [--stats-out stats.json] [--max-p99-ms 250]";
+    [--duration-mins 120] [--catalog catalog.toml] [--mix 0,1,2]\n          \
+    [--describe] [--shards 2] [--dilation 1] [--queue-cap 64]\n          \
+    [--stats-out stats.json] [--max-p99-ms 250]\n\n\
+    --catalog self-hosts a heterogeneous catalog file (implies --self-host);\n\
+    --mix pins each connection to a video id round-robin from the list;\n\
+    --describe fetches per-video geometry (DESCRIBE) before driving load.";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -51,6 +58,9 @@ fn parse_args() -> Result<Args, String> {
         videos: 4,
         segments: 120,
         duration_mins: 120.0,
+        catalog: None,
+        mix: None,
+        describe: false,
         shards: 2,
         dilation: 1,
         queue_cap: 64,
@@ -61,6 +71,10 @@ fn parse_args() -> Result<Args, String> {
     while let Some(flag) = it.next() {
         if flag == "--self-host" {
             args.self_host = true;
+            continue;
+        }
+        if flag == "--describe" {
+            args.describe = true;
             continue;
         }
         if flag == "--help" || flag == "-h" {
@@ -85,6 +99,18 @@ fn parse_args() -> Result<Args, String> {
             "--duration-mins" => {
                 args.duration_mins = num("--duration-mins", &value("--duration-mins")?)?;
             }
+            "--catalog" => args.catalog = Some(value("--catalog")?),
+            "--mix" => {
+                let raw = value("--mix")?;
+                let mix = raw
+                    .split(',')
+                    .map(|v| num::<u32>("--mix", v.trim()))
+                    .collect::<Result<Vec<u32>, String>>()?;
+                if mix.is_empty() {
+                    return Err(format!("--mix needs at least one video id\n\n{USAGE}"));
+                }
+                args.mix = Some(mix);
+            }
             "--shards" => args.shards = num("--shards", &value("--shards")?)?,
             "--dilation" => args.dilation = num("--dilation", &value("--dilation")?)?,
             "--queue-cap" => args.queue_cap = num("--queue-cap", &value("--queue-cap")?)?,
@@ -92,6 +118,10 @@ fn parse_args() -> Result<Args, String> {
             "--max-p99-ms" => args.max_p99_ms = Some(num("--max-p99-ms", &value("--max-p99-ms")?)?),
             other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
         }
+    }
+    if args.catalog.is_some() {
+        // A catalog file only makes sense for a service we start ourselves.
+        args.self_host = true;
     }
     if args.addr.is_some() == args.self_host {
         return Err(format!(
@@ -114,17 +144,31 @@ fn main() -> ExitCode {
     };
 
     // Self-hosted service, if requested; kept alive (and drained) by main.
+    let mut hosted_videos = None;
     let hosted = if args.self_host {
-        let video = match VideoSpec::new(Seconds::from_mins(args.duration_mins), args.segments) {
-            Ok(video) => video,
-            Err(e) => {
-                eprintln!("invalid video spec: {e}");
-                return ExitCode::FAILURE;
+        let catalog = match &args.catalog {
+            Some(path) => match ServeCatalog::load(path) {
+                Ok(catalog) => catalog,
+                Err(e) => {
+                    eprintln!("cannot load catalog {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => {
+                let video =
+                    match VideoSpec::new(Seconds::from_mins(args.duration_mins), args.segments) {
+                        Ok(video) => video,
+                        Err(e) => {
+                            eprintln!("invalid video spec: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                ServeCatalog::uniform(args.videos, video)
             }
         };
+        hosted_videos = Some(catalog.len() as u32);
         let config = SvcConfig {
-            videos: args.videos,
-            video,
+            catalog,
             shards: args.shards,
             dilation: args.dilation,
             queue_cap: args.queue_cap,
@@ -164,11 +208,13 @@ fn main() -> ExitCode {
     let config = LoadConfig {
         conns: args.conns,
         requests_per_conn: args.requests,
-        videos: args.videos,
+        videos: hosted_videos.unwrap_or(args.videos),
         window: args.window,
         open_rate: args.rate,
         arrival_stride: None, // live runs use the server's virtual clock
         collect_grants: false,
+        mix: args.mix.clone(),
+        describe: args.describe,
     };
     let report = match run_load(addr, &config) {
         Ok(report) => report,

@@ -124,6 +124,10 @@ pub enum Command {
     Serve {
         /// Bind address (`host:port`; port 0 picks an ephemeral port).
         addr: String,
+        /// Path to a heterogeneous catalog file (the TOML subset documented
+        /// in `vod_server::serve_catalog`). Overrides `videos`/`segments`/
+        /// `duration_mins`, which describe a uniform catalog.
+        catalog: Option<String>,
         /// Catalog size (valid video ids are `0..videos`).
         videos: u32,
         /// Segments per video.
@@ -195,9 +199,9 @@ pub fn usage() -> String {
      [--progress <slots>] [--events-cap 1048576]\n  \
      vodsim analyze [--preset <matrix|action|drama|toon>] [--file trace.txt]\n          \
      [--seed 42] [--export out.txt]\n  \
-     vodsim serve [--addr 127.0.0.1:7400] [--videos 4] [--segments 120]\n          \
-     [--duration-mins 120] [--shards 2] [--dilation 1] [--queue-cap 64]\n          \
-     [--run-secs 0]\n  \
+     vodsim serve [--addr 127.0.0.1:7400] [--catalog catalog.toml]\n          \
+     [--videos 4] [--segments 120] [--duration-mins 120]\n          \
+     [--shards 2] [--dilation 1] [--queue-cap 64] [--run-secs 0]\n  \
      vodsim help"
         .to_owned()
 }
@@ -405,6 +409,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 addr: opts
                     .take_str("addr")?
                     .unwrap_or_else(|| "127.0.0.1:7400".to_owned()),
+                catalog: opts.take_str("catalog")?,
                 videos: opts.take_u64("videos")?.unwrap_or(4) as u32,
                 segments: opts.take_usize("segments")?.unwrap_or(120),
                 duration_mins: opts.take_f64("duration-mins")?.unwrap_or(120.0),
@@ -613,6 +618,7 @@ pub fn run(command: &Command) -> Result<String, UsageError> {
         Command::Schedule { segments, arrivals } => run_schedule(*segments, arrivals),
         Command::Serve {
             addr,
+            catalog,
             videos,
             segments,
             duration_mins,
@@ -622,6 +628,7 @@ pub fn run(command: &Command) -> Result<String, UsageError> {
             run_secs,
         } => run_serve(
             addr,
+            catalog.as_deref(),
             *videos,
             *segments,
             *duration_mins,
@@ -1046,9 +1053,42 @@ fn run_schedule(segments: usize, arrivals: &[u64]) -> Result<String, UsageError>
     Ok(out)
 }
 
+/// One banner line per catalog entry, from declared geometry alone (no
+/// scheduler is built here — DHB-d entries synthesise a VBR trace at
+/// service start, and the banner must stay cheap).
+fn describe_catalog(catalog: &vod_svc::ServeCatalog) -> String {
+    use vod_svc::SchedulerKind;
+    let mut out = String::new();
+    for (id, entry) in catalog.entries().iter().enumerate() {
+        let kind = match &entry.kind {
+            SchedulerKind::Dhb { segments } => format!("dhb, {segments} segments"),
+            SchedulerKind::Npb { segments } => format!("npb, {segments} segments"),
+            SchedulerKind::Periods { periods } => {
+                format!("periods, {} segments", periods.len())
+            }
+            SchedulerKind::DhbD {
+                preset,
+                seed,
+                max_wait_secs,
+            } => {
+                // The plan fixes its own slot duration; the entry's
+                // segment_secs is unused.
+                format!("dhb-d, preset {preset}, seed {seed}, {max_wait_secs:.0}s slots")
+            }
+        };
+        let slots = match &entry.kind {
+            SchedulerKind::DhbD { .. } => String::new(),
+            _ => format!(", {:.0}s slots", entry.segment_secs),
+        };
+        out.push_str(&format!("\n  video {id}: {kind}{slots}"));
+    }
+    out
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_serve(
     addr: &str,
+    catalog_path: Option<&str>,
     videos: u32,
     segments: usize,
     duration_mins: f64,
@@ -1057,11 +1097,17 @@ fn run_serve(
     queue_cap: usize,
     run_secs: f64,
 ) -> Result<String, UsageError> {
-    let video = VideoSpec::new(Seconds::from_mins(duration_mins), segments)
-        .map_err(|e| UsageError(format!("invalid video spec: {e}")))?;
+    let catalog = match catalog_path {
+        Some(path) => vod_svc::ServeCatalog::load(path)
+            .map_err(|e| UsageError(format!("cannot load catalog {path}: {e}")))?,
+        None => {
+            let video = VideoSpec::new(Seconds::from_mins(duration_mins), segments)
+                .map_err(|e| UsageError(format!("invalid video spec: {e}")))?;
+            vod_svc::ServeCatalog::uniform(videos, video)
+        }
+    };
     let config = vod_svc::SvcConfig {
-        videos,
-        video,
+        catalog,
         shards,
         dilation,
         queue_cap,
@@ -1070,14 +1116,13 @@ fn run_serve(
     let service = vod_svc::Service::start(addr, &config)
         .map_err(|e| UsageError(format!("cannot bind {addr}: {e}")))?;
     let banner = format!(
-        "vod-svc listening on {} ({} videos x {} segments, {} shard(s), dilation {}x, \
-         queue cap {})",
+        "vod-svc listening on {} ({} videos, {} shard(s), dilation {}x, queue cap {}){}",
         service.local_addr(),
-        videos,
-        segments,
+        config.catalog.len(),
         shards,
         dilation,
         queue_cap,
+        describe_catalog(&config.catalog),
     );
     if run_secs <= 0.0 {
         // Serve until the process is killed; print the banner now since
@@ -1136,6 +1181,7 @@ mod tests {
             cmd,
             Command::Serve {
                 addr: "127.0.0.1:7400".into(),
+                catalog: None,
                 videos: 4,
                 segments: 120,
                 duration_mins: 120.0,
@@ -1145,6 +1191,10 @@ mod tests {
                 run_secs: 0.0,
             }
         );
+        match parse(&args("serve --catalog mix.toml")).unwrap() {
+            Command::Serve { catalog, .. } => assert_eq!(catalog.as_deref(), Some("mix.toml")),
+            other => panic!("unexpected: {other:?}"),
+        }
         assert!(parse(&args("serve --shards 0")).is_err());
         assert!(parse(&args("serve --dilation 0")).is_err());
         assert!(parse(&args("serve --run-secs -1")).is_err());
@@ -1163,6 +1213,32 @@ mod tests {
         assert!(out.contains("vod-svc listening on"), "{out}");
         assert!(out.contains("0 grants"), "{out}");
         assert!(out.contains("svc.requests"), "{out}");
+    }
+
+    #[test]
+    fn serve_hosts_a_heterogeneous_catalog_file() {
+        let path = std::env::temp_dir().join("vodsim-cli-catalog-test.toml");
+        std::fs::write(
+            &path,
+            "[[video]]\nsegment-secs = 10.0\nprotocol = \"dhb\"\nsegments = 6\n\n\
+             [[video]]\nsegment-secs = 10.0\nprotocol = \"npb\"\nsegments = 8\n\n\
+             [[video]]\nsegment-secs = 5.0\nprotocol = \"periods\"\nperiods = [1, 2, 2, 4]\n",
+        )
+        .unwrap();
+        let cmd = parse(&args(&format!(
+            "serve --addr 127.0.0.1:0 --catalog {} --dilation 1000 --run-secs 0.05",
+            path.display()
+        )))
+        .unwrap();
+        let out = run(&cmd).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(out.contains("(3 videos"), "{out}");
+        assert!(out.contains("video 0: dhb, 6 segments"), "{out}");
+        assert!(out.contains("video 1: npb, 8 segments"), "{out}");
+        assert!(out.contains("video 2: periods, 4 segments"), "{out}");
+
+        // A missing catalog file is a usage error, not a panic.
+        assert!(run(&parse(&args("serve --catalog /nonexistent/x.toml")).unwrap()).is_err());
     }
 
     #[test]
