@@ -89,6 +89,7 @@ fn main() {
                 collect_grants: true,
                 mix: None,
                 describe: false,
+                ..LoadConfig::default()
             },
         )
         .expect("load run succeeds");

@@ -61,15 +61,23 @@ pub enum RejectKind {
     /// The video is in the catalog but its entry could not back a working
     /// scheduler (bad period vector in an untrusted catalog file).
     InvalidVideo,
+    /// The video's shard exhausted its restart budget and is load-shedding
+    /// until the service restarts.
+    ShardDown,
+    /// A `Resume` named a session id the service does not know (never
+    /// created, already closed by `Goodbye`, or lost to a service restart).
+    UnknownSession,
 }
 
 impl RejectKind {
     /// All kinds, in wire order; a kind's position is its wire code.
-    pub const ALL: [RejectKind; 4] = [
+    pub const ALL: [RejectKind; 6] = [
         RejectKind::QueueFull,
         RejectKind::Draining,
         RejectKind::UnknownVideo,
         RejectKind::InvalidVideo,
+        RejectKind::ShardDown,
+        RejectKind::UnknownSession,
     ];
 
     /// Stable lower-case wire name used by the JSONL schema.
@@ -80,6 +88,8 @@ impl RejectKind {
             RejectKind::Draining => "draining",
             RejectKind::UnknownVideo => "unknown_video",
             RejectKind::InvalidVideo => "invalid_video",
+            RejectKind::ShardDown => "shard_down",
+            RejectKind::UnknownSession => "unknown_session",
         }
     }
 
@@ -206,6 +216,40 @@ pub enum Event {
         /// Grants delivered over the service's lifetime.
         grants: u64,
     },
+    /// A shard worker panicked while scheduling; the supervisor caught it.
+    ShardPanicked {
+        /// The shard that went down.
+        shard: u64,
+        /// Cumulative panic count for this shard, this one included.
+        restarts: u64,
+    },
+    /// The supervisor rebuilt a panicked shard's schedulers from its state
+    /// journal and resumed it on the same slot clocks.
+    ShardRestarted {
+        /// The shard that came back.
+        shard: u64,
+        /// Journal entries (scheduled arrivals) replayed into the fresh
+        /// schedulers.
+        replayed: u64,
+        /// Backoff slept before the rebuild, in milliseconds.
+        backoff_ms: u64,
+    },
+    /// A shard exhausted its restart budget; its videos now load-shed with
+    /// `Rejected(shard_down)`.
+    ShardDisabled {
+        /// The shard taken out of service.
+        shard: u64,
+    },
+    /// A reconnecting client resumed its session; missed grants were
+    /// replayed from the session's replay ring.
+    SessionResumed {
+        /// The session that moved to a new connection.
+        session: u64,
+        /// The connection it now lives on.
+        conn: u64,
+        /// Ring frames replayed to close the client's grant gap.
+        replayed: u64,
+    },
 }
 
 /// Discriminant of [`Event`], used for eviction-proof per-kind counting.
@@ -231,11 +275,19 @@ pub enum EventKind {
     RequestRejected,
     /// [`Event::ServiceDrained`].
     ServiceDrained,
+    /// [`Event::ShardPanicked`].
+    ShardPanicked,
+    /// [`Event::ShardRestarted`].
+    ShardRestarted,
+    /// [`Event::ShardDisabled`].
+    ShardDisabled,
+    /// [`Event::SessionResumed`].
+    SessionResumed,
 }
 
 impl EventKind {
     /// Number of event kinds.
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 14;
 
     /// All kinds, in wire order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -249,6 +301,10 @@ impl EventKind {
         EventKind::ConnAccepted,
         EventKind::RequestRejected,
         EventKind::ServiceDrained,
+        EventKind::ShardPanicked,
+        EventKind::ShardRestarted,
+        EventKind::ShardDisabled,
+        EventKind::SessionResumed,
     ];
 
     /// Stable snake-case wire name used as the JSONL `type` field.
@@ -265,6 +321,10 @@ impl EventKind {
             EventKind::ConnAccepted => "conn_accepted",
             EventKind::RequestRejected => "request_rejected",
             EventKind::ServiceDrained => "service_drained",
+            EventKind::ShardPanicked => "shard_panicked",
+            EventKind::ShardRestarted => "shard_restarted",
+            EventKind::ShardDisabled => "shard_disabled",
+            EventKind::SessionResumed => "session_resumed",
         }
     }
 
@@ -286,6 +346,10 @@ impl EventKind {
             EventKind::ConnAccepted => 7,
             EventKind::RequestRejected => 8,
             EventKind::ServiceDrained => 9,
+            EventKind::ShardPanicked => 10,
+            EventKind::ShardRestarted => 11,
+            EventKind::ShardDisabled => 12,
+            EventKind::SessionResumed => 13,
         }
     }
 }
@@ -305,6 +369,10 @@ impl Event {
             Event::ConnAccepted { .. } => EventKind::ConnAccepted,
             Event::RequestRejected { .. } => EventKind::RequestRejected,
             Event::ServiceDrained { .. } => EventKind::ServiceDrained,
+            Event::ShardPanicked { .. } => EventKind::ShardPanicked,
+            Event::ShardRestarted { .. } => EventKind::ShardRestarted,
+            Event::ShardDisabled { .. } => EventKind::ShardDisabled,
+            Event::SessionResumed { .. } => EventKind::SessionResumed,
         }
     }
 }

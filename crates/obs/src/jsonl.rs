@@ -99,6 +99,29 @@ pub fn write_record(out: &mut String, record: &EventRecord) {
             out,
             r#"{{"seq":{seq},"type":"{kind}","conns":{conns},"grants":{grants}}}"#
         ),
+        Event::ShardPanicked { shard, restarts } => write!(
+            out,
+            r#"{{"seq":{seq},"type":"{kind}","shard":{shard},"restarts":{restarts}}}"#
+        ),
+        Event::ShardRestarted {
+            shard,
+            replayed,
+            backoff_ms,
+        } => write!(
+            out,
+            r#"{{"seq":{seq},"type":"{kind}","shard":{shard},"replayed":{replayed},"backoff_ms":{backoff_ms}}}"#
+        ),
+        Event::ShardDisabled { shard } => {
+            write!(out, r#"{{"seq":{seq},"type":"{kind}","shard":{shard}}}"#)
+        }
+        Event::SessionResumed {
+            session,
+            conn,
+            replayed,
+        } => write!(
+            out,
+            r#"{{"seq":{seq},"type":"{kind}","session":{session},"conn":{conn},"replayed":{replayed}}}"#
+        ),
     };
     out.push('\n');
 }
@@ -167,6 +190,10 @@ pub fn parse_line(line: &str) -> Result<EventRecord, String> {
         EventKind::ConnAccepted => &["seq", "type", "conn"],
         EventKind::RequestRejected => &["seq", "type", "conn", "request", "reason"],
         EventKind::ServiceDrained => &["seq", "type", "conns", "grants"],
+        EventKind::ShardPanicked => &["seq", "type", "shard", "restarts"],
+        EventKind::ShardRestarted => &["seq", "type", "shard", "replayed", "backoff_ms"],
+        EventKind::ShardDisabled => &["seq", "type", "shard"],
+        EventKind::SessionResumed => &["seq", "type", "session", "conn", "replayed"],
     };
     for (name, _) in &fields {
         if !expected.contains(&name.as_str()) {
@@ -221,6 +248,23 @@ pub fn parse_line(line: &str) -> Result<EventRecord, String> {
         EventKind::ServiceDrained => Event::ServiceDrained {
             conns: get_u64(&fields, "conns")?,
             grants: get_u64(&fields, "grants")?,
+        },
+        EventKind::ShardPanicked => Event::ShardPanicked {
+            shard: get_u64(&fields, "shard")?,
+            restarts: get_u64(&fields, "restarts")?,
+        },
+        EventKind::ShardRestarted => Event::ShardRestarted {
+            shard: get_u64(&fields, "shard")?,
+            replayed: get_u64(&fields, "replayed")?,
+            backoff_ms: get_u64(&fields, "backoff_ms")?,
+        },
+        EventKind::ShardDisabled => Event::ShardDisabled {
+            shard: get_u64(&fields, "shard")?,
+        },
+        EventKind::SessionResumed => Event::SessionResumed {
+            session: get_u64(&fields, "session")?,
+            conn: get_u64(&fields, "conn")?,
+            replayed: get_u64(&fields, "replayed")?,
         },
     };
     Ok(EventRecord { seq, event })
@@ -478,6 +522,21 @@ mod tests {
             Event::ServiceDrained {
                 conns: 12,
                 grants: 480,
+            },
+            Event::ShardPanicked {
+                shard: 1,
+                restarts: 2,
+            },
+            Event::ShardRestarted {
+                shard: 1,
+                replayed: 37,
+                backoff_ms: 50,
+            },
+            Event::ShardDisabled { shard: 1 },
+            Event::SessionResumed {
+                session: 4,
+                conn: 9,
+                replayed: 11,
             },
         ];
         events

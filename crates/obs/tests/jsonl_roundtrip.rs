@@ -59,9 +59,24 @@ fn build_event(kind: usize, a: u64, b: u64, c: u32, flag: bool, t: f64) -> Event
             request: b,
             reason: reason_for(b),
         },
-        _ => Event::ServiceDrained {
+        9 => Event::ServiceDrained {
             conns: a,
             grants: b,
+        },
+        10 => Event::ShardPanicked {
+            shard: a,
+            restarts: b,
+        },
+        11 => Event::ShardRestarted {
+            shard: a,
+            replayed: b,
+            backoff_ms: u64::from(c),
+        },
+        12 => Event::ShardDisabled { shard: a },
+        _ => Event::SessionResumed {
+            session: a,
+            conn: b,
+            replayed: u64::from(c),
         },
     }
 }

@@ -1,0 +1,260 @@
+//! Deterministic chaos injection for the live service.
+//!
+//! A [`ChaosPlan`] is a fixed list of fault events — shard panics,
+//! connection resets, and slow-writer stalls — each keyed to a *virtual*
+//! trigger (an arrival slot, a per-session request count, or a frame
+//! count) rather than wall-clock time. Because every trigger is derived
+//! from the same deterministic quantities the scheduler itself consumes,
+//! two runs with the same plan, catalog, and workload inject faults at
+//! identical points and produce identical event journals.
+//!
+//! This extends the offline `FaultPlan` idiom (planned per-slot faults in
+//! `dhb-core`) to the service layer: faults are *planned*, never sampled
+//! at runtime. The [`ChaosPlan::seeded`] constructor derives a plan from a
+//! seed with an inline splitmix64 generator, so `vodload --chaos SEED`
+//! reproduces the same kill/reset schedule on every run.
+//!
+//! Each event fires at most once per plan instance. Cloning a plan
+//! *re-arms* every event — [`Service::start`](crate::Service::start)
+//! clones the plan out of its config, so each service instance gets a
+//! fresh, fully armed copy.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// A planned one-shot fault keyed to a target id and a virtual trigger.
+#[derive(Debug)]
+struct Planned {
+    /// Shard id (for kills) or session id (for resets).
+    target: u64,
+    /// Fires on the first observation with trigger value `>= at`.
+    at: u64,
+    /// Set once the event has fired; never fires again.
+    fired: AtomicBool,
+}
+
+impl Planned {
+    fn new(target: u64, at: u64) -> Self {
+        Planned {
+            target,
+            at,
+            fired: AtomicBool::new(false),
+        }
+    }
+
+    /// True exactly once: the first call with a matching target whose
+    /// trigger has reached the planned point.
+    fn due(&self, target: u64, trigger: u64) -> bool {
+        self.target == target && trigger >= self.at && !self.fired.swap(true, Ordering::AcqRel)
+    }
+}
+
+/// A planned one-shot writer stall: after `after_frames` outbound frames
+/// on connection `conn`, the writer sleeps for `stall` before the next
+/// write, simulating a slow or wedged consumer.
+#[derive(Debug)]
+struct PlannedStall {
+    conn: u64,
+    after_frames: u64,
+    stall: Duration,
+    fired: AtomicBool,
+}
+
+/// A deterministic schedule of service-layer faults.
+///
+/// See the [module docs](self) for the determinism contract. The empty
+/// plan ([`ChaosPlan::none`]) is the default and injects nothing; its
+/// checks are cheap enough to leave in the hot path unconditionally.
+#[derive(Debug, Default)]
+pub struct ChaosPlan {
+    kills: Vec<Planned>,
+    resets: Vec<Planned>,
+    stalls: Vec<PlannedStall>,
+    seed: u64,
+}
+
+impl Clone for ChaosPlan {
+    /// Cloning re-arms every event: the clone has all faults unfired.
+    fn clone(&self) -> Self {
+        let mut plan = ChaosPlan {
+            kills: Vec::with_capacity(self.kills.len()),
+            resets: Vec::with_capacity(self.resets.len()),
+            stalls: Vec::with_capacity(self.stalls.len()),
+            seed: self.seed,
+        };
+        for k in &self.kills {
+            plan.kills.push(Planned::new(k.target, k.at));
+        }
+        for r in &self.resets {
+            plan.resets.push(Planned::new(r.target, r.at));
+        }
+        for s in &self.stalls {
+            plan.stalls.push(PlannedStall {
+                conn: s.conn,
+                after_frames: s.after_frames,
+                stall: s.stall,
+                fired: AtomicBool::new(false),
+            });
+        }
+        plan
+    }
+}
+
+impl ChaosPlan {
+    /// The empty plan: no faults. This is the production default.
+    #[must_use]
+    pub fn none() -> Self {
+        ChaosPlan::default()
+    }
+
+    /// True when the plan contains no events at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty() && self.resets.is_empty() && self.stalls.is_empty()
+    }
+
+    /// The seed this plan was derived from (0 for hand-built plans).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Plan a shard panic: shard `shard` panics on the first request it
+    /// processes whose resolved arrival slot is `>= at_slot`.
+    #[must_use]
+    pub fn with_shard_kill(mut self, shard: u64, at_slot: u64) -> Self {
+        self.kills.push(Planned::new(shard, at_slot));
+        self
+    }
+
+    /// Plan a connection reset: the connection owning session `session`
+    /// is hard-dropped after it handles a request whose trigger (explicit
+    /// arrival slot, or the session's processed-request count for `AUTO`
+    /// arrivals) reaches `at`. The session itself survives for resume.
+    #[must_use]
+    pub fn with_conn_reset(mut self, session: u64, at: u64) -> Self {
+        self.resets.push(Planned::new(session, at));
+        self
+    }
+
+    /// Plan a writer stall: connection `conn`'s writer sleeps `stall`
+    /// once it has written `after_frames` frames.
+    #[must_use]
+    pub fn with_writer_stall(mut self, conn: u64, after_frames: u64, stall: Duration) -> Self {
+        self.stalls.push(PlannedStall {
+            conn,
+            after_frames,
+            stall,
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Derive a plan from a seed: one panic per shard at a slot in the
+    /// middle half of `[0, horizon)`, plus a reset for every other
+    /// session (ids are assigned in accept order starting at 0). The
+    /// same `(seed, shards, sessions, horizon)` always yields the same
+    /// plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is 0 — a plan needs a nonempty trigger range.
+    #[must_use]
+    pub fn seeded(seed: u64, shards: u64, sessions: u64, horizon: u64) -> Self {
+        assert!(horizon > 0, "chaos horizon must be positive");
+        let mut state = seed;
+        let mut plan = ChaosPlan {
+            seed,
+            ..ChaosPlan::default()
+        };
+        // Kills land in [horizon/4, 3*horizon/4): late enough that state
+        // exists to rebuild, early enough that recovery is exercised.
+        let lo = horizon / 4;
+        let span = (horizon / 2).max(1);
+        for shard in 0..shards {
+            let at = lo + splitmix64(&mut state) % span;
+            plan.kills.push(Planned::new(shard, at));
+        }
+        for session in (0..sessions).step_by(2) {
+            let at = 1 + splitmix64(&mut state) % horizon.max(2);
+            plan.resets.push(Planned::new(session, at));
+        }
+        plan
+    }
+
+    /// Fire-once check for a planned shard panic. Called by the shard
+    /// worker *before* it touches scheduler state, so a retried request
+    /// replays cleanly after the rebuild.
+    pub(crate) fn shard_kill_due(&self, shard: u64, arrival: u64) -> bool {
+        self.kills.iter().any(|k| k.due(shard, arrival))
+    }
+
+    /// Fire-once check for a planned connection reset.
+    pub(crate) fn conn_reset_due(&self, session: u64, trigger: u64) -> bool {
+        self.resets.iter().any(|r| r.due(session, trigger))
+    }
+
+    /// Fire-once check for a planned writer stall; returns the stall
+    /// duration when one is due.
+    pub(crate) fn writer_stall_due(&self, conn: u64, frames_written: u64) -> Option<Duration> {
+        self.stalls
+            .iter()
+            .find(|s| {
+                s.conn == conn
+                    && frames_written >= s.after_frames
+                    && !s.fired.swap(true, Ordering::AcqRel)
+            })
+            .map(|s| s.stall)
+    }
+}
+
+/// Inline splitmix64 — the standard 64-bit mixer, dependency-free.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_exactly_once() {
+        let plan = ChaosPlan::none().with_shard_kill(1, 5);
+        assert!(!plan.shard_kill_due(1, 4), "before the planned slot");
+        assert!(!plan.shard_kill_due(0, 9), "wrong shard");
+        assert!(plan.shard_kill_due(1, 7), "first due observation fires");
+        assert!(!plan.shard_kill_due(1, 8), "never fires twice");
+    }
+
+    #[test]
+    fn clone_rearms_fired_events() {
+        let plan = ChaosPlan::none().with_conn_reset(3, 2);
+        assert!(plan.conn_reset_due(3, 2));
+        assert!(!plan.conn_reset_due(3, 2));
+        let rearmed = plan.clone();
+        assert!(rearmed.conn_reset_due(3, 2), "clone starts unfired");
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let a = ChaosPlan::seeded(42, 3, 4, 100);
+        let b = ChaosPlan::seeded(42, 3, 4, 100);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert!(!a.is_empty());
+        let other = ChaosPlan::seeded(43, 3, 4, 100);
+        assert_ne!(format!("{a:?}"), format!("{other:?}"));
+    }
+
+    #[test]
+    fn writer_stalls_trigger_on_frame_counts() {
+        let plan = ChaosPlan::none().with_writer_stall(7, 3, Duration::from_millis(10));
+        assert_eq!(plan.writer_stall_due(7, 2), None);
+        assert_eq!(plan.writer_stall_due(6, 5), None);
+        assert_eq!(plan.writer_stall_due(7, 3), Some(Duration::from_millis(10)));
+        assert_eq!(plan.writer_stall_due(7, 4), None, "one-shot");
+    }
+}

@@ -16,17 +16,27 @@
 //! bounded channels. [`load`] is the matching open/closed-loop load
 //! generator (`vodload`'s engine), reused by the loopback tests as the
 //! service↔simulator equivalence oracle.
+//!
+//! Resilience (protocol v3): shard workers run under a supervisor that
+//! catches panics and rebuilds schedulers from a per-shard state journal;
+//! clients hold resumable sessions whose missed answers replay
+//! byte-identically after a reconnect; and a deterministic [`ChaosPlan`]
+//! injects shard panics, connection resets, and writer stalls at planned
+//! virtual slots so all of the above is testable with a fixed seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod clock;
 pub mod load;
 pub mod server;
+mod session;
 mod shard;
 pub mod stats;
 pub mod wire;
 
+pub use chaos::ChaosPlan;
 pub use clock::SlotClock;
 pub use load::{fetch_stats, run_load, GrantRecord, LoadConfig, LoadReport};
 pub use server::{DrainSummary, Service, SvcConfig};
@@ -34,4 +44,6 @@ pub use stats::ServiceStats;
 // Re-exported so service binaries can build catalogs without naming the
 // server crate.
 pub use vod_server::{CatalogError, SchedulerKind, ServeCatalog, ServeEntry};
-pub use wire::{Frame, GrantedSegment, WireError, ARRIVAL_AUTO, MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use wire::{
+    Frame, GrantedSegment, WireError, ARRIVAL_AUTO, MAX_FRAME_LEN, PROTOCOL_VERSION, RESUME_NONE,
+};

@@ -12,6 +12,20 @@
 //! loopback equivalence tests and the throughput bench rely on. `None`
 //! stamps [`ARRIVAL_AUTO`](crate::wire::ARRIVAL_AUTO) and exercises the
 //! virtual clock instead.
+//!
+//! # Retry and resume
+//!
+//! The client never hangs on a dead server: every read polls under a
+//! timeout, and an attempt that goes quiet for
+//! [`LoadConfig::read_timeout`] is declared stalled. A dropped or stalled
+//! connection is retried up to [`LoadConfig::max_reconnects`] times with
+//! jittered exponential backoff; each reconnect sends
+//! `Resume{session, last_seq_seen}` so the server replays every missed
+//! answer byte-identically, and re-sends any still-unanswered requests
+//! (the server dedupes them against the session watermark). A connection
+//! that exhausts its retry budget is counted in
+//! [`LoadReport::unrecoverable_conns`] — the number the chaos CI gate
+//! pins to zero.
 
 use std::io;
 use std::net::{SocketAddr, TcpStream};
@@ -21,7 +35,12 @@ use std::time::{Duration, Instant};
 
 use vod_obs::LogHistogram;
 
-use crate::wire::{read_frame, write_frame, Frame, GrantedSegment, ARRIVAL_AUTO, PROTOCOL_VERSION};
+use crate::server::{read_full, ReadFull, IDLE_POLL};
+use crate::session::lock_unpoisoned;
+use crate::wire::{
+    read_frame, write_frame, Frame, GrantedSegment, ARRIVAL_AUTO, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    RESUME_NONE,
+};
 
 /// Load-run parameters.
 #[derive(Debug, Clone)]
@@ -51,6 +70,20 @@ pub struct LoadConfig {
     pub arrival_stride: Option<u64>,
     /// Keep every granted schedule (for equivalence checks); costs memory.
     pub collect_grants: bool,
+    /// Reconnect attempts allowed per connection after the first (0 = give
+    /// up on the first drop, the pre-resume behaviour).
+    pub max_reconnects: u32,
+    /// A connection with no inbound frame for this long is declared
+    /// stalled (and retried or abandoned); also bounds handshake waits.
+    pub read_timeout: Duration,
+    /// First reconnect backoff; doubles per attempt, jittered ±50%.
+    pub backoff_base: Duration,
+    /// Reconnect backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Seed for backoff jitter (per-connection streams are derived from
+    /// it; the schedule of *retries* need not be deterministic, only the
+    /// server-side fault injection is).
+    pub retry_seed: u64,
 }
 
 impl Default for LoadConfig {
@@ -65,6 +98,11 @@ impl Default for LoadConfig {
             open_rate: None,
             arrival_stride: Some(1),
             collect_grants: false,
+            max_reconnects: 2,
+            read_timeout: Duration::from_secs(10),
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(1),
+            retry_seed: 0x0d15_ea5e,
         }
     }
 }
@@ -83,11 +121,12 @@ pub struct GrantRecord {
 /// Aggregated result of a load run.
 #[derive(Debug)]
 pub struct LoadReport {
-    /// Requests sent.
+    /// Requests planned (`conns × requests_per_conn`); re-sends after a
+    /// reconnect are not double-counted.
     pub requests: u64,
-    /// Grants received.
+    /// Distinct requests granted.
     pub grants: u64,
-    /// `Rejected` frames received.
+    /// Distinct requests answered with `Rejected`.
     pub rejected: u64,
     /// `Draining` frames received.
     pub draining_seen: u64,
@@ -96,13 +135,30 @@ pub struct LoadReport {
     /// `VideoInfo` replies received (one per connection when
     /// [`LoadConfig::describe`] is set).
     pub video_infos: u64,
+    /// Reconnect attempts made (successful or not).
+    pub reconnects: u64,
+    /// Reconnects whose `Resume` was accepted by the server.
+    pub resumes_ok: u64,
+    /// Answer frames the server replayed from session rings.
+    pub replayed_grants: u64,
+    /// Frames received for already-answered requests (replay overlap).
+    pub duplicates: u64,
+    /// Attempts abandoned because the connection went quiet for
+    /// [`LoadConfig::read_timeout`].
+    pub timeouts: u64,
+    /// Connections that exhausted their reconnect budget with requests
+    /// still unanswered.
+    pub unrecoverable_conns: u64,
+    /// Grant-gap distribution: at each resume, how many sent requests
+    /// were still unanswered (the gap the replay must cover).
+    pub resume_gaps: LogHistogram,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Client-side request→grant latency (nanoseconds).
     pub latency: LogHistogram,
     /// Video driven by each connection.
     pub videos_by_conn: Vec<u32>,
-    /// Grants per connection, in arrival order (empty unless
+    /// Grants per connection, in request-sequence order (empty unless
     /// `collect_grants`).
     pub grants_by_conn: Vec<Vec<GrantRecord>>,
 }
@@ -131,7 +187,7 @@ impl LoadReport {
             self.quantile_ms(p)
                 .map_or_else(|| "n/a".to_owned(), |ms| format!("{ms:.3} ms"))
         };
-        format!(
+        let mut out = format!(
             "requests {}, grants {}, rejected {}, draining {}, protocol errors {}\n\
              elapsed {:.3} s, throughput {:.1} req/s\n\
              request→grant latency: p50 {}, p99 {}, p99.9 {}\n",
@@ -145,7 +201,103 @@ impl LoadReport {
             q(0.50),
             q(0.99),
             q(0.999),
-        )
+        );
+        if self.reconnects > 0 || self.timeouts > 0 || self.unrecoverable_conns > 0 {
+            let gap = self
+                .resume_gaps
+                .quantile(1.0)
+                .map_or_else(|| "n/a".to_owned(), |g| g.to_string());
+            out.push_str(&format!(
+                "reconnects {} (resumed {}, replayed {} grants), duplicates {}, \
+                 timeouts {}, unrecoverable conns {}, max grant gap {}\n",
+                self.reconnects,
+                self.resumes_ok,
+                self.replayed_grants,
+                self.duplicates,
+                self.timeouts,
+                self.unrecoverable_conns,
+                gap,
+            ));
+        }
+        out
+    }
+}
+
+/// Terminal state of one answered request.
+enum Answer {
+    Grant(Option<GrantRecord>),
+    Rejected,
+}
+
+/// Per-connection state shared between the sender and the attempt
+/// receivers. Indexed by request seq; survives reconnects.
+struct ConnState {
+    answers: Vec<Option<Answer>>,
+    answered: usize,
+    sent_at: Vec<Option<Instant>>,
+    latency: LogHistogram,
+    duplicates: u64,
+    draining_seen: u64,
+    video_infos: u64,
+    protocol_errors: u64,
+}
+
+impl ConnState {
+    fn new(total: usize) -> ConnState {
+        ConnState {
+            answers: (0..total).map(|_| None).collect(),
+            answered: 0,
+            sent_at: vec![None; total],
+            latency: LogHistogram::new(),
+            duplicates: 0,
+            draining_seen: 0,
+            video_infos: 0,
+            protocol_errors: 0,
+        }
+    }
+
+    fn all_answered(&self) -> bool {
+        self.answered == self.answers.len()
+    }
+
+    /// Highest seq such that every seq at or below it is answered
+    /// ([`RESUME_NONE`] when request 0 is still outstanding).
+    fn last_contiguous(&self) -> u64 {
+        let mut last = RESUME_NONE;
+        for (seq, answer) in self.answers.iter().enumerate() {
+            if answer.is_none() {
+                break;
+            }
+            last = seq as u64;
+        }
+        last
+    }
+
+    /// Requests sent at least once but not yet answered — the gap a
+    /// resume's replay has to cover.
+    fn unanswered_sent(&self) -> u64 {
+        self.answers
+            .iter()
+            .zip(&self.sent_at)
+            .filter(|(answer, sent)| answer.is_none() && sent.is_some())
+            .count() as u64
+    }
+
+    fn record_answer(&mut self, seq: u64, answer: Answer) {
+        let Some(slot) = self.answers.get_mut(seq as usize) else {
+            self.protocol_errors += 1;
+            return;
+        };
+        if slot.is_some() {
+            self.duplicates += 1;
+            return;
+        }
+        *slot = Some(answer);
+        self.answered += 1;
+        if let Some(at) = self.sent_at[seq as usize] {
+            self.latency
+                .record(u64::try_from(at.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
     }
 }
 
@@ -156,6 +308,13 @@ struct ConnOutcome {
     draining_seen: u64,
     protocol_errors: u64,
     video_infos: u64,
+    reconnects: u64,
+    resumes_ok: u64,
+    replayed_grants: u64,
+    duplicates: u64,
+    timeouts: u64,
+    unrecoverable: bool,
+    resume_gaps: LogHistogram,
     latency: LogHistogram,
     records: Vec<GrantRecord>,
 }
@@ -165,8 +324,9 @@ struct ConnOutcome {
 ///
 /// # Errors
 ///
-/// Fails only on connect/handshake errors; in-run socket failures are
-/// counted as protocol errors instead.
+/// Fails only on first-attempt connect/handshake errors; once a
+/// connection is established, drops, stalls, and resets are absorbed by
+/// the retry machinery and reported in the [`LoadReport`] counters.
 ///
 /// # Panics
 ///
@@ -180,9 +340,11 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> io::Result<LoadReport>
         })
         .collect();
     let mut handles = Vec::with_capacity(config.conns);
-    for &video in &videos_by_conn {
+    for (index, &video) in videos_by_conn.iter().enumerate() {
         let cfg = config.clone();
-        handles.push(std::thread::spawn(move || drive_conn(addr, video, &cfg)));
+        handles.push(std::thread::spawn(move || {
+            drive_conn(addr, index, video, &cfg)
+        }));
     }
     let mut report = LoadReport {
         requests: config.conns as u64 * config.requests_per_conn,
@@ -191,6 +353,13 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> io::Result<LoadReport>
         draining_seen: 0,
         protocol_errors: 0,
         video_infos: 0,
+        reconnects: 0,
+        resumes_ok: 0,
+        replayed_grants: 0,
+        duplicates: 0,
+        timeouts: 0,
+        unrecoverable_conns: 0,
+        resume_gaps: LogHistogram::new(),
         elapsed: Duration::ZERO,
         latency: LogHistogram::new(),
         videos_by_conn,
@@ -205,6 +374,13 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> io::Result<LoadReport>
                 report.draining_seen += outcome.draining_seen;
                 report.protocol_errors += outcome.protocol_errors;
                 report.video_infos += outcome.video_infos;
+                report.reconnects += outcome.reconnects;
+                report.resumes_ok += outcome.resumes_ok;
+                report.replayed_grants += outcome.replayed_grants;
+                report.duplicates += outcome.duplicates;
+                report.timeouts += outcome.timeouts;
+                report.unrecoverable_conns += u64::from(outcome.unrecoverable);
+                report.resume_gaps.merge(&outcome.resume_gaps);
                 report.latency.merge(&outcome.latency);
                 report.grants_by_conn.push(outcome.records);
             }
@@ -225,11 +401,13 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> io::Result<LoadReport>
 ///
 /// # Errors
 ///
-/// Connect/handshake failures, or an unexpected frame in place of the
-/// `StatsReply`.
+/// Connect/handshake failures, an unexpected frame in place of the
+/// `StatsReply`, or a server that stops responding (reads time out rather
+/// than hanging forever).
 pub fn fetch_stats(addr: SocketAddr) -> io::Result<String> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
     write_frame(
         &mut stream,
         &Frame::Hello {
@@ -251,38 +429,159 @@ pub fn fetch_stats(addr: SocketAddr) -> io::Result<String> {
     }
 }
 
-fn drive_conn(addr: SocketAddr, video: u32, config: &LoadConfig) -> io::Result<ConnOutcome> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
-    write_frame(
-        &mut stream,
-        &Frame::Hello {
-            version: PROTOCOL_VERSION,
-        },
-    )?;
-    match read_frame(&mut stream) {
-        Ok(Some(Frame::Welcome { .. })) => {}
-        Ok(_) | Err(_) => {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "handshake failed: no Welcome",
-            ))
+/// What one frame read on the client side produced.
+enum ClientRead {
+    Frame(Frame),
+    /// Poll timeout before any byte of a frame — loop and check deadlines.
+    Idle,
+    /// EOF, reset, or an unrecoverable socket error.
+    Closed,
+    /// A well-delivered but undecodable frame — a real protocol error.
+    Malformed,
+}
+
+/// Reads one frame under the client's poll timeout, distinguishing dead
+/// sockets (retryable) from malformed frames (protocol errors). Built on
+/// the server's mid-frame-safe [`read_full`], so a poll timeout can never
+/// desynchronise the stream.
+fn read_client(stream: &mut TcpStream) -> ClientRead {
+    let mut len_buf = [0u8; 4];
+    match read_full(stream, &mut len_buf, true) {
+        ReadFull::Done => {}
+        ReadFull::Idle => return ClientRead::Idle,
+        ReadFull::Eof | ReadFull::Fail => return ClientRead::Closed,
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len as usize > MAX_FRAME_LEN {
+        return ClientRead::Malformed;
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_full(stream, &mut payload, false) {
+        ReadFull::Done => {}
+        ReadFull::Idle | ReadFull::Eof | ReadFull::Fail => return ClientRead::Closed,
+    }
+    match Frame::decode_payload(&payload) {
+        Ok(frame) => ClientRead::Frame(frame),
+        Err(_) => ClientRead::Malformed,
+    }
+}
+
+/// Why an attempt's receiver stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AttemptEnd {
+    /// Every request is answered.
+    Complete,
+    /// The socket closed or reset.
+    Dead,
+    /// No frame for the configured read timeout.
+    TimedOut,
+}
+
+fn drive_conn(
+    addr: SocketAddr,
+    index: usize,
+    video: u32,
+    config: &LoadConfig,
+) -> io::Result<ConnOutcome> {
+    let total = config.requests_per_conn;
+    let state = Arc::new(Mutex::new(ConnState::new(total as usize)));
+    let mut outcome = ConnOutcome::default();
+    let mut session: Option<u64> = None;
+    let mut jitter = config
+        .retry_seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index as u64 + 1));
+    let mut attempt: u32 = 0;
+
+    loop {
+        attempt += 1;
+        if attempt > 1 {
+            outcome.reconnects += 1;
+            std::thread::sleep(backoff_with_jitter(attempt - 1, config, &mut jitter));
+        }
+        let end = match run_attempt(
+            addr,
+            video,
+            config,
+            &state,
+            &mut session,
+            &mut outcome,
+            attempt,
+        ) {
+            Ok(end) => end,
+            Err(e) => {
+                if attempt == 1 {
+                    return Err(e);
+                }
+                AttemptEnd::Dead
+            }
+        };
+        if end == AttemptEnd::TimedOut {
+            outcome.timeouts += 1;
+        }
+        let (done, draining) = {
+            let s = lock_unpoisoned(&state);
+            (s.all_answered(), s.draining_seen > 0)
+        };
+        if done || draining {
+            // Complete, or the server is draining on purpose — nothing a
+            // reconnect could recover.
+            break;
+        }
+        if attempt > config.max_reconnects {
+            outcome.unrecoverable = true;
+            break;
         }
     }
-    if config.describe {
+
+    let mut s = lock_unpoisoned(&state);
+    outcome.draining_seen = s.draining_seen;
+    outcome.protocol_errors += s.protocol_errors;
+    outcome.video_infos = s.video_infos;
+    outcome.duplicates = s.duplicates;
+    outcome.latency = std::mem::replace(&mut s.latency, LogHistogram::new());
+    for (seq, answer) in s.answers.iter_mut().enumerate() {
+        match answer.take() {
+            Some(Answer::Grant(record)) => {
+                outcome.grants += 1;
+                if let Some(record) = record {
+                    debug_assert_eq!(record.seq, seq as u64);
+                    outcome.records.push(record);
+                }
+            }
+            Some(Answer::Rejected) => outcome.rejected += 1,
+            None => {}
+        }
+    }
+    Ok(outcome)
+}
+
+/// One connection attempt: connect, handshake (and resume), re-send every
+/// unanswered request, wait for answers.
+fn run_attempt(
+    addr: SocketAddr,
+    video: u32,
+    config: &LoadConfig,
+    state: &Arc<Mutex<ConnState>>,
+    session: &mut Option<u64>,
+    outcome: &mut ConnOutcome,
+    attempt: u32,
+) -> io::Result<AttemptEnd> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(IDLE_POLL))?;
+    handshake(&mut stream, config, state, session, outcome)?;
+    if config.describe && attempt == 1 {
         write_frame(&mut stream, &Frame::Describe { seq: 0, video })?;
     }
 
-    let total = config.requests_per_conn;
-    // Send timestamps, indexed by seq; the receiver thread computes latency.
-    let sent_at: Arc<Mutex<Vec<Option<Instant>>>> =
-        Arc::new(Mutex::new(vec![None; total as usize]));
     let (done_tx, done_rx) = mpsc::channel::<()>();
     let recv_stream = stream.try_clone()?;
-    let recv_sent_at = Arc::clone(&sent_at);
+    let recv_state = Arc::clone(state);
     let collect = config.collect_grants;
-    let receiver =
-        std::thread::spawn(move || receive_frames(recv_stream, &recv_sent_at, &done_tx, collect));
+    let quiet_limit = config.read_timeout;
+    let receiver = std::thread::spawn(move || {
+        receive_attempt(recv_stream, &recv_state, &done_tx, collect, quiet_limit)
+    });
 
     let pace = config.open_rate.map(|rate| {
         (
@@ -290,8 +589,12 @@ fn drive_conn(addr: SocketAddr, video: u32, config: &LoadConfig) -> io::Result<C
             Duration::from_secs_f64(1.0 / rate.max(1e-9)),
         )
     });
-    let mut completions_seen = 0u64;
-    for seq in 0..total {
+    let mut sent = 0u64;
+    let mut completions = 0u64;
+    'send: for seq in 0..config.requests_per_conn {
+        if lock_unpoisoned(state).answers[seq as usize].is_some() {
+            continue; // answered on an earlier attempt
+        }
         match pace {
             Some((start, gap)) => {
                 // Open loop: fire on schedule, ignore outstanding count.
@@ -301,11 +604,13 @@ fn drive_conn(addr: SocketAddr, video: u32, config: &LoadConfig) -> io::Result<C
                 }
             }
             None => {
-                // Closed loop: block until the window has room.
-                while seq - completions_seen >= config.window {
-                    match done_rx.recv() {
-                        Ok(()) => completions_seen += 1,
-                        Err(_) => break, // receiver gone (drain/EOF)
+                // Closed loop: block until the window has room. Answers
+                // from replay also open the window — only the count of
+                // in-flight sends matters for pacing.
+                while sent.saturating_sub(completions) >= config.window.max(1) {
+                    match done_rx.recv_timeout(config.read_timeout) {
+                        Ok(()) => completions += 1,
+                        Err(_) => break 'send, // receiver stalled or gone
                     }
                 }
             }
@@ -313,7 +618,7 @@ fn drive_conn(addr: SocketAddr, video: u32, config: &LoadConfig) -> io::Result<C
         let arrival_slot = config
             .arrival_stride
             .map_or(ARRIVAL_AUTO, |stride| seq * stride);
-        sent_at.lock().expect("sent_at lock poisoned")[seq as usize] = Some(Instant::now());
+        lock_unpoisoned(state).sent_at[seq as usize] = Some(Instant::now());
         let frame = Frame::Request {
             seq,
             video,
@@ -322,66 +627,194 @@ fn drive_conn(addr: SocketAddr, video: u32, config: &LoadConfig) -> io::Result<C
         if write_frame(&mut stream, &frame).is_err() {
             break; // server went away; the receiver reports what landed
         }
+        sent += 1;
     }
-    let _ = write_frame(&mut stream, &Frame::Goodbye);
-    drop(done_rx);
-    Ok(receiver.join().expect("receiver thread panicked"))
+    // Wait for the stragglers: the receiver exits on its own once every
+    // request is answered, the socket dies, or the quiet limit passes.
+    let end = receiver.join().expect("receiver thread panicked");
+    if end == AttemptEnd::Complete {
+        let _ = write_frame(&mut stream, &Frame::Goodbye);
+    }
+    Ok(end)
 }
 
-fn receive_frames(
+/// Hello → Welcome, then Resume when an earlier attempt left a session.
+fn handshake(
+    stream: &mut TcpStream,
+    config: &LoadConfig,
+    state: &Arc<Mutex<ConnState>>,
+    session: &mut Option<u64>,
+    outcome: &mut ConnOutcome,
+) -> io::Result<()> {
+    let failed = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_owned());
+    write_frame(
+        stream,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+        },
+    )?;
+    let deadline = Instant::now() + config.read_timeout;
+    let fresh_session = loop {
+        match read_client(stream) {
+            ClientRead::Frame(Frame::Welcome { session, .. }) => break session,
+            ClientRead::Frame(Frame::Draining) => {
+                lock_unpoisoned(state).draining_seen += 1;
+            }
+            ClientRead::Frame(_) | ClientRead::Malformed => {
+                return Err(failed("handshake failed: no Welcome"));
+            }
+            ClientRead::Idle => {
+                if Instant::now() > deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "handshake timed out waiting for Welcome",
+                    ));
+                }
+            }
+            ClientRead::Closed => return Err(failed("connection closed during handshake")),
+        }
+    };
+    let Some(old_session) = *session else {
+        *session = Some(fresh_session);
+        return Ok(());
+    };
+
+    // Reconnect: try to adopt the previous session and measure the gap
+    // the replay has to cover.
+    let (last_seen, gap) = {
+        let s = lock_unpoisoned(state);
+        (s.last_contiguous(), s.unanswered_sent())
+    };
+    write_frame(
+        stream,
+        &Frame::Resume {
+            session: old_session,
+            last_seq_seen: last_seen,
+        },
+    )?;
+    loop {
+        match read_client(stream) {
+            ClientRead::Frame(Frame::Resumed { replayed, .. }) => {
+                outcome.resumes_ok += 1;
+                outcome.replayed_grants += u64::from(replayed);
+                outcome.resume_gaps.record(gap);
+                return Ok(());
+            }
+            ClientRead::Frame(Frame::Rejected { seq, .. }) if seq == old_session => {
+                // Session gone (server restarted or ring expired): carry
+                // on under the fresh session; unanswered requests are
+                // simply re-scheduled.
+                *session = Some(fresh_session);
+                return Ok(());
+            }
+            ClientRead::Frame(Frame::Draining) => {
+                lock_unpoisoned(state).draining_seen += 1;
+            }
+            ClientRead::Frame(_) | ClientRead::Malformed => {
+                return Err(failed("handshake failed: no Resumed"));
+            }
+            ClientRead::Idle => {
+                if Instant::now() > deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "handshake timed out waiting for Resumed",
+                    ));
+                }
+            }
+            ClientRead::Closed => return Err(failed("connection closed during resume")),
+        }
+    }
+}
+
+fn receive_attempt(
     mut stream: TcpStream,
-    sent_at: &Mutex<Vec<Option<Instant>>>,
+    state: &Mutex<ConnState>,
     done_tx: &mpsc::Sender<()>,
     collect: bool,
-) -> ConnOutcome {
-    let mut outcome = ConnOutcome::default();
+    quiet_limit: Duration,
+) -> AttemptEnd {
+    let mut quiet_since = Instant::now();
     loop {
-        match read_frame(&mut stream) {
-            Ok(Some(Frame::Grant {
-                seq,
-                arrival_slot,
-                segments,
-                ..
-            })) => {
-                outcome.grants += 1;
-                record_latency(&mut outcome, sent_at, seq);
-                if collect {
-                    outcome.records.push(GrantRecord {
-                        seq,
-                        arrival_slot,
-                        segments,
-                    });
+        if lock_unpoisoned(state).all_answered() {
+            return AttemptEnd::Complete;
+        }
+        match read_client(&mut stream) {
+            ClientRead::Frame(frame) => {
+                quiet_since = Instant::now();
+                let answered = {
+                    let mut s = lock_unpoisoned(state);
+                    match frame {
+                        Frame::Grant {
+                            seq,
+                            arrival_slot,
+                            segments,
+                            ..
+                        } => {
+                            let record = collect.then_some(GrantRecord {
+                                seq,
+                                arrival_slot,
+                                segments,
+                            });
+                            s.record_answer(seq, Answer::Grant(record));
+                            true
+                        }
+                        Frame::Rejected { seq, .. } => {
+                            s.record_answer(seq, Answer::Rejected);
+                            true
+                        }
+                        Frame::Draining => {
+                            s.draining_seen += 1;
+                            false
+                        }
+                        Frame::VideoInfo { .. } => {
+                            s.video_infos += 1;
+                            false
+                        }
+                        // Late handshake frames (a second Welcome, a
+                        // Resumed racing the spawn) are harmless.
+                        Frame::Welcome { .. }
+                        | Frame::Resumed { .. }
+                        | Frame::StatsReply { .. } => false,
+                        _ => {
+                            s.protocol_errors += 1;
+                            false
+                        }
+                    }
+                };
+                if answered {
+                    let _ = done_tx.send(());
                 }
-                let _ = done_tx.send(());
             }
-            Ok(Some(Frame::Rejected { seq, .. })) => {
-                outcome.rejected += 1;
-                record_latency(&mut outcome, sent_at, seq);
-                let _ = done_tx.send(());
+            ClientRead::Idle => {
+                if quiet_since.elapsed() > quiet_limit {
+                    return AttemptEnd::TimedOut;
+                }
             }
-            Ok(Some(Frame::Draining)) => outcome.draining_seen += 1,
-            Ok(Some(Frame::VideoInfo { .. })) => outcome.video_infos += 1,
-            Ok(Some(Frame::Welcome { .. } | Frame::StatsReply { .. })) => {}
-            Ok(Some(_)) => outcome.protocol_errors += 1,
-            Ok(None) => return outcome, // clean EOF after the server flushed
-            Err(_) => {
-                outcome.protocol_errors += 1;
-                return outcome;
+            ClientRead::Closed => return AttemptEnd::Dead,
+            ClientRead::Malformed => {
+                lock_unpoisoned(state).protocol_errors += 1;
+                return AttemptEnd::Dead;
             }
         }
     }
 }
 
-fn record_latency(outcome: &mut ConnOutcome, sent_at: &Mutex<Vec<Option<Instant>>>, seq: u64) {
-    let sent = sent_at
-        .lock()
-        .expect("sent_at lock poisoned")
-        .get(seq as usize)
-        .copied()
-        .flatten();
-    if let Some(at) = sent {
-        outcome
-            .latency
-            .record(u64::try_from(at.elapsed().as_nanos()).unwrap_or(u64::MAX));
-    }
+/// Exponential backoff with multiplicative jitter in `[0.5, 1.5)`.
+fn backoff_with_jitter(retry: u32, config: &LoadConfig, jitter_state: &mut u64) -> Duration {
+    let shift = retry.saturating_sub(1).min(16);
+    let base = config
+        .backoff_base
+        .saturating_mul(1u32 << shift)
+        .min(config.backoff_cap);
+    let r = splitmix64(jitter_state);
+    let scale = 0.5 + (r >> 11) as f64 / (1u64 << 53) as f64;
+    base.mul_f64(scale).min(config.backoff_cap)
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }

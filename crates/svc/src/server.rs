@@ -1,19 +1,30 @@
 //! The TCP service: accept loop, per-connection reader/writer threads,
-//! admission control, and graceful drain.
+//! admission control, session resume, and graceful drain.
 //!
 //! Thread topology: one accept thread, one reader and one writer thread per
-//! connection, and `shards` scheduler threads. Readers validate and route
-//! frames; every outbound frame goes through the connection's **bounded**
-//! outbound queue to the writer, which is the per-connection write
-//! backpressure: a client that stops reading eventually blocks its own
-//! pipeline (and, transitively, any shard trying to answer it), never an
-//! unbounded buffer.
+//! connection, and `shards` supervised scheduler threads. Readers validate
+//! and route frames; every outbound frame goes through the connection's
+//! **bounded** outbound queue to the writer, which is the per-connection
+//! write backpressure: a client that stops reading eventually blocks its
+//! own pipeline (and, transitively, any shard trying to answer it), never
+//! an unbounded buffer.
+//!
+//! Sessions (protocol v3): a `Hello` registers a session whose id rides in
+//! the `Welcome`. Answers to sessioned connections are recorded in a
+//! bounded replay ring, so a client that loses its TCP connection can
+//! reconnect and send `Resume{session, last_seq_seen}` — the server swaps
+//! the session onto the new connection and replays every missed answer
+//! byte-identically (see `session.rs` for the no-loss/no-double-delivery
+//! argument). Connections that never say `Hello` keep the old sessionless
+//! fast path.
 //!
 //! Drain protocol (see DESIGN.md §12): [`Service::shutdown`] flips the
 //! drain flag, pokes the listener, and joins readers → shards → writers in
-//! that order. Readers send one `Draining` frame and stop admitting;
-//! already-queued requests still flow shard → writer → socket, so every
-//! admitted request gets its grant before the last socket closes.
+//! that order (clearing the session registry between shards and writers so
+//! ring-held senders release the writer channels). Readers send one
+//! `Draining` frame and stop admitting; already-queued requests still flow
+//! shard → writer → socket, so every admitted request gets its grant
+//! before the last socket closes.
 
 use std::io::{self, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -27,19 +38,22 @@ use vod_obs::{Event, Journal, RejectKind};
 use vod_server::ServeCatalog;
 use vod_types::VideoSpec;
 
+use crate::chaos::ChaosPlan;
 use crate::clock::SlotClock;
-use crate::shard::{spawn_shard, ShardConfig, ShardMsg, ShardVideo};
+use crate::session::{lock_unpoisoned, Admit, Session, SessionRegistry};
+use crate::shard::{spawn_shard, ReplyTo, RestartPolicy, ShardConfig, ShardMsg, ShardVideo};
 use crate::stats::ServiceStats;
-use crate::wire::{self, Frame, MAX_FRAME_LEN, PROTOCOL_VERSION};
+use crate::wire::{self, Frame, ARRIVAL_AUTO, MAX_FRAME_LEN, PROTOCOL_VERSION};
 
 /// How often an idle reader wakes to check the drain flag.
-const IDLE_POLL: Duration = Duration::from_millis(25);
+pub(crate) const IDLE_POLL: Duration = Duration::from_millis(25);
 /// Retries tolerated while waiting for the rest of a started frame
 /// (`IDLE_POLL` each) before the connection is declared stalled.
 const MID_FRAME_RETRIES: u32 = 1_200;
 
 /// Service configuration. `Default` gives a small two-shard uniform catalog
-/// of paper-sized videos at real-time pace.
+/// of paper-sized videos at real-time pace, no chaos, and a restart budget
+/// of three per shard.
 #[derive(Debug, Clone)]
 pub struct SvcConfig {
     /// What to serve: per-video segment counts, protocols, and period
@@ -61,9 +75,25 @@ pub struct SvcConfig {
     /// Test knob: minimum scheduling time per request, for deterministic
     /// overload/drain tests. Keep zero in production.
     pub min_service_time: Duration,
-    /// Journal for accept/reject/drain and scheduler events
+    /// Journal for accept/reject/drain, supervision, and scheduler events
     /// (`Journal::disabled()` for none).
     pub journal: Journal,
+    /// Per-session replay-ring capacity: how many recent answers a
+    /// reconnecting client can recover byte-identically.
+    pub replay_cap: usize,
+    /// Shard restarts allowed before the shard is disabled and its videos
+    /// answer `Rejected(shard_down)`.
+    pub max_restarts: u32,
+    /// First-restart backoff (doubles per restart, capped below).
+    pub restart_backoff: Duration,
+    /// Restart backoff ceiling.
+    pub restart_backoff_cap: Duration,
+    /// Per-shard state-journal cap: rebuilds are exact while scheduling
+    /// history fits this many entries.
+    pub shard_journal_cap: usize,
+    /// Deterministic fault plan ([`ChaosPlan::none`] in production). The
+    /// plan is cloned — and thereby re-armed — per service instance.
+    pub chaos: ChaosPlan,
 }
 
 impl Default for SvcConfig {
@@ -76,6 +106,12 @@ impl Default for SvcConfig {
             outbound_cap: 256,
             min_service_time: Duration::ZERO,
             journal: Journal::disabled(),
+            replay_cap: 1024,
+            max_restarts: 3,
+            restart_backoff: Duration::from_millis(25),
+            restart_backoff_cap: Duration::from_secs(1),
+            shard_journal_cap: 65_536,
+            chaos: ChaosPlan::none(),
         }
     }
 }
@@ -119,6 +155,12 @@ struct Shared {
     next_conn: AtomicU64,
     stats: Arc<ServiceStats>,
     journal: Journal,
+    sessions: SessionRegistry,
+    /// Per-shard "restart budget exhausted" flags; readers shed at
+    /// admission instead of queueing into a disabled shard.
+    shard_down: Vec<Arc<AtomicBool>>,
+    chaos: Arc<ChaosPlan>,
+    replay_cap: usize,
     readers: Mutex<Vec<JoinHandle<()>>>,
     writers: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -149,6 +191,7 @@ impl Service {
         let shards = config.shards.max(1);
         let dilation = config.dilation.max(1);
         let stats = Arc::new(ServiceStats::new(shards));
+        let chaos = Arc::new(config.chaos.clone());
 
         // Build every catalog entry. Good entries become shard-owned
         // schedulers, each ticking on its own slot clock (segment durations
@@ -173,6 +216,7 @@ impl Service {
                     });
                     shard_videos[id % shards].push(ShardVideo {
                         id: id as u32,
+                        entry: config.catalog.entries()[id].clone(),
                         scheduler,
                         clock: Arc::new(SlotClock::start(spec.segment_duration(), dilation)),
                     });
@@ -189,6 +233,15 @@ impl Service {
             }
         }
 
+        let policy = RestartPolicy {
+            max_restarts: config.max_restarts,
+            backoff_base: config.restart_backoff,
+            backoff_cap: config.restart_backoff_cap,
+            journal_cap: config.shard_journal_cap,
+        };
+        let shard_down: Vec<Arc<AtomicBool>> = (0..shards)
+            .map(|_| Arc::new(AtomicBool::new(false)))
+            .collect();
         let mut shard_txs = Vec::with_capacity(shards);
         let mut shard_handles = Vec::with_capacity(shards);
         for (id, videos) in shard_videos.into_iter().enumerate() {
@@ -200,9 +253,13 @@ impl Service {
                     videos,
                     stats: Arc::clone(&stats),
                     min_service_time: config.min_service_time,
+                    journal: config.journal.clone(),
+                    chaos: Arc::clone(&chaos),
+                    policy: policy.clone(),
+                    down: Arc::clone(&shard_down[id]),
                 },
                 rx,
-            ));
+            )?);
         }
 
         let shared = Arc::new(Shared {
@@ -214,6 +271,10 @@ impl Service {
             next_conn: AtomicU64::new(0),
             stats,
             journal: config.journal.clone(),
+            sessions: SessionRegistry::default(),
+            shard_down,
+            chaos,
+            replay_cap: config.replay_cap.max(1),
             readers: Mutex::new(Vec::new()),
             writers: Mutex::new(Vec::new()),
         });
@@ -264,6 +325,9 @@ impl Service {
         for handle in self.shard_handles {
             let _ = handle.join();
         }
+        // Session rings hold outbound senders; drop them so writer channels
+        // close once each reader's own sender is gone too.
+        self.shared.sessions.clear();
         // Writers exit once the last queued frame is flushed.
         for handle in take_handles(&self.shared.writers) {
             let _ = handle.join();
@@ -285,7 +349,7 @@ impl Service {
 }
 
 fn take_handles(slot: &Mutex<Vec<JoinHandle<()>>>) -> Vec<JoinHandle<()>> {
-    std::mem::take(&mut *slot.lock().expect("handle list poisoned"))
+    std::mem::take(&mut *lock_unpoisoned(slot))
 }
 
 fn accept_loop(
@@ -316,18 +380,16 @@ fn accept_loop(
             .name(format!("vod-svc-conn-{conn}"))
             .spawn(move || run_connection(stream, conn, &conn_shared, &conn_txs, outbound_cap));
         match handle {
-            Ok(handle) => shared
-                .readers
-                .lock()
-                .expect("handle list poisoned")
-                .push(handle),
+            Ok(handle) => lock_unpoisoned(&shared.readers).push(handle),
             Err(_) => continue,
         }
     }
 }
 
 /// The per-connection reader: parses frames, applies admission control,
-/// routes to shards, and answers control frames.
+/// manages the session lifecycle (create on `Hello`, adopt on `Resume`,
+/// retire on `Goodbye`), routes to shards, and answers control frames.
+#[allow(clippy::too_many_lines)]
 fn run_connection(
     mut stream: TcpStream,
     conn: u64,
@@ -343,19 +405,20 @@ fn run_connection(
         Err(_) => return,
     };
     let (out_tx, out_rx) = sync_channel::<Frame>(outbound_cap);
+    let writer_stats = Arc::clone(&shared.stats);
+    let writer_chaos = Arc::clone(&shared.chaos);
     let writer = std::thread::Builder::new()
         .name(format!("vod-svc-write-{conn}"))
-        .spawn(move || run_writer(write_half, &out_rx));
+        .spawn(move || run_writer(write_half, &out_rx, conn, &writer_stats, &writer_chaos));
     match writer {
-        Ok(handle) => shared
-            .writers
-            .lock()
-            .expect("handle list poisoned")
-            .push(handle),
+        Ok(handle) => lock_unpoisoned(&shared.writers).push(handle),
         Err(_) => return,
     }
 
     let stats = &shared.stats;
+    // The session this connection currently speaks for: set by `Hello`,
+    // possibly swapped by `Resume`, absent for raw sessionless clients.
+    let mut session: Option<Arc<Session>> = None;
     loop {
         if shared.draining.load(Ordering::SeqCst) {
             // Stop admitting; tell the client; leave delivery of queued
@@ -377,8 +440,14 @@ fn run_connection(
             // PROTOCOL_VERSION (a mismatched client is dropped with a
             // protocol error before reaching this match).
             Frame::Hello { .. } => {
+                if session.is_none() {
+                    let fresh = Arc::new(Session::new(conn, out_tx.clone(), shared.replay_cap));
+                    shared.sessions.insert(&fresh);
+                    session = Some(fresh);
+                }
                 let welcome = Frame::Welcome {
                     version: PROTOCOL_VERSION,
+                    session: session.as_ref().map_or(conn, |s| s.id()),
                     videos: shared.videos,
                     shards: shared.shards as u32,
                     dilation: shared.dilation,
@@ -387,6 +456,46 @@ fn run_connection(
                     return;
                 }
             }
+            Frame::Resume {
+                session: wanted,
+                last_seq_seen,
+            } => match shared.sessions.get(wanted) {
+                Some(adopted) => {
+                    // Retire the fresh session this connection's Hello
+                    // registered — nothing was recorded on it yet.
+                    if let Some(current) = session.take() {
+                        if current.id() != wanted {
+                            shared.sessions.remove(current.id());
+                        }
+                    }
+                    let replayed = adopted.resume(out_tx.clone(), last_seq_seen);
+                    stats.sessions_resumed.fetch_add(1, Ordering::Relaxed);
+                    stats.grants_replayed.fetch_add(replayed, Ordering::Relaxed);
+                    shared.journal.emit_with(|| Event::SessionResumed {
+                        session: wanted,
+                        conn,
+                        replayed,
+                    });
+                    session = Some(adopted);
+                }
+                None => {
+                    // Echo the unresolvable session id in the seq field so
+                    // the client can correlate the failure.
+                    stats.count_rejection(RejectKind::UnknownSession);
+                    shared.journal.emit_with(|| Event::RequestRejected {
+                        conn,
+                        request: wanted,
+                        reason: RejectKind::UnknownSession,
+                    });
+                    let reject = Frame::Rejected {
+                        seq: wanted,
+                        reason: RejectKind::UnknownSession,
+                    };
+                    if out_tx.send(reject).is_err() {
+                        return;
+                    }
+                }
+            },
             Frame::Describe { seq, video } => {
                 let reply = match shared.meta.get(video as usize) {
                     Some(meta) if meta.valid => Frame::VideoInfo {
@@ -415,34 +524,84 @@ fn run_connection(
                 arrival_slot,
             } => {
                 stats.requests.fetch_add(1, Ordering::Relaxed);
-                let reject = if video >= shared.videos {
-                    Some(RejectKind::UnknownVideo)
-                } else if !shared.meta[video as usize].valid {
-                    Some(RejectKind::InvalidVideo)
-                } else if shared.draining.load(Ordering::SeqCst) {
-                    Some(RejectKind::Draining)
+                // Dedupe re-sends after a reconnect: an already-answered
+                // seq is re-served from the replay ring, an in-flight one
+                // is left to its original answer.
+                let deduped = session.as_ref().is_some_and(|s| match s.admit(seq) {
+                    Admit::Fresh => false,
+                    Admit::Resent | Admit::InFlight => true,
+                });
+                if deduped {
+                    stats.requests_deduped.fetch_add(1, Ordering::Relaxed);
                 } else {
-                    let msg = ShardMsg::Request {
-                        seq,
-                        video,
-                        arrival_slot,
-                        enqueued: std::time::Instant::now(),
-                        reply: out_tx.clone(),
+                    let shard = video as usize % shard_txs.len();
+                    let reject = if video >= shared.videos {
+                        Some(RejectKind::UnknownVideo)
+                    } else if !shared.meta[video as usize].valid {
+                        Some(RejectKind::InvalidVideo)
+                    } else if shared.draining.load(Ordering::SeqCst) {
+                        Some(RejectKind::Draining)
+                    } else if shared.shard_down[shard].load(Ordering::Acquire) {
+                        Some(RejectKind::ShardDown)
+                    } else {
+                        let reply = match &session {
+                            Some(s) => ReplyTo::Session(Arc::clone(s)),
+                            None => ReplyTo::Direct(out_tx.clone()),
+                        };
+                        let msg = ShardMsg::Request {
+                            conn,
+                            seq,
+                            video,
+                            arrival_slot,
+                            enqueued: std::time::Instant::now(),
+                            reply,
+                        };
+                        match shard_txs[shard].try_send(msg) {
+                            Ok(()) => None,
+                            Err(TrySendError::Full(_)) => Some(RejectKind::QueueFull),
+                            // Supervision keeps shard threads alive, so a
+                            // closed queue outside a drain means the shard
+                            // is gone for good.
+                            Err(TrySendError::Disconnected(_)) => {
+                                if shared.draining.load(Ordering::SeqCst) {
+                                    Some(RejectKind::Draining)
+                                } else {
+                                    Some(RejectKind::ShardDown)
+                                }
+                            }
+                        }
                     };
-                    match shard_txs[video as usize % shard_txs.len()].try_send(msg) {
-                        Ok(()) => None,
-                        Err(TrySendError::Full(_)) => Some(RejectKind::QueueFull),
-                        Err(TrySendError::Disconnected(_)) => Some(RejectKind::Draining),
+                    if let Some(reason) = reject {
+                        stats.count_rejection(reason);
+                        shared.journal.emit_with(|| Event::RequestRejected {
+                            conn,
+                            request: seq,
+                            reason,
+                        });
+                        let frame = Frame::Rejected { seq, reason };
+                        match &session {
+                            // Record the rejection in the ring: it is this
+                            // seq's answer and must survive a reconnect.
+                            Some(s) => s.deliver(seq, frame),
+                            None => {
+                                if out_tx.send(frame).is_err() {
+                                    return;
+                                }
+                            }
+                        }
                     }
-                };
-                if let Some(reason) = reject {
-                    stats.count_rejection(reason);
-                    shared.journal.emit_with(|| Event::RequestRejected {
-                        conn,
-                        request: seq,
-                        reason,
-                    });
-                    if out_tx.send(Frame::Rejected { seq, reason }).is_err() {
+                }
+                // Planned chaos: hard-drop the socket after this request.
+                // The session survives in the registry for resume.
+                if let Some(s) = &session {
+                    let trigger = if arrival_slot == ARRIVAL_AUTO {
+                        s.processed_count()
+                    } else {
+                        arrival_slot
+                    };
+                    if shared.chaos.conn_reset_due(s.id(), trigger) {
+                        stats.chaos_conn_resets.fetch_add(1, Ordering::Relaxed);
+                        let _ = stream.shutdown(Shutdown::Both);
                         return;
                     }
                 }
@@ -453,12 +612,20 @@ fn run_connection(
                     return;
                 }
             }
-            Frame::Goodbye => return,
+            Frame::Goodbye => {
+                // An orderly goodbye retires the session: nothing to
+                // resume after an intentional close.
+                if let Some(s) = &session {
+                    shared.sessions.remove(s.id());
+                }
+                return;
+            }
             // Server→client frames arriving at the server are a protocol
             // violation.
             Frame::Welcome { .. }
             | Frame::Grant { .. }
             | Frame::Rejected { .. }
+            | Frame::Resumed { .. }
             | Frame::VideoInfo { .. }
             | Frame::StatsReply { .. }
             | Frame::Draining => {
@@ -472,12 +639,26 @@ fn run_connection(
 /// The per-connection writer: flushes the bounded outbound queue to the
 /// socket. On a write failure it keeps *consuming* (discarding) frames so
 /// blocked producers — shards included — are never wedged by a dead client.
-fn run_writer(mut stream: TcpStream, rx: &Receiver<Frame>) {
+/// Planned chaos stalls sleep here, upstream of the socket, to simulate a
+/// slow consumer without touching scheduler state.
+fn run_writer(
+    mut stream: TcpStream,
+    rx: &Receiver<Frame>,
+    conn: u64,
+    stats: &ServiceStats,
+    chaos: &ChaosPlan,
+) {
     let mut dead = false;
+    let mut written: u64 = 0;
     while let Ok(frame) = rx.recv() {
+        if let Some(stall) = chaos.writer_stall_due(conn, written) {
+            stats.chaos_writer_stalls.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(stall);
+        }
         if !dead && wire::write_frame(&mut stream, &frame).is_err() {
             dead = true;
         }
+        written += 1;
     }
     let _ = stream.shutdown(Shutdown::Write);
 }
@@ -493,12 +674,14 @@ enum Inbound {
     Fail,
 }
 
-/// Reads one frame under the reader's idle-poll timeout.
+/// Reads one frame under the caller's idle-poll read timeout.
 ///
 /// Only the *first* byte of a frame may time out and report [`Inbound::Idle`];
 /// once a frame has started, reads retry until it completes (bounded by
 /// [`MID_FRAME_RETRIES`]) so a timeout can never desynchronise the stream
-/// mid-frame.
+/// mid-frame. The load generator's receiver builds on the same
+/// [`read_full`] primitive for the same reason: it polls for reconnect
+/// deadlines without ever corrupting the stream.
 fn read_inbound(stream: &mut TcpStream) -> Inbound {
     let mut len_buf = [0u8; 4];
     match read_full(stream, &mut len_buf, true) {
@@ -522,14 +705,17 @@ fn read_inbound(stream: &mut TcpStream) -> Inbound {
     }
 }
 
-enum ReadFull {
+pub(crate) enum ReadFull {
     Done,
     Idle,
     Eof,
     Fail,
 }
 
-fn read_full(stream: &mut TcpStream, buf: &mut [u8], idle_ok: bool) -> ReadFull {
+/// Fills `buf` completely, tolerating read-timeout polls: with `idle_ok`,
+/// a timeout before the first byte reports [`ReadFull::Idle`]; once bytes
+/// have landed, timeouts retry (bounded by [`MID_FRAME_RETRIES`]).
+pub(crate) fn read_full(stream: &mut TcpStream, buf: &mut [u8], idle_ok: bool) -> ReadFull {
     let mut filled = 0;
     let mut retries = 0u32;
     while filled < buf.len() {

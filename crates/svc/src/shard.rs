@@ -1,4 +1,4 @@
-//! Scheduler shard workers.
+//! Supervised scheduler shard workers.
 //!
 //! Each shard thread owns the schedulers of the videos routed to it
 //! (`video % shards`), so no scheduler is ever shared between threads and
@@ -9,6 +9,23 @@
 //! `sync_channel` — the admission-control queue whose `try_send` failure is
 //! surfaced to clients as `Rejected(queue_full)`.
 //!
+//! # Supervision
+//!
+//! Scheduling runs inside `catch_unwind`, so a panicking scheduler (or an
+//! injected chaos panic) never takes its thread down. The supervisor keeps
+//! a compact **state journal** per shard — every scheduled `(video,
+//! arrival)` pair in order, plus each video's ring cursor — and on panic
+//! it rebuilds fresh schedulers from the catalog entries and replays the
+//! journal, resuming on the *same* [`SlotClock`] so virtual time never
+//! jumps. Restarts back off exponentially (capped) and are counted; once
+//! the restart budget is spent the shard flips its `down` flag and every
+//! request routed to it is shed as `Rejected(shard_down)` instead of
+//! hanging. The journal is bounded: while history fits the cap a rebuild
+//! is *exact* (byte-identical grants afterwards); past the cap the oldest
+//! entries are dropped (counted in `svc.shard.journal_truncated`) and the
+//! rebuilt schedule is approximate but still deadline-clean — the
+//! timeliness audit keeps running either way.
+//!
 //! Determinism: a request carries either an explicit arrival slot or the
 //! [`ARRIVAL_AUTO`](crate::wire::ARRIVAL_AUTO) sentinel resolved against the
 //! video's own virtual [`SlotClock`] (heterogeneous catalogs have one clock
@@ -18,32 +35,64 @@
 //! offline engines do (pop every earlier slot), then calls
 //! `schedule_request` — so for a fixed arrival-slot sequence the grants are
 //! byte-identical to an offline run, regardless of wall-clock timing, shard
-//! count, or dilation.
+//! count, dilation, or how many supervised restarts happened in between.
 //!
 //! Every grant is audited on the way out: each instance must land in the
 //! window `arrival < slot ≤ arrival + T[j]`. Violations increment
 //! `svc.audit.deadline_misses` — the live-service counterpart of the
-//! offline `TimelinessAuditor`, and the counter the CI catalog smoke
-//! asserts stays zero.
+//! offline `TimelinessAuditor`, and the counter the CI catalog and chaos
+//! smokes assert stays zero.
 
-use std::collections::HashMap;
-use std::sync::atomic::Ordering;
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dhb_core::SlotScheduler;
+use vod_obs::{Event, Journal, RejectKind};
+use vod_server::ServeEntry;
 use vod_types::Slot;
 
+use crate::chaos::ChaosPlan;
 use crate::clock::SlotClock;
+use crate::session::Session;
 use crate::stats::ServiceStats;
 use crate::wire::{Frame, GrantedSegment, ARRIVAL_AUTO};
 
+/// Where a shard's answer goes.
+pub(crate) enum ReplyTo {
+    /// A raw (Hello-less) connection: straight to its outbound queue.
+    Direct(SyncSender<Frame>),
+    /// A sessioned connection: ring-buffered for resume, then delivered.
+    Session(Arc<Session>),
+}
+
+impl ReplyTo {
+    /// Blocking delivery: the outbound queue is bounded, so a slow client
+    /// backpressures its shard instead of buffering without limit. A
+    /// vanished connection is fine — a direct writer drains the channel
+    /// until every sender is gone, and a session keeps the answer in its
+    /// ring for replay.
+    fn deliver(&self, seq: u64, frame: Frame) {
+        match self {
+            ReplyTo::Direct(tx) => {
+                let _ = tx.send(frame);
+            }
+            ReplyTo::Session(session) => session.deliver(seq, frame),
+        }
+    }
+}
+
 /// A unit of work queued to a shard.
 pub(crate) enum ShardMsg {
-    /// An admitted client request, with the outbound channel to answer on.
+    /// An admitted client request, with the reply route to answer on.
     Request {
+        /// The submitting connection (journaled with shard-side sheds).
+        conn: u64,
         /// Echoed sequence number.
         seq: u64,
         /// Target video (pre-validated by the reader).
@@ -52,16 +101,32 @@ pub(crate) enum ShardMsg {
         arrival_slot: u64,
         /// When the reader enqueued it (queue+schedule latency origin).
         enqueued: Instant,
-        /// The owning connection's outbound frame queue.
-        reply: SyncSender<Frame>,
+        /// The owning connection's reply route.
+        reply: ReplyTo,
     },
 }
 
-/// One video owned by a shard: its scheduler and its own slot clock.
+/// One video owned by a shard: its scheduler, the catalog entry it was
+/// built from (kept so the supervisor can rebuild after a panic), and its
+/// own slot clock.
 pub(crate) struct ShardVideo {
     pub id: u32,
+    pub entry: ServeEntry,
     pub scheduler: Box<dyn SlotScheduler + Send>,
     pub clock: Arc<SlotClock>,
+}
+
+/// Restart policy for one supervised shard.
+#[derive(Debug, Clone)]
+pub(crate) struct RestartPolicy {
+    /// Restarts allowed before the shard is disabled.
+    pub max_restarts: u32,
+    /// First-restart backoff; doubles per restart.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// State-journal entry cap (per shard).
+    pub journal_cap: usize,
 }
 
 pub(crate) struct ShardConfig {
@@ -71,76 +136,277 @@ pub(crate) struct ShardConfig {
     /// Test knob: minimum time spent per request, to make overload and
     /// drain scenarios deterministic in tests. Zero in production.
     pub min_service_time: Duration,
+    pub journal: Journal,
+    pub chaos: Arc<ChaosPlan>,
+    pub policy: RestartPolicy,
+    /// Flipped once the restart budget is spent; readers then shed this
+    /// shard's videos at admission instead of queueing into a dead end.
+    pub down: Arc<AtomicBool>,
 }
 
-pub(crate) fn spawn_shard(config: ShardConfig, rx: Receiver<ShardMsg>) -> JoinHandle<()> {
+pub(crate) fn spawn_shard(
+    config: ShardConfig,
+    rx: Receiver<ShardMsg>,
+) -> io::Result<JoinHandle<()>> {
     std::thread::Builder::new()
         .name(format!("vod-svc-shard-{}", config.id))
         .spawn(move || run_shard(config, &rx))
-        .expect("spawn shard thread")
 }
 
-fn run_shard(config: ShardConfig, rx: &Receiver<ShardMsg>) {
-    let shard_id = config.id;
-    let stats = config.stats;
-    let min_service_time = config.min_service_time;
-    let mut videos: HashMap<u32, ShardVideo> =
-        config.videos.into_iter().map(|v| (v.id, v)).collect();
+/// The compact per-shard state journal a supervisor rebuild replays:
+/// scheduled arrivals in order plus each video's ring cursor.
+struct StateJournal {
+    /// `(video, arrival)` pairs in scheduling order, bounded by `cap`.
+    entries: VecDeque<(u32, u64)>,
+    /// Highest arrival each video's ring has advanced to.
+    cursors: HashMap<u32, u64>,
+    cap: usize,
+}
+
+impl StateJournal {
+    fn new(cap: usize) -> StateJournal {
+        StateJournal {
+            entries: VecDeque::new(),
+            cursors: HashMap::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Records one scheduled arrival; returns true if an old entry was
+    /// truncated to stay within the cap.
+    fn record(&mut self, video: u32, arrival: u64) -> bool {
+        let truncated = if self.entries.len() == self.cap {
+            self.entries.pop_front();
+            true
+        } else {
+            false
+        };
+        self.entries.push_back((video, arrival));
+        let cursor = self.cursors.entry(video).or_insert(arrival);
+        *cursor = (*cursor).max(arrival);
+        truncated
+    }
+}
+
+fn run_shard(mut config: ShardConfig, rx: &Receiver<ShardMsg>) {
+    let mut videos: HashMap<u32, ShardVideo> = std::mem::take(&mut config.videos)
+        .into_iter()
+        .map(|v| (v.id, v))
+        .collect();
+    let config = &config;
+    let mut state = StateJournal::new(config.policy.journal_cap);
+    let mut restarts: u32 = 0;
 
     // `recv` drains every queued message even after all senders drop, so a
     // graceful shutdown still answers admitted requests.
     while let Ok(msg) = rx.recv() {
         let ShardMsg::Request {
+            conn,
             seq,
             video,
             arrival_slot,
             enqueued,
             reply,
         } = msg;
-        if !min_service_time.is_zero() {
-            std::thread::sleep(min_service_time);
+        if config.down.load(Ordering::Acquire) {
+            shed(config, conn, seq, &reply);
+            continue;
         }
-        let owned = videos
-            .get_mut(&video)
-            .expect("reader routes only owned videos");
-        let scheduler = &mut owned.scheduler;
-        let requested = if arrival_slot == ARRIVAL_AUTO {
-            owned.clock.slot_now()
-        } else {
-            arrival_slot
-        };
-        // The ring's base never moves backwards; a stale explicit slot is
-        // clamped to the earliest the scheduler can still serve.
-        let arrival = requested.max(scheduler.next_slot().index().saturating_sub(1));
-        while scheduler.next_slot().index() < arrival {
-            let (_slot, aired) = scheduler.pop_slot();
-            stats
-                .instances_aired
-                .fetch_add(aired.len() as u64, Ordering::Relaxed);
+        if !config.min_service_time.is_zero() {
+            std::thread::sleep(config.min_service_time);
         }
-        let schedule = scheduler.schedule_request(Slot::new(arrival));
-        audit_timeliness(&stats, scheduler.periods(), arrival, &schedule);
-        let segments = schedule
-            .iter()
-            .map(|s| GrantedSegment {
-                segment: s.segment.get() as u32,
-                slot: s.slot.index(),
-                shared: !s.newly_scheduled,
-            })
-            .collect();
-        stats.record_latency(shard_id, elapsed_ns(&enqueued));
-        stats.grants.fetch_add(1, Ordering::Relaxed);
-        // Blocking send: the outbound queue is bounded, so a slow client
-        // backpressures its shard instead of buffering without limit. A
-        // vanished connection is fine — its writer drains the channel until
-        // every sender is gone.
-        let _ = reply.send(Frame::Grant {
+        let mut attempts = 0u32;
+        loop {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                handle_request(
+                    config,
+                    &mut videos,
+                    &mut state,
+                    seq,
+                    video,
+                    arrival_slot,
+                    &enqueued,
+                    &reply,
+                );
+            }));
+            match outcome {
+                Ok(()) => break,
+                Err(_panic) => {
+                    attempts += 1;
+                    restarts += 1;
+                    config.stats.shard_panics.fetch_add(1, Ordering::Relaxed);
+                    let shard = config.id as u64;
+                    config.journal.emit_with(|| Event::ShardPanicked {
+                        shard,
+                        restarts: u64::from(restarts),
+                    });
+                    if restarts > config.policy.max_restarts {
+                        config.down.store(true, Ordering::Release);
+                        config.stats.shards_down.fetch_add(1, Ordering::Relaxed);
+                        config.journal.emit_with(|| Event::ShardDisabled { shard });
+                        shed(config, conn, seq, &reply);
+                        break;
+                    }
+                    let backoff = backoff_for(restarts, &config.policy);
+                    std::thread::sleep(backoff);
+                    let replayed = rebuild(&mut videos, &state);
+                    config.stats.shard_restarts.fetch_add(1, Ordering::Relaxed);
+                    config.journal.emit_with(|| Event::ShardRestarted {
+                        shard,
+                        replayed,
+                        backoff_ms: u64::try_from(backoff.as_millis()).unwrap_or(u64::MAX),
+                    });
+                    if attempts > 1 {
+                        // The same request keeps panicking after a clean
+                        // rebuild: shed it and keep the shard alive for
+                        // everyone else.
+                        shed(config, conn, seq, &reply);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Answers a request the shard cannot serve with `Rejected(shard_down)`.
+fn shed(config: &ShardConfig, conn: u64, seq: u64, reply: &ReplyTo) {
+    config.stats.count_rejection(RejectKind::ShardDown);
+    config.journal.emit_with(|| Event::RequestRejected {
+        conn,
+        request: seq,
+        reason: RejectKind::ShardDown,
+    });
+    reply.deliver(
+        seq,
+        Frame::Rejected {
+            seq,
+            reason: RejectKind::ShardDown,
+        },
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_request(
+    config: &ShardConfig,
+    videos: &mut HashMap<u32, ShardVideo>,
+    state: &mut StateJournal,
+    seq: u64,
+    video: u32,
+    arrival_slot: u64,
+    enqueued: &Instant,
+    reply: &ReplyTo,
+) {
+    let stats = &config.stats;
+    let Some(owned) = videos.get_mut(&video) else {
+        // The reader validates ids against the catalog, so this is only
+        // reachable if routing drifts; degrade to a typed rejection
+        // rather than aborting the shard.
+        stats.count_rejection(RejectKind::UnknownVideo);
+        reply.deliver(
+            seq,
+            Frame::Rejected {
+                seq,
+                reason: RejectKind::UnknownVideo,
+            },
+        );
+        return;
+    };
+    let requested = if arrival_slot == ARRIVAL_AUTO {
+        owned.clock.slot_now()
+    } else {
+        arrival_slot
+    };
+    // The ring's base never moves backwards; a stale explicit slot is
+    // clamped to the earliest the scheduler can still serve.
+    let arrival = requested.max(owned.scheduler.next_slot().index().saturating_sub(1));
+    // Chaos fires *before* the scheduler is touched: a retried request
+    // replays cleanly after the rebuild, with no half-applied state.
+    if config.chaos.shard_kill_due(config.id as u64, arrival) {
+        panic!(
+            "chaos: injected panic on shard {} at arrival slot {arrival}",
+            config.id
+        );
+    }
+    let scheduler = &mut owned.scheduler;
+    while scheduler.next_slot().index() < arrival {
+        let (_slot, aired) = scheduler.pop_slot();
+        stats
+            .instances_aired
+            .fetch_add(aired.len() as u64, Ordering::Relaxed);
+    }
+    let schedule = scheduler.schedule_request(Slot::new(arrival));
+    // Journal after the scheduler mutated: the entry describes applied
+    // state. Everything from here to delivery is panic-free, so the
+    // journal can never run ahead of reality.
+    if state.record(video, arrival) {
+        stats
+            .shard_journal_truncated
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    audit_timeliness(stats, scheduler.periods(), arrival, &schedule);
+    let segments = schedule
+        .iter()
+        .map(|s| GrantedSegment {
+            segment: s.segment.get() as u32,
+            slot: s.slot.index(),
+            shared: !s.newly_scheduled,
+        })
+        .collect();
+    stats.record_latency(config.id, elapsed_ns(enqueued));
+    stats.grants.fetch_add(1, Ordering::Relaxed);
+    reply.deliver(
+        seq,
+        Frame::Grant {
             seq,
             video,
             arrival_slot: arrival,
             segments,
-        });
+        },
+    );
+}
+
+/// Rebuilds every scheduler from its catalog entry and replays the state
+/// journal, leaving the shard exactly where the panic found it (while the
+/// journal held full history). Returns the number of entries replayed.
+fn rebuild(videos: &mut HashMap<u32, ShardVideo>, state: &StateJournal) -> u64 {
+    for owned in videos.values_mut() {
+        // A deterministic build that succeeded at startup succeeds again;
+        // on the defensive error path keep the old scheduler rather than
+        // losing the video entirely.
+        if let Ok((_spec, fresh)) = owned.entry.build(&Journal::disabled()) {
+            owned.scheduler = fresh;
+        }
     }
+    for &(video, arrival) in &state.entries {
+        if let Some(owned) = videos.get_mut(&video) {
+            let scheduler = &mut owned.scheduler;
+            // Instances aired here were already counted the first time
+            // through — replay advances silently.
+            while scheduler.next_slot().index() < arrival {
+                let _ = scheduler.pop_slot();
+            }
+            let _ = scheduler.schedule_request(Slot::new(arrival));
+        }
+    }
+    // Advance rings whose replayed entries were truncated away up to
+    // their recorded cursors, so virtual time never runs backwards.
+    for (&video, &cursor) in &state.cursors {
+        if let Some(owned) = videos.get_mut(&video) {
+            while owned.scheduler.next_slot().index() < cursor {
+                let _ = owned.scheduler.pop_slot();
+            }
+        }
+    }
+    state.entries.len() as u64
+}
+
+fn backoff_for(restart: u32, policy: &RestartPolicy) -> Duration {
+    let shift = restart.saturating_sub(1).min(16);
+    policy
+        .backoff_base
+        .saturating_mul(1u32 << shift)
+        .min(policy.backoff_cap)
 }
 
 /// Checks every granted instance against its deadline window

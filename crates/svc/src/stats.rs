@@ -1,7 +1,7 @@
 //! Lock-light service counters and latency capture.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use vod_obs::{LogHistogram, Registry, RejectKind};
 
@@ -10,7 +10,9 @@ use vod_obs::{LogHistogram, Registry, RejectKind};
 /// Counters are relaxed atomics (hot paths never lock); grant latency goes
 /// into one `Mutex<LogHistogram>` **per shard**, so each lock is touched
 /// only by its own shard thread plus the occasional `STATS` reader —
-/// effectively uncontended.
+/// effectively uncontended. Latency locks recover from poisoning
+/// (histograms stay internally consistent under partial updates), so a
+/// panicking peer can never take the stats plane down with it.
 #[derive(Debug)]
 pub struct ServiceStats {
     /// Connections accepted.
@@ -27,6 +29,10 @@ pub struct ServiceStats {
     pub rejected_unknown_video: AtomicU64,
     /// Requests naming a catalog video whose entry failed validation.
     pub rejected_invalid_video: AtomicU64,
+    /// Requests shed because the target shard exhausted its restart budget.
+    pub rejected_shard_down: AtomicU64,
+    /// Resume attempts naming a session the registry does not hold.
+    pub rejected_unknown_session: AtomicU64,
     /// Connections dropped after malformed or out-of-role frames.
     pub protocol_errors: AtomicU64,
     /// Segment instances popped from slot rings while advancing schedulers.
@@ -38,6 +44,26 @@ pub struct ServiceStats {
     /// Any non-zero value is a scheduler bug; the CI catalog smoke asserts
     /// this stays zero.
     pub audit_deadline_misses: AtomicU64,
+    /// Shard worker panics caught by the supervisor (injected or real).
+    pub shard_panics: AtomicU64,
+    /// Successful shard restarts (scheduler rebuilt from the state journal).
+    pub shard_restarts: AtomicU64,
+    /// Shards disabled after exhausting their restart budget.
+    pub shards_down: AtomicU64,
+    /// Entries dropped from shard state journals because history exceeded
+    /// the journal cap; a rebuild past this point is approximate.
+    pub shard_journal_truncated: AtomicU64,
+    /// Sessions successfully adopted by a reconnecting client.
+    pub sessions_resumed: AtomicU64,
+    /// Answer frames replayed from session rings during resumes.
+    pub grants_replayed: AtomicU64,
+    /// Re-sent requests deduplicated against the session watermark
+    /// (answer re-sent from the ring or left to the in-flight original).
+    pub requests_deduped: AtomicU64,
+    /// Connection resets injected by the chaos plan.
+    pub chaos_conn_resets: AtomicU64,
+    /// Writer stalls injected by the chaos plan.
+    pub chaos_writer_stalls: AtomicU64,
     latency: Vec<Mutex<LogHistogram>>,
 }
 
@@ -53,10 +79,21 @@ impl ServiceStats {
             rejected_draining: AtomicU64::new(0),
             rejected_unknown_video: AtomicU64::new(0),
             rejected_invalid_video: AtomicU64::new(0),
+            rejected_shard_down: AtomicU64::new(0),
+            rejected_unknown_session: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             instances_aired: AtomicU64::new(0),
             audit_segments_checked: AtomicU64::new(0),
             audit_deadline_misses: AtomicU64::new(0),
+            shard_panics: AtomicU64::new(0),
+            shard_restarts: AtomicU64::new(0),
+            shards_down: AtomicU64::new(0),
+            shard_journal_truncated: AtomicU64::new(0),
+            sessions_resumed: AtomicU64::new(0),
+            grants_replayed: AtomicU64::new(0),
+            requests_deduped: AtomicU64::new(0),
+            chaos_conn_resets: AtomicU64::new(0),
+            chaos_writer_stalls: AtomicU64::new(0),
             latency: (0..shards.max(1))
                 .map(|_| Mutex::new(LogHistogram::new()))
                 .collect(),
@@ -67,7 +104,7 @@ impl ServiceStats {
     pub fn record_latency(&self, shard: usize, ns: u64) {
         self.latency[shard % self.latency.len()]
             .lock()
-            .expect("latency lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .record(ns);
     }
 
@@ -78,6 +115,8 @@ impl ServiceStats {
             RejectKind::Draining => &self.rejected_draining,
             RejectKind::UnknownVideo => &self.rejected_unknown_video,
             RejectKind::InvalidVideo => &self.rejected_invalid_video,
+            RejectKind::ShardDown => &self.rejected_shard_down,
+            RejectKind::UnknownSession => &self.rejected_unknown_session,
         };
         counter.fetch_add(1, Ordering::Relaxed);
     }
@@ -89,6 +128,8 @@ impl ServiceStats {
             + self.rejected_draining.load(Ordering::Relaxed)
             + self.rejected_unknown_video.load(Ordering::Relaxed)
             + self.rejected_invalid_video.load(Ordering::Relaxed)
+            + self.rejected_shard_down.load(Ordering::Relaxed)
+            + self.rejected_unknown_session.load(Ordering::Relaxed)
     }
 
     /// The grant-latency histogram merged across shards.
@@ -96,7 +137,7 @@ impl ServiceStats {
     pub fn latency_histogram(&self) -> LogHistogram {
         let mut merged = LogHistogram::new();
         for shard in &self.latency {
-            merged.merge(&shard.lock().expect("latency lock poisoned"));
+            merged.merge(&shard.lock().unwrap_or_else(PoisonError::into_inner));
         }
         merged
     }
@@ -115,12 +156,28 @@ impl ServiceStats {
             self.rejected_unknown_video.load(Ordering::Relaxed);
         *r.ensure_counter("svc.rejected.invalid_video") =
             self.rejected_invalid_video.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.rejected.shard_down") =
+            self.rejected_shard_down.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.rejected.unknown_session") =
+            self.rejected_unknown_session.load(Ordering::Relaxed);
         *r.ensure_counter("svc.protocol_errors") = self.protocol_errors.load(Ordering::Relaxed);
         *r.ensure_counter("svc.instances_aired") = self.instances_aired.load(Ordering::Relaxed);
         *r.ensure_counter("svc.audit.segments_checked") =
             self.audit_segments_checked.load(Ordering::Relaxed);
         *r.ensure_counter("svc.audit.deadline_misses") =
             self.audit_deadline_misses.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.shard.panics") = self.shard_panics.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.shard.restarts") = self.shard_restarts.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.shard.down") = self.shards_down.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.shard.journal_truncated") =
+            self.shard_journal_truncated.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.sessions.resumed") = self.sessions_resumed.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.sessions.replayed_grants") =
+            self.grants_replayed.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.requests.deduped") = self.requests_deduped.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.chaos.conn_resets") = self.chaos_conn_resets.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.chaos.writer_stalls") =
+            self.chaos_writer_stalls.load(Ordering::Relaxed);
         let latency = self.latency_histogram();
         if latency.count() > 0 {
             r.merge_histogram("svc.grant_latency_ns", &latency);
@@ -149,5 +206,38 @@ mod tests {
         assert_eq!(stats.latency_histogram().count(), 2);
         let json = r.to_json_pretty();
         assert!(json.contains("svc.grant_latency_ns"), "{json}");
+    }
+
+    #[test]
+    fn resilience_counters_round_trip_through_snapshots() {
+        let stats = ServiceStats::new(1);
+        stats.count_rejection(RejectKind::ShardDown);
+        stats.count_rejection(RejectKind::UnknownSession);
+        stats.shard_panics.fetch_add(2, Ordering::Relaxed);
+        stats.shard_restarts.fetch_add(1, Ordering::Relaxed);
+        stats.sessions_resumed.fetch_add(1, Ordering::Relaxed);
+        stats.grants_replayed.fetch_add(5, Ordering::Relaxed);
+        let r = stats.snapshot();
+        assert_eq!(r.counter("svc.rejected.shard_down"), 1);
+        assert_eq!(r.counter("svc.rejected.unknown_session"), 1);
+        assert_eq!(r.counter("svc.shard.panics"), 2);
+        assert_eq!(r.counter("svc.shard.restarts"), 1);
+        assert_eq!(r.counter("svc.sessions.resumed"), 1);
+        assert_eq!(r.counter("svc.sessions.replayed_grants"), 5);
+        assert_eq!(stats.rejected_total(), 2);
+    }
+
+    #[test]
+    fn latency_locks_recover_from_poisoning() {
+        let stats = std::sync::Arc::new(ServiceStats::new(1));
+        let poisoner = std::sync::Arc::clone(&stats);
+        // Poison the latency lock by panicking while holding it.
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.latency[0].lock();
+            panic!("poison");
+        })
+        .join();
+        stats.record_latency(0, 500);
+        assert_eq!(stats.latency_histogram().count(), 1);
     }
 }

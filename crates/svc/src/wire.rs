@@ -17,10 +17,13 @@ use vod_obs::RejectKind;
 /// Protocol version carried by `Hello`/`Welcome`. Version 2 introduced the
 /// heterogeneous catalog: `Welcome` lost its uniform `segments` field and
 /// `Describe`/`VideoInfo` report per-video segment counts, protocols, and
-/// period vectors. The decoder rejects any other version with
-/// [`WireError::Version`] — a v1 peer cannot interpret v2 grants correctly,
-/// so the mismatch must fail loudly at the handshake, not garble schedules.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// period vectors. Version 3 adds session resume: `Welcome` carries a
+/// server-assigned session id, and the `Resume`/`Resumed` frames let a
+/// reconnecting client replay the grants it missed. The decoder rejects any
+/// other version with [`WireError::Version`] — a v1/v2 peer cannot
+/// interpret v3 frames correctly, so the mismatch must fail loudly at the
+/// handshake, not garble schedules.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Hard upper bound on a frame payload, enforced by both sides before any
 /// allocation. Keeps a malicious or corrupt length prefix from ballooning
@@ -30,6 +33,10 @@ pub const MAX_FRAME_LEN: usize = 1 << 20;
 /// `Request::arrival_slot` sentinel: stamp the request with the service's
 /// virtual slot clock instead of an explicit slot.
 pub const ARRIVAL_AUTO: u64 = u64::MAX;
+
+/// `Resume::last_seq_seen` sentinel: the client saw no answers at all, so
+/// the server replays the session's entire replay ring.
+pub const RESUME_NONE: u64 = u64::MAX;
 
 /// One segment instance granted to a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,12 +83,26 @@ pub enum Frame {
         /// Catalog video id, `0..videos`.
         video: u32,
     },
+    /// Adopt an earlier session on this (re)connection. The server replies
+    /// `Resumed` and replays every ring-buffered answer with a sequence
+    /// number past `last_seq_seen`, or `Rejected(unknown_session)` (echoing
+    /// the requested session id as `seq`) when the session is gone.
+    Resume {
+        /// The session id a previous `Welcome` assigned.
+        session: u64,
+        /// Highest request sequence number the client has an answer for
+        /// with no gaps below it, or [`RESUME_NONE`] to replay everything.
+        last_seq_seen: u64,
+    },
     /// Server handshake reply. Since protocol version 2 the catalog is
     /// heterogeneous, so there is no uniform segment count here — clients
-    /// learn per-video geometry through `Describe`.
+    /// learn per-video geometry through `Describe`. Since version 3 it
+    /// assigns a session id the client can `Resume` after a reconnect.
     Welcome {
         /// The server's [`PROTOCOL_VERSION`].
         version: u32,
+        /// Server-assigned id of the session created by this handshake.
+        session: u64,
         /// Catalog size; valid video ids are `0..videos`.
         videos: u32,
         /// Scheduler shard count.
@@ -130,6 +151,16 @@ pub enum Frame {
     /// The service is draining: no further requests will be admitted on
     /// this connection; already-admitted grants still arrive.
     Draining,
+    /// Reply to `Resume`: the session moved to this connection. The
+    /// replayed answers follow immediately, in their original order, before
+    /// any new grant — the client's `(slot, segment)` stream stays
+    /// byte-identical to an uninterrupted run.
+    Resumed {
+        /// Echo of the resumed session id.
+        session: u64,
+        /// Ring-buffered answers about to be replayed on this connection.
+        replayed: u32,
+    },
 }
 
 /// A codec or transport failure.
@@ -185,12 +216,14 @@ const TAG_REQUEST: u8 = 2;
 const TAG_STATS: u8 = 3;
 const TAG_GOODBYE: u8 = 4;
 const TAG_DESCRIBE: u8 = 5;
+const TAG_RESUME: u8 = 6;
 const TAG_WELCOME: u8 = 16;
 const TAG_GRANT: u8 = 17;
 const TAG_REJECTED: u8 = 18;
 const TAG_STATS_REPLY: u8 = 19;
 const TAG_DRAINING: u8 = 20;
 const TAG_VIDEO_INFO: u8 = 21;
+const TAG_RESUMED: u8 = 22;
 
 impl Frame {
     /// Encodes the payload (tag + fields, no length prefix).
@@ -219,14 +252,24 @@ impl Frame {
                 out.extend_from_slice(&seq.to_le_bytes());
                 out.extend_from_slice(&video.to_le_bytes());
             }
+            Frame::Resume {
+                session,
+                last_seq_seen,
+            } => {
+                out.push(TAG_RESUME);
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&last_seq_seen.to_le_bytes());
+            }
             Frame::Welcome {
                 version,
+                session,
                 videos,
                 shards,
                 dilation,
             } => {
                 out.push(TAG_WELCOME);
                 out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&session.to_le_bytes());
                 out.extend_from_slice(&videos.to_le_bytes());
                 out.extend_from_slice(&shards.to_le_bytes());
                 out.extend_from_slice(&dilation.to_le_bytes());
@@ -277,6 +320,11 @@ impl Frame {
                 out.extend_from_slice(json.as_bytes());
             }
             Frame::Draining => out.push(TAG_DRAINING),
+            Frame::Resumed { session, replayed } => {
+                out.push(TAG_RESUMED);
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&replayed.to_le_bytes());
+            }
         }
         out
     }
@@ -318,8 +366,13 @@ impl Frame {
                 seq: r.u64()?,
                 video: r.u32()?,
             },
+            TAG_RESUME => Frame::Resume {
+                session: r.u64()?,
+                last_seq_seen: r.u64()?,
+            },
             TAG_WELCOME => Frame::Welcome {
                 version: r.version()?,
+                session: r.u64()?,
                 videos: r.u32()?,
                 shards: r.u32()?,
                 dilation: r.u32()?,
@@ -388,6 +441,10 @@ impl Frame {
                 }
             }
             TAG_DRAINING => Frame::Draining,
+            TAG_RESUMED => Frame::Resumed {
+                session: r.u64()?,
+                replayed: r.u32()?,
+            },
             other => return Err(WireError::BadTag(other)),
         };
         if r.remaining() != 0 {
@@ -517,9 +574,18 @@ mod tests {
             },
             Frame::Welcome {
                 version: PROTOCOL_VERSION,
+                session: 42,
                 videos: 4,
                 shards: 2,
                 dilation: 1000,
+            },
+            Frame::Resume {
+                session: 42,
+                last_seq_seen: 7,
+            },
+            Frame::Resumed {
+                session: 42,
+                replayed: 3,
             },
             Frame::Describe { seq: 5, video: 2 },
             Frame::VideoInfo {
@@ -555,6 +621,14 @@ mod tests {
                 seq: 9,
                 reason: RejectKind::QueueFull,
             },
+            Frame::Rejected {
+                seq: 10,
+                reason: RejectKind::ShardDown,
+            },
+            Frame::Rejected {
+                seq: 42,
+                reason: RejectKind::UnknownSession,
+            },
             Frame::Stats,
             Frame::StatsReply {
                 json: "{\"counters\": {}}".to_owned(),
@@ -575,7 +649,9 @@ mod tests {
 
     #[test]
     fn mismatched_versions_are_a_typed_error() {
-        for got in [0, 1, PROTOCOL_VERSION + 1, u32::MAX] {
+        // 2 is the pre-resume protocol: a v2 peer must be turned away at
+        // the handshake, exactly like any other stranger.
+        for got in [0, 1, 2, PROTOCOL_VERSION + 1, u32::MAX] {
             let hello = Frame::Hello { version: got }.encode_payload();
             match Frame::decode_payload(&hello) {
                 Err(WireError::Version { got: seen }) => assert_eq!(seen, got),
@@ -583,6 +659,7 @@ mod tests {
             }
             let welcome = Frame::Welcome {
                 version: got,
+                session: 0,
                 videos: 1,
                 shards: 1,
                 dilation: 1,

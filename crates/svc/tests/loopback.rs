@@ -387,6 +387,7 @@ fn mixed_catalog_grants_match_each_videos_offline_oracle() {
             open_rate: None,
             arrival_stride: Some(1),
             collect_grants: true,
+            ..LoadConfig::default()
         },
     )
     .expect("load run succeeds");

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use vod_svc::wire::{read_frame, Frame, WireError};
 use vod_svc::{GrantedSegment, MAX_FRAME_LEN, PROTOCOL_VERSION};
 
-/// All eleven frame kinds, driven by primitive inputs (the proptest shim
+/// All thirteen frame kinds, driven by primitive inputs (the proptest shim
 /// has no derive support). `Hello`/`Welcome` carry [`PROTOCOL_VERSION`] —
 /// any other version is rejected at decode, which the version-mismatch
 /// tests below pin separately.
@@ -33,6 +33,7 @@ fn build_frame(
         3 => Frame::Goodbye,
         4 => Frame::Welcome {
             version: PROTOCOL_VERSION,
+            session: a,
             videos: c.wrapping_add(1),
             shards: (b as u32) | 1,
             dilation: c.rotate_left(7),
@@ -67,6 +68,14 @@ fn build_frame(
             protocol: String::from_utf8_lossy(text).into_owned(),
             periods: segs.iter().map(|&(_, slot, _)| slot).collect(),
         },
+        10 => Frame::Resume {
+            session: a,
+            last_seq_seen: b,
+        },
+        11 => Frame::Resumed {
+            session: a,
+            replayed: c,
+        },
         _ => Frame::Draining,
     }
 }
@@ -76,7 +85,7 @@ proptest! {
 
     #[test]
     fn encode_decode_is_byte_identity(
-        (kind, a) in (0usize..11, any::<u64>()),
+        (kind, a) in (0usize..13, any::<u64>()),
         (b, c, flag) in (any::<u64>(), any::<u32>(), any::<bool>()),
         segs in prop::collection::vec((any::<u32>(), any::<u64>(), any::<bool>()), 0..12),
         text in prop::collection::vec(any::<u8>(), 0..64),
@@ -98,7 +107,7 @@ proptest! {
 
     #[test]
     fn truncated_frames_are_rejected_not_panicked(
-        (kind, a) in (0usize..11, any::<u64>()),
+        (kind, a) in (0usize..13, any::<u64>()),
         (b, c, flag) in (any::<u64>(), any::<u32>(), any::<bool>()),
         segs in prop::collection::vec((any::<u32>(), any::<u64>(), any::<bool>()), 0..8),
         cut_seed in any::<u64>(),
@@ -138,10 +147,13 @@ proptest! {
 
     #[test]
     fn mismatched_handshake_versions_are_typed_errors(
-        bad_version in any::<u32>(),
+        raw_version in any::<u32>(),
         (videos, shards, dilation) in (any::<u32>(), any::<u32>(), any::<u32>()),
-        hello in any::<bool>(),
+        (hello, force_v2) in (any::<bool>(), any::<bool>()),
     ) {
+        // Weight the pre-resume v2 protocol heavily: the v2→v3 break is the
+        // mismatch real deployments will actually see.
+        let bad_version = if force_v2 { 2 } else { raw_version };
         prop_assume!(bad_version != PROTOCOL_VERSION);
         // Encoding is total (tests need to forge old-version bytes), but
         // decoding any version except PROTOCOL_VERSION must yield the typed
@@ -151,6 +163,7 @@ proptest! {
         } else {
             Frame::Welcome {
                 version: bad_version,
+                session: u64::from(raw_version),
                 videos,
                 shards,
                 dilation,

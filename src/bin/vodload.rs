@@ -9,12 +9,22 @@
 //! ```text
 //! vodload --self-host --dilation 1000 --conns 4 --requests 200 --window 8
 //! vodload --addr 127.0.0.1:7400 --conns 8 --rate 50 --max-p99-ms 250
+//! vodload --chaos 42 --dilation 1000 --conns 4 --requests 150 --retries 5
 //! ```
+//!
+//! `--chaos SEED` self-hosts a service with a deterministic fault plan
+//! derived from the seed (one injected panic per shard, a connection
+//! reset for every other session) and stamps explicit arrival slots so
+//! the same seed reproduces the same kill/reset schedule. The run fails
+//! if any session ends unrecoverable.
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use vod_dhb::svc::{fetch_stats, run_load, LoadConfig, ServeCatalog, Service, SvcConfig};
+use vod_dhb::svc::{
+    fetch_stats, run_load, ChaosPlan, LoadConfig, ServeCatalog, Service, SvcConfig,
+};
 use vod_dhb::types::{Seconds, VideoSpec};
 
 struct Args {
@@ -35,6 +45,10 @@ struct Args {
     queue_cap: usize,
     stats_out: Option<String>,
     max_p99_ms: Option<f64>,
+    retries: u32,
+    timeout_secs: f64,
+    chaos: Option<u64>,
+    chaos_stall_ms: Option<u64>,
 }
 
 const USAGE: &str = "usage:\n  \
@@ -42,10 +56,16 @@ const USAGE: &str = "usage:\n  \
     [--window 8] [--rate <req/s per conn>] [--videos 4] [--segments 120]\n          \
     [--duration-mins 120] [--catalog catalog.toml] [--mix 0,1,2]\n          \
     [--describe] [--shards 2] [--dilation 1] [--queue-cap 64]\n          \
-    [--stats-out stats.json] [--max-p99-ms 250]\n\n\
+    [--stats-out stats.json] [--max-p99-ms 250] [--retries 3]\n          \
+    [--timeout-secs 30] [--chaos SEED] [--chaos-stall-ms 50]\n\n\
     --catalog self-hosts a heterogeneous catalog file (implies --self-host);\n\
     --mix pins each connection to a video id round-robin from the list;\n\
-    --describe fetches per-video geometry (DESCRIBE) before driving load.";
+    --describe fetches per-video geometry (DESCRIBE) before driving load;\n\
+    --retries bounds reconnect attempts per connection, --timeout-secs\n\
+    declares a quiet connection stalled (no more hanging on a dead server);\n\
+    --chaos SEED self-hosts with a seeded fault plan (implies --self-host)\n\
+    and fails the run unless every session recovers;\n\
+    --chaos-stall-ms adds a planned writer stall to the chaos plan.";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -66,6 +86,10 @@ fn parse_args() -> Result<Args, String> {
         queue_cap: 64,
         stats_out: None,
         max_p99_ms: None,
+        retries: 3,
+        timeout_secs: 30.0,
+        chaos: None,
+        chaos_stall_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -116,12 +140,24 @@ fn parse_args() -> Result<Args, String> {
             "--queue-cap" => args.queue_cap = num("--queue-cap", &value("--queue-cap")?)?,
             "--stats-out" => args.stats_out = Some(value("--stats-out")?),
             "--max-p99-ms" => args.max_p99_ms = Some(num("--max-p99-ms", &value("--max-p99-ms")?)?),
+            "--retries" => args.retries = num("--retries", &value("--retries")?)?,
+            "--timeout-secs" => {
+                args.timeout_secs = num("--timeout-secs", &value("--timeout-secs")?)?;
+            }
+            "--chaos" => args.chaos = Some(num("--chaos", &value("--chaos")?)?),
+            "--chaos-stall-ms" => {
+                args.chaos_stall_ms = Some(num("--chaos-stall-ms", &value("--chaos-stall-ms")?)?);
+            }
             other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
         }
     }
-    if args.catalog.is_some() {
-        // A catalog file only makes sense for a service we start ourselves.
+    if args.catalog.is_some() || args.chaos.is_some() {
+        // A catalog file or a chaos plan only makes sense for a service we
+        // start ourselves.
         args.self_host = true;
+    }
+    if !args.timeout_secs.is_finite() || args.timeout_secs <= 0.0 {
+        return Err("--timeout-secs must be positive".to_owned());
     }
     if args.addr.is_some() == args.self_host {
         return Err(format!(
@@ -167,16 +203,41 @@ fn main() -> ExitCode {
             }
         };
         hosted_videos = Some(catalog.len() as u32);
+        let chaos = match args.chaos {
+            Some(seed) => {
+                let mut plan = ChaosPlan::seeded(
+                    seed,
+                    args.shards.max(1) as u64,
+                    args.conns as u64,
+                    args.requests.max(2),
+                );
+                if let Some(ms) = args.chaos_stall_ms {
+                    // Stall the first connection's writer a quarter of the
+                    // way through its stream.
+                    plan = plan.with_writer_stall(
+                        0,
+                        args.requests / 4,
+                        Duration::from_millis(ms.max(1)),
+                    );
+                }
+                plan
+            }
+            None => ChaosPlan::none(),
+        };
         let config = SvcConfig {
             catalog,
             shards: args.shards,
             dilation: args.dilation,
             queue_cap: args.queue_cap,
+            chaos,
             ..SvcConfig::default()
         };
         match Service::start("127.0.0.1:0", &config) {
             Ok(service) => {
                 println!("self-hosted vod-svc on {}", service.local_addr());
+                if let Some(seed) = args.chaos {
+                    println!("chaos plan armed (seed {seed})");
+                }
                 Some(service)
             }
             Err(e) => {
@@ -211,10 +272,16 @@ fn main() -> ExitCode {
         videos: hosted_videos.unwrap_or(args.videos),
         window: args.window,
         open_rate: args.rate,
-        arrival_stride: None, // live runs use the server's virtual clock
+        // Live runs use the server's virtual clock; chaos runs stamp
+        // explicit slots so the seeded fault plan triggers at the same
+        // points every run.
+        arrival_stride: if args.chaos.is_some() { Some(1) } else { None },
         collect_grants: false,
         mix: args.mix.clone(),
         describe: args.describe,
+        max_reconnects: args.retries,
+        read_timeout: Duration::from_secs_f64(args.timeout_secs),
+        ..LoadConfig::default()
     };
     let report = match run_load(addr, &config) {
         Ok(report) => report,
@@ -228,6 +295,20 @@ fn main() -> ExitCode {
     let mut failed = false;
     if report.protocol_errors > 0 {
         eprintln!("FAIL: {} protocol errors", report.protocol_errors);
+        failed = true;
+    }
+    if report.unrecoverable_conns > 0 {
+        eprintln!(
+            "FAIL: {} connections exhausted their reconnect budget",
+            report.unrecoverable_conns
+        );
+        failed = true;
+    }
+    if args.chaos.is_some() && report.grants + report.rejected < report.requests {
+        eprintln!(
+            "FAIL: chaos run left {} requests unanswered",
+            report.requests - report.grants - report.rejected
+        );
         failed = true;
     }
     if let Some(bound) = args.max_p99_ms {

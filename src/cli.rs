@@ -140,6 +140,10 @@ pub enum Command {
         dilation: u32,
         /// Bounded per-shard admission-queue depth.
         queue_cap: usize,
+        /// Per-session grant replay ring depth (session resume).
+        replay_cap: usize,
+        /// Restart budget before a panicking shard is marked down.
+        max_restarts: u32,
         /// Run duration in seconds; 0 serves until the process is killed.
         run_secs: f64,
     },
@@ -201,7 +205,8 @@ pub fn usage() -> String {
      [--seed 42] [--export out.txt]\n  \
      vodsim serve [--addr 127.0.0.1:7400] [--catalog catalog.toml]\n          \
      [--videos 4] [--segments 120] [--duration-mins 120]\n          \
-     [--shards 2] [--dilation 1] [--queue-cap 64] [--run-secs 0]\n  \
+     [--shards 2] [--dilation 1] [--queue-cap 64] [--replay-cap 1024]\n          \
+     [--max-restarts 3] [--run-secs 0]\n  \
      vodsim help"
         .to_owned()
 }
@@ -416,6 +421,8 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 shards: opts.take_usize("shards")?.unwrap_or(2),
                 dilation: opts.take_u64("dilation")?.unwrap_or(1) as u32,
                 queue_cap: opts.take_usize("queue-cap")?.unwrap_or(64),
+                replay_cap: opts.take_usize("replay-cap")?.unwrap_or(1_024),
+                max_restarts: opts.take_u64("max-restarts")?.unwrap_or(3) as u32,
                 run_secs: opts.take_f64("run-secs")?.unwrap_or(0.0),
             };
             opts.finish()?;
@@ -426,6 +433,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 shards,
                 dilation,
                 queue_cap,
+                replay_cap,
                 run_secs,
                 ..
             } = &cmd
@@ -447,6 +455,9 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 }
                 if *queue_cap == 0 {
                     return Err(UsageError("--queue-cap must be positive".to_owned()));
+                }
+                if *replay_cap == 0 {
+                    return Err(UsageError("--replay-cap must be positive".to_owned()));
                 }
                 if !run_secs.is_finite() || *run_secs < 0.0 {
                     return Err(UsageError("--run-secs must be non-negative".to_owned()));
@@ -625,6 +636,8 @@ pub fn run(command: &Command) -> Result<String, UsageError> {
             shards,
             dilation,
             queue_cap,
+            replay_cap,
+            max_restarts,
             run_secs,
         } => run_serve(
             addr,
@@ -635,6 +648,8 @@ pub fn run(command: &Command) -> Result<String, UsageError> {
             *shards,
             *dilation,
             *queue_cap,
+            *replay_cap,
+            *max_restarts,
             *run_secs,
         ),
         Command::Trace {
@@ -1095,6 +1110,8 @@ fn run_serve(
     shards: usize,
     dilation: u32,
     queue_cap: usize,
+    replay_cap: usize,
+    max_restarts: u32,
     run_secs: f64,
 ) -> Result<String, UsageError> {
     let catalog = match catalog_path {
@@ -1111,6 +1128,8 @@ fn run_serve(
         shards,
         dilation,
         queue_cap,
+        replay_cap,
+        max_restarts,
         ..vod_svc::SvcConfig::default()
     };
     let service = vod_svc::Service::start(addr, &config)
@@ -1188,6 +1207,8 @@ mod tests {
                 shards: 2,
                 dilation: 1,
                 queue_cap: 64,
+                replay_cap: 1_024,
+                max_restarts: 3,
                 run_secs: 0.0,
             }
         );
@@ -1195,8 +1216,20 @@ mod tests {
             Command::Serve { catalog, .. } => assert_eq!(catalog.as_deref(), Some("mix.toml")),
             other => panic!("unexpected: {other:?}"),
         }
+        match parse(&args("serve --replay-cap 16 --max-restarts 0")).unwrap() {
+            Command::Serve {
+                replay_cap,
+                max_restarts,
+                ..
+            } => {
+                assert_eq!(replay_cap, 16);
+                assert_eq!(max_restarts, 0);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
         assert!(parse(&args("serve --shards 0")).is_err());
         assert!(parse(&args("serve --dilation 0")).is_err());
+        assert!(parse(&args("serve --replay-cap 0")).is_err());
         assert!(parse(&args("serve --run-secs -1")).is_err());
     }
 
