@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use vod_obs::{Event, Journal};
+use vod_obs::{Event, EventKind, Journal};
 use vod_types::{SegmentId, Slot};
 
 use crate::heuristic::SlotHeuristic;
@@ -543,14 +543,15 @@ impl DhbScheduler {
                 plan.deadline[j - 1] = plan.deadline[j - 1].min(deadline);
                 let load = plan.load;
                 let slot = self.base + off as u64;
-                self.journal.emit_with(|| Event::InstanceScheduled {
-                    segment: j as u32,
-                    shared: true,
-                    window_start: arrival.index() + 1,
-                    window_end: deadline,
-                    slot,
-                    load,
-                });
+                self.journal
+                    .emit_kind(EventKind::InstanceScheduled, || Event::InstanceScheduled {
+                        segment: j as u32,
+                        shared: true,
+                        window_start: arrival.index() + 1,
+                        window_end: deadline,
+                        slot,
+                        load,
+                    });
                 out.push(ScheduledSegment {
                     segment: seg,
                     slot: Slot::new(slot),
@@ -603,14 +604,15 @@ impl DhbScheduler {
             self.place_new(seg, ring_idx, deadline, &mut client_load, &mut out);
             let load = self.ring[ring_idx].load;
             let slot = self.base + ring_idx as u64;
-            self.journal.emit_with(|| Event::InstanceScheduled {
-                segment: j as u32,
-                shared: false,
-                window_start: arrival.index() + 1,
-                window_end: deadline,
-                slot,
-                load,
-            });
+            self.journal
+                .emit_kind(EventKind::InstanceScheduled, || Event::InstanceScheduled {
+                    segment: j as u32,
+                    shared: false,
+                    window_start: arrival.index() + 1,
+                    window_end: deadline,
+                    slot,
+                    load,
+                });
         }
         out
     }
@@ -712,11 +714,12 @@ impl DhbScheduler {
                 let width = (deadline - self.base + 1) as usize;
                 let placed = self.replant(seg, width, deadline, retries + 1);
                 self.recovery.reschedules += 1;
-                self.journal.emit_with(|| Event::Rescheduled {
-                    segment: seg.get() as u32,
-                    from_slot: slot,
-                    to_slot: placed,
-                });
+                self.journal
+                    .emit_kind(EventKind::Rescheduled, || Event::Rescheduled {
+                        segment: seg.get() as u32,
+                        from_slot: slot,
+                        to_slot: placed,
+                    });
             } else {
                 // Slack exhausted: degrade gracefully by deferring the
                 // dependents' playback into a fresh window instead of
@@ -731,12 +734,13 @@ impl DhbScheduler {
                 let off = (placed - self.base) as usize;
                 let d = &mut self.ring[off].deadline[idx];
                 *d = (*d).min(placed);
-                self.journal.emit_with(|| Event::PlaybackDeferred {
-                    segment: seg.get() as u32,
-                    from_slot: slot,
-                    to_slot: placed,
-                    stall_slots: stall,
-                });
+                self.journal
+                    .emit_kind(EventKind::PlaybackDeferred, || Event::PlaybackDeferred {
+                        segment: seg.get() as u32,
+                        from_slot: slot,
+                        to_slot: placed,
+                        stall_slots: stall,
+                    });
             }
         }
         self.last_popped = Some((slot, plan));

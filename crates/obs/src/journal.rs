@@ -1,14 +1,16 @@
 //! The ring-buffered event collector.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::event::{Event, EventKind};
 
-/// A journal entry: the event plus its global sequence number.
+/// A journal entry: the event plus its ring sequence number.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EventRecord {
-    /// 0-based position in the emission order, stable across ring eviction.
+    /// 0-based position among *retained* events (dense even when per-kind
+    /// sampling drops emissions), stable across ring eviction.
     pub seq: u64,
     /// The event itself.
     pub event: Event,
@@ -20,9 +22,18 @@ struct Inner {
     capacity: usize,
     next_seq: u64,
     evicted: u64,
-    /// Per-kind emission counts, independent of eviction — these keep the
-    /// journal's totals exact even when the ring overflows.
-    counts: [u64; EventKind::COUNT],
+}
+
+/// The lock-free front half of an enabled journal: exact per-kind emission
+/// counts and the sampling configuration live outside the ring mutex, so a
+/// sampled-out emission costs one relaxed `fetch_add` and a mask — no lock,
+/// no event construction (via [`Journal::emit_kind`]).
+#[derive(Debug)]
+struct Shared {
+    counts: [AtomicU64; EventKind::COUNT],
+    /// Keep-1-in-N factor per kind, always a power of two (1 = keep all).
+    sample_every: [AtomicU32; EventKind::COUNT],
+    inner: Mutex<Inner>,
 }
 
 /// A shared handle to an event journal, or a no-op sink.
@@ -32,6 +43,13 @@ struct Inner {
 /// `Default`) carries no buffer at all: [`emit_with`](Journal::emit_with) on
 /// it is a single branch and never builds the event, which is what keeps
 /// instrumented hot paths within the ≤5 % no-op overhead budget.
+///
+/// An enabled journal can additionally *sample* hot event kinds: after
+/// [`set_sampling`](Journal::set_sampling)`(kind, n)` only one in `n`
+/// emissions of that kind is retained in the ring, while the per-kind counts
+/// ([`count_of`](Journal::count_of), [`total_emitted`](Journal::total_emitted))
+/// stay exact. On hot paths prefer [`emit_kind`](Journal::emit_kind), which
+/// decides sampling *before* building the event.
 ///
 /// # Example
 ///
@@ -50,7 +68,7 @@ struct Inner {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Journal {
-    shared: Option<Arc<Mutex<Inner>>>,
+    shared: Option<Arc<Shared>>,
 }
 
 impl Journal {
@@ -76,14 +94,44 @@ impl Journal {
     pub fn with_capacity(capacity: usize) -> Self {
         let capacity = capacity.max(1);
         Journal {
-            shared: Some(Arc::new(Mutex::new(Inner {
-                ring: VecDeque::new(),
-                capacity,
-                next_seq: 0,
-                evicted: 0,
-                counts: [0; EventKind::COUNT],
-            }))),
+            shared: Some(Arc::new(Shared {
+                counts: std::array::from_fn(|_| AtomicU64::new(0)),
+                sample_every: std::array::from_fn(|_| AtomicU32::new(1)),
+                inner: Mutex::new(Inner {
+                    ring: VecDeque::new(),
+                    capacity,
+                    next_seq: 0,
+                    evicted: 0,
+                }),
+            })),
         }
+    }
+
+    /// Builder form of [`set_sampling`](Journal::set_sampling).
+    #[must_use]
+    pub fn with_sampling(self, kind: EventKind, every: u32) -> Self {
+        self.set_sampling(kind, every);
+        self
+    }
+
+    /// Retain only one in `every` emissions of `kind` in the ring (counts
+    /// stay exact). `every` is rounded up to the next power of two so the
+    /// hot-path sampling decision is a mask instead of a division; 0 and 1
+    /// both mean "keep all". No-op on a disabled journal.
+    pub fn set_sampling(&self, kind: EventKind, every: u32) {
+        if let Some(shared) = &self.shared {
+            let every = every.max(1).next_power_of_two();
+            shared.sample_every[kind.index()].store(every, Ordering::Relaxed);
+        }
+    }
+
+    /// The effective keep-1-in-N factor for `kind` (1 when disabled or
+    /// unsampled).
+    #[must_use]
+    pub fn sampling_of(&self, kind: EventKind) -> u32 {
+        self.shared
+            .as_ref()
+            .map_or(1, |s| s.sample_every[kind.index()].load(Ordering::Relaxed))
     }
 
     /// Whether emissions are collected.
@@ -93,25 +141,49 @@ impl Journal {
         self.shared.is_some()
     }
 
-    /// Records `event`; drops it silently when disabled.
+    /// Records `event`; drops it silently when disabled, and counts-but-drops
+    /// it when its kind is sampled out.
     #[inline]
     pub fn emit(&self, event: Event) {
         if let Some(shared) = &self.shared {
-            let mut inner = shared.lock().expect("journal lock poisoned");
-            inner.push(event);
+            if shared.admit(event.kind()) {
+                shared.push(event);
+            }
         }
     }
 
     /// Records the event built by `build`, calling it only when enabled.
     ///
-    /// Prefer this on hot paths: a disabled journal skips event construction
-    /// entirely.
+    /// The build runs before the sampling decision because the kind is not
+    /// known until the event exists; when the emitting site knows the kind
+    /// statically, prefer [`emit_kind`](Journal::emit_kind), which skips
+    /// construction for sampled-out emissions.
     #[inline]
     pub fn emit_with(&self, build: impl FnOnce() -> Event) {
         if let Some(shared) = &self.shared {
-            let mut inner = shared.lock().expect("journal lock poisoned");
             let event = build();
-            inner.push(event);
+            if shared.admit(event.kind()) {
+                shared.push(event);
+            }
+        }
+    }
+
+    /// Records an event of a statically-known kind, building it only when
+    /// the emission survives sampling. This is the hot-path entry point: a
+    /// sampled-out emission costs one relaxed `fetch_add` plus a mask.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the built event's kind matches `kind` — the count
+    /// taken at admission time is attributed to `kind`.
+    #[inline]
+    pub fn emit_kind(&self, kind: EventKind, build: impl FnOnce() -> Event) {
+        if let Some(shared) = &self.shared {
+            if shared.admit(kind) {
+                let event = build();
+                debug_assert_eq!(event.kind(), kind, "emit_kind kind mismatch");
+                shared.push(event);
+            }
         }
     }
 
@@ -127,10 +199,17 @@ impl Journal {
         self.len() == 0
     }
 
-    /// Total events emitted over the journal's lifetime, eviction included.
+    /// Total events emitted over the journal's lifetime — eviction- and
+    /// sampling-proof (sampled-out emissions still count).
     #[must_use]
     pub fn total_emitted(&self) -> u64 {
-        self.with_inner(|inner| inner.next_seq).unwrap_or(0)
+        self.shared.as_ref().map_or(0, |shared| {
+            shared
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .sum()
+        })
     }
 
     /// Events evicted from the ring because it was full.
@@ -139,11 +218,13 @@ impl Journal {
         self.with_inner(|inner| inner.evicted).unwrap_or(0)
     }
 
-    /// Lifetime emission count for one event kind (eviction-proof).
+    /// Lifetime emission count for one event kind (eviction- and
+    /// sampling-proof).
     #[must_use]
     pub fn count_of(&self, kind: EventKind) -> u64 {
-        self.with_inner(|inner| inner.counts[kind.index()])
-            .unwrap_or(0)
+        self.shared
+            .as_ref()
+            .map_or(0, |s| s.counts[kind.index()].load(Ordering::Relaxed))
     }
 
     /// A copy of the buffered records, oldest first.
@@ -171,49 +252,70 @@ impl Journal {
         }
     }
 
-    /// A fresh journal with this one's enabled-ness and ring capacity but its
-    /// own buffer — the per-thread sink a parallel runner hands each worker,
-    /// folded back afterwards with [`absorb`](Journal::absorb).
+    /// A fresh journal with this one's enabled-ness, ring capacity and
+    /// sampling configuration but its own buffer — the per-thread sink a
+    /// parallel runner hands each worker, folded back afterwards with
+    /// [`absorb`](Journal::absorb).
     #[must_use]
     pub fn worker(&self) -> Journal {
-        match self.with_inner(|inner| inner.capacity) {
-            Some(capacity) => Journal::with_capacity(capacity),
-            None => Journal::disabled(),
+        let Some(shared) = &self.shared else {
+            return Journal::disabled();
+        };
+        let capacity = shared.inner.lock().expect("journal lock poisoned").capacity;
+        let worker = Journal::with_capacity(capacity);
+        if let Some(worker_shared) = &worker.shared {
+            for (theirs, ours) in worker_shared.sample_every.iter().zip(&shared.sample_every) {
+                theirs.store(ours.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
         }
+        worker
     }
 
     /// Drains `other` and re-emits its surviving events here, in their
-    /// original order, under this journal's sequence numbering. A no-op when
-    /// either side is disabled or when `other` shares this buffer (absorbing
-    /// a clone of ourselves would duplicate every event).
+    /// original order, under this journal's sequence numbering. Absorbed
+    /// events bypass this journal's sampling — they already survived the
+    /// worker's identical sampling decision once. A no-op when either side
+    /// is disabled or when `other` shares this buffer (absorbing a clone of
+    /// ourselves would duplicate every event).
     pub fn absorb(&self, other: &Journal) {
-        if !self.is_enabled() || self.shares_buffer_with(other) {
+        let Some(shared) = &self.shared else { return };
+        if self.shares_buffer_with(other) {
             return;
         }
         for record in other.drain() {
-            self.emit(record.event);
+            shared.counts[record.event.kind().index()].fetch_add(1, Ordering::Relaxed);
+            shared.push(record.event);
         }
     }
 
     fn with_inner<R>(&self, f: impl FnOnce(&mut Inner) -> R) -> Option<R> {
         self.shared
             .as_ref()
-            .map(|shared| f(&mut shared.lock().expect("journal lock poisoned")))
+            .map(|shared| f(&mut shared.inner.lock().expect("journal lock poisoned")))
     }
 }
 
-impl Inner {
-    fn push(&mut self, event: Event) {
-        self.counts[event.kind().index()] += 1;
-        if self.ring.len() == self.capacity {
-            self.ring.pop_front();
-            self.evicted += 1;
+impl Shared {
+    /// Counts the emission and decides whether it survives sampling — the
+    /// lock-free half of every emit.
+    #[inline]
+    fn admit(&self, kind: EventKind) -> bool {
+        let idx = kind.index();
+        let n = self.sample_every[idx].load(Ordering::Relaxed);
+        let seen = self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        // `n` is a power of two, so the 1-in-n decision is a mask.
+        n <= 1 || seen & u64::from(n - 1) == 0
+    }
+
+    fn push(&self, event: Event) {
+        let mut inner = self.inner.lock().expect("journal lock poisoned");
+        if inner.ring.len() == inner.capacity {
+            inner.ring.pop_front();
+            inner.evicted += 1;
         }
-        self.ring.push_back(EventRecord {
-            seq: self.next_seq,
-            event,
-        });
-        self.next_seq += 1;
+        let seq = inner.next_seq;
+        inner.ring.push_back(EventRecord { seq, event });
+        inner.next_seq += 1;
     }
 }
 
@@ -231,9 +333,11 @@ mod tests {
         assert!(!j.is_enabled());
         j.emit(arrival(1));
         j.emit_with(|| panic!("must not be built"));
+        j.emit_kind(EventKind::RequestArrived, || panic!("must not be built"));
         assert!(j.is_empty());
         assert_eq!(j.total_emitted(), 0);
         assert_eq!(j.count_of(EventKind::RequestArrived), 0);
+        assert_eq!(j.sampling_of(EventKind::RequestArrived), 1);
         assert!(j.snapshot().is_empty());
     }
 
@@ -292,5 +396,78 @@ mod tests {
         j.emit(arrival(1));
         assert_eq!(j.len(), 1);
         assert_eq!(j.total_emitted(), 2);
+    }
+
+    #[test]
+    fn sampling_keeps_one_in_n_with_exact_counts() {
+        let j = Journal::with_capacity(1024).with_sampling(EventKind::RequestArrived, 4);
+        assert_eq!(j.sampling_of(EventKind::RequestArrived), 4);
+        for slot in 0..16 {
+            j.emit(arrival(slot));
+        }
+        assert_eq!(j.len(), 4, "keeps the 1st of every 4");
+        assert_eq!(j.count_of(EventKind::RequestArrived), 16);
+        assert_eq!(j.total_emitted(), 16);
+        let kept: Vec<u64> = j
+            .snapshot()
+            .iter()
+            .map(|r| match r.event {
+                Event::RequestArrived { slot } => slot,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![0, 4, 8, 12]);
+        // Retained records stay densely sequenced.
+        assert_eq!(
+            j.snapshot().iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn sampling_rounds_up_to_power_of_two() {
+        let j = Journal::with_capacity(8).with_sampling(EventKind::RequestArrived, 3);
+        assert_eq!(j.sampling_of(EventKind::RequestArrived), 4);
+        let j = Journal::with_capacity(8).with_sampling(EventKind::RequestArrived, 0);
+        assert_eq!(j.sampling_of(EventKind::RequestArrived), 1);
+    }
+
+    #[test]
+    fn emit_kind_skips_building_sampled_out_events() {
+        let j = Journal::with_capacity(64).with_sampling(EventKind::RequestArrived, 2);
+        let mut built = 0u32;
+        for slot in 0..8 {
+            j.emit_kind(EventKind::RequestArrived, || {
+                built += 1;
+                arrival(slot)
+            });
+        }
+        assert_eq!(built, 4);
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.count_of(EventKind::RequestArrived), 8);
+        // Other kinds are unaffected.
+        j.emit_kind(EventKind::SlotClosed, || Event::SlotClosed {
+            slot: 0,
+            scheduled: 1,
+            transmitted: 1,
+        });
+        assert_eq!(j.count_of(EventKind::SlotClosed), 1);
+        assert_eq!(j.len(), 5);
+    }
+
+    #[test]
+    fn worker_inherits_sampling_and_absorb_does_not_resample() {
+        let parent = Journal::with_capacity(64).with_sampling(EventKind::RequestArrived, 4);
+        let worker = parent.worker();
+        assert_eq!(worker.sampling_of(EventKind::RequestArrived), 4);
+        for slot in 0..8 {
+            worker.emit(arrival(slot));
+        }
+        assert_eq!(worker.len(), 2);
+        parent.absorb(&worker);
+        // Both survivors land in the parent despite its own 1-in-4 config.
+        assert_eq!(parent.len(), 2);
+        assert_eq!(parent.count_of(EventKind::RequestArrived), 2);
+        assert!(worker.is_empty());
     }
 }

@@ -1,0 +1,263 @@
+//! Request-lifecycle spans: per-stage latency decomposition.
+//!
+//! A span is one request's trip through a pipeline, split into named stages
+//! whose durations are measured from monotonic timestamps at each handoff.
+//! The [`SpanSink`] aggregates finished spans two ways at once:
+//!
+//! - per-key (e.g. per-shard) per-stage [`LogHistogram`]s, exported into a
+//!   [`Registry`] as `prefix.key.stage_ns` so a snapshot can answer "where
+//!   does shard 3's p99 go?", and
+//! - a bounded ring of the most recent raw [`SpanRecord`]s, renderable as
+//!   JSONL for an operator tailing a live server.
+//!
+//! Stage durations are measured over disjoint intervals of the request's
+//! lifetime, so for any record `stage_ns.sum() <= total_ns` and the gap
+//! (`total_ns - sum`) is unattributed time — the loopback tests bound how
+//! large that gap may grow.
+
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use crate::registry::Registry;
+use crate::timer::LogHistogram;
+
+/// One finished span: a request's per-stage nanosecond decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Process-unique span id (assigned by the instrumented service).
+    pub id: u64,
+    /// Aggregation key — for vod-svc, the shard that scheduled the request.
+    pub key: u32,
+    /// Nanoseconds spent in each stage, index-aligned with
+    /// [`SpanSink::stages`].
+    pub stage_ns: Vec<u64>,
+    /// End-to-end nanoseconds from first byte decoded to wire flush.
+    pub total_ns: u64,
+    /// Monotonic completion timestamp (ns since the sink's owner started).
+    pub end_mono_ns: u64,
+}
+
+#[derive(Debug, Clone)]
+struct KeyHists {
+    stages: Vec<LogHistogram>,
+    total: LogHistogram,
+}
+
+/// Aggregates finished spans into per-key per-stage histograms plus a
+/// bounded ring of recent raw records.
+///
+/// # Example
+///
+/// ```
+/// use vod_obs::{Registry, SpanSink};
+///
+/// let mut sink = SpanSink::new(&["decode", "schedule"], 128);
+/// sink.record(1, 0, &[120, 950], 1100, 5_000);
+/// sink.record(2, 0, &[100, 800], 1000, 6_000);
+///
+/// let mut reg = Registry::new();
+/// sink.export_into(&mut reg, "svc.span", "shard");
+/// let s = reg.histogram_summary("svc.span.shard0.schedule_ns").unwrap();
+/// assert_eq!(s.count, 2);
+/// assert_eq!(reg.histogram_summary("svc.span.shard0.total_ns").unwrap().max, 1100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpanSink {
+    stage_names: &'static [&'static str],
+    recent: VecDeque<SpanRecord>,
+    recent_cap: usize,
+    per_key: BTreeMap<u32, KeyHists>,
+    recorded: u64,
+}
+
+impl SpanSink {
+    /// Creates a sink for spans with the given stage taxonomy, keeping the
+    /// `recent_cap` most recent raw records (clamped to at least 1).
+    #[must_use]
+    pub fn new(stage_names: &'static [&'static str], recent_cap: usize) -> Self {
+        SpanSink {
+            stage_names,
+            recent: VecDeque::new(),
+            recent_cap: recent_cap.max(1),
+            per_key: BTreeMap::new(),
+            recorded: 0,
+        }
+    }
+
+    /// The stage taxonomy, in pipeline order.
+    #[must_use]
+    pub fn stages(&self) -> &'static [&'static str] {
+        self.stage_names
+    }
+
+    /// Total spans recorded over the sink's lifetime.
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Records one finished span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage_ns` does not match the stage taxonomy's length.
+    pub fn record(&mut self, id: u64, key: u32, stage_ns: &[u64], total_ns: u64, end_mono_ns: u64) {
+        assert_eq!(
+            stage_ns.len(),
+            self.stage_names.len(),
+            "span stage count must match the sink's taxonomy"
+        );
+        let hists = match self.per_key.entry(key) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => e.insert(KeyHists {
+                stages: vec![LogHistogram::new(); self.stage_names.len()],
+                total: LogHistogram::new(),
+            }),
+        };
+        for (hist, ns) in hists.stages.iter_mut().zip(stage_ns) {
+            hist.record(*ns);
+        }
+        hists.total.record(total_ns);
+        if self.recent.len() == self.recent_cap {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(SpanRecord {
+            id,
+            key,
+            stage_ns: stage_ns.to_vec(),
+            total_ns,
+            end_mono_ns,
+        });
+        self.recorded += 1;
+    }
+
+    /// Keys that have recorded at least one span, ascending.
+    #[must_use]
+    pub fn keys(&self) -> Vec<u32> {
+        self.per_key.keys().copied().collect()
+    }
+
+    /// The per-stage histograms for `key`, index-aligned with
+    /// [`stages`](SpanSink::stages), plus the end-to-end histogram.
+    #[must_use]
+    pub fn key_histograms(&self, key: u32) -> Option<(&[LogHistogram], &LogHistogram)> {
+        self.per_key
+            .get(&key)
+            .map(|h| (h.stages.as_slice(), &h.total))
+    }
+
+    /// Merges every per-key histogram into `registry` under
+    /// `{prefix}.{key_label}{key}.{stage}_ns` names, with the end-to-end
+    /// distribution at `{prefix}.{key_label}{key}.total_ns`.
+    pub fn export_into(&self, registry: &mut Registry, prefix: &str, key_label: &str) {
+        for (key, hists) in &self.per_key {
+            for (stage, hist) in self.stage_names.iter().zip(&hists.stages) {
+                registry.merge_histogram(&format!("{prefix}.{key_label}{key}.{stage}_ns"), hist);
+            }
+            registry.merge_histogram(&format!("{prefix}.{key_label}{key}.total_ns"), &hists.total);
+        }
+    }
+
+    /// The most recent `max` raw records, oldest first.
+    #[must_use]
+    pub fn recent(&self, max: usize) -> Vec<SpanRecord> {
+        let skip = self.recent.len().saturating_sub(max);
+        self.recent.iter().skip(skip).cloned().collect()
+    }
+
+    /// Renders the most recent `max` records as JSONL, one span per line:
+    /// `{"span": id, "key": k, "total_ns": t, "end_mono_ns": e,
+    /// "stages": {"decode": ns, ...}}`.
+    #[must_use]
+    pub fn render_recent_jsonl(&self, max: usize) -> String {
+        let mut out = String::new();
+        for record in self.recent(max) {
+            let _ = write!(
+                out,
+                "{{\"span\": {}, \"key\": {}, \"total_ns\": {}, \"end_mono_ns\": {}, \"stages\": {{",
+                record.id, record.key, record.total_ns, record.end_mono_ns
+            );
+            for (i, (stage, ns)) in self.stage_names.iter().zip(&record.stage_ns).enumerate() {
+                let sep = if i == 0 { "" } else { ", " };
+                let _ = write!(out, "{sep}\"{stage}\": {ns}");
+            }
+            out.push_str("}}\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STAGES: &[&str] = &["decode", "queue", "flush"];
+
+    #[test]
+    fn records_aggregate_per_key_and_stage() {
+        let mut sink = SpanSink::new(STAGES, 16);
+        sink.record(1, 0, &[10, 20, 30], 70, 100);
+        sink.record(2, 1, &[5, 5, 5], 20, 200);
+        sink.record(3, 0, &[100, 200, 300], 700, 300);
+        assert_eq!(sink.recorded(), 3);
+        assert_eq!(sink.keys(), vec![0, 1]);
+        let (stages, total) = sink.key_histograms(0).unwrap();
+        assert_eq!(stages[1].count(), 2);
+        assert_eq!(stages[1].max(), Some(200));
+        assert_eq!(total.max(), Some(700));
+        assert!(sink.key_histograms(9).is_none());
+    }
+
+    #[test]
+    fn export_names_follow_prefix_key_stage() {
+        let mut sink = SpanSink::new(STAGES, 16);
+        sink.record(1, 2, &[10, 20, 30], 70, 100);
+        let mut reg = Registry::new();
+        sink.export_into(&mut reg, "svc.span", "shard");
+        for stage in STAGES {
+            let name = format!("svc.span.shard2.{stage}_ns");
+            assert_eq!(reg.histogram_summary(&name).unwrap().count, 1, "{name}");
+        }
+        assert_eq!(
+            reg.histogram_summary("svc.span.shard2.total_ns")
+                .unwrap()
+                .max,
+            70
+        );
+    }
+
+    #[test]
+    fn recent_ring_is_bounded_and_ordered() {
+        let mut sink = SpanSink::new(STAGES, 2);
+        for id in 0..5u64 {
+            sink.record(id, 0, &[1, 1, 1], 3, id * 10);
+        }
+        let recent = sink.recent(10);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].id, 3);
+        assert_eq!(recent[1].id, 4);
+        assert_eq!(sink.recent(1)[0].id, 4);
+        assert_eq!(sink.recorded(), 5);
+    }
+
+    #[test]
+    fn jsonl_renders_stage_names() {
+        let mut sink = SpanSink::new(STAGES, 4);
+        sink.record(7, 1, &[11, 22, 33], 70, 123);
+        let jsonl = sink.render_recent_jsonl(4);
+        let line = jsonl.lines().next().unwrap();
+        assert!(line.contains("\"span\": 7"));
+        assert!(line.contains("\"queue\": 22"));
+        assert!(line.contains("\"total_ns\": 70"));
+        assert!(line.ends_with("}}"));
+    }
+
+    #[test]
+    #[should_panic(expected = "taxonomy")]
+    fn stage_arity_mismatch_panics() {
+        let mut sink = SpanSink::new(STAGES, 4);
+        sink.record(1, 0, &[1, 2], 3, 4);
+    }
+}

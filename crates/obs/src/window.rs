@@ -1,0 +1,288 @@
+//! Time-windowed metrics: a fixed wheel of rotating [`Registry`] windows.
+//!
+//! Cumulative counters answer "how many since boot"; operators watching a
+//! live server need "how many in the last second". A [`WindowWheel`] keeps
+//! the most recent `len` windows, each a full [`Registry`], indexed by a
+//! monotonically increasing window id (typically `elapsed / window_length`).
+//! Writing to window id `w` lands in slot `w % len`; claiming a slot for a
+//! new id clears the registry that was there, so the wheel holds a sliding
+//! suffix of history at fixed memory cost.
+//!
+//! Two invariants matter (and are property-tested):
+//!
+//! - **Conservation**: every accepted increment lives in exactly one window;
+//!   a stale write (to an id older than the oldest live window) is dropped
+//!   and counted in [`dropped_stale`](WindowWheel::dropped_stale), never
+//!   silently merged into a newer window.
+//! - **No double-count at boundaries**: ids `w` and `w + len` share a slot;
+//!   claiming `w + len` must erase `w`'s contents entirely, so a merge over
+//!   live windows never sees `w`'s counts twice (or at all, once rotated
+//!   out).
+
+use crate::registry::Registry;
+
+#[derive(Debug, Clone)]
+struct Slot {
+    /// The window id currently occupying this slot, `None` until first claim.
+    id: Option<u64>,
+    reg: Registry,
+}
+
+/// A fixed wheel of the `len` most recent metric windows.
+///
+/// # Example
+///
+/// ```
+/// use vod_obs::WindowWheel;
+///
+/// let mut wheel = WindowWheel::new(4);
+/// wheel.inc(0, "requests", 3);
+/// wheel.inc(1, "requests", 5);
+/// assert_eq!(wheel.window(0).unwrap().counter("requests"), 3);
+/// assert_eq!(wheel.merged().counter("requests"), 8);
+///
+/// // Window 4 reuses window 0's slot; 0 rotates out of the merge.
+/// wheel.inc(4, "requests", 1);
+/// assert!(wheel.window(0).is_none());
+/// assert_eq!(wheel.merged().counter("requests"), 6);
+///
+/// // A write that arrives after its window rotated out is dropped, not
+/// // misfiled.
+/// assert!(!wheel.inc(0, "requests", 9));
+/// assert_eq!(wheel.dropped_stale(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowWheel {
+    slots: Vec<Slot>,
+    latest: Option<u64>,
+    dropped_stale: u64,
+}
+
+impl WindowWheel {
+    /// Creates a wheel holding the `len` most recent windows (`len` is
+    /// clamped to at least 1).
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        let len = len.max(1);
+        WindowWheel {
+            slots: vec![
+                Slot {
+                    id: None,
+                    reg: Registry::new(),
+                };
+                len
+            ],
+            latest: None,
+            dropped_stale: 0,
+        }
+    }
+
+    /// Number of windows the wheel retains.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Always false — a wheel retains at least one window.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Highest window id the wheel has seen (write or advance).
+    #[must_use]
+    pub fn latest(&self) -> Option<u64> {
+        self.latest
+    }
+
+    /// Writes dropped because their window had already rotated out.
+    #[must_use]
+    pub fn dropped_stale(&self) -> u64 {
+        self.dropped_stale
+    }
+
+    /// Claims every window up to and including `id`, clearing reused slots.
+    ///
+    /// Windows that pass with no writes become live *empty* registries, so a
+    /// quiet second reads as rate 0 rather than being absent from the wheel.
+    pub fn advance_to(&mut self, id: u64) {
+        let len = self.slots.len() as u64;
+        let start = match self.latest {
+            Some(latest) if id <= latest => return,
+            // Claiming more than `len` windows at once would overwrite slots
+            // multiple times; only the last `len` survive anyway.
+            Some(latest) => (latest + 1).max(id.saturating_sub(len - 1)),
+            None => id.saturating_sub(len - 1),
+        };
+        for w in start..=id {
+            let slot = &mut self.slots[(w % len) as usize];
+            slot.id = Some(w);
+            slot.reg = Registry::new();
+        }
+        self.latest = Some(id);
+    }
+
+    /// Adds `by` to `name` in window `id`. Returns false (and counts the
+    /// drop) when `id` has already rotated out.
+    pub fn inc(&mut self, id: u64, name: &str, by: u64) -> bool {
+        match self.registry_for(id) {
+            Some(reg) => {
+                reg.inc(name, by);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Records one histogram sample into window `id` (false when stale).
+    pub fn observe(&mut self, id: u64, name: &str, value: u64) -> bool {
+        match self.registry_for(id) {
+            Some(reg) => {
+                reg.observe(name, value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Sets a gauge in window `id` (false when stale).
+    pub fn set_gauge(&mut self, id: u64, name: &str, value: f64) -> bool {
+        match self.registry_for(id) {
+            Some(reg) => {
+                reg.set_gauge(name, value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The live registry for window `id`, or `None` if `id` never happened
+    /// or has rotated out.
+    #[must_use]
+    pub fn window(&self, id: u64) -> Option<&Registry> {
+        let slot = &self.slots[(id % self.slots.len() as u64) as usize];
+        (slot.id == Some(id)).then_some(&slot.reg)
+    }
+
+    /// Live window ids, oldest first.
+    #[must_use]
+    pub fn live_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.slots.iter().filter_map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Merges every live window (counters add, histograms merge, gauges take
+    /// the newest window's value).
+    #[must_use]
+    pub fn merged(&self) -> Registry {
+        self.merged_last(self.slots.len())
+    }
+
+    /// Merges the most recent `n` live windows, oldest first so newer gauges
+    /// overwrite older ones.
+    #[must_use]
+    pub fn merged_last(&self, n: usize) -> Registry {
+        let ids = self.live_ids();
+        let mut out = Registry::new();
+        for id in ids.iter().skip(ids.len().saturating_sub(n)) {
+            if let Some(reg) = self.window(*id) {
+                out.merge(reg);
+            }
+        }
+        out
+    }
+
+    fn registry_for(&mut self, id: u64) -> Option<&mut Registry> {
+        self.advance_to(id);
+        let len = self.slots.len() as u64;
+        let slot = &mut self.slots[(id % len) as usize];
+        if slot.id == Some(id) {
+            Some(&mut slot.reg)
+        } else {
+            self.dropped_stale += 1;
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_window_wheel_keeps_only_latest() {
+        let mut w = WindowWheel::new(1);
+        assert!(w.inc(0, "c", 1));
+        assert!(w.inc(1, "c", 2));
+        assert!(w.window(0).is_none());
+        assert_eq!(w.window(1).unwrap().counter("c"), 2);
+        assert!(!w.inc(0, "c", 7));
+        assert_eq!(w.dropped_stale(), 1);
+        assert_eq!(w.merged().counter("c"), 2);
+    }
+
+    #[test]
+    fn advance_claims_empty_windows() {
+        let mut w = WindowWheel::new(4);
+        w.inc(2, "c", 1);
+        w.advance_to(5);
+        assert_eq!(w.live_ids(), vec![2, 3, 4, 5]);
+        assert_eq!(w.window(3).unwrap().counter("c"), 0);
+        assert!(w.window(3).unwrap().is_empty());
+        // Advancing backwards is a no-op.
+        w.advance_to(1);
+        assert_eq!(w.latest(), Some(5));
+    }
+
+    #[test]
+    fn big_jump_clears_stale_slots() {
+        let mut w = WindowWheel::new(4);
+        for id in 0..4 {
+            w.inc(id, "c", 10);
+        }
+        // Jump far past the wheel: every old window must rotate out even
+        // though only some slots get rewritten by the new claim range.
+        w.inc(100, "c", 1);
+        assert_eq!(w.live_ids(), vec![97, 98, 99, 100]);
+        assert_eq!(w.merged().counter("c"), 1);
+    }
+
+    #[test]
+    fn boundary_reuse_does_not_double_count() {
+        let mut w = WindowWheel::new(4);
+        w.inc(0, "c", 5);
+        w.observe(0, "h", 100);
+        // id 4 shares slot 0; claiming it must erase id 0 entirely.
+        w.inc(4, "c", 1);
+        let merged = w.merged();
+        assert_eq!(merged.counter("c"), 1);
+        assert!(merged.histogram("h").is_none());
+    }
+
+    #[test]
+    fn merged_last_takes_newest_windows_and_gauges() {
+        let mut w = WindowWheel::new(8);
+        for id in 0..6u64 {
+            w.inc(id, "c", 1);
+            w.set_gauge(id, "g", id as f64);
+        }
+        let last2 = w.merged_last(2);
+        assert_eq!(last2.counter("c"), 2);
+        assert_eq!(last2.gauge("g"), Some(5.0));
+        assert_eq!(w.merged().counter("c"), 6);
+        assert_eq!(w.merged().gauge("g"), Some(5.0));
+    }
+
+    #[test]
+    fn histograms_merge_across_windows() {
+        let mut w = WindowWheel::new(4);
+        w.observe(0, "lat", 10);
+        w.observe(1, "lat", 1000);
+        let merged = w.merged();
+        let h = merged.histogram("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(1000));
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for [`WindowWheel`] rotation, pinned against a
+//! brute-force oracle: every accepted increment lives in exactly one live
+//! window, stale writes are counted as drops (never misfiled), and slot
+//! reuse at wheel boundaries erases the evicted window completely, so a
+//! merge never double-counts.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use vod_obs::WindowWheel;
+
+/// Reference model: a map of live window id → count plus the same
+/// staleness rule the wheel documents (live ids are the trailing `len`
+/// window ids ending at the highest id seen).
+#[derive(Debug, Default)]
+struct Oracle {
+    counts: BTreeMap<u64, u64>,
+    latest: Option<u64>,
+    dropped: u64,
+}
+
+impl Oracle {
+    fn write(&mut self, len: u64, id: u64, by: u64) {
+        let latest = self.latest.map_or(id, |l| l.max(id));
+        self.latest = Some(latest);
+        let oldest = latest.saturating_sub(len - 1);
+        self.counts.retain(|&w, _| w >= oldest);
+        if id >= oldest {
+            *self.counts.entry(id).or_insert(0) += by;
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn rotation_conserves_counts_against_oracle(
+        len in 1usize..9,
+        steps in prop::collection::vec((0u64..6, 1u64..100), 1..64),
+    ) {
+        let mut wheel = WindowWheel::new(len);
+        let mut oracle = Oracle::default();
+        let mut id = 0u64;
+        for &(delta, by) in &steps {
+            // Mostly small forward steps; 5 is a far jump past the wheel, 0
+            // revisits the current window (and, after a jump, a stale one).
+            id = match delta {
+                5 => id + len as u64 + 37,
+                d => id.saturating_sub(2) + d,
+            };
+            wheel.inc(id, "c", by);
+            oracle.write(len as u64, id, by);
+        }
+
+        prop_assert_eq!(wheel.dropped_stale(), oracle.dropped);
+        // Every oracle window is live with exactly the accepted count.
+        for (&w, &count) in &oracle.counts {
+            let reg = wheel.window(w);
+            prop_assert!(reg.is_some(), "window {} should be live", w);
+            prop_assert_eq!(reg.unwrap().counter("c"), count);
+        }
+        // No live window escapes the trailing-len range (no resurrection),
+        // and the merge equals the oracle total — each increment exactly
+        // once.
+        let latest = wheel.latest().unwrap();
+        for w in wheel.live_ids() {
+            prop_assert!(w + (len as u64) > latest, "window {} outlived rotation", w);
+            let count = wheel.window(w).map_or(0, |r| r.counter("c"));
+            prop_assert_eq!(count, oracle.counts.get(&w).copied().unwrap_or(0));
+        }
+        let total: u64 = oracle.counts.values().sum();
+        prop_assert_eq!(wheel.merged().counter("c"), total);
+    }
+
+    #[test]
+    fn slot_reuse_erases_the_evicted_window(
+        len in 1usize..9,
+        start in any::<u32>(),
+        laps in 1u64..5,
+        by in 1u64..1000,
+    ) {
+        // Ids `w` and `w + laps*len` share a slot; claiming the later id
+        // must erase the earlier window entirely — counter and histogram.
+        let mut wheel = WindowWheel::new(len);
+        let w = u64::from(start);
+        wheel.inc(w, "c", by);
+        wheel.observe(w, "h", by);
+        let reused = w + laps * len as u64;
+        wheel.inc(reused, "c", 1);
+        prop_assert!(wheel.window(w).is_none());
+        let merged = wheel.merged();
+        prop_assert_eq!(merged.counter("c"), 1);
+        prop_assert!(merged.histogram("h").is_none(), "histogram leaked across reuse");
+        // And the evicted window now rejects writes as stale.
+        prop_assert!(!wheel.inc(w, "c", 1));
+        prop_assert_eq!(wheel.dropped_stale(), 1);
+    }
+
+    #[test]
+    fn advance_fills_gaps_with_live_empty_windows(
+        len in 2usize..9,
+        gap in 1u64..20,
+    ) {
+        // A quiet stretch must read as rate 0, not as missing windows: every
+        // id in the trailing range is live after an advance, writes included
+        // or not.
+        let mut wheel = WindowWheel::new(len);
+        wheel.inc(0, "c", 3);
+        wheel.advance_to(gap);
+        let oldest = gap.saturating_sub(len as u64 - 1);
+        let expected: Vec<u64> = (oldest..=gap).collect();
+        prop_assert_eq!(wheel.live_ids(), expected);
+        for w in oldest..=gap {
+            let reg = wheel.window(w).unwrap();
+            let want = if w == 0 { 3 } else { 0 };
+            prop_assert_eq!(reg.counter("c"), want);
+        }
+    }
+}

@@ -23,10 +23,18 @@
 //! byte-identically after a reconnect; and a deterministic [`ChaosPlan`]
 //! injects shard panics, connection resets, and writer stalls at planned
 //! virtual slots so all of the above is testable with a fixed seed.
+//!
+//! Telemetry: every admitted request carries a lifecycle span (decode →
+//! admission wait → schedule → writer wait → flush) aggregated into
+//! per-shard per-stage histograms; counters roll through a wheel of
+//! 1-second windows for rate and sliding-percentile views; and a separate
+//! [`admin`] listener serves `SNAPSHOT` / `WATCH` / `SPANS` scrapes so
+//! watching a live server never competes with client admission.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admin;
 pub mod chaos;
 pub mod clock;
 pub mod load;
@@ -34,13 +42,19 @@ pub mod server;
 mod session;
 mod shard;
 pub mod stats;
+mod telemetry;
 pub mod wire;
 
+pub use admin::{
+    find_counter, find_gauge, find_histogram, scrape_snapshot, scrape_spans, AdminClient,
+    AdminFrame, ADMIN_PROTOCOL_VERSION,
+};
 pub use chaos::ChaosPlan;
 pub use clock::SlotClock;
 pub use load::{fetch_stats, run_load, GrantRecord, LoadConfig, LoadReport};
 pub use server::{DrainSummary, Service, SvcConfig};
 pub use stats::ServiceStats;
+pub use telemetry::SPAN_STAGES;
 // Re-exported so service binaries can build catalogs without naming the
 // server crate.
 pub use vod_server::{CatalogError, SchedulerKind, ServeCatalog, ServeEntry};

@@ -32,17 +32,19 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use vod_obs::{Event, Journal, RejectKind};
 use vod_server::ServeCatalog;
 use vod_types::VideoSpec;
 
+use crate::admin::{write_admin_frame, AdminFrame, ADMIN_PROTOCOL_VERSION};
 use crate::chaos::ChaosPlan;
 use crate::clock::SlotClock;
 use crate::session::{lock_unpoisoned, Admit, Session, SessionRegistry};
 use crate::shard::{spawn_shard, ReplyTo, RestartPolicy, ShardConfig, ShardMsg, ShardVideo};
 use crate::stats::ServiceStats;
+use crate::telemetry::{dur_ns, Outbound, SpanStart, Telemetry};
 use crate::wire::{self, Frame, ARRIVAL_AUTO, MAX_FRAME_LEN, PROTOCOL_VERSION};
 
 /// How often an idle reader wakes to check the drain flag.
@@ -94,6 +96,14 @@ pub struct SvcConfig {
     /// Deterministic fault plan ([`ChaosPlan::none`] in production). The
     /// plan is cloned — and thereby re-armed — per service instance.
     pub chaos: ChaosPlan,
+    /// Where to bind the admin scrape plane (`None` disables it). Use port
+    /// 0 for an ephemeral port; [`Service::admin_addr`] reports what was
+    /// bound.
+    pub admin_addr: Option<String>,
+    /// Length of one rotating telemetry window (16 are retained).
+    pub telemetry_window: Duration,
+    /// How many recent raw span records the admin `SPANS` query can return.
+    pub span_recent_cap: usize,
 }
 
 impl Default for SvcConfig {
@@ -112,6 +122,9 @@ impl Default for SvcConfig {
             restart_backoff_cap: Duration::from_secs(1),
             shard_journal_cap: 65_536,
             chaos: ChaosPlan::none(),
+            admin_addr: None,
+            telemetry_window: Duration::from_secs(1),
+            span_recent_cap: 1024,
         }
     }
 }
@@ -161,8 +174,10 @@ struct Shared {
     shard_down: Vec<Arc<AtomicBool>>,
     chaos: Arc<ChaosPlan>,
     replay_cap: usize,
+    telemetry: Arc<Telemetry>,
     readers: Mutex<Vec<JoinHandle<()>>>,
     writers: Mutex<Vec<JoinHandle<()>>>,
+    admins: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// A running VoD control-plane service.
@@ -172,8 +187,10 @@ struct Shared {
 /// (fine for a serve-forever binary, not for tests).
 pub struct Service {
     addr: SocketAddr,
+    admin_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     accept_handle: JoinHandle<()>,
+    admin_handle: Option<JoinHandle<()>>,
     shard_handles: Vec<JoinHandle<()>>,
     shard_txs: Vec<SyncSender<ShardMsg>>,
 }
@@ -192,6 +209,12 @@ impl Service {
         let dilation = config.dilation.max(1);
         let stats = Arc::new(ServiceStats::new(shards));
         let chaos = Arc::new(config.chaos.clone());
+        let telemetry = Arc::new(Telemetry::new(
+            shards,
+            config.telemetry_window,
+            config.span_recent_cap,
+            config.max_restarts,
+        ));
 
         // Build every catalog entry. Good entries become shard-owned
         // schedulers, each ticking on its own slot clock (segment durations
@@ -255,6 +278,7 @@ impl Service {
                     min_service_time: config.min_service_time,
                     journal: config.journal.clone(),
                     chaos: Arc::clone(&chaos),
+                    telemetry: Arc::clone(&telemetry),
                     policy: policy.clone(),
                     down: Arc::clone(&shard_down[id]),
                 },
@@ -275,8 +299,10 @@ impl Service {
             shard_down,
             chaos,
             replay_cap: config.replay_cap.max(1),
+            telemetry,
             readers: Mutex::new(Vec::new()),
             writers: Mutex::new(Vec::new()),
+            admins: Mutex::new(Vec::new()),
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -286,10 +312,25 @@ impl Service {
             .name("vod-svc-accept".to_owned())
             .spawn(move || accept_loop(&listener, &accept_shared, &accept_txs, outbound_cap))?;
 
+        let (admin_addr, admin_handle) = match &config.admin_addr {
+            Some(bind) => {
+                let admin_listener = TcpListener::bind(bind.as_str())?;
+                let bound = admin_listener.local_addr()?;
+                let admin_shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("vod-svc-admin".to_owned())
+                    .spawn(move || admin_accept_loop(&admin_listener, &admin_shared))?;
+                (Some(bound), Some(handle))
+            }
+            None => (None, None),
+        };
+
         Ok(Service {
             addr,
+            admin_addr,
             shared,
             accept_handle,
+            admin_handle,
             shard_handles,
             shard_txs,
         })
@@ -299,6 +340,12 @@ impl Service {
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound admin scrape-plane address, when one was configured.
+    #[must_use]
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin_addr
     }
 
     /// The live counters (shared with every service thread).
@@ -315,6 +362,17 @@ impl Service {
         // Unblock `accept` so the accept thread notices the flag.
         let _ = TcpStream::connect(self.addr);
         let _ = self.accept_handle.join();
+        // Same for the admin plane; its connection threads poll the drain
+        // flag between requests and mid-Watch.
+        if let Some(admin_addr) = self.admin_addr {
+            let _ = TcpStream::connect(admin_addr);
+        }
+        if let Some(handle) = self.admin_handle {
+            let _ = handle.join();
+        }
+        for handle in take_handles(&self.shared.admins) {
+            let _ = handle.join();
+        }
         // Readers exit within one idle poll; they stop admitting first.
         for handle in take_handles(&self.shared.readers) {
             let _ = handle.join();
@@ -338,7 +396,11 @@ impl Service {
             requests: stats.requests.load(Ordering::Relaxed),
             grants: stats.grants.load(Ordering::Relaxed),
             rejected: stats.rejected_total(),
-            stats_json: stats.snapshot().to_json_pretty(),
+            stats_json: self
+                .shared
+                .telemetry
+                .snapshot_full(stats, &self.shared.sessions)
+                .to_json_pretty(),
         };
         self.shared.journal.emit_with(|| Event::ServiceDrained {
             conns: summary.conns,
@@ -386,6 +448,157 @@ fn accept_loop(
     }
 }
 
+fn admin_accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut next_admin = 0u64;
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        let id = next_admin;
+        next_admin += 1;
+        let conn_shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("vod-svc-admin-{id}"))
+            .spawn(move || run_admin_conn(stream, &conn_shared));
+        match handle {
+            Ok(handle) => lock_unpoisoned(&shared.admins).push(handle),
+            Err(_) => continue,
+        }
+    }
+}
+
+/// One admin scrape connection: `Hello` handshake first, then any number of
+/// `Snapshot` / `Watch` / `Spans` requests. Every codec error drops the
+/// connection; requests sent while draining are cut short so shutdown never
+/// waits on a scraper.
+fn run_admin_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
+    if stream.set_read_timeout(Some(IDLE_POLL)).is_err() || stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let telemetry = &shared.telemetry;
+    match read_admin_request(&mut stream, shared) {
+        Some(AdminFrame::Hello { .. }) => {
+            let hello_ok = AdminFrame::HelloOk {
+                version: ADMIN_PROTOCOL_VERSION,
+                shards: shared.shards as u32,
+                window_ns: dur_ns(telemetry.window_len()),
+            };
+            if write_admin_frame(&mut stream, &hello_ok).is_err() {
+                return;
+            }
+        }
+        Some(_) => {
+            let _ = write_admin_frame(
+                &mut stream,
+                &AdminFrame::Error {
+                    message: "expected Hello first".to_owned(),
+                },
+            );
+            return;
+        }
+        None => return,
+    }
+    loop {
+        let reply = match read_admin_request(&mut stream, shared) {
+            Some(AdminFrame::Snapshot) => AdminFrame::SnapshotReply {
+                json: telemetry
+                    .snapshot_full(&shared.stats, &shared.sessions)
+                    .to_json_pretty(),
+            },
+            Some(AdminFrame::Spans { max }) => AdminFrame::SpansReply {
+                jsonl: telemetry.spans_jsonl(max as usize),
+            },
+            Some(AdminFrame::Watch { windows }) => {
+                if !stream_windows(&mut stream, shared, windows) {
+                    return;
+                }
+                continue;
+            }
+            Some(_) => {
+                let _ = write_admin_frame(
+                    &mut stream,
+                    &AdminFrame::Error {
+                        message: "not a request frame".to_owned(),
+                    },
+                );
+                return;
+            }
+            None => return,
+        };
+        if write_admin_frame(&mut stream, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+/// Sends one `WindowDelta` per completed metric window until `windows`
+/// have been streamed or the service starts draining, then `WatchDone`.
+/// Returns false when the connection died mid-stream.
+fn stream_windows(stream: &mut TcpStream, shared: &Arc<Shared>, windows: u32) -> bool {
+    let telemetry = &shared.telemetry;
+    // Start from the window in progress: the client asked for windows
+    // completed *after* the request, never a stale backlog.
+    let mut next = telemetry.window_id();
+    let poll = (telemetry.window_len() / 8)
+        .min(IDLE_POLL)
+        .max(Duration::from_millis(1));
+    let mut sent = 0u32;
+    while sent < windows && !shared.draining.load(Ordering::SeqCst) {
+        if telemetry.window_id() <= next {
+            std::thread::sleep(poll);
+            continue;
+        }
+        let json = telemetry
+            .window_registry(next)
+            .map_or_else(|| "{}".to_owned(), |r| r.to_json_compact());
+        let delta = AdminFrame::WindowDelta {
+            window_id: next,
+            json,
+        };
+        if write_admin_frame(stream, &delta).is_err() {
+            return false;
+        }
+        next += 1;
+        sent += 1;
+    }
+    write_admin_frame(stream, &AdminFrame::WatchDone).is_ok()
+}
+
+/// Reads one admin frame under the idle-poll timeout, returning `None` on
+/// EOF, any failure, or when the service drains while waiting.
+fn read_admin_request(stream: &mut TcpStream, shared: &Arc<Shared>) -> Option<AdminFrame> {
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return None;
+        }
+        let mut len_buf = [0u8; 4];
+        match read_full(stream, &mut len_buf, true) {
+            ReadFull::Done => {}
+            ReadFull::Idle => continue,
+            ReadFull::Eof | ReadFull::Fail => return None,
+        }
+        let len = u32::from_le_bytes(len_buf);
+        if len as usize > MAX_FRAME_LEN {
+            return None;
+        }
+        let mut payload = vec![0u8; len as usize];
+        match read_full(stream, &mut payload, false) {
+            ReadFull::Done => {}
+            ReadFull::Idle | ReadFull::Eof | ReadFull::Fail => return None,
+        }
+        return AdminFrame::decode_payload(&payload).ok();
+    }
+}
+
 /// The per-connection reader: parses frames, applies admission control,
 /// manages the session lifecycle (create on `Hello`, adopt on `Resume`,
 /// retire on `Goodbye`), routes to shards, and answers control frames.
@@ -404,7 +617,7 @@ fn run_connection(
         Ok(half) => half,
         Err(_) => return,
     };
-    let (out_tx, out_rx) = sync_channel::<Frame>(outbound_cap);
+    let (out_tx, out_rx) = sync_channel::<Outbound>(outbound_cap);
     let writer_stats = Arc::clone(&shared.stats);
     let writer_chaos = Arc::clone(&shared.chaos);
     let writer = std::thread::Builder::new()
@@ -423,11 +636,15 @@ fn run_connection(
         if shared.draining.load(Ordering::SeqCst) {
             // Stop admitting; tell the client; leave delivery of queued
             // grants to the writer.
-            let _ = out_tx.send(Frame::Draining);
+            let _ = out_tx.send(Outbound::plain(Frame::Draining));
             return;
         }
-        let frame = match read_inbound(&mut stream) {
-            Inbound::Frame(frame) => frame,
+        let (frame, started, decode_ns) = match read_inbound(&mut stream) {
+            Inbound::Frame {
+                frame,
+                started,
+                decode_ns,
+            } => (frame, started, decode_ns),
             Inbound::Idle => continue,
             Inbound::Eof => return,
             Inbound::Fail => {
@@ -452,7 +669,7 @@ fn run_connection(
                     shards: shared.shards as u32,
                     dilation: shared.dilation,
                 };
-                if out_tx.send(welcome).is_err() {
+                if out_tx.send(Outbound::plain(welcome)).is_err() {
                     return;
                 }
             }
@@ -491,7 +708,7 @@ fn run_connection(
                         seq: wanted,
                         reason: RejectKind::UnknownSession,
                     };
-                    if out_tx.send(reject).is_err() {
+                    if out_tx.send(Outbound::plain(reject)).is_err() {
                         return;
                     }
                 }
@@ -514,7 +731,7 @@ fn run_connection(
                         reason: RejectKind::UnknownVideo,
                     },
                 };
-                if out_tx.send(reply).is_err() {
+                if out_tx.send(Outbound::plain(reply)).is_err() {
                     return;
                 }
             }
@@ -524,6 +741,7 @@ fn run_connection(
                 arrival_slot,
             } => {
                 stats.requests.fetch_add(1, Ordering::Relaxed);
+                shared.telemetry.on_request();
                 // Dedupe re-sends after a reconnect: an already-answered
                 // seq is re-served from the replay ring, an in-flight one
                 // is left to its original answer.
@@ -553,16 +771,30 @@ fn run_connection(
                             seq,
                             video,
                             arrival_slot,
-                            enqueued: std::time::Instant::now(),
+                            enqueued: Instant::now(),
                             reply,
+                            span: Some(SpanStart {
+                                id: shared.telemetry.next_span_id(),
+                                started,
+                                decode_ns,
+                            }),
                         };
+                        // Enter the gauge *before* the send: the shard
+                        // decrements at receipt, and on a fast path it can
+                        // dequeue before a post-send increment would run,
+                        // leaving a phantom entry behind.
+                        shared.telemetry.queue_enter(shard);
                         match shard_txs[shard].try_send(msg) {
                             Ok(()) => None,
-                            Err(TrySendError::Full(_)) => Some(RejectKind::QueueFull),
+                            Err(TrySendError::Full(_)) => {
+                                shared.telemetry.queue_leave(shard);
+                                Some(RejectKind::QueueFull)
+                            }
                             // Supervision keeps shard threads alive, so a
                             // closed queue outside a drain means the shard
                             // is gone for good.
                             Err(TrySendError::Disconnected(_)) => {
+                                shared.telemetry.queue_leave(shard);
                                 if shared.draining.load(Ordering::SeqCst) {
                                     Some(RejectKind::Draining)
                                 } else {
@@ -573,6 +805,7 @@ fn run_connection(
                     };
                     if let Some(reason) = reject {
                         stats.count_rejection(reason);
+                        shared.telemetry.on_reject();
                         shared.journal.emit_with(|| Event::RequestRejected {
                             conn,
                             request: seq,
@@ -582,9 +815,9 @@ fn run_connection(
                         match &session {
                             // Record the rejection in the ring: it is this
                             // seq's answer and must survive a reconnect.
-                            Some(s) => s.deliver(seq, frame),
+                            Some(s) => s.deliver(seq, frame, None),
                             None => {
-                                if out_tx.send(frame).is_err() {
+                                if out_tx.send(Outbound::plain(frame)).is_err() {
                                     return;
                                 }
                             }
@@ -607,8 +840,17 @@ fn run_connection(
                 }
             }
             Frame::Stats => {
-                let json = stats.snapshot().to_json_pretty();
-                if out_tx.send(Frame::StatsReply { json }).is_err() {
+                // The full telemetry snapshot, stamped with monotonic time
+                // and window id so two STATS replies are orderable even
+                // across reconnects.
+                let json = shared
+                    .telemetry
+                    .snapshot_full(stats, &shared.sessions)
+                    .to_json_pretty();
+                if out_tx
+                    .send(Outbound::plain(Frame::StatsReply { json }))
+                    .is_err()
+                {
                     return;
                 }
             }
@@ -643,28 +885,44 @@ fn run_connection(
 /// slow consumer without touching scheduler state.
 fn run_writer(
     mut stream: TcpStream,
-    rx: &Receiver<Frame>,
+    rx: &Receiver<Outbound>,
     conn: u64,
     stats: &ServiceStats,
     chaos: &ChaosPlan,
 ) {
     let mut dead = false;
     let mut written: u64 = 0;
-    while let Ok(frame) = rx.recv() {
+    while let Ok(out) = rx.recv() {
+        let dequeued = Instant::now();
         if let Some(stall) = chaos.writer_stall_due(conn, written) {
             stats.chaos_writer_stalls.fetch_add(1, Ordering::Relaxed);
             std::thread::sleep(stall);
         }
-        if !dead && wire::write_frame(&mut stream, &frame).is_err() {
+        if !dead && wire::write_frame(&mut stream, &out.frame).is_err() {
             dead = true;
         }
         written += 1;
+        if let Some(span) = out.span {
+            // Writer wait ended at dequeue; everything since — chaos stall
+            // included — is flush. `saturating_duration_since` because the
+            // shard's `sent_at` was taken on another thread.
+            let writer_wait = dur_ns(dequeued.saturating_duration_since(span.sent_at));
+            let flush = dur_ns(dequeued.elapsed());
+            span.finish(writer_wait, flush);
+        }
     }
     let _ = stream.shutdown(Shutdown::Write);
 }
 
 enum Inbound {
-    Frame(Frame),
+    Frame {
+        frame: Frame,
+        /// Taken once the length prefix landed — the first instant the
+        /// frame was known to exist, and the span's time origin.
+        started: Instant,
+        /// Payload read + decode duration (the span's `decode` stage).
+        decode_ns: u64,
+    },
     /// Idle timeout with no bytes of a frame read — safe to poll flags and
     /// retry.
     Idle,
@@ -694,13 +952,18 @@ fn read_inbound(stream: &mut TcpStream) -> Inbound {
     if len as usize > MAX_FRAME_LEN {
         return Inbound::Fail;
     }
+    let started = Instant::now();
     let mut payload = vec![0u8; len as usize];
     match read_full(stream, &mut payload, false) {
         ReadFull::Done => {}
         ReadFull::Idle | ReadFull::Eof | ReadFull::Fail => return Inbound::Fail,
     }
     match Frame::decode_payload(&payload) {
-        Ok(frame) => Inbound::Frame(frame),
+        Ok(frame) => Inbound::Frame {
+            frame,
+            started,
+            decode_ns: dur_ns(started.elapsed()),
+        },
         Err(_) => Inbound::Fail,
     }
 }

@@ -27,6 +27,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::SyncSender;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
+use crate::telemetry::{Outbound, SpanCarrier};
 use crate::wire::{Frame, RESUME_NONE};
 
 /// Lock a mutex, recovering the guard from a poisoned lock. The service
@@ -52,7 +53,7 @@ pub(crate) enum Admit {
 
 struct Inner {
     /// Outbound queue of the connection currently owning this session.
-    tx: SyncSender<Frame>,
+    tx: SyncSender<Outbound>,
     /// Recorded answers in delivery order, bounded by `cap`.
     ring: VecDeque<(u64, Frame)>,
     cap: usize,
@@ -72,7 +73,7 @@ pub(crate) struct Session {
 }
 
 impl Session {
-    pub(crate) fn new(id: u64, tx: SyncSender<Frame>, cap: usize) -> Self {
+    pub(crate) fn new(id: u64, tx: SyncSender<Outbound>, cap: usize) -> Self {
         Session {
             id,
             inner: Mutex::new(Inner {
@@ -95,6 +96,12 @@ impl Session {
         lock_unpoisoned(&self.inner).processed
     }
 
+    /// Number of answers currently held in the replay ring — feeds the
+    /// `svc.gauge.replay_ring_frames` telemetry gauge.
+    pub(crate) fn ring_len(&self) -> usize {
+        lock_unpoisoned(&self.inner).ring.len()
+    }
+
     /// Admit request `seq`, deduplicating re-sends after a reconnect.
     pub(crate) fn admit(&self, seq: u64) -> Admit {
         let mut inner = lock_unpoisoned(&self.inner);
@@ -103,9 +110,10 @@ impl Session {
             return Admit::Fresh;
         }
         if let Some((_, answer)) = inner.ring.iter().find(|(s, _)| *s == seq) {
-            // Re-send the recorded answer without re-recording it.
+            // Re-send the recorded answer without re-recording it. Replays
+            // travel span-less: the span measured the original delivery.
             let frame = answer.clone();
-            let _ = inner.tx.send(frame);
+            let _ = inner.tx.send(Outbound::plain(frame));
             return Admit::Resent;
         }
         if seq < inner.evicted_below {
@@ -120,8 +128,10 @@ impl Session {
 
     /// Record answer `frame` for request `seq` and deliver it on the
     /// current connection. A dead connection is fine — the ring keeps
-    /// the answer for replay after resume.
-    pub(crate) fn deliver(&self, seq: u64, frame: Frame) {
+    /// the answer for replay after resume. The span carrier (if any)
+    /// rides the live delivery only; the ring stores the bare frame so
+    /// replays stay byte-identical without re-measuring.
+    pub(crate) fn deliver(&self, seq: u64, frame: Frame, span: Option<SpanCarrier>) {
         let mut inner = lock_unpoisoned(&self.inner);
         if inner.ring.len() == inner.cap {
             if let Some((evicted, _)) = inner.ring.pop_front() {
@@ -129,14 +139,14 @@ impl Session {
             }
         }
         inner.ring.push_back((seq, frame.clone()));
-        let _ = inner.tx.send(frame);
+        let _ = inner.tx.send(Outbound { frame, span });
     }
 
     /// Adopt this session onto a new connection: swap the outbound
     /// queue, send [`Frame::Resumed`], then replay every recorded answer
     /// with `seq > last_seq_seen` ([`RESUME_NONE`] replays everything) in
     /// original delivery order. Returns the number of frames replayed.
-    pub(crate) fn resume(&self, tx: SyncSender<Frame>, last_seq_seen: u64) -> u64 {
+    pub(crate) fn resume(&self, tx: SyncSender<Outbound>, last_seq_seen: u64) -> u64 {
         let mut inner = lock_unpoisoned(&self.inner);
         inner.tx = tx;
         let replay: Vec<Frame> = inner
@@ -146,12 +156,12 @@ impl Session {
             .map(|(_, frame)| frame.clone())
             .collect();
         let replayed = replay.len() as u64;
-        let _ = inner.tx.send(Frame::Resumed {
+        let _ = inner.tx.send(Outbound::plain(Frame::Resumed {
             session: self.id,
             replayed: u32::try_from(replayed).unwrap_or(u32::MAX),
-        });
+        }));
         for frame in replay {
-            let _ = inner.tx.send(frame);
+            let _ = inner.tx.send(Outbound::plain(frame));
         }
         replayed
     }
@@ -182,6 +192,14 @@ impl SessionRegistry {
     pub(crate) fn clear(&self) {
         lock_unpoisoned(&self.sessions).clear();
     }
+
+    /// `(live sessions, total replay-ring frames)` — the telemetry plane's
+    /// occupancy gauges.
+    pub(crate) fn occupancy(&self) -> (usize, usize) {
+        let sessions = lock_unpoisoned(&self.sessions);
+        let frames = sessions.values().map(|s| s.ring_len()).sum();
+        (sessions.len(), frames)
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +216,10 @@ mod tests {
         }
     }
 
+    fn recv_frame(rx: &std::sync::mpsc::Receiver<Outbound>) -> Result<Frame, ()> {
+        rx.try_recv().map(|out| out.frame).map_err(|_| ())
+    }
+
     #[test]
     fn admit_dedupes_and_resends_recorded_answers() {
         let (tx, rx) = sync_channel(16);
@@ -205,12 +227,12 @@ mod tests {
         assert_eq!(session.admit(0), Admit::Fresh);
         assert_eq!(session.admit(1), Admit::Fresh);
         // 0 answered, 1 still in flight.
-        session.deliver(0, grant(0));
-        assert_eq!(rx.try_recv().expect("delivered"), grant(0));
+        session.deliver(0, grant(0), None);
+        assert_eq!(recv_frame(&rx).expect("delivered"), grant(0));
         assert_eq!(session.admit(0), Admit::Resent);
-        assert_eq!(rx.try_recv().expect("re-sent"), grant(0));
+        assert_eq!(recv_frame(&rx).expect("re-sent"), grant(0));
         assert_eq!(session.admit(1), Admit::InFlight);
-        assert!(rx.try_recv().is_err(), "in-flight re-send stays silent");
+        assert!(recv_frame(&rx).is_err(), "in-flight re-send stays silent");
     }
 
     #[test]
@@ -219,21 +241,22 @@ mod tests {
         let session = Session::new(7, tx, 8);
         for seq in 0..4 {
             assert_eq!(session.admit(seq), Admit::Fresh);
-            session.deliver(seq, grant(seq));
+            session.deliver(seq, grant(seq), None);
         }
+        assert_eq!(session.ring_len(), 4);
         let (new_tx, new_rx) = sync_channel(16);
         let replayed = session.resume(new_tx, 1);
         assert_eq!(replayed, 2);
         assert_eq!(
-            new_rx.try_recv().expect("resumed header"),
+            recv_frame(&new_rx).expect("resumed header"),
             Frame::Resumed {
                 session: 7,
                 replayed: 2
             }
         );
-        assert_eq!(new_rx.try_recv().expect("first replay"), grant(2));
-        assert_eq!(new_rx.try_recv().expect("second replay"), grant(3));
-        assert!(new_rx.try_recv().is_err());
+        assert_eq!(recv_frame(&new_rx).expect("first replay"), grant(2));
+        assert_eq!(recv_frame(&new_rx).expect("second replay"), grant(3));
+        assert!(recv_frame(&new_rx).is_err());
     }
 
     #[test]
@@ -242,17 +265,17 @@ mod tests {
         let session = Session::new(9, tx, 8);
         for seq in 0..3 {
             session.admit(seq);
-            session.deliver(seq, grant(seq));
+            session.deliver(seq, grant(seq), None);
         }
         let (new_tx, new_rx) = sync_channel(16);
         assert_eq!(session.resume(new_tx, RESUME_NONE), 3);
         // Resumed header plus all three answers.
         assert!(matches!(
-            new_rx.try_recv(),
+            recv_frame(&new_rx),
             Ok(Frame::Resumed { replayed: 3, .. })
         ));
         for seq in 0..3 {
-            assert_eq!(new_rx.try_recv().expect("replay"), grant(seq));
+            assert_eq!(recv_frame(&new_rx).expect("replay"), grant(seq));
         }
     }
 
@@ -262,7 +285,7 @@ mod tests {
         let session = Session::new(3, tx, 2);
         for seq in 0..4 {
             session.admit(seq);
-            session.deliver(seq, grant(seq));
+            session.deliver(seq, grant(seq), None);
         }
         while rx.try_recv().is_ok() {}
         // Answers 0 and 1 were evicted (cap 2): re-requesting them is
@@ -279,11 +302,11 @@ mod tests {
         let session = Session::new(5, tx, 8);
         session.admit(0);
         drop(rx);
-        session.deliver(0, grant(0));
+        session.deliver(0, grant(0), None);
         let (new_tx, new_rx) = sync_channel(16);
         assert_eq!(session.resume(new_tx, RESUME_NONE), 1);
-        assert!(matches!(new_rx.try_recv(), Ok(Frame::Resumed { .. })));
-        assert_eq!(new_rx.try_recv().expect("kept for replay"), grant(0));
+        assert!(matches!(recv_frame(&new_rx), Ok(Frame::Resumed { .. })));
+        assert_eq!(recv_frame(&new_rx).expect("kept for replay"), grant(0));
     }
 
     #[test]
@@ -294,7 +317,11 @@ mod tests {
         registry.insert(&session);
         assert!(registry.get(11).is_some());
         assert!(registry.get(12).is_none());
+        session.admit(0);
+        session.deliver(0, grant(0), None);
+        assert_eq!(registry.occupancy(), (1, 1));
         registry.remove(11);
         assert!(registry.get(11).is_none());
+        assert_eq!(registry.occupancy(), (0, 0));
     }
 }

@@ -61,12 +61,13 @@ use crate::chaos::ChaosPlan;
 use crate::clock::SlotClock;
 use crate::session::Session;
 use crate::stats::ServiceStats;
+use crate::telemetry::{Outbound, PendingSpan, SpanCarrier, SpanStart, Telemetry};
 use crate::wire::{Frame, GrantedSegment, ARRIVAL_AUTO};
 
 /// Where a shard's answer goes.
 pub(crate) enum ReplyTo {
     /// A raw (Hello-less) connection: straight to its outbound queue.
-    Direct(SyncSender<Frame>),
+    Direct(SyncSender<Outbound>),
     /// A sessioned connection: ring-buffered for resume, then delivered.
     Session(Arc<Session>),
 }
@@ -77,12 +78,12 @@ impl ReplyTo {
     /// vanished connection is fine — a direct writer drains the channel
     /// until every sender is gone, and a session keeps the answer in its
     /// ring for replay.
-    fn deliver(&self, seq: u64, frame: Frame) {
+    fn deliver(&self, seq: u64, frame: Frame, span: Option<SpanCarrier>) {
         match self {
             ReplyTo::Direct(tx) => {
-                let _ = tx.send(frame);
+                let _ = tx.send(Outbound { frame, span });
             }
-            ReplyTo::Session(session) => session.deliver(seq, frame),
+            ReplyTo::Session(session) => session.deliver(seq, frame, span),
         }
     }
 }
@@ -103,6 +104,8 @@ pub(crate) enum ShardMsg {
         enqueued: Instant,
         /// The owning connection's reply route.
         reply: ReplyTo,
+        /// The request's lifecycle span, minted by the reader at decode.
+        span: Option<SpanStart>,
     },
 }
 
@@ -138,6 +141,7 @@ pub(crate) struct ShardConfig {
     pub min_service_time: Duration,
     pub journal: Journal,
     pub chaos: Arc<ChaosPlan>,
+    pub telemetry: Arc<Telemetry>,
     pub policy: RestartPolicy,
     /// Flipped once the restart budget is spent; readers then shed this
     /// shard's videos at admission instead of queueing into a dead end.
@@ -207,7 +211,14 @@ fn run_shard(mut config: ShardConfig, rx: &Receiver<ShardMsg>) {
             arrival_slot,
             enqueued,
             reply,
+            span,
         } = msg;
+        // The admission-wait stage ends here: the request left the bounded
+        // queue and the schedule stage begins.
+        config.telemetry.queue_leave(config.id);
+        let mut pending = span.map(|start| {
+            PendingSpan::begin(Arc::clone(&config.telemetry), start, config.id as u32)
+        });
         if config.down.load(Ordering::Acquire) {
             shed(config, conn, seq, &reply);
             continue;
@@ -227,6 +238,7 @@ fn run_shard(mut config: ShardConfig, rx: &Receiver<ShardMsg>) {
                     arrival_slot,
                     &enqueued,
                     &reply,
+                    &mut pending,
                 );
             }));
             match outcome {
@@ -235,6 +247,7 @@ fn run_shard(mut config: ShardConfig, rx: &Receiver<ShardMsg>) {
                     attempts += 1;
                     restarts += 1;
                     config.stats.shard_panics.fetch_add(1, Ordering::Relaxed);
+                    config.telemetry.note_restarts(config.id, restarts);
                     let shard = config.id as u64;
                     config.journal.emit_with(|| Event::ShardPanicked {
                         shard,
@@ -272,6 +285,7 @@ fn run_shard(mut config: ShardConfig, rx: &Receiver<ShardMsg>) {
 /// Answers a request the shard cannot serve with `Rejected(shard_down)`.
 fn shed(config: &ShardConfig, conn: u64, seq: u64, reply: &ReplyTo) {
     config.stats.count_rejection(RejectKind::ShardDown);
+    config.telemetry.on_reject();
     config.journal.emit_with(|| Event::RequestRejected {
         conn,
         request: seq,
@@ -283,6 +297,7 @@ fn shed(config: &ShardConfig, conn: u64, seq: u64, reply: &ReplyTo) {
             seq,
             reason: RejectKind::ShardDown,
         },
+        None,
     );
 }
 
@@ -296,6 +311,7 @@ fn handle_request(
     arrival_slot: u64,
     enqueued: &Instant,
     reply: &ReplyTo,
+    pending: &mut Option<PendingSpan>,
 ) {
     let stats = &config.stats;
     let Some(owned) = videos.get_mut(&video) else {
@@ -303,12 +319,14 @@ fn handle_request(
         // reachable if routing drifts; degrade to a typed rejection
         // rather than aborting the shard.
         stats.count_rejection(RejectKind::UnknownVideo);
+        config.telemetry.on_reject();
         reply.deliver(
             seq,
             Frame::Rejected {
                 seq,
                 reason: RejectKind::UnknownVideo,
             },
+            None,
         );
         return;
     };
@@ -320,6 +338,11 @@ fn handle_request(
     // The ring's base never moves backwards; a stale explicit slot is
     // clamped to the earliest the scheduler can still serve.
     let arrival = requested.max(owned.scheduler.next_slot().index().saturating_sub(1));
+    // How far the shard is running behind its own virtual clock: under
+    // overload the clock advances past the arrivals still being served.
+    config
+        .telemetry
+        .note_clock_lag(config.id, owned.clock.slot_now().saturating_sub(arrival));
     // Chaos fires *before* the scheduler is touched: a retried request
     // replays cleanly after the rebuild, with no half-applied state.
     if config.chaos.shard_kill_due(config.id as u64, arrival) {
@@ -353,8 +376,12 @@ fn handle_request(
             shared: !s.newly_scheduled,
         })
         .collect();
-    stats.record_latency(config.id, elapsed_ns(enqueued));
+    let latency_ns = elapsed_ns(enqueued);
+    stats.record_latency(config.id, latency_ns);
     stats.grants.fetch_add(1, Ordering::Relaxed);
+    config.telemetry.on_grant(latency_ns);
+    // `take()` so a chaos panic on a retry cannot record the span twice;
+    // the schedule stage closes as the answer enters the writer queue.
     reply.deliver(
         seq,
         Frame::Grant {
@@ -363,6 +390,7 @@ fn handle_request(
             arrival_slot: arrival,
             segments,
         },
+        pending.take().map(PendingSpan::into_carrier),
     );
 }
 

@@ -1,0 +1,223 @@
+//! End-to-end telemetry tests: a live [`Service`] with the admin scrape
+//! plane enabled, driven by the `vodload` engine in-process.
+//!
+//! The centrepiece pins the span contract: with four shards under load,
+//! every shard exports a per-stage latency histogram, each raw span's
+//! stage decomposition accounts for ≥ 90% of its end-to-end time (the
+//! unattributed gap is a few same-thread handoffs, nanoseconds against
+//! millisecond totals), and the wire grants stay byte-identical to the
+//! offline scheduler oracle — instrumentation must never change what the
+//! protocol says, only report on it.
+
+use std::time::Duration;
+
+use vod_obs::Journal;
+use vod_svc::{
+    fetch_stats, find_counter, find_gauge, find_histogram, run_load, AdminClient, GrantedSegment,
+    LoadConfig, ServeCatalog, ServeEntry, Service, SvcConfig, SPAN_STAGES,
+};
+use vod_types::{Seconds, Slot, VideoSpec};
+
+fn small_video() -> VideoSpec {
+    VideoSpec::new(Seconds::new(60.0), 6).expect("valid spec")
+}
+
+/// Offline oracle: the grants a fresh scheduler yields for `arrivals`.
+fn offline_grants(video: VideoSpec, arrivals: &[u64]) -> Vec<Vec<GrantedSegment>> {
+    let (_, mut scheduler) = ServeEntry::fixed_rate(video)
+        .build(&Journal::disabled())
+        .expect("entry builds");
+    let mut grants = Vec::with_capacity(arrivals.len());
+    for &a in arrivals {
+        while scheduler.next_slot().index() < a {
+            let _ = scheduler.pop_slot();
+        }
+        let schedule = scheduler.schedule_request(Slot::new(a));
+        grants.push(
+            schedule
+                .iter()
+                .map(|s| GrantedSegment {
+                    segment: s.segment.get() as u32,
+                    slot: s.slot.index(),
+                    shared: !s.newly_scheduled,
+                })
+                .collect(),
+        );
+    }
+    grants
+}
+
+/// Parses the first unsigned integer following `"{key}": ` in a span
+/// JSONL line.
+fn json_u64(line: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\": ");
+    let at = line
+        .find(&needle)
+        .unwrap_or_else(|| panic!("{key} in {line}"));
+    line[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("number after key")
+}
+
+#[test]
+fn spans_decompose_e2e_latency_on_every_shard() {
+    let video = small_video();
+    let shards = 4usize;
+    let requests_per_conn = 50u64;
+    let service = Service::start(
+        "127.0.0.1:0",
+        &SvcConfig {
+            catalog: ServeCatalog::uniform(shards as u32, video),
+            shards,
+            dilation: 1_000,
+            admin_addr: Some("127.0.0.1:0".to_owned()),
+            ..SvcConfig::default()
+        },
+    )
+    .expect("service starts");
+    let admin = service.admin_addr().expect("admin plane up").to_string();
+
+    // Connection c drives video c, and video c lives on shard c % 4, so
+    // every shard sees exactly one connection's worth of spans.
+    let report = run_load(
+        service.local_addr(),
+        &LoadConfig {
+            conns: shards,
+            requests_per_conn,
+            videos: shards as u32,
+            window: 4,
+            arrival_stride: Some(1),
+            collect_grants: true,
+            ..LoadConfig::default()
+        },
+    )
+    .expect("load run succeeds");
+    let total = shards as u64 * requests_per_conn;
+    assert_eq!(report.grants, total, "{}", report.render());
+    assert_eq!(report.protocol_errors, 0, "{}", report.render());
+
+    // Instrumentation must not change the protocol: grants stay
+    // byte-identical to the offline oracle with telemetry fully enabled.
+    let arrivals: Vec<u64> = (0..requests_per_conn).collect();
+    let expected = offline_grants(video, &arrivals);
+    for (conn, grants) in report.grants_by_conn.iter().enumerate() {
+        assert_eq!(grants.len(), arrivals.len(), "conn {conn}");
+        for (i, grant) in grants.iter().enumerate() {
+            assert_eq!(
+                grant.segments, expected[i],
+                "conn {conn} request {i}: telemetry changed the wire grants"
+            );
+        }
+    }
+
+    let mut client = AdminClient::connect(&admin).expect("admin connect");
+    assert_eq!(client.shards(), shards as u32);
+    let json = client.snapshot().expect("snapshot scrape");
+    assert_eq!(find_counter(&json, "svc.grants"), Some(total), "{json}");
+
+    // Every shard exports the full stage taxonomy, each stage having seen
+    // every one of the shard's spans.
+    for shard in 0..shards {
+        let e2e = find_histogram(&json, &format!("svc.span.shard{shard}.total_ns"))
+            .unwrap_or_else(|| panic!("shard {shard} has no span histogram"));
+        assert_eq!(e2e.count, requests_per_conn, "shard {shard} span count");
+        for stage in SPAN_STAGES {
+            let name = format!("svc.span.shard{shard}.{stage}_ns");
+            let h = find_histogram(&json, &name)
+                .unwrap_or_else(|| panic!("{name} missing from snapshot"));
+            assert_eq!(h.count, requests_per_conn, "{name} count");
+        }
+        let depth = find_gauge(&json, &format!("svc.gauge.shard{shard}.queue_depth"));
+        assert_eq!(depth, Some(0.0), "queue drained after the run");
+    }
+
+    // Raw spans: the stages are disjoint sub-intervals of the request's
+    // lifetime (sum ≤ total), and they account for ≥ 90% of it — the gap
+    // is just same-thread handoffs.
+    let jsonl = client.spans(total as u32).expect("spans scrape");
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), total as usize, "recent ring holds every span");
+    for line in &lines {
+        let total_ns = json_u64(line, "total_ns");
+        let stage_sum: u64 = SPAN_STAGES.iter().map(|s| json_u64(line, s)).sum();
+        assert!(
+            stage_sum <= total_ns,
+            "stages are disjoint sub-intervals: {stage_sum} > {total_ns} in {line}"
+        );
+        assert!(
+            stage_sum * 10 >= total_ns * 9,
+            "stage decomposition covers {:.1}% < 90% of e2e: {line}",
+            stage_sum as f64 / total_ns as f64 * 100.0
+        );
+    }
+
+    let _ = service.shutdown();
+}
+
+#[test]
+fn stats_frame_carries_advancing_snapshot_stamps() {
+    // Satellite of the scrape plane: the in-band STATS reply carries a
+    // monotonic timestamp and window id, so a poller can tell a fresh
+    // snapshot from a stale re-read.
+    let service = Service::start(
+        "127.0.0.1:0",
+        &SvcConfig {
+            catalog: ServeCatalog::uniform(1, small_video()),
+            shards: 1,
+            telemetry_window: Duration::from_millis(10),
+            ..SvcConfig::default()
+        },
+    )
+    .expect("service starts");
+
+    let first = fetch_stats(service.local_addr()).expect("first stats fetch");
+    let mono0 = find_counter(&first, "svc.snapshot.mono_ns").expect("mono stamp");
+    let win0 = find_counter(&first, "svc.snapshot.window_id").expect("window stamp");
+    std::thread::sleep(Duration::from_millis(30));
+    let second = fetch_stats(service.local_addr()).expect("second stats fetch");
+    let mono1 = find_counter(&second, "svc.snapshot.mono_ns").expect("mono stamp");
+    let win1 = find_counter(&second, "svc.snapshot.window_id").expect("window stamp");
+
+    assert!(
+        mono1 > mono0,
+        "snapshot timestamp must advance: {mono0} → {mono1}"
+    );
+    assert!(win1 > win0, "30 ms over 10 ms windows must advance the id");
+    let _ = service.shutdown();
+}
+
+#[test]
+fn watch_streams_ordered_window_deltas() {
+    let service = Service::start(
+        "127.0.0.1:0",
+        &SvcConfig {
+            catalog: ServeCatalog::uniform(1, small_video()),
+            shards: 1,
+            admin_addr: Some("127.0.0.1:0".to_owned()),
+            telemetry_window: Duration::from_millis(20),
+            ..SvcConfig::default()
+        },
+    )
+    .expect("service starts");
+    let admin = service.admin_addr().expect("admin plane up").to_string();
+
+    let mut client = AdminClient::connect(&admin).expect("admin connect");
+    assert_eq!(client.window(), Duration::from_millis(20));
+    let mut ids = Vec::new();
+    let delivered = client
+        .watch(3, |window_id, json| {
+            ids.push(window_id);
+            assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        })
+        .expect("watch");
+    assert_eq!(delivered, 3);
+    assert_eq!(ids.len(), 3);
+    assert!(
+        ids.windows(2).all(|w| w[0] < w[1]),
+        "window ids must be strictly increasing: {ids:?}"
+    );
+    let _ = service.shutdown();
+}

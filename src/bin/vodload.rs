@@ -18,12 +18,15 @@
 //! the same seed reproduces the same kill/reset schedule. The run fails
 //! if any session ends unrecoverable.
 
+use std::io::Write;
 use std::net::SocketAddr;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use vod_dhb::svc::{
-    fetch_stats, run_load, ChaosPlan, LoadConfig, ServeCatalog, Service, SvcConfig,
+    fetch_stats, run_load, AdminClient, ChaosPlan, LoadConfig, ServeCatalog, Service, SvcConfig,
 };
 use vod_dhb::types::{Seconds, VideoSpec};
 
@@ -49,6 +52,8 @@ struct Args {
     timeout_secs: f64,
     chaos: Option<u64>,
     chaos_stall_ms: Option<u64>,
+    telemetry_out: Option<String>,
+    admin_addr: Option<String>,
 }
 
 const USAGE: &str = "usage:\n  \
@@ -57,7 +62,8 @@ const USAGE: &str = "usage:\n  \
     [--duration-mins 120] [--catalog catalog.toml] [--mix 0,1,2]\n          \
     [--describe] [--shards 2] [--dilation 1] [--queue-cap 64]\n          \
     [--stats-out stats.json] [--max-p99-ms 250] [--retries 3]\n          \
-    [--timeout-secs 30] [--chaos SEED] [--chaos-stall-ms 50]\n\n\
+    [--timeout-secs 30] [--chaos SEED] [--chaos-stall-ms 50]\n          \
+    [--telemetry-out telemetry.jsonl] [--admin-addr host:port]\n\n\
     --catalog self-hosts a heterogeneous catalog file (implies --self-host);\n\
     --mix pins each connection to a video id round-robin from the list;\n\
     --describe fetches per-video geometry (DESCRIBE) before driving load;\n\
@@ -65,7 +71,12 @@ const USAGE: &str = "usage:\n  \
     declares a quiet connection stalled (no more hanging on a dead server);\n\
     --chaos SEED self-hosts with a seeded fault plan (implies --self-host)\n\
     and fails the run unless every session recovers;\n\
-    --chaos-stall-ms adds a planned writer stall to the chaos plan.";
+    --chaos-stall-ms adds a planned writer stall to the chaos plan;\n\
+    --telemetry-out streams admin-plane snapshots (one JSON line per metric\n\
+    window) for the duration of the run; with --self-host it stands up the\n\
+    admin listener automatically, with --addr it needs --admin-addr pointing\n\
+    at the remote server's admin plane (for --self-host, --admin-addr is the\n\
+    bind address of the hosted admin listener).";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -90,6 +101,8 @@ fn parse_args() -> Result<Args, String> {
         timeout_secs: 30.0,
         chaos: None,
         chaos_stall_ms: None,
+        telemetry_out: None,
+        admin_addr: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -148,6 +161,8 @@ fn parse_args() -> Result<Args, String> {
             "--chaos-stall-ms" => {
                 args.chaos_stall_ms = Some(num("--chaos-stall-ms", &value("--chaos-stall-ms")?)?);
             }
+            "--telemetry-out" => args.telemetry_out = Some(value("--telemetry-out")?),
+            "--admin-addr" => args.admin_addr = Some(value("--admin-addr")?),
             other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
         }
     }
@@ -167,7 +182,43 @@ fn parse_args() -> Result<Args, String> {
     if args.conns == 0 || args.requests == 0 || args.window == 0 {
         return Err("--conns, --requests, and --window must be positive".to_owned());
     }
+    if args.telemetry_out.is_some() && !args.self_host && args.admin_addr.is_none() {
+        return Err(format!(
+            "--telemetry-out against a remote server needs --admin-addr\n\n{USAGE}"
+        ));
+    }
     Ok(args)
+}
+
+/// Streams admin-plane snapshots into `path` (one compact JSON line per
+/// completed metric window) until `stop` is raised, then takes one final
+/// snapshot so even a sub-window run leaves a record. Returns the line
+/// count.
+fn scrape_telemetry(admin: &str, path: &str, stop: &AtomicBool) -> Result<u64, String> {
+    let mut client = AdminClient::connect(admin)
+        .map_err(|e| format!("cannot reach admin plane {admin}: {e}"))?;
+    let mut file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut write_snapshot = |client: &mut AdminClient| -> Result<(), String> {
+        let snap = client
+            .snapshot()
+            .map_err(|e| format!("snapshot scrape failed: {e}"))?;
+        // The pretty form only breaks lines at structural whitespace, so
+        // stripping indentation folds it into one valid JSON line.
+        let line: String = snap.lines().map(str::trim).collect();
+        writeln!(file, "{line}").map_err(|e| format!("cannot write {path}: {e}"))
+    };
+    let mut lines = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        // One watch delta == one completed server window; it returns early
+        // if the server starts draining.
+        if client.watch(1, |_, _| {}).is_err() {
+            break;
+        }
+        write_snapshot(&mut client)?;
+        lines += 1;
+    }
+    write_snapshot(&mut client)?;
+    Ok(lines + 1)
 }
 
 fn main() -> ExitCode {
@@ -224,17 +275,28 @@ fn main() -> ExitCode {
             }
             None => ChaosPlan::none(),
         };
+        // A scrape sink wants an admin plane even if no bind address was
+        // given; an ephemeral port works because we report it below.
+        let admin_bind = match (&args.admin_addr, &args.telemetry_out) {
+            (Some(bind), _) => Some(bind.clone()),
+            (None, Some(_)) => Some("127.0.0.1:0".to_owned()),
+            (None, None) => None,
+        };
         let config = SvcConfig {
             catalog,
             shards: args.shards,
             dilation: args.dilation,
             queue_cap: args.queue_cap,
             chaos,
+            admin_addr: admin_bind,
             ..SvcConfig::default()
         };
         match Service::start("127.0.0.1:0", &config) {
             Ok(service) => {
                 println!("self-hosted vod-svc on {}", service.local_addr());
+                if let Some(admin) = service.admin_addr() {
+                    println!("admin plane on {admin}");
+                }
                 if let Some(seed) = args.chaos {
                     println!("chaos plan armed (seed {seed})");
                 }
@@ -265,6 +327,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // Telemetry scraper: a side thread streams one snapshot line per
+    // completed metric window into the JSONL sink while the load runs.
+    let scrape_addr = match (&args.telemetry_out, &hosted) {
+        (Some(_), Some(service)) => service.admin_addr().map(|a| a.to_string()),
+        (Some(_), None) => args.admin_addr.clone(),
+        (None, _) => None,
+    };
+    let scrape_stop = Arc::new(AtomicBool::new(false));
+    let scraper = scrape_addr.map(|admin| {
+        let path = args.telemetry_out.clone().unwrap_or_default();
+        let stop = Arc::clone(&scrape_stop);
+        std::thread::Builder::new()
+            .name("vodload-telemetry".to_owned())
+            .spawn(move || scrape_telemetry(&admin, &path, &stop))
+            .expect("spawn telemetry scraper")
+    });
 
     let config = LoadConfig {
         conns: args.conns,
@@ -337,6 +416,24 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("stats fetch failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    scrape_stop.store(true, Ordering::Relaxed);
+    if let Some(handle) = scraper {
+        match handle.join() {
+            Ok(Ok(lines)) => {
+                let path = args.telemetry_out.as_deref().unwrap_or_default();
+                println!("telemetry: {lines} snapshot(s) written to {path}");
+            }
+            Ok(Err(e)) => {
+                eprintln!("telemetry scrape failed: {e}");
+                failed = true;
+            }
+            Err(_) => {
+                eprintln!("telemetry scraper panicked");
                 failed = true;
             }
         }

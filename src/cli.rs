@@ -146,6 +146,21 @@ pub enum Command {
         max_restarts: u32,
         /// Run duration in seconds; 0 serves until the process is killed.
         run_secs: f64,
+        /// Admin scrape-plane bind address (`None` disables telemetry
+        /// scraping; port 0 picks an ephemeral port).
+        admin_addr: Option<String>,
+    },
+    /// `vodsim vodtop …` — watch a live server through its admin plane.
+    Vodtop {
+        /// The server's admin scrape-plane address.
+        addr: String,
+        /// How many telemetry refreshes to render (each waits for one
+        /// completed metric window).
+        intervals: u32,
+        /// Append each full snapshot as one JSON line to this file.
+        snapshot_out: Option<String>,
+        /// Also fetch up to this many recent raw spans on the last refresh.
+        spans: u32,
     },
     /// `vodsim analyze …` — statistical profile of a trace (preset or
     /// imported file).
@@ -206,7 +221,9 @@ pub fn usage() -> String {
      vodsim serve [--addr 127.0.0.1:7400] [--catalog catalog.toml]\n          \
      [--videos 4] [--segments 120] [--duration-mins 120]\n          \
      [--shards 2] [--dilation 1] [--queue-cap 64] [--replay-cap 1024]\n          \
-     [--max-restarts 3] [--run-secs 0]\n  \
+     [--max-restarts 3] [--run-secs 0] [--admin-addr 127.0.0.1:7401]\n  \
+     vodsim vodtop --addr <admin host:port> [--intervals 5]\n          \
+     [--snapshot-out telemetry.jsonl] [--spans 0]\n  \
      vodsim help"
         .to_owned()
 }
@@ -424,6 +441,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 replay_cap: opts.take_usize("replay-cap")?.unwrap_or(1_024),
                 max_restarts: opts.take_u64("max-restarts")?.unwrap_or(3) as u32,
                 run_secs: opts.take_f64("run-secs")?.unwrap_or(0.0),
+                admin_addr: opts.take_str("admin-addr")?,
             };
             opts.finish()?;
             if let Command::Serve {
@@ -461,6 +479,24 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 }
                 if !run_secs.is_finite() || *run_secs < 0.0 {
                     return Err(UsageError("--run-secs must be non-negative".to_owned()));
+                }
+            }
+            Ok(cmd)
+        }
+        "vodtop" => {
+            let mut opts = Options::parse(&rest)?;
+            let cmd = Command::Vodtop {
+                addr: opts
+                    .take_str("addr")?
+                    .ok_or_else(|| UsageError("vodtop requires --addr".to_owned()))?,
+                intervals: opts.take_u64("intervals")?.unwrap_or(5) as u32,
+                snapshot_out: opts.take_str("snapshot-out")?,
+                spans: opts.take_u64("spans")?.unwrap_or(0) as u32,
+            };
+            opts.finish()?;
+            if let Command::Vodtop { intervals, .. } = &cmd {
+                if *intervals == 0 {
+                    return Err(UsageError("--intervals must be positive".to_owned()));
                 }
             }
             Ok(cmd)
@@ -639,6 +675,7 @@ pub fn run(command: &Command) -> Result<String, UsageError> {
             replay_cap,
             max_restarts,
             run_secs,
+            admin_addr,
         } => run_serve(
             addr,
             catalog.as_deref(),
@@ -651,7 +688,14 @@ pub fn run(command: &Command) -> Result<String, UsageError> {
             *replay_cap,
             *max_restarts,
             *run_secs,
+            admin_addr.as_deref(),
         ),
+        Command::Vodtop {
+            addr,
+            intervals,
+            snapshot_out,
+            spans,
+        } => run_vodtop(addr, *intervals, snapshot_out.as_deref(), *spans),
         Command::Trace {
             protocol,
             rate,
@@ -1113,6 +1157,7 @@ fn run_serve(
     replay_cap: usize,
     max_restarts: u32,
     run_secs: f64,
+    admin_addr: Option<&str>,
 ) -> Result<String, UsageError> {
     let catalog = match catalog_path {
         Some(path) => vod_svc::ServeCatalog::load(path)
@@ -1130,17 +1175,22 @@ fn run_serve(
         queue_cap,
         replay_cap,
         max_restarts,
+        admin_addr: admin_addr.map(str::to_owned),
         ..vod_svc::SvcConfig::default()
     };
     let service = vod_svc::Service::start(addr, &config)
         .map_err(|e| UsageError(format!("cannot bind {addr}: {e}")))?;
+    let admin_note = service
+        .admin_addr()
+        .map_or_else(String::new, |a| format!(", admin on {a}"));
     let banner = format!(
-        "vod-svc listening on {} ({} videos, {} shard(s), dilation {}x, queue cap {}){}",
+        "vod-svc listening on {} ({} videos, {} shard(s), dilation {}x, queue cap {}{}){}",
         service.local_addr(),
         config.catalog.len(),
         shards,
         dilation,
         queue_cap,
+        admin_note,
         describe_catalog(&config.catalog),
     );
     if run_secs <= 0.0 {
@@ -1162,6 +1212,111 @@ fn run_serve(
         summary.rejected,
         summary.stats_json,
     ))
+}
+
+/// Renders nanoseconds with a unit the eye can scan in a table column.
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// The per-shard per-stage latency table `vodtop` renders from one
+/// snapshot: `p50/p99` per pipeline stage plus end-to-end and the live
+/// queue/lag/restart-budget gauges.
+fn render_vodtop(json: &str, shards: u32) -> String {
+    let mut header = vec!["shard".to_owned(), "spans".to_owned()];
+    for stage in vod_svc::SPAN_STAGES {
+        header.push(format!("{stage} p50/p99"));
+    }
+    header.push("total p50/p99".to_owned());
+    header.push("queue".to_owned());
+    header.push("lag".to_owned());
+    header.push("budget".to_owned());
+    let mut table = Table::new(header);
+    for shard in 0..shards {
+        let mut row = vec![shard.to_string()];
+        let total = vod_svc::find_histogram(json, &format!("svc.span.shard{shard}.total_ns"));
+        row.push(total.map_or_else(|| "0".to_owned(), |h| h.count.to_string()));
+        for stage in vod_svc::SPAN_STAGES {
+            let name = format!("svc.span.shard{shard}.{stage}_ns");
+            row.push(vod_svc::find_histogram(json, &name).map_or_else(
+                || "-".to_owned(),
+                |h| format!("{}/{}", fmt_ns(h.p50), fmt_ns(h.p99)),
+            ));
+        }
+        row.push(total.map_or_else(
+            || "-".to_owned(),
+            |h| format!("{}/{}", fmt_ns(h.p50), fmt_ns(h.p99)),
+        ));
+        for gauge in ["queue_depth", "clock_lag_slots", "restart_budget_left"] {
+            let name = format!("svc.gauge.shard{shard}.{gauge}");
+            row.push(
+                vod_svc::find_gauge(json, &name)
+                    .map_or_else(|| "-".to_owned(), |v| format!("{v:.0}")),
+            );
+        }
+        table.push_row(row);
+    }
+    let requests = vod_svc::find_counter(json, "svc.requests").unwrap_or(0);
+    let grants = vod_svc::find_counter(json, "svc.grants").unwrap_or(0);
+    let window = vod_svc::find_counter(json, "svc.snapshot.window_id").unwrap_or(0);
+    let rps = vod_svc::find_gauge(json, "svc.rate.requests_per_sec").unwrap_or(0.0);
+    let gps = vod_svc::find_gauge(json, "svc.rate.grants_per_sec").unwrap_or(0.0);
+    format!(
+        "window {window}: {requests} requests, {grants} grants; last window {rps:.1} req/s, \
+         {gps:.1} grants/s\n{}",
+        render_table(&table)
+    )
+}
+
+fn run_vodtop(
+    addr: &str,
+    intervals: u32,
+    snapshot_out: Option<&str>,
+    spans: u32,
+) -> Result<String, UsageError> {
+    use std::io::Write as _;
+
+    let scrape_err = |e: vod_svc::WireError| UsageError(format!("admin scrape failed: {e}"));
+    let mut client = vod_svc::AdminClient::connect(addr)
+        .map_err(|e| UsageError(format!("cannot reach admin plane at {addr}: {e}")))?;
+    let mut sink = snapshot_out
+        .map(|path| {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| UsageError(format!("cannot open {path}: {e}")))
+        })
+        .transpose()?;
+    let mut last = String::new();
+    for _ in 0..intervals {
+        // Pace on the server's own metric windows: one refresh per
+        // completed window (a draining server ends the wait early).
+        client.watch(1, |_, _| {}).map_err(scrape_err)?;
+        last = client.snapshot().map_err(scrape_err)?;
+        if let Some(file) = &mut sink {
+            // The pretty snapshot only breaks lines at structural
+            // whitespace, so stripping it yields one valid JSON line.
+            let line: String = last.lines().map(str::trim).collect();
+            writeln!(file, "{line}")
+                .map_err(|e| UsageError(format!("cannot write snapshot: {e}")))?;
+        }
+    }
+    let mut out = render_vodtop(&last, client.shards());
+    if spans > 0 {
+        let jsonl = client.spans(spans).map_err(scrape_err)?;
+        out.push_str("\nrecent spans:\n");
+        out.push_str(&jsonl);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -1210,6 +1365,7 @@ mod tests {
                 replay_cap: 1_024,
                 max_restarts: 3,
                 run_secs: 0.0,
+                admin_addr: None,
             }
         );
         match parse(&args("serve --catalog mix.toml")).unwrap() {
@@ -1231,6 +1387,110 @@ mod tests {
         assert!(parse(&args("serve --dilation 0")).is_err());
         assert!(parse(&args("serve --replay-cap 0")).is_err());
         assert!(parse(&args("serve --run-secs -1")).is_err());
+        match parse(&args("serve --admin-addr 127.0.0.1:7401")).unwrap() {
+            Command::Serve { admin_addr, .. } => {
+                assert_eq!(admin_addr.as_deref(), Some("127.0.0.1:7401"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_vodtop() {
+        let cmd = parse(&args("vodtop --addr 127.0.0.1:7401")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Vodtop {
+                addr: "127.0.0.1:7401".into(),
+                intervals: 5,
+                snapshot_out: None,
+                spans: 0,
+            }
+        );
+        match parse(&args(
+            "vodtop --addr h:1 --intervals 2 --snapshot-out t.jsonl --spans 8",
+        ))
+        .unwrap()
+        {
+            Command::Vodtop {
+                intervals,
+                snapshot_out,
+                spans,
+                ..
+            } => {
+                assert_eq!(intervals, 2);
+                assert_eq!(snapshot_out.as_deref(), Some("t.jsonl"));
+                assert_eq!(spans, 8);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(parse(&args("vodtop")).is_err(), "--addr is required");
+        assert!(parse(&args("vodtop --addr h:1 --intervals 0")).is_err());
+    }
+
+    #[test]
+    fn vodtop_against_a_dead_port_is_a_usage_error() {
+        // Bind-then-drop gives an address nothing is listening on.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let err = run_vodtop(&addr, 1, None, 0).unwrap_err();
+        assert!(err.0.contains("cannot reach admin plane"), "{}", err.0);
+    }
+
+    #[test]
+    fn vodtop_scrapes_a_live_server() {
+        let video = VideoSpec::new(Seconds::from_mins(1.0), 6).unwrap();
+        let config = vod_svc::SvcConfig {
+            catalog: vod_svc::ServeCatalog::uniform(2, video),
+            shards: 2,
+            dilation: 1_000,
+            admin_addr: Some("127.0.0.1:0".to_owned()),
+            telemetry_window: std::time::Duration::from_millis(25),
+            ..vod_svc::SvcConfig::default()
+        };
+        let service = vod_svc::Service::start("127.0.0.1:0", &config).unwrap();
+        let admin = service.admin_addr().expect("admin listener up").to_string();
+        let report = vod_svc::run_load(
+            service.local_addr(),
+            &vod_svc::LoadConfig {
+                conns: 2,
+                requests_per_conn: 8,
+                videos: 2,
+                ..vod_svc::LoadConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.grants, 16);
+
+        let out_path = std::env::temp_dir().join(format!(
+            "vodtop-cli-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&out_path);
+        let rendered =
+            run_vodtop(&admin, 2, Some(out_path.to_str().unwrap()), 4).expect("vodtop scrape");
+        assert!(rendered.contains("decode p50/p99"), "{rendered}");
+        assert!(rendered.contains("total p50/p99"), "{rendered}");
+        assert!(rendered.contains("recent spans:"), "{rendered}");
+        let jsonl = std::fs::read_to_string(&out_path).unwrap();
+        assert_eq!(jsonl.lines().count(), 2, "one JSON line per interval");
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("svc.span.shard0.total_ns"), "{line}");
+        }
+        let _ = std::fs::remove_file(&out_path);
+        let _ = service.shutdown();
+    }
+
+    #[test]
+    fn fmt_ns_picks_readable_units() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.5us");
+        assert_eq!(fmt_ns(2_500_000), "2.5ms");
+        assert_eq!(fmt_ns(3_210_000_000), "3.21s");
     }
 
     #[test]
