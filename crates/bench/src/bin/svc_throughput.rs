@@ -8,8 +8,14 @@
 //! arrival slots; the admission queue is deep enough that nothing is shed,
 //! making the grant sequence per video independent of shard count. On a
 //! host with ≥ 4 cores the 4-shard configuration must clear 1.8× the
-//! single-shard throughput; on smaller hosts (CI) the scaling row is
-//! reported but not asserted.
+//! single-shard throughput, tail latency must not degrade with shards
+//! (p99 at 4 shards ≤ 1.25× p99 at 1 shard), and the event-loop core must
+//! clear 3× the recorded thread-per-connection seed throughput; on
+//! smaller hosts (CI) the rows are reported but not asserted.
+//!
+//! The emitted table carries the pre-refactor seed rows (measured with
+//! the reader/writer-thread-pair transport on a 1-core host) alongside
+//! the live numbers, so the artifact always shows old vs new.
 
 use std::time::Duration;
 
@@ -21,6 +27,20 @@ use vod_types::{Seconds, Slot, VideoSpec};
 const VIDEOS: u32 = 8;
 const CONNS: usize = 8;
 const WINDOW: u64 = 4;
+
+/// Seed-era rows (thread-per-connection transport, 1-core host): shard
+/// count, req/s, p50 ms, p99 ms, p99.9 ms. Kept verbatim from the last
+/// pre-refactor `bench-results/svc_throughput.json` so every artifact
+/// shows the before/after side by side.
+const SEED_ROWS: [(&str, &str, &str, &str, &str); 3] = [
+    ("1", "27143", "1.049", "3.218", "3.218"),
+    ("2", "31930", "1.049", "2.427", "2.427"),
+    ("4", "28964", "1.049", "4.194", "5.545"),
+];
+
+/// Best seed-era throughput (req/s) across shard counts — the bar the
+/// event-loop core must clear 3× on a ≥ 4-core host.
+const SEED_BEST_REQ_S: f64 = 31_930.0;
 
 /// The offline oracle: the grant sequence a fresh scheduler produces for
 /// stride-1 arrivals.
@@ -60,7 +80,9 @@ fn main() {
     ]);
     let mut base_throughput = None;
     let mut scaling_1_to_4 = None;
-    for shards in [1usize, 2, 4] {
+    let mut p99_ms = [None::<f64>; 3];
+    let mut throughput_4 = 0.0f64;
+    for (row, shards) in [1usize, 2, 4].into_iter().enumerate() {
         let service = Service::start(
             "127.0.0.1:0",
             &SvcConfig {
@@ -119,7 +141,9 @@ fn main() {
         let scaling = throughput / base;
         if shards == 4 {
             scaling_1_to_4 = Some(scaling);
+            throughput_4 = throughput;
         }
+        p99_ms[row] = report.quantile_ms(0.99);
         let q = |p: f64| {
             report
                 .quantile_ms(p)
@@ -136,6 +160,16 @@ fn main() {
         ]);
     }
 
+    for (shards, req_s, p50, p99, p999) in SEED_ROWS {
+        table.push_row(vec![
+            format!("{shards} (seed)"),
+            req_s.to_owned(),
+            p50.to_owned(),
+            p99.to_owned(),
+            p999.to_owned(),
+            String::new(),
+        ]);
+    }
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     table.push_row(vec![
         "host cores".to_owned(),
@@ -152,18 +186,37 @@ fn main() {
     );
 
     let scaling = scaling_1_to_4.expect("4-shard row ran");
+    let tail_ratio = match (p99_ms[0], p99_ms[2]) {
+        (Some(p1), Some(p4)) if p1 > 0.0 => Some(p4 / p1),
+        _ => None,
+    };
+    let vs_seed = throughput_4 / SEED_BEST_REQ_S;
     if cores >= 4 {
         assert!(
             scaling >= 1.8,
             "4 shards must reach 1.8x single-shard throughput on a {cores}-core host, \
              got {scaling:.2}x"
         );
+        let ratio = tail_ratio.expect("p99 recorded at 1 and 4 shards");
+        assert!(
+            ratio <= 1.25,
+            "tail latency must not degrade with shards on a {cores}-core host: \
+             p99(4 shards) is {ratio:.2}x p99(1 shard) (limit 1.25x)"
+        );
+        assert!(
+            vs_seed >= 3.0,
+            "the event-loop core must clear 3x the thread-per-connection seed \
+             ({SEED_BEST_REQ_S:.0} req/s) on a {cores}-core host, got {vs_seed:.2}x"
+        );
         println!(
-            "[checks passed: identity at 1/2/4 shards; 4-shard scaling {scaling:.2}x >= 1.8x]"
+            "[checks passed: identity at 1/2/4 shards; scaling {scaling:.2}x >= 1.8x; \
+             p99(4)/p99(1) {ratio:.2}x <= 1.25x; {vs_seed:.2}x seed throughput >= 3x]"
         );
     } else {
+        let tail = tail_ratio.map_or_else(|| "n/a".to_owned(), |r| format!("{r:.2}x"));
         println!(
-            "[checks passed: identity at 1/2/4 shards; scaling {scaling:.2}x reported only — \
+            "[checks passed: identity at 1/2/4 shards; scaling {scaling:.2}x, \
+             p99(4)/p99(1) {tail}, {vs_seed:.2}x seed throughput reported only — \
              {cores}-core host is below the 4-core assertion floor]"
         );
     }

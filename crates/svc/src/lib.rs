@@ -12,10 +12,14 @@
 //! with `Describe`. Overload is shed at admission with explicit `Rejected`
 //! frames; shutdown drains in-flight grants before closing.
 //!
-//! Everything is dependency-free `std`: `TcpListener` + worker threads +
-//! bounded channels. [`load`] is the matching open/closed-loop load
-//! generator (`vodload`'s engine), reused by the loopback tests as the
-//! service↔simulator equivalence oracle.
+//! Everything is dependency-free `std` plus the raw-epoll `vod-net`
+//! wrapper: a small pool of readiness-driven event-loop threads owns every
+//! client connection (incremental frame decode, bounded outbound queues
+//! flushed with vectored writes — see `eventloop`), with worker threads
+//! and bounded channels behind them for the scheduler shards. [`load`] is
+//! the matching open/closed-loop load generator (`vodload`'s engine),
+//! reused by the loopback tests as the service↔simulator equivalence
+//! oracle.
 //!
 //! Resilience (protocol v3): shard workers run under a supervisor that
 //! catches panics and rebuilds schedulers from a per-shard state journal;
@@ -37,6 +41,7 @@
 pub mod admin;
 pub mod chaos;
 pub mod clock;
+mod eventloop;
 pub mod load;
 pub mod server;
 mod session;

@@ -15,8 +15,9 @@
 //!
 //! # Retry and resume
 //!
-//! The client never hangs on a dead server: every read polls under a
-//! timeout, and an attempt that goes quiet for
+//! The client never hangs on a dead server: reads are readiness-driven
+//! (an epoll wait bounded by the exact remaining deadline, not a fixed
+//! poll interval), and an attempt that goes quiet for
 //! [`LoadConfig::read_timeout`] is declared stalled. A dropped or stalled
 //! connection is retried up to [`LoadConfig::max_reconnects`] times with
 //! jittered exponential backoff; each reconnect sends
@@ -27,18 +28,18 @@
 //! [`LoadReport::unrecoverable_conns`] — the number the chaos CI gate
 //! pins to zero.
 
-use std::io;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use vod_net::{Events, Interest, Poller};
 use vod_obs::LogHistogram;
 
-use crate::server::{read_full, ReadFull, IDLE_POLL};
 use crate::session::lock_unpoisoned;
 use crate::wire::{
-    read_frame, write_frame, Frame, GrantedSegment, ARRIVAL_AUTO, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    read_frame, write_frame, Frame, FrameDecoder, GrantedSegment, ARRIVAL_AUTO, PROTOCOL_VERSION,
     RESUME_NONE,
 };
 
@@ -432,7 +433,7 @@ pub fn fetch_stats(addr: SocketAddr) -> io::Result<String> {
 /// What one frame read on the client side produced.
 enum ClientRead {
     Frame(Frame),
-    /// Poll timeout before any byte of a frame — loop and check deadlines.
+    /// Deadline passed before a complete frame arrived.
     Idle,
     /// EOF, reset, or an unrecoverable socket error.
     Closed,
@@ -440,29 +441,102 @@ enum ClientRead {
     Malformed,
 }
 
-/// Reads one frame under the client's poll timeout, distinguishing dead
-/// sockets (retryable) from malformed frames (protocol errors). Built on
-/// the server's mid-frame-safe [`read_full`], so a poll timeout can never
-/// desynchronise the stream.
-fn read_client(stream: &mut TcpStream) -> ClientRead {
-    let mut len_buf = [0u8; 4];
-    match read_full(stream, &mut len_buf, true) {
-        ReadFull::Done => {}
-        ReadFull::Idle => return ClientRead::Idle,
-        ReadFull::Eof | ReadFull::Fail => return ClientRead::Closed,
+/// The read half of one client connection: a nonblocking stream, a poller
+/// watching it, and an incremental [`FrameDecoder`]. Reads sleep in
+/// `epoll_wait` bounded by the caller's exact deadline — no fixed poll
+/// interval — and a partial frame simply stays buffered across calls, so a
+/// deadline can never desynchronise the stream mid-frame.
+struct ClientIo {
+    stream: TcpStream,
+    poller: Poller,
+    events: Events,
+    decoder: FrameDecoder,
+}
+
+impl ClientIo {
+    fn connect(addr: SocketAddr) -> io::Result<(ClientIo, ClientWriter)> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = ClientWriter::new(stream.try_clone()?)?;
+        stream.set_nonblocking(true)?;
+        let poller = Poller::new()?;
+        poller.register(&stream, 0, Interest::READABLE)?;
+        Ok((
+            ClientIo {
+                stream,
+                poller,
+                events: Events::with_capacity(4),
+                decoder: FrameDecoder::new(),
+            },
+            writer,
+        ))
     }
-    let len = u32::from_le_bytes(len_buf);
-    if len as usize > MAX_FRAME_LEN {
-        return ClientRead::Malformed;
+
+    /// Reads one frame, waiting on readiness until `deadline`.
+    fn read_by(&mut self, deadline: Instant) -> ClientRead {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(frame)) => return ClientRead::Frame(frame),
+                Ok(None) => {}
+                Err(_) => return ClientRead::Malformed,
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return ClientRead::Closed,
+                Ok(n) => self.decoder.extend(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    let Some(wait) = deadline.checked_duration_since(Instant::now()) else {
+                        return ClientRead::Idle;
+                    };
+                    if self.poller.wait(&mut self.events, Some(wait)).is_err() {
+                        return ClientRead::Closed;
+                    }
+                    if self.events.is_empty() {
+                        return ClientRead::Idle;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return ClientRead::Closed,
+            }
+        }
     }
-    let mut payload = vec![0u8; len as usize];
-    match read_full(stream, &mut payload, false) {
-        ReadFull::Done => {}
-        ReadFull::Idle | ReadFull::Eof | ReadFull::Fail => return ClientRead::Closed,
+}
+
+/// The write half: a cloned nonblocking fd plus a poller to wait out
+/// `EAGAIN` (a full socket buffer blocks exactly like the old blocking
+/// writes did, but wakes on writability instead of spinning).
+struct ClientWriter {
+    stream: TcpStream,
+    poller: Poller,
+    events: Events,
+}
+
+impl ClientWriter {
+    fn new(stream: TcpStream) -> io::Result<ClientWriter> {
+        let poller = Poller::new()?;
+        poller.register(&stream, 0, Interest::WRITABLE)?;
+        Ok(ClientWriter {
+            stream,
+            poller,
+            events: Events::with_capacity(4),
+        })
     }
-    match Frame::decode_payload(&payload) {
-        Ok(frame) => ClientRead::Frame(frame),
-        Err(_) => ClientRead::Malformed,
+
+    fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        let bytes = frame.encode();
+        let mut written = 0;
+        while written < bytes.len() {
+            match self.stream.write(&bytes[written..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.poller.wait(&mut self.events, None)?;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
     }
 }
 
@@ -566,21 +640,20 @@ fn run_attempt(
     outcome: &mut ConnOutcome,
     attempt: u32,
 ) -> io::Result<AttemptEnd> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(IDLE_POLL))?;
-    handshake(&mut stream, config, state, session, outcome)?;
+    let (mut io, mut writer) = ClientIo::connect(addr)?;
+    handshake(&mut io, &mut writer, config, state, session, outcome)?;
     if config.describe && attempt == 1 {
-        write_frame(&mut stream, &Frame::Describe { seq: 0, video })?;
+        writer.send(&Frame::Describe { seq: 0, video })?;
     }
 
     let (done_tx, done_rx) = mpsc::channel::<()>();
-    let recv_stream = stream.try_clone()?;
     let recv_state = Arc::clone(state);
     let collect = config.collect_grants;
     let quiet_limit = config.read_timeout;
+    // The reader half (decoder included — frames buffered during the
+    // handshake stay with it) moves to the receiver thread.
     let receiver = std::thread::spawn(move || {
-        receive_attempt(recv_stream, &recv_state, &done_tx, collect, quiet_limit)
+        receive_attempt(&mut io, &recv_state, &done_tx, collect, quiet_limit)
     });
 
     let pace = config.open_rate.map(|rate| {
@@ -624,7 +697,7 @@ fn run_attempt(
             video,
             arrival_slot,
         };
-        if write_frame(&mut stream, &frame).is_err() {
+        if writer.send(&frame).is_err() {
             break; // server went away; the receiver reports what landed
         }
         sent += 1;
@@ -633,29 +706,27 @@ fn run_attempt(
     // request is answered, the socket dies, or the quiet limit passes.
     let end = receiver.join().expect("receiver thread panicked");
     if end == AttemptEnd::Complete {
-        let _ = write_frame(&mut stream, &Frame::Goodbye);
+        let _ = writer.send(&Frame::Goodbye);
     }
     Ok(end)
 }
 
 /// Hello → Welcome, then Resume when an earlier attempt left a session.
 fn handshake(
-    stream: &mut TcpStream,
+    io: &mut ClientIo,
+    writer: &mut ClientWriter,
     config: &LoadConfig,
     state: &Arc<Mutex<ConnState>>,
     session: &mut Option<u64>,
     outcome: &mut ConnOutcome,
 ) -> io::Result<()> {
     let failed = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_owned());
-    write_frame(
-        stream,
-        &Frame::Hello {
-            version: PROTOCOL_VERSION,
-        },
-    )?;
+    writer.send(&Frame::Hello {
+        version: PROTOCOL_VERSION,
+    })?;
     let deadline = Instant::now() + config.read_timeout;
     let fresh_session = loop {
-        match read_client(stream) {
+        match io.read_by(deadline) {
             ClientRead::Frame(Frame::Welcome { session, .. }) => break session,
             ClientRead::Frame(Frame::Draining) => {
                 lock_unpoisoned(state).draining_seen += 1;
@@ -664,12 +735,10 @@ fn handshake(
                 return Err(failed("handshake failed: no Welcome"));
             }
             ClientRead::Idle => {
-                if Instant::now() > deadline {
-                    return Err(io::Error::new(
-                        io::ErrorKind::TimedOut,
-                        "handshake timed out waiting for Welcome",
-                    ));
-                }
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "handshake timed out waiting for Welcome",
+                ));
             }
             ClientRead::Closed => return Err(failed("connection closed during handshake")),
         }
@@ -685,15 +754,12 @@ fn handshake(
         let s = lock_unpoisoned(state);
         (s.last_contiguous(), s.unanswered_sent())
     };
-    write_frame(
-        stream,
-        &Frame::Resume {
-            session: old_session,
-            last_seq_seen: last_seen,
-        },
-    )?;
+    writer.send(&Frame::Resume {
+        session: old_session,
+        last_seq_seen: last_seen,
+    })?;
     loop {
-        match read_client(stream) {
+        match io.read_by(deadline) {
             ClientRead::Frame(Frame::Resumed { replayed, .. }) => {
                 outcome.resumes_ok += 1;
                 outcome.replayed_grants += u64::from(replayed);
@@ -714,12 +780,10 @@ fn handshake(
                 return Err(failed("handshake failed: no Resumed"));
             }
             ClientRead::Idle => {
-                if Instant::now() > deadline {
-                    return Err(io::Error::new(
-                        io::ErrorKind::TimedOut,
-                        "handshake timed out waiting for Resumed",
-                    ));
-                }
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "handshake timed out waiting for Resumed",
+                ));
             }
             ClientRead::Closed => return Err(failed("connection closed during resume")),
         }
@@ -727,7 +791,7 @@ fn handshake(
 }
 
 fn receive_attempt(
-    mut stream: TcpStream,
+    io: &mut ClientIo,
     state: &Mutex<ConnState>,
     done_tx: &mpsc::Sender<()>,
     collect: bool,
@@ -738,7 +802,10 @@ fn receive_attempt(
         if lock_unpoisoned(state).all_answered() {
             return AttemptEnd::Complete;
         }
-        match read_client(&mut stream) {
+        // The wait is bounded by the exact quiet deadline: an idle wake
+        // here means the attempt is stalled, not that a poll interval
+        // elapsed.
+        match io.read_by(quiet_since + quiet_limit) {
             ClientRead::Frame(frame) => {
                 quiet_since = Instant::now();
                 let answered = {
@@ -785,11 +852,7 @@ fn receive_attempt(
                     let _ = done_tx.send(());
                 }
             }
-            ClientRead::Idle => {
-                if quiet_since.elapsed() > quiet_limit {
-                    return AttemptEnd::TimedOut;
-                }
-            }
+            ClientRead::Idle => return AttemptEnd::TimedOut,
             ClientRead::Closed => return AttemptEnd::Dead,
             ClientRead::Malformed => {
                 lock_unpoisoned(state).protocol_errors += 1;

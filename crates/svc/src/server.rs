@@ -1,13 +1,16 @@
-//! The TCP service: accept loop, per-connection reader/writer threads,
-//! admission control, session resume, and graceful drain.
+//! The TCP service: accept loop, event-loop connection core, admission
+//! control, session resume, and graceful drain.
 //!
-//! Thread topology: one accept thread, one reader and one writer thread per
-//! connection, and `shards` supervised scheduler threads. Readers validate
-//! and route frames; every outbound frame goes through the connection's
-//! **bounded** outbound queue to the writer, which is the per-connection
+//! Thread topology: one accept thread, a small pool of event-loop threads
+//! (`io_threads`, default one per core up to 8) owning every client
+//! connection, `shards` supervised scheduler threads, and one thread per
+//! admin scrape connection. The loops validate and route frames; every
+//! outbound frame goes through the connection's **bounded** outbound queue
+//! (flushed by its loop with vectored writes), which is the per-connection
 //! write backpressure: a client that stops reading eventually blocks its
 //! own pipeline (and, transitively, any shard trying to answer it), never
-//! an unbounded buffer.
+//! an unbounded buffer. See `eventloop.rs` for the ownership and wakeup
+//! story.
 //!
 //! Sessions (protocol v3): a `Hello` registers a session whose id rides in
 //! the `Welcome`. Answers to sessioned connections are recorded in a
@@ -18,40 +21,39 @@
 //! argument). Connections that never say `Hello` keep the old sessionless
 //! fast path.
 //!
-//! Drain protocol (see DESIGN.md §12): [`Service::shutdown`] flips the
-//! drain flag, pokes the listener, and joins readers → shards → writers in
-//! that order (clearing the session registry between shards and writers so
-//! ring-held senders release the writer channels). Readers send one
-//! `Draining` frame and stop admitting; already-queued requests still flow
-//! shard → writer → socket, so every admitted request gets its grant
-//! before the last socket closes.
+//! Drain protocol (see DESIGN.md §12 and §16): [`Service::shutdown`] flips
+//! the drain flag, pokes the listener, and then drains in two phases. In
+//! phase one every event loop stops admitting, drops its shard senders,
+//! and queues one `Draining` frame per live connection; the admin plane is
+//! woken by a level-triggered drain [`Signal`] and closes out. With the
+//! shards' request channels closed they answer everything already admitted
+//! and exit. Phase two tells the loops to close every connection as soon
+//! as its outbound queue has flushed and its in-flight answers have
+//! landed — so every admitted request gets its grant before the last
+//! socket closes.
 
-use std::io::{self, Read};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use vod_obs::{Event, Journal, RejectKind};
+use vod_net::{Events, Interest, Poller, Signal};
+use vod_obs::{Event, Journal};
 use vod_server::ServeCatalog;
 use vod_types::VideoSpec;
 
-use crate::admin::{write_admin_frame, AdminFrame, ADMIN_PROTOCOL_VERSION};
+use crate::admin::{AdminFrame, ADMIN_PROTOCOL_VERSION};
 use crate::chaos::ChaosPlan;
 use crate::clock::SlotClock;
-use crate::session::{lock_unpoisoned, Admit, Session, SessionRegistry};
-use crate::shard::{spawn_shard, ReplyTo, RestartPolicy, ShardConfig, ShardMsg, ShardVideo};
+use crate::eventloop::LoopPool;
+use crate::session::{lock_unpoisoned, SessionRegistry};
+use crate::shard::{spawn_shard, RestartPolicy, ShardConfig, ShardMsg, ShardVideo};
 use crate::stats::ServiceStats;
-use crate::telemetry::{dur_ns, Outbound, SpanStart, Telemetry};
-use crate::wire::{self, Frame, ARRIVAL_AUTO, MAX_FRAME_LEN, PROTOCOL_VERSION};
-
-/// How often an idle reader wakes to check the drain flag.
-pub(crate) const IDLE_POLL: Duration = Duration::from_millis(25);
-/// Retries tolerated while waiting for the rest of a started frame
-/// (`IDLE_POLL` each) before the connection is declared stalled.
-const MID_FRAME_RETRIES: u32 = 1_200;
+use crate::telemetry::{dur_ns, Telemetry};
+use crate::wire::FrameBuffer;
 
 /// Service configuration. `Default` gives a small two-shard uniform catalog
 /// of paper-sized videos at real-time pace, no chaos, and a restart budget
@@ -74,6 +76,9 @@ pub struct SvcConfig {
     /// Bounded per-connection outbound frame-queue depth (write
     /// backpressure).
     pub outbound_cap: usize,
+    /// Event-loop threads serving client connections. `0` picks one per
+    /// available core, capped at 8.
+    pub io_threads: usize,
     /// Test knob: minimum scheduling time per request, for deterministic
     /// overload/drain tests. Keep zero in production.
     pub min_service_time: Duration,
@@ -114,6 +119,7 @@ impl Default for SvcConfig {
             dilation: 1,
             queue_cap: 64,
             outbound_cap: 256,
+            io_threads: 0,
             min_service_time: Duration::ZERO,
             journal: Journal::disabled(),
             replay_cap: 1024,
@@ -144,40 +150,43 @@ pub struct DrainSummary {
     pub stats_json: String,
 }
 
-/// Per-video facts the reader threads answer `Describe` from and validate
+/// Per-video facts the event loops answer `Describe` from and validate
 /// `Request`s against. Built once at startup, immutable afterwards.
-struct VideoMeta {
+pub(crate) struct VideoMeta {
     /// Segment count (0 for invalid entries).
-    segments: u32,
+    pub(crate) segments: u32,
     /// Scheduler name (`DHB`, `dyn-NPB`, `DHB-d`, …) or the entry's
     /// protocol key when the entry failed to build.
-    protocol: String,
+    pub(crate) protocol: String,
     /// The period vector `T[1..=n]` (empty for invalid entries).
-    periods: Vec<u64>,
+    pub(crate) periods: Vec<u64>,
     /// `false` when the catalog entry could not back a working scheduler;
     /// requests for it get `Rejected(invalid_video)`.
-    valid: bool,
+    pub(crate) valid: bool,
 }
 
-struct Shared {
-    videos: u32,
-    shards: usize,
-    meta: Vec<VideoMeta>,
-    dilation: u32,
-    draining: AtomicBool,
-    next_conn: AtomicU64,
-    stats: Arc<ServiceStats>,
-    journal: Journal,
-    sessions: SessionRegistry,
-    /// Per-shard "restart budget exhausted" flags; readers shed at
-    /// admission instead of queueing into a disabled shard.
-    shard_down: Vec<Arc<AtomicBool>>,
-    chaos: Arc<ChaosPlan>,
-    replay_cap: usize,
-    telemetry: Arc<Telemetry>,
-    readers: Mutex<Vec<JoinHandle<()>>>,
-    writers: Mutex<Vec<JoinHandle<()>>>,
-    admins: Mutex<Vec<JoinHandle<()>>>,
+pub(crate) struct Shared {
+    pub(crate) videos: u32,
+    pub(crate) shards: usize,
+    pub(crate) meta: Vec<VideoMeta>,
+    pub(crate) dilation: u32,
+    pub(crate) draining: AtomicBool,
+    pub(crate) next_conn: AtomicU64,
+    pub(crate) stats: Arc<ServiceStats>,
+    pub(crate) journal: Journal,
+    pub(crate) sessions: SessionRegistry,
+    /// Per-shard "restart budget exhausted" flags; loops shed at admission
+    /// instead of queueing into a disabled shard.
+    pub(crate) shard_down: Vec<Arc<AtomicBool>>,
+    pub(crate) chaos: Arc<ChaosPlan>,
+    pub(crate) replay_cap: usize,
+    pub(crate) outbound_cap: usize,
+    pub(crate) telemetry: Arc<Telemetry>,
+    /// Fired once at shutdown; admin connection pollers watch it so idle
+    /// scrapers and mid-`Watch` streams wake immediately instead of
+    /// sleeping through a fixed poll interval.
+    pub(crate) drain_signal: Arc<Signal>,
+    pub(crate) admins: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// A running VoD control-plane service.
@@ -193,6 +202,7 @@ pub struct Service {
     admin_handle: Option<JoinHandle<()>>,
     shard_handles: Vec<JoinHandle<()>>,
     shard_txs: Vec<SyncSender<ShardMsg>>,
+    pool: Arc<LoopPool>,
 }
 
 impl Service {
@@ -299,18 +309,26 @@ impl Service {
             shard_down,
             chaos,
             replay_cap: config.replay_cap.max(1),
+            outbound_cap: config.outbound_cap.max(8),
             telemetry,
-            readers: Mutex::new(Vec::new()),
-            writers: Mutex::new(Vec::new()),
+            drain_signal: Arc::new(Signal::new()?),
             admins: Mutex::new(Vec::new()),
         });
 
+        let io_threads = if config.io_threads == 0 {
+            std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get)
+                .min(8)
+        } else {
+            config.io_threads
+        };
+        let pool = Arc::new(LoopPool::spawn(&shared, &shard_txs, io_threads)?);
+
         let accept_shared = Arc::clone(&shared);
-        let accept_txs = shard_txs.clone();
-        let outbound_cap = config.outbound_cap.max(8);
+        let accept_pool = Arc::clone(&pool);
         let accept_handle = std::thread::Builder::new()
             .name("vod-svc-accept".to_owned())
-            .spawn(move || accept_loop(&listener, &accept_shared, &accept_txs, outbound_cap))?;
+            .spawn(move || accept_loop(&listener, &accept_shared, &accept_pool))?;
 
         let (admin_addr, admin_handle) = match &config.admin_addr {
             Some(bind) => {
@@ -333,6 +351,7 @@ impl Service {
             admin_handle,
             shard_handles,
             shard_txs,
+            pool,
         })
     }
 
@@ -362,8 +381,12 @@ impl Service {
         // Unblock `accept` so the accept thread notices the flag.
         let _ = TcpStream::connect(self.addr);
         let _ = self.accept_handle.join();
-        // Same for the admin plane; its connection threads poll the drain
-        // flag between requests and mid-Watch.
+        // Drain phase one: every loop stops admitting, drops its shard
+        // senders, and queues a `Draining` frame per live connection.
+        self.pool.begin_drain();
+        // The admin plane wakes on the drain signal (no poll interval to
+        // wait out); poke its listener too so `accept` returns.
+        self.shared.drain_signal.fire();
         if let Some(admin_addr) = self.admin_addr {
             let _ = TcpStream::connect(admin_addr);
         }
@@ -373,23 +396,19 @@ impl Service {
         for handle in take_handles(&self.shared.admins) {
             let _ = handle.join();
         }
-        // Readers exit within one idle poll; they stop admitting first.
-        for handle in take_handles(&self.shared.readers) {
-            let _ = handle.join();
-        }
         // With every request-side sender gone the shards drain their queues
-        // (answering what was admitted) and exit.
+        // (answering what was admitted) and exit. Every in-flight answer
+        // lands in its connection's outbound queue before the join returns.
         drop(self.shard_txs);
         for handle in self.shard_handles {
             let _ = handle.join();
         }
-        // Session rings hold outbound senders; drop them so writer channels
-        // close once each reader's own sender is gone too.
+        // Session rings hold connection senders; drop them so the queues
+        // are referenced only by their connections.
         self.shared.sessions.clear();
-        // Writers exit once the last queued frame is flushed.
-        for handle in take_handles(&self.shared.writers) {
-            let _ = handle.join();
-        }
+        // Drain phase two: loops flush every queue, close every socket,
+        // and exit.
+        self.pool.finish();
         let stats = &self.shared.stats;
         let summary = DrainSummary {
             conns: stats.conns.load(Ordering::Relaxed),
@@ -414,12 +433,7 @@ fn take_handles(slot: &Mutex<Vec<JoinHandle<()>>>) -> Vec<JoinHandle<()>> {
     std::mem::take(&mut *lock_unpoisoned(slot))
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Arc<Shared>,
-    shard_txs: &[SyncSender<ShardMsg>],
-    outbound_cap: usize,
-) {
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, pool: &LoopPool) {
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -436,15 +450,7 @@ fn accept_loop(
         let conn = shared.next_conn.fetch_add(1, Ordering::Relaxed);
         shared.stats.conns.fetch_add(1, Ordering::Relaxed);
         shared.journal.emit_with(|| Event::ConnAccepted { conn });
-        let conn_shared = Arc::clone(shared);
-        let conn_txs = shard_txs.to_vec();
-        let handle = std::thread::Builder::new()
-            .name(format!("vod-svc-conn-{conn}"))
-            .spawn(move || run_connection(stream, conn, &conn_shared, &conn_txs, outbound_cap));
-        match handle {
-            Ok(handle) => lock_unpoisoned(&shared.readers).push(handle),
-            Err(_) => continue,
-        }
+        pool.dispatch(stream, conn);
     }
 }
 
@@ -476,39 +482,141 @@ fn admin_accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
+/// Poller tokens for one admin connection: the stream and the service-wide
+/// drain signal.
+const ADMIN_STREAM: u64 = 0;
+const ADMIN_DRAIN: u64 = 1;
+
+/// One admin scrape connection's readiness-driven I/O: a nonblocking
+/// stream, a poller watching it alongside the drain [`Signal`], and an
+/// incremental frame buffer. Replaces the old fixed 25 ms read-timeout
+/// polling: idle scrapers sleep in `epoll_wait` until bytes or the drain
+/// signal arrive.
+struct AdminIo {
+    stream: TcpStream,
+    poller: Poller,
+    events: Events,
+    buf: FrameBuffer,
+    /// Interest currently registered for the stream.
+    registered: Interest,
+}
+
+impl AdminIo {
+    fn new(stream: TcpStream, shared: &Shared) -> io::Result<AdminIo> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        let poller = Poller::new()?;
+        poller.register(&stream, ADMIN_STREAM, Interest::READABLE)?;
+        poller.register(
+            shared.drain_signal.as_ref(),
+            ADMIN_DRAIN,
+            Interest::READABLE,
+        )?;
+        Ok(AdminIo {
+            stream,
+            poller,
+            events: Events::with_capacity(8),
+            buf: FrameBuffer::new(),
+            registered: Interest::READABLE,
+        })
+    }
+
+    fn set_interest(&mut self, interest: Interest) -> io::Result<()> {
+        if interest != self.registered {
+            self.poller
+                .reregister(&self.stream, ADMIN_STREAM, interest)?;
+            self.registered = interest;
+        }
+        Ok(())
+    }
+
+    /// Reads one admin frame, sleeping on readiness while the stream is
+    /// idle. Returns `None` on EOF, any failure, or the drain signal.
+    fn read_request(&mut self, shared: &Shared) -> Option<AdminFrame> {
+        if self.set_interest(Interest::READABLE).is_err() {
+            return None;
+        }
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.buf.next_payload() {
+                Ok(Some(payload)) => return AdminFrame::decode_payload(&payload).ok(),
+                Ok(None) => {}
+                Err(_) => return None,
+            }
+            if shared.draining.load(Ordering::SeqCst) {
+                return None;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return None,
+                Ok(n) => {
+                    self.buf.extend(&chunk[..n]);
+                    continue;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if self.poller.wait(&mut self.events, None).is_err() {
+                        return None;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Writes one frame, waiting for writability as needed; the drain
+    /// signal aborts the wait (the scraper is being shut out anyway).
+    fn write_reply(&mut self, frame: &AdminFrame) -> io::Result<()> {
+        let bytes = frame.encode();
+        let mut written = 0;
+        while written < bytes.len() {
+            match self.stream.write(&bytes[written..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.set_interest(Interest::WRITABLE)?;
+                    self.poller.wait(&mut self.events, None)?;
+                    // Woken by the drain signal with the socket still not
+                    // writable? Keep trying: the final frame (`WatchDone`)
+                    // must still go out; a dead peer errors the write.
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
 /// One admin scrape connection: `Hello` handshake first, then any number of
 /// `Snapshot` / `Watch` / `Spans` requests. Every codec error drops the
 /// connection; requests sent while draining are cut short so shutdown never
 /// waits on a scraper.
-fn run_admin_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
-    if stream.set_read_timeout(Some(IDLE_POLL)).is_err() || stream.set_nodelay(true).is_err() {
+fn run_admin_conn(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(mut io) = AdminIo::new(stream, shared) else {
         return;
-    }
+    };
     let telemetry = &shared.telemetry;
-    match read_admin_request(&mut stream, shared) {
+    match io.read_request(shared) {
         Some(AdminFrame::Hello { .. }) => {
             let hello_ok = AdminFrame::HelloOk {
                 version: ADMIN_PROTOCOL_VERSION,
                 shards: shared.shards as u32,
                 window_ns: dur_ns(telemetry.window_len()),
             };
-            if write_admin_frame(&mut stream, &hello_ok).is_err() {
+            if io.write_reply(&hello_ok).is_err() {
                 return;
             }
         }
         Some(_) => {
-            let _ = write_admin_frame(
-                &mut stream,
-                &AdminFrame::Error {
-                    message: "expected Hello first".to_owned(),
-                },
-            );
+            let _ = io.write_reply(&AdminFrame::Error {
+                message: "expected Hello first".to_owned(),
+            });
             return;
         }
         None => return,
     }
     loop {
-        let reply = match read_admin_request(&mut stream, shared) {
+        let reply = match io.read_request(shared) {
             Some(AdminFrame::Snapshot) => AdminFrame::SnapshotReply {
                 json: telemetry
                     .snapshot_full(&shared.stats, &shared.sessions)
@@ -518,23 +626,20 @@ fn run_admin_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
                 jsonl: telemetry.spans_jsonl(max as usize),
             },
             Some(AdminFrame::Watch { windows }) => {
-                if !stream_windows(&mut stream, shared, windows) {
+                if !stream_windows(&mut io, shared, windows) {
                     return;
                 }
                 continue;
             }
             Some(_) => {
-                let _ = write_admin_frame(
-                    &mut stream,
-                    &AdminFrame::Error {
-                        message: "not a request frame".to_owned(),
-                    },
-                );
+                let _ = io.write_reply(&AdminFrame::Error {
+                    message: "not a request frame".to_owned(),
+                });
                 return;
             }
             None => return,
         };
-        if write_admin_frame(&mut stream, &reply).is_err() {
+        if io.write_reply(&reply).is_err() {
             return;
         }
     }
@@ -543,18 +648,25 @@ fn run_admin_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
 /// Sends one `WindowDelta` per completed metric window until `windows`
 /// have been streamed or the service starts draining, then `WatchDone`.
 /// Returns false when the connection died mid-stream.
-fn stream_windows(stream: &mut TcpStream, shared: &Arc<Shared>, windows: u32) -> bool {
+fn stream_windows(io: &mut AdminIo, shared: &Arc<Shared>, windows: u32) -> bool {
     let telemetry = &shared.telemetry;
     // Start from the window in progress: the client asked for windows
     // completed *after* the request, never a stale backlog.
     let mut next = telemetry.window_id();
+    // Window completion is a function of time, so the wait is timed — but
+    // the drain signal cuts it short, so shutdown never waits a full poll
+    // interval on a mid-`Watch` scraper.
     let poll = (telemetry.window_len() / 8)
-        .min(IDLE_POLL)
+        .min(Duration::from_millis(25))
         .max(Duration::from_millis(1));
     let mut sent = 0u32;
     while sent < windows && !shared.draining.load(Ordering::SeqCst) {
         if telemetry.window_id() <= next {
-            std::thread::sleep(poll);
+            if io.set_interest(Interest::NONE).is_err()
+                || io.poller.wait(&mut io.events, Some(poll)).is_err()
+            {
+                return false;
+            }
             continue;
         }
         let json = telemetry
@@ -564,450 +676,11 @@ fn stream_windows(stream: &mut TcpStream, shared: &Arc<Shared>, windows: u32) ->
             window_id: next,
             json,
         };
-        if write_admin_frame(stream, &delta).is_err() {
+        if io.write_reply(&delta).is_err() {
             return false;
         }
         next += 1;
         sent += 1;
     }
-    write_admin_frame(stream, &AdminFrame::WatchDone).is_ok()
-}
-
-/// Reads one admin frame under the idle-poll timeout, returning `None` on
-/// EOF, any failure, or when the service drains while waiting.
-fn read_admin_request(stream: &mut TcpStream, shared: &Arc<Shared>) -> Option<AdminFrame> {
-    loop {
-        if shared.draining.load(Ordering::SeqCst) {
-            return None;
-        }
-        let mut len_buf = [0u8; 4];
-        match read_full(stream, &mut len_buf, true) {
-            ReadFull::Done => {}
-            ReadFull::Idle => continue,
-            ReadFull::Eof | ReadFull::Fail => return None,
-        }
-        let len = u32::from_le_bytes(len_buf);
-        if len as usize > MAX_FRAME_LEN {
-            return None;
-        }
-        let mut payload = vec![0u8; len as usize];
-        match read_full(stream, &mut payload, false) {
-            ReadFull::Done => {}
-            ReadFull::Idle | ReadFull::Eof | ReadFull::Fail => return None,
-        }
-        return AdminFrame::decode_payload(&payload).ok();
-    }
-}
-
-/// The per-connection reader: parses frames, applies admission control,
-/// manages the session lifecycle (create on `Hello`, adopt on `Resume`,
-/// retire on `Goodbye`), routes to shards, and answers control frames.
-#[allow(clippy::too_many_lines)]
-fn run_connection(
-    mut stream: TcpStream,
-    conn: u64,
-    shared: &Arc<Shared>,
-    shard_txs: &[SyncSender<ShardMsg>],
-    outbound_cap: usize,
-) {
-    if stream.set_read_timeout(Some(IDLE_POLL)).is_err() || stream.set_nodelay(true).is_err() {
-        return;
-    }
-    let write_half = match stream.try_clone() {
-        Ok(half) => half,
-        Err(_) => return,
-    };
-    let (out_tx, out_rx) = sync_channel::<Outbound>(outbound_cap);
-    let writer_stats = Arc::clone(&shared.stats);
-    let writer_chaos = Arc::clone(&shared.chaos);
-    let writer = std::thread::Builder::new()
-        .name(format!("vod-svc-write-{conn}"))
-        .spawn(move || run_writer(write_half, &out_rx, conn, &writer_stats, &writer_chaos));
-    match writer {
-        Ok(handle) => lock_unpoisoned(&shared.writers).push(handle),
-        Err(_) => return,
-    }
-
-    let stats = &shared.stats;
-    // The session this connection currently speaks for: set by `Hello`,
-    // possibly swapped by `Resume`, absent for raw sessionless clients.
-    let mut session: Option<Arc<Session>> = None;
-    loop {
-        if shared.draining.load(Ordering::SeqCst) {
-            // Stop admitting; tell the client; leave delivery of queued
-            // grants to the writer.
-            let _ = out_tx.send(Outbound::plain(Frame::Draining));
-            return;
-        }
-        let (frame, started, decode_ns) = match read_inbound(&mut stream) {
-            Inbound::Frame {
-                frame,
-                started,
-                decode_ns,
-            } => (frame, started, decode_ns),
-            Inbound::Idle => continue,
-            Inbound::Eof => return,
-            Inbound::Fail => {
-                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-        };
-        match frame {
-            // The decoder already rejected any version other than
-            // PROTOCOL_VERSION (a mismatched client is dropped with a
-            // protocol error before reaching this match).
-            Frame::Hello { .. } => {
-                if session.is_none() {
-                    let fresh = Arc::new(Session::new(conn, out_tx.clone(), shared.replay_cap));
-                    shared.sessions.insert(&fresh);
-                    session = Some(fresh);
-                }
-                let welcome = Frame::Welcome {
-                    version: PROTOCOL_VERSION,
-                    session: session.as_ref().map_or(conn, |s| s.id()),
-                    videos: shared.videos,
-                    shards: shared.shards as u32,
-                    dilation: shared.dilation,
-                };
-                if out_tx.send(Outbound::plain(welcome)).is_err() {
-                    return;
-                }
-            }
-            Frame::Resume {
-                session: wanted,
-                last_seq_seen,
-            } => match shared.sessions.get(wanted) {
-                Some(adopted) => {
-                    // Retire the fresh session this connection's Hello
-                    // registered — nothing was recorded on it yet.
-                    if let Some(current) = session.take() {
-                        if current.id() != wanted {
-                            shared.sessions.remove(current.id());
-                        }
-                    }
-                    let replayed = adopted.resume(out_tx.clone(), last_seq_seen);
-                    stats.sessions_resumed.fetch_add(1, Ordering::Relaxed);
-                    stats.grants_replayed.fetch_add(replayed, Ordering::Relaxed);
-                    shared.journal.emit_with(|| Event::SessionResumed {
-                        session: wanted,
-                        conn,
-                        replayed,
-                    });
-                    session = Some(adopted);
-                }
-                None => {
-                    // Echo the unresolvable session id in the seq field so
-                    // the client can correlate the failure.
-                    stats.count_rejection(RejectKind::UnknownSession);
-                    shared.journal.emit_with(|| Event::RequestRejected {
-                        conn,
-                        request: wanted,
-                        reason: RejectKind::UnknownSession,
-                    });
-                    let reject = Frame::Rejected {
-                        seq: wanted,
-                        reason: RejectKind::UnknownSession,
-                    };
-                    if out_tx.send(Outbound::plain(reject)).is_err() {
-                        return;
-                    }
-                }
-            },
-            Frame::Describe { seq, video } => {
-                let reply = match shared.meta.get(video as usize) {
-                    Some(meta) if meta.valid => Frame::VideoInfo {
-                        seq,
-                        video,
-                        segments: meta.segments,
-                        protocol: meta.protocol.clone(),
-                        periods: meta.periods.clone(),
-                    },
-                    Some(_) => Frame::Rejected {
-                        seq,
-                        reason: RejectKind::InvalidVideo,
-                    },
-                    None => Frame::Rejected {
-                        seq,
-                        reason: RejectKind::UnknownVideo,
-                    },
-                };
-                if out_tx.send(Outbound::plain(reply)).is_err() {
-                    return;
-                }
-            }
-            Frame::Request {
-                seq,
-                video,
-                arrival_slot,
-            } => {
-                stats.requests.fetch_add(1, Ordering::Relaxed);
-                shared.telemetry.on_request();
-                // Dedupe re-sends after a reconnect: an already-answered
-                // seq is re-served from the replay ring, an in-flight one
-                // is left to its original answer.
-                let deduped = session.as_ref().is_some_and(|s| match s.admit(seq) {
-                    Admit::Fresh => false,
-                    Admit::Resent | Admit::InFlight => true,
-                });
-                if deduped {
-                    stats.requests_deduped.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    let shard = video as usize % shard_txs.len();
-                    let reject = if video >= shared.videos {
-                        Some(RejectKind::UnknownVideo)
-                    } else if !shared.meta[video as usize].valid {
-                        Some(RejectKind::InvalidVideo)
-                    } else if shared.draining.load(Ordering::SeqCst) {
-                        Some(RejectKind::Draining)
-                    } else if shared.shard_down[shard].load(Ordering::Acquire) {
-                        Some(RejectKind::ShardDown)
-                    } else {
-                        let reply = match &session {
-                            Some(s) => ReplyTo::Session(Arc::clone(s)),
-                            None => ReplyTo::Direct(out_tx.clone()),
-                        };
-                        let msg = ShardMsg::Request {
-                            conn,
-                            seq,
-                            video,
-                            arrival_slot,
-                            enqueued: Instant::now(),
-                            reply,
-                            span: Some(SpanStart {
-                                id: shared.telemetry.next_span_id(),
-                                started,
-                                decode_ns,
-                            }),
-                        };
-                        // Enter the gauge *before* the send: the shard
-                        // decrements at receipt, and on a fast path it can
-                        // dequeue before a post-send increment would run,
-                        // leaving a phantom entry behind.
-                        shared.telemetry.queue_enter(shard);
-                        match shard_txs[shard].try_send(msg) {
-                            Ok(()) => None,
-                            Err(TrySendError::Full(_)) => {
-                                shared.telemetry.queue_leave(shard);
-                                Some(RejectKind::QueueFull)
-                            }
-                            // Supervision keeps shard threads alive, so a
-                            // closed queue outside a drain means the shard
-                            // is gone for good.
-                            Err(TrySendError::Disconnected(_)) => {
-                                shared.telemetry.queue_leave(shard);
-                                if shared.draining.load(Ordering::SeqCst) {
-                                    Some(RejectKind::Draining)
-                                } else {
-                                    Some(RejectKind::ShardDown)
-                                }
-                            }
-                        }
-                    };
-                    if let Some(reason) = reject {
-                        stats.count_rejection(reason);
-                        shared.telemetry.on_reject();
-                        shared.journal.emit_with(|| Event::RequestRejected {
-                            conn,
-                            request: seq,
-                            reason,
-                        });
-                        let frame = Frame::Rejected { seq, reason };
-                        match &session {
-                            // Record the rejection in the ring: it is this
-                            // seq's answer and must survive a reconnect.
-                            Some(s) => s.deliver(seq, frame, None),
-                            None => {
-                                if out_tx.send(Outbound::plain(frame)).is_err() {
-                                    return;
-                                }
-                            }
-                        }
-                    }
-                }
-                // Planned chaos: hard-drop the socket after this request.
-                // The session survives in the registry for resume.
-                if let Some(s) = &session {
-                    let trigger = if arrival_slot == ARRIVAL_AUTO {
-                        s.processed_count()
-                    } else {
-                        arrival_slot
-                    };
-                    if shared.chaos.conn_reset_due(s.id(), trigger) {
-                        stats.chaos_conn_resets.fetch_add(1, Ordering::Relaxed);
-                        let _ = stream.shutdown(Shutdown::Both);
-                        return;
-                    }
-                }
-            }
-            Frame::Stats => {
-                // The full telemetry snapshot, stamped with monotonic time
-                // and window id so two STATS replies are orderable even
-                // across reconnects.
-                let json = shared
-                    .telemetry
-                    .snapshot_full(stats, &shared.sessions)
-                    .to_json_pretty();
-                if out_tx
-                    .send(Outbound::plain(Frame::StatsReply { json }))
-                    .is_err()
-                {
-                    return;
-                }
-            }
-            Frame::Goodbye => {
-                // An orderly goodbye retires the session: nothing to
-                // resume after an intentional close.
-                if let Some(s) = &session {
-                    shared.sessions.remove(s.id());
-                }
-                return;
-            }
-            // Server→client frames arriving at the server are a protocol
-            // violation.
-            Frame::Welcome { .. }
-            | Frame::Grant { .. }
-            | Frame::Rejected { .. }
-            | Frame::Resumed { .. }
-            | Frame::VideoInfo { .. }
-            | Frame::StatsReply { .. }
-            | Frame::Draining => {
-                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-        }
-    }
-}
-
-/// The per-connection writer: flushes the bounded outbound queue to the
-/// socket. On a write failure it keeps *consuming* (discarding) frames so
-/// blocked producers — shards included — are never wedged by a dead client.
-/// Planned chaos stalls sleep here, upstream of the socket, to simulate a
-/// slow consumer without touching scheduler state.
-fn run_writer(
-    mut stream: TcpStream,
-    rx: &Receiver<Outbound>,
-    conn: u64,
-    stats: &ServiceStats,
-    chaos: &ChaosPlan,
-) {
-    let mut dead = false;
-    let mut written: u64 = 0;
-    while let Ok(out) = rx.recv() {
-        let dequeued = Instant::now();
-        if let Some(stall) = chaos.writer_stall_due(conn, written) {
-            stats.chaos_writer_stalls.fetch_add(1, Ordering::Relaxed);
-            std::thread::sleep(stall);
-        }
-        if !dead && wire::write_frame(&mut stream, &out.frame).is_err() {
-            dead = true;
-        }
-        written += 1;
-        if let Some(span) = out.span {
-            // Writer wait ended at dequeue; everything since — chaos stall
-            // included — is flush. `saturating_duration_since` because the
-            // shard's `sent_at` was taken on another thread.
-            let writer_wait = dur_ns(dequeued.saturating_duration_since(span.sent_at));
-            let flush = dur_ns(dequeued.elapsed());
-            span.finish(writer_wait, flush);
-        }
-    }
-    let _ = stream.shutdown(Shutdown::Write);
-}
-
-enum Inbound {
-    Frame {
-        frame: Frame,
-        /// Taken once the length prefix landed — the first instant the
-        /// frame was known to exist, and the span's time origin.
-        started: Instant,
-        /// Payload read + decode duration (the span's `decode` stage).
-        decode_ns: u64,
-    },
-    /// Idle timeout with no bytes of a frame read — safe to poll flags and
-    /// retry.
-    Idle,
-    Eof,
-    /// Dead socket, mid-frame timeout, or malformed frame — the reader
-    /// drops the connection either way, so no payload is carried.
-    Fail,
-}
-
-/// Reads one frame under the caller's idle-poll read timeout.
-///
-/// Only the *first* byte of a frame may time out and report [`Inbound::Idle`];
-/// once a frame has started, reads retry until it completes (bounded by
-/// [`MID_FRAME_RETRIES`]) so a timeout can never desynchronise the stream
-/// mid-frame. The load generator's receiver builds on the same
-/// [`read_full`] primitive for the same reason: it polls for reconnect
-/// deadlines without ever corrupting the stream.
-fn read_inbound(stream: &mut TcpStream) -> Inbound {
-    let mut len_buf = [0u8; 4];
-    match read_full(stream, &mut len_buf, true) {
-        ReadFull::Done => {}
-        ReadFull::Idle => return Inbound::Idle,
-        ReadFull::Eof => return Inbound::Eof,
-        ReadFull::Fail => return Inbound::Fail,
-    }
-    let len = u32::from_le_bytes(len_buf);
-    if len as usize > MAX_FRAME_LEN {
-        return Inbound::Fail;
-    }
-    let started = Instant::now();
-    let mut payload = vec![0u8; len as usize];
-    match read_full(stream, &mut payload, false) {
-        ReadFull::Done => {}
-        ReadFull::Idle | ReadFull::Eof | ReadFull::Fail => return Inbound::Fail,
-    }
-    match Frame::decode_payload(&payload) {
-        Ok(frame) => Inbound::Frame {
-            frame,
-            started,
-            decode_ns: dur_ns(started.elapsed()),
-        },
-        Err(_) => Inbound::Fail,
-    }
-}
-
-pub(crate) enum ReadFull {
-    Done,
-    Idle,
-    Eof,
-    Fail,
-}
-
-/// Fills `buf` completely, tolerating read-timeout polls: with `idle_ok`,
-/// a timeout before the first byte reports [`ReadFull::Idle`]; once bytes
-/// have landed, timeouts retry (bounded by [`MID_FRAME_RETRIES`]).
-pub(crate) fn read_full(stream: &mut TcpStream, buf: &mut [u8], idle_ok: bool) -> ReadFull {
-    let mut filled = 0;
-    let mut retries = 0u32;
-    while filled < buf.len() {
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return if filled == 0 {
-                    ReadFull::Eof
-                } else {
-                    ReadFull::Fail
-                }
-            }
-            Ok(n) => filled += n,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                if filled == 0 && idle_ok {
-                    return ReadFull::Idle;
-                }
-                retries += 1;
-                if retries > MID_FRAME_RETRIES {
-                    return ReadFull::Fail;
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => return ReadFull::Fail,
-        }
-    }
-    ReadFull::Done
+    io.write_reply(&AdminFrame::WatchDone).is_ok()
 }

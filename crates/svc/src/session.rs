@@ -11,8 +11,8 @@
 //!
 //! Two invariants make resume loss-free without double delivery:
 //!
-//! 1. **Delivery and resume serialize on the session lock.** A shard
-//!    delivering a grant and a reader adopting the session cannot
+//! 1. **Delivery and resume serialize on the delivery lock.** A shard
+//!    delivering a grant and a loop adopting the session cannot
 //!    interleave: an answer lands either before the swap (recorded, so it
 //!    is replayed) or after (sent directly on the new queue), never both
 //!    and never neither.
@@ -22,11 +22,23 @@
 //!    still in flight (the eventual answer arrives once). Only requests
 //!    whose answers were evicted from the ring are rescheduled, trading
 //!    byte-identity for liveness at the ring boundary.
+//!
+//! # Lock discipline
+//!
+//! The session splits its state across two mutexes, acquired strictly in
+//! the order `delivery` → `inner`. Sends into a connection's bounded
+//! outbound queue can block (backpressure from a slow client) and happen
+//! holding only `delivery`; the bookkeeping in `inner` (ring, watermarks,
+//! the current sender) is never held across a send. This matters on the
+//! event loop: the loop thread calls [`Session::admit`] (inner only) while
+//! a shard may be blocked mid-delivery on a full queue that only the loop
+//! can flush — if admission needed the lock the delivery holds across its
+//! send, the loop would deadlock behind the very queue it has to drain.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::mpsc::SyncSender;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
+use crate::eventloop::ConnSender;
 use crate::telemetry::{Outbound, SpanCarrier};
 use crate::wire::{Frame, RESUME_NONE};
 
@@ -53,7 +65,7 @@ pub(crate) enum Admit {
 
 struct Inner {
     /// Outbound queue of the connection currently owning this session.
-    tx: SyncSender<Outbound>,
+    tx: ConnSender,
     /// Recorded answers in delivery order, bounded by `cap`.
     ring: VecDeque<(u64, Frame)>,
     cap: usize,
@@ -65,17 +77,21 @@ struct Inner {
 }
 
 /// One resumable client session. Shared between the owning connection's
-/// reader, the shard workers delivering answers, and (after a reconnect)
-/// the adopting connection.
+/// event loop, the shard workers delivering answers, and (after a
+/// reconnect) the adopting connection.
 pub(crate) struct Session {
     id: u64,
+    /// Serializes deliveries and resumes; held across blocking sends.
+    /// Lock order: `delivery` before `inner`, never the reverse.
+    delivery: Mutex<()>,
     inner: Mutex<Inner>,
 }
 
 impl Session {
-    pub(crate) fn new(id: u64, tx: SyncSender<Outbound>, cap: usize) -> Self {
+    pub(crate) fn new(id: u64, tx: ConnSender, cap: usize) -> Self {
         Session {
             id,
+            delivery: Mutex::new(()),
             inner: Mutex::new(Inner {
                 tx,
                 ring: VecDeque::new(),
@@ -103,27 +119,34 @@ impl Session {
     }
 
     /// Admit request `seq`, deduplicating re-sends after a reconnect.
+    ///
+    /// Takes only the `inner` lock and releases it before any send, so the
+    /// event loop can admit while a shard is blocked mid-delivery.
     pub(crate) fn admit(&self, seq: u64) -> Admit {
-        let mut inner = lock_unpoisoned(&self.inner);
-        if seq >= inner.processed {
-            inner.processed = seq + 1;
-            return Admit::Fresh;
-        }
-        if let Some((_, answer)) = inner.ring.iter().find(|(s, _)| *s == seq) {
-            // Re-send the recorded answer without re-recording it. Replays
-            // travel span-less: the span measured the original delivery.
-            let frame = answer.clone();
-            let _ = inner.tx.send(Outbound::plain(frame));
-            return Admit::Resent;
-        }
-        if seq < inner.evicted_below {
-            // The answer aged out of the ring; reschedule rather than
-            // leave the client waiting forever. The fresh answer may
-            // differ from the lost original — liveness over identity
-            // once the replay bound is exceeded.
-            return Admit::Fresh;
-        }
-        Admit::InFlight
+        let resend = {
+            let mut inner = lock_unpoisoned(&self.inner);
+            if seq >= inner.processed {
+                inner.processed = seq + 1;
+                return Admit::Fresh;
+            }
+            match inner.ring.iter().find(|(s, _)| *s == seq) {
+                // Re-send the recorded answer without re-recording it.
+                // Replays travel span-less: the span measured the original
+                // delivery.
+                Some((_, answer)) => (answer.clone(), inner.tx.clone()),
+                None if seq < inner.evicted_below => {
+                    // The answer aged out of the ring; reschedule rather
+                    // than leave the client waiting forever. The fresh
+                    // answer may differ from the lost original — liveness
+                    // over identity once the replay bound is exceeded.
+                    return Admit::Fresh;
+                }
+                None => return Admit::InFlight,
+            }
+        };
+        let (frame, tx) = resend;
+        tx.send(Outbound::plain(frame));
+        Admit::Resent
     }
 
     /// Record answer `frame` for request `seq` and deliver it on the
@@ -132,36 +155,45 @@ impl Session {
     /// rides the live delivery only; the ring stores the bare frame so
     /// replays stay byte-identical without re-measuring.
     pub(crate) fn deliver(&self, seq: u64, frame: Frame, span: Option<SpanCarrier>) {
-        let mut inner = lock_unpoisoned(&self.inner);
-        if inner.ring.len() == inner.cap {
-            if let Some((evicted, _)) = inner.ring.pop_front() {
-                inner.evicted_below = inner.evicted_below.max(evicted + 1);
+        let _serial = lock_unpoisoned(&self.delivery);
+        let tx = {
+            let mut inner = lock_unpoisoned(&self.inner);
+            if inner.ring.len() == inner.cap {
+                if let Some((evicted, _)) = inner.ring.pop_front() {
+                    inner.evicted_below = inner.evicted_below.max(evicted + 1);
+                }
             }
-        }
-        inner.ring.push_back((seq, frame.clone()));
-        let _ = inner.tx.send(Outbound { frame, span });
+            inner.ring.push_back((seq, frame.clone()));
+            inner.tx.clone()
+        };
+        // The send may block on a full outbound queue; only the delivery
+        // lock is held here, so admission and telemetry stay unblocked.
+        tx.send(Outbound { frame, span });
     }
 
     /// Adopt this session onto a new connection: swap the outbound
     /// queue, send [`Frame::Resumed`], then replay every recorded answer
     /// with `seq > last_seq_seen` ([`RESUME_NONE`] replays everything) in
     /// original delivery order. Returns the number of frames replayed.
-    pub(crate) fn resume(&self, tx: SyncSender<Outbound>, last_seq_seen: u64) -> u64 {
-        let mut inner = lock_unpoisoned(&self.inner);
-        inner.tx = tx;
-        let replay: Vec<Frame> = inner
-            .ring
-            .iter()
-            .filter(|(seq, _)| last_seq_seen == RESUME_NONE || *seq > last_seq_seen)
-            .map(|(_, frame)| frame.clone())
-            .collect();
+    pub(crate) fn resume(&self, tx: ConnSender, last_seq_seen: u64) -> u64 {
+        let _serial = lock_unpoisoned(&self.delivery);
+        let replay: Vec<Frame> = {
+            let mut inner = lock_unpoisoned(&self.inner);
+            inner.tx = tx.clone();
+            inner
+                .ring
+                .iter()
+                .filter(|(seq, _)| last_seq_seen == RESUME_NONE || *seq > last_seq_seen)
+                .map(|(_, frame)| frame.clone())
+                .collect()
+        };
         let replayed = replay.len() as u64;
-        let _ = inner.tx.send(Outbound::plain(Frame::Resumed {
+        tx.send(Outbound::plain(Frame::Resumed {
             session: self.id,
             replayed: u32::try_from(replayed).unwrap_or(u32::MAX),
         }));
         for frame in replay {
-            let _ = inner.tx.send(Outbound::plain(frame));
+            tx.send(Outbound::plain(frame));
         }
         replayed
     }
@@ -187,8 +219,8 @@ impl SessionRegistry {
     }
 
     /// Drop every session. Called during shutdown after the shards have
-    /// drained, so the outbound senders held by session rings release
-    /// their writer channels.
+    /// drained, so the senders held by session rings release their
+    /// connections' outbound queues.
     pub(crate) fn clear(&self) {
         lock_unpoisoned(&self.sessions).clear();
     }
@@ -205,7 +237,6 @@ impl SessionRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::mpsc::sync_channel;
 
     fn grant(seq: u64) -> Frame {
         Frame::Grant {
@@ -216,13 +247,18 @@ mod tests {
         }
     }
 
-    fn recv_frame(rx: &std::sync::mpsc::Receiver<Outbound>) -> Result<Frame, ()> {
-        rx.try_recv().map(|out| out.frame).map_err(|_| ())
+    type Sink = std::sync::Arc<Mutex<VecDeque<Outbound>>>;
+
+    fn recv_frame(sink: &Sink) -> Result<Frame, ()> {
+        lock_unpoisoned(sink)
+            .pop_front()
+            .map(|out| out.frame)
+            .ok_or(())
     }
 
     #[test]
     fn admit_dedupes_and_resends_recorded_answers() {
-        let (tx, rx) = sync_channel(16);
+        let (tx, rx) = ConnSender::sink();
         let session = Session::new(1, tx, 8);
         assert_eq!(session.admit(0), Admit::Fresh);
         assert_eq!(session.admit(1), Admit::Fresh);
@@ -237,14 +273,14 @@ mod tests {
 
     #[test]
     fn resume_replays_only_unseen_answers_in_order() {
-        let (tx, _rx) = sync_channel(16);
+        let (tx, _rx) = ConnSender::sink();
         let session = Session::new(7, tx, 8);
         for seq in 0..4 {
             assert_eq!(session.admit(seq), Admit::Fresh);
             session.deliver(seq, grant(seq), None);
         }
         assert_eq!(session.ring_len(), 4);
-        let (new_tx, new_rx) = sync_channel(16);
+        let (new_tx, new_rx) = ConnSender::sink();
         let replayed = session.resume(new_tx, 1);
         assert_eq!(replayed, 2);
         assert_eq!(
@@ -261,13 +297,13 @@ mod tests {
 
     #[test]
     fn resume_none_replays_everything() {
-        let (tx, _rx) = sync_channel(16);
+        let (tx, _rx) = ConnSender::sink();
         let session = Session::new(9, tx, 8);
         for seq in 0..3 {
             session.admit(seq);
             session.deliver(seq, grant(seq), None);
         }
-        let (new_tx, new_rx) = sync_channel(16);
+        let (new_tx, new_rx) = ConnSender::sink();
         assert_eq!(session.resume(new_tx, RESUME_NONE), 3);
         // Resumed header plus all three answers.
         assert!(matches!(
@@ -281,13 +317,13 @@ mod tests {
 
     #[test]
     fn eviction_moves_the_watermark_and_reschedules() {
-        let (tx, rx) = sync_channel(64);
+        let (tx, rx) = ConnSender::sink();
         let session = Session::new(3, tx, 2);
         for seq in 0..4 {
             session.admit(seq);
             session.deliver(seq, grant(seq), None);
         }
-        while rx.try_recv().is_ok() {}
+        lock_unpoisoned(&rx).clear();
         // Answers 0 and 1 were evicted (cap 2): re-requesting them is
         // Fresh (reschedule), while 2 and 3 replay from the ring.
         assert_eq!(session.admit(0), Admit::Fresh);
@@ -297,13 +333,13 @@ mod tests {
     }
 
     #[test]
-    fn delivery_to_a_dead_connection_still_records() {
-        let (tx, rx) = sync_channel(1);
+    fn delivery_records_even_when_nothing_reads_the_sink() {
+        let (tx, rx) = ConnSender::sink();
         let session = Session::new(5, tx, 8);
         session.admit(0);
-        drop(rx);
         session.deliver(0, grant(0), None);
-        let (new_tx, new_rx) = sync_channel(16);
+        drop(rx);
+        let (new_tx, new_rx) = ConnSender::sink();
         assert_eq!(session.resume(new_tx, RESUME_NONE), 1);
         assert!(matches!(recv_frame(&new_rx), Ok(Frame::Resumed { .. })));
         assert_eq!(recv_frame(&new_rx).expect("kept for replay"), grant(0));
@@ -312,7 +348,7 @@ mod tests {
     #[test]
     fn registry_round_trip() {
         let registry = SessionRegistry::default();
-        let (tx, _rx) = sync_channel(4);
+        let (tx, _rx) = ConnSender::sink();
         let session = std::sync::Arc::new(Session::new(11, tx, 4));
         registry.insert(&session);
         assert!(registry.get(11).is_some());

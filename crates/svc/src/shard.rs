@@ -47,7 +47,7 @@ use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -59,6 +59,7 @@ use vod_types::Slot;
 
 use crate::chaos::ChaosPlan;
 use crate::clock::SlotClock;
+use crate::eventloop::ConnSender;
 use crate::session::Session;
 use crate::stats::ServiceStats;
 use crate::telemetry::{Outbound, PendingSpan, SpanCarrier, SpanStart, Telemetry};
@@ -67,23 +68,33 @@ use crate::wire::{Frame, GrantedSegment, ARRIVAL_AUTO};
 /// Where a shard's answer goes.
 pub(crate) enum ReplyTo {
     /// A raw (Hello-less) connection: straight to its outbound queue.
-    Direct(SyncSender<Outbound>),
+    Direct(ConnSender),
     /// A sessioned connection: ring-buffered for resume, then delivered.
-    Session(Arc<Session>),
+    /// `submitter` is the outbound queue of the connection that submitted
+    /// the request; after delivery its in-flight count is decremented so a
+    /// graceful close knows every submitted answer has landed, even when
+    /// the session has since resumed onto a different connection.
+    Session {
+        session: Arc<Session>,
+        submitter: ConnSender,
+    },
 }
 
 impl ReplyTo {
     /// Blocking delivery: the outbound queue is bounded, so a slow client
     /// backpressures its shard instead of buffering without limit. A
-    /// vanished connection is fine — a direct writer drains the channel
-    /// until every sender is gone, and a session keeps the answer in its
-    /// ring for replay.
+    /// vanished connection is fine — a closed queue discards sends, and a
+    /// session keeps the answer in its ring for replay after resume.
     fn deliver(&self, seq: u64, frame: Frame, span: Option<SpanCarrier>) {
         match self {
             ReplyTo::Direct(tx) => {
-                let _ = tx.send(Outbound { frame, span });
+                tx.send(Outbound { frame, span });
+                tx.inflight_done();
             }
-            ReplyTo::Session(session) => session.deliver(seq, frame, span),
+            ReplyTo::Session { session, submitter } => {
+                session.deliver(seq, frame, span);
+                submitter.inflight_done();
+            }
         }
     }
 }

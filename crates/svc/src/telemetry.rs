@@ -4,13 +4,17 @@
 //! plane reads from. It owns three things:
 //!
 //! - a [`SpanSink`] of request-lifecycle spans. Every admitted request gets
-//!   a span id in the reader; monotonic timestamps are taken at each
+//!   a span id on its event loop; monotonic timestamps are taken at each
 //!   pipeline handoff and the per-stage durations (`decode` →
 //!   `admission_wait` → `schedule` → `writer_wait` → `flush`) are recorded
-//!   when the writer finishes flushing the grant. Stages measure *disjoint*
-//!   intervals of the request's lifetime, so per-record
-//!   `sum(stages) ≤ total` holds by construction and the uncovered gap is
-//!   thread-handoff time the loopback tests bound.
+//!   when the loop finishes flushing the grant to the socket. On the
+//!   event-loop core, `writer_wait` is the time an answer sat in its
+//!   connection's outbound queue (enqueue by the shard → first write
+//!   attempt) and `flush` is the time from that first write attempt until
+//!   the frame's last byte entered the socket (chaos stalls included).
+//!   Stages measure *disjoint* intervals of the request's lifetime, so
+//!   per-record `sum(stages) ≤ total` holds by construction and the
+//!   uncovered gap is thread-handoff time the loopback tests bound.
 //! - a [`WindowWheel`] of rotating 1-second (configurable) windows holding
 //!   `svc.win.*` counters and histograms — the rate/sliding-percentile
 //!   view the cumulative [`ServiceStats`] counters cannot answer.
@@ -286,8 +290,9 @@ impl PendingSpan {
     }
 }
 
-/// The span state that rides the outbound queue to the writer, which closes
-/// the final two stages (writer wait, wire flush) and records the span.
+/// The span state that rides the outbound queue to the owning event loop,
+/// which closes the final two stages (queue wait, wire flush) and records
+/// the span when the frame's last byte reaches the socket.
 pub(crate) struct SpanCarrier {
     telemetry: Arc<Telemetry>,
     id: u64,
@@ -301,9 +306,11 @@ pub(crate) struct SpanCarrier {
 }
 
 impl SpanCarrier {
-    /// Records the finished span. `writer_wait_ns` is dequeue minus
-    /// [`sent_at`](SpanCarrier::sent_at); `flush_ns` wraps the socket write
-    /// (chaos stalls included — a stalled writer *is* flush latency).
+    /// Records the finished span. `writer_wait_ns` is the first write
+    /// attempt minus [`sent_at`](SpanCarrier::sent_at) — pure queue time;
+    /// `flush_ns` spans the write attempts until the frame's last byte is
+    /// in the socket (chaos stalls included — a stalled flush *is* flush
+    /// latency).
     pub(crate) fn finish(self, writer_wait_ns: u64, flush_ns: u64) {
         let total_ns = dur_ns(self.started.elapsed());
         self.telemetry.record_span(

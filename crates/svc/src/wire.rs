@@ -485,6 +485,142 @@ pub fn write_frame(writer: &mut impl Write, frame: &Frame) -> io::Result<()> {
     writer.write_all(&frame.encode())
 }
 
+/// Incremental accumulator for length-prefixed payloads over partial
+/// reads.
+///
+/// Nonblocking sockets deliver bytes in arbitrary chunks — one byte of a
+/// length prefix here, three frames coalesced there. `FrameBuffer` absorbs
+/// whatever arrived ([`FrameBuffer::extend`]) and yields complete payloads
+/// ([`FrameBuffer::next_payload`]) as soon as they close, holding partial
+/// frames across calls. It is codec-agnostic (payload bytes out, no tag
+/// interpretation), so the client protocol and the admin protocol share
+/// it; [`FrameDecoder`] layers [`Frame::decode_payload`] on top.
+///
+/// An oversized length prefix is detected as soon as its 4 bytes land,
+/// before buffering any payload — same guarantee as [`read_frame`].
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameBuffer {
+    /// A fresh empty buffer.
+    #[must_use]
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Absorbs `bytes` read from the transport.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet yielded as a payload.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether a partially-received frame is pending (some bytes buffered,
+    /// not yet enough to close a payload).
+    #[must_use]
+    pub fn mid_frame(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    /// The next complete payload (tag + fields, length prefix stripped),
+    /// or `Ok(None)` until one closes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversized`] when a length prefix exceeds
+    /// [`MAX_FRAME_LEN`]; the buffer is poisoned afterwards (the stream
+    /// has no recoverable framing past a corrupt prefix).
+    pub fn next_payload(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        if self.buffered() < 4 {
+            return Ok(None);
+        }
+        let len_bytes: [u8; 4] = self.buf[self.pos..self.pos + 4]
+            .try_into()
+            .expect("4 bytes");
+        let len = u32::from_le_bytes(len_bytes);
+        if len as usize > MAX_FRAME_LEN {
+            return Err(WireError::Oversized(len));
+        }
+        let total = 4 + len as usize;
+        if self.buffered() < total {
+            return Ok(None);
+        }
+        let payload = self.buf[self.pos + 4..self.pos + total].to_vec();
+        self.pos += total;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+        Ok(Some(payload))
+    }
+
+    /// Drops already-consumed bytes so the allocation tracks the pending
+    /// frame, not stream history.
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+/// Incremental [`Frame`] decoder: [`FrameBuffer`] plus
+/// [`Frame::decode_payload`].
+///
+/// Feeding the same byte stream in *any* split — one byte at a time,
+/// frame-aligned, or many frames per read — yields the identical frame
+/// sequence (property-tested in `tests/wire_incremental_proptests.rs`).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: FrameBuffer,
+}
+
+impl FrameDecoder {
+    /// A fresh decoder with no buffered bytes.
+    #[must_use]
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Absorbs `bytes` read from the transport.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend(bytes);
+    }
+
+    /// Whether a partially-received frame is pending.
+    #[must_use]
+    pub fn mid_frame(&self) -> bool {
+        self.buf.mid_frame()
+    }
+
+    /// Bytes buffered but not yet decoded.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.buffered()
+    }
+
+    /// The next complete frame, or `Ok(None)` until one closes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversized`] from the framing layer plus every
+    /// [`Frame::decode_payload`] failure.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        match self.buf.next_payload()? {
+            Some(payload) => Frame::decode_payload(&payload).map(Some),
+            None => Ok(None),
+        }
+    }
+}
+
 /// Bounds-checked little-endian payload reader. Shared with the admin
 /// telemetry codec (`admin.rs`), which speaks the same framing
 /// conventions under its own version number.
@@ -709,6 +845,85 @@ mod tests {
         payload.extend_from_slice(&u32::MAX.to_le_bytes());
         let err = Frame::decode_payload(&payload).unwrap_err();
         assert!(matches!(err, WireError::Truncated), "{err}");
+    }
+
+    #[test]
+    fn incremental_decoder_survives_one_byte_feeds() {
+        let frames = vec![
+            Frame::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            Frame::Request {
+                seq: 7,
+                video: 3,
+                arrival_slot: ARRIVAL_AUTO,
+            },
+            Frame::Draining,
+            Frame::StatsReply {
+                json: "{}".to_owned(),
+            },
+        ];
+        let mut stream = Vec::new();
+        for frame in &frames {
+            stream.extend_from_slice(&frame.encode());
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut out = Vec::new();
+        for byte in &stream {
+            decoder.extend(std::slice::from_ref(byte));
+            while let Some(frame) = decoder.next_frame().expect("decode") {
+                out.push(frame);
+            }
+        }
+        assert_eq!(out, frames);
+        assert!(!decoder.mid_frame(), "no partial frame left over");
+    }
+
+    #[test]
+    fn incremental_decoder_splits_coalesced_frames() {
+        // Three frames delivered in a single read must come out as three
+        // frames, with no buffered residue.
+        let frames = [Frame::Stats, Frame::Goodbye, Frame::Draining];
+        let mut stream = Vec::new();
+        for frame in &frames {
+            stream.extend_from_slice(&frame.encode());
+        }
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&stream);
+        for want in &frames {
+            assert_eq!(decoder.next_frame().expect("decode").as_ref(), Some(want));
+        }
+        assert_eq!(decoder.next_frame().expect("decode"), None);
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn incremental_decoder_rejects_oversized_prefix_before_payload() {
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&u32::MAX.to_le_bytes());
+        let err = decoder.next_frame().unwrap_err();
+        assert!(matches!(err, WireError::Oversized(_)), "{err}");
+    }
+
+    #[test]
+    fn frame_buffer_tracks_mid_frame_state() {
+        let frame = Frame::Request {
+            seq: 1,
+            video: 0,
+            arrival_slot: 4,
+        };
+        let bytes = frame.encode();
+        let mut buf = FrameBuffer::new();
+        buf.extend(&bytes[..3]); // partial length prefix
+        assert!(buf.mid_frame());
+        assert_eq!(buf.next_payload().expect("ok"), None);
+        buf.extend(&bytes[3..bytes.len() - 1]); // all but the last byte
+        assert!(buf.mid_frame());
+        assert_eq!(buf.next_payload().expect("ok"), None);
+        buf.extend(&bytes[bytes.len() - 1..]);
+        let payload = buf.next_payload().expect("ok").expect("complete");
+        assert_eq!(payload, frame.encode_payload());
+        assert!(!buf.mid_frame());
     }
 
     #[test]
