@@ -31,15 +31,21 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 mod sys {
-    //! Raw syscall surface. Constants match the Linux userspace ABI on
-    //! every architecture Rust's `linux-gnu`/`linux-musl` targets cover
-    //! (x86_64 and aarch64 share these values).
+    //! Raw syscall surface. The constants match the Linux userspace ABI
+    //! on every architecture Rust's `linux-gnu`/`linux-musl` targets
+    //! cover (x86_64 and aarch64 share these values); `epoll_event`'s
+    //! *layout* is the one arch-dependent piece and is gated below.
     #![allow(non_camel_case_types)]
 
     use std::os::raw::{c_int, c_void};
 
-    /// `struct epoll_event`; packed on x86_64 to match the kernel ABI.
-    #[repr(C, packed)]
+    /// `struct epoll_event`. The kernel packs this struct on x86_64
+    /// *only*; everywhere else (aarch64 included) it is the naturally
+    /// aligned 16-byte layout. The repr must match per-arch: a packed
+    /// (12-byte) buffer on a 16-byte-stride kernel would let
+    /// `epoll_wait` write past the allocation and corrupt every token.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
     #[derive(Clone, Copy)]
     pub struct epoll_event {
         pub events: u32,
@@ -187,7 +193,8 @@ impl Events {
     /// Iterates the events delivered by the last wait.
     pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
         self.buf[..self.len].iter().map(|raw| {
-            // Copy out of the packed struct before touching the fields.
+            // Copy out before touching the fields: on x86_64 the struct
+            // is packed and its fields may be unaligned.
             let events = raw.events;
             let data = raw.data;
             Event {

@@ -35,7 +35,18 @@
 //! The *loop thread itself* must never block that way: sends from the loop
 //! (control replies, session resume replays) push unbounded, and the loop
 //! instead throttles by dropping read interest while a connection's queue
-//! is at capacity.
+//! is at capacity. Crucially, that condvar wait happens with **no session
+//! lock held** ([`ConnSender::wait_room`] runs before `Session::deliver`
+//! takes the delivery lock): only the loop can free room, and the loop
+//! takes the delivery lock for rejections and resumes, so a producer that
+//! waited while holding it would deadlock the whole loop.
+//!
+//! # Shutdown backstop
+//!
+//! Phase two of the drain closes each connection once its queue flushes;
+//! a live peer that stops reading would park that flush at `WouldBlock`
+//! forever, so finishing loops force-close whatever cannot flush within
+//! [`FINISH_GRACE`] — shutdown always terminates.
 //!
 //! # Drain order
 //!
@@ -84,6 +95,11 @@ const MAX_BATCH_SLICES: usize = 64;
 const READ_CHUNK: usize = 64 * 1024;
 /// Reads taken from one connection per tick before yielding to its peers.
 const READS_PER_TICK: usize = 4;
+/// How long phase two of the drain waits for queues to flush before
+/// force-closing connections whose peers are alive but not reading —
+/// without it, one such peer pins `LoopPool::finish` (and so
+/// `Service::shutdown`) forever at `WouldBlock`.
+const FINISH_GRACE: Duration = Duration::from_secs(5);
 
 /// One frame staged for the wire, plus the span it carries.
 struct OutEntry {
@@ -144,13 +160,32 @@ pub(crate) struct ConnOut {
 
 impl ConnOut {
     fn send(&self, out: Outbound) {
+        self.wait_room();
+        self.push(out);
+    }
+
+    /// Blocks a producer thread until the queue has room (or closes).
+    /// No-op on loop threads — the loop is the only thing that can free
+    /// room, so it must never wait for it. Callers MUST NOT hold any
+    /// session lock here: the wait is released by the loop's flush, and
+    /// the loop takes session locks for rejections and resumes.
+    fn wait_room(&self) {
+        if IS_LOOP_THREAD.with(Cell::get) {
+            return;
+        }
+        let mut q = lock_unpoisoned(&self.state);
+        while q.entries.len() >= q.cap && !q.closed {
+            q = self.room.wait(q).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Enqueues unconditionally, never blocking — safe to call with a
+    /// session's delivery lock held. May transiently push past `cap`
+    /// (racing a resume's queue swap); the loop's read throttle bounds
+    /// sustained growth.
+    fn push(&self, out: Outbound) {
         let bytes = out.frame.encode();
         let mut q = lock_unpoisoned(&self.state);
-        if !IS_LOOP_THREAD.with(Cell::get) {
-            while q.entries.len() >= q.cap && !q.closed {
-                q = self.room.wait(q).unwrap_or_else(PoisonError::into_inner);
-            }
-        }
         if q.closed {
             drop(q);
             if let Some(span) = out.span {
@@ -205,6 +240,27 @@ impl ConnSender {
             ConnSender::Conn(out_half) => out_half.send(out),
             #[cfg(test)]
             ConnSender::Sink(q) => lock_unpoisoned(q).push_back(out),
+        }
+    }
+
+    /// Enqueues without ever blocking, even from a producer thread — the
+    /// only send allowed while a session's delivery lock is held.
+    pub(crate) fn send_now(&self, out: Outbound) {
+        match self {
+            ConnSender::Conn(out_half) => out_half.push(out),
+            #[cfg(test)]
+            ConnSender::Sink(q) => lock_unpoisoned(q).push_back(out),
+        }
+    }
+
+    /// Blocks a producer thread until the outbound queue has room (or the
+    /// connection dies); the backpressure half of [`ConnSender::send`],
+    /// split out so callers can wait *before* taking session locks.
+    pub(crate) fn wait_room(&self) {
+        match self {
+            ConnSender::Conn(out_half) => out_half.wait_room(),
+            #[cfg(test)]
+            ConnSender::Sink(_) => {}
         }
     }
 
@@ -301,6 +357,7 @@ impl LoopPool {
                 scratch: vec![0u8; READ_CHUNK],
                 drain_seen: false,
                 finishing: false,
+                finish_deadline: None,
             };
             handles.push(
                 std::thread::Builder::new()
@@ -413,6 +470,9 @@ struct EventLoop {
     scratch: Vec<u8>,
     drain_seen: bool,
     finishing: bool,
+    /// Set on entering phase two: when it passes, connections that still
+    /// cannot flush are force-closed so the loop can exit.
+    finish_deadline: Option<Instant>,
 }
 
 impl EventLoop {
@@ -456,25 +516,46 @@ impl EventLoop {
                 self.enter_finish();
             }
             self.flush_expired_stalls();
+            if self
+                .finish_deadline
+                .is_some_and(|deadline| Instant::now() >= deadline)
+            {
+                // Grace expired: whatever is still open cannot flush (its
+                // peer stopped reading). Force-close so shutdown terminates.
+                for token in 0..self.conns.len() {
+                    if self.conns[token].is_some() {
+                        self.hard_close(token);
+                    }
+                }
+            }
             if self.finishing && self.live == 0 {
                 return;
             }
         }
     }
 
-    /// The epoll timeout: indefinite unless a chaos writer stall needs a
-    /// timed wakeup (every other state change pokes the waker).
+    /// The epoll timeout: indefinite unless a chaos writer stall or the
+    /// finish-grace deadline needs a timed wakeup (every other state
+    /// change pokes the waker).
     fn next_timeout(&self) -> Option<Duration> {
-        if self.shared.chaos.is_empty() {
-            return None;
-        }
         let now = Instant::now();
-        self.conns
-            .iter()
-            .flatten()
-            .filter_map(|c| c.stall_until)
-            .map(|until| until.saturating_duration_since(now))
-            .min()
+        let finish = self
+            .finish_deadline
+            .map(|deadline| deadline.saturating_duration_since(now));
+        let stall = if self.shared.chaos.is_empty() {
+            None
+        } else {
+            self.conns
+                .iter()
+                .flatten()
+                .filter_map(|c| c.stall_until)
+                .map(|until| until.saturating_duration_since(now))
+                .min()
+        };
+        match (finish, stall) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (timeout, None) | (None, timeout) => timeout,
+        }
     }
 
     fn handle_event(&mut self, ev: vod_net::Event) {
@@ -1130,9 +1211,11 @@ impl EventLoop {
         self.gate.cv.notify_all();
     }
 
-    /// Phase two: every connection closes as soon as it is flushed.
+    /// Phase two: every connection closes as soon as it is flushed, and
+    /// unconditionally once the grace deadline passes.
     fn enter_finish(&mut self) {
         self.finishing = true;
+        self.finish_deadline = Some(Instant::now() + FINISH_GRACE);
         for token in 0..self.conns.len() {
             if let Some(conn) = self.conns[token].as_mut() {
                 conn.close_when_flushed = true;

@@ -26,14 +26,18 @@
 //! # Lock discipline
 //!
 //! The session splits its state across two mutexes, acquired strictly in
-//! the order `delivery` → `inner`. Sends into a connection's bounded
-//! outbound queue can block (backpressure from a slow client) and happen
-//! holding only `delivery`; the bookkeeping in `inner` (ring, watermarks,
-//! the current sender) is never held across a send. This matters on the
-//! event loop: the loop thread calls [`Session::admit`] (inner only) while
-//! a shard may be blocked mid-delivery on a full queue that only the loop
-//! can flush — if admission needed the lock the delivery holds across its
-//! send, the loop would deadlock behind the very queue it has to drain.
+//! the order `delivery` → `inner`, and **no session lock is ever held
+//! across a blocking operation**. Backpressure — a shard waiting for room
+//! in a full outbound queue — happens in [`ConnSender::wait_room`]
+//! *before* [`Session::deliver`] takes the delivery lock; every send made
+//! while a session lock is held goes through the never-blocking
+//! [`ConnSender::send_now`]. This is what keeps the event loop deadlock
+//! free: the loop thread takes the delivery lock too (loop-side
+//! rejections, resume, resend-on-readmit), and the loop is the only
+//! thread that can free room in an outbound queue. If a shard could hold
+//! the delivery lock while waiting on that room, the loop would block on
+//! the lock behind the very queue only it can drain — a circular wait
+//! wedging the loop, every connection it owns, and shutdown.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Mutex, MutexGuard, PoisonError};
@@ -81,8 +85,10 @@ struct Inner {
 /// reconnect) the adopting connection.
 pub(crate) struct Session {
     id: u64,
-    /// Serializes deliveries and resumes; held across blocking sends.
-    /// Lock order: `delivery` before `inner`, never the reverse.
+    /// Serializes deliveries, resumes, and recorded-answer resends.
+    /// Lock order: `delivery` before `inner`, never the reverse; never
+    /// held across anything that can block (sends under it must use
+    /// [`ConnSender::send_now`]) — loop threads take it too.
     delivery: Mutex<()>,
     inner: Mutex<Inner>,
 }
@@ -120,9 +126,15 @@ impl Session {
 
     /// Admit request `seq`, deduplicating re-sends after a reconnect.
     ///
-    /// Takes only the `inner` lock and releases it before any send, so the
-    /// event loop can admit while a shard is blocked mid-delivery.
+    /// Runs under the delivery lock so a recorded-answer resend
+    /// serializes with [`Session::resume`]: the resend goes to whichever
+    /// connection owns the session *now*, never a queue a racing resume
+    /// just swapped out (which would strand the answer on a dead socket).
+    /// Safe on the loop thread — the delivery lock is never held across a
+    /// blocking operation, and the resend itself uses the non-blocking
+    /// [`ConnSender::send_now`].
     pub(crate) fn admit(&self, seq: u64) -> Admit {
+        let _serial = lock_unpoisoned(&self.delivery);
         let resend = {
             let mut inner = lock_unpoisoned(&self.inner);
             if seq >= inner.processed {
@@ -145,7 +157,7 @@ impl Session {
             }
         };
         let (frame, tx) = resend;
-        tx.send(Outbound::plain(frame));
+        tx.send_now(Outbound::plain(frame));
         Admit::Resent
     }
 
@@ -155,6 +167,13 @@ impl Session {
     /// rides the live delivery only; the ring stores the bare frame so
     /// replays stay byte-identical without re-measuring.
     pub(crate) fn deliver(&self, seq: u64, frame: Frame, span: Option<SpanCarrier>) {
+        // Backpressure first, with no session lock held: a producer
+        // (shard) blocks here until the current connection's queue has
+        // room. The wait is released by the owning loop's flush, and the
+        // loop takes the delivery lock, so waiting while holding it would
+        // deadlock the loop (no-op on loop threads and closed queues).
+        let room_on = lock_unpoisoned(&self.inner).tx.clone();
+        room_on.wait_room();
         let _serial = lock_unpoisoned(&self.delivery);
         let tx = {
             let mut inner = lock_unpoisoned(&self.inner);
@@ -166,9 +185,11 @@ impl Session {
             inner.ring.push_back((seq, frame.clone()));
             inner.tx.clone()
         };
-        // The send may block on a full outbound queue; only the delivery
-        // lock is held here, so admission and telemetry stay unblocked.
-        tx.send(Outbound { frame, span });
+        // Non-blocking by contract while the delivery lock is held. A
+        // resume may have swapped queues after the room wait; pushing a
+        // frame past the new queue's cap is benign (the loop's read
+        // throttle bounds sustained growth).
+        tx.send_now(Outbound { frame, span });
     }
 
     /// Adopt this session onto a new connection: swap the outbound
@@ -188,12 +209,15 @@ impl Session {
                 .collect()
         };
         let replayed = replay.len() as u64;
-        tx.send(Outbound::plain(Frame::Resumed {
+        // Non-blocking sends: the delivery lock is held (replays must not
+        // interleave with fresh deliveries), and resume runs on the loop
+        // thread that owns the adopting connection's queue.
+        tx.send_now(Outbound::plain(Frame::Resumed {
             session: self.id,
             replayed: u32::try_from(replayed).unwrap_or(u32::MAX),
         }));
         for frame in replay {
-            tx.send(Outbound::plain(frame));
+            tx.send_now(Outbound::plain(frame));
         }
         replayed
     }

@@ -11,6 +11,7 @@
 //! heterogeneous-catalog (`Describe`, invalid entries, version mismatch),
 //! and `STATS` contracts.
 
+use std::io::Write;
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
@@ -569,4 +570,143 @@ fn mismatched_hello_version_drops_the_connection() {
         std::thread::sleep(Duration::from_millis(1));
     }
     let _ = service.shutdown();
+}
+
+#[test]
+fn pipelined_rejections_with_full_outbound_queue_do_not_deadlock() {
+    // Regression: a shard blocked mid-send into a full outbound queue holds
+    // the session delivery lock; the owning loop must still be able to mint
+    // and ring-record rejections for the same session (loop-side delivery
+    // takes the inner lock only). Taking the delivery lock on the loop
+    // thread deadlocked the whole event loop — flushes included, so the
+    // shard never unblocked and shutdown hung.
+    //
+    // The wedge needs every frame dispatched in ONE read pass (the loop
+    // only flushes between passes): a single TCP burst of Hello, then
+    // Stats frames whose replies push the queue over cap mid-pass, then
+    // valid requests (the shard's deliveries now block on the full queue,
+    // holding the delivery lock), then more Stats as a time spacer, then
+    // invalid-video requests the loop must reject-and-record itself.
+    let valid = 8u64;
+    let invalid = 8u64;
+    let service = Service::start(
+        "127.0.0.1:0",
+        &SvcConfig {
+            catalog: ServeCatalog::uniform(1, small_video()),
+            shards: 1,
+            dilation: 1_000,
+            // The minimum cap: a handful of unflushed replies fill it.
+            outbound_cap: 8,
+            io_threads: 1,
+            ..SvcConfig::default()
+        },
+    )
+    .expect("service starts");
+
+    let mut burst: Vec<u8> = Vec::new();
+    write_frame(
+        &mut burst,
+        &Frame::Hello {
+            version: vod_svc::wire::PROTOCOL_VERSION,
+        },
+    )
+    .expect("encode hello");
+    let mut stats_frames = 0u64;
+    for _ in 0..20 {
+        write_frame(&mut burst, &Frame::Stats).expect("encode stats");
+        stats_frames += 1;
+    }
+    for seq in 0..valid {
+        write_frame(
+            &mut burst,
+            &Frame::Request {
+                seq,
+                video: 0,
+                arrival_slot: seq,
+            },
+        )
+        .expect("encode request");
+    }
+    // Each Stats dispatch renders a full snapshot — tens of microseconds —
+    // so by the final frames the shard is parked on the full queue.
+    for _ in 0..20 {
+        write_frame(&mut burst, &Frame::Stats).expect("encode stats");
+        stats_frames += 1;
+    }
+    for seq in valid..valid + invalid {
+        write_frame(
+            &mut burst,
+            &Frame::Request {
+                seq,
+                video: 99,
+                arrival_slot: seq,
+            },
+        )
+        .expect("encode request");
+    }
+
+    let mut stream = TcpStream::connect(service.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream.write_all(&burst).expect("one-burst write");
+
+    let mut grants = 0u64;
+    let mut rejected = 0u64;
+    let mut stats_replies = 0u64;
+    let mut welcomed = false;
+    while grants + rejected + stats_replies < valid + invalid + stats_frames {
+        match read_frame(&mut stream).expect("read") {
+            Some(Frame::Welcome { .. }) => welcomed = true,
+            Some(Frame::Grant { .. }) => grants += 1,
+            Some(Frame::StatsReply { .. }) => stats_replies += 1,
+            Some(Frame::Rejected { reason, .. }) => {
+                assert_eq!(reason, RejectKind::UnknownVideo);
+                rejected += 1;
+            }
+            other => panic!("unexpected frame: {other:?}"),
+        }
+    }
+    assert!(welcomed, "Hello must be answered");
+    assert_eq!(grants, valid);
+    assert_eq!(rejected, invalid);
+    let summary = service.shutdown();
+    assert_eq!(summary.grants, valid);
+}
+
+#[test]
+fn shutdown_completes_when_a_live_peer_stops_reading() {
+    // Regression: phase two of the drain waited for every queue to flush,
+    // but a peer that keeps its socket open and never reads parks the
+    // flush at WouldBlock forever — shutdown hung with no backstop. The
+    // finish-grace deadline now force-closes unflushable connections.
+    let service = Service::start(
+        "127.0.0.1:0",
+        &SvcConfig {
+            catalog: ServeCatalog::uniform(1, small_video()),
+            shards: 1,
+            io_threads: 1,
+            ..SvcConfig::default()
+        },
+    )
+    .expect("service starts");
+
+    // Pipeline thousands of STATS requests and never read a byte: the
+    // multi-KB JSON replies overwhelm both kernel socket buffers, leaving
+    // the outbound queue permanently unflushable while the peer lives.
+    let mut stream = TcpStream::connect(service.local_addr()).expect("connect");
+    for _ in 0..16_000 {
+        write_frame(&mut stream, &Frame::Stats).expect("stats request");
+    }
+    // Let the loop ingest the burst and wedge its flush against the full
+    // socket before shutting down.
+    std::thread::sleep(Duration::from_millis(500));
+
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = done_tx.send(service.shutdown());
+    });
+    let summary = done_rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("shutdown must complete even though the peer never reads");
+    assert_eq!(summary.conns, 1);
+    drop(stream);
 }

@@ -2,12 +2,13 @@
 //! plane enabled, driven by the `vodload` engine in-process.
 //!
 //! The centrepiece pins the span contract: with four shards under load,
-//! every shard exports a per-stage latency histogram, each raw span's
-//! stage decomposition accounts for ≥ 90% of its end-to-end time (the
-//! unattributed gap is a few same-thread handoffs, nanoseconds against
-//! millisecond totals), and the wire grants stay byte-identical to the
-//! offline scheduler oracle — instrumentation must never change what the
-//! protocol says, only report on it.
+//! every shard exports a per-stage latency histogram, the raw spans'
+//! stage decomposition accounts for ≥ 90% of the aggregate end-to-end
+//! time (the unattributed gap is a few same-thread handoffs, nanoseconds
+//! against millisecond totals — aggregate because preemption can stretch
+//! any single span's handoff), and the wire grants stay byte-identical to
+//! the offline scheduler oracle — instrumentation must never change what
+//! the protocol says, only report on it.
 
 use std::time::Duration;
 
@@ -135,11 +136,16 @@ fn spans_decompose_e2e_latency_on_every_shard() {
     }
 
     // Raw spans: the stages are disjoint sub-intervals of the request's
-    // lifetime (sum ≤ total), and they account for ≥ 90% of it — the gap
-    // is just same-thread handoffs.
+    // lifetime (sum ≤ total, per span), and across the run they account
+    // for ≥ 90% of the e2e time — the gap is just same-thread handoffs,
+    // nanoseconds each, though a preempted thread can stretch one span's
+    // handoff arbitrarily, so the coverage bound is aggregate, not
+    // per-span.
     let jsonl = client.spans(total as u32).expect("spans scrape");
     let lines: Vec<&str> = jsonl.lines().collect();
     assert_eq!(lines.len(), total as usize, "recent ring holds every span");
+    let mut e2e_sum = 0u64;
+    let mut covered_sum = 0u64;
     for line in &lines {
         let total_ns = json_u64(line, "total_ns");
         let stage_sum: u64 = SPAN_STAGES.iter().map(|s| json_u64(line, s)).sum();
@@ -147,12 +153,14 @@ fn spans_decompose_e2e_latency_on_every_shard() {
             stage_sum <= total_ns,
             "stages are disjoint sub-intervals: {stage_sum} > {total_ns} in {line}"
         );
-        assert!(
-            stage_sum * 10 >= total_ns * 9,
-            "stage decomposition covers {:.1}% < 90% of e2e: {line}",
-            stage_sum as f64 / total_ns as f64 * 100.0
-        );
+        e2e_sum += total_ns;
+        covered_sum += stage_sum;
     }
+    assert!(
+        covered_sum * 10 >= e2e_sum * 9,
+        "stage decomposition covers {:.1}% < 90% of e2e time",
+        covered_sum as f64 / e2e_sum as f64 * 100.0
+    );
 
     let _ = service.shutdown();
 }
