@@ -547,12 +547,14 @@ mod tests {
         let mut events = Events::with_capacity(4);
         poller.wait(&mut events, None).expect("wait");
         assert!(events.iter().any(|e| e.token == 42 && e.readable));
+        // Join before draining: on a loaded host the duplicate wake can
+        // otherwise land after the drain and legitimately re-arm the pipe.
+        handle.join().expect("waker thread");
         waker.drain();
         let n = poller
             .wait(&mut events, Some(Duration::from_millis(10)))
             .expect("wait after drain");
         assert_eq!(n, 0, "drained waker re-arms");
-        handle.join().expect("waker thread");
     }
 
     #[test]

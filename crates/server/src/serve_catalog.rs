@@ -92,6 +92,10 @@ pub struct ServeEntry {
     pub segment_secs: f64,
     /// The scheduling scheme.
     pub kind: SchedulerKind,
+    /// Data-plane payload rate in bytes per media-second (`bytes-per-sec`
+    /// in catalog files): a segment's synthesized payload length is this
+    /// times the segment duration. `None` uses the service default.
+    pub bytes_per_sec: Option<u64>,
 }
 
 impl ServeEntry {
@@ -104,6 +108,7 @@ impl ServeEntry {
             kind: SchedulerKind::Dhb {
                 segments: spec.n_segments(),
             },
+            bytes_per_sec: None,
         }
     }
 
@@ -443,6 +448,7 @@ impl RawEntry {
         let segment_secs_explicit = self.take_f64("segment-secs")?;
         let duration_mins = self.take_f64("duration-mins")?;
         let segments = self.take_u64("segments")?;
+        let bytes_per_sec = self.take_u64("bytes-per-sec")?;
         let segment_secs_for = |n: usize| match (segment_secs_explicit, duration_mins) {
             (Some(s), _) => s,
             (None, Some(mins)) if n > 0 => mins * 60.0 / n as f64,
@@ -496,7 +502,11 @@ impl RawEntry {
             SchedulerKind::Periods { periods } => segment_secs_for(periods.len()),
             SchedulerKind::DhbD { .. } => 0.0, // the plan fixes its own slot
         };
-        Ok(ServeEntry { segment_secs, kind })
+        Ok(ServeEntry {
+            segment_secs,
+            kind,
+            bytes_per_sec,
+        })
     }
 }
 

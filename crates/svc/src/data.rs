@@ -1,0 +1,409 @@
+//! The service-side broadcast data plane: per-channel segment rings,
+//! zero-copy subscriber fan-out, and the deterministic segment store.
+//!
+//! Every valid catalog video is one broadcast **channel**: a
+//! [`SegmentRing`] of `Arc<SegmentPayload>` publications plus a subscriber
+//! list. When a shard schedules a segment instance it calls
+//! [`DataPlane::publish`], which synthesizes (or fetches from the store
+//! cache) the deterministic payload, publishes it **once** into the ring,
+//! encodes the wire chunks **once**, and then pumps every subscriber:
+//! each queue receives `Arc` clones of the same encoded chunks, so fan-out
+//! degree N costs N queue pushes, not N payload copies — the
+//! `svc.ring.published ≪ svc.ring.fanout` invariant the loopback test
+//! asserts.
+//!
+//! Backpressure vs. eviction: the pump never blocks. A subscriber whose
+//! outbound queue lacks room for the whole publication is left *lagged in
+//! the ring* — its cursor stays put and later pumps retry. If the
+//! publisher laps it first, the ring reports an explicit
+//! [`RingRead::Gap`]: the subscriber was evicted-with-overrun and resumes
+//! at live data, while fast subscribers on the same channel are untouched.
+//! Closed connections surface as [`DataSend::Closed`] and are purged
+//! lazily on the next pump.
+//!
+//! Chunking: payloads larger than [`SEGMENT_CHUNK_BYTES`] are split into
+//! maximal chunks (all-but-last exactly at the cap, offsets tiling
+//! `0..total_len`), so a single `SegmentData` frame never exceeds the
+//! 1 MiB wire cap. A lagging subscriber catching up on an older ring entry
+//! re-encodes that publication for itself — the rare path pays the copy,
+//! the hot head-of-ring path stays shared.
+
+use std::sync::{Arc, Mutex};
+
+use vod_ring::{RingRead, SegmentPayload, SegmentRing, SegmentStore};
+
+use crate::eventloop::{ConnSender, DataSend};
+use crate::session::lock_unpoisoned;
+use crate::wire::{Frame, SEGMENT_CHUNK_BYTES};
+use vod_obs::RejectKind;
+
+/// What one [`DataPlane::publish`] observed, aggregated by the shard into
+/// the service counters (`svc.ring.*`, `svc.bytes_delivered`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct PublishOutcome {
+    /// Ring publications (one per scheduled segment instance).
+    pub published: u64,
+    /// Subscriber deliveries (publication × subscriber pairs queued).
+    pub fanout: u64,
+    /// Payload bytes queued for delivery across all subscribers.
+    pub bytes: u64,
+    /// Publications lost to lapped (evicted-with-overrun) subscribers.
+    pub evictions: u64,
+    /// Gap events reported to lapped subscribers.
+    pub gaps: u64,
+}
+
+impl PublishOutcome {
+    pub(crate) fn absorb(&mut self, other: PublishOutcome) {
+        self.published += other.published;
+        self.fanout += other.fanout;
+        self.bytes += other.bytes;
+        self.evictions += other.evictions;
+        self.gaps += other.gaps;
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        *self == PublishOutcome::default()
+    }
+}
+
+/// Static geometry of one channel, fixed at service start.
+pub(crate) struct ChannelInit {
+    /// Deterministic payload length for every segment of this video.
+    pub payload_len: u64,
+    /// Dilated wall-clock duration of one slot, in nanoseconds — what the
+    /// client multiplies `(granted slot − arrival slot)` by to get the
+    /// segment's playback deadline.
+    pub slot_ns: u64,
+    /// Invalid catalog entries get `Rejected(invalid_video)` on subscribe.
+    pub valid: bool,
+}
+
+struct SubEntry {
+    sender: ConnSender,
+    cursor: vod_ring::Cursor,
+}
+
+struct Channel {
+    ring: SegmentRing,
+    subs: Mutex<Vec<SubEntry>>,
+    payload_len: u64,
+    slot_ns: u64,
+    valid: bool,
+}
+
+/// The per-service broadcast data plane: one channel per catalog video.
+pub(crate) struct DataPlane {
+    channels: Vec<Channel>,
+    store: SegmentStore,
+}
+
+impl DataPlane {
+    pub(crate) fn new(seed: u64, ring_cap: usize, inits: Vec<ChannelInit>) -> DataPlane {
+        DataPlane {
+            channels: inits
+                .into_iter()
+                .map(|init| Channel {
+                    ring: SegmentRing::new(ring_cap),
+                    subs: Mutex::new(Vec::new()),
+                    payload_len: init.payload_len,
+                    slot_ns: init.slot_ns,
+                    valid: init.valid,
+                })
+                .collect(),
+            store: SegmentStore::new(seed),
+        }
+    }
+
+    /// Registers `sender` as a subscriber of `video`'s channel, starting at
+    /// the ring head (future publications only). Re-subscribing the same
+    /// connection replaces its entry instead of double-delivering. Returns
+    /// the `SubscribeOk` to send, or the rejection reason.
+    pub(crate) fn subscribe(&self, video: u32, sender: ConnSender) -> Result<Frame, RejectKind> {
+        let ch = self
+            .channels
+            .get(video as usize)
+            .ok_or(RejectKind::UnknownVideo)?;
+        if !ch.valid {
+            return Err(RejectKind::InvalidVideo);
+        }
+        let mut subs = lock_unpoisoned(&ch.subs);
+        let cursor = ch.ring.cursor();
+        let entry = SubEntry { sender, cursor };
+        match subs.iter_mut().find(|s| s.sender.same_conn(&entry.sender)) {
+            Some(existing) => *existing = entry,
+            None => subs.push(entry),
+        }
+        drop(subs);
+        Ok(Frame::SubscribeOk {
+            video,
+            payload_len: ch.payload_len,
+            slot_ns: ch.slot_ns,
+            next_seq: cursor.next_seq(),
+        })
+    }
+
+    /// Subscribers currently registered on `video`'s channel (tests).
+    #[cfg(test)]
+    pub(crate) fn subscriber_count(&self, video: u32) -> usize {
+        self.channels
+            .get(video as usize)
+            .map_or(0, |ch| lock_unpoisoned(&ch.subs).len())
+    }
+
+    /// Publishes the deterministic payload of `(video, segment)` — granted
+    /// to air at absolute slot `slot` — into the channel ring exactly once,
+    /// then pumps every subscriber as far as its queue allows.
+    pub(crate) fn publish(&self, video: u32, segment: u32, slot: u64) -> PublishOutcome {
+        let mut out = PublishOutcome::default();
+        let Some(ch) = self.channels.get(video as usize) else {
+            return out;
+        };
+        let payload = self.store.payload(video, segment, ch.payload_len as usize);
+        let seq = ch.ring.publish(Arc::clone(&payload), slot);
+        out.published = 1;
+        let mut subs = lock_unpoisoned(&ch.subs);
+        if subs.is_empty() {
+            return out;
+        }
+        // Encode the head publication's wire chunks once; every caught-up
+        // subscriber's queue shares them by Arc clone.
+        let head_chunks = encode_chunks(video, segment, slot, seq, &payload);
+        pump(ch, video, seq, &head_chunks, &mut subs, &mut out);
+        out
+    }
+
+    /// The deterministic store backing this plane's payloads.
+    #[cfg(test)]
+    pub(crate) fn store(&self) -> &SegmentStore {
+        &self.store
+    }
+}
+
+/// Advances every subscriber of `ch` as far as its outbound queue allows,
+/// translating ring reads into queue pushes and accounting the outcome.
+/// Dead connections are dropped; full queues keep their cursor (lag);
+/// lapped cursors take their explicit gap and resume live.
+fn pump(
+    ch: &Channel,
+    video: u32,
+    head_seq: u64,
+    head_chunks: &[Arc<[u8]>],
+    subs: &mut Vec<SubEntry>,
+    out: &mut PublishOutcome,
+) {
+    subs.retain_mut(|sub| loop {
+        // Probe-then-commit: read on a cursor copy so a delivery that does
+        // not fit leaves the subscriber exactly where it was.
+        let mut probe = sub.cursor;
+        match ch.ring.read(&mut probe) {
+            RingRead::Empty => return true,
+            RingRead::Gap { missed, .. } => {
+                sub.cursor = probe;
+                out.gaps += 1;
+                out.evictions += missed;
+            }
+            RingRead::Payload { seq, slot, payload } => {
+                let encoded;
+                let chunks = if seq == head_seq {
+                    head_chunks
+                } else {
+                    // Catching up on an older publication: re-encode for
+                    // this subscriber alone.
+                    encoded = encode_chunks(video, payload.segment(), slot, seq, &payload);
+                    &encoded
+                };
+                match sub.sender.try_send_data(chunks) {
+                    DataSend::Sent => {
+                        sub.cursor = probe;
+                        out.fanout += 1;
+                        out.bytes += payload.len() as u64;
+                    }
+                    DataSend::Full => return true,
+                    DataSend::Closed => return false,
+                }
+            }
+        }
+    });
+}
+
+/// Encodes one publication as its complete, length-prefixed `SegmentData`
+/// wire images: all-but-last chunks exactly [`SEGMENT_CHUNK_BYTES`] long,
+/// offsets tiling `0..total_len` gap-free.
+fn encode_chunks(
+    video: u32,
+    segment: u32,
+    slot: u64,
+    channel_seq: u64,
+    payload: &SegmentPayload,
+) -> Vec<Arc<[u8]>> {
+    let bytes = payload.bytes();
+    let total_len = bytes.len() as u64;
+    let mut chunks = Vec::with_capacity(bytes.len() / SEGMENT_CHUNK_BYTES + 1);
+    let mut offset = 0usize;
+    loop {
+        let end = (offset + SEGMENT_CHUNK_BYTES).min(bytes.len());
+        let frame = Frame::SegmentData {
+            video,
+            segment,
+            slot,
+            channel_seq,
+            offset: offset as u64,
+            total_len,
+            bytes: bytes[offset..end].to_vec(),
+        };
+        chunks.push(Arc::from(frame.encode()));
+        offset = end;
+        if offset >= bytes.len() {
+            return chunks;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::Outbound;
+    use crate::wire::FrameDecoder;
+    use std::collections::VecDeque;
+
+    fn plane(videos: usize, payload_len: u64, ring_cap: usize) -> DataPlane {
+        DataPlane::new(
+            vod_ring::DEFAULT_STORE_SEED,
+            ring_cap,
+            (0..videos)
+                .map(|_| ChannelInit {
+                    payload_len,
+                    slot_ns: 1_000_000,
+                    valid: true,
+                })
+                .collect(),
+        )
+    }
+
+    fn drain_frames(q: &Mutex<VecDeque<Outbound>>) -> Vec<Frame> {
+        lock_unpoisoned(q).drain(..).map(|o| o.frame).collect()
+    }
+
+    #[test]
+    fn subscribe_reports_channel_geometry_and_dedupes_reconnects() {
+        let plane = plane(2, 64, 8);
+        let (sender, _q) = ConnSender::sink();
+        let ok = plane.subscribe(1, sender.clone()).unwrap();
+        assert!(matches!(
+            ok,
+            Frame::SubscribeOk {
+                video: 1,
+                payload_len: 64,
+                slot_ns: 1_000_000,
+                next_seq: 0,
+            }
+        ));
+        // Re-subscribing the same connection replaces, never doubles.
+        let _ = plane.subscribe(1, sender).unwrap();
+        assert_eq!(plane.subscriber_count(1), 1);
+        assert!(matches!(
+            plane.subscribe(7, ConnSender::sink().0),
+            Err(RejectKind::UnknownVideo)
+        ));
+    }
+
+    #[test]
+    fn invalid_channels_reject_subscribers() {
+        let plane = DataPlane::new(
+            1,
+            4,
+            vec![ChannelInit {
+                payload_len: 1,
+                slot_ns: 1,
+                valid: false,
+            }],
+        );
+        assert!(matches!(
+            plane.subscribe(0, ConnSender::sink().0),
+            Err(RejectKind::InvalidVideo)
+        ));
+    }
+
+    #[test]
+    fn publish_fans_out_decodable_chunks_that_match_the_store() {
+        let plane = plane(1, 100, 8);
+        let (sender, _q) = ConnSender::sink();
+        let _ = plane.subscribe(0, sender).unwrap();
+        let out = plane.publish(0, 3, 17);
+        assert_eq!(out.published, 1);
+        assert_eq!(out.fanout, 1);
+        assert_eq!(out.bytes, 100);
+        assert_eq!(out.evictions, 0);
+        // Chunk images decode back to the store's exact payload bytes.
+        let chunks = encode_chunks(0, 3, 17, 0, &plane.store().payload(0, 3, 100));
+        let mut decoder = FrameDecoder::new();
+        let mut reassembled = Vec::new();
+        for chunk in &chunks {
+            decoder.extend(chunk);
+            while let Ok(Some(frame)) = decoder.next_frame() {
+                let Frame::SegmentData {
+                    video,
+                    segment,
+                    slot,
+                    channel_seq,
+                    offset,
+                    total_len,
+                    bytes,
+                } = frame
+                else {
+                    panic!("expected SegmentData");
+                };
+                assert_eq!((video, segment, slot, channel_seq), (0, 3, 17, 0));
+                assert_eq!(offset as usize, reassembled.len());
+                assert_eq!(total_len, 100);
+                reassembled.extend_from_slice(&bytes);
+            }
+        }
+        assert_eq!(reassembled, *plane.store().payload(0, 3, 100).bytes());
+    }
+
+    #[test]
+    fn chunking_tiles_large_payloads_at_the_cap() {
+        let payload = SegmentPayload::synthesize(9, 0, 1, SEGMENT_CHUNK_BYTES * 2 + 7);
+        let chunks = encode_chunks(0, 1, 0, 0, &payload);
+        assert_eq!(chunks.len(), 3);
+        let mut decoder = FrameDecoder::new();
+        let mut next_offset = 0u64;
+        for chunk in &chunks {
+            decoder.extend(chunk);
+            let Ok(Some(Frame::SegmentData { offset, bytes, .. })) = decoder.next_frame() else {
+                panic!("chunk must decode standalone");
+            };
+            assert_eq!(offset, next_offset, "offsets tile gap-free");
+            next_offset += bytes.len() as u64;
+        }
+        assert_eq!(next_offset as usize, payload.len());
+    }
+
+    #[test]
+    fn publish_without_subscribers_only_touches_the_ring() {
+        let plane = plane(1, 32, 4);
+        let out = plane.publish(0, 1, 5);
+        assert_eq!(out.published, 1);
+        assert_eq!(out.fanout, 0);
+        assert_eq!(out.bytes, 0);
+    }
+
+    #[test]
+    fn sink_subscribers_see_every_publication_in_order() {
+        let plane = plane(1, 16, 4);
+        let (sender, q) = ConnSender::sink();
+        let _ = plane.subscribe(0, sender).unwrap();
+        for seg in 1..=3u32 {
+            let _ = plane.publish(0, seg, u64::from(seg) * 10);
+        }
+        // Sinks accept instantly, so every publication should have fanned
+        // out (frames land on the sink via try_send_data's Sent path —
+        // the sink models delivery outside the queue, so here we assert
+        // the accounting instead of the frames).
+        assert!(drain_frames(&q).is_empty());
+        let out = plane.publish(0, 4, 40);
+        assert_eq!(out.fanout, 1);
+    }
+}

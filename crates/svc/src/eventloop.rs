@@ -101,16 +101,51 @@ const READS_PER_TICK: usize = 4;
 /// `Service::shutdown`) forever at `WouldBlock`.
 const FINISH_GRACE: Duration = Duration::from_secs(5);
 
+/// An entry's wire image: owned for per-connection frames, `Arc`-shared
+/// for broadcast data chunks fanned out to many subscribers. The shared
+/// variant is the zero-copy path — one `SegmentData` encoding serves every
+/// subscriber's queue, and each queue holds only an `Arc` clone.
+enum EntryBytes {
+    Owned(Vec<u8>),
+    Shared(Arc<[u8]>),
+}
+
+impl EntryBytes {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            EntryBytes::Owned(v) => v,
+            EntryBytes::Shared(a) => a,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+}
+
 /// One frame staged for the wire, plus the span it carries.
 struct OutEntry {
     /// The encoded wire image (length prefix included).
-    bytes: Vec<u8>,
+    bytes: EntryBytes,
     /// How many of `bytes` have reached the socket.
     written: usize,
     span: Option<crate::telemetry::SpanCarrier>,
     /// When this entry first entered a write attempt: the end of its
     /// writer-wait stage and the start of its flush stage.
     flush_start: Option<Instant>,
+}
+
+/// What became of a non-blocking broadcast delivery attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DataSend {
+    /// Every chunk entered the queue.
+    Sent,
+    /// The queue lacks room for the whole publication; nothing was queued.
+    /// The subscriber stays lagged in the ring and catches up (or is
+    /// evicted-with-overrun) on a later pump.
+    Full,
+    /// The connection is gone; the subscriber should be dropped.
+    Closed,
 }
 
 /// The bounded outbound frame queue guarded by [`ConnOut::state`].
@@ -197,13 +232,39 @@ impl ConnOut {
             return;
         }
         q.entries.push_back(OutEntry {
-            bytes,
+            bytes: EntryBytes::Owned(bytes),
             written: 0,
             span: out.span,
             flush_start: None,
         });
         drop(q);
         self.notify();
+    }
+
+    /// All-or-nothing, never-blocking enqueue of one publication's chunk
+    /// set. The room check is against the *whole* set so a publication can
+    /// never be half-queued: either every chunk is staged back-to-back, or
+    /// the subscriber stays lagged in the ring. Safe from any thread — the
+    /// shard pumping a fan-out must never block on one slow subscriber.
+    fn try_send_data(&self, chunks: &[Arc<[u8]>]) -> DataSend {
+        let mut q = lock_unpoisoned(&self.state);
+        if q.closed {
+            return DataSend::Closed;
+        }
+        if q.entries.len() + chunks.len() > q.cap {
+            return DataSend::Full;
+        }
+        for chunk in chunks {
+            q.entries.push_back(OutEntry {
+                bytes: EntryBytes::Shared(Arc::clone(chunk)),
+                written: 0,
+                span: None,
+                flush_start: None,
+            });
+        }
+        drop(q);
+        self.notify();
+        DataSend::Sent
     }
 
     /// Marks the connection dirty on its loop, coalescing with any mark
@@ -271,6 +332,30 @@ impl ConnSender {
             ConnSender::Conn(out_half) => out_half.inflight_done(),
             #[cfg(test)]
             ConnSender::Sink(_) => {}
+        }
+    }
+
+    /// Non-blocking delivery of one publication's pre-encoded chunks; see
+    /// [`ConnOut::try_send_data`]. Test sinks always accept (they model an
+    /// infinitely fast subscriber).
+    pub(crate) fn try_send_data(&self, chunks: &[Arc<[u8]>]) -> DataSend {
+        match self {
+            ConnSender::Conn(out_half) => out_half.try_send_data(chunks),
+            #[cfg(test)]
+            ConnSender::Sink(_) => DataSend::Sent,
+        }
+    }
+
+    /// True when both senders feed the same connection queue — the
+    /// re-subscribe dedup test (a channel holds one subscription per
+    /// connection, not one per `Subscribe` frame).
+    pub(crate) fn same_conn(&self, other: &ConnSender) -> bool {
+        match (self, other) {
+            (ConnSender::Conn(a), ConnSender::Conn(b)) => Arc::ptr_eq(a, b),
+            #[cfg(test)]
+            (ConnSender::Sink(a), ConnSender::Sink(b)) => Arc::ptr_eq(a, b),
+            #[cfg(test)]
+            _ => false,
         }
     }
 
@@ -883,6 +968,25 @@ impl EventLoop {
                 }
                 return Action::CloseGraceful;
             }
+            Frame::Subscribe { video } => {
+                // Joining the broadcast channel: register at the ring head
+                // (future publications only — a late joiner is never handed
+                // segments whose playback deadline already passed) and echo
+                // the channel geometry the client needs to reassemble and
+                // deadline-check the byte stream.
+                match shared.data.subscribe(video, conn.sender.clone()) {
+                    Ok(ok) => conn.sender.send(Outbound::plain(ok)),
+                    Err(reason) => {
+                        stats.count_rejection(reason);
+                        // Echo the video id in the seq field so the client
+                        // can correlate the failure (Subscribe has no seq).
+                        conn.sender.send(Outbound::plain(Frame::Rejected {
+                            seq: u64::from(video),
+                            reason,
+                        }));
+                    }
+                }
+            }
             // Server→client frames arriving at the server are a protocol
             // violation.
             Frame::Welcome { .. }
@@ -891,6 +995,8 @@ impl EventLoop {
             | Frame::Resumed { .. }
             | Frame::VideoInfo { .. }
             | Frame::StatsReply { .. }
+            | Frame::SubscribeOk { .. }
+            | Frame::SegmentData { .. }
             | Frame::Draining => {
                 stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 return Action::CloseGraceful;
@@ -1045,7 +1151,7 @@ impl EventLoop {
                 .entries
                 .iter()
                 .take(batch)
-                .map(|e| IoSlice::new(&e.bytes[e.written..]))
+                .map(|e| IoSlice::new(&e.bytes.as_slice()[e.written..]))
                 .collect();
             // The write happens under the queue lock, but it is nonblocking
             // and the lock is only otherwise held for push/len — producers

@@ -41,6 +41,7 @@
 pub mod admin;
 pub mod chaos;
 pub mod clock;
+mod data;
 mod eventloop;
 pub mod load;
 pub mod server;
@@ -63,6 +64,13 @@ pub use telemetry::SPAN_STAGES;
 // Re-exported so service binaries can build catalogs without naming the
 // server crate.
 pub use vod_server::{CatalogError, SchedulerKind, ServeCatalog, ServeEntry};
+// Re-exported so service binaries can verify delivered bytes against the
+// deterministic store without naming the ring crate.
+pub use vod_ring::{
+    checksum64, payload_len_for, RingStats, SegmentPayload, SegmentRing, SegmentStore,
+    DEFAULT_STORE_SEED,
+};
 pub use wire::{
     Frame, GrantedSegment, WireError, ARRIVAL_AUTO, MAX_FRAME_LEN, PROTOCOL_VERSION, RESUME_NONE,
+    SEGMENT_CHUNK_BYTES,
 };

@@ -27,15 +27,31 @@
 //! that exhausts its retry budget is counted in
 //! [`LoadReport::unrecoverable_conns`] — the number the chaos CI gate
 //! pins to zero.
+//!
+//! # Byte verification
+//!
+//! With [`LoadConfig::verify_bytes`] set, every connection subscribes to
+//! its video's broadcast channel before the first request is sent (a
+//! start gate holds all connections until every subscription is live, so
+//! no publication can air unobserved). The inbound `SegmentData` chunks
+//! feed a [`Reassembler`], which rebuilds each publication in order,
+//! compares the bytes against a locally synthesized
+//! [`SegmentPayload`](vod_ring::SegmentPayload) oracle sharing the
+//! server's store seed, converts channel-seq jumps into explicit gap
+//! counts, and checks that every segment granted to *this* connection
+//! finishes arriving before its playback deadline — grant receipt plus
+//! `(air slot − arrival slot) × slot_ns` on the server's dilated clock.
 
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use vod_net::{Events, Interest, Poller};
 use vod_obs::LogHistogram;
+use vod_ring::{checksum64, SegmentPayload};
 
 use crate::session::lock_unpoisoned;
 use crate::wire::{
@@ -85,6 +101,16 @@ pub struct LoadConfig {
     /// it; the schedule of *retries* need not be deterministic, only the
     /// server-side fault injection is).
     pub retry_seed: u64,
+    /// Subscribe each connection to its video's broadcast channel and
+    /// verify every delivered segment byte-for-byte against the
+    /// deterministic store oracle (see the module docs). Subscriptions
+    /// are established once, before any requests are sent; a profile
+    /// mixing chaos reconnects with byte verification is not supported —
+    /// a resumed connection does not re-subscribe.
+    pub verify_bytes: bool,
+    /// The store seed the verification oracle shares with the server
+    /// ([`vod_ring::DEFAULT_STORE_SEED`] unless the operator picked one).
+    pub store_seed: u64,
 }
 
 impl Default for LoadConfig {
@@ -104,6 +130,8 @@ impl Default for LoadConfig {
             backoff_base: Duration::from_millis(25),
             backoff_cap: Duration::from_secs(1),
             retry_seed: 0x0d15_ea5e,
+            verify_bytes: false,
+            store_seed: vod_ring::DEFAULT_STORE_SEED,
         }
     }
 }
@@ -153,6 +181,12 @@ pub struct LoadReport {
     /// Grant-gap distribution: at each resume, how many sent requests
     /// were still unanswered (the gap the replay must cover).
     pub resume_gaps: LogHistogram,
+    /// Broadcast channels subscribed (one per connection when
+    /// [`LoadConfig::verify_bytes`] is set).
+    pub subscriptions: u64,
+    /// Client-side data-plane verification tallies, summed over every
+    /// connection's [`Reassembler`].
+    pub data: DataTally,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Client-side request→grant latency (nanoseconds).
@@ -173,6 +207,17 @@ impl LoadReport {
             return 0.0;
         }
         self.grants as f64 / secs
+    }
+
+    /// Achieved data-plane delivery rate in bytes/second (zero when the
+    /// run did not subscribe).
+    #[must_use]
+    pub fn delivered_bytes_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.data.bytes_delivered as f64 / secs
     }
 
     /// A latency quantile in milliseconds (`None` when nothing completed).
@@ -220,7 +265,263 @@ impl LoadReport {
                 gap,
             ));
         }
+        if self.subscriptions > 0 {
+            out.push_str(&format!(
+                "data plane: {} subs, {} bytes delivered ({:.0} B/s), \
+                 {} segments verified, {} checksum mismatches, \
+                 {} byte-deadline misses, {} gaps, {} chunk errors\n",
+                self.subscriptions,
+                self.data.bytes_delivered,
+                self.delivered_bytes_per_sec(),
+                self.data.segments_verified,
+                self.data.checksum_mismatches,
+                self.data.byte_deadline_misses,
+                self.data.gaps,
+                self.data.chunk_errors,
+            ));
+        }
         out
+    }
+}
+
+/// Counters accumulated by a [`Reassembler`] — the client's half of the
+/// delivered-bytes accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataTally {
+    /// Payload bytes received in `SegmentData` chunks (header overhead
+    /// excluded — this is the number that pairs with the server's
+    /// `svc.bytes_delivered`).
+    pub bytes_delivered: u64,
+    /// Publications fully reassembled and byte-identical to the store
+    /// oracle.
+    pub segments_verified: u64,
+    /// Publications fully reassembled whose bytes did NOT match the
+    /// oracle — always zero unless the data plane is broken.
+    pub checksum_mismatches: u64,
+    /// Segments granted to this connection that were not completely
+    /// delivered by their playback deadline.
+    pub byte_deadline_misses: u64,
+    /// Publications this subscriber never received: channel-seq jumps
+    /// (the server lapped/evicted the cursor) plus any publication left
+    /// half-assembled at teardown.
+    pub gaps: u64,
+    /// Chunks violating the framing contract (offsets that do not tile,
+    /// geometry changing mid-publication, stale sequences).
+    pub chunk_errors: u64,
+}
+
+impl DataTally {
+    fn absorb(&mut self, other: &DataTally) {
+        self.bytes_delivered += other.bytes_delivered;
+        self.segments_verified += other.segments_verified;
+        self.checksum_mismatches += other.checksum_mismatches;
+        self.byte_deadline_misses += other.byte_deadline_misses;
+        self.gaps += other.gaps;
+        self.chunk_errors += other.chunk_errors;
+    }
+}
+
+/// A publication mid-reassembly: its identity and the bytes so far.
+#[derive(Debug)]
+struct Partial {
+    channel_seq: u64,
+    segment: u32,
+    slot: u64,
+    total_len: u64,
+    buf: Vec<u8>,
+}
+
+/// Client-side reassembly and verification of one subscription's
+/// `SegmentData` stream.
+///
+/// Chunks sharing a channel sequence are appended in offset order until
+/// `total_len` bytes have arrived, then the whole payload is compared
+/// against a locally synthesized [`vod_ring::SegmentPayload`] with the
+/// same `(seed, video, segment, len)` — byte equality, not just a
+/// checksum. Channel-seq jumps become [`DataTally::gaps`]; framing
+/// violations become [`DataTally::chunk_errors`].
+///
+/// Deadlines: [`Reassembler::on_grant`] records, for every granted
+/// instance, the wall-clock instant its bytes must be complete by —
+/// grant receipt plus `(air slot − arrival slot) × slot_ns`. A
+/// publication that completed *before* its grant arrived trivially meets
+/// the deadline; one still pending past its instant is a
+/// [`DataTally::byte_deadline_misses`].
+#[derive(Debug)]
+pub struct Reassembler {
+    seed: u64,
+    video: u32,
+    payload_len: u64,
+    slot_ns: u64,
+    expected_seq: u64,
+    partial: Option<Partial>,
+    /// Granted instances whose bytes have not finished arriving:
+    /// `(segment, air_slot) → deadline`.
+    deadlines: HashMap<(u32, u64), Instant>,
+    /// Instances fully delivered, by completion instant — consulted when
+    /// a grant referencing an already-delivered instance arrives late.
+    completed: HashMap<(u32, u64), Instant>,
+    tally: DataTally,
+}
+
+/// Slack added to the drain deadline so a chunk already in flight when
+/// the last grant deadline expires still counts.
+const DRAIN_GRACE: Duration = Duration::from_millis(25);
+
+impl Reassembler {
+    /// A reassembler for `video`, verifying against the deterministic
+    /// store keyed by `seed`. Inert until [`on_subscribe_ok`] supplies
+    /// the channel geometry.
+    ///
+    /// [`on_subscribe_ok`]: Reassembler::on_subscribe_ok
+    #[must_use]
+    pub fn new(seed: u64, video: u32) -> Self {
+        Reassembler {
+            seed,
+            video,
+            payload_len: 0,
+            slot_ns: 0,
+            expected_seq: 0,
+            partial: None,
+            deadlines: HashMap::new(),
+            completed: HashMap::new(),
+            tally: DataTally::default(),
+        }
+    }
+
+    /// Adopts the channel geometry from a `SubscribeOk`.
+    pub fn on_subscribe_ok(&mut self, payload_len: u64, slot_ns: u64, next_seq: u64) {
+        self.payload_len = payload_len;
+        self.slot_ns = slot_ns;
+        self.expected_seq = next_seq;
+    }
+
+    /// Records the playback deadline of every instance in a grant
+    /// received at `now`. Instances already fully delivered met their
+    /// deadline by definition; shared instances keep the earliest
+    /// deadline any grant imposed.
+    pub fn on_grant(&mut self, arrival_slot: u64, segments: &[GrantedSegment], now: Instant) {
+        for g in segments {
+            let key = (g.segment, g.slot);
+            if self.completed.contains_key(&key) {
+                continue;
+            }
+            let slack_slots = g.slot.saturating_sub(arrival_slot);
+            let slack = Duration::from_nanos(self.slot_ns.saturating_mul(slack_slots));
+            let deadline = now + slack;
+            self.deadlines
+                .entry(key)
+                .and_modify(|d| *d = (*d).min(deadline))
+                .or_insert(deadline);
+        }
+    }
+
+    /// Feeds one `SegmentData` chunk received at `now`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_chunk(
+        &mut self,
+        segment: u32,
+        slot: u64,
+        channel_seq: u64,
+        offset: u64,
+        total_len: u64,
+        bytes: &[u8],
+        now: Instant,
+    ) {
+        self.tally.bytes_delivered += bytes.len() as u64;
+        if let Some(p) = &self.partial {
+            if p.channel_seq != channel_seq {
+                // The server queues a publication's chunks all-or-nothing,
+                // so a new seq mid-assembly means framing is broken.
+                self.tally.chunk_errors += 1;
+                self.partial = None;
+            }
+        }
+        if self.partial.is_none() {
+            if channel_seq < self.expected_seq {
+                self.tally.chunk_errors += 1;
+                return;
+            }
+            if channel_seq > self.expected_seq {
+                // The ring lapped this subscriber: whole publications are
+                // gone, and the server said so by skipping sequences.
+                self.tally.gaps += channel_seq - self.expected_seq;
+                self.expected_seq = channel_seq;
+            }
+            if offset != 0 {
+                self.tally.chunk_errors += 1;
+                return;
+            }
+            self.partial = Some(Partial {
+                channel_seq,
+                segment,
+                slot,
+                total_len,
+                buf: Vec::with_capacity(total_len.min(1 << 24) as usize),
+            });
+        }
+        let p = self.partial.as_mut().expect("partial just ensured");
+        if p.segment != segment
+            || p.slot != slot
+            || p.total_len != total_len
+            || offset != p.buf.len() as u64
+        {
+            self.tally.chunk_errors += 1;
+            self.partial = None;
+            return;
+        }
+        p.buf.extend_from_slice(bytes);
+        if (p.buf.len() as u64) < p.total_len {
+            return;
+        }
+        let done = self.partial.take().expect("complete partial");
+        self.expected_seq = done.channel_seq + 1;
+        let oracle =
+            SegmentPayload::synthesize(self.seed, self.video, done.segment, done.buf.len());
+        if done.buf == oracle.bytes() && checksum64(&done.buf) == oracle.checksum() {
+            self.tally.segments_verified += 1;
+        } else {
+            self.tally.checksum_mismatches += 1;
+        }
+        let key = (done.segment, done.slot);
+        if let Some(deadline) = self.deadlines.remove(&key) {
+            if now > deadline {
+                self.tally.byte_deadline_misses += 1;
+            }
+        }
+        self.completed.insert(key, now);
+    }
+
+    /// Whether nothing is pending: no half-assembled publication and no
+    /// granted instance still waiting for bytes.
+    #[must_use]
+    pub fn drained(&self) -> bool {
+        self.partial.is_none() && self.deadlines.is_empty()
+    }
+
+    /// How long a drain is worth waiting: the latest pending deadline
+    /// plus a small grace (`None` when no deadline is pending — the
+    /// caller falls back to its quiet limit).
+    #[must_use]
+    pub fn drain_deadline(&self) -> Option<Instant> {
+        self.deadlines.values().max().map(|d| *d + DRAIN_GRACE)
+    }
+
+    /// Final accounting at teardown: every instance still pending is a
+    /// deadline miss (its bytes can no longer arrive), and a publication
+    /// left half-assembled is a gap.
+    pub fn finish(&mut self) {
+        self.tally.byte_deadline_misses += self.deadlines.len() as u64;
+        self.deadlines.clear();
+        if self.partial.take().is_some() {
+            self.tally.gaps += 1;
+        }
+    }
+
+    /// The verification counters so far.
+    #[must_use]
+    pub fn tally(&self) -> DataTally {
+        self.tally
     }
 }
 
@@ -241,6 +542,8 @@ struct ConnState {
     draining_seen: u64,
     video_infos: u64,
     protocol_errors: u64,
+    subscriptions: u64,
+    reassembler: Option<Reassembler>,
 }
 
 impl ConnState {
@@ -254,6 +557,8 @@ impl ConnState {
             draining_seen: 0,
             video_infos: 0,
             protocol_errors: 0,
+            subscriptions: 0,
+            reassembler: None,
         }
     }
 
@@ -318,6 +623,51 @@ struct ConnOutcome {
     resume_gaps: LogHistogram,
     latency: LogHistogram,
     records: Vec<GrantRecord>,
+    subscriptions: u64,
+    data: DataTally,
+}
+
+/// Holds every connection at the line until all of them have subscribed
+/// (or failed trying): no publication may air before every subscriber's
+/// cursor is live, otherwise "every subscriber saw every publication"
+/// cannot hold. Unlike [`std::sync::Barrier`] this cannot deadlock — a
+/// thread that errors out still arrives, and waiters carry a timeout.
+struct StartGate {
+    remaining: Mutex<usize>,
+    all_in: Condvar,
+}
+
+impl StartGate {
+    fn new(parties: usize) -> StartGate {
+        StartGate {
+            remaining: Mutex::new(parties),
+            all_in: Condvar::new(),
+        }
+    }
+
+    /// Checks in and waits (up to `timeout`) for the rest of the field.
+    fn arrive_and_wait(&self, timeout: Duration) {
+        let mut left = lock_unpoisoned(&self.remaining);
+        *left = left.saturating_sub(1);
+        if *left == 0 {
+            self.all_in.notify_all();
+            return;
+        }
+        let _ = self
+            .all_in
+            .wait_timeout_while(left, timeout, |l| *l > 0)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+
+    /// Checks in without waiting — the path for a connection that failed
+    /// before reaching the line.
+    fn abandon(&self) {
+        let mut left = lock_unpoisoned(&self.remaining);
+        *left = left.saturating_sub(1);
+        if *left == 0 {
+            self.all_in.notify_all();
+        }
+    }
 }
 
 /// Runs a load scenario against `addr` and aggregates the per-connection
@@ -340,11 +690,15 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> io::Result<LoadReport>
             _ => c as u32 % config.videos.max(1),
         })
         .collect();
+    let gate = config
+        .verify_bytes
+        .then(|| Arc::new(StartGate::new(config.conns)));
     let mut handles = Vec::with_capacity(config.conns);
     for (index, &video) in videos_by_conn.iter().enumerate() {
         let cfg = config.clone();
+        let gate = gate.clone();
         handles.push(std::thread::spawn(move || {
-            drive_conn(addr, index, video, &cfg)
+            drive_conn(addr, index, video, &cfg, gate.as_deref())
         }));
     }
     let mut report = LoadReport {
@@ -361,6 +715,8 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> io::Result<LoadReport>
         timeouts: 0,
         unrecoverable_conns: 0,
         resume_gaps: LogHistogram::new(),
+        subscriptions: 0,
+        data: DataTally::default(),
         elapsed: Duration::ZERO,
         latency: LogHistogram::new(),
         videos_by_conn,
@@ -381,6 +737,8 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> io::Result<LoadReport>
                 report.duplicates += outcome.duplicates;
                 report.timeouts += outcome.timeouts;
                 report.unrecoverable_conns += u64::from(outcome.unrecoverable);
+                report.subscriptions += outcome.subscriptions;
+                report.data.absorb(&outcome.data);
                 report.resume_gaps.merge(&outcome.resume_gaps);
                 report.latency.merge(&outcome.latency);
                 report.grants_by_conn.push(outcome.records);
@@ -556,6 +914,7 @@ fn drive_conn(
     index: usize,
     video: u32,
     config: &LoadConfig,
+    gate: Option<&StartGate>,
 ) -> io::Result<ConnOutcome> {
     let total = config.requests_per_conn;
     let state = Arc::new(Mutex::new(ConnState::new(total as usize)));
@@ -580,10 +939,14 @@ fn drive_conn(
             &mut session,
             &mut outcome,
             attempt,
+            if attempt == 1 { gate } else { None },
         ) {
             Ok(end) => end,
             Err(e) => {
                 if attempt == 1 {
+                    if let Some(gate) = gate {
+                        gate.abandon();
+                    }
                     return Err(e);
                 }
                 AttemptEnd::Dead
@@ -608,6 +971,12 @@ fn drive_conn(
     }
 
     let mut s = lock_unpoisoned(&state);
+    if let Some(mut r) = s.reassembler.take() {
+        // Anything still pending can no longer arrive on any attempt.
+        r.finish();
+        outcome.data = r.tally();
+    }
+    outcome.subscriptions = s.subscriptions;
     outcome.draining_seen = s.draining_seen;
     outcome.protocol_errors += s.protocol_errors;
     outcome.video_infos = s.video_infos;
@@ -629,8 +998,10 @@ fn drive_conn(
     Ok(outcome)
 }
 
-/// One connection attempt: connect, handshake (and resume), re-send every
-/// unanswered request, wait for answers.
+/// One connection attempt: connect, handshake (and resume), subscribe on
+/// the first attempt of a verifying run, re-send every unanswered
+/// request, wait for answers.
+#[allow(clippy::too_many_arguments)]
 fn run_attempt(
     addr: SocketAddr,
     video: u32,
@@ -639,11 +1010,20 @@ fn run_attempt(
     session: &mut Option<u64>,
     outcome: &mut ConnOutcome,
     attempt: u32,
+    gate: Option<&StartGate>,
 ) -> io::Result<AttemptEnd> {
     let (mut io, mut writer) = ClientIo::connect(addr)?;
     handshake(&mut io, &mut writer, config, state, session, outcome)?;
     if config.describe && attempt == 1 {
         writer.send(&Frame::Describe { seq: 0, video })?;
+    }
+    if config.verify_bytes && attempt == 1 {
+        subscribe(&mut io, &mut writer, video, config, state)?;
+    }
+    // Everything fallible is behind us: check in and wait for the whole
+    // field, so no publication can air before every cursor is live.
+    if let Some(gate) = gate {
+        gate.arrive_and_wait(config.read_timeout);
     }
 
     let (done_tx, done_rx) = mpsc::channel::<()>();
@@ -790,6 +1170,58 @@ fn handshake(
     }
 }
 
+/// Subscribe → SubscribeOk, priming the connection's [`Reassembler`]
+/// with the channel geometry. Runs before any request is sent, so a
+/// `Rejected` here can only answer the subscription.
+fn subscribe(
+    io: &mut ClientIo,
+    writer: &mut ClientWriter,
+    video: u32,
+    config: &LoadConfig,
+    state: &Arc<Mutex<ConnState>>,
+) -> io::Result<()> {
+    let failed = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_owned());
+    writer.send(&Frame::Subscribe { video })?;
+    let deadline = Instant::now() + config.read_timeout;
+    loop {
+        match io.read_by(deadline) {
+            ClientRead::Frame(Frame::SubscribeOk {
+                video: echoed,
+                payload_len,
+                slot_ns,
+                next_seq,
+            }) if echoed == video => {
+                let mut s = lock_unpoisoned(state);
+                let r = s
+                    .reassembler
+                    .get_or_insert_with(|| Reassembler::new(config.store_seed, video));
+                r.on_subscribe_ok(payload_len, slot_ns, next_seq);
+                s.subscriptions += 1;
+                return Ok(());
+            }
+            ClientRead::Frame(Frame::Rejected { seq, .. }) if seq == u64::from(video) => {
+                return Err(failed("subscribe rejected"));
+            }
+            ClientRead::Frame(Frame::Draining) => {
+                lock_unpoisoned(state).draining_seen += 1;
+            }
+            ClientRead::Frame(Frame::VideoInfo { .. }) => {
+                lock_unpoisoned(state).video_infos += 1;
+            }
+            ClientRead::Frame(_) | ClientRead::Malformed => {
+                return Err(failed("subscribe failed: no SubscribeOk"));
+            }
+            ClientRead::Idle => {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "subscribe timed out waiting for SubscribeOk",
+                ));
+            }
+            ClientRead::Closed => return Err(failed("connection closed during subscribe")),
+        }
+    }
+}
+
 fn receive_attempt(
     io: &mut ClientIo,
     state: &Mutex<ConnState>,
@@ -799,13 +1231,27 @@ fn receive_attempt(
 ) -> AttemptEnd {
     let mut quiet_since = Instant::now();
     loop {
-        if lock_unpoisoned(state).all_answered() {
+        let (all_answered, drained, drain_by) = {
+            let s = lock_unpoisoned(state);
+            let drained = s.reassembler.as_ref().is_none_or(Reassembler::drained);
+            let drain_by = s.reassembler.as_ref().and_then(Reassembler::drain_deadline);
+            (s.all_answered(), drained, drain_by)
+        };
+        if all_answered && drained {
             return AttemptEnd::Complete;
         }
         // The wait is bounded by the exact quiet deadline: an idle wake
         // here means the attempt is stalled, not that a poll interval
-        // elapsed.
-        match io.read_by(quiet_since + quiet_limit) {
+        // elapsed. Once every request is answered, only the data-plane
+        // drain remains, and its wait is bounded tighter — by the latest
+        // granted-byte deadline still pending.
+        let mut deadline = quiet_since + quiet_limit;
+        if all_answered {
+            if let Some(by) = drain_by {
+                deadline = deadline.min(by);
+            }
+        }
+        match io.read_by(deadline) {
             ClientRead::Frame(frame) => {
                 quiet_since = Instant::now();
                 let answered = {
@@ -817,6 +1263,9 @@ fn receive_attempt(
                             segments,
                             ..
                         } => {
+                            if let Some(r) = s.reassembler.as_mut() {
+                                r.on_grant(arrival_slot, &segments, Instant::now());
+                            }
                             let record = collect.then_some(GrantRecord {
                                 seq,
                                 arrival_slot,
@@ -829,6 +1278,31 @@ fn receive_attempt(
                             s.record_answer(seq, Answer::Rejected);
                             true
                         }
+                        Frame::SegmentData {
+                            segment,
+                            slot,
+                            channel_seq,
+                            offset,
+                            total_len,
+                            bytes,
+                            ..
+                        } => {
+                            if let Some(r) = s.reassembler.as_mut() {
+                                r.on_chunk(
+                                    segment,
+                                    slot,
+                                    channel_seq,
+                                    offset,
+                                    total_len,
+                                    &bytes,
+                                    Instant::now(),
+                                );
+                            } else {
+                                // Data without a subscription is a bug.
+                                s.protocol_errors += 1;
+                            }
+                            false
+                        }
                         Frame::Draining => {
                             s.draining_seen += 1;
                             false
@@ -838,9 +1312,11 @@ fn receive_attempt(
                             false
                         }
                         // Late handshake frames (a second Welcome, a
-                        // Resumed racing the spawn) are harmless.
+                        // Resumed racing the spawn, a duplicate
+                        // SubscribeOk) are harmless.
                         Frame::Welcome { .. }
                         | Frame::Resumed { .. }
+                        | Frame::SubscribeOk { .. }
                         | Frame::StatsReply { .. } => false,
                         _ => {
                             s.protocol_errors += 1;
@@ -852,7 +1328,17 @@ fn receive_attempt(
                     let _ = done_tx.send(());
                 }
             }
-            ClientRead::Idle => return AttemptEnd::TimedOut,
+            ClientRead::Idle => {
+                if all_answered {
+                    // The drain window closed: whatever is still pending
+                    // can no longer make its deadline.
+                    if let Some(r) = lock_unpoisoned(state).reassembler.as_mut() {
+                        r.finish();
+                    }
+                    return AttemptEnd::Complete;
+                }
+                return AttemptEnd::TimedOut;
+            }
             ClientRead::Closed => return AttemptEnd::Dead,
             ClientRead::Malformed => {
                 lock_unpoisoned(state).protocol_errors += 1;
@@ -880,4 +1366,148 @@ fn splitmix64(state: &mut u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::GrantedSegment;
+
+    const SEED: u64 = 0xfeed_beef;
+
+    fn oracle(video: u32, segment: u32, len: usize) -> SegmentPayload {
+        SegmentPayload::synthesize(SEED, video, segment, len)
+    }
+
+    fn ready(video: u32, payload_len: u64, slot_ns: u64) -> Reassembler {
+        let mut r = Reassembler::new(SEED, video);
+        r.on_subscribe_ok(payload_len, slot_ns, 0);
+        r
+    }
+
+    #[test]
+    fn chunked_publication_reassembles_byte_identical() {
+        let p = oracle(3, 2, 100);
+        let mut r = ready(3, 100, 1_000_000);
+        let now = Instant::now();
+        r.on_chunk(2, 7, 0, 0, 100, &p.bytes()[..60], now);
+        assert_eq!(r.tally().segments_verified, 0, "still partial");
+        r.on_chunk(2, 7, 0, 60, 100, &p.bytes()[60..], now);
+        let t = r.tally();
+        assert_eq!(t.segments_verified, 1);
+        assert_eq!(t.bytes_delivered, 100);
+        assert_eq!(t.checksum_mismatches, 0);
+        assert!(r.drained());
+    }
+
+    #[test]
+    fn corrupted_bytes_are_a_checksum_mismatch() {
+        let mut wrong = oracle(1, 1, 32).bytes().to_vec();
+        wrong[5] ^= 0xff;
+        let mut r = ready(1, 32, 1_000_000);
+        r.on_chunk(1, 3, 0, 0, 32, &wrong, Instant::now());
+        assert_eq!(r.tally().checksum_mismatches, 1);
+        assert_eq!(r.tally().segments_verified, 0);
+    }
+
+    #[test]
+    fn sequence_jumps_count_missed_publications_as_gaps() {
+        let p = oracle(0, 4, 16);
+        let mut r = ready(0, 16, 1_000_000);
+        // Seqs 0 and 1 never arrive; seq 2 does.
+        r.on_chunk(4, 9, 2, 0, 16, p.bytes(), Instant::now());
+        let t = r.tally();
+        assert_eq!(t.gaps, 2);
+        assert_eq!(t.segments_verified, 1);
+    }
+
+    #[test]
+    fn offsets_that_do_not_tile_are_chunk_errors() {
+        let p = oracle(0, 1, 64);
+        let mut r = ready(0, 64, 1_000_000);
+        let now = Instant::now();
+        r.on_chunk(1, 2, 0, 0, 64, &p.bytes()[..32], now);
+        r.on_chunk(1, 2, 0, 40, 64, &p.bytes()[40..], now); // hole at 32..40
+        assert_eq!(r.tally().chunk_errors, 1);
+        assert_eq!(r.tally().segments_verified, 0);
+    }
+
+    #[test]
+    fn grant_after_delivery_meets_the_deadline() {
+        let p = oracle(2, 1, 24);
+        let mut r = ready(2, 24, 1_000_000);
+        let now = Instant::now();
+        r.on_chunk(1, 5, 0, 0, 24, p.bytes(), now);
+        // The grant naming (segment 1, slot 5) lands after the bytes did.
+        r.on_grant(
+            4,
+            &[GrantedSegment {
+                segment: 1,
+                slot: 5,
+                shared: false,
+            }],
+            now + Duration::from_millis(1),
+        );
+        assert!(r.drained(), "already-delivered instances never go pending");
+        r.finish();
+        assert_eq!(r.tally().byte_deadline_misses, 0);
+    }
+
+    #[test]
+    fn undelivered_grants_become_deadline_misses_at_finish() {
+        let mut r = ready(2, 24, 1_000_000);
+        r.on_grant(
+            4,
+            &[
+                GrantedSegment {
+                    segment: 1,
+                    slot: 5,
+                    shared: false,
+                },
+                GrantedSegment {
+                    segment: 2,
+                    slot: 6,
+                    shared: true,
+                },
+            ],
+            Instant::now(),
+        );
+        assert!(!r.drained());
+        assert!(r.drain_deadline().is_some());
+        r.finish();
+        assert_eq!(r.tally().byte_deadline_misses, 2);
+        assert!(r.drained());
+    }
+
+    #[test]
+    fn late_delivery_past_the_deadline_is_a_miss() {
+        let p = oracle(2, 1, 24);
+        let mut r = ready(2, 24, 1_000_000); // 1 ms per slot
+        let now = Instant::now();
+        r.on_grant(
+            4,
+            &[GrantedSegment {
+                segment: 1,
+                slot: 5,
+                shared: false,
+            }],
+            now,
+        );
+        // One slot of slack = 1 ms; the bytes land 5 ms later.
+        r.on_chunk(1, 5, 0, 0, 24, p.bytes(), now + Duration::from_millis(5));
+        let t = r.tally();
+        assert_eq!(t.byte_deadline_misses, 1);
+        assert_eq!(t.segments_verified, 1, "late bytes still verify");
+        assert!(r.drained());
+    }
+
+    #[test]
+    fn half_assembled_publication_at_teardown_is_a_gap() {
+        let p = oracle(0, 1, 64);
+        let mut r = ready(0, 64, 1_000_000);
+        r.on_chunk(1, 2, 0, 0, 64, &p.bytes()[..32], Instant::now());
+        assert!(!r.drained());
+        r.finish();
+        assert_eq!(r.tally().gaps, 1);
+    }
 }

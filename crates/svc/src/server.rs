@@ -48,6 +48,7 @@ use vod_types::VideoSpec;
 use crate::admin::{AdminFrame, ADMIN_PROTOCOL_VERSION};
 use crate::chaos::ChaosPlan;
 use crate::clock::SlotClock;
+use crate::data::{ChannelInit, DataPlane};
 use crate::eventloop::LoopPool;
 use crate::session::{lock_unpoisoned, SessionRegistry};
 use crate::shard::{spawn_shard, RestartPolicy, ShardConfig, ShardMsg, ShardVideo};
@@ -109,6 +110,16 @@ pub struct SvcConfig {
     pub telemetry_window: Duration,
     /// How many recent raw span records the admin `SPANS` query can return.
     pub span_recent_cap: usize,
+    /// Default data-plane payload rate in bytes per media-second, for
+    /// catalog entries without their own `bytes-per-sec`: one segment's
+    /// synthesized payload is `rate × segment_secs` bytes.
+    pub data_rate_bps: u64,
+    /// Per-channel broadcast ring capacity (recent publications retained
+    /// for lagging subscribers before eviction-with-overrun).
+    pub ring_cap: usize,
+    /// Seed of the deterministic segment store. Clients verifying
+    /// delivered bytes must synthesize their oracle with the same seed.
+    pub store_seed: u64,
 }
 
 impl Default for SvcConfig {
@@ -131,6 +142,9 @@ impl Default for SvcConfig {
             admin_addr: None,
             telemetry_window: Duration::from_secs(1),
             span_recent_cap: 1024,
+            data_rate_bps: 1024,
+            ring_cap: 64,
+            store_seed: vod_ring::DEFAULT_STORE_SEED,
         }
     }
 }
@@ -182,6 +196,9 @@ pub(crate) struct Shared {
     pub(crate) replay_cap: usize,
     pub(crate) outbound_cap: usize,
     pub(crate) telemetry: Arc<Telemetry>,
+    /// The broadcast data plane (channel rings, subscribers, segment
+    /// store), shared by event loops (subscribe) and shards (publish).
+    pub(crate) data: Arc<DataPlane>,
     /// Fired once at shutdown; admin connection pollers watch it so idle
     /// scrapers and mid-`Watch` streams wake immediately instead of
     /// sleeping through a fixed poll interval.
@@ -232,6 +249,7 @@ impl Service {
         // catalog as invalid videos — served with typed rejections, never a
         // crash: catalog files are untrusted input.
         let mut meta = Vec::with_capacity(config.catalog.len());
+        let mut channels = Vec::with_capacity(config.catalog.len());
         let mut shard_videos: Vec<Vec<ShardVideo>> = (0..shards).map(|_| Vec::new()).collect();
         for (id, built) in config
             .catalog
@@ -241,6 +259,18 @@ impl Service {
         {
             match built {
                 Ok((spec, scheduler)) => {
+                    let entry = &config.catalog.entries()[id];
+                    let clock = Arc::new(SlotClock::start(spec.segment_duration(), dilation));
+                    let rate = entry.bytes_per_sec.unwrap_or(config.data_rate_bps).max(1);
+                    channels.push(ChannelInit {
+                        payload_len: vod_ring::payload_len_for(
+                            rate,
+                            spec.segment_duration().as_secs_f64(),
+                        ) as u64,
+                        slot_ns: u64::try_from(clock.real_slot_duration().as_nanos())
+                            .unwrap_or(u64::MAX),
+                        valid: true,
+                    });
                     meta.push(VideoMeta {
                         segments: spec.n_segments() as u32,
                         protocol: scheduler.name().to_owned(),
@@ -249,13 +279,18 @@ impl Service {
                     });
                     shard_videos[id % shards].push(ShardVideo {
                         id: id as u32,
-                        entry: config.catalog.entries()[id].clone(),
+                        entry: entry.clone(),
                         scheduler,
-                        clock: Arc::new(SlotClock::start(spec.segment_duration(), dilation)),
+                        clock,
                     });
                 }
                 Err(_) => {
                     let entry = &config.catalog.entries()[id];
+                    channels.push(ChannelInit {
+                        payload_len: 0,
+                        slot_ns: 0,
+                        valid: false,
+                    });
                     meta.push(VideoMeta {
                         segments: 0,
                         protocol: entry.protocol_key().to_owned(),
@@ -265,6 +300,11 @@ impl Service {
                 }
             }
         }
+        let data = Arc::new(DataPlane::new(
+            config.store_seed,
+            config.ring_cap.max(1),
+            channels,
+        ));
 
         let policy = RestartPolicy {
             max_restarts: config.max_restarts,
@@ -289,6 +329,7 @@ impl Service {
                     journal: config.journal.clone(),
                     chaos: Arc::clone(&chaos),
                     telemetry: Arc::clone(&telemetry),
+                    data: Arc::clone(&data),
                     policy: policy.clone(),
                     down: Arc::clone(&shard_down[id]),
                 },
@@ -311,6 +352,7 @@ impl Service {
             replay_cap: config.replay_cap.max(1),
             outbound_cap: config.outbound_cap.max(8),
             telemetry,
+            data,
             drain_signal: Arc::new(Signal::new()?),
             admins: Mutex::new(Vec::new()),
         });

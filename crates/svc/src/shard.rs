@@ -59,6 +59,7 @@ use vod_types::Slot;
 
 use crate::chaos::ChaosPlan;
 use crate::clock::SlotClock;
+use crate::data::{DataPlane, PublishOutcome};
 use crate::eventloop::ConnSender;
 use crate::session::Session;
 use crate::stats::ServiceStats;
@@ -153,6 +154,9 @@ pub(crate) struct ShardConfig {
     pub journal: Journal,
     pub chaos: Arc<ChaosPlan>,
     pub telemetry: Arc<Telemetry>,
+    /// The broadcast data plane: every newly scheduled instance is
+    /// published into its channel ring and fanned out to subscribers.
+    pub data: Arc<DataPlane>,
     pub policy: RestartPolicy,
     /// Flipped once the restart budget is spent; readers then shed this
     /// shard's videos at admission instead of queueing into a dead end.
@@ -379,6 +383,36 @@ fn handle_request(
             .fetch_add(1, Ordering::Relaxed);
     }
     audit_timeliness(stats, scheduler.periods(), arrival, &schedule);
+    // The data plane moves the actual bytes: every *newly* scheduled
+    // instance is published into the channel ring exactly once (instances
+    // shared with earlier requests were published when first scheduled)
+    // and fanned out zero-copy to current subscribers.
+    let mut ring_out = PublishOutcome::default();
+    for s in &schedule {
+        if s.newly_scheduled {
+            ring_out.absorb(
+                config
+                    .data
+                    .publish(video, s.segment.get() as u32, s.slot.index()),
+            );
+        }
+    }
+    if !ring_out.is_empty() {
+        stats
+            .ring_published
+            .fetch_add(ring_out.published, Ordering::Relaxed);
+        stats
+            .ring_fanout
+            .fetch_add(ring_out.fanout, Ordering::Relaxed);
+        stats
+            .ring_evictions
+            .fetch_add(ring_out.evictions, Ordering::Relaxed);
+        stats.ring_gaps.fetch_add(ring_out.gaps, Ordering::Relaxed);
+        stats
+            .bytes_delivered
+            .fetch_add(ring_out.bytes, Ordering::Relaxed);
+        config.telemetry.on_ring(config.id, &ring_out);
+    }
     let segments = schedule
         .iter()
         .map(|s| GrantedSegment {

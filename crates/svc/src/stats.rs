@@ -64,6 +64,18 @@ pub struct ServiceStats {
     pub chaos_conn_resets: AtomicU64,
     /// Writer stalls injected by the chaos plan.
     pub chaos_writer_stalls: AtomicU64,
+    /// Data-plane ring publications (one per scheduled segment instance).
+    pub ring_published: AtomicU64,
+    /// Data-plane deliveries queued (publication × subscriber pairs); with
+    /// fan-out, `ring_fanout ≫ ring_published` while each publication's
+    /// payload was encoded exactly once.
+    pub ring_fanout: AtomicU64,
+    /// Publications lost to lapped subscribers (evicted-with-overrun).
+    pub ring_evictions: AtomicU64,
+    /// Gap events reported to lapped subscribers.
+    pub ring_gaps: AtomicU64,
+    /// Segment payload bytes queued for delivery across all subscribers.
+    pub bytes_delivered: AtomicU64,
     latency: Vec<Mutex<LogHistogram>>,
 }
 
@@ -94,6 +106,11 @@ impl ServiceStats {
             requests_deduped: AtomicU64::new(0),
             chaos_conn_resets: AtomicU64::new(0),
             chaos_writer_stalls: AtomicU64::new(0),
+            ring_published: AtomicU64::new(0),
+            ring_fanout: AtomicU64::new(0),
+            ring_evictions: AtomicU64::new(0),
+            ring_gaps: AtomicU64::new(0),
+            bytes_delivered: AtomicU64::new(0),
             latency: (0..shards.max(1))
                 .map(|_| Mutex::new(LogHistogram::new()))
                 .collect(),
@@ -178,6 +195,11 @@ impl ServiceStats {
         *r.ensure_counter("svc.chaos.conn_resets") = self.chaos_conn_resets.load(Ordering::Relaxed);
         *r.ensure_counter("svc.chaos.writer_stalls") =
             self.chaos_writer_stalls.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.ring.published") = self.ring_published.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.ring.fanout") = self.ring_fanout.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.ring.evictions") = self.ring_evictions.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.ring.gaps") = self.ring_gaps.load(Ordering::Relaxed);
+        *r.ensure_counter("svc.bytes_delivered") = self.bytes_delivered.load(Ordering::Relaxed);
         let latency = self.latency_histogram();
         if latency.count() > 0 {
             r.merge_histogram("svc.grant_latency_ns", &latency);
@@ -225,6 +247,22 @@ mod tests {
         assert_eq!(r.counter("svc.sessions.resumed"), 1);
         assert_eq!(r.counter("svc.sessions.replayed_grants"), 5);
         assert_eq!(stats.rejected_total(), 2);
+    }
+
+    #[test]
+    fn ring_counters_round_trip_through_snapshots() {
+        let stats = ServiceStats::new(1);
+        stats.ring_published.fetch_add(3, Ordering::Relaxed);
+        stats.ring_fanout.fetch_add(96, Ordering::Relaxed);
+        stats.ring_evictions.fetch_add(2, Ordering::Relaxed);
+        stats.ring_gaps.fetch_add(1, Ordering::Relaxed);
+        stats.bytes_delivered.fetch_add(4096, Ordering::Relaxed);
+        let r = stats.snapshot();
+        assert_eq!(r.counter("svc.ring.published"), 3);
+        assert_eq!(r.counter("svc.ring.fanout"), 96);
+        assert_eq!(r.counter("svc.ring.evictions"), 2);
+        assert_eq!(r.counter("svc.ring.gaps"), 1);
+        assert_eq!(r.counter("svc.bytes_delivered"), 4096);
     }
 
     #[test]

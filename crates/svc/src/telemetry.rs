@@ -33,6 +33,7 @@ use std::time::{Duration, Instant};
 
 use vod_obs::{Registry, SpanSink, WindowWheel};
 
+use crate::data::PublishOutcome;
 use crate::session::{lock_unpoisoned, SessionRegistry};
 use crate::stats::ServiceStats;
 use crate::wire::Frame;
@@ -69,6 +70,18 @@ pub(crate) struct Telemetry {
     /// Supervised restarts each shard has consumed from its budget.
     restarts_used: Vec<AtomicU64>,
     max_restarts: u64,
+    /// Per-shard data-plane counters, exported as
+    /// `svc.ring.shard{N}.{published,fanout,evictions,gaps}`.
+    ring: Vec<ShardRing>,
+}
+
+/// One shard's cumulative data-plane counters.
+#[derive(Default)]
+struct ShardRing {
+    published: AtomicU64,
+    fanout: AtomicU64,
+    evictions: AtomicU64,
+    gaps: AtomicU64,
 }
 
 impl Telemetry {
@@ -89,6 +102,7 @@ impl Telemetry {
             clock_lag_slots: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             restarts_used: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             max_restarts: u64::from(max_restarts),
+            ring: (0..shards).map(|_| ShardRing::default()).collect(),
         }
     }
 
@@ -145,6 +159,20 @@ impl Telemetry {
             .store(lag_slots, Ordering::Relaxed);
     }
 
+    /// Accounts one shard's publish outcome: windowed delivered bytes (the
+    /// `svc.rate.bytes_per_sec` source) plus the per-shard ring counters.
+    pub(crate) fn on_ring(&self, shard: usize, out: &PublishOutcome) {
+        if out.bytes > 0 {
+            let id = self.window_id();
+            lock_unpoisoned(&self.wheel).inc(id, "svc.win.bytes", out.bytes);
+        }
+        let ring = &self.ring[shard % self.ring.len()];
+        ring.published.fetch_add(out.published, Ordering::Relaxed);
+        ring.fanout.fetch_add(out.fanout, Ordering::Relaxed);
+        ring.evictions.fetch_add(out.evictions, Ordering::Relaxed);
+        ring.gaps.fetch_add(out.gaps, Ordering::Relaxed);
+    }
+
     pub(crate) fn note_restarts(&self, shard: usize, used: u32) {
         self.restarts_used[shard % self.restarts_used.len()]
             .store(u64::from(used), Ordering::Relaxed);
@@ -194,6 +222,10 @@ impl Telemetry {
                     "svc.rate.grants_per_sec",
                     prev.counter("svc.win.grants") as f64 / secs,
                 );
+                r.set_gauge(
+                    "svc.rate.bytes_per_sec",
+                    prev.counter("svc.win.bytes") as f64 / secs,
+                );
             }
         }
         lock_unpoisoned(&self.spans).export_into(&mut r, "svc.span", "shard");
@@ -211,6 +243,15 @@ impl Telemetry {
                 &format!("svc.gauge.shard{shard}.restart_budget_left"),
                 self.max_restarts.saturating_sub(used) as f64,
             );
+            let ring = &self.ring[shard];
+            *r.ensure_counter(&format!("svc.ring.shard{shard}.published")) =
+                ring.published.load(Ordering::Relaxed);
+            *r.ensure_counter(&format!("svc.ring.shard{shard}.fanout")) =
+                ring.fanout.load(Ordering::Relaxed);
+            *r.ensure_counter(&format!("svc.ring.shard{shard}.evictions")) =
+                ring.evictions.load(Ordering::Relaxed);
+            *r.ensure_counter(&format!("svc.ring.shard{shard}.gaps")) =
+                ring.gaps.load(Ordering::Relaxed);
         }
         let (live, ring_frames) = sessions.occupancy();
         r.set_gauge("svc.gauge.sessions_live", live as f64);
@@ -385,6 +426,30 @@ mod tests {
         assert_eq!(r.gauge("svc.gauge.shard1.restart_budget_left"), Some(2.0));
         assert_eq!(r.gauge("svc.gauge.sessions_live"), Some(0.0));
         assert!(r.counter("svc.snapshot.mono_ns") > 0);
+    }
+
+    #[test]
+    fn ring_outcomes_reach_windows_and_per_shard_counters() {
+        let t = Telemetry::new(2, Duration::from_millis(50), 16, 0);
+        let stats = ServiceStats::new(2);
+        let sessions = SessionRegistry::default();
+        t.on_ring(
+            1,
+            &PublishOutcome {
+                published: 2,
+                fanout: 64,
+                bytes: 8_192,
+                evictions: 3,
+                gaps: 1,
+            },
+        );
+        let r = t.snapshot_full(&stats, &sessions);
+        assert_eq!(r.counter("svc.win.bytes"), 8_192);
+        assert_eq!(r.counter("svc.ring.shard1.published"), 2);
+        assert_eq!(r.counter("svc.ring.shard1.fanout"), 64);
+        assert_eq!(r.counter("svc.ring.shard1.evictions"), 3);
+        assert_eq!(r.counter("svc.ring.shard1.gaps"), 1);
+        assert_eq!(r.counter("svc.ring.shard0.published"), 0);
     }
 
     #[test]

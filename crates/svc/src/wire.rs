@@ -17,13 +17,16 @@ use vod_obs::RejectKind;
 /// Protocol version carried by `Hello`/`Welcome`. Version 2 introduced the
 /// heterogeneous catalog: `Welcome` lost its uniform `segments` field and
 /// `Describe`/`VideoInfo` report per-video segment counts, protocols, and
-/// period vectors. Version 3 adds session resume: `Welcome` carries a
+/// period vectors. Version 3 added session resume: `Welcome` carries a
 /// server-assigned session id, and the `Resume`/`Resumed` frames let a
-/// reconnecting client replay the grants it missed. The decoder rejects any
-/// other version with [`WireError::Version`] — a v1/v2 peer cannot
-/// interpret v3 frames correctly, so the mismatch must fail loudly at the
-/// handshake, not garble schedules.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// reconnecting client replay the grants it missed. Version 4 adds the
+/// data plane: `Subscribe`/`SubscribeOk` attach a connection to a video's
+/// broadcast channel and chunked `SegmentData` frames carry the actual
+/// segment payload bytes. The decoder rejects any other version with
+/// [`WireError::Version`] — a v1/v2/v3 peer cannot interpret v4 frames
+/// correctly, so the mismatch must fail loudly at the handshake, not
+/// garble schedules.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Hard upper bound on a frame payload, enforced by both sides before any
 /// allocation. Keeps a malicious or corrupt length prefix from ballooning
@@ -37,6 +40,18 @@ pub const ARRIVAL_AUTO: u64 = u64::MAX;
 /// `Resume::last_seq_seen` sentinel: the client saw no answers at all, so
 /// the server replays the session's entire replay ring.
 pub const RESUME_NONE: u64 = u64::MAX;
+
+/// Encoding overhead of a `SegmentData` payload before its bytes: tag +
+/// video + segment + slot + channel seq + byte offset + total length +
+/// chunk length.
+pub const SEGMENT_DATA_OVERHEAD: usize = 1 + 4 + 4 + 8 + 8 + 8 + 8 + 4;
+
+/// Largest chunk of payload bytes one `SegmentData` frame may carry: the
+/// frame cap minus the header fields, so a maximal chunk encodes to a
+/// payload of *exactly* [`MAX_FRAME_LEN`] bytes. Segments larger than
+/// this are split across consecutive frames sharing one channel seq,
+/// distinguished by their byte offsets.
+pub const SEGMENT_CHUNK_BYTES: usize = MAX_FRAME_LEN - SEGMENT_DATA_OVERHEAD;
 
 /// One segment instance granted to a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +108,15 @@ pub enum Frame {
         /// Highest request sequence number the client has an answer for
         /// with no gaps below it, or [`RESUME_NONE`] to replay everything.
         last_seq_seen: u64,
+    },
+    /// Attach this connection to a video's broadcast channel: every
+    /// segment instance published after this point arrives as
+    /// `SegmentData` frames. The server replies `SubscribeOk` (or
+    /// `Rejected` for an unknown/invalid video, echoing the video id as
+    /// `seq`).
+    Subscribe {
+        /// Catalog video id, `0..videos`.
+        video: u32,
     },
     /// Server handshake reply. Since protocol version 2 the catalog is
     /// heterogeneous, so there is no uniform segment count here — clients
@@ -161,6 +185,41 @@ pub enum Frame {
         /// Ring-buffered answers about to be replayed on this connection.
         replayed: u32,
     },
+    /// Reply to `Subscribe`: the channel's geometry, everything a client
+    /// needs to reassemble and deadline-check the byte stream.
+    SubscribeOk {
+        /// Echo of the subscribed video id.
+        video: u32,
+        /// Payload bytes per segment of this video (deterministic store
+        /// sizing: length ∝ segment duration).
+        payload_len: u64,
+        /// This video's *dilated* slot duration in nanoseconds — the wall
+        /// pace of its playback clock under the service's dilation.
+        slot_ns: u64,
+        /// The channel sequence the subscription starts at; the first
+        /// `SegmentData` this connection sees carries this seq or higher.
+        next_seq: u64,
+    },
+    /// One chunk of a published segment payload. A publication is split
+    /// into consecutive chunks (all but the last exactly
+    /// [`SEGMENT_CHUNK_BYTES`] long) sharing one `channel_seq`; offsets
+    /// tile `0..total_len` gap-free.
+    SegmentData {
+        /// The channel (video) this publication belongs to.
+        video: u32,
+        /// 1-based segment number `j`, matching `GrantedSegment::segment`.
+        segment: u32,
+        /// Absolute slot the granted instance airs in.
+        slot: u64,
+        /// The ring publication's channel sequence number.
+        channel_seq: u64,
+        /// Byte offset of this chunk within the segment payload.
+        offset: u64,
+        /// Total payload length of the segment being carried.
+        total_len: u64,
+        /// The chunk's payload bytes.
+        bytes: Vec<u8>,
+    },
 }
 
 /// A codec or transport failure.
@@ -217,6 +276,7 @@ const TAG_STATS: u8 = 3;
 const TAG_GOODBYE: u8 = 4;
 const TAG_DESCRIBE: u8 = 5;
 const TAG_RESUME: u8 = 6;
+const TAG_SUBSCRIBE: u8 = 7;
 const TAG_WELCOME: u8 = 16;
 const TAG_GRANT: u8 = 17;
 const TAG_REJECTED: u8 = 18;
@@ -224,6 +284,8 @@ const TAG_STATS_REPLY: u8 = 19;
 const TAG_DRAINING: u8 = 20;
 const TAG_VIDEO_INFO: u8 = 21;
 const TAG_RESUMED: u8 = 22;
+const TAG_SUBSCRIBE_OK: u8 = 23;
+const TAG_SEGMENT_DATA: u8 = 24;
 
 impl Frame {
     /// Encodes the payload (tag + fields, no length prefix).
@@ -259,6 +321,10 @@ impl Frame {
                 out.push(TAG_RESUME);
                 out.extend_from_slice(&session.to_le_bytes());
                 out.extend_from_slice(&last_seq_seen.to_le_bytes());
+            }
+            Frame::Subscribe { video } => {
+                out.push(TAG_SUBSCRIBE);
+                out.extend_from_slice(&video.to_le_bytes());
             }
             Frame::Welcome {
                 version,
@@ -325,6 +391,38 @@ impl Frame {
                 out.extend_from_slice(&session.to_le_bytes());
                 out.extend_from_slice(&replayed.to_le_bytes());
             }
+            Frame::SubscribeOk {
+                video,
+                payload_len,
+                slot_ns,
+                next_seq,
+            } => {
+                out.push(TAG_SUBSCRIBE_OK);
+                out.extend_from_slice(&video.to_le_bytes());
+                out.extend_from_slice(&payload_len.to_le_bytes());
+                out.extend_from_slice(&slot_ns.to_le_bytes());
+                out.extend_from_slice(&next_seq.to_le_bytes());
+            }
+            Frame::SegmentData {
+                video,
+                segment,
+                slot,
+                channel_seq,
+                offset,
+                total_len,
+                bytes,
+            } => {
+                out.reserve(SEGMENT_DATA_OVERHEAD + bytes.len());
+                out.push(TAG_SEGMENT_DATA);
+                out.extend_from_slice(&video.to_le_bytes());
+                out.extend_from_slice(&segment.to_le_bytes());
+                out.extend_from_slice(&slot.to_le_bytes());
+                out.extend_from_slice(&channel_seq.to_le_bytes());
+                out.extend_from_slice(&offset.to_le_bytes());
+                out.extend_from_slice(&total_len.to_le_bytes());
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
         }
         out
     }
@@ -370,6 +468,7 @@ impl Frame {
                 session: r.u64()?,
                 last_seq_seen: r.u64()?,
             },
+            TAG_SUBSCRIBE => Frame::Subscribe { video: r.u32()? },
             TAG_WELCOME => Frame::Welcome {
                 version: r.version()?,
                 session: r.u64()?,
@@ -445,6 +544,37 @@ impl Frame {
                 session: r.u64()?,
                 replayed: r.u32()?,
             },
+            TAG_SUBSCRIBE_OK => Frame::SubscribeOk {
+                video: r.u32()?,
+                payload_len: r.u64()?,
+                slot_ns: r.u64()?,
+                next_seq: r.u64()?,
+            },
+            TAG_SEGMENT_DATA => {
+                let video = r.u32()?;
+                let segment = r.u32()?;
+                let slot = r.u64()?;
+                let channel_seq = r.u64()?;
+                let offset = r.u64()?;
+                let total_len = r.u64()?;
+                // The chunk length cannot promise more bytes than the
+                // payload holds (`take` enforces it), and a chunk must lie
+                // inside the segment it claims to carry.
+                let len = r.u32()? as usize;
+                let bytes = r.take(len)?.to_vec();
+                if offset.saturating_add(bytes.len() as u64) > total_len {
+                    return Err(WireError::Malformed("chunk extends past total_len"));
+                }
+                Frame::SegmentData {
+                    video,
+                    segment,
+                    slot,
+                    channel_seq,
+                    offset,
+                    total_len,
+                    bytes,
+                }
+            }
             other => return Err(WireError::BadTag(other)),
         };
         if r.remaining() != 0 {
@@ -771,6 +901,22 @@ mod tests {
             Frame::StatsReply {
                 json: "{\"counters\": {}}".to_owned(),
             },
+            Frame::Subscribe { video: 3 },
+            Frame::SubscribeOk {
+                video: 3,
+                payload_len: 20_000,
+                slot_ns: 10_000_000,
+                next_seq: 12,
+            },
+            Frame::SegmentData {
+                video: 3,
+                segment: 1,
+                slot: 18,
+                channel_seq: 12,
+                offset: 4,
+                total_len: 20_000,
+                bytes: vec![0xAB; 32],
+            },
             Frame::Draining,
             Frame::Goodbye,
         ];
@@ -787,9 +933,10 @@ mod tests {
 
     #[test]
     fn mismatched_versions_are_a_typed_error() {
-        // 2 is the pre-resume protocol: a v2 peer must be turned away at
-        // the handshake, exactly like any other stranger.
-        for got in [0, 1, 2, PROTOCOL_VERSION + 1, u32::MAX] {
+        // 2 is the pre-resume protocol and 3 the pre-data-plane one: both
+        // must be turned away at the handshake, exactly like any other
+        // stranger.
+        for got in [0, 1, 2, 3, PROTOCOL_VERSION + 1, u32::MAX] {
             let hello = Frame::Hello { version: got }.encode_payload();
             match Frame::decode_payload(&hello) {
                 Err(WireError::Version { got: seen }) => assert_eq!(seen, got),
@@ -833,6 +980,69 @@ mod tests {
         bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
         let err = read_frame(&mut &bytes[..]).unwrap_err();
         assert!(matches!(err, WireError::Oversized(_)), "{err}");
+    }
+
+    #[test]
+    fn maximal_segment_chunk_encodes_to_exactly_the_frame_cap() {
+        let frame = Frame::SegmentData {
+            video: 0,
+            segment: 1,
+            slot: 2,
+            channel_seq: 3,
+            offset: 0,
+            total_len: SEGMENT_CHUNK_BYTES as u64 + 1,
+            bytes: vec![7; SEGMENT_CHUNK_BYTES],
+        };
+        let payload = frame.encode_payload();
+        assert_eq!(payload.len(), MAX_FRAME_LEN, "boundary is exact");
+        assert_eq!(Frame::decode_payload(&payload).expect("decodes"), frame);
+        // One byte more and the payload busts the cap — the decoder must
+        // refuse it even though the chunk-length field is internally
+        // consistent.
+        let over = Frame::SegmentData {
+            video: 0,
+            segment: 1,
+            slot: 2,
+            channel_seq: 3,
+            offset: 0,
+            total_len: SEGMENT_CHUNK_BYTES as u64 + 1,
+            bytes: vec![7; SEGMENT_CHUNK_BYTES + 1],
+        };
+        assert!(matches!(
+            Frame::decode_payload(&over.encode_payload()),
+            Err(WireError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn segment_chunk_cannot_overpromise_or_escape_its_segment() {
+        // A chunk-length field claiming more bytes than the payload holds.
+        let mut payload = vec![TAG_SEGMENT_DATA];
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&0u64.to_le_bytes()); // offset
+        payload.extend_from_slice(&64u64.to_le_bytes()); // total_len
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // claimed chunk len
+        assert!(matches!(
+            Frame::decode_payload(&payload),
+            Err(WireError::Truncated)
+        ));
+        // A chunk whose offset + length overshoots the declared total.
+        let escape = Frame::SegmentData {
+            video: 0,
+            segment: 1,
+            slot: 0,
+            channel_seq: 0,
+            offset: 60,
+            total_len: 64,
+            bytes: vec![1; 8],
+        };
+        assert!(matches!(
+            Frame::decode_payload(&escape.encode_payload()),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -334,20 +334,24 @@ fn mixed_catalog() -> ServeCatalog {
     ServeCatalog::from_entries(vec![
         ServeEntry {
             segment_secs: 10.0,
+            bytes_per_sec: None,
             kind: SchedulerKind::Dhb { segments: 6 },
         },
         ServeEntry {
             segment_secs: 10.0,
+            bytes_per_sec: None,
             kind: SchedulerKind::Npb { segments: 8 },
         },
         ServeEntry {
             segment_secs: 5.0,
+            bytes_per_sec: None,
             kind: SchedulerKind::Periods {
                 periods: vec![1, 2, 2, 4],
             },
         },
         ServeEntry {
             segment_secs: 60.0, // ignored: the DHB-d plan fixes its own slot
+            bytes_per_sec: None,
             kind: SchedulerKind::DhbD {
                 preset: "matrix".to_owned(),
                 seed: 1,
@@ -484,10 +488,12 @@ fn invalid_catalog_entry_is_rejected_typed_while_neighbours_serve() {
     let catalog = ServeCatalog::from_entries(vec![
         ServeEntry {
             segment_secs: 10.0,
+            bytes_per_sec: None,
             kind: SchedulerKind::Dhb { segments: 4 },
         },
         ServeEntry {
             segment_secs: 10.0,
+            bytes_per_sec: None,
             kind: SchedulerKind::Periods {
                 periods: vec![1, 0, 3],
             },

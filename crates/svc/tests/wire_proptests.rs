@@ -5,12 +5,14 @@
 
 use proptest::prelude::*;
 use vod_svc::wire::{read_frame, Frame, WireError};
-use vod_svc::{GrantedSegment, MAX_FRAME_LEN, PROTOCOL_VERSION};
+use vod_svc::{GrantedSegment, MAX_FRAME_LEN, PROTOCOL_VERSION, SEGMENT_CHUNK_BYTES};
 
-/// All thirteen frame kinds, driven by primitive inputs (the proptest shim
+/// All sixteen frame kinds, driven by primitive inputs (the proptest shim
 /// has no derive support). `Hello`/`Welcome` carry [`PROTOCOL_VERSION`] —
 /// any other version is rejected at decode, which the version-mismatch
-/// tests below pin separately.
+/// tests below pin separately. `SegmentData` keeps `offset + bytes.len()`
+/// within `total_len` — the decoder rejects chunks escaping their declared
+/// payload, which the escape test in the unit suite pins.
 fn build_frame(
     kind: usize,
     a: u64,
@@ -76,6 +78,26 @@ fn build_frame(
             session: a,
             replayed: c,
         },
+        12 => Frame::Subscribe { video: c },
+        13 => Frame::SubscribeOk {
+            video: c,
+            payload_len: a,
+            slot_ns: b,
+            next_seq: a.rotate_left(13),
+        },
+        14 => Frame::SegmentData {
+            video: c,
+            segment: c.rotate_left(9),
+            slot: a,
+            channel_seq: b,
+            // The decoder enforces offset + len <= total_len; build inputs
+            // that hold it for arbitrary a/b, saturation included.
+            offset: b,
+            total_len: b
+                .saturating_add(text.len() as u64)
+                .saturating_add(a & 0xffff),
+            bytes: text.to_vec(),
+        },
         _ => Frame::Draining,
     }
 }
@@ -85,7 +107,7 @@ proptest! {
 
     #[test]
     fn encode_decode_is_byte_identity(
-        (kind, a) in (0usize..13, any::<u64>()),
+        (kind, a) in (0usize..16, any::<u64>()),
         (b, c, flag) in (any::<u64>(), any::<u32>(), any::<bool>()),
         segs in prop::collection::vec((any::<u32>(), any::<u64>(), any::<bool>()), 0..12),
         text in prop::collection::vec(any::<u8>(), 0..64),
@@ -107,7 +129,7 @@ proptest! {
 
     #[test]
     fn truncated_frames_are_rejected_not_panicked(
-        (kind, a) in (0usize..13, any::<u64>()),
+        (kind, a) in (0usize..16, any::<u64>()),
         (b, c, flag) in (any::<u64>(), any::<u32>(), any::<bool>()),
         segs in prop::collection::vec((any::<u32>(), any::<u64>(), any::<bool>()), 0..8),
         cut_seed in any::<u64>(),
@@ -149,11 +171,15 @@ proptest! {
     fn mismatched_handshake_versions_are_typed_errors(
         raw_version in any::<u32>(),
         (videos, shards, dilation) in (any::<u32>(), any::<u32>(), any::<u32>()),
-        (hello, force_v2) in (any::<bool>(), any::<bool>()),
+        (hello, force_old) in (any::<bool>(), 0u32..3),
     ) {
-        // Weight the pre-resume v2 protocol heavily: the v2→v3 break is the
-        // mismatch real deployments will actually see.
-        let bad_version = if force_v2 { 2 } else { raw_version };
+        // Weight the recent protocol breaks heavily: v2 (pre-resume) and v3
+        // (pre-data-plane) are the mismatches real deployments will see.
+        let bad_version = match force_old {
+            1 => 2,
+            2 => 3,
+            _ => raw_version,
+        };
         prop_assume!(bad_version != PROTOCOL_VERSION);
         // Encoding is total (tests need to forge old-version bytes), but
         // decoding any version except PROTOCOL_VERSION must yield the typed
@@ -181,6 +207,52 @@ proptest! {
         let stream_result = read_frame(&mut cursor);
         let is_version_error = matches!(stream_result, Err(WireError::Version { .. }));
         prop_assert!(is_version_error, "stream read gave {:?}", stream_result);
+    }
+
+    #[test]
+    fn segment_chunks_round_trip_at_the_frame_cap_boundary(
+        under in 0usize..4,
+        (seq, offset) in (any::<u64>(), 0u64..1_000_000),
+        fill in any::<u8>(),
+    ) {
+        // Chunks within `under` bytes of the cap — including exactly at it,
+        // where the encoded payload is exactly MAX_FRAME_LEN — must round
+        // trip byte-identically; one byte over must be refused.
+        let len = SEGMENT_CHUNK_BYTES - under;
+        let frame = Frame::SegmentData {
+            video: 7,
+            segment: 3,
+            slot: seq,
+            channel_seq: seq.rotate_left(17),
+            offset,
+            total_len: offset + len as u64,
+            bytes: vec![fill; len],
+        };
+        let bytes = frame.encode();
+        prop_assert!(bytes.len() <= 4 + MAX_FRAME_LEN);
+        if under == 0 {
+            prop_assert_eq!(bytes.len(), 4 + MAX_FRAME_LEN, "maximal chunk hits the cap exactly");
+        }
+        let mut cursor = &bytes[..];
+        let decoded = read_frame(&mut cursor)
+            .expect("cap-boundary chunk must decode")
+            .expect("frame present");
+        prop_assert!(cursor.is_empty());
+        prop_assert_eq!(decoded, frame);
+
+        // One byte past the cap: the length prefix itself busts
+        // MAX_FRAME_LEN, so the decoder refuses before reading the body.
+        let over = Frame::SegmentData {
+            video: 7,
+            segment: 3,
+            slot: seq,
+            channel_seq: seq,
+            offset,
+            total_len: offset + SEGMENT_CHUNK_BYTES as u64 + 1,
+            bytes: vec![fill; SEGMENT_CHUNK_BYTES + 1],
+        };
+        let mut cursor = &over.encode()[..];
+        prop_assert!(matches!(read_frame(&mut cursor), Err(WireError::Oversized(_))));
     }
 
     #[test]

@@ -54,6 +54,9 @@ struct Args {
     chaos_stall_ms: Option<u64>,
     telemetry_out: Option<String>,
     admin_addr: Option<String>,
+    verify_bytes: bool,
+    data_rate: Option<u64>,
+    store_seed: Option<u64>,
 }
 
 const USAGE: &str = "usage:\n  \
@@ -63,7 +66,8 @@ const USAGE: &str = "usage:\n  \
     [--describe] [--shards 2] [--dilation 1] [--queue-cap 64]\n          \
     [--stats-out stats.json] [--max-p99-ms 250] [--retries 3]\n          \
     [--timeout-secs 30] [--chaos SEED] [--chaos-stall-ms 50]\n          \
-    [--telemetry-out telemetry.jsonl] [--admin-addr host:port]\n\n\
+    [--telemetry-out telemetry.jsonl] [--admin-addr host:port]\n          \
+    [--verify-bytes] [--data-rate BYTES_PER_MEDIA_SEC] [--store-seed SEED]\n\n\
     --catalog self-hosts a heterogeneous catalog file (implies --self-host);\n\
     --mix pins each connection to a video id round-robin from the list;\n\
     --describe fetches per-video geometry (DESCRIBE) before driving load;\n\
@@ -76,7 +80,13 @@ const USAGE: &str = "usage:\n  \
     window) for the duration of the run; with --self-host it stands up the\n\
     admin listener automatically, with --addr it needs --admin-addr pointing\n\
     at the remote server's admin plane (for --self-host, --admin-addr is the\n\
-    bind address of the hosted admin listener).";
+    bind address of the hosted admin listener);\n\
+    --verify-bytes subscribes every connection to its video's broadcast\n\
+    channel and verifies each delivered segment byte-for-byte against the\n\
+    deterministic store oracle, failing on any checksum mismatch or\n\
+    byte-level deadline miss; --data-rate sets the self-hosted payload\n\
+    rate in bytes per media-second; --store-seed overrides the payload\n\
+    seed (shared with the self-hosted server, or matched to a remote one).";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -103,6 +113,9 @@ fn parse_args() -> Result<Args, String> {
         chaos_stall_ms: None,
         telemetry_out: None,
         admin_addr: None,
+        verify_bytes: false,
+        data_rate: None,
+        store_seed: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -112,6 +125,10 @@ fn parse_args() -> Result<Args, String> {
         }
         if flag == "--describe" {
             args.describe = true;
+            continue;
+        }
+        if flag == "--verify-bytes" {
+            args.verify_bytes = true;
             continue;
         }
         if flag == "--help" || flag == "-h" {
@@ -163,6 +180,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--telemetry-out" => args.telemetry_out = Some(value("--telemetry-out")?),
             "--admin-addr" => args.admin_addr = Some(value("--admin-addr")?),
+            "--data-rate" => args.data_rate = Some(num("--data-rate", &value("--data-rate")?)?),
+            "--store-seed" => args.store_seed = Some(num("--store-seed", &value("--store-seed")?)?),
             other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
         }
     }
@@ -282,7 +301,7 @@ fn main() -> ExitCode {
             (None, Some(_)) => Some("127.0.0.1:0".to_owned()),
             (None, None) => None,
         };
-        let config = SvcConfig {
+        let mut config = SvcConfig {
             catalog,
             shards: args.shards,
             dilation: args.dilation,
@@ -291,6 +310,12 @@ fn main() -> ExitCode {
             admin_addr: admin_bind,
             ..SvcConfig::default()
         };
+        if let Some(rate) = args.data_rate {
+            config.data_rate_bps = rate;
+        }
+        if let Some(seed) = args.store_seed {
+            config.store_seed = seed;
+        }
         match Service::start("127.0.0.1:0", &config) {
             Ok(service) => {
                 println!("self-hosted vod-svc on {}", service.local_addr());
@@ -360,6 +385,8 @@ fn main() -> ExitCode {
         describe: args.describe,
         max_reconnects: args.retries,
         read_timeout: Duration::from_secs_f64(args.timeout_secs),
+        verify_bytes: args.verify_bytes,
+        store_seed: args.store_seed.unwrap_or(vod_dhb::svc::DEFAULT_STORE_SEED),
         ..LoadConfig::default()
     };
     let report = match run_load(addr, &config) {
@@ -382,6 +409,37 @@ fn main() -> ExitCode {
             report.unrecoverable_conns
         );
         failed = true;
+    }
+    if args.verify_bytes {
+        if report.subscriptions < args.conns as u64 {
+            eprintln!(
+                "FAIL: only {} of {} connections subscribed",
+                report.subscriptions, args.conns
+            );
+            failed = true;
+        }
+        if report.data.checksum_mismatches > 0 {
+            eprintln!(
+                "FAIL: {} checksum mismatches",
+                report.data.checksum_mismatches
+            );
+            failed = true;
+        }
+        if report.data.byte_deadline_misses > 0 {
+            eprintln!(
+                "FAIL: {} byte-deadline misses",
+                report.data.byte_deadline_misses
+            );
+            failed = true;
+        }
+        if report.data.chunk_errors > 0 {
+            eprintln!("FAIL: {} chunk framing errors", report.data.chunk_errors);
+            failed = true;
+        }
+        if report.data.segments_verified == 0 {
+            eprintln!("FAIL: no segments were delivered to verify");
+            failed = true;
+        }
     }
     if args.chaos.is_some() && report.grants + report.rejected < report.requests {
         eprintln!(

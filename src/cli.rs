@@ -1239,6 +1239,8 @@ fn render_vodtop(json: &str, shards: u32) -> String {
     header.push("queue".to_owned());
     header.push("lag".to_owned());
     header.push("budget".to_owned());
+    header.push("ring pub/fan".to_owned());
+    header.push("evic/gaps".to_owned());
     let mut table = Table::new(header);
     for shard in 0..shards {
         let mut row = vec![shard.to_string()];
@@ -1262,6 +1264,11 @@ fn render_vodtop(json: &str, shards: u32) -> String {
                     .map_or_else(|| "-".to_owned(), |v| format!("{v:.0}")),
             );
         }
+        let ring = |what: &str| {
+            vod_svc::find_counter(json, &format!("svc.ring.shard{shard}.{what}")).unwrap_or(0)
+        };
+        row.push(format!("{}/{}", ring("published"), ring("fanout")));
+        row.push(format!("{}/{}", ring("evictions"), ring("gaps")));
         table.push_row(row);
     }
     let requests = vod_svc::find_counter(json, "svc.requests").unwrap_or(0);
@@ -1269,9 +1276,15 @@ fn render_vodtop(json: &str, shards: u32) -> String {
     let window = vod_svc::find_counter(json, "svc.snapshot.window_id").unwrap_or(0);
     let rps = vod_svc::find_gauge(json, "svc.rate.requests_per_sec").unwrap_or(0.0);
     let gps = vod_svc::find_gauge(json, "svc.rate.grants_per_sec").unwrap_or(0.0);
+    let bytes = vod_svc::find_counter(json, "svc.bytes_delivered").unwrap_or(0);
+    let bps = vod_svc::find_gauge(json, "svc.rate.bytes_per_sec").unwrap_or(0.0);
+    let published = vod_svc::find_counter(json, "svc.ring.published").unwrap_or(0);
+    let fanout = vod_svc::find_counter(json, "svc.ring.fanout").unwrap_or(0);
     format!(
         "window {window}: {requests} requests, {grants} grants; last window {rps:.1} req/s, \
-         {gps:.1} grants/s\n{}",
+         {gps:.1} grants/s\n\
+         data plane: {bytes} bytes delivered ({bps:.0} B/s last window), \
+         {published} published, {fanout} fanned out\n{}",
         render_table(&table)
     )
 }
