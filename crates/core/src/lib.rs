@@ -47,6 +47,7 @@ pub mod heuristic;
 pub mod protocol;
 pub mod scheduler;
 pub mod slot_scheduler;
+pub mod transition;
 
 pub use audit::{
     audit_dhb, AuditError, ClientDemands, MissCause, ServiceSummary, TimelinessAuditor,
@@ -55,3 +56,4 @@ pub use heuristic::SlotHeuristic;
 pub use protocol::{Dhb, DhbStats};
 pub use scheduler::{DhbScheduler, RecoveryStats, ScheduledSegment, SchedulerError};
 pub use slot_scheduler::{PlanScheduler, ScheduledProtocol, SchedulerStats, SlotScheduler};
+pub use transition::{TransitionRefused, TransitionScheduler};

@@ -1,0 +1,408 @@
+//! Glitch-free live protocol transitions.
+//!
+//! [`TransitionScheduler`] lets a serving shard migrate one video between
+//! scheduling protocols **while requests are in flight**. It owns the
+//! video's current scheduler and, during a bounded handover window, the
+//! previous one as well:
+//!
+//! * Requests admitted *before* the switch keep their exact grant schedule
+//!   — the old scheduler's pending instances continue to air at precisely
+//!   the slots that were granted, so no already-answered customer ever
+//!   loses a deadline (the glitch-free invariant the property tests pin
+//!   against a no-transition oracle).
+//! * Requests admitted *after* the switch are scheduled by the new
+//!   protocol; when the new side would plant an instance the draining side
+//!   already has planned at the same `(segment, slot)`, the grant is
+//!   downgraded to *shared*, so the broadcast data plane never publishes
+//!   the same instance twice.
+//! * [`pop_slot`](SlotScheduler::pop_slot) advances both sides in lockstep
+//!   and airs the union of their transmissions. The old side is retired
+//!   once time passes its **handover horizon** — the next slot at switch
+//!   time plus the old protocol's largest period, which bounds the last
+//!   slot any pre-switch grant can occupy (every grant for an arrival `a`
+//!   lies in `(a, a + T[j]]` and the ring had already advanced to `a`).
+//!
+//! A second transition is refused while a handover is still draining: the
+//! policy engine's hysteresis dwell makes that rare, and refusing keeps the
+//! overlap bounded to exactly two schedulers.
+
+use vod_types::{SegmentId, Slot};
+
+use crate::scheduler::ScheduledSegment;
+use crate::slot_scheduler::{SchedulerStats, SlotScheduler};
+
+/// A scheduler that was switched away from and is airing out its last
+/// pre-transition grants.
+struct DrainingOld {
+    scheduler: Box<dyn SlotScheduler + Send>,
+    /// Last slot that can still hold a pre-switch grant; the old side is
+    /// dropped as soon as its ring advances past this.
+    horizon: u64,
+}
+
+/// Why a requested transition was not started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionRefused {
+    /// The previous handover has not drained yet.
+    HandoverActive,
+    /// The replacement scheduler serves a different number of segments.
+    GeometryMismatch {
+        /// Segments of the live scheduler.
+        current: usize,
+        /// Segments of the rejected replacement.
+        proposed: usize,
+    },
+}
+
+impl std::fmt::Display for TransitionRefused {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransitionRefused::HandoverActive => {
+                write!(f, "previous protocol handover is still draining")
+            }
+            TransitionRefused::GeometryMismatch { current, proposed } => write!(
+                f,
+                "replacement scheduler has {proposed} segments, video has {current}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransitionRefused {}
+
+/// A protocol-migrating [`SlotScheduler`]: forwards to the current
+/// scheduler and, during a handover, overlaps it with the draining
+/// predecessor (see the module docs for the exact contract).
+pub struct TransitionScheduler {
+    current: Box<dyn SlotScheduler + Send>,
+    draining: Option<DrainingOld>,
+    /// Counters of schedulers already retired, folded into `stats()` so a
+    /// transition never loses history.
+    retired: SchedulerStats,
+    /// Owned copy of the live protocol name (`name()` must outlive
+    /// transitions that drop the scheduler that produced it).
+    name: String,
+    transitions: u64,
+}
+
+impl std::fmt::Debug for TransitionScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransitionScheduler")
+            .field("name", &self.name)
+            .field("next_slot", &self.current.next_slot())
+            .field("in_handover", &self.in_handover())
+            .field("transitions", &self.transitions)
+            .finish()
+    }
+}
+
+impl TransitionScheduler {
+    /// Wraps the video's initial scheduler; no handover is active.
+    #[must_use]
+    pub fn new(initial: Box<dyn SlotScheduler + Send>) -> Self {
+        let name = initial.name().to_owned();
+        TransitionScheduler {
+            current: initial,
+            draining: None,
+            retired: SchedulerStats::default(),
+            name,
+            transitions: 0,
+        }
+    }
+
+    /// Starts a live transition onto `replacement`.
+    ///
+    /// The replacement (typically freshly built, at slot 0) is advanced to
+    /// the current ring position, the current scheduler moves to the
+    /// draining side with its handover horizon pinned, and all future
+    /// requests land on the replacement.
+    ///
+    /// # Errors
+    ///
+    /// [`TransitionRefused::HandoverActive`] while the previous handover
+    /// is still draining; [`TransitionRefused::GeometryMismatch`] when the
+    /// replacement does not serve the same segment count.
+    pub fn begin_transition(
+        &mut self,
+        mut replacement: Box<dyn SlotScheduler + Send>,
+    ) -> Result<(), TransitionRefused> {
+        if self.draining.is_some() {
+            return Err(TransitionRefused::HandoverActive);
+        }
+        if replacement.n_segments() != self.current.n_segments() {
+            return Err(TransitionRefused::GeometryMismatch {
+                current: self.current.n_segments(),
+                proposed: replacement.n_segments(),
+            });
+        }
+        let next = self.current.next_slot().index();
+        while replacement.next_slot().index() < next {
+            let _ = replacement.pop_slot();
+        }
+        let max_period = self.current.periods().iter().copied().max().unwrap_or(0);
+        let old = std::mem::replace(&mut self.current, replacement);
+        self.name = self.current.name().to_owned();
+        self.draining = Some(DrainingOld {
+            scheduler: old,
+            horizon: next.saturating_add(max_period),
+        });
+        self.transitions += 1;
+        Ok(())
+    }
+
+    /// Whether a handover is still draining pre-switch grants.
+    #[must_use]
+    pub fn in_handover(&self) -> bool {
+        self.draining.is_some()
+    }
+
+    /// The draining side's horizon slot, while a handover is active.
+    #[must_use]
+    pub fn handover_horizon(&self) -> Option<u64> {
+        self.draining.as_ref().map(|d| d.horizon)
+    }
+
+    /// Completed transitions over this wrapper's lifetime.
+    #[must_use]
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// The live scheduler (the one new arrivals are granted on).
+    #[must_use]
+    pub fn current(&self) -> &(dyn SlotScheduler + Send) {
+        &*self.current
+    }
+}
+
+impl SlotScheduler for TransitionScheduler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn n_segments(&self) -> usize {
+        self.current.n_segments()
+    }
+
+    fn periods(&self) -> &[u64] {
+        self.current.periods()
+    }
+
+    fn next_slot(&self) -> Slot {
+        self.current.next_slot()
+    }
+
+    fn schedule_request(&mut self, arrival: Slot) -> Vec<ScheduledSegment> {
+        let mut grants = self.current.schedule_request(arrival);
+        if let Some(old) = &self.draining {
+            // The draining side's pending instances were already published
+            // when first granted; a new grant landing on the same
+            // `(segment, slot)` shares that transmission instead of
+            // publishing it again.
+            for g in &mut grants {
+                if g.newly_scheduled && old.scheduler.planned_segments(g.slot).contains(&g.segment)
+                {
+                    g.newly_scheduled = false;
+                }
+            }
+        }
+        grants
+    }
+
+    fn pop_slot(&mut self) -> (Slot, Vec<SegmentId>) {
+        let (slot, mut aired) = self.current.pop_slot();
+        if let Some(old) = &mut self.draining {
+            let (old_slot, old_aired) = old.scheduler.pop_slot();
+            debug_assert_eq!(slot, old_slot, "handover sides must stay in lockstep");
+            for seg in old_aired {
+                if !aired.contains(&seg) {
+                    aired.push(seg);
+                }
+            }
+            aired.sort_unstable();
+            if old.scheduler.next_slot().index() > old.horizon {
+                // Every pre-switch grant has aired: retire the old side,
+                // folding its counters into the wrapper's history.
+                let stats = old.scheduler.stats();
+                self.retired.requests += stats.requests;
+                self.retired.new_instances += stats.new_instances;
+                self.retired.shared_instances += stats.shared_instances;
+                self.retired.stall_slots += stats.stall_slots;
+                self.draining = None;
+            }
+        }
+        (slot, aired)
+    }
+
+    fn planned_segments(&self, slot: Slot) -> Vec<SegmentId> {
+        let mut planned = self.current.planned_segments(slot);
+        if let Some(old) = &self.draining {
+            for seg in old.scheduler.planned_segments(slot) {
+                if !planned.contains(&seg) {
+                    planned.push(seg);
+                }
+            }
+            planned.sort_unstable();
+        }
+        planned
+    }
+
+    fn stats(&self) -> SchedulerStats {
+        let mut total = self.current.stats();
+        if let Some(old) = &self.draining {
+            let s = old.scheduler.stats();
+            total.requests += s.requests;
+            total.new_instances += s.new_instances;
+            total.shared_instances += s.shared_instances;
+            total.stall_slots += s.stall_slots;
+        }
+        total.requests += self.retired.requests;
+        total.new_instances += self.retired.new_instances;
+        total.shared_instances += self.retired.shared_instances;
+        total.stall_slots += self.retired.stall_slots;
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::DhbScheduler;
+
+    fn dhb(n: usize) -> Box<dyn SlotScheduler + Send> {
+        Box::new(DhbScheduler::fixed_rate(n))
+    }
+
+    fn advance_and_schedule(
+        s: &mut dyn SlotScheduler,
+        arrival: u64,
+    ) -> (Vec<ScheduledSegment>, Vec<(u64, Vec<SegmentId>)>) {
+        let mut aired = Vec::new();
+        while s.next_slot().index() < arrival {
+            let (slot, segs) = s.pop_slot();
+            aired.push((slot.index(), segs));
+        }
+        (s.schedule_request(Slot::new(arrival)), aired)
+    }
+
+    #[test]
+    fn pre_transition_grants_match_a_no_transition_oracle() {
+        let arrivals = [0u64, 1, 1, 3, 5];
+        let mut oracle = dhb(6);
+        let mut t = TransitionScheduler::new(dhb(6));
+        for &a in &arrivals {
+            let (og, _) = advance_and_schedule(&mut *oracle, a);
+            let (tg, _) = advance_and_schedule(&mut t, a);
+            assert_eq!(og, tg, "wrapper must be transparent before any switch");
+        }
+    }
+
+    #[test]
+    fn pre_switch_instances_air_exactly_as_granted_across_the_handover() {
+        let mut t = TransitionScheduler::new(dhb(6));
+        let mut granted: Vec<(u64, usize)> = Vec::new(); // (slot, segment)
+        let mut aired: Vec<(u64, usize)> = Vec::new();
+        for &a in &[0u64, 2, 4] {
+            let (grants, popped) = advance_and_schedule(&mut t, a);
+            for (slot, segs) in popped {
+                for s in segs {
+                    aired.push((slot, s.get()));
+                }
+            }
+            for g in grants.iter().filter(|g| g.newly_scheduled) {
+                granted.push((g.slot.index(), g.segment.get()));
+            }
+        }
+        t.begin_transition(dhb(6)).expect("no handover active");
+        assert!(t.in_handover());
+        let horizon = t.handover_horizon().expect("active handover");
+        while t.next_slot().index() <= horizon {
+            let (slot, segs) = t.pop_slot();
+            for s in segs {
+                aired.push((slot.index(), s.get()));
+            }
+        }
+        for g in &granted {
+            assert!(
+                aired.contains(g),
+                "pre-switch grant S{} @ slot {} must still air",
+                g.1,
+                g.0
+            );
+        }
+        assert!(!t.in_handover(), "old side retires past the horizon");
+    }
+
+    #[test]
+    fn second_transition_is_refused_while_draining() {
+        let mut t = TransitionScheduler::new(dhb(4));
+        let _ = t.schedule_request(Slot::new(0));
+        t.begin_transition(dhb(4)).expect("first switch");
+        assert_eq!(
+            t.begin_transition(dhb(4)).unwrap_err(),
+            TransitionRefused::HandoverActive
+        );
+        // Drain past the horizon, then a new transition is accepted again.
+        let horizon = t.handover_horizon().unwrap();
+        while t.next_slot().index() <= horizon {
+            let _ = t.pop_slot();
+        }
+        t.begin_transition(dhb(4)).expect("drained");
+    }
+
+    #[test]
+    fn geometry_mismatch_is_refused() {
+        let mut t = TransitionScheduler::new(dhb(4));
+        assert_eq!(
+            t.begin_transition(dhb(6)).unwrap_err(),
+            TransitionRefused::GeometryMismatch {
+                current: 4,
+                proposed: 6
+            }
+        );
+    }
+
+    #[test]
+    fn overlapping_instances_are_shared_not_republished() {
+        let mut t = TransitionScheduler::new(dhb(6));
+        let (grants, _) = advance_and_schedule(&mut t, 0);
+        assert!(grants.iter().all(|g| g.newly_scheduled));
+        t.begin_transition(dhb(6)).expect("switch");
+        // Same arrival slot again: the fresh DHB side would plant the same
+        // fixed-rate pattern the old side already holds, so every grant
+        // that lands on an old planned instance must come back shared.
+        let grants = t.schedule_request(Slot::new(0));
+        let shared = grants.iter().filter(|g| !g.newly_scheduled).count();
+        assert!(
+            shared > 0,
+            "at least one overlapping instance must be shared with the draining side"
+        );
+    }
+
+    #[test]
+    fn stats_survive_retirement_and_name_tracks_the_live_protocol() {
+        let mut t = TransitionScheduler::new(Box::new(
+            crate::slot_scheduler::PlanScheduler::try_from_periods("proto-a", vec![1, 2, 3, 4])
+                .unwrap(),
+        ));
+        assert_eq!(t.name(), "proto-a");
+        let _ = t.schedule_request(Slot::new(0));
+        t.begin_transition(Box::new(
+            crate::slot_scheduler::PlanScheduler::try_from_periods("proto-b", vec![1, 2, 3, 4])
+                .unwrap(),
+        ))
+        .expect("switch");
+        assert_eq!(t.name(), "proto-b");
+        assert_eq!(t.transitions(), 1);
+        let horizon = t.handover_horizon().unwrap();
+        while t.next_slot().index() <= horizon {
+            let _ = t.pop_slot();
+        }
+        let _ = t.schedule_request(Slot::new(t.next_slot().index()));
+        let stats = t.stats();
+        assert_eq!(
+            stats.requests, 2,
+            "the retired side's requests stay counted"
+        );
+    }
+}

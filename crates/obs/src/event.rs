@@ -250,6 +250,19 @@ pub enum Event {
         /// Ring frames replayed to close the client's grant gap.
         replayed: u64,
     },
+    /// The adaptive policy engine switched a video's scheduling protocol;
+    /// the old scheduler keeps draining its admitted grants through the
+    /// handover window.
+    ProtocolTransition {
+        /// The video that switched.
+        video: u64,
+        /// Scheduler name before the switch (e.g. `tapping`, `DHB`).
+        from: String,
+        /// Scheduler name after the switch.
+        to: String,
+        /// The slot the new scheduler took over at.
+        slot: u64,
+    },
 }
 
 /// Discriminant of [`Event`], used for eviction-proof per-kind counting.
@@ -283,11 +296,13 @@ pub enum EventKind {
     ShardDisabled,
     /// [`Event::SessionResumed`].
     SessionResumed,
+    /// [`Event::ProtocolTransition`].
+    ProtocolTransition,
 }
 
 impl EventKind {
     /// Number of event kinds.
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 15;
 
     /// All kinds, in wire order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -305,6 +320,7 @@ impl EventKind {
         EventKind::ShardRestarted,
         EventKind::ShardDisabled,
         EventKind::SessionResumed,
+        EventKind::ProtocolTransition,
     ];
 
     /// Stable snake-case wire name used as the JSONL `type` field.
@@ -325,6 +341,7 @@ impl EventKind {
             EventKind::ShardRestarted => "shard_restarted",
             EventKind::ShardDisabled => "shard_disabled",
             EventKind::SessionResumed => "session_resumed",
+            EventKind::ProtocolTransition => "protocol_transition",
         }
     }
 
@@ -350,6 +367,7 @@ impl EventKind {
             EventKind::ShardRestarted => 11,
             EventKind::ShardDisabled => 12,
             EventKind::SessionResumed => 13,
+            EventKind::ProtocolTransition => 14,
         }
     }
 }
@@ -373,6 +391,7 @@ impl Event {
             Event::ShardRestarted { .. } => EventKind::ShardRestarted,
             Event::ShardDisabled { .. } => EventKind::ShardDisabled,
             Event::SessionResumed { .. } => EventKind::SessionResumed,
+            Event::ProtocolTransition { .. } => EventKind::ProtocolTransition,
         }
     }
 }

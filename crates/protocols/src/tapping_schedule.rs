@@ -1,0 +1,323 @@
+//! Slotted stream tapping as a grant-computing [`SlotScheduler`] — the
+//! cold-tier protocol of the adaptive policy engine.
+//!
+//! The continuous [`StreamTapping`](crate::StreamTapping) answers "how much
+//! stream time does this request cost?", which suffices for bandwidth
+//! simulations but cannot tell a customer which slots to listen to. This
+//! adapter speaks the slotted scheduling contract the live service uses:
+//! a request arriving during slot `i` is granted, for each segment `S_j`,
+//! either a **tap** of an instance some earlier customer already planted in
+//! the window `(i, i + j]`, or a fresh **just-in-time** instance at slot
+//! `i + j` — the last slot that still meets the playback deadline, which
+//! maximises the window later customers can tap. With no sharing this
+//! degenerates to one dedicated stream per request (`S_j` at `i + j` is
+//! exactly a unicast stream started at `i + 1`); under clustered arrivals
+//! later requests tap the tail of earlier streams and only plant the
+//! opening segments, the classic tapping economics.
+//!
+//! The declared guarantee is `T[j] = j`, the same deadline window
+//! fixed-rate DHB and the NPB grant adapter use, so the per-grant
+//! timeliness audit and the transition wrapper treat all three tiers
+//! uniformly. Grants are a pure function of the demand ring, so replay is
+//! byte-identical — the property the shard's supervision journal relies
+//! on.
+
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+
+use dhb_core::{ScheduledSegment, SchedulerError, SchedulerStats, SlotScheduler};
+use vod_types::{SegmentId, Slot};
+
+/// Slotted stream tapping speaking the [`SlotScheduler`] contract.
+#[derive(Debug, Clone)]
+pub struct TappingGrantScheduler {
+    /// Declared guarantee `T[j] = j`.
+    periods: Vec<u64>,
+    /// Index of the next slot to transmit.
+    base: u64,
+    /// `ring[k]`: segment array indices planted for slot `base + k`.
+    ring: VecDeque<BTreeSet<usize>>,
+    requests: u64,
+    new_instances: u64,
+    shared_instances: u64,
+}
+
+impl TappingGrantScheduler {
+    /// The tapping scheduler for a video of `n` segments.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedulerError::EmptyPeriods`] if `n` is zero — the fallible form
+    /// the catalog loader and policy engine use.
+    pub fn try_for_segments(n: usize) -> Result<Self, SchedulerError> {
+        if n == 0 {
+            return Err(SchedulerError::EmptyPeriods);
+        }
+        Ok(TappingGrantScheduler {
+            periods: (1..=n as u64).collect(),
+            base: 0,
+            ring: VecDeque::new(),
+            requests: 0,
+            new_instances: 0,
+            shared_instances: 0,
+        })
+    }
+
+    /// The tapping scheduler for a video of `n` segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn for_segments(n: usize) -> Self {
+        match TappingGrantScheduler::try_for_segments(n) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Whether segment array index `idx` is already planted at `slot`.
+    fn planted(&self, slot: u64, idx: usize) -> bool {
+        let Some(rel) = slot.checked_sub(self.base) else {
+            return false;
+        };
+        self.ring
+            .get(rel as usize)
+            .is_some_and(|set| set.contains(&idx))
+    }
+
+    /// Plants segment array index `idx` at `slot`.
+    fn plant(&mut self, slot: u64, idx: usize) {
+        let rel = (slot - self.base) as usize;
+        if self.ring.len() <= rel {
+            self.ring.resize_with(rel + 1, BTreeSet::new);
+        }
+        self.ring[rel].insert(idx);
+    }
+}
+
+impl SlotScheduler for TappingGrantScheduler {
+    fn name(&self) -> &str {
+        "tapping"
+    }
+
+    fn n_segments(&self) -> usize {
+        self.periods.len()
+    }
+
+    fn periods(&self) -> &[u64] {
+        &self.periods
+    }
+
+    fn next_slot(&self) -> Slot {
+        Slot::new(self.base)
+    }
+
+    fn schedule_request(&mut self, arrival: Slot) -> Vec<ScheduledSegment> {
+        self.requests += 1;
+        // Grants must lie strictly after the arrival and never before the
+        // ring base (a stale arrival cannot demand slots already aired).
+        let start = (arrival.index() + 1).max(self.base);
+        let mut out = Vec::with_capacity(self.periods.len());
+        for idx in 0..self.periods.len() {
+            let j = idx as u64 + 1;
+            let deadline = arrival.index().saturating_add(j).max(start);
+            // Tap the earliest instance an earlier customer planted inside
+            // the window; earlier slots leave the customer more buffer room.
+            let tapped = (start..=deadline).find(|&s| self.planted(s, idx));
+            match tapped {
+                Some(slot) => {
+                    self.shared_instances += 1;
+                    out.push(ScheduledSegment {
+                        segment: SegmentId::from_array_index(idx),
+                        slot: Slot::new(slot),
+                        newly_scheduled: false,
+                    });
+                }
+                None => {
+                    // Just in time: the last slot that meets the deadline,
+                    // so the new instance stays tappable for the longest.
+                    self.plant(deadline, idx);
+                    self.new_instances += 1;
+                    out.push(ScheduledSegment {
+                        segment: SegmentId::from_array_index(idx),
+                        slot: Slot::new(deadline),
+                        newly_scheduled: true,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn pop_slot(&mut self) -> (Slot, Vec<SegmentId>) {
+        let slot = Slot::new(self.base);
+        self.base += 1;
+        let planted = self.ring.pop_front().unwrap_or_default();
+        (
+            slot,
+            planted
+                .into_iter()
+                .map(SegmentId::from_array_index)
+                .collect(),
+        )
+    }
+
+    fn planned_segments(&self, slot: Slot) -> Vec<SegmentId> {
+        let Some(rel) = slot.index().checked_sub(self.base) else {
+            return Vec::new();
+        };
+        self.ring
+            .get(rel as usize)
+            .map(|set| {
+                set.iter()
+                    .copied()
+                    .map(SegmentId::from_array_index)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            requests: self.requests,
+            new_instances: self.new_instances,
+            shared_instances: self.shared_instances,
+            stall_slots: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_request_plants_a_just_in_time_stream() {
+        let mut s = TappingGrantScheduler::for_segments(6);
+        assert_eq!(s.name(), "tapping");
+        assert_eq!(s.periods(), &[1, 2, 3, 4, 5, 6]);
+        let grants = s.schedule_request(Slot::new(0));
+        assert_eq!(grants.len(), 6);
+        for g in &grants {
+            let j = g.segment.get() as u64;
+            assert!(g.newly_scheduled);
+            assert_eq!(g.slot.index(), j, "S{j} airs just in time at slot {j}");
+        }
+    }
+
+    #[test]
+    fn later_requests_tap_the_earlier_stream_tail() {
+        let mut s = TappingGrantScheduler::for_segments(6);
+        let _ = s.schedule_request(Slot::new(0));
+        // Arrival at slot 2: S_1, S_2 have already aired for the first
+        // customer (slots 1, 2); their windows (2, 3] and (2, 4] hold no
+        // planted instance, so they are replanted. S_3..S_6 at slots 3..6
+        // fall inside the new windows and are tapped.
+        let grants = s.schedule_request(Slot::new(2));
+        let new: Vec<usize> = grants
+            .iter()
+            .filter(|g| g.newly_scheduled)
+            .map(|g| g.segment.get())
+            .collect();
+        let tapped: Vec<usize> = grants
+            .iter()
+            .filter(|g| !g.newly_scheduled)
+            .map(|g| g.segment.get())
+            .collect();
+        assert_eq!(new, vec![1, 2], "only the head needs fresh instances");
+        assert_eq!(tapped, vec![3, 4, 5, 6], "the tail is tapped");
+        for g in &grants {
+            let j = g.segment.get() as u64;
+            assert!(g.slot.index() > 2 && g.slot.index() <= 2 + j);
+        }
+    }
+
+    #[test]
+    fn coincident_requests_share_everything() {
+        let mut s = TappingGrantScheduler::for_segments(5);
+        let first = s.schedule_request(Slot::new(3));
+        let second = s.schedule_request(Slot::new(3));
+        assert!(first.iter().all(|g| g.newly_scheduled));
+        assert!(second.iter().all(|g| !g.newly_scheduled));
+        assert_eq!(
+            first
+                .iter()
+                .map(|g| (g.segment, g.slot))
+                .collect::<Vec<_>>(),
+            second
+                .iter()
+                .map(|g| (g.segment, g.slot))
+                .collect::<Vec<_>>(),
+        );
+        let stats = s.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.new_instances, 5);
+        assert_eq!(stats.shared_instances, 5);
+    }
+
+    #[test]
+    fn grants_always_meet_the_audit_window() {
+        let mut s = TappingGrantScheduler::for_segments(8);
+        for arrival in [0u64, 1, 1, 4, 9, 9, 10, 30] {
+            while s.next_slot().index() < arrival {
+                let _ = s.pop_slot();
+            }
+            for g in s.schedule_request(Slot::new(arrival)) {
+                let j = g.segment.get() as u64;
+                assert!(
+                    g.slot.index() > arrival && g.slot.index() <= arrival + j,
+                    "S{j} at {} violates ({arrival}, {}]",
+                    g.slot.index(),
+                    arrival + j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pop_slot_airs_exactly_the_planted_instances() {
+        let mut s = TappingGrantScheduler::for_segments(5);
+        let grants = s.schedule_request(Slot::new(0));
+        let mut expected: std::collections::BTreeMap<u64, Vec<SegmentId>> = Default::default();
+        for g in &grants {
+            expected.entry(g.slot.index()).or_default().push(g.segment);
+        }
+        let horizon = grants.iter().map(|g| g.slot.index()).max().unwrap();
+        for t in 0..=horizon {
+            let planned = s.planned_segments(Slot::new(t));
+            let (slot, aired) = s.pop_slot();
+            assert_eq!(slot.index(), t);
+            assert_eq!(planned, aired, "probe and pop disagree at slot {t}");
+            assert_eq!(aired, expected.remove(&t).unwrap_or_default());
+        }
+        assert!(expected.is_empty());
+        let (_, aired) = s.pop_slot();
+        assert!(aired.is_empty(), "idle system airs nothing");
+    }
+
+    #[test]
+    fn replay_is_deterministic_through_the_trait() {
+        let arrivals = [0u64, 0, 2, 2, 7, 11, 11];
+        let run = |_: ()| {
+            let mut s: Box<dyn SlotScheduler> = Box::new(TappingGrantScheduler::for_segments(7));
+            let mut out = Vec::new();
+            for &a in &arrivals {
+                while s.next_slot().index() < a {
+                    let _ = s.pop_slot();
+                }
+                out.push(s.schedule_request(Slot::new(a)));
+            }
+            out
+        };
+        assert_eq!(run(()), run(()));
+    }
+
+    #[test]
+    fn zero_segments_is_a_typed_error() {
+        assert_eq!(
+            TappingGrantScheduler::try_for_segments(0).unwrap_err(),
+            SchedulerError::EmptyPeriods
+        );
+    }
+}

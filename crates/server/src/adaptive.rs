@@ -1,0 +1,551 @@
+//! The adaptive popularity-driven policy engine: per-video arrival-rate
+//! estimation, cold/warm/hot classification with hysteresis, and the
+//! tier-to-scheduler mapping the live service uses to migrate a video
+//! between protocols at runtime.
+//!
+//! The static [`Policy`](crate::Policy) answers "which protocol for this
+//! expected rate?" once, offline — exactly the a-priori knowledge the
+//! paper's introduction says real catalogs lack. This module closes the
+//! loop live: a [`PopularityEstimator`] maintains a sliding-window count
+//! of arrivals over the last `window_slots` slots, and a [`PolicyEngine`]
+//! classifies the measured rate into [`Tier::Cold`] (stream tapping),
+//! [`Tier::Warm`] (DHB) or [`Tier::Hot`] (NPB grants) using *separate
+//! enter and exit thresholds* so a rate hovering near a boundary cannot
+//! flap the video between protocols, plus a minimum dwell time between
+//! transitions.
+//!
+//! The engine is deliberately two-phase: [`PolicyEngine::observe`] feeds
+//! an arrival, [`PolicyEngine::propose`] is a pure query for the tier the
+//! thresholds currently call for, and [`PolicyEngine::commit`] records a
+//! transition only after the shard's [`TransitionScheduler`] has actually
+//! accepted the handover (a proposal is refused while a previous handover
+//! is still draining). That split keeps the engine's dwell clock honest:
+//! refused proposals do not reset it.
+//!
+//! [`TransitionScheduler`]: dhb_core::TransitionScheduler
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use dhb_core::{DhbScheduler, SchedulerError, SlotHeuristic, SlotScheduler};
+use vod_obs::Journal;
+use vod_protocols::{NpbGrantScheduler, TappingGrantScheduler};
+
+use crate::policy::AssignedProtocol;
+
+/// A popularity tier, ordered coldest to hottest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tier {
+    /// Long-tail demand: slotted stream tapping, near-zero idle cost.
+    Cold,
+    /// Mid-catalog demand: DHB, the paper's adequate-everywhere protocol.
+    Warm,
+    /// Head-of-catalog demand: NPB grants, fixed broadcast economics.
+    Hot,
+}
+
+impl Tier {
+    /// The protocol this tier schedules with.
+    #[must_use]
+    pub fn protocol(self) -> AssignedProtocol {
+        match self {
+            Tier::Cold => AssignedProtocol::Tapping,
+            Tier::Warm => AssignedProtocol::Dhb,
+            Tier::Hot => AssignedProtocol::Npb,
+        }
+    }
+
+    /// Stable lowercase key (`cold` | `warm` | `hot`) for wire and journal
+    /// use.
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            Tier::Cold => "cold",
+            Tier::Warm => "warm",
+            Tier::Hot => "hot",
+        }
+    }
+
+    /// Parses a [`Tier::key`] back.
+    #[must_use]
+    pub fn from_key(key: &str) -> Option<Tier> {
+        match key {
+            "cold" => Some(Tier::Cold),
+            "warm" => Some(Tier::Warm),
+            "hot" => Some(Tier::Hot),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Thresholds and pacing for the adaptive engine. Rates are in arrivals
+/// per slot, measured over the estimator window.
+///
+/// The hysteresis bands are `warm_exit < warm_enter` (cold↔warm boundary)
+/// and `hot_exit < hot_enter` (warm↔hot boundary): a video enters a hotter
+/// tier only at or above the `*_enter` rate and leaves it only strictly
+/// below the `*_exit` rate, so the gap between the two absorbs noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Sliding-window length in slots for the rate estimate.
+    pub window_slots: u64,
+    /// At or above this rate a video becomes [`Tier::Hot`].
+    pub hot_enter: f64,
+    /// A hot video strictly below this rate drops to [`Tier::Warm`].
+    pub hot_exit: f64,
+    /// At or above this rate a cold video becomes [`Tier::Warm`].
+    pub warm_enter: f64,
+    /// A warm (or hot) video strictly below this rate drops to
+    /// [`Tier::Cold`].
+    pub warm_exit: f64,
+    /// Minimum slots between committed transitions of one video.
+    pub min_dwell_slots: u64,
+}
+
+impl AdaptiveConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`AdaptiveConfigError`] naming the first violated constraint.
+    pub fn validate(&self) -> Result<(), AdaptiveConfigError> {
+        let bad = |message: String| Err(AdaptiveConfigError { message });
+        if self.window_slots == 0 {
+            return bad("window-slots must be at least 1".to_owned());
+        }
+        for (name, value) in [
+            ("hot-enter", self.hot_enter),
+            ("hot-exit", self.hot_exit),
+            ("warm-enter", self.warm_enter),
+            ("warm-exit", self.warm_exit),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                return bad(format!("{name} must be a finite non-negative rate"));
+            }
+        }
+        if self.warm_exit > self.warm_enter {
+            return bad(format!(
+                "warm-exit ({}) must not exceed warm-enter ({})",
+                self.warm_exit, self.warm_enter
+            ));
+        }
+        if self.hot_exit > self.hot_enter {
+            return bad(format!(
+                "hot-exit ({}) must not exceed hot-enter ({})",
+                self.hot_exit, self.hot_enter
+            ));
+        }
+        if self.warm_enter > self.hot_enter {
+            return bad(format!(
+                "warm-enter ({}) must not exceed hot-enter ({})",
+                self.warm_enter, self.hot_enter
+            ));
+        }
+        if self.warm_exit > self.hot_exit {
+            return bad(format!(
+                "warm-exit ({}) must not exceed hot-exit ({})",
+                self.warm_exit, self.hot_exit
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for AdaptiveConfig {
+    /// Defaults tuned for loopback-scale windows: a video is hot at one
+    /// arrival per two slots, warm at one per sixteen, with 2× hysteresis
+    /// gaps and a half-window dwell.
+    fn default() -> Self {
+        AdaptiveConfig {
+            window_slots: 64,
+            hot_enter: 0.5,
+            hot_exit: 0.25,
+            warm_enter: 1.0 / 16.0,
+            warm_exit: 1.0 / 32.0,
+            min_dwell_slots: 32,
+        }
+    }
+}
+
+/// An invalid [`AdaptiveConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptiveConfigError {
+    /// The violated constraint.
+    pub message: String,
+}
+
+impl fmt::Display for AdaptiveConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "adaptive config: {}", self.message)
+    }
+}
+
+impl std::error::Error for AdaptiveConfigError {}
+
+/// Sliding-window arrival-rate estimator over slot time.
+///
+/// Holds the arrival slots seen in the last `window_slots` slots (relative
+/// to the highest slot observed) and reports their count divided by the
+/// window length — arrivals per slot. Slot time only moves forward: a
+/// clamped or replayed arrival below the high-water mark still counts, it
+/// just ages out sooner.
+#[derive(Debug, Clone)]
+pub struct PopularityEstimator {
+    window_slots: u64,
+    /// Arrival slots, oldest first. Never holds an entry older than
+    /// `now + 1 - window_slots`.
+    arrivals: VecDeque<u64>,
+    /// High-water slot.
+    now: u64,
+}
+
+impl PopularityEstimator {
+    /// An empty estimator over a window of `window_slots` slots (minimum 1).
+    #[must_use]
+    pub fn new(window_slots: u64) -> Self {
+        PopularityEstimator {
+            window_slots: window_slots.max(1),
+            arrivals: VecDeque::new(),
+            now: 0,
+        }
+    }
+
+    /// Records one arrival during `slot` and advances the window.
+    pub fn observe(&mut self, slot: u64) {
+        self.now = self.now.max(slot);
+        let cutoff = (self.now + 1).saturating_sub(self.window_slots);
+        // Keep the deque sorted so the prune below stays a front-pop: a
+        // late (clamped) arrival is inserted in place, not appended.
+        let at = self.arrivals.partition_point(|&s| s <= slot);
+        self.arrivals.insert(at, slot);
+        while self.arrivals.front().is_some_and(|&s| s < cutoff) {
+            self.arrivals.pop_front();
+        }
+    }
+
+    /// Arrivals per slot over the window ending at the high-water slot.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.arrivals.len() as f64 / self.window_slots as f64
+    }
+
+    /// Arrivals per slot over the window ending at `now` — the read the
+    /// decision path uses, so a lull *after* the last arrival still decays
+    /// the estimate even though only arrivals mutate the deque.
+    #[must_use]
+    pub fn rate_at(&self, now: u64) -> f64 {
+        let now = now.max(self.now);
+        let cutoff = (now + 1).saturating_sub(self.window_slots);
+        let live = self.arrivals.len() - self.arrivals.partition_point(|&s| s < cutoff);
+        live as f64 / self.window_slots as f64
+    }
+
+    /// Arrivals currently inside the window.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.arrivals.len()
+    }
+}
+
+/// Per-video classification state: estimator + current tier + dwell clock.
+#[derive(Debug, Clone)]
+pub struct PolicyEngine {
+    config: AdaptiveConfig,
+    estimator: PopularityEstimator,
+    tier: Tier,
+    /// Slot of the last committed transition (or engine birth).
+    committed_at: u64,
+    transitions: u64,
+}
+
+impl PolicyEngine {
+    /// An engine starting in `initial` tier at slot 0.
+    #[must_use]
+    pub fn new(config: AdaptiveConfig, initial: Tier) -> Self {
+        let window = config.window_slots;
+        PolicyEngine {
+            config,
+            estimator: PopularityEstimator::new(window),
+            tier: initial,
+            committed_at: 0,
+            transitions: 0,
+        }
+    }
+
+    /// The current committed tier.
+    #[must_use]
+    pub fn tier(&self) -> Tier {
+        self.tier
+    }
+
+    /// Committed transitions so far.
+    #[must_use]
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// The current windowed rate estimate, arrivals per slot.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.estimator.rate()
+    }
+
+    /// The windowed rate as of `slot` — decays through request lulls.
+    #[must_use]
+    pub fn rate_at(&self, slot: u64) -> f64 {
+        self.estimator.rate_at(slot)
+    }
+
+    /// Feeds one arrival during `slot` into the estimator.
+    pub fn observe(&mut self, slot: u64) {
+        self.estimator.observe(slot);
+    }
+
+    /// The tier the thresholds call for at `slot`, or `None` when the
+    /// current tier stands — because the rate sits inside a hysteresis
+    /// band, or because the dwell clock has not yet run down. Pure: call
+    /// freely, commit only what the scheduler handover accepts.
+    #[must_use]
+    pub fn propose(&self, slot: u64) -> Option<Tier> {
+        if slot.saturating_sub(self.committed_at) < self.config.min_dwell_slots {
+            return None;
+        }
+        let target = self.classify(self.estimator.rate_at(slot));
+        (target != self.tier).then_some(target)
+    }
+
+    /// Records that the video actually switched to `tier` at `slot`,
+    /// resetting the dwell clock.
+    pub fn commit(&mut self, tier: Tier, slot: u64) {
+        self.tier = tier;
+        self.committed_at = slot;
+        self.transitions += 1;
+    }
+
+    /// Hysteresis classification of `rate` relative to the current tier.
+    fn classify(&self, rate: f64) -> Tier {
+        let c = &self.config;
+        match self.tier {
+            Tier::Cold => {
+                if rate >= c.hot_enter {
+                    Tier::Hot
+                } else if rate >= c.warm_enter {
+                    Tier::Warm
+                } else {
+                    Tier::Cold
+                }
+            }
+            Tier::Warm => {
+                if rate >= c.hot_enter {
+                    Tier::Hot
+                } else if rate < c.warm_exit {
+                    Tier::Cold
+                } else {
+                    Tier::Warm
+                }
+            }
+            Tier::Hot => {
+                if rate < c.warm_exit {
+                    Tier::Cold
+                } else if rate < c.hot_exit {
+                    Tier::Warm
+                } else {
+                    Tier::Hot
+                }
+            }
+        }
+    }
+}
+
+/// Builds the scheduler a tier prescribes for an `n`-segment video. All
+/// three tiers grant segment `S_j` no later than slot `i + j` (tapping and
+/// DHB declare exactly `T[j] = j`; NPB's truncated mapping is element-wise
+/// tighter), and all share the segment count — which is what makes live
+/// transitions between them legal.
+///
+/// # Errors
+///
+/// [`SchedulerError::EmptyPeriods`] if `segments` is zero.
+pub fn scheduler_for_tier(
+    tier: Tier,
+    segments: usize,
+    journal: &Journal,
+) -> Result<Box<dyn SlotScheduler + Send>, SchedulerError> {
+    match tier {
+        Tier::Cold => {
+            let s = TappingGrantScheduler::try_for_segments(segments)?;
+            Ok(Box::new(s))
+        }
+        Tier::Warm => {
+            let s = DhbScheduler::try_new(
+                (1..=segments as u64).collect(),
+                SlotHeuristic::MinLoadLatest,
+            )?
+            .with_journal(journal.clone());
+            Ok(Box::new(s))
+        }
+        Tier::Hot => {
+            let s = NpbGrantScheduler::try_for_segments(segments)?;
+            Ok(Box::new(s))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> AdaptiveConfig {
+        AdaptiveConfig {
+            window_slots: 10,
+            hot_enter: 0.8,
+            hot_exit: 0.4,
+            warm_enter: 0.3,
+            warm_exit: 0.1,
+            min_dwell_slots: 0,
+        }
+    }
+
+    #[test]
+    fn estimator_window_slides() {
+        let mut e = PopularityEstimator::new(4);
+        for slot in [0, 1, 2, 3] {
+            e.observe(slot);
+        }
+        assert_eq!(e.samples(), 4);
+        assert!((e.rate() - 1.0).abs() < 1e-12);
+        e.observe(7); // window is now (3, 7]; slots 0..=3 age out
+        assert_eq!(e.samples(), 1);
+        assert!((e.rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimator_accepts_clamped_late_arrivals() {
+        let mut e = PopularityEstimator::new(8);
+        e.observe(10);
+        e.observe(6); // a clamped arrival below the high-water mark
+        assert_eq!(e.samples(), 2);
+        e.observe(13); // window (5, 13]: both survive
+        assert_eq!(e.samples(), 3);
+        e.observe(15); // window (7, 15]: the slot-6 arrival ages out
+        assert_eq!(e.samples(), 3);
+    }
+
+    #[test]
+    fn hysteresis_band_absorbs_boundary_noise() {
+        let mut engine = PolicyEngine::new(config(), Tier::Cold);
+        // 3 arrivals in the window: rate 0.3 ≥ warm_enter → Warm.
+        for slot in [0, 0, 0] {
+            engine.observe(slot);
+        }
+        assert_eq!(engine.propose(0), Some(Tier::Warm));
+        engine.commit(Tier::Warm, 0);
+        // Rate decays to 0.2: above warm_exit (0.1), below warm_enter —
+        // inside the band, so Warm stands where a single threshold at 0.3
+        // would have flapped back to Cold.
+        engine.observe(9);
+        engine.observe(12); // ages the three slot-0 arrivals out
+        assert!((engine.rate() - 0.2).abs() < 1e-12);
+        assert_eq!(engine.propose(12), None);
+    }
+
+    #[test]
+    fn sustained_surge_reaches_hot_and_drains_back() {
+        let mut engine = PolicyEngine::new(config(), Tier::Cold);
+        for _ in 0..8 {
+            engine.observe(20);
+        }
+        // 0.8 arrivals/slot jumps cold → hot directly.
+        assert_eq!(engine.propose(20), Some(Tier::Hot));
+        engine.commit(Tier::Hot, 20);
+        // With no further arrivals the window at slot 60 is empty: the
+        // estimate decays through the lull, and 0 < warm_exit drops the
+        // video straight to Cold without pausing at Warm.
+        assert!(engine.rate_at(60) < 0.1);
+        assert_eq!(engine.propose(60), Some(Tier::Cold));
+    }
+
+    #[test]
+    fn dwell_clock_paces_transitions_and_refusals_do_not_reset_it() {
+        let mut cfg = config();
+        cfg.min_dwell_slots = 50;
+        let mut engine = PolicyEngine::new(cfg, Tier::Cold);
+        for _ in 0..8 {
+            engine.observe(45);
+        }
+        // Thresholds call for Hot, but the dwell clock (born at slot 0)
+        // has not run down.
+        assert_eq!(engine.propose(45), None);
+        assert_eq!(engine.propose(49), None);
+        assert_eq!(engine.propose(50), Some(Tier::Hot));
+        engine.commit(Tier::Hot, 50);
+        assert_eq!(engine.transitions(), 1);
+        // Un-committed proposals never advanced the clock: the next window
+        // starts at the commit, not at the first refused propose.
+        engine.observe(99);
+        assert_eq!(engine.propose(99), None);
+    }
+
+    #[test]
+    fn tiers_map_to_the_policy_protocols() {
+        assert_eq!(Tier::Cold.protocol(), AssignedProtocol::Tapping);
+        assert_eq!(Tier::Warm.protocol(), AssignedProtocol::Dhb);
+        assert_eq!(Tier::Hot.protocol(), AssignedProtocol::Npb);
+        for tier in [Tier::Cold, Tier::Warm, Tier::Hot] {
+            assert_eq!(Tier::from_key(tier.key()), Some(tier));
+        }
+        assert_eq!(Tier::from_key("tepid"), None);
+        assert!(Tier::Cold < Tier::Warm && Tier::Warm < Tier::Hot);
+    }
+
+    #[test]
+    fn tier_schedulers_share_the_deadline_geometry() {
+        let journal = Journal::disabled();
+        let mut names = Vec::new();
+        for tier in [Tier::Cold, Tier::Warm, Tier::Hot] {
+            let s = scheduler_for_tier(tier, 9, &journal).expect("builds");
+            assert_eq!(s.n_segments(), 9);
+            // Every tier's window for S_j fits inside (i, i + j]: tapping
+            // and DHB declare exactly T[j] = j, NPB's truncated mapping is
+            // element-wise at least as tight.
+            for (idx, &t) in s.periods().iter().enumerate() {
+                assert!(
+                    t >= 1 && t <= idx as u64 + 1,
+                    "{}: T[{}]={t}",
+                    s.name(),
+                    idx + 1
+                );
+            }
+            names.push(s.name().to_owned());
+        }
+        assert_eq!(names, ["tapping", "DHB", "dyn-NPB"]);
+        assert!(scheduler_for_tier(Tier::Cold, 0, &journal).is_err());
+    }
+
+    #[test]
+    fn config_validation_names_the_violation() {
+        assert!(AdaptiveConfig::default().validate().is_ok());
+        let mut bad = config();
+        bad.window_slots = 0;
+        assert!(bad.validate().unwrap_err().to_string().contains("window"));
+        let mut bad = config();
+        bad.hot_exit = bad.hot_enter + 1.0;
+        assert!(bad.validate().unwrap_err().to_string().contains("hot-exit"));
+        let mut bad = config();
+        bad.warm_enter = bad.hot_enter + 1.0;
+        assert!(bad
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("warm-enter"));
+        let mut bad = config();
+        bad.warm_exit = f64::NAN;
+        assert!(bad.validate().is_err());
+    }
+}

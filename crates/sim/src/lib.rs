@@ -55,6 +55,7 @@ pub mod report;
 pub mod rng;
 pub mod runner;
 pub mod slotted;
+pub mod workload;
 
 pub use arrivals::{
     ArrivalProcess, DeterministicArrivals, PoissonProcess, RateProfile, TimeVaryingPoisson,
@@ -74,3 +75,4 @@ pub use vod_obs::{
     Event, EventKind, FaultKind, Journal, LoadHistogram, Observer, Registry, RunningStats,
     TimeWeightedMax,
 };
+pub use workload::{ArrivalShape, ZipfCatalog};

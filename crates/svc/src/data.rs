@@ -82,6 +82,11 @@ pub(crate) struct ChannelInit {
 struct SubEntry {
     sender: ConnSender,
     cursor: vod_ring::Cursor,
+    /// The subscribing connection's session id, when it has one: a session
+    /// that resumes onto a new connection and re-subscribes adopts (and
+    /// retires) its old entry instead of leaving it to rot until the pump
+    /// notices the dead connection.
+    session: Option<u64>,
 }
 
 struct Channel {
@@ -117,9 +122,20 @@ impl DataPlane {
 
     /// Registers `sender` as a subscriber of `video`'s channel, starting at
     /// the ring head (future publications only). Re-subscribing the same
-    /// connection replaces its entry instead of double-delivering. Returns
-    /// the `SubscribeOk` to send, or the rejection reason.
-    pub(crate) fn subscribe(&self, video: u32, sender: ConnSender) -> Result<Frame, RejectKind> {
+    /// connection — or the same *session*, after a resume moved it onto a
+    /// new connection — replaces the old entry instead of double-delivering.
+    ///
+    /// Returns the `SubscribeOk` to send plus the **resume gap**: how many
+    /// sequence numbers the replaced subscription never consumed before
+    /// this one re-attached at the live head. The gap is reported (the
+    /// caller counts it into `svc.ring.resume_gaps`, and the client sees it
+    /// as the jump in `SubscribeOk.next_seq`), never silently skipped.
+    pub(crate) fn subscribe(
+        &self,
+        video: u32,
+        sender: ConnSender,
+        session: Option<u64>,
+    ) -> Result<(Frame, u64), RejectKind> {
         let ch = self
             .channels
             .get(video as usize)
@@ -129,18 +145,35 @@ impl DataPlane {
         }
         let mut subs = lock_unpoisoned(&ch.subs);
         let cursor = ch.ring.cursor();
-        let entry = SubEntry { sender, cursor };
-        match subs.iter_mut().find(|s| s.sender.same_conn(&entry.sender)) {
-            Some(existing) => *existing = entry,
-            None => subs.push(entry),
-        }
+        let entry = SubEntry {
+            sender,
+            cursor,
+            session,
+        };
+        let existing = subs.iter_mut().find(|s| {
+            s.sender.same_conn(&entry.sender) || (session.is_some() && s.session == session)
+        });
+        let resume_gap = match existing {
+            Some(old) => {
+                let gap = cursor.next_seq().saturating_sub(old.cursor.next_seq());
+                *old = entry;
+                gap
+            }
+            None => {
+                subs.push(entry);
+                0
+            }
+        };
         drop(subs);
-        Ok(Frame::SubscribeOk {
-            video,
-            payload_len: ch.payload_len,
-            slot_ns: ch.slot_ns,
-            next_seq: cursor.next_seq(),
-        })
+        Ok((
+            Frame::SubscribeOk {
+                video,
+                payload_len: ch.payload_len,
+                slot_ns: ch.slot_ns,
+                next_seq: cursor.next_seq(),
+            },
+            resume_gap,
+        ))
     }
 
     /// Subscribers currently registered on `video`'s channel (tests).
@@ -289,7 +322,8 @@ mod tests {
     fn subscribe_reports_channel_geometry_and_dedupes_reconnects() {
         let plane = plane(2, 64, 8);
         let (sender, _q) = ConnSender::sink();
-        let ok = plane.subscribe(1, sender.clone()).unwrap();
+        let (ok, gap) = plane.subscribe(1, sender.clone(), None).unwrap();
+        assert_eq!(gap, 0);
         assert!(matches!(
             ok,
             Frame::SubscribeOk {
@@ -300,12 +334,52 @@ mod tests {
             }
         ));
         // Re-subscribing the same connection replaces, never doubles.
-        let _ = plane.subscribe(1, sender).unwrap();
+        let _ = plane.subscribe(1, sender, None).unwrap();
         assert_eq!(plane.subscriber_count(1), 1);
         assert!(matches!(
-            plane.subscribe(7, ConnSender::sink().0),
+            plane.subscribe(7, ConnSender::sink().0, None),
             Err(RejectKind::UnknownVideo)
         ));
+    }
+
+    #[test]
+    fn resumed_session_adopts_its_old_subscription_and_reports_the_gap() {
+        let plane = plane(1, 16, 8);
+        // A sessioned client subscribes on its first connection, which then
+        // wedges: its data queue never has room again, so its ring cursor
+        // can only fall behind the head.
+        let (first, _q1) = ConnSender::stalled();
+        let (ok, gap) = plane.subscribe(0, first, Some(42)).unwrap();
+        assert_eq!(gap, 0);
+        let Frame::SubscribeOk { next_seq, .. } = ok else {
+            panic!("expected SubscribeOk");
+        };
+        assert_eq!(next_seq, 0);
+        // The channel moves on while the connection is wedged.
+        for seg in 1..=3u32 {
+            let _ = plane.publish(0, seg, u64::from(seg));
+        }
+        // Session 42 resumes on a new connection and re-subscribes: the
+        // same session id adopts the stale entry (no double-delivery), the
+        // re-attach lands at the live head, and the three sequences the old
+        // cursor never consumed are *reported*, not silently skipped.
+        let (second, _q2) = ConnSender::sink();
+        let (ok, gap) = plane.subscribe(0, second, Some(42)).unwrap();
+        let Frame::SubscribeOk { next_seq, .. } = ok else {
+            panic!("expected SubscribeOk");
+        };
+        assert_eq!(next_seq, 3, "re-attach lands at the live head");
+        assert_eq!(gap, 3, "the unconsumed sequences are reported");
+        assert_eq!(
+            plane.subscriber_count(0),
+            1,
+            "old entry adopted, not doubled"
+        );
+        // A different session on the same channel is a fresh subscriber.
+        let (third, _q3) = ConnSender::sink();
+        let (_, gap) = plane.subscribe(0, third, Some(7)).unwrap();
+        assert_eq!(gap, 0);
+        assert_eq!(plane.subscriber_count(0), 2);
     }
 
     #[test]
@@ -320,7 +394,7 @@ mod tests {
             }],
         );
         assert!(matches!(
-            plane.subscribe(0, ConnSender::sink().0),
+            plane.subscribe(0, ConnSender::sink().0, None),
             Err(RejectKind::InvalidVideo)
         ));
     }
@@ -329,7 +403,7 @@ mod tests {
     fn publish_fans_out_decodable_chunks_that_match_the_store() {
         let plane = plane(1, 100, 8);
         let (sender, _q) = ConnSender::sink();
-        let _ = plane.subscribe(0, sender).unwrap();
+        let _ = plane.subscribe(0, sender, None).unwrap();
         let out = plane.publish(0, 3, 17);
         assert_eq!(out.published, 1);
         assert_eq!(out.fanout, 1);
@@ -394,7 +468,7 @@ mod tests {
     fn sink_subscribers_see_every_publication_in_order() {
         let plane = plane(1, 16, 4);
         let (sender, q) = ConnSender::sink();
-        let _ = plane.subscribe(0, sender).unwrap();
+        let _ = plane.subscribe(0, sender, None).unwrap();
         for seg in 1..=3u32 {
             let _ = plane.publish(0, seg, u64::from(seg) * 10);
         }

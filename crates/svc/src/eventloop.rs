@@ -293,6 +293,10 @@ pub(crate) enum ConnSender {
     /// A test sink capturing frames in order.
     #[cfg(test)]
     Sink(Arc<Mutex<VecDeque<Outbound>>>),
+    /// A test sink whose data queue is permanently full: models a dead or
+    /// wedged subscriber whose ring cursor can only fall behind.
+    #[cfg(test)]
+    Stalled(Arc<Mutex<VecDeque<Outbound>>>),
 }
 
 impl ConnSender {
@@ -300,7 +304,7 @@ impl ConnSender {
         match self {
             ConnSender::Conn(out_half) => out_half.send(out),
             #[cfg(test)]
-            ConnSender::Sink(q) => lock_unpoisoned(q).push_back(out),
+            ConnSender::Sink(q) | ConnSender::Stalled(q) => lock_unpoisoned(q).push_back(out),
         }
     }
 
@@ -310,7 +314,7 @@ impl ConnSender {
         match self {
             ConnSender::Conn(out_half) => out_half.push(out),
             #[cfg(test)]
-            ConnSender::Sink(q) => lock_unpoisoned(q).push_back(out),
+            ConnSender::Sink(q) | ConnSender::Stalled(q) => lock_unpoisoned(q).push_back(out),
         }
     }
 
@@ -321,7 +325,7 @@ impl ConnSender {
         match self {
             ConnSender::Conn(out_half) => out_half.wait_room(),
             #[cfg(test)]
-            ConnSender::Sink(_) => {}
+            ConnSender::Sink(_) | ConnSender::Stalled(_) => {}
         }
     }
 
@@ -331,7 +335,7 @@ impl ConnSender {
         match self {
             ConnSender::Conn(out_half) => out_half.inflight_done(),
             #[cfg(test)]
-            ConnSender::Sink(_) => {}
+            ConnSender::Sink(_) | ConnSender::Stalled(_) => {}
         }
     }
 
@@ -343,6 +347,8 @@ impl ConnSender {
             ConnSender::Conn(out_half) => out_half.try_send_data(chunks),
             #[cfg(test)]
             ConnSender::Sink(_) => DataSend::Sent,
+            #[cfg(test)]
+            ConnSender::Stalled(_) => DataSend::Full,
         }
     }
 
@@ -353,7 +359,8 @@ impl ConnSender {
         match (self, other) {
             (ConnSender::Conn(a), ConnSender::Conn(b)) => Arc::ptr_eq(a, b),
             #[cfg(test)]
-            (ConnSender::Sink(a), ConnSender::Sink(b)) => Arc::ptr_eq(a, b),
+            (ConnSender::Sink(a), ConnSender::Sink(b))
+            | (ConnSender::Stalled(a), ConnSender::Stalled(b)) => Arc::ptr_eq(a, b),
             #[cfg(test)]
             _ => false,
         }
@@ -364,6 +371,14 @@ impl ConnSender {
     pub(crate) fn sink() -> (ConnSender, Arc<Mutex<VecDeque<Outbound>>>) {
         let q = Arc::new(Mutex::new(VecDeque::new()));
         (ConnSender::Sink(Arc::clone(&q)), q)
+    }
+
+    /// A sender whose data queue never has room; its ring cursor can only
+    /// lag. Control frames (`send`) still land on the returned queue.
+    #[cfg(test)]
+    pub(crate) fn stalled() -> (ConnSender, Arc<Mutex<VecDeque<Outbound>>>) {
+        let q = Arc::new(Mutex::new(VecDeque::new()));
+        (ConnSender::Stalled(Arc::clone(&q)), q)
     }
 }
 
@@ -824,8 +839,11 @@ impl EventLoop {
                         seq,
                         video,
                         segments: meta.segments,
-                        protocol: meta.protocol.clone(),
-                        periods: meta.periods.clone(),
+                        // Live accessors: after an adaptive protocol
+                        // transition these report the scheduler new
+                        // arrivals actually land on.
+                        protocol: meta.protocol(),
+                        periods: meta.periods(),
                     },
                     Some(_) => Frame::Rejected {
                         seq,
@@ -974,8 +992,19 @@ impl EventLoop {
                 // segments whose playback deadline already passed) and echo
                 // the channel geometry the client needs to reassemble and
                 // deadline-check the byte stream.
-                match shared.data.subscribe(video, conn.sender.clone()) {
-                    Ok(ok) => conn.sender.send(Outbound::plain(ok)),
+                let session = conn.session.as_ref().map(|s| s.id());
+                match shared.data.subscribe(video, conn.sender.clone(), session) {
+                    Ok((ok, resume_gap)) => {
+                        // A resumed (or re-issued) subscription re-attaches
+                        // at the live head; the sequences it skipped are
+                        // counted, never silently dropped.
+                        if resume_gap > 0 {
+                            stats
+                                .ring_resume_gaps
+                                .fetch_add(resume_gap, Ordering::Relaxed);
+                        }
+                        conn.sender.send(Outbound::plain(ok));
+                    }
                     Err(reason) => {
                         stats.count_rejection(reason);
                         // Echo the video id in the seq field so the client

@@ -41,6 +41,12 @@
 //! counts, and checks that every segment granted to *this* connection
 //! finishes arriving before its playback deadline — grant receipt plus
 //! `(air slot − arrival slot) × slot_ns` on the server's dilated clock.
+//!
+//! A reconnect re-subscribes: the server re-attaches the resumed session's
+//! cursor at the live ring head and reports the jump through
+//! `SubscribeOk.next_seq`, so everything missed while disconnected is
+//! accounted in [`DataTally::ring_resume_gaps`] rather than silently
+//! skipped (the server counts the same jump in `svc.ring.resume_gaps`).
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -82,9 +88,23 @@ pub struct LoadConfig {
     /// `Some(rate)`: open loop at `rate` requests/second per connection
     /// (the window is ignored).
     pub open_rate: Option<f64>,
+    /// Open-loop per-request due times: connection `c` fires request `i`
+    /// at attempt start plus `pacing[c % pacing.len()][i]` (a schedule
+    /// shorter than [`requests_per_conn`](Self::requests_per_conn) repeats
+    /// its last gap). Takes precedence over [`open_rate`](Self::open_rate);
+    /// this is how `vodload`'s seeded arrival shapes (ramp, flash crowd)
+    /// reach the wire.
+    pub pacing: Option<Arc<Vec<Vec<Duration>>>>,
     /// `Some(k)`: explicit arrival slots `0, k, 2k, …` per connection;
     /// `None`: stamp requests with the server's virtual clock.
     pub arrival_stride: Option<u64>,
+    /// Explicit per-request arrival slots: connection `c` stamps request
+    /// `i` with `arrival_slots[c % len][i]` (a schedule shorter than the
+    /// request count keeps extending by its last gap). Overrides
+    /// [`arrival_stride`](Self::arrival_stride); this is how a test drives
+    /// a deterministic time-varying arrival density (e.g. a flash crowd in
+    /// slot space) through the policy engine.
+    pub arrival_slots: Option<Arc<Vec<Vec<u64>>>>,
     /// Keep every granted schedule (for equivalence checks); costs memory.
     pub collect_grants: bool,
     /// Reconnect attempts allowed per connection after the first (0 = give
@@ -103,10 +123,10 @@ pub struct LoadConfig {
     pub retry_seed: u64,
     /// Subscribe each connection to its video's broadcast channel and
     /// verify every delivered segment byte-for-byte against the
-    /// deterministic store oracle (see the module docs). Subscriptions
-    /// are established once, before any requests are sent; a profile
-    /// mixing chaos reconnects with byte verification is not supported —
-    /// a resumed connection does not re-subscribe.
+    /// deterministic store oracle (see the module docs). The first
+    /// attempt subscribes before any request is sent; a reconnect
+    /// re-subscribes and records the publications missed while
+    /// disconnected in [`DataTally::ring_resume_gaps`].
     pub verify_bytes: bool,
     /// The store seed the verification oracle shares with the server
     /// ([`vod_ring::DEFAULT_STORE_SEED`] unless the operator picked one).
@@ -123,7 +143,9 @@ impl Default for LoadConfig {
             describe: false,
             window: 4,
             open_rate: None,
+            pacing: None,
             arrival_stride: Some(1),
+            arrival_slots: None,
             collect_grants: false,
             max_reconnects: 2,
             read_timeout: Duration::from_secs(10),
@@ -181,8 +203,9 @@ pub struct LoadReport {
     /// Grant-gap distribution: at each resume, how many sent requests
     /// were still unanswered (the gap the replay must cover).
     pub resume_gaps: LogHistogram,
-    /// Broadcast channels subscribed (one per connection when
-    /// [`LoadConfig::verify_bytes`] is set).
+    /// Broadcast subscriptions established (one per connection attempt
+    /// when [`LoadConfig::verify_bytes`] is set — reconnects
+    /// re-subscribe).
     pub subscriptions: u64,
     /// Client-side data-plane verification tallies, summed over every
     /// connection's [`Reassembler`].
@@ -269,7 +292,8 @@ impl LoadReport {
             out.push_str(&format!(
                 "data plane: {} subs, {} bytes delivered ({:.0} B/s), \
                  {} segments verified, {} checksum mismatches, \
-                 {} byte-deadline misses, {} gaps, {} chunk errors\n",
+                 {} byte-deadline misses, {} gaps, {} chunk errors, \
+                 {} missed at resume\n",
                 self.subscriptions,
                 self.data.bytes_delivered,
                 self.delivered_bytes_per_sec(),
@@ -278,6 +302,7 @@ impl LoadReport {
                 self.data.byte_deadline_misses,
                 self.data.gaps,
                 self.data.chunk_errors,
+                self.data.ring_resume_gaps,
             ));
         }
         out
@@ -308,6 +333,11 @@ pub struct DataTally {
     /// Chunks violating the framing contract (offsets that do not tile,
     /// geometry changing mid-publication, stale sequences).
     pub chunk_errors: u64,
+    /// Publications missed across reconnects: on each re-subscribe the
+    /// server re-attaches the resumed session at the live ring head and
+    /// reports the jump via `SubscribeOk.next_seq`; this is the summed
+    /// jump (the client-side mirror of `svc.ring.resume_gaps`).
+    pub ring_resume_gaps: u64,
 }
 
 impl DataTally {
@@ -318,6 +348,7 @@ impl DataTally {
         self.byte_deadline_misses += other.byte_deadline_misses;
         self.gaps += other.gaps;
         self.chunk_errors += other.chunk_errors;
+        self.ring_resume_gaps += other.ring_resume_gaps;
     }
 }
 
@@ -354,6 +385,10 @@ pub struct Reassembler {
     payload_len: u64,
     slot_ns: u64,
     expected_seq: u64,
+    /// Whether a `SubscribeOk` has primed the geometry yet — a second one
+    /// means a reconnect re-attached, and its `next_seq` jump is a resume
+    /// gap rather than the initial cursor position.
+    primed: bool,
     partial: Option<Partial>,
     /// Granted instances whose bytes have not finished arriving:
     /// `(segment, air_slot) → deadline`.
@@ -382,6 +417,7 @@ impl Reassembler {
             payload_len: 0,
             slot_ns: 0,
             expected_seq: 0,
+            primed: false,
             partial: None,
             deadlines: HashMap::new(),
             completed: HashMap::new(),
@@ -390,9 +426,23 @@ impl Reassembler {
     }
 
     /// Adopts the channel geometry from a `SubscribeOk`.
+    ///
+    /// The first call primes the cursor. A later call is a reconnect's
+    /// re-subscription: the server re-attached the session at the live
+    /// ring head, and the jump from the sequence this client expected to
+    /// `next_seq` is everything it missed while disconnected — recorded
+    /// in [`DataTally::ring_resume_gaps`], with any half-assembled
+    /// publication abandoned as a gap (its remaining chunks are gone).
     pub fn on_subscribe_ok(&mut self, payload_len: u64, slot_ns: u64, next_seq: u64) {
         self.payload_len = payload_len;
         self.slot_ns = slot_ns;
+        if self.primed {
+            self.tally.ring_resume_gaps += next_seq.saturating_sub(self.expected_seq);
+            if self.partial.take().is_some() {
+                self.tally.gaps += 1;
+            }
+        }
+        self.primed = true;
         self.expected_seq = next_seq;
     }
 
@@ -923,6 +973,16 @@ fn drive_conn(
     let mut jitter = config
         .retry_seed
         .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index as u64 + 1));
+    let schedule: Option<&[Duration]> = config
+        .pacing
+        .as_deref()
+        .filter(|p| !p.is_empty())
+        .map(|p| p[index % p.len()].as_slice());
+    let slot_schedule: Option<&[u64]> = config
+        .arrival_slots
+        .as_deref()
+        .filter(|s| !s.is_empty())
+        .map(|s| s[index % s.len()].as_slice());
     let mut attempt: u32 = 0;
 
     loop {
@@ -940,6 +1000,8 @@ fn drive_conn(
             &mut outcome,
             attempt,
             if attempt == 1 { gate } else { None },
+            schedule,
+            slot_schedule,
         ) {
             Ok(end) => end,
             Err(e) => {
@@ -998,9 +1060,9 @@ fn drive_conn(
     Ok(outcome)
 }
 
-/// One connection attempt: connect, handshake (and resume), subscribe on
-/// the first attempt of a verifying run, re-send every unanswered
-/// request, wait for answers.
+/// One connection attempt: connect, handshake (and resume), subscribe
+/// when the run verifies bytes (every attempt — reconnects re-attach at
+/// the ring head), re-send every unanswered request, wait for answers.
 #[allow(clippy::too_many_arguments)]
 fn run_attempt(
     addr: SocketAddr,
@@ -1011,13 +1073,18 @@ fn run_attempt(
     outcome: &mut ConnOutcome,
     attempt: u32,
     gate: Option<&StartGate>,
+    schedule: Option<&[Duration]>,
+    slot_schedule: Option<&[u64]>,
 ) -> io::Result<AttemptEnd> {
     let (mut io, mut writer) = ClientIo::connect(addr)?;
     handshake(&mut io, &mut writer, config, state, session, outcome)?;
     if config.describe && attempt == 1 {
         writer.send(&Frame::Describe { seq: 0, video })?;
     }
-    if config.verify_bytes && attempt == 1 {
+    if config.verify_bytes {
+        // Every attempt subscribes: a reconnect re-attaches the resumed
+        // session at the live ring head, and the Reassembler books the
+        // reported next_seq jump as a resume gap.
         subscribe(&mut io, &mut writer, video, config, state)?;
     }
     // Everything fallible is behind us: check in and wait for the whole
@@ -1036,27 +1103,43 @@ fn run_attempt(
         receive_attempt(&mut io, &recv_state, &done_tx, collect, quiet_limit)
     });
 
-    let pace = config.open_rate.map(|rate| {
-        (
-            Instant::now(),
-            Duration::from_secs_f64(1.0 / rate.max(1e-9)),
-        )
-    });
+    let start = Instant::now();
+    let gap = config
+        .open_rate
+        .map(|rate| Duration::from_secs_f64(1.0 / rate.max(1e-9)));
     let mut sent = 0u64;
     let mut completions = 0u64;
     'send: for seq in 0..config.requests_per_conn {
         if lock_unpoisoned(state).answers[seq as usize].is_some() {
             continue; // answered on an earlier attempt
         }
-        match pace {
-            Some((start, gap)) => {
+        match (schedule, gap) {
+            (Some(offsets), _) if !offsets.is_empty() => {
+                // Open loop on a seeded shape: each request has its own
+                // due offset; past the schedule's end, keep its last gap.
+                let due = start
+                    + offsets.get(seq as usize).copied().unwrap_or_else(|| {
+                        let last = offsets[offsets.len() - 1];
+                        let tail_gap = if offsets.len() >= 2 {
+                            last.saturating_sub(offsets[offsets.len() - 2])
+                        } else {
+                            last
+                        };
+                        last + tail_gap
+                            * u32::try_from(seq as usize + 1 - offsets.len()).unwrap_or(u32::MAX)
+                    });
+                if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+            }
+            (_, Some(gap)) => {
                 // Open loop: fire on schedule, ignore outstanding count.
                 let due = start + gap * u32::try_from(seq).unwrap_or(u32::MAX);
                 if let Some(wait) = due.checked_duration_since(Instant::now()) {
                     std::thread::sleep(wait);
                 }
             }
-            None => {
+            _ => {
                 // Closed loop: block until the window has room. Answers
                 // from replay also open the window — only the count of
                 // in-flight sends matters for pacing.
@@ -1068,9 +1151,22 @@ fn run_attempt(
                 }
             }
         }
-        let arrival_slot = config
-            .arrival_stride
-            .map_or(ARRIVAL_AUTO, |stride| seq * stride);
+        let arrival_slot = match slot_schedule {
+            Some(slots) => slots.get(seq as usize).copied().unwrap_or_else(|| {
+                // Past the schedule's end: keep extending by its last gap
+                // so stamps stay non-decreasing.
+                let last = slots[slots.len() - 1];
+                let tail_gap = if slots.len() >= 2 {
+                    last.saturating_sub(slots[slots.len() - 2])
+                } else {
+                    1
+                };
+                last + tail_gap * (seq + 1 - slots.len() as u64)
+            }),
+            None => config
+                .arrival_stride
+                .map_or(ARRIVAL_AUTO, |stride| seq * stride),
+        };
         lock_unpoisoned(state).sent_at[seq as usize] = Some(Instant::now());
         let frame = Frame::Request {
             seq,
@@ -1419,6 +1515,36 @@ mod tests {
         let t = r.tally();
         assert_eq!(t.gaps, 2);
         assert_eq!(t.segments_verified, 1);
+    }
+
+    #[test]
+    fn resubscribe_books_the_head_jump_as_a_resume_gap() {
+        let p = oracle(0, 2, 32);
+        let mut r = ready(0, 32, 1_000_000);
+        let now = Instant::now();
+        // Seq 0 delivered whole, seq 1 left half-assembled at the drop.
+        r.on_chunk(2, 3, 0, 0, 32, p.bytes(), now);
+        r.on_chunk(2, 4, 1, 0, 32, &p.bytes()[..16], now);
+        // Reconnect: the server re-attached at head seq 5 — seqs 1..4
+        // (4 publications) aired unseen, and the partial can't complete.
+        r.on_subscribe_ok(32, 1_000_000, 5);
+        let t = r.tally();
+        assert_eq!(t.ring_resume_gaps, 4);
+        assert_eq!(t.gaps, 1, "abandoned partial is a gap");
+        // Delivery continues cleanly from the new head.
+        r.on_chunk(2, 9, 5, 0, 32, p.bytes(), now);
+        assert_eq!(r.tally().segments_verified, 2);
+        assert_eq!(r.tally().chunk_errors, 0);
+    }
+
+    #[test]
+    fn first_subscribe_is_not_a_resume_gap() {
+        let mut r = Reassembler::new(SEED, 1);
+        // A late first attach (busy channel: head already at 7) primes the
+        // cursor without booking a gap — nothing was ever promised to us.
+        r.on_subscribe_ok(16, 1_000_000, 7);
+        assert_eq!(r.tally().ring_resume_gaps, 0);
+        assert_eq!(r.tally().gaps, 0);
     }
 
     #[test]

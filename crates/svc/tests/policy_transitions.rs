@@ -1,0 +1,251 @@
+//! The glitch-free transition contract, proven at two layers.
+//!
+//! **Property test** — for any seeded schedule of live protocol
+//! transitions, every request admitted before the first switch receives
+//! byte-identical grants to a no-transition oracle run of the original
+//! scheduler, and every instance granted to those requests still airs at
+//! exactly its granted slot while the old scheduler drains. A transition
+//! may change what *future* requests are promised, never what was already
+//! promised.
+//!
+//! **Flash-crowd loopback** — a real [`Service`] with the adaptive policy
+//! engine enabled, driven through a deterministic flash crowd in slot
+//! space (sparse → dense → sparse arrivals on every video). Each video
+//! must transition up (warm→hot) and back down (hot→warm) — at least two
+//! transitions per video — while the per-grant timeliness audit records
+//! zero deadline misses and the client's byte verification stays clean
+//! across the ring handover.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use dhb_core::{SlotScheduler, TransitionScheduler};
+use proptest::prelude::*;
+use vod_obs::Journal;
+use vod_server::{scheduler_for_tier, AdaptiveConfig, Tier};
+use vod_svc::{fetch_stats, run_load, LoadConfig, ServeCatalog, Service, SvcConfig};
+use vod_types::{Seconds, Slot, VideoSpec};
+
+/// One grant as compared across runs: `(segment, slot, shared)` triples in
+/// grant order.
+type GrantSig = Vec<(u64, u64, bool)>;
+
+fn grant_sig(schedule: &[dhb_core::ScheduledSegment]) -> GrantSig {
+    schedule
+        .iter()
+        .map(|s| (s.segment.get() as u64, s.slot.index(), !s.newly_scheduled))
+        .collect()
+}
+
+fn tier_of(index: u8) -> Tier {
+    match index % 3 {
+        0 => Tier::Cold,
+        1 => Tier::Warm,
+        _ => Tier::Hot,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replays a seeded arrival sequence through a [`TransitionScheduler`]
+    /// that switches protocols mid-run, and checks the pre-switch prefix
+    /// against a scheduler that never transitions.
+    #[test]
+    fn requests_admitted_before_a_switch_keep_their_exact_grants(
+        segments in 3usize..10,
+        gaps in prop::collection::vec(0u64..4, 4..40),
+        switch_at in 1usize..30,
+        targets in prop::collection::vec(any::<u8>(), 1..4),
+    ) {
+        let journal = Journal::disabled();
+        let base = scheduler_for_tier(Tier::Warm, segments, &journal)
+            .expect("warm scheduler builds");
+        let mut live = TransitionScheduler::new(base);
+        let mut oracle = scheduler_for_tier(Tier::Warm, segments, &journal)
+            .expect("oracle scheduler builds");
+
+        // Arrival slots from the seeded gaps (gap 0 = same-slot burst).
+        let mut slot = 0u64;
+        let arrivals: Vec<u64> = gaps
+            .iter()
+            .map(|g| {
+                slot += g;
+                slot
+            })
+            .collect();
+        let switch_at = switch_at.min(arrivals.len() - 1).max(1);
+
+        let mut live_grants: Vec<GrantSig> = Vec::new();
+        let mut oracle_grants: Vec<GrantSig> = Vec::new();
+        let mut first_switch: Option<usize> = None;
+        let mut aired: HashSet<(u64, u64)> = HashSet::new();
+        let mut tier_cursor = 0usize;
+        let mut last_tier = Tier::Warm;
+
+        for (i, &a) in arrivals.iter().enumerate() {
+            // The seeded transition schedule: at the switch index (and at
+            // every later arrival while targets remain), request a switch —
+            // exactly where the shard's policy engine runs, before the
+            // arrival is scheduled, so the triggering request lands on the
+            // new scheduler.
+            if i >= switch_at && tier_cursor < targets.len() {
+                let target = tier_of(targets[tier_cursor]);
+                tier_cursor += 1;
+                if target != last_tier {
+                    let replacement = scheduler_for_tier(target, segments, &journal)
+                        .expect("replacement builds");
+                    if live.begin_transition(replacement).is_ok() {
+                        last_tier = target;
+                        first_switch.get_or_insert(i);
+                    }
+                }
+            }
+            // Advance both sides to the arrival slot, recording what the
+            // live side actually airs.
+            while live.next_slot().index() < a {
+                let (popped, instances) = live.pop_slot();
+                for s in instances {
+                    aired.insert((s.get() as u64, popped.index()));
+                }
+            }
+            while oracle.next_slot().index() < a {
+                let _ = oracle.pop_slot();
+            }
+            live_grants.push(grant_sig(&live.schedule_request(Slot::new(a))));
+            oracle_grants.push(grant_sig(&oracle.schedule_request(Slot::new(a))));
+        }
+
+        let boundary = first_switch.unwrap_or(arrivals.len());
+        for i in 0..boundary {
+            prop_assert_eq!(
+                &live_grants[i],
+                &oracle_grants[i],
+                "request {} admitted before the first switch (at {}) diverged",
+                i,
+                boundary
+            );
+        }
+
+        // Drain the live side far enough that every pre-switch promise has
+        // aired, then check each one landed at exactly its granted slot.
+        let horizon = live_grants[..boundary]
+            .iter()
+            .flatten()
+            .map(|&(_, slot, _)| slot)
+            .max()
+            .unwrap_or(0);
+        while live.next_slot().index() <= horizon {
+            let (popped, instances) = live.pop_slot();
+            for s in instances {
+                aired.insert((s.get() as u64, popped.index()));
+            }
+        }
+        for (i, grant) in live_grants[..boundary].iter().enumerate() {
+            for &(segment, slot, _) in grant {
+                prop_assert!(
+                    aired.contains(&(segment, slot)),
+                    "request {i}: granted instance S{segment}@{slot} never aired"
+                );
+            }
+        }
+    }
+}
+
+/// Extracts an integer counter from the stats JSON (`"name": value`).
+fn counter(json: &str, name: &str) -> u64 {
+    let needle = format!("\"{name}\": ");
+    let start = json
+        .find(&needle)
+        .unwrap_or_else(|| panic!("counter {name} missing from stats: {json}"))
+        + needle.len();
+    json[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("counter value parses")
+}
+
+#[test]
+fn flash_crowd_transitions_stay_glitch_free_end_to_end() {
+    // Tight engine: 16-slot estimate window, 8-slot dwell. The slot
+    // schedule below swings the per-slot rate 16x through the warm band.
+    let adaptive = AdaptiveConfig {
+        window_slots: 16,
+        min_dwell_slots: 8,
+        ..AdaptiveConfig::default()
+    };
+    adaptive.validate().expect("valid engine config");
+    let video = VideoSpec::new(Seconds::new(60.0), 6).expect("valid spec");
+    let service = Service::start(
+        "127.0.0.1:0",
+        &SvcConfig {
+            catalog: ServeCatalog::uniform(2, video).with_adaptive(adaptive),
+            shards: 2,
+            dilation: 1_000,
+            ..SvcConfig::default()
+        },
+    )
+    .expect("service starts");
+
+    // The flash crowd in slot space, identical for both videos: sparse
+    // (one arrival every 8 slots, rate 0.125/slot — warm band), a dense
+    // burst (two per slot, rate 2/slot — far above hot_enter 0.5), then
+    // sparse again (rate 0.125 — below hot_exit 0.25, so the video drops
+    // back once the window drains and the dwell passes).
+    let mut slots: Vec<u64> = Vec::new();
+    for i in 0..12u64 {
+        slots.push(i * 8); // sparse head: slots 0..88
+    }
+    for i in 0..16u64 {
+        slots.push(100 + i); // dense burst: slots 100..115, twice per slot
+        slots.push(100 + i);
+    }
+    for i in 0..20u64 {
+        slots.push(124 + i * 8); // sparse tail: slots 124..276
+    }
+    let requests = slots.len() as u64;
+
+    let report = run_load(
+        service.local_addr(),
+        &LoadConfig {
+            conns: 2,
+            requests_per_conn: requests,
+            videos: 2,
+            window: 4,
+            arrival_slots: Some(Arc::new(vec![slots])),
+            verify_bytes: true,
+            ..LoadConfig::default()
+        },
+    )
+    .expect("load run succeeds");
+
+    assert_eq!(report.grants, 2 * requests, "{}", report.render());
+    assert_eq!(report.protocol_errors, 0, "{}", report.render());
+    assert_eq!(report.data.checksum_mismatches, 0, "{}", report.render());
+    assert_eq!(report.data.chunk_errors, 0, "{}", report.render());
+    assert_eq!(report.data.byte_deadline_misses, 0, "{}", report.render());
+
+    let json = fetch_stats(service.local_addr()).expect("stats fetch");
+    let up = counter(&json, "svc.policy.transitions_up");
+    let down = counter(&json, "svc.policy.transitions_down");
+    // Both videos ride the same crowd: each must go up and come back down
+    // — at least two transitions per video.
+    assert!(up >= 2, "expected >=2 up-transitions, saw {up}: {json}");
+    assert!(
+        down >= 2,
+        "expected >=2 down-transitions, saw {down}: {json}"
+    );
+    assert_eq!(
+        counter(&json, "svc.policy.transitions"),
+        up + down,
+        "{json}"
+    );
+    assert_eq!(counter(&json, "svc.audit.deadline_misses"), 0, "{json}");
+    assert!(counter(&json, "svc.audit.segments_checked") > 0, "{json}");
+    // After the crowd passes, every video is back on DHB.
+    assert_eq!(counter(&json, "svc.policy.active_dhb"), 2, "{json}");
+    assert_eq!(counter(&json, "svc.policy.active_npb"), 0, "{json}");
+    let _ = service.shutdown();
+}

@@ -25,6 +25,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use vod_dhb::server::AdaptiveConfig;
+use vod_dhb::sim::{ArrivalShape, ZipfCatalog};
 use vod_dhb::svc::{
     fetch_stats, run_load, AdminClient, ChaosPlan, LoadConfig, ServeCatalog, Service, SvcConfig,
 };
@@ -57,6 +59,12 @@ struct Args {
     verify_bytes: bool,
     data_rate: Option<u64>,
     store_seed: Option<u64>,
+    zipf: Option<f64>,
+    shape: ArrivalShape,
+    shape_seed: u64,
+    adaptive: bool,
+    adaptive_window: Option<u64>,
+    adaptive_dwell: Option<u64>,
 }
 
 const USAGE: &str = "usage:\n  \
@@ -67,7 +75,9 @@ const USAGE: &str = "usage:\n  \
     [--stats-out stats.json] [--max-p99-ms 250] [--retries 3]\n          \
     [--timeout-secs 30] [--chaos SEED] [--chaos-stall-ms 50]\n          \
     [--telemetry-out telemetry.jsonl] [--admin-addr host:port]\n          \
-    [--verify-bytes] [--data-rate BYTES_PER_MEDIA_SEC] [--store-seed SEED]\n\n\
+    [--verify-bytes] [--data-rate BYTES_PER_MEDIA_SEC] [--store-seed SEED]\n          \
+    [--zipf S] [--ramp | --flash-crowd] [--shape-seed SEED] [--adaptive]\n          \
+    [--adaptive-window SLOTS] [--adaptive-dwell SLOTS]\n\n\
     --catalog self-hosts a heterogeneous catalog file (implies --self-host);\n\
     --mix pins each connection to a video id round-robin from the list;\n\
     --describe fetches per-video geometry (DESCRIBE) before driving load;\n\
@@ -86,7 +96,16 @@ const USAGE: &str = "usage:\n  \
     deterministic store oracle, failing on any checksum mismatch or\n\
     byte-level deadline miss; --data-rate sets the self-hosted payload\n\
     rate in bytes per media-second; --store-seed overrides the payload\n\
-    seed (shared with the self-hosted server, or matched to a remote one).";
+    seed (shared with the self-hosted server, or matched to a remote one);\n\
+    --zipf S spreads connections over the catalog by a Zipf(S) popularity\n\
+    law (largest-remainder apportionment; overrides --mix);\n\
+    --ramp / --flash-crowd pace requests on a seeded time-varying shape\n\
+    (requires --rate, which becomes the shape's mean rate; --shape-seed\n\
+    makes the schedule reproducible);\n\
+    --adaptive self-hosts with the popularity-driven policy engine enabled\n\
+    (videos start warm/DHB and move between tapping, DHB and NPB as demand\n\
+    shifts; implies --self-host); --adaptive-window and --adaptive-dwell\n\
+    override the engine's estimator window and transition dwell in slots.";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -116,6 +135,12 @@ fn parse_args() -> Result<Args, String> {
         verify_bytes: false,
         data_rate: None,
         store_seed: None,
+        zipf: None,
+        shape: ArrivalShape::Steady,
+        shape_seed: 0x5eed_5a9e,
+        adaptive: false,
+        adaptive_window: None,
+        adaptive_dwell: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -129,6 +154,17 @@ fn parse_args() -> Result<Args, String> {
         }
         if flag == "--verify-bytes" {
             args.verify_bytes = true;
+            continue;
+        }
+        if flag == "--ramp" || flag == "--flash-crowd" {
+            if args.shape != ArrivalShape::Steady {
+                return Err(format!("--ramp and --flash-crowd are exclusive\n\n{USAGE}"));
+            }
+            args.shape = ArrivalShape::parse(&flag[2..]).expect("known shape name");
+            continue;
+        }
+        if flag == "--adaptive" {
+            args.adaptive = true;
             continue;
         }
         if flag == "--help" || flag == "-h" {
@@ -182,13 +218,32 @@ fn parse_args() -> Result<Args, String> {
             "--admin-addr" => args.admin_addr = Some(value("--admin-addr")?),
             "--data-rate" => args.data_rate = Some(num("--data-rate", &value("--data-rate")?)?),
             "--store-seed" => args.store_seed = Some(num("--store-seed", &value("--store-seed")?)?),
+            "--zipf" => args.zipf = Some(num("--zipf", &value("--zipf")?)?),
+            "--shape-seed" => args.shape_seed = num("--shape-seed", &value("--shape-seed")?)?,
+            "--adaptive-window" => {
+                args.adaptive_window =
+                    Some(num("--adaptive-window", &value("--adaptive-window")?)?);
+            }
+            "--adaptive-dwell" => {
+                args.adaptive_dwell = Some(num("--adaptive-dwell", &value("--adaptive-dwell")?)?);
+            }
             other => return Err(format!("unknown option {other:?}\n\n{USAGE}")),
         }
     }
-    if args.catalog.is_some() || args.chaos.is_some() {
-        // A catalog file or a chaos plan only makes sense for a service we
-        // start ourselves.
+    if args.catalog.is_some() || args.chaos.is_some() || args.adaptive {
+        // A catalog file, a chaos plan, or the adaptive engine only make
+        // sense for a service we start ourselves.
         args.self_host = true;
+    }
+    if args.shape != ArrivalShape::Steady && args.rate.is_none() {
+        return Err(format!(
+            "--ramp/--flash-crowd need --rate as the shape's mean rate\n\n{USAGE}"
+        ));
+    }
+    if let Some(s) = args.zipf {
+        if !s.is_finite() || s < 0.0 {
+            return Err("--zipf must be a finite non-negative skew".to_owned());
+        }
     }
     if !args.timeout_secs.is_finite() || args.timeout_secs <= 0.0 {
         return Err("--timeout-secs must be positive".to_owned());
@@ -271,6 +326,22 @@ fn main() -> ExitCode {
                     };
                 ServeCatalog::uniform(args.videos, video)
             }
+        };
+        let catalog = if args.adaptive {
+            let mut adaptive = AdaptiveConfig::default();
+            if let Some(window) = args.adaptive_window {
+                adaptive.window_slots = window;
+            }
+            if let Some(dwell) = args.adaptive_dwell {
+                adaptive.min_dwell_slots = dwell;
+            }
+            if let Err(e) = adaptive.validate() {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+            catalog.with_adaptive(adaptive)
+        } else {
+            catalog
         };
         hosted_videos = Some(catalog.len() as u32);
         let chaos = match args.chaos {
@@ -370,18 +441,58 @@ fn main() -> ExitCode {
             .expect("spawn telemetry scraper")
     });
 
+    // A Zipf mix spreads the connections over the catalog by popularity:
+    // the head videos absorb most connections, the tail goes cold.
+    let videos_total = hosted_videos.unwrap_or(args.videos).max(1);
+    let mix = match args.zipf {
+        Some(skew) => {
+            let law = ZipfCatalog::new(videos_total as usize, skew);
+            let mut assigned = Vec::with_capacity(args.conns);
+            for (video, count) in law.apportion(args.conns).iter().enumerate() {
+                assigned.extend(std::iter::repeat_n(video as u32, *count));
+            }
+            println!(
+                "zipf({skew}) mix over {videos_total} videos: {} conns on video 0",
+                assigned.iter().filter(|&&v| v == 0).count()
+            );
+            Some(assigned)
+        }
+        None => args.mix.clone(),
+    };
+    // A non-steady shape replaces the fixed open-loop gap with a seeded
+    // per-connection due-time schedule drawn from the shared generator.
+    let pacing = (args.shape != ArrivalShape::Steady).then(|| {
+        let rate = args.rate.expect("shape requires --rate");
+        let gap = Seconds::new(1.0 / rate.max(1e-9));
+        let schedules: Vec<Vec<Duration>> = (0..args.conns)
+            .map(|c| {
+                args.shape
+                    .offsets(
+                        args.requests as usize,
+                        gap,
+                        args.shape_seed.wrapping_add(c as u64),
+                    )
+                    .into_iter()
+                    .map(|t| Duration::from_secs_f64(t.as_secs_f64()))
+                    .collect()
+            })
+            .collect();
+        Arc::new(schedules)
+    });
+
     let config = LoadConfig {
         conns: args.conns,
         requests_per_conn: args.requests,
-        videos: hosted_videos.unwrap_or(args.videos),
+        videos: videos_total,
         window: args.window,
-        open_rate: args.rate,
+        open_rate: if pacing.is_some() { None } else { args.rate },
+        pacing,
         // Live runs use the server's virtual clock; chaos runs stamp
         // explicit slots so the seeded fault plan triggers at the same
         // points every run.
         arrival_stride: if args.chaos.is_some() { Some(1) } else { None },
         collect_grants: false,
-        mix: args.mix.clone(),
+        mix,
         describe: args.describe,
         max_reconnects: args.retries,
         read_timeout: Duration::from_secs_f64(args.timeout_secs),
